@@ -1,0 +1,170 @@
+// Pfasm is an assembler, disassembler and test harness for packet
+// filter programs.
+//
+//	pfasm asm [-x] [file]          assemble text to hex words (-x) or
+//	                               the binary enfilter layout on stdout
+//	pfasm dis [file]               disassemble hex words to text
+//	pfasm check [-ext] [file]      validate a program and print its
+//	                               static summary
+//	pfasm run [-ext] -p HEXPACKET [file]
+//	                               apply the program to a packet given
+//	                               as hex bytes and report the verdict
+//	pfasm expr [-link 3mb|10mb] EXPRESSION
+//	                               compile a tcpdump-style expression
+//	                               (see internal/fexpr) and disassemble
+//	                               the generated program
+//
+// The program text uses the paper's notation, e.g. figure 3-9:
+//
+//	PUSHWORD+8  PUSHLIT|CAND 35
+//	PUSHWORD+7  PUSHZERO|CAND
+//	PUSHWORD+1  PUSHLIT|EQ 2
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/ethersim"
+	"repro/internal/fexpr"
+	"repro/internal/filter"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "asm":
+		fs := flag.NewFlagSet("asm", flag.ExitOnError)
+		hexOut := fs.Bool("x", false, "emit hex words instead of binary")
+		prio := fs.Uint("prio", 10, "filter priority for binary output")
+		fs.Parse(args)
+		prog := mustAssemble(readInput(fs.Args()))
+		if *hexOut {
+			for _, w := range prog {
+				fmt.Printf("%04x ", uint16(w))
+			}
+			fmt.Println()
+			return
+		}
+		out, err := filter.Filter{Priority: uint8(*prio), Program: prog}.MarshalBinary()
+		check(err)
+		os.Stdout.Write(out)
+
+	case "dis":
+		fs := flag.NewFlagSet("dis", flag.ExitOnError)
+		fs.Parse(args)
+		prog := parseHexWords(readInput(fs.Args()))
+		fmt.Print(prog.String())
+
+	case "check":
+		fs := flag.NewFlagSet("check", flag.ExitOnError)
+		ext := fs.Bool("ext", false, "allow extended instructions")
+		fs.Parse(args)
+		prog := mustAssemble(readInput(fs.Args()))
+		info, err := filter.Validate(prog, filter.ValidateOptions{Extensions: *ext})
+		check(err)
+		fmt.Printf("ok: %d instructions, max stack %d, max word %d",
+			info.Instrs, info.MaxStack, info.MaxWord)
+		if info.UsesIndirect {
+			fmt.Print(", uses indirection")
+		}
+		fmt.Println()
+
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ExitOnError)
+		ext := fs.Bool("ext", false, "allow extended instructions")
+		pktHex := fs.String("p", "", "packet as hex bytes")
+		hdrWords := fs.Int("hdr", 2, "data-link header length in words (for PUSHHDRLEN)")
+		fs.Parse(args)
+		if *pktHex == "" {
+			fmt.Fprintln(os.Stderr, "pfasm run: -p HEXPACKET required")
+			os.Exit(2)
+		}
+		pkt, err := hex.DecodeString(strings.ReplaceAll(*pktHex, " ", ""))
+		check(err)
+		prog := mustAssemble(readInput(fs.Args()))
+		var res filter.Result
+		if *ext {
+			res = filter.RunExt(prog, pkt, filter.Env{HeaderWords: *hdrWords})
+		} else {
+			res = filter.Run(prog, pkt)
+		}
+		fmt.Printf("accept=%v instructions=%d", res.Accept, res.Instrs)
+		if res.Err != nil {
+			fmt.Printf(" error=%v", res.Err)
+		}
+		fmt.Println()
+		if !res.Accept {
+			os.Exit(1)
+		}
+
+	case "expr":
+		fs := flag.NewFlagSet("expr", flag.ExitOnError)
+		linkName := fs.String("link", "3mb", "target link: 3mb or 10mb")
+		fs.Parse(args)
+		link := ethersim.Ether3Mb
+		if *linkName == "10mb" {
+			link = ethersim.Ether10Mb
+		}
+		src := strings.Join(fs.Args(), " ")
+		if src == "" {
+			src = readInput(nil)
+		}
+		prog, ext, err := fexpr.Compile(src, link)
+		check(err)
+		if ext {
+			fmt.Println("# requires pfdev.Options{Extensions: true}")
+		}
+		fmt.Print(prog.String())
+
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pfasm {asm|dis|check|run|expr} [flags] [file]")
+	os.Exit(2)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfasm:", err)
+		os.Exit(1)
+	}
+}
+
+func readInput(args []string) string {
+	if len(args) > 0 && args[0] != "-" {
+		data, err := os.ReadFile(args[0])
+		check(err)
+		return string(data)
+	}
+	data, err := io.ReadAll(os.Stdin)
+	check(err)
+	return string(data)
+}
+
+func mustAssemble(src string) filter.Program {
+	prog, err := filter.Assemble(src)
+	check(err)
+	return prog
+}
+
+func parseHexWords(src string) filter.Program {
+	var prog filter.Program
+	for _, tok := range strings.Fields(src) {
+		var w uint16
+		_, err := fmt.Sscanf(tok, "%x", &w)
+		check(err)
+		prog = append(prog, filter.Word(w))
+	}
+	return prog
+}

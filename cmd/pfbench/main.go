@@ -1,0 +1,47 @@
+// Pfbench regenerates every table and figure from the paper's
+// evaluation on the simulated substrate and prints them in the paper's
+// layout.  Run with -id to select one experiment:
+//
+//	pfbench            # run everything
+//	pfbench -id t6-2   # just table 6-2
+//	pfbench -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	id := flag.String("id", "", "run only the experiment with this id")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	md := flag.Bool("md", false, "emit markdown instead of aligned text")
+	flag.Parse()
+
+	tables := bench.All()
+	if *list {
+		for _, t := range tables {
+			fmt.Printf("%-12s %s\n", t.ID, t.Title)
+		}
+		return
+	}
+	found := false
+	for _, t := range tables {
+		if *id != "" && t.ID != *id {
+			continue
+		}
+		found = true
+		if *md {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t)
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "pfbench: no experiment %q (try -list)\n", *id)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,160 @@
+// Pfmon is the §5.4 network monitor as a command-line tool: it builds
+// a simulated Ethernet, drives the paper's mixed traffic profile over
+// it (plus a Pup echo exchange so there is real protocol traffic to
+// watch), captures everything through a promiscuous packet-filter port
+// with the copy-all option, and prints a tcpdump-style trace and
+// per-protocol statistics.
+//
+//	pfmon [-link 3mb|10mb] [-n packets] [-trace lines] [-seed s]
+//	      [-filter expr] [-w file] [-r file]
+//
+// -w saves the capture to a trace file; -r skips the simulation and
+// analyzes a previously saved trace instead ("all the tools of the
+// workstation are available for manipulating and analyzing packet
+// traces", §5.4).
+//
+// -filter takes a tcpdump-style expression (see internal/fexpr), e.g.
+// 'pup and pup dstsocket 0x123' or 'not ip', applied in the simulated
+// kernel; the copy-all option still lets the monitored traffic
+// through.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/fexpr"
+	"repro/internal/inet"
+	"repro/internal/monitor"
+	"repro/internal/pfdev"
+	"repro/internal/pup"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+	"repro/internal/workload"
+)
+
+func main() {
+	linkName := flag.String("link", "3mb", "network type: 3mb or 10mb")
+	n := flag.Int("n", 60, "background packets to generate")
+	trace := flag.Int("trace", 25, "trace lines to print")
+	seed := flag.Int64("seed", 1, "workload random seed")
+	filterExpr := flag.String("filter", "", "capture filter expression (fexpr syntax)")
+	writeFile := flag.String("w", "", "save the capture to this trace file")
+	readFile := flag.String("r", "", "analyze a saved trace file instead of simulating")
+	flag.Parse()
+
+	if *readFile != "" {
+		f, err := os.Open(*readFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfmon:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		m := monitor.New(nil)
+		m.Keep = *trace
+		if _, err := m.LoadTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pfmon:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace (first %d packets):\n", len(m.Records))
+		for _, rec := range m.Records {
+			fmt.Println(rec)
+		}
+		fmt.Printf("\n%s", m.Report())
+		return
+	}
+
+	link := ethersim.Ether3Mb
+	if *linkName == "10mb" {
+		link = ethersim.Ether10Mb
+	} else if *linkName != "3mb" {
+		fmt.Fprintln(os.Stderr, "pfmon: -link must be 3mb or 10mb")
+		os.Exit(2)
+	}
+
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, link)
+	src := s.NewHost("src")
+	dst := s.NewHost("dst")
+	mon := s.NewHost("monitor")
+
+	nicSrc := net.Attach(src, 1)
+	nicDst := net.Attach(dst, 2)
+	nicMon := net.Attach(mon, 3)
+	nicMon.Promiscuous = true // a monitor watches the whole segment
+
+	stack := inet.NewStack(nicDst, 0x0A000002)
+	devDst := pfdev.Attach(nicDst, stack, pfdev.Options{})
+	devSrc := pfdev.Attach(nicSrc, nil, pfdev.Options{})
+	devMon := pfdev.Attach(nicMon, nil, pfdev.Options{})
+
+	m := monitor.New(devMon)
+	m.Keep = *trace
+	m.KeepRaw = *writeFile != ""
+	if *filterExpr != "" {
+		prog, _, err := fexpr.Compile(*filterExpr, link)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfmon:", err)
+			os.Exit(1)
+		}
+		m.Filter = prog
+	}
+	s.Spawn(mon, "pfmon", func(p *sim.Proc) { m.Run(p, 200*time.Millisecond) })
+
+	// A real Pup echo server/client pair so the trace shows a
+	// protocol conversation, not just background noise.
+	echoAddr := pup.PortAddr{Net: 1, Host: 2, Socket: 0x123}
+	s.Spawn(dst, "echod", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devDst, echoAddr, 10)
+		if err != nil {
+			return
+		}
+		sock.EchoServer(p, 200*time.Millisecond)
+	})
+	s.Spawn(src, "echo", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devSrc, pup.PortAddr{Net: 1, Host: 1, Socket: 0x77}, 10)
+		if err != nil {
+			return
+		}
+		p.Sleep(8 * time.Millisecond)
+		for i := 0; i < 3; i++ {
+			if rtt, err := sock.Echo(p, echoAddr, []byte("pfmon"), 50*time.Millisecond, 2); err == nil {
+				fmt.Printf("echo %d: rtt %.2f mSec\n", i+1,
+					float64(rtt)/float64(time.Millisecond))
+			}
+			p.Sleep(5 * time.Millisecond)
+		}
+	})
+
+	// Background mixed traffic in the paper's 21/69/10 profile.
+	gen := workload.NewGenerator(*seed, link, workload.PaperMix(), []uint32{0x123, 0x200})
+	s.Spawn(src, "traffic", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		gen.Drive(p, nicSrc, 2, *n, 2*time.Millisecond)
+	})
+
+	s.Run(5 * time.Second)
+
+	fmt.Printf("\ntrace (first %d packets):\n", len(m.Records))
+	for _, rec := range m.Records {
+		fmt.Println(rec)
+	}
+	fmt.Printf("\n%s", m.Report())
+
+	if *writeFile != "" {
+		f, err := os.Create(*writeFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfmon:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := m.SaveTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pfmon:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d packets to %s\n", m.Stats.Packets, *writeFile)
+	}
+}

@@ -1,0 +1,20 @@
+// Package repro is a from-scratch Go reproduction of "The Packet
+// Filter: An Efficient Mechanism for User-level Network Code" (Mogul,
+// Rashid & Accetta, Proc. 11th SOSP, 1987).
+//
+// The library lives under internal/: the CSPF stack-language filter
+// engine (internal/filter), the kernel-resident demultiplexing
+// pseudodevice (internal/pfdev), a deterministic simulated OS and
+// Ethernet calibrated to the paper's VAX measurements (internal/sim,
+// internal/ethersim, internal/vtime), the protocol suites the paper
+// evaluates (internal/pup, internal/vmtp, internal/inet,
+// internal/rarp), the user-level demultiplexer baseline
+// (internal/demux), a network monitor (internal/monitor), and the
+// experiment harness regenerating every table and figure
+// (internal/bench, cmd/pfbench).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.  bench_test.go in this
+// directory holds one testing.B benchmark per paper table/figure plus
+// real-time microbenchmarks of the filter engine.
+package repro

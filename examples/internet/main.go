@@ -1,0 +1,117 @@
+// Internet demonstrates Pup living up to its name — "Pup: An
+// internetwork architecture" — entirely at user level.  Two Ethernet
+// segments (a 3 Mb experimental net and a 10 Mb standard net) are
+// joined by a gateway host whose forwarding daemon is an ordinary
+// process with one packet-filter port per network; its kernel-resident
+// filter accepts exactly the Pups whose destination network differs
+// from the arrival network, so local traffic never wakes it.
+//
+// A client on net 1 pings a server on net 2, transfers a "boot image"
+// to it with EFTP, and finally a deliberately unroutable Pup shows the
+// hop-count machinery.
+//
+//	go run ./examples/internet
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/pfdev"
+	"repro/internal/pup"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+func main() {
+	s := sim.New(vtime.DefaultCosts())
+	net1 := ethersim.New(s, ethersim.Ether3Mb)  // the old lab net
+	net2 := ethersim.New(s, ethersim.Ether10Mb) // the new building net
+
+	client := s.NewHost("client")
+	server := s.NewHost("server")
+	gwHost := s.NewHost("gateway")
+
+	devClient := pfdev.Attach(net1.Attach(client, 0x0A), nil, pfdev.Options{})
+	devServer := pfdev.Attach(net2.Attach(server, 0x0B), nil, pfdev.Options{})
+	gw1 := pfdev.Attach(net1.Attach(gwHost, 0x7E), nil, pfdev.Options{})
+	gw2 := pfdev.Attach(net2.Attach(gwHost, 0x7F), nil, pfdev.Options{})
+
+	gw := pup.NewGateway(
+		pup.GatewayPort{Dev: gw1, Net: 1},
+		pup.GatewayPort{Dev: gw2, Net: 2},
+	)
+	s.Spawn(gwHost, "pupgw", func(p *sim.Proc) { gw.Run(p, 300*time.Millisecond) })
+
+	clientAddr := pup.PortAddr{Net: 1, Host: 0x0A, Socket: 0x100}
+	echoAddr := pup.PortAddr{Net: 2, Host: 0x0B, Socket: 0x30}
+	fileAddr := pup.PortAddr{Net: 2, Host: 0x0B, Socket: 0x31}
+	image := bytes.Repeat([]byte("BOOT"), 1500) // a 6 KB boot image
+
+	s.Spawn(server, "echod", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devServer, echoAddr, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sock.Gateway = 0x7F
+		sock.EchoServer(p, 300*time.Millisecond)
+	})
+	s.Spawn(server, "eftpd", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devServer, fileAddr, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sock.Gateway = 0x7F
+		got, err := pup.EFTPReceive(p, sock, 400*time.Millisecond, pup.DefaultEFTPConfig())
+		if err != nil {
+			fmt.Println("eftpd:", err)
+			return
+		}
+		fmt.Printf("eftpd: received %d bytes across the internet, intact=%v\n",
+			len(got), bytes.Equal(got, image))
+	})
+
+	s.Spawn(client, "client", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devClient, clientAddr, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sock.Gateway = 0x7E
+		p.Sleep(10 * time.Millisecond)
+
+		// 1. Ping across the gateway.
+		rtt, err := sock.Echo(p, echoAddr, []byte("hello net 2"), 80*time.Millisecond, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("echo across gateway: %.2f mSec round trip\n",
+			float64(rtt)/float64(time.Millisecond))
+
+		// 2. EFTP a boot image across.
+		fileSock, err := pup.Open(p, devClient,
+			pup.PortAddr{Net: 1, Host: 0x0A, Socket: 0x101}, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fileSock.Gateway = 0x7E
+		cfg := pup.DefaultEFTPConfig()
+		cfg.RTO = 80 * time.Millisecond
+		t0 := p.Now()
+		retrans, err := pup.EFTPSend(p, fileSock, fileAddr, image, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("eftp: %d bytes in %.0f mSec (%d retransmissions)\n",
+			len(image), float64(p.Now()-t0)/float64(time.Millisecond), retrans)
+
+		// 3. Nowhere to go: net 9 is unattached.
+		sock.Send(p, &pup.Packet{Type: 3, Dst: pup.PortAddr{Net: 9, Host: 1, Socket: 1}})
+	})
+
+	s.Run(5 * time.Second)
+	fmt.Printf("gateway: forwarded %d Pups, dropped %d unroutable, %d over hop limit\n",
+		gw.Forwarded, gw.DroppedNoRoute, gw.DroppedHops)
+}

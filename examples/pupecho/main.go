@@ -1,0 +1,117 @@
+// Pupecho runs the §5.1 scenario: the Pup protocol suite implemented
+// entirely at user level over the packet filter.  Two hosts share a
+// 3 Mb experimental Ethernet; one runs a Pup echo server, the other
+// measures round-trip times and then transfers a file over BSP, the
+// Pup byte-stream protocol — all without any Pup code in the "kernel".
+//
+//	go run ./examples/pupecho
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/pfdev"
+	"repro/internal/pup"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+func main() {
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether3Mb)
+	server := s.NewHost("server")
+	client := s.NewHost("client")
+	devS := pfdev.Attach(net.Attach(server, 2), nil, pfdev.Options{})
+	devC := pfdev.Attach(net.Attach(client, 1), nil, pfdev.Options{})
+
+	echoAddr := pup.PortAddr{Net: 1, Host: 2, Socket: 0x30}
+	fileAddr := pup.PortAddr{Net: 1, Host: 2, Socket: 0x31}
+
+	// A name server so clients need no configured addresses: they
+	// broadcast "where is echo?" on the well-known socket.
+	ns := pup.NewNameServer(devS, pup.PortAddr{Net: 1, Host: 2})
+	ns.Register("echo", echoAddr)
+	ns.Register("fileserver", fileAddr)
+	s.Spawn(server, "named", func(p *sim.Proc) { ns.Run(p, 300*time.Millisecond) })
+
+	// The file our "file server" hands out.
+	file := bytes.Repeat([]byte("the packet filter, 1987. "), 400) // ~10 KB
+
+	// Server host: an echo daemon and a BSP file receiver-printer,
+	// each a separate user process with its own filter.
+	s.Spawn(server, "echod", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devS, echoAddr, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		served := sock.EchoServer(p, 300*time.Millisecond)
+		fmt.Printf("echod: served %d echoes\n", served)
+	})
+	s.Spawn(server, "bspd", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devS, fileAddr, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rcv := pup.NewBSPReceiver(sock, pup.DefaultBSPConfig())
+		var got bytes.Buffer
+		for {
+			seg, err := rcv.Receive(p, 300*time.Millisecond)
+			if err != nil {
+				break
+			}
+			got.Write(seg)
+		}
+		fmt.Printf("bspd: received %d bytes, intact=%v\n",
+			got.Len(), bytes.Equal(got.Bytes(), file))
+	})
+
+	// Client host: ping, then send the file.
+	s.Spawn(client, "client", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devC, pup.PortAddr{Net: 1, Host: 1, Socket: 0x99}, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.Sleep(5 * time.Millisecond)
+
+		// Find the echo server by name rather than by address.
+		echoDst, err := pup.LookupName(p, sock, "echo", 30*time.Millisecond, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("name lookup: echo is at %s\n", echoDst)
+
+		for i := 0; i < 3; i++ {
+			rtt, err := sock.Echo(p, echoDst, []byte("ping"), 50*time.Millisecond, 3)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("echo %d: %.2f mSec round trip\n",
+				i+1, float64(rtt)/float64(time.Millisecond))
+		}
+
+		bspSock, err := pup.Open(p, devC, pup.PortAddr{Net: 1, Host: 1, Socket: 0x9A}, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snd := pup.NewBSPSender(bspSock, fileAddr, pup.DefaultBSPConfig())
+		t0 := p.Now()
+		if err := snd.Send(p, file); err != nil {
+			log.Fatal(err)
+		}
+		if err := snd.Close(p); err != nil {
+			log.Fatal(err)
+		}
+		elapsed := p.Now() - t0
+		fmt.Printf("bsp: sent %d bytes in %.1f mSec (%.0f KB/s), %d retransmissions\n",
+			len(file), float64(elapsed)/float64(time.Millisecond),
+			float64(len(file))/1024/(float64(elapsed)/float64(time.Second)),
+			snd.Retransmissions)
+	})
+
+	s.Run(5 * time.Second)
+	fmt.Printf("wire carried %d frames\n", net.FramesOnWire)
+}

@@ -1,0 +1,77 @@
+// Rarpboot replays the §5.3 case study: diskless workstations discover
+// their IP addresses at boot with the Reverse Address Resolution
+// Protocol, implemented as an ordinary user process over the packet
+// filter — no kernel modification, even though RARP sits *beside* IP
+// rather than above it.
+//
+// One server holds the hardware-to-IP table; three diskless
+// workstations broadcast reverse requests (one of them twice, because
+// the example drops its first request to show the retry path); a
+// fourth, unknown machine learns that no one will answer it.
+//
+//	go run ./examples/rarpboot
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/pfdev"
+	"repro/internal/rarp"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+func ip(a rarp.IPAddr) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+func main() {
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether10Mb)
+
+	// Lose the very first frame on the wire so one workstation
+	// exercises RFC 903's retry advice.
+	net.DropFn = func(i uint64, _ []byte) bool { return i == 1 }
+
+	serverHost := s.NewHost("rarpd-host")
+	serverNIC := net.Attach(serverHost, 0x5E)
+	serverDev := pfdev.Attach(serverNIC, nil, pfdev.Options{})
+
+	table := map[ethersim.Addr]rarp.IPAddr{
+		0x5E: 0x0A000001, // the server itself
+		0xA1: 0x0A000011,
+		0xA2: 0x0A000012,
+		0xA3: 0x0A000013,
+	}
+	srv := rarp.NewServer(serverDev, table)
+	s.Spawn(serverHost, "rarpd", func(p *sim.Proc) {
+		srv.Run(p, 150*time.Millisecond)
+	})
+
+	boot := func(name string, hw ethersim.Addr, delay time.Duration) {
+		h := s.NewHost(name)
+		dev := pfdev.Attach(net.Attach(h, hw), nil, pfdev.Options{})
+		s.Spawn(h, name, func(p *sim.Proc) {
+			p.Sleep(delay)
+			t0 := p.Now()
+			addr, err := rarp.Resolve(p, dev, 20*time.Millisecond, 4)
+			took := float64(p.Now()-t0) / float64(time.Millisecond)
+			if err != nil {
+				fmt.Printf("%s (hw %02x): boot failed after %.1f mSec: %v\n",
+					name, uint64(hw), took, err)
+				return
+			}
+			fmt.Printf("%s (hw %02x): I am %s (resolved in %.1f mSec)\n",
+				name, uint64(hw), ip(addr), took)
+		})
+	}
+	boot("ws-a", 0xA1, 2*time.Millisecond) // its first request is lost
+	boot("ws-b", 0xA2, 4*time.Millisecond)
+	boot("ws-c", 0xA3, 6*time.Millisecond)
+	boot("stranger", 0xEE, 8*time.Millisecond) // not in the table
+
+	s.Run(2 * time.Second)
+	fmt.Printf("rarpd served %d requests, ignored %d unknown\n", srv.Served, srv.Unknown)
+}

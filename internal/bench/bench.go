@@ -1,0 +1,202 @@
+// Package bench regenerates every table and figure in the paper's
+// evaluation (§2 figures, §3 figures, §6 tables) on the simulated
+// substrate.  Each experiment is a function returning a Table whose
+// rows mirror the paper's layout, annotated with the paper's published
+// values so EXPERIMENTS.md can show paper-vs-measured side by side.
+//
+// Absolute times are virtual milliseconds from the calibrated VAX-era
+// cost model (package vtime); the claims being validated are the
+// *shapes*: who wins, by what factor, and where crossovers fall.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/inet"
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+	"repro/internal/vmtp"
+	"repro/internal/vtime"
+)
+
+// Table is one regenerated paper table or figure.
+type Table struct {
+	ID      string // experiment id from DESIGN.md, e.g. "t6-2"
+	Title   string // the paper's caption
+	Columns []string
+	Rows    [][]string
+	Notes   []string // shape commentary, paper values, caveats
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### [%s] %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String()
+}
+
+// ms formats a duration as milliseconds with two decimals.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f mSec", float64(d)/float64(time.Millisecond))
+}
+
+// kbps formats a throughput in KB/s given bytes and elapsed time.
+func kbps(bytes int, elapsed time.Duration) string {
+	if elapsed <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.0f Kbytes/sec", rate(bytes, elapsed))
+}
+
+func rate(bytes int, elapsed time.Duration) float64 {
+	return float64(bytes) / 1024 / (float64(elapsed) / float64(time.Second))
+}
+
+// vKernelCosts models the V kernel: a message-passing system with
+// inexpensive processes and IPC, so its domain crossings and switches
+// cost a fraction of 4.3BSD's.  Network and protocol work is
+// unchanged.
+func vKernelCosts() vtime.Costs {
+	c := vtime.DefaultCosts()
+	c.CtxSwitch /= 2
+	c.Syscall /= 2
+	c.Wakeup /= 2
+	return c
+}
+
+// rig is a two-host network fixture: a traffic source/client host "A"
+// and an instrumented receiver/server host "B".
+type rig struct {
+	s      *sim.Sim
+	net    *ethersim.Network
+	hA, hB *sim.Host
+	nicA   *ethersim.NIC
+	nicB   *ethersim.NIC
+	devA   *pfdev.Device
+	devB   *pfdev.Device
+	stackA *inet.Stack
+	stackB *inet.Stack
+	vmtpA  *vmtp.KernelTransport
+	vmtpB  *vmtp.KernelTransport
+}
+
+// rigOptions selects which kernel subsystems each host gets.
+type rigOptions struct {
+	link       ethersim.LinkType
+	costs      vtime.Costs
+	inet       bool // kernel IP/UDP/TCP stacks
+	kernelVMTP bool // kernel VMTP engines
+	pf         pfdev.Options
+}
+
+func newRig(o rigOptions) *rig {
+	if o.costs == (vtime.Costs{}) {
+		o.costs = vtime.DefaultCosts()
+	}
+	s := sim.New(o.costs)
+	net := ethersim.New(s, o.link)
+	hA, hB := s.NewHost("A"), s.NewHost("B")
+	r := &rig{
+		s: s, net: net, hA: hA, hB: hB,
+		nicA: net.Attach(hA, 1),
+		nicB: net.Attach(hB, 2),
+	}
+	var kernA, kernB []pfdev.KernelProtocol
+	if o.inet {
+		r.stackA = inet.NewStack(r.nicA, 0x0A000001)
+		r.stackB = inet.NewStack(r.nicB, 0x0A000002)
+		r.stackA.AddARP(r.stackB.Addr(), r.nicB.Addr())
+		r.stackB.AddARP(r.stackA.Addr(), r.nicA.Addr())
+		kernA = append(kernA, r.stackA)
+		kernB = append(kernB, r.stackB)
+	}
+	if o.kernelVMTP {
+		r.vmtpA = vmtp.AttachKernel(r.nicA, vmtp.DefaultKernelConfig())
+		r.vmtpB = vmtp.AttachKernel(r.nicB, vmtp.DefaultKernelConfig())
+		kernA = append(kernA, r.vmtpA)
+		kernB = append(kernB, r.vmtpB)
+	}
+	r.devA = pfdev.Attach(r.nicA, pfdev.Chain(kernA...), o.pf)
+	r.devB = pfdev.Attach(r.nicB, pfdev.Chain(kernB...), o.pf)
+	return r
+}
+
+// All runs every experiment in DESIGN.md order.
+func All() []Table {
+	return []Table{
+		Fig21DemuxCounts(),
+		Fig23DomainCrossings(),
+		Fig34Batching(),
+		Table61Send(),
+		Table62VMTPSmall(),
+		Table63VMTPBulk(),
+		Table64Batching(),
+		Table65UserDemux(),
+		Table66Stream(),
+		Table67Telnet(),
+		Table68RecvCost(),
+		Table69RecvBatch(),
+		Table610FilterLen(),
+		Sec61Profile(),
+		Sec61LinearFit(),
+		Sec65BreakEven(),
+		AblationEvalModes(),
+		AblationShortCircuit(),
+		AblationPriorityOrder(),
+		AblationNIT(),
+		AblationWriteBatch(),
+		AblationGateway(),
+	}
+}

@@ -1,0 +1,396 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parseMS extracts the millisecond value from a "12.34 mSec" cell.
+func parseMS(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.Fields(cell)[0], 64)
+	if err != nil {
+		t.Fatalf("bad cell %q: %v", cell, err)
+	}
+	return v
+}
+
+// parseRate extracts the KB/s value from a "123 Kbytes/sec" cell.
+func parseRate(t *testing.T, cell string) float64 { return parseMS(t, cell) }
+
+// These tests assert the paper's *shapes*: who wins, by roughly what
+// factor, and where crossovers fall.  They are the reproduction's
+// regression suite — if a cost-model or protocol change breaks a
+// paper claim, one of these fails.
+
+func TestShapeTable62VMTPSmall(t *testing.T) {
+	tb := Table62VMTPSmall()
+	pf := parseMS(t, tb.Rows[0][1])
+	kern := parseMS(t, tb.Rows[1][1])
+	v := parseMS(t, tb.Rows[2][1])
+	ratio := pf / kern
+	if ratio < 1.5 || ratio > 3.5 {
+		t.Errorf("pf/kernel RTT ratio = %.2f, paper ~2", ratio)
+	}
+	// "the Unix kernel implementation of VMTP is quite close to the
+	// V kernel implementation"
+	if v > kern*1.3 || kern > v*1.8 {
+		t.Errorf("kernel %.2f vs V kernel %.2f not close", kern, v)
+	}
+}
+
+func TestShapeTable63VMTPBulk(t *testing.T) {
+	tb := Table63VMTPBulk()
+	pf := parseRate(t, tb.Rows[0][1])
+	kern := parseRate(t, tb.Rows[1][1])
+	tcp := parseRate(t, tb.Rows[3][1])
+	ratio := kern / pf
+	if ratio < 1.7 || ratio > 4.5 {
+		t.Errorf("kernel/pf bulk ratio = %.2f, paper ~3", ratio)
+	}
+	// TCP checksums all data: it lands below kernel VMTP but far
+	// above user-level VMTP.
+	if tcp <= pf {
+		t.Errorf("TCP %.0f not above user-level VMTP %.0f", tcp, pf)
+	}
+	if tcp > kern*1.3 {
+		t.Errorf("TCP %.0f unexpectedly above kernel VMTP %.0f", tcp, kern)
+	}
+}
+
+func TestShapeTable64Batching(t *testing.T) {
+	tb := Table64Batching()
+	with := parseRate(t, tb.Rows[0][1])
+	without := parseRate(t, tb.Rows[1][1])
+	if with <= without {
+		t.Errorf("batching did not help: %.0f vs %.0f KB/s", with, without)
+	}
+}
+
+func TestShapeTable65UserDemux(t *testing.T) {
+	tb := Table65UserDemux()
+	kRTT, kRate := parseMS(t, tb.Rows[0][1]), parseRate(t, tb.Rows[0][2])
+	uRTT, uRate := parseMS(t, tb.Rows[1][1]), parseRate(t, tb.Rows[1][2])
+	// "user-level demultiplexing has a small cost (20% greater
+	// latency) for short messages, but decreases bulk throughput by
+	// more than a factor of four" — we accept a factor of >=1.7.
+	if uRTT <= kRTT || uRTT > kRTT*1.6 {
+		t.Errorf("RTT: user %.2f vs kernel %.2f, want slightly larger", uRTT, kRTT)
+	}
+	if kRate < uRate*1.7 {
+		t.Errorf("bulk: kernel %.0f vs user %.0f, want large collapse", kRate, uRate)
+	}
+}
+
+func TestShapeTable66Stream(t *testing.T) {
+	tb := Table66Stream()
+	bsp := parseRate(t, tb.Rows[0][1])
+	tcp := parseRate(t, tb.Rows[1][1])
+	tcpSmall := parseRate(t, tb.Rows[2][1])
+	if tcp < bsp*2.5 {
+		t.Errorf("TCP %.0f not well above BSP %.0f (paper ~6x)", tcp, bsp)
+	}
+	// "if TCP is forced to use the smaller packet size, its
+	// performance is cut in half"
+	if tcpSmall > tcp*0.75 || tcpSmall < tcp*0.3 {
+		t.Errorf("small-packet TCP %.0f vs TCP %.0f, want roughly half", tcpSmall, tcp)
+	}
+	// After the correction, the remaining gap is the user-level
+	// cost: small-packet TCP still beats BSP.
+	if tcpSmall < bsp {
+		t.Errorf("small-packet TCP %.0f below BSP %.0f", tcpSmall, bsp)
+	}
+}
+
+func TestShapeTable67Telnet(t *testing.T) {
+	tb := Table67Telnet()
+	get := func(i int) float64 { return parseMS(t, tb.Rows[i][3]) }
+	bsp10, tcp10 := get(0), get(1)
+	bsp3, tcp3 := get(2), get(3)
+	// Fast display: both land well below the display maximum but in
+	// the same league as each other.
+	if bsp10 > float64(workstationCPS) || tcp10 > float64(workstationCPS) {
+		t.Errorf("10Mb rates exceed the display: %.0f/%.0f", bsp10, tcp10)
+	}
+	if bsp10 < tcp10*0.5 {
+		t.Errorf("BSP %.0f much slower than TCP %.0f on fast display", bsp10, tcp10)
+	}
+	// Terminal: "These output rates are clearly limited by the
+	// display terminal" — both near 960 cps, nearly equal.
+	for _, v := range []float64{bsp3, tcp3} {
+		if v < float64(terminalCPS)*0.85 || v > float64(terminalCPS) {
+			t.Errorf("terminal rate %.0f not display-limited (~%d)", v, terminalCPS)
+		}
+	}
+}
+
+func TestShapeTable68And69(t *testing.T) {
+	t8 := Table68RecvCost()
+	for i, size := range []string{"128", "1500"} {
+		k := parseMS(t, t8.Rows[i][1])
+		u := parseMS(t, t8.Rows[i][2])
+		if u < k*1.8 {
+			t.Errorf("%sB: user %.2f not well above kernel %.2f", size, u, k)
+		}
+	}
+	// Larger packets cost more (copying ~1 ms/KB).
+	if a, b := parseMS(t, t8.Rows[0][1]), parseMS(t, t8.Rows[1][1]); b <= a {
+		t.Errorf("1500B kernel cost %.2f not above 128B %.2f", b, a)
+	}
+
+	t9 := Table69RecvBatch()
+	// Batching reduces the kernel-demux cost at both sizes.
+	for i := range t9.Rows {
+		if b, nb := parseMS(t, t9.Rows[i][1]), parseMS(t, t8.Rows[i][1]); b >= nb {
+			t.Errorf("row %d: batching did not reduce kernel cost (%.2f vs %.2f)", i, b, nb)
+		}
+	}
+}
+
+func TestShapeTable610Linear(t *testing.T) {
+	tb := Table610FilterLen()
+	var xs, ys []float64
+	for _, row := range tb.Rows {
+		n, _ := strconv.Atoi(row[0])
+		xs = append(xs, float64(n))
+		ys = append(ys, parseMS(t, row[1]))
+	}
+	// Monotone increasing.
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1] {
+			t.Errorf("cost not monotone in filter length: %v", ys)
+		}
+	}
+	// Slope near the FilterInstr constant (28 µs): paper's is
+	// (2.5-1.9)/21 = 28.6 µs.
+	_, slope := leastSquares(xs, ys)
+	if slope < 0.015 || slope > 0.045 {
+		t.Errorf("slope = %.4f mSec/instr, want ~0.028", slope)
+	}
+}
+
+func TestShapeSec61(t *testing.T) {
+	tb := Sec61Profile()
+	pf := parseMS(t, tb.Rows[0][1])
+	ipFull := parseMS(t, tb.Rows[3][1])
+	ipOnly := parseMS(t, tb.Rows[4][1])
+	// "the kernel-resident IP layer is about three times faster than
+	// the packet filter at processing an average packet" (IP alone
+	// vs pf), while the full IP+transport path costs more than pf.
+	if pf < ipOnly*1.5 {
+		t.Errorf("pf %.2f not well above bare IP %.2f", pf, ipOnly)
+	}
+	if pf > ipFull {
+		t.Errorf("pf %.2f above full kernel transport %.2f", pf, ipFull)
+	}
+	// Predicate evaluation a large minority share (paper 41%).
+	share := parseMS(t, strings.TrimSuffix(tb.Rows[1][1], "%")+" x")
+	if share < 20 || share > 75 {
+		t.Errorf("filter share = %.0f%%, paper 41%%", share)
+	}
+}
+
+func TestShapeSec61Fit(t *testing.T) {
+	tb := Sec61LinearFit()
+	var xs, ys []float64
+	for _, row := range tb.Rows {
+		x, _ := strconv.ParseFloat(row[1], 64)
+		y, _ := strconv.ParseFloat(row[2], 64)
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	a, b := leastSquares(xs, ys)
+	if a < 0.3 || a > 1.5 {
+		t.Errorf("intercept %.2f, paper 0.8", a)
+	}
+	if b < 0.05 || b > 0.25 {
+		t.Errorf("slope %.3f, paper 0.122", b)
+	}
+}
+
+func TestShapeSec65BreakEven(t *testing.T) {
+	tb := Sec65BreakEven()
+	demux := parseMS(t, tb.Rows[0][1])
+	// With few filters, kernel filtering beats user demux; with
+	// many plain filters it crosses over (paper: ~20 processes).
+	firstPlain := parseMS(t, tb.Rows[0][2])
+	lastPlain := parseMS(t, tb.Rows[len(tb.Rows)-1][2])
+	if firstPlain >= demux {
+		t.Errorf("1 filter (%.2f) already above demux (%.2f)", firstPlain, demux)
+	}
+	if lastPlain <= demux {
+		t.Errorf("30 plain filters (%.2f) still below demux (%.2f): no crossover", lastPlain, demux)
+	}
+	// Short-circuit filters push the break-even further out: at
+	// every row they cost no more than plain ones.
+	for _, row := range tb.Rows[1:] {
+		if sc, plain := parseMS(t, row[3]), parseMS(t, row[2]); sc > plain {
+			t.Errorf("short-circuit (%.2f) above plain (%.2f) at %s filters", sc, plain, row[0])
+		}
+	}
+}
+
+func TestShapeFig21(t *testing.T) {
+	tb := Fig21DemuxCounts()
+	kSwitch := parseMS(t, tb.Rows[0][1])
+	uSwitch := parseMS(t, tb.Rows[1][1])
+	kSys := parseMS(t, tb.Rows[0][2])
+	uSys := parseMS(t, tb.Rows[1][2])
+	kCopy := parseMS(t, tb.Rows[0][3])
+	uCopy := parseMS(t, tb.Rows[1][3])
+	if uSwitch < kSwitch+0.9 {
+		t.Errorf("demux switches %.1f vs kernel %.1f: want >=1 more per packet", uSwitch, kSwitch)
+	}
+	if uSys < kSys+1.9 {
+		t.Errorf("demux syscalls %.1f vs kernel %.1f: want >=2 more", uSys, kSys)
+	}
+	if uCopy < kCopy+1.9 {
+		t.Errorf("demux copies %.1f vs kernel %.1f: want 2 more", uCopy, kCopy)
+	}
+}
+
+func TestShapeFig23(t *testing.T) {
+	tb := Fig23DomainCrossings()
+	user := parseMS(t, tb.Rows[0][1])
+	kern := parseMS(t, tb.Rows[1][1])
+	if kern*4 > user {
+		t.Errorf("kernel crossings %.0f not far below user %.0f", kern, user)
+	}
+}
+
+func TestShapeFig34(t *testing.T) {
+	tb := Fig34Batching()
+	noBatch := parseMS(t, tb.Rows[0][1])
+	batch := parseMS(t, tb.Rows[1][1])
+	if batch*2 > noBatch {
+		t.Errorf("batched syscalls/packet %.2f not well below %.2f", batch, noBatch)
+	}
+}
+
+func TestShapeTable61(t *testing.T) {
+	tb := Table61Send()
+	for i, size := range []string{"128", "1500"} {
+		pf := parseMS(t, tb.Rows[i][1])
+		udp := parseMS(t, tb.Rows[i][2])
+		if pf >= udp {
+			t.Errorf("%sB: pf send %.2f not below UDP %.2f", size, pf, udp)
+		}
+	}
+	if small, big := parseMS(t, tb.Rows[0][1]), parseMS(t, tb.Rows[1][1]); big <= small {
+		t.Errorf("send cost not growing with size: %.2f vs %.2f", small, big)
+	}
+}
+
+func TestShapeAblations(t *testing.T) {
+	ev := AblationEvalModes()
+	checked := parseMS(t, ev.Rows[0][1])
+	table := parseMS(t, ev.Rows[3][1])
+	if table >= checked {
+		t.Errorf("decision table (%.2f) not below checked interpretation (%.2f)", table, checked)
+	}
+	for i := 1; i < 3; i++ {
+		if v := parseMS(t, ev.Rows[i][1]); v > checked*1.02 {
+			t.Errorf("%s (%.2f) above checked (%.2f)", ev.Rows[i][0], v, checked)
+		}
+	}
+
+	sc := AblationShortCircuit()
+	if sc.Rows[1][1] != "2" {
+		t.Errorf("short-circuit miss = %s instrs, want 2", sc.Rows[1][1])
+	}
+	plainMiss, _ := strconv.Atoi(sc.Rows[0][1])
+	if plainMiss <= 2 {
+		t.Errorf("plain miss = %d instrs, want the whole program", plainMiss)
+	}
+
+	pr := AblationPriorityOrder()
+	uniform := parseMS(t, pr.Rows[0][1])
+	prio := parseMS(t, pr.Rows[1][1])
+	reord := parseMS(t, pr.Rows[2][1])
+	if prio >= uniform || reord >= uniform {
+		t.Errorf("ordering did not reduce filters applied: %.1f / %.1f vs %.1f",
+			prio, reord, uniform)
+	}
+}
+
+func TestShapeNITAndWriteBatch(t *testing.T) {
+	nit := AblationNIT()
+	pf := parseMS(t, nit.Rows[0][1])
+	tap := parseMS(t, nit.Rows[1][1])
+	if tap <= pf {
+		t.Errorf("NIT-style tap (%.2f) not above packet filter (%.2f)", tap, pf)
+	}
+
+	wb := AblationWriteBatch()
+	plain := parseMS(t, wb.Rows[0][1])
+	batched := parseMS(t, wb.Rows[1][1])
+	if batched >= plain {
+		t.Errorf("write batching did not help: %.2f vs %.2f", batched, plain)
+	}
+	if wb.Rows[1][2] != "1" || wb.Rows[1][3] != "1" {
+		t.Errorf("batched write used %s syscalls / %s copies", wb.Rows[1][2], wb.Rows[1][3])
+	}
+}
+
+func TestShapeGateway(t *testing.T) {
+	tb := AblationGateway()
+	same := parseMS(t, tb.Rows[0][1])
+	cross := parseMS(t, tb.Rows[1][1])
+	if cross <= same {
+		t.Errorf("gateway path (%.2f) not above direct path (%.2f)", cross, same)
+	}
+	if cross > 4*same {
+		t.Errorf("gateway overhead implausibly high: %.2f vs %.2f", cross, same)
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tb := Table{ID: "x", Title: "demo", Columns: []string{"a", "b"},
+		Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}}
+	md := tb.Markdown()
+	for _, want := range []string{"### [x] demo", "| a | b |", "| 1 | 2 |", "> n"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := Table{
+		ID: "x", Title: "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   []string{"n"},
+	}
+	s := tb.String()
+	for _, want := range []string{"[x] demo", "a", "bb", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	if kbps(1024, time.Second) != "1 Kbytes/sec" {
+		t.Errorf("kbps formatting: %s", kbps(1024, time.Second))
+	}
+	if kbps(1, 0) != "inf" {
+		t.Error("kbps zero-elapsed")
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	tables := All()
+	if len(tables) < 15 {
+		t.Fatalf("only %d experiments", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tb := range tables {
+		if tb.ID == "" || len(tb.Rows) == 0 {
+			t.Errorf("experiment %q has no rows", tb.Title)
+		}
+		if seen[tb.ID] {
+			t.Errorf("duplicate experiment id %s", tb.ID)
+		}
+		seen[tb.ID] = true
+	}
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/pfdev"
+	"repro/internal/pup"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+// AblationGateway measures the cost of Pup internetwork routing
+// through a user-level gateway: the echo round-trip on one segment
+// versus across two segments.  The delta is two traversals of a
+// gateway whose forwarding path is receive-through-the-packet-filter,
+// user-level decision, retransmit — a direct application of the
+// paper's cost model to a routing daemon.
+func AblationGateway() Table {
+	t := Table{
+		ID:      "abl-gw",
+		Title:   "Ablation: user-level internetwork routing (Pup echo RTT)",
+		Columns: []string{"Path", "round trip"},
+		Notes: []string{
+			"the cross-network delta is two user-level gateway traversals (4 extra packet-filter deliveries per round trip)",
+		},
+	}
+	same := gatewayEcho(false)
+	cross := gatewayEcho(true)
+	t.Rows = append(t.Rows,
+		[]string{"same segment", ms(same)},
+		[]string{"across a gateway", ms(cross)})
+	return t
+}
+
+// gatewayEcho measures an echo RTT either within net 1 or from net 1
+// to net 2 through a gateway.
+func gatewayEcho(cross bool) time.Duration {
+	s := sim.New(vtime.DefaultCosts())
+	net1 := ethersim.New(s, ethersim.Ether10Mb)
+	net2 := ethersim.New(s, ethersim.Ether10Mb)
+	client := s.NewHost("client")
+	server := s.NewHost("server")
+	gwHost := s.NewHost("gw")
+
+	devClient := pfdev.Attach(net1.Attach(client, 0x0A), nil, pfdev.Options{})
+	serverNet := net1
+	serverNetNum := uint8(1)
+	if cross {
+		serverNet = net2
+		serverNetNum = 2
+	}
+	devServer := pfdev.Attach(serverNet.Attach(server, 0x0B), nil, pfdev.Options{})
+
+	gw := pup.NewGateway(
+		pup.GatewayPort{Dev: pfdev.Attach(net1.Attach(gwHost, 0x7E), nil, pfdev.Options{}), Net: 1},
+		pup.GatewayPort{Dev: pfdev.Attach(net2.Attach(gwHost, 0x7F), nil, pfdev.Options{}), Net: 2},
+	)
+	s.Spawn(gwHost, "gw", func(p *sim.Proc) { gw.Run(p, 200*time.Millisecond) })
+
+	serverAddr := pup.PortAddr{Net: serverNetNum, Host: 0x0B, Socket: 0x30}
+	s.Spawn(server, "echod", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devServer, serverAddr, 10)
+		if err != nil {
+			return
+		}
+		sock.Gateway = 0x7F
+		sock.EchoServer(p, 150*time.Millisecond)
+	})
+
+	var rtt time.Duration
+	s.Spawn(client, "client", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devClient, pup.PortAddr{Net: 1, Host: 0x0A, Socket: 0x99}, 10)
+		if err != nil {
+			return
+		}
+		sock.Gateway = 0x7E
+		p.Sleep(15 * time.Millisecond)
+		sock.Echo(p, serverAddr, []byte("x"), 80*time.Millisecond, 2) // warm-up
+		const calls = 20
+		t0 := p.Now()
+		for i := 0; i < calls; i++ {
+			sock.Echo(p, serverAddr, []byte("x"), 80*time.Millisecond, 2)
+		}
+		rtt = (p.Now() - t0) / calls
+	})
+	s.Run(5 * time.Second)
+	return rtt
+}

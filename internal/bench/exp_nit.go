@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/demux"
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/pup"
+	"repro/internal/sim"
+)
+
+// AblationNIT contrasts the packet filter with a NIT-style tap.  §5.4
+// notes that Sun's Network Interface Tap "is similar to the packet
+// filter but only allows filtering on a single packet field!" — so a
+// host running eight Pup streams either demultiplexes all eight in the
+// kernel (packet filter) or takes every Pup packet through one
+// type-field tap and sub-demultiplexes by socket in a user process,
+// paying figure 2-1's pipe costs.
+func AblationNIT() Table {
+	t := Table{
+		ID:      "abl-nit",
+		Title:   "Ablation: arbitrary predicates vs a single-field tap (8 Pup streams)",
+		Columns: []string{"Demultiplexer", "elapsed per packet"},
+		Notes: []string{
+			"a single-field (NIT-style) tap cannot separate sockets, forcing a user-level sub-demultiplexer; " +
+				"the packet filter's arbitrary predicates keep the whole job in the kernel",
+		},
+	}
+	pf := measureNIT(false)
+	nit := measureNIT(true)
+	t.Rows = append(t.Rows,
+		[]string{"packet filter (per-socket kernel filters)", ms(pf)},
+		[]string{"NIT-style tap + user sub-demux", ms(nit)})
+	return t
+}
+
+// measureNIT drives Pup traffic round-robin over 8 sockets and
+// measures per-packet delivery cost to the destination processes.
+func measureNIT(nitStyle bool) time.Duration {
+	r := newRig(rigOptions{link: ethersim.Ether3Mb})
+	const nSockets = 8
+	const count = 64
+	received := 0
+	var t0, t1 time.Duration
+	bump := func(p *sim.Proc) {
+		received++
+		t1 = p.Now()
+	}
+
+	if nitStyle {
+		// One type-field tap; a user process sub-demultiplexes by
+		// socket and forwards through pipes.
+		d := demux.New(r.devB, demux.Config{Batch: true, PipeCap: 2 * count,
+			DecisionCPU: 30 * time.Microsecond})
+		for i := 0; i < nSockets; i++ {
+			sock := uint32(0x100 + i)
+			client := d.Register(func(frame []byte) bool {
+				_, _, _, payload, err := ethersim.Ether3Mb.Decode(frame)
+				if err != nil {
+					return false
+				}
+				pkt, err := pup.Unmarshal(payload)
+				return err == nil && pkt.Dst.Socket == sock
+			})
+			r.s.Spawn(r.hB, fmt.Sprintf("dst-%d", i), func(p *sim.Proc) {
+				for {
+					client.Recv(p)
+					bump(p)
+				}
+			})
+		}
+		// The tap's one allowed field: the Ethernet type word.
+		tap := filter.Filter{Priority: 10,
+			Program: filter.NewBuilder().
+				WordEQ(ethersim.Ether3Mb.TypeWord(), ethersim.EtherTypePup3Mb).
+				MustProgram()}
+		r.s.Spawn(r.hB, "nit-demux", func(p *sim.Proc) {
+			d.Run(p, tap, 300*time.Millisecond)
+		})
+	} else {
+		for i := 0; i < nSockets; i++ {
+			sock := uint32(0x100 + i)
+			r.s.Spawn(r.hB, fmt.Sprintf("dst-%d", i), func(p *sim.Proc) {
+				s, err := pup.Open(p, r.devB,
+					pup.PortAddr{Net: 1, Host: 2, Socket: sock}, 10)
+				if err != nil {
+					return
+				}
+				s.Batch = true
+				s.SetTimeout(p, 300*time.Millisecond)
+				for {
+					if _, err := s.Recv(p); err != nil {
+						return
+					}
+					bump(p)
+				}
+			})
+		}
+	}
+
+	r.s.Spawn(r.hA, "src", func(p *sim.Proc) {
+		p.Sleep(40 * time.Millisecond)
+		t0 = p.Now()
+		for i := 0; i < count; i++ {
+			pkt := pup.Packet{Type: 1,
+				Dst: pup.PortAddr{Net: 1, Host: 2, Socket: uint32(0x100 + i%nSockets)}}
+			payload, _ := pkt.Marshal()
+			r.nicA.Transmit(ethersim.Ether3Mb.Encode(2, 1, ethersim.EtherTypePup3Mb, payload))
+			p.Sleep(2 * time.Millisecond)
+		}
+	})
+	r.s.Run(3 * time.Second)
+	if received == 0 {
+		return 0
+	}
+	return (t1 - t0) / time.Duration(received)
+}
+
+// AblationWriteBatch measures §7's write-batching proposal: sending 32
+// small packets one write at a time versus one batched write.
+func AblationWriteBatch() Table {
+	t := Table{
+		ID:      "abl-wbatch",
+		Title:   "Ablation: write batching (32 x 128-byte sends)",
+		Columns: []string{"Mode", "elapsed per packet", "syscalls", "copies"},
+		Notes: []string{
+			"§7: \"a write-batching option (to send several packets in one system call) might also improve performance\"",
+		},
+	}
+	for _, batched := range []bool{false, true} {
+		per, sys, copies := measureWriteBatch(batched)
+		name := "per-packet writes"
+		if batched {
+			name = "one batched write"
+		}
+		t.Rows = append(t.Rows, []string{name, ms(per),
+			fmt.Sprintf("%d", sys), fmt.Sprintf("%d", copies)})
+	}
+	return t
+}
+
+func measureWriteBatch(batched bool) (per time.Duration, syscalls, copies uint64) {
+	r := newRig(rigOptions{link: ethersim.Ether10Mb})
+	const count = 32
+	frame := ethersim.Ether10Mb.Encode(2, 1, testEtherType, make([]byte, 114))
+	var elapsed time.Duration
+	var c0 = r.hA.Counters
+	r.s.Spawn(r.hA, "sender", func(p *sim.Proc) {
+		port := r.devA.Open(p)
+		port.SetFilter(p, filter.Filter{Priority: 1,
+			Program: filter.NewBuilder().RejectAll().MustProgram()})
+		c0 = r.hA.Counters
+		t0 := p.Now()
+		if batched {
+			frames := make([][]byte, count)
+			for i := range frames {
+				frames[i] = frame
+			}
+			port.WriteBatch(p, frames)
+		} else {
+			for i := 0; i < count; i++ {
+				port.Write(p, frame)
+			}
+		}
+		elapsed = p.Now() - t0
+	})
+	r.s.Run(2 * time.Second)
+	d := r.hA.Counters.Sub(c0)
+	return elapsed / count, d.Syscalls, d.Copies
+}

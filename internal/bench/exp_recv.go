@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/demux"
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+// testEtherType tags the synthetic measurement traffic.
+const testEtherType = 0x0101
+
+// typeFilter matches the measurement traffic (one field test — "it
+// usually takes two or three filter instructions to test one packet
+// field").
+func typeFilter(link ethersim.LinkType, prio uint8) filter.Filter {
+	return filter.Filter{
+		Priority: prio,
+		Program: filter.NewBuilder().
+			WordEQ(link.TypeWord(), testEtherType).MustProgram(),
+	}
+}
+
+// recvSetup parameterizes one receive-cost measurement.
+type recvSetup struct {
+	size     int           // total frame size in bytes
+	count    int           // packets to measure over
+	gap      time.Duration // sender inter-packet gap
+	batch    bool          // batched port reads
+	userProc bool          // demultiplex in a user process (fig. 2-1)
+	prog     filter.Program
+	mode     pfdev.EvalMode
+	spinner  bool // an unrelated CPU-bound process shares host B
+}
+
+// recvResult reports per-packet receive cost and the receiver host's
+// counters for the measured window.
+type recvResult struct {
+	perPacket time.Duration
+	received  int
+	counters  vtime.Counters
+}
+
+// measureRecv drives size-byte frames at host B and measures the
+// steady-state elapsed time per received packet at the destination
+// process, under kernel (packet filter) or user-process
+// demultiplexing.
+func measureRecv(cfg recvSetup) recvResult {
+	r := newRig(rigOptions{link: ethersim.Ether10Mb})
+	if cfg.prog == nil {
+		cfg.prog = typeFilter(ethersim.Ether10Mb, 10).Program
+	}
+	if cfg.count == 0 {
+		cfg.count = 60
+	}
+	if cfg.gap == 0 {
+		cfg.gap = 500 * time.Microsecond
+	}
+	r.nicB.QueueLimit = 4 * cfg.count
+
+	var res recvResult
+	var t0, t1 time.Duration
+	var c0 vtime.Counters
+
+	// The clock runs from the first frame on the wire to the last
+	// completed read, so a backlog drained in cheap batches cannot
+	// fake a low per-packet cost.
+	recordLast := func(p *sim.Proc) { t1 = p.Now() }
+
+	if cfg.userProc {
+		d := demux.New(r.devB, demux.Config{Batch: cfg.batch, PipeCap: 4 * cfg.count})
+		client := d.Register(func(frame []byte) bool {
+			_, _, typ, _, err := ethersim.Ether10Mb.Decode(frame)
+			return err == nil && typ == testEtherType
+		})
+		r.s.Spawn(r.hB, "demux", func(p *sim.Proc) {
+			d.Run(p, filter.Filter{Priority: 10, Program: cfg.prog}, 300*time.Millisecond)
+		})
+		r.s.Spawn(r.hB, "dest", func(p *sim.Proc) {
+			for res.received < cfg.count {
+				client.Recv(p)
+				res.received++
+				recordLast(p)
+			}
+		})
+	} else {
+		r.devB = pfdev.Attach(r.nicB, nil, pfdev.Options{Mode: cfg.mode})
+		r.s.Spawn(r.hB, "dest", func(p *sim.Proc) {
+			port := r.devB.Open(p)
+			port.SetFilter(p, filter.Filter{Priority: 10, Program: cfg.prog})
+			port.SetQueueLimit(p, 4*cfg.count)
+			port.SetTimeout(p, 300*time.Millisecond)
+			for res.received < cfg.count {
+				if cfg.batch {
+					batch, err := port.ReadBatch(p)
+					if err != nil {
+						return
+					}
+					res.received += len(batch)
+				} else {
+					if _, err := port.Read(p); err != nil {
+						return
+					}
+					res.received++
+				}
+				recordLast(p)
+			}
+		})
+	}
+	if cfg.spinner {
+		r.s.Spawn(r.hB, "spinner", func(p *sim.Proc) {
+			for i := 0; i < 100000; i++ {
+				p.Consume(200 * time.Microsecond)
+			}
+		})
+	}
+
+	r.s.Spawn(r.hA, "src", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond) // let host B finish its ioctls
+		t0 = p.Now()
+		c0 = r.hB.Counters
+		frame := ethersim.Ether10Mb.Encode(2, 1, testEtherType,
+			make([]byte, cfg.size-ethersim.Ether10Mb.HeaderLen()))
+		for i := 0; i < cfg.count; i++ {
+			r.nicA.Transmit(frame)
+			p.Sleep(cfg.gap)
+		}
+	})
+	r.s.Run(2 * time.Second)
+
+	if res.received > 0 {
+		res.perPacket = (t1 - t0) / time.Duration(res.received)
+	}
+	res.counters = r.hB.Counters.Sub(c0)
+	return res
+}
+
+// Table68RecvCost reproduces table 6-8: "Per-packet cost of user-level
+// demultiplexing" (no batching).
+func Table68RecvCost() Table {
+	t := Table{
+		ID:      "t6-8",
+		Title:   "Per-packet cost of user-level demultiplexing",
+		Columns: []string{"Packet size", "kernel demux", "user process"},
+		Notes: []string{
+			"paper: 128B 2.3 vs 5.0 mSec; 1500B 4.0 vs 9.0 mSec",
+			"shape: user-process demultiplexing costs several extra copies/switches per packet, growing with size",
+		},
+	}
+	for _, size := range []int{128, 1500} {
+		gap := 500 * time.Microsecond
+		if size == 1500 {
+			gap = 1500 * time.Microsecond
+		}
+		k := measureRecv(recvSetup{size: size, gap: gap})
+		u := measureRecv(recvSetup{size: size, gap: gap, userProc: true})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d bytes", size), ms(k.perPacket), ms(u.perPacket),
+		})
+	}
+	return t
+}
+
+// Table69RecvBatch reproduces table 6-9: the same measurement with
+// received-packet batching.
+func Table69RecvBatch() Table {
+	t := Table{
+		ID:      "t6-9",
+		Title:   "Per-packet cost of user-level demultiplexing with received-packet batching",
+		Columns: []string{"Packet size", "kernel demux", "user process"},
+		Notes: []string{
+			"paper: 128B 1.9 vs 2.4 mSec; 1500B 3.5 vs 5.9 mSec",
+			"shape: batching narrows but does not close the gap",
+		},
+	}
+	for _, size := range []int{128, 1500} {
+		gap := 500 * time.Microsecond
+		if size == 1500 {
+			gap = 1500 * time.Microsecond
+		}
+		k := measureRecv(recvSetup{size: size, gap: gap, batch: true})
+		u := measureRecv(recvSetup{size: size, gap: gap, batch: true, userProc: true})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d bytes", size), ms(k.perPacket), ms(u.perPacket),
+		})
+	}
+	return t
+}
+
+// lengthFilter builds an always-true program of exactly n instruction
+// words: PUSHONE followed by alternating PUSHONE and OR words.
+func lengthFilter(n int) filter.Program {
+	if n == 0 {
+		return filter.Program{} // the empty filter accepts everything
+	}
+	b := filter.NewBuilder().PushOne()
+	for i := 1; i < n; i++ {
+		if i%2 == 1 {
+			b.PushOne()
+		} else {
+			b.Or()
+		}
+	}
+	p := b.MustProgram()
+	if len(p) != n {
+		panic("lengthFilter: wrong length")
+	}
+	return p
+}
+
+// Table610FilterLen reproduces table 6-10: "Cost of interpreting
+// packet filters" at lengths 0, 1, 9 and 21 instructions (batching
+// enabled, 128-byte packets).
+func Table610FilterLen() Table {
+	t := Table{
+		ID:      "t6-10",
+		Title:   "Cost of interpreting packet filters",
+		Columns: []string{"Filter length (instructions)", "Elapsed time per packet"},
+		Notes: []string{
+			"paper: 0/1/9/21 instructions cost 1.9/2.0/2.2/2.5 mSec",
+			"shape: cost linear in filter length with a slope of ~30 µSec per instruction",
+		},
+	}
+	for _, n := range []int{0, 1, 9, 21} {
+		res := measureRecv(recvSetup{size: 128, batch: true, prog: lengthFilter(n)})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n), ms(res.perPacket),
+		})
+	}
+	return t
+}
+
+// Fig21DemuxCounts reproduces figures 2-1/2-2: the per-packet system
+// call, context switch and copy counts under the two demultiplexing
+// schemes, measured with paced traffic so the destination blocks for
+// each packet (the paper's worst case).
+func Fig21DemuxCounts() Table {
+	t := Table{
+		ID:    "fig2-1/2-2",
+		Title: "Costs of demultiplexing in a user process vs in the kernel (per received packet)",
+		Columns: []string{"Mechanism", "context switches", "system calls",
+			"kernel/user copies"},
+		Notes: []string{
+			"paper (analytical, §6.5.1): user demux adds >=2 switches, >=2 syscalls and 2 copies per packet",
+		},
+	}
+	for _, user := range []bool{false, true} {
+		res := measureRecv(recvSetup{size: 128, gap: 5 * time.Millisecond,
+			count: 20, userProc: user})
+		name := "packet filter (kernel demux)"
+		if user {
+			name = "user-level demux process"
+		}
+		per := func(v uint64) string {
+			return fmt.Sprintf("%.1f", float64(v)/float64(res.received))
+		}
+		t.Rows = append(t.Rows, []string{
+			name, per(res.counters.ContextSwitches),
+			per(res.counters.Syscalls), per(res.counters.Copies),
+		})
+	}
+	return t
+}
+
+// Fig34Batching reproduces figures 3-4/3-5: system calls per packet
+// without and with received-packet batching, for an 8-packet burst.
+func Fig34Batching() Table {
+	t := Table{
+		ID:      "fig3-4/3-5",
+		Title:   "Delivery without and with received-packet batching (8-packet burst)",
+		Columns: []string{"Mode", "system calls per packet", "copies per packet"},
+		Notes: []string{
+			"shape: batching amortizes one system call and one copy over the whole burst",
+		},
+	}
+	for _, batch := range []bool{false, true} {
+		res := measureRecv(recvSetup{size: 128, gap: 100 * time.Microsecond,
+			count: 8, batch: batch})
+		name := "per-packet reads (fig 3-4)"
+		if batch {
+			name = "batched reads (fig 3-5)"
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.2f", float64(res.counters.Syscalls)/float64(res.received)),
+			fmt.Sprintf("%.2f", float64(res.counters.Copies)/float64(res.received)),
+		})
+	}
+	return t
+}

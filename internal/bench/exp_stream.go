@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/inet"
+	"repro/internal/pup"
+	"repro/internal/rterm"
+	"repro/internal/sim"
+)
+
+// runTCPBulk transfers size bytes through the kernel TCP stack and
+// returns the receiver-side rate in KB/s.
+func runTCPBulk(link ethersim.LinkType, mss, size int) float64 {
+	r := newRig(rigOptions{link: link, inet: true})
+	cfg := inet.DefaultTCPConfig()
+	cfg.MSS = mss
+
+	var out float64
+	r.s.Spawn(r.hB, "server", func(p *sim.Proc) {
+		l, err := r.stackB.TCPListen(p, 80, cfg)
+		if err != nil {
+			return
+		}
+		c, err := l.Accept(p, 5*time.Second)
+		if err != nil {
+			return
+		}
+		c.SetTimeout(5 * time.Second)
+		t0 := p.Now()
+		got := 0
+		for got < size {
+			chunk, err := c.Read(p, 0)
+			if err != nil {
+				return
+			}
+			got += len(chunk)
+		}
+		out = rate(got, p.Now()-t0)
+	})
+	r.s.Spawn(r.hA, "client", func(p *sim.Proc) {
+		p.Sleep(2 * time.Millisecond)
+		c, err := r.stackA.TCPDial(p, r.stackB.Addr(), 80, 2000, cfg)
+		if err != nil {
+			return
+		}
+		data := make([]byte, 16*1024)
+		for sent := 0; sent < size; sent += len(data) {
+			if c.Write(p, data) != nil {
+				return
+			}
+		}
+		c.Close(p)
+	})
+	r.s.Run(2 * time.Minute)
+	return out
+}
+
+// runBSPBulk transfers size bytes through the user-level BSP
+// implementation and returns the receiver-side rate in KB/s.
+func runBSPBulk(link ethersim.LinkType, segSize, size int) float64 {
+	r := newRig(rigOptions{link: link})
+	cfg := pup.DefaultBSPConfig()
+	cfg.SegSize = segSize
+
+	srvAddr := pup.PortAddr{Net: 1, Host: 2, Socket: 0x200}
+	cliAddr := pup.PortAddr{Net: 1, Host: 1, Socket: 0x100}
+	var out float64
+
+	r.s.Spawn(r.hB, "recv", func(p *sim.Proc) {
+		sock, err := pup.Open(p, r.devB, srvAddr, 10)
+		if err != nil {
+			return
+		}
+		sock.Batch = true
+		rcv := pup.NewBSPReceiver(sock, cfg)
+		got := 0
+		var t0 time.Duration
+		for {
+			seg, err := rcv.Receive(p, time.Second)
+			if err != nil {
+				return
+			}
+			if got == 0 {
+				t0 = p.Now()
+			}
+			got += len(seg)
+			if got >= size {
+				out = rate(got, p.Now()-t0)
+				return
+			}
+		}
+	})
+	r.s.Spawn(r.hA, "send", func(p *sim.Proc) {
+		sock, err := pup.Open(p, r.devA, cliAddr, 10)
+		if err != nil {
+			return
+		}
+		sock.Batch = true
+		p.Sleep(5 * time.Millisecond)
+		snd := pup.NewBSPSender(sock, srvAddr, cfg)
+		data := make([]byte, 16*1024)
+		for sent := 0; sent < size+16*1024; sent += len(data) {
+			if snd.Send(p, data) != nil {
+				return
+			}
+		}
+	})
+	r.s.Run(2 * time.Minute)
+	return out
+}
+
+// Table66Stream reproduces table 6-6: BSP (user level, 568-byte
+// packets) against kernel TCP (1078-byte packets), with the
+// packet-size correction the paper applies.
+func Table66Stream() Table {
+	const size = 192 * 1024
+	t := Table{
+		ID:      "t6-6",
+		Title:   "Relative performance of stream protocol implementations",
+		Columns: []string{"Implementation", "Rate"},
+		Notes: []string{
+			"paper: packet filter BSP 38, Unix kernel TCP 222 KB/s (~6x); TCP forced to small packets is cut in half, leaving ~3x attributable to user-level implementation",
+		},
+	}
+	bsp := runBSPBulk(ethersim.Ether10Mb, 0, size) // default 546-byte segments
+	tcp := runTCPBulk(ethersim.Ether10Mb, 1024, size)
+	tcpSmall := runTCPBulk(ethersim.Ether10Mb, 512, size)
+	t.Rows = append(t.Rows,
+		[]string{"Packet filter BSP", fmt.Sprintf("%.0f Kbytes/sec", bsp)},
+		[]string{"Unix kernel TCP", fmt.Sprintf("%.0f Kbytes/sec", tcp)},
+		[]string{"Unix kernel TCP (forced 512-byte segments)", fmt.Sprintf("%.0f Kbytes/sec", tcpSmall)})
+	return t
+}
+
+// displayRates for table 6-7: an MC68010 workstation display and a
+// 9600-baud terminal.
+const (
+	workstationCPS = 3350
+	terminalCPS    = 960
+)
+
+// runTelnet measures a remote-terminal character stream via package
+// rterm: the server prints characters, the client displays them at the
+// sink's rate.  proto is "bsp" or "tcp".  Returns chars/sec delivered.
+func runTelnet(link ethersim.LinkType, proto string, displayCPS int) float64 {
+	const chars = 4000
+	r := newRig(rigOptions{link: link, inet: proto == "tcp"})
+	d := &rterm.Display{CPS: displayCPS}
+	var out float64
+
+	if proto == "tcp" {
+		cfg := inet.DefaultTCPConfig()
+		cfg.MSS = 256 // character traffic; segments stay small anyway
+		r.s.Spawn(r.hB, "user", func(p *sim.Proc) {
+			l, _ := r.stackB.TCPListen(p, 23, cfg)
+			c, err := l.Accept(p, 5*time.Second)
+			if err != nil {
+				return
+			}
+			out = rterm.View(p, &rterm.TCPStream{Conn: c}, d, chars, 5*time.Second)
+		})
+		r.s.Spawn(r.hA, "server", func(p *sim.Proc) {
+			p.Sleep(2 * time.Millisecond)
+			c, err := r.stackA.TCPDial(p, r.stackB.Addr(), 23, 2000, cfg)
+			if err != nil {
+				return
+			}
+			rterm.Serve(p, &rterm.TCPStream{Conn: c}, chars+256, rterm.DefaultServerConfig())
+			c.Close(p)
+		})
+	} else {
+		cfg := pup.DefaultBSPConfig()
+		cfg.SegSize = 64
+		srvAddr := pup.PortAddr{Net: 1, Host: 2, Socket: 0x200}
+		r.s.Spawn(r.hB, "user", func(p *sim.Proc) {
+			sock, _ := pup.Open(p, r.devB, srvAddr, 10)
+			out = rterm.View(p, rterm.NewBSPUserStream(sock, cfg), d, chars, 5*time.Second)
+		})
+		r.s.Spawn(r.hA, "server", func(p *sim.Proc) {
+			sock, _ := pup.Open(p, r.devA, pup.PortAddr{Net: 1, Host: 1, Socket: 0x100}, 10)
+			p.Sleep(5 * time.Millisecond)
+			rterm.Serve(p, rterm.NewBSPServerStream(sock, srvAddr, cfg),
+				chars+64, rterm.DefaultServerConfig())
+		})
+	}
+	r.s.Run(2 * time.Minute)
+	return out
+}
+
+// Table67Telnet reproduces table 6-7: Telnet output rates for BSP and
+// TCP on both network speeds and both display sinks.
+func Table67Telnet() Table {
+	t := Table{
+		ID:      "t6-7",
+		Title:   "Relative performance of Telnet",
+		Columns: []string{"Telnet protocol", "Network", "Display", "Output rate (chars/sec)"},
+		Notes: []string{
+			"paper: 10Mb/workstation BSP 1635 vs TCP 1757; 3Mb/terminal BSP 878 vs TCP 933",
+			"shape: output rates are display-limited; BSP and TCP differ only slightly",
+		},
+	}
+	type cfg struct {
+		link ethersim.LinkType
+		cps  int
+		name string
+	}
+	for _, c := range []cfg{
+		{ethersim.Ether10Mb, workstationCPS, "workstation"},
+		{ethersim.Ether3Mb, terminalCPS, "9600-baud terminal"},
+	} {
+		for _, proto := range []string{"bsp", "tcp"} {
+			got := runTelnet(c.link, proto, c.cps)
+			name := "Pup/BSP"
+			if proto == "tcp" {
+				name = "IP/TCP"
+			}
+			t.Rows = append(t.Rows, []string{
+				name, c.link.String(), c.name, fmt.Sprintf("%.0f", got),
+			})
+		}
+	}
+	return t
+}

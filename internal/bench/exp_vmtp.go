@@ -1,0 +1,383 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/demux"
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/sim"
+	"repro/internal/vmtp"
+	"repro/internal/vtime"
+)
+
+const (
+	vmtpServerPort = 500
+	vmtpClientPort = 600
+	bulkChunk      = 16 * 1024  // bytes per bulk transaction ("reading the same segment of a file")
+	bulkTotal      = 512 * 1024 // "In each trial about 1 Mb was transferred" (bits)
+	smallCalls     = 30
+)
+
+// vmtpEngine selects an implementation for the comparisons of §6.3.
+type vmtpEngine int
+
+const (
+	engUser vmtpEngine = iota
+	engUserNoBatch
+	engKernel
+	engVKernel // kernel engine under V-kernel cost constants
+	engUserViaDemux
+)
+
+func (e vmtpEngine) String() string {
+	switch e {
+	case engUser:
+		return "Packet filter"
+	case engUserNoBatch:
+		return "Packet filter (no batching)"
+	case engKernel:
+		return "Unix kernel"
+	case engVKernel:
+		return "V kernel"
+	default:
+		return "Packet filter + user demux"
+	}
+}
+
+// vmtpRun measures one engine: the minimal-transaction round-trip time
+// and the bulk-transfer rate.
+type vmtpRun struct {
+	rtt  time.Duration
+	rate float64 // KB/s
+}
+
+func runVMTP(e vmtpEngine, doBulk bool) vmtpRun {
+	costs := vtime.DefaultCosts()
+	if e == engVKernel {
+		costs = vKernelCosts()
+	}
+	r := newRig(rigOptions{link: ethersim.Ether10Mb, costs: costs,
+		kernelVMTP: e == engKernel || e == engVKernel})
+
+	blob := make([]byte, bulkChunk)
+	handler := func(op uint16, req []byte) []byte {
+		if op == 2 {
+			return blob
+		}
+		return nil
+	}
+
+	var out vmtpRun
+	done := false
+
+	// Server.
+	switch e {
+	case engKernel, engVKernel:
+		r.s.Spawn(r.hB, "server", func(p *sim.Proc) {
+			svc := r.vmtpB.Register(p, vmtpServerPort)
+			svc.Serve(p, handler, 500*time.Millisecond)
+		})
+	default:
+		r.s.Spawn(r.hB, "server", func(p *sim.Proc) {
+			cfg := vmtp.DefaultUserConfig()
+			cfg.Batch = e != engUserNoBatch
+			ep, err := vmtp.NewUserEndpoint(p, r.devB, vmtpServerPort, cfg)
+			if err != nil {
+				return
+			}
+			ep.Serve(p, handler, 500*time.Millisecond)
+		})
+	}
+
+	// Client: a warm-up call, then the timed small calls, then bulk.
+	measure := func(p *sim.Proc, call func() error) {
+		call() // warm-up
+		t0 := p.Now()
+		for i := 0; i < smallCalls; i++ {
+			if call() != nil {
+				return
+			}
+		}
+		out.rtt = (p.Now() - t0) / smallCalls
+		done = true
+	}
+	measureBulk := func(p *sim.Proc, call func() (int, error)) {
+		t0 := p.Now()
+		total := 0
+		for total < bulkTotal {
+			n, err := call()
+			if err != nil || n == 0 {
+				return
+			}
+			total += n
+		}
+		out.rate = rate(total, p.Now()-t0)
+	}
+
+	switch e {
+	case engKernel, engVKernel:
+		r.s.Spawn(r.hA, "client", func(p *sim.Proc) {
+			p.Sleep(5 * time.Millisecond)
+			measure(p, func() error {
+				_, err := r.vmtpA.Call(p, r.nicB.Addr(), vmtpServerPort, 0, nil, vmtpClientPort)
+				return err
+			})
+			if doBulk {
+				measureBulk(p, func() (int, error) {
+					resp, err := r.vmtpA.Call(p, r.nicB.Addr(), vmtpServerPort, 2, nil, vmtpClientPort)
+					return len(resp), err
+				})
+			}
+		})
+	case engUserViaDemux:
+		runVMTPViaDemux(r, &out, doBulk)
+	default:
+		r.s.Spawn(r.hA, "client", func(p *sim.Proc) {
+			cfg := vmtp.DefaultUserConfig()
+			cfg.Batch = e != engUserNoBatch
+			ep, err := vmtp.NewUserEndpoint(p, r.devA, vmtpClientPort, cfg)
+			if err != nil {
+				return
+			}
+			p.Sleep(5 * time.Millisecond)
+			measure(p, func() error {
+				_, err := ep.Call(p, r.nicB.Addr(), vmtpServerPort, 0, nil)
+				return err
+			})
+			if doBulk {
+				measureBulk(p, func() (int, error) {
+					resp, err := ep.Call(p, r.nicB.Addr(), vmtpServerPort, 2, nil)
+					return len(resp), err
+				})
+			}
+		})
+	}
+
+	r.s.Run(30 * time.Second)
+	_ = done
+	return out
+}
+
+// runVMTPViaDemux simulates table 6-5's configuration: "using an extra
+// process to receive packets, which are then passed to the actual VMTP
+// process via a Unix pipe.  (In this case, the server process was not
+// modified.)"
+func runVMTPViaDemux(r *rig, out *vmtpRun, doBulk bool) {
+	d := demux.New(r.devA, demux.Config{PipeCap: 128})
+	client := d.Register(func(frame []byte) bool {
+		_, _, typ, payload, err := ethersim.Ether10Mb.Decode(frame)
+		if err != nil || typ != ethersim.EtherTypeVMTP {
+			return false
+		}
+		h, _, err := vmtp.Unmarshal(payload)
+		return err == nil && h.DstPort == vmtpClientPort
+	})
+	r.s.Spawn(r.hA, "demux", func(p *sim.Proc) {
+		d.Run(p, vmtp.PortFilter(ethersim.Ether10Mb, 50, vmtpClientPort),
+			500*time.Millisecond)
+	})
+
+	r.s.Spawn(r.hA, "client", func(p *sim.Proc) {
+		// The client keeps a send-only packet-filter port; receives
+		// come through the demultiplexer's pipe.
+		port := r.devA.Open(p)
+		port.SetFilter(p, filter.Filter{Priority: 1,
+			Program: filter.NewBuilder().RejectAll().MustProgram()})
+
+		nextID := uint32(0)
+		perPkt := vmtp.DefaultUserConfig().PerPacketCPU
+		call := func(op uint16) (int, error) {
+			nextID++
+			h := vmtp.Header{DstPort: vmtpServerPort, TransID: nextID,
+				Kind: vmtp.KindRequest, Count: 1, Op: op, SrcPort: vmtpClientPort}
+			p.Consume(perPkt)
+			frame := ethersim.Ether10Mb.Encode(r.nicB.Addr(), r.nicA.Addr(),
+				ethersim.EtherTypeVMTP, vmtp.Marshal(h, nil))
+			if err := port.Write(p, frame); err != nil {
+				return 0, err
+			}
+			segs := make(map[uint16][]byte)
+			var count uint16 = 0xFFFF
+			total := 0
+			for len(segs) == 0 || len(segs) < int(count) {
+				raw := client.Recv(p)
+				p.Consume(perPkt)
+				_, _, _, payload, err := ethersim.Ether10Mb.Decode(raw)
+				if err != nil {
+					continue
+				}
+				rh, data, err := vmtp.Unmarshal(payload)
+				if err != nil || rh.Kind != vmtp.KindResponse || rh.TransID != nextID {
+					continue
+				}
+				if _, dup := segs[rh.Index]; !dup {
+					segs[rh.Index] = data
+					total += len(data)
+				}
+				count = rh.Count
+			}
+			return total, nil
+		}
+
+		p.Sleep(5 * time.Millisecond)
+		call(0) // warm-up
+		t0 := p.Now()
+		for i := 0; i < smallCalls; i++ {
+			call(0)
+		}
+		out.rtt = (p.Now() - t0) / smallCalls
+		if doBulk {
+			t0 = p.Now()
+			total := 0
+			for total < bulkTotal {
+				n, err := call(2)
+				if err != nil || n == 0 {
+					return
+				}
+				total += n
+			}
+			out.rate = rate(total, p.Now()-t0)
+		}
+	})
+	// Server side runs the standard user-level endpoint; the caller
+	// spawned it already.
+}
+
+// Table62VMTPSmall reproduces table 6-2: minimal VMTP transactions.
+func Table62VMTPSmall() Table {
+	t := Table{
+		ID:      "t6-2",
+		Title:   "Relative performance of VMTP for small messages",
+		Columns: []string{"VMTP implementation", "elapsed time/operation"},
+		Notes: []string{
+			"paper: packet filter 14.7, Unix kernel 7.44, V kernel 7.32 mSec",
+			"shape: user-level implementation costs ~2x the kernel implementations, which are close to each other",
+		},
+	}
+	for _, e := range []vmtpEngine{engUser, engKernel, engVKernel} {
+		res := runVMTP(e, false)
+		t.Rows = append(t.Rows, []string{e.String(), ms(res.rtt)})
+	}
+	return t
+}
+
+// Table63VMTPBulk reproduces table 6-3: bulk data transfer.
+func Table63VMTPBulk() Table {
+	t := Table{
+		ID:      "t6-3",
+		Title:   "Relative performance of VMTP for bulk data transfer",
+		Columns: []string{"Implementation", "Rate"},
+		Notes: []string{
+			"paper: pf VMTP 112, Unix kernel VMTP 336, V kernel VMTP 278, Unix kernel TCP 222 KB/s",
+			"shape: kernel implementations ~3x the user-level rate; TCP (which checksums) lands between",
+		},
+	}
+	for _, e := range []vmtpEngine{engUser, engKernel, engVKernel} {
+		res := runVMTP(e, true)
+		name := e.String() + " VMTP"
+		if e == engUser {
+			name = "Packet filter VMTP"
+		}
+		t.Rows = append(t.Rows, []string{name, fmt.Sprintf("%.0f Kbytes/sec", res.rate)})
+	}
+	tcp := runTCPBulk(ethersim.Ether10Mb, 1024, 256*1024)
+	t.Rows = append(t.Rows, []string{"Unix kernel TCP", fmt.Sprintf("%.0f Kbytes/sec", tcp)})
+	return t
+}
+
+// Table64Batching reproduces table 6-4: the effect of received-packet
+// batching on user-level VMTP bulk throughput.
+func Table64Batching() Table {
+	t := Table{
+		ID:      "t6-4",
+		Title:   "Effect of received-packet batching on performance",
+		Columns: []string{"Batching", "Rate"},
+		Notes: []string{
+			"paper: 112 vs 64 KB/s (+75%)",
+			"shape: batching buys a large fraction of throughput back",
+		},
+	}
+	with := runVMTP(engUser, true)
+	without := runVMTP(engUserNoBatch, true)
+	t.Rows = append(t.Rows,
+		[]string{"Yes", fmt.Sprintf("%.0f Kbytes/sec", with.rate)},
+		[]string{"No", fmt.Sprintf("%.0f Kbytes/sec", without.rate)})
+	return t
+}
+
+// Table65UserDemux reproduces table 6-5: VMTP through an extra
+// user-level demultiplexing process.
+func Table65UserDemux() Table {
+	t := Table{
+		ID:      "t6-5",
+		Title:   "Effect of user-level demultiplexing on performance",
+		Columns: []string{"Demultiplexing done in", "Elapsed/minimal op", "Bulk rate"},
+		Notes: []string{
+			"paper: kernel 14.72 mSec / 112 KB/s; user process 18.08 mSec / 25 KB/s",
+			"shape: small extra latency for short messages, large bulk-throughput collapse",
+		},
+	}
+	k := runVMTP(engUser, true)
+	u := runVMTP(engUserViaDemux, true)
+	t.Rows = append(t.Rows,
+		[]string{"Kernel", ms(k.rtt), fmt.Sprintf("%.0f Kbytes/sec", k.rate)},
+		[]string{"User process", ms(u.rtt), fmt.Sprintf("%.0f Kbytes/sec", u.rate)})
+	return t
+}
+
+// Fig23DomainCrossings reproduces figure 2-3: kernel-resident
+// protocols confine overhead packets to the kernel.
+func Fig23DomainCrossings() Table {
+	t := Table{
+		ID:      "fig2-3",
+		Title:   "Kernel-resident protocols reduce domain crossing (one 16KB VMTP transaction)",
+		Columns: []string{"Implementation", "domain crossings at client", "syscalls", "copies"},
+		Notes: []string{
+			"shape: the kernel engine crosses per message; the user engine per packet",
+		},
+	}
+	for _, e := range []vmtpEngine{engUser, engKernel} {
+		costs := vtime.DefaultCosts()
+		r := newRig(rigOptions{link: ethersim.Ether10Mb, costs: costs,
+			kernelVMTP: e == engKernel})
+		blob := make([]byte, bulkChunk)
+		handler := func(op uint16, req []byte) []byte { return blob }
+		var delta vtime.Counters
+		if e == engKernel {
+			r.s.Spawn(r.hB, "server", func(p *sim.Proc) {
+				svc := r.vmtpB.Register(p, vmtpServerPort)
+				svc.Serve(p, handler, 300*time.Millisecond)
+			})
+			r.s.Spawn(r.hA, "client", func(p *sim.Proc) {
+				p.Sleep(5 * time.Millisecond)
+				before := r.hA.Counters
+				r.vmtpA.Call(p, r.nicB.Addr(), vmtpServerPort, 2, nil, vmtpClientPort)
+				delta = r.hA.Counters.Sub(before)
+			})
+		} else {
+			r.s.Spawn(r.hB, "server", func(p *sim.Proc) {
+				ep, _ := vmtp.NewUserEndpoint(p, r.devB, vmtpServerPort, vmtp.DefaultUserConfig())
+				ep.Serve(p, handler, 300*time.Millisecond)
+			})
+			r.s.Spawn(r.hA, "client", func(p *sim.Proc) {
+				ep, _ := vmtp.NewUserEndpoint(p, r.devA, vmtpClientPort, vmtp.DefaultUserConfig())
+				p.Sleep(5 * time.Millisecond)
+				before := r.hA.Counters
+				ep.Call(p, r.nicB.Addr(), vmtpServerPort, 2, nil)
+				delta = r.hA.Counters.Sub(before)
+			})
+		}
+		r.s.Run(5 * time.Second)
+		name := "user-level (packet filter)"
+		if e == engKernel {
+			name = "kernel-resident"
+		}
+		t.Rows = append(t.Rows, []string{name,
+			fmt.Sprintf("%d", delta.DomainCrossings),
+			fmt.Sprintf("%d", delta.Syscalls),
+			fmt.Sprintf("%d", delta.Copies)})
+	}
+	return t
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+// TestAliasesAreUsable drives the whole re-exported surface once: a
+// downstream user should be able to work entirely through this
+// package.
+func TestAliasesAreUsable(t *testing.T) {
+	prog, err := NewBuilder().CANDWordEQ(8, 35).WordEQ(1, 2).Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(prog, ValidateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Prevalidate(prog, ValidateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(prog, ValidateOptions{}, Env{}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl := BuildTable([]Filter{{Priority: 1, Program: prog}}); tbl == nil {
+		t.Fatal("nil table")
+	}
+	if _, err := Assemble("PUSHONE"); err != nil {
+		t.Fatal(err)
+	}
+	if f := Fig39PupSocket(); len(f.Program) != 8 {
+		t.Fatal("fig 3-9 alias broken")
+	}
+	if f := Fig38PupTypeRange(); len(f.Program) != 12 {
+		t.Fatal("fig 3-8 alias broken")
+	}
+	if f := DstSocketFilter(3, 99); f.Priority != 3 {
+		t.Fatal("DstSocketFilter alias broken")
+	}
+	pred := PairPredicate{FieldTest{Word: 0, Value: 0}}
+	if !pred.Match([]byte{0, 0}) {
+		t.Fatal("pair predicate alias broken")
+	}
+}
+
+// TestDeviceThroughCore runs a delivery end to end using only core
+// names for the filter/device layer.
+func TestDeviceThroughCore(t *testing.T) {
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether3Mb)
+	ha, hb := s.NewHost("a"), s.NewHost("b")
+	na := net.Attach(ha, 1)
+	var dev *Device = Attach(net.Attach(hb, 2), nil, Options{})
+
+	var got Packet
+	var readErr error
+	s.Spawn(hb, "recv", func(p *sim.Proc) {
+		var port *Port = dev.Open(p)
+		if err := port.SetFilter(p, Filter{Priority: 9,
+			Program: NewBuilder().WordEQ(1, 0x4242).MustProgram()}); err != nil {
+			t.Error(err)
+			return
+		}
+		st := dev.Status(p)
+		if st.LinkType != ethersim.Ether3Mb {
+			t.Errorf("status = %+v", st)
+		}
+		got, readErr = port.Read(p)
+	})
+	s.Spawn(ha, "send", func(p *sim.Proc) {
+		p.Sleep(2 * time.Millisecond)
+		na.Transmit(ethersim.Ether3Mb.Encode(2, 1, 0x4242, []byte{1, 2, 3, 4}))
+	})
+	s.Run(0)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if len(got.Data) != 8 {
+		t.Fatalf("got %d bytes", len(got.Data))
+	}
+	if r := Run(NewBuilder().AcceptAll().MustProgram(), got.Data); !r.Accept {
+		t.Fatal("core.Run broken")
+	}
+}

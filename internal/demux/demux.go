@@ -1,0 +1,141 @@
+// Package demux implements the baseline the packet filter is measured
+// against: a user-level demultiplexing process (figure 2-1).  One
+// process receives every packet of interest from the kernel, decides
+// in user space which destination process should get it, and forwards
+// it through a pipe — costing "at least two context switches and three
+// system calls per received packet" plus two extra data copies, since
+// "Unix does not support memory sharing" (§2, §6.5.1).
+//
+// Tables 6-5, 6-8 and 6-9 quantify this; the bench harness rebuilds
+// them by running the same traffic through this package and through a
+// direct packet-filter port.
+package demux
+
+import (
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+)
+
+// Predicate decides in user space whether a client wants a packet.
+type Predicate func(frame []byte) bool
+
+// Config tunes the demultiplexer.
+type Config struct {
+	// Batch drains the packet-filter port in batched reads
+	// (table 6-9); forwarding through the pipes is still
+	// per-packet.
+	Batch bool
+	// DecisionCPU is the user-mode cost per predicate evaluated.
+	// Zero models the paper's most generous assumption: "even if
+	// one assumes zero cost for decision-making in a user-level
+	// demultiplexer" (§6.5.3).
+	DecisionCPU time.Duration
+	// PipeCap bounds each client pipe (default 16 messages).
+	PipeCap int
+}
+
+// Demux is the demultiplexing process state.
+type Demux struct {
+	dev     *pfdev.Device
+	cfg     Config
+	clients []*Client
+
+	// Forwarded counts packets delivered to clients; Unclaimed
+	// counts packets no predicate wanted.
+	Forwarded, Unclaimed uint64
+}
+
+// Client is one destination process's handle: a pipe fed by the
+// demultiplexer.
+type Client struct {
+	pred Predicate
+	pipe *sim.Pipe
+}
+
+// New creates a demultiplexer on a packet-filter device.
+func New(dev *pfdev.Device, cfg Config) *Demux {
+	if cfg.PipeCap <= 0 {
+		cfg.PipeCap = 16
+	}
+	return &Demux{dev: dev, cfg: cfg}
+}
+
+// Register adds a destination process with its predicate.  Call before
+// Run starts forwarding.
+func (d *Demux) Register(pred Predicate) *Client {
+	c := &Client{
+		pred: pred,
+		pipe: d.dev.Host().Sim().NewPipe(d.dev.Host(), d.cfg.PipeCap),
+	}
+	d.clients = append(d.clients, c)
+	return c
+}
+
+// Recv blocks until the demultiplexer forwards a packet to this
+// client; the caller is the destination process.
+func (c *Client) Recv(p *sim.Proc) []byte {
+	return p.Read(c.pipe)
+}
+
+// Run is the demultiplexing process main loop: bind one catch-all (or
+// caller-supplied) filter, then read packets and forward each to the
+// first client whose predicate accepts it.  It returns when no traffic
+// arrives for idle.
+func (d *Demux) Run(p *sim.Proc, f filter.Filter, idle time.Duration) error {
+	port := d.dev.Open(p)
+	defer port.Close(p)
+	if len(f.Program) == 0 {
+		f = filter.Filter{
+			Priority: 100,
+			Program:  filter.NewBuilder().AcceptAll().MustProgram(),
+		}
+	}
+	if err := port.SetFilter(p, f); err != nil {
+		return err
+	}
+	port.SetTimeout(p, idle)
+	port.SetQueueLimit(p, 64)
+
+	var pending []pfdev.Packet
+	for {
+		var pkt pfdev.Packet
+		if len(pending) > 0 {
+			pkt = pending[0]
+			pending = pending[1:]
+		} else if d.cfg.Batch {
+			batch, err := port.ReadBatch(p)
+			if err != nil {
+				return nil
+			}
+			pending = batch
+			continue
+		} else {
+			var err error
+			pkt, err = port.Read(p)
+			if err != nil {
+				return nil
+			}
+		}
+		d.forward(p, pkt.Data)
+	}
+}
+
+func (d *Demux) forward(p *sim.Proc, frame []byte) {
+	for _, c := range d.clients {
+		if d.cfg.DecisionCPU > 0 {
+			p.Consume(d.cfg.DecisionCPU)
+		}
+		if c.pred(frame) {
+			// "the demultiplexing process transfers the packet
+			// to the appropriate destination process" — two
+			// more copies and at least two context switches.
+			p.Write(c.pipe, frame)
+			d.Forwarded++
+			return
+		}
+	}
+	d.Unclaimed++
+}

@@ -1,0 +1,166 @@
+package demux
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+type rig struct {
+	s      *sim.Sim
+	net    *ethersim.Network
+	ha, hb *sim.Host
+	na     *ethersim.NIC
+	db     *pfdev.Device
+}
+
+func newRig() *rig {
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether3Mb)
+	ha, hb := s.NewHost("src"), s.NewHost("dst")
+	na := net.Attach(ha, 1)
+	nb := net.Attach(hb, 2)
+	return &rig{s: s, net: net, ha: ha, hb: hb, na: na,
+		db: pfdev.Attach(nb, nil, pfdev.Options{})}
+}
+
+// frameType builds a 3Mb frame with a given type and one payload byte.
+func frameType(etherType uint16, tag byte) []byte {
+	return ethersim.Ether3Mb.Encode(2, 1, etherType, []byte{tag, 0})
+}
+
+// typePred matches frames by Ethernet type in user space.
+func typePred(etherType uint16) Predicate {
+	return func(frame []byte) bool {
+		_, _, typ, _, err := ethersim.Ether3Mb.Decode(frame)
+		return err == nil && typ == etherType
+	}
+}
+
+func TestForwardToCorrectClient(t *testing.T) {
+	r := newRig()
+	d := New(r.db, Config{})
+	c1 := d.Register(typePred(0x0101))
+	c2 := d.Register(typePred(0x0202))
+
+	var got1, got2 []byte
+	r.s.Spawn(r.hb, "demux", func(p *sim.Proc) {
+		d.Run(p, filter.Filter{}, 50*time.Millisecond)
+	})
+	r.s.Spawn(r.hb, "dst1", func(p *sim.Proc) { got1 = c1.Recv(p) })
+	r.s.Spawn(r.hb, "dst2", func(p *sim.Proc) { got2 = c2.Recv(p) })
+	r.s.Spawn(r.ha, "src", func(p *sim.Proc) {
+		p.Sleep(5 * time.Millisecond)
+		r.na.Transmit(frameType(0x0202, 22))
+		r.na.Transmit(frameType(0x0101, 11))
+		r.na.Transmit(frameType(0x0303, 33)) // nobody wants this
+	})
+	r.s.Run(0)
+	if len(got1) == 0 || got1[4] != 11 {
+		t.Fatalf("client1 got %v", got1)
+	}
+	if len(got2) == 0 || got2[4] != 22 {
+		t.Fatalf("client2 got %v", got2)
+	}
+	if d.Forwarded != 2 || d.Unclaimed != 1 {
+		t.Fatalf("forwarded=%d unclaimed=%d", d.Forwarded, d.Unclaimed)
+	}
+}
+
+func TestDemuxCostsMoreThanDirect(t *testing.T) {
+	// The central claim of §2: per received packet, the demux path
+	// must burn more context switches and copies than a direct
+	// packet-filter port.
+	const packets = 10
+
+	direct := func() vtime.Counters {
+		r := newRig()
+		r.s.Spawn(r.hb, "dst", func(p *sim.Proc) {
+			port := r.db.Open(p)
+			port.SetFilter(p, filter.Filter{Priority: 10,
+				Program: filter.NewBuilder().AcceptAll().MustProgram()})
+			port.SetTimeout(p, 50*time.Millisecond)
+			for {
+				if _, err := port.Read(p); err != nil {
+					return
+				}
+			}
+		})
+		r.s.Spawn(r.ha, "src", func(p *sim.Proc) {
+			p.Sleep(5 * time.Millisecond)
+			for i := 0; i < packets; i++ {
+				r.na.Transmit(frameType(0x0101, byte(i)))
+				p.Sleep(3 * time.Millisecond)
+			}
+		})
+		r.s.Run(0)
+		return r.hb.Counters
+	}()
+
+	demuxed := func() vtime.Counters {
+		r := newRig()
+		d := New(r.db, Config{})
+		c := d.Register(typePred(0x0101))
+		r.s.Spawn(r.hb, "demux", func(p *sim.Proc) {
+			d.Run(p, filter.Filter{}, 50*time.Millisecond)
+		})
+		r.s.Spawn(r.hb, "dst", func(p *sim.Proc) {
+			for i := 0; i < packets; i++ {
+				c.Recv(p)
+			}
+		})
+		r.s.Spawn(r.ha, "src", func(p *sim.Proc) {
+			p.Sleep(5 * time.Millisecond)
+			for i := 0; i < packets; i++ {
+				r.na.Transmit(frameType(0x0101, byte(i)))
+				p.Sleep(3 * time.Millisecond)
+			}
+		})
+		r.s.Run(0)
+		return r.hb.Counters
+	}()
+
+	if demuxed.ContextSwitches < direct.ContextSwitches+2*packets-2 {
+		t.Errorf("demux switches = %d, direct = %d: want ≥2 extra per packet",
+			demuxed.ContextSwitches, direct.ContextSwitches)
+	}
+	if demuxed.Copies < direct.Copies+2*packets {
+		t.Errorf("demux copies = %d, direct = %d: want 2 extra per packet",
+			demuxed.Copies, direct.Copies)
+	}
+	if demuxed.Syscalls <= direct.Syscalls {
+		t.Errorf("demux syscalls = %d not above direct %d",
+			demuxed.Syscalls, direct.Syscalls)
+	}
+}
+
+func TestBatchedDemuxStillForwards(t *testing.T) {
+	r := newRig()
+	d := New(r.db, Config{Batch: true, DecisionCPU: 50 * time.Microsecond})
+	c := d.Register(typePred(0x0101))
+	got := 0
+	r.s.Spawn(r.hb, "demux", func(p *sim.Proc) {
+		d.Run(p, filter.Filter{}, 60*time.Millisecond)
+	})
+	r.s.Spawn(r.hb, "dst", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			c.Recv(p)
+			got++
+		}
+	})
+	r.s.Spawn(r.ha, "src", func(p *sim.Proc) {
+		p.Sleep(5 * time.Millisecond)
+		for i := 0; i < 5; i++ {
+			r.na.Transmit(frameType(0x0101, byte(i)))
+		}
+	})
+	r.s.Run(0)
+	if got != 5 {
+		t.Fatalf("forwarded %d packets", got)
+	}
+}

@@ -1,0 +1,342 @@
+// Package ethersim simulates the two data links the paper measures
+// on: the 3 Mbit/s Experimental Ethernet (4-byte data-link header, as
+// in figure 3-7) and the 10 Mbit/s standard Ethernet (14-byte header).
+//
+// A Network is a shared half-duplex medium: one frame occupies the
+// wire at a time for len*8/bandwidth of virtual time and is then
+// delivered to every other attached interface; each interface accepts
+// frames addressed to it or to the broadcast address (or everything,
+// in promiscuous mode) and hands them to its host's kernel after the
+// driver's receive cost.  Interfaces drop frames when their input
+// queue overflows, which the packet filter reports to users ("a count
+// of the number of packets lost due to queue overflows in the network
+// interface and in the kernel", §3.3).
+package ethersim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// LinkType selects the simulated data link.
+type LinkType int
+
+const (
+	// Ether3Mb is the 3 Mbit/s Experimental Ethernet of Metcalfe &
+	// Boggs: one-byte host addresses, a two-word header.
+	Ether3Mb LinkType = iota
+	// Ether10Mb is the standard 10 Mbit/s Ethernet: six-byte
+	// addresses, a 14-byte header.
+	Ether10Mb
+)
+
+// Addr is a data-link address, right-aligned in a uint64 (one
+// significant byte on the 3 Mb net, six on the 10 Mb net).
+type Addr uint64
+
+// Broadcast addresses for each link type.
+const (
+	Broadcast3Mb  Addr = 0xFF
+	Broadcast10Mb Addr = 0xFFFF_FFFF_FFFF
+)
+
+// Well-known Ethernet type codes used in this repository.  Pup3Mb is
+// the 3 Mb code from the paper's listings; the others are the standard
+// 10 Mb assignments (VMTP never had one — the paper's implementations
+// predate the IP encapsulation — so we give it a private code).
+const (
+	EtherTypePup3Mb uint16 = 2
+	EtherTypePup    uint16 = 0x0200
+	EtherTypeIP     uint16 = 0x0800
+	EtherTypeARP    uint16 = 0x0806
+	EtherTypeRARP   uint16 = 0x8035
+	EtherTypeVMTP   uint16 = 0x0700
+)
+
+// String returns "3Mb" or "10Mb".
+func (l LinkType) String() string {
+	if l == Ether3Mb {
+		return "3Mb"
+	}
+	return "10Mb"
+}
+
+// HeaderLen returns the data-link header length in bytes (4 or 14).
+func (l LinkType) HeaderLen() int {
+	if l == Ether3Mb {
+		return 4
+	}
+	return 14
+}
+
+// HeaderWords returns the header length in 16-bit filter words.
+func (l LinkType) HeaderWords() int { return l.HeaderLen() / 2 }
+
+// AddrLen returns the address length in bytes.
+func (l LinkType) AddrLen() int {
+	if l == Ether3Mb {
+		return 1
+	}
+	return 6
+}
+
+// MaxFrame returns the maximum frame size in bytes including the
+// header.
+func (l LinkType) MaxFrame() int {
+	if l == Ether3Mb {
+		return 600
+	}
+	return 1514
+}
+
+// Bandwidth returns the link speed in bits per second.
+func (l LinkType) Bandwidth() int64 {
+	if l == Ether3Mb {
+		return 3_000_000
+	}
+	return 10_000_000
+}
+
+// BroadcastAddr returns the all-stations address for the link.
+func (l LinkType) BroadcastAddr() Addr {
+	if l == Ether3Mb {
+		return Broadcast3Mb
+	}
+	return Broadcast10Mb
+}
+
+// TypeWord returns the index of the 16-bit packet word holding the
+// Ethernet type field (1 on the 3 Mb net, 6 on the 10 Mb net) — the
+// word every demultiplexing filter tests first.
+func (l LinkType) TypeWord() int {
+	if l == Ether3Mb {
+		return 1
+	}
+	return 6
+}
+
+// Encode builds a complete frame: data-link header plus payload.
+func (l LinkType) Encode(dst, src Addr, etherType uint16, payload []byte) []byte {
+	frame := make([]byte, l.HeaderLen()+len(payload))
+	switch l {
+	case Ether3Mb:
+		frame[0] = byte(dst)
+		frame[1] = byte(src)
+		binary.BigEndian.PutUint16(frame[2:], etherType)
+	default:
+		putAddr6(frame[0:6], dst)
+		putAddr6(frame[6:12], src)
+		binary.BigEndian.PutUint16(frame[12:], etherType)
+	}
+	copy(frame[l.HeaderLen():], payload)
+	return frame
+}
+
+// ErrTruncated reports a frame shorter than its data-link header.
+var ErrTruncated = errors.New("ethersim: truncated frame")
+
+// Decode splits a frame into its header fields and payload.  The
+// payload aliases the frame.
+func (l LinkType) Decode(frame []byte) (dst, src Addr, etherType uint16, payload []byte, err error) {
+	if len(frame) < l.HeaderLen() {
+		return 0, 0, 0, nil, ErrTruncated
+	}
+	switch l {
+	case Ether3Mb:
+		dst, src = Addr(frame[0]), Addr(frame[1])
+		etherType = binary.BigEndian.Uint16(frame[2:])
+	default:
+		dst, src = addr6(frame[0:6]), addr6(frame[6:12])
+		etherType = binary.BigEndian.Uint16(frame[12:])
+	}
+	return dst, src, etherType, frame[l.HeaderLen():], nil
+}
+
+func putAddr6(b []byte, a Addr) {
+	b[0] = byte(a >> 40)
+	b[1] = byte(a >> 32)
+	b[2] = byte(a >> 24)
+	b[3] = byte(a >> 16)
+	b[4] = byte(a >> 8)
+	b[5] = byte(a)
+}
+
+func addr6(b []byte) Addr {
+	return Addr(b[0])<<40 | Addr(b[1])<<32 | Addr(b[2])<<24 |
+		Addr(b[3])<<16 | Addr(b[4])<<8 | Addr(b[5])
+}
+
+// Network is one shared-medium Ethernet segment.
+type Network struct {
+	s    *sim.Sim
+	link LinkType
+	nics []*NIC
+
+	wireBusy bool
+	txq      []*txJob
+
+	// FramesOnWire counts every frame that made it onto the medium.
+	FramesOnWire uint64
+
+	// DropEvery, when non-zero, silently discards every Nth frame
+	// after transmission — deterministic loss injection for
+	// exercising protocol retransmission paths ("Transmission is
+	// unreliable if the data link is unreliable", §3).
+	DropEvery uint64
+	// DropFn, when non-nil, is consulted per frame (1-based index
+	// on the wire) for finer-grained loss injection.
+	DropFn func(index uint64, frame []byte) bool
+	// Dropped counts frames lost to injection.
+	Dropped uint64
+}
+
+type txJob struct {
+	frame []byte
+	from  *NIC
+}
+
+// New creates a network segment of the given link type.
+func New(s *sim.Sim, link LinkType) *Network {
+	return &Network{s: s, link: link}
+}
+
+// Link returns the network's link type.
+func (n *Network) Link() LinkType { return n.link }
+
+// NIC is one network interface attached to a host.  The kernel (other
+// packages) sets Handler to receive frames in event-loop context after
+// the driver cost has been charged.
+type NIC struct {
+	net  *Network
+	host *sim.Host
+	addr Addr
+
+	// Handler receives each accepted frame.  It runs in event-loop
+	// context and must not block; it may consume further kernel CPU
+	// via host.RunKernel.
+	Handler func(frame []byte)
+
+	// Promiscuous makes the interface accept every frame.
+	Promiscuous bool
+
+	// QueueLimit bounds receive jobs pending on the host CPU;
+	// beyond it frames are dropped and counted ("queue overflows in
+	// the network interface").  Zero means DefaultQueueLimit.
+	QueueLimit int
+	pending    int
+
+	// Drops counts frames lost to input-queue overflow.
+	Drops uint64
+}
+
+// DefaultQueueLimit is the input-queue bound used when a NIC does not
+// set its own.
+const DefaultQueueLimit = 32
+
+// Attach adds an interface with the given address to the network.
+func (n *Network) Attach(h *sim.Host, addr Addr) *NIC {
+	nic := &NIC{net: n, host: h, addr: addr}
+	n.nics = append(n.nics, nic)
+	return nic
+}
+
+// Addr returns the interface's data-link address.
+func (nic *NIC) Addr() Addr { return nic.addr }
+
+// Host returns the attached host.
+func (nic *NIC) Host() *sim.Host { return nic.host }
+
+// Network returns the segment the interface is attached to.
+func (nic *NIC) Network() *Network { return nic.net }
+
+// Transmit queues a complete frame for transmission.  It may be called
+// from any context; the frame is copied.  Oversized frames are
+// rejected.
+func (nic *NIC) Transmit(frame []byte) error {
+	if len(frame) > nic.net.link.MaxFrame() {
+		return fmt.Errorf("ethersim: frame of %d bytes exceeds %d-byte maximum",
+			len(frame), nic.net.link.MaxFrame())
+	}
+	if len(frame) < nic.net.link.HeaderLen() {
+		return ErrTruncated
+	}
+	nic.host.Counters.PacketsOut++
+	nic.host.Sim().Counters.PacketsOut++
+	nic.net.send(&txJob{frame: append([]byte(nil), frame...), from: nic})
+	return nil
+}
+
+func (n *Network) send(job *txJob) {
+	n.txq = append(n.txq, job)
+	n.pumpWire()
+}
+
+func (n *Network) pumpWire() {
+	if n.wireBusy || len(n.txq) == 0 {
+		return
+	}
+	job := n.txq[0]
+	n.txq = n.txq[1:]
+	n.wireBusy = true
+	n.FramesOnWire++
+	lost := n.DropEvery > 0 && n.FramesOnWire%n.DropEvery == 0
+	if !lost && n.DropFn != nil {
+		lost = n.DropFn(n.FramesOnWire, job.frame)
+	}
+	if lost {
+		n.Dropped++
+	}
+	txTime := time.Duration(int64(len(job.frame)) * 8 * int64(time.Second) / n.link.Bandwidth())
+	n.s.After(txTime, func() {
+		n.wireBusy = false
+		if !lost {
+			n.deliver(job)
+		}
+		n.pumpWire()
+	})
+}
+
+func (n *Network) deliver(job *txJob) {
+	dst, _, _, _, err := n.link.Decode(job.frame)
+	if err != nil {
+		return
+	}
+	bcast := n.link.BroadcastAddr()
+	for _, nic := range n.nics {
+		if nic == job.from {
+			continue
+		}
+		if !nic.Promiscuous && dst != nic.addr && dst != bcast {
+			continue
+		}
+		nic.receive(job.frame)
+	}
+}
+
+func (nic *NIC) receive(frame []byte) {
+	limit := nic.QueueLimit
+	if limit == 0 {
+		limit = DefaultQueueLimit
+	}
+	if nic.pending >= limit {
+		nic.Drops++
+		nic.host.Counters.PacketsDropped++
+		nic.host.Sim().Counters.PacketsDropped++
+		return
+	}
+	nic.pending++
+	own := append([]byte(nil), frame...)
+	h := nic.host
+	h.Counters.PacketsIn++
+	h.Sim().Counters.PacketsIn++
+	h.RunKernel("driver", h.Costs().DriverRecv, func() {
+		nic.pending--
+		if nic.Handler != nil {
+			nic.Handler(own)
+		}
+	})
+}

@@ -1,0 +1,43 @@
+package fexpr_test
+
+import (
+	"fmt"
+
+	"repro/internal/ethersim"
+	"repro/internal/fexpr"
+)
+
+// ExampleCompile turns a tcpdump-style expression into a filter
+// program targeting the 3 Mb experimental Ethernet.  The generated
+// code uses the short-circuit chain of the paper's figure 3-9 and is
+// run through the peephole optimizer.
+func ExampleCompile() {
+	prog, needsExt, err := fexpr.Compile("pup and pup dstsocket 35", ethersim.Ether3Mb)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("extensions required:", needsExt)
+	fmt.Print(prog.String())
+	// Output:
+	// extensions required: false
+	// PUSHWORD+1
+	// PUSHLIT|EQ, 2
+	// PUSHONE|CAND
+	// PUSHWORD+8
+	// PUSHLIT|EQ, 35
+	// PUSHONE|CAND
+	// PUSHWORD+7
+	// PUSHZERO|EQ
+}
+
+// ExampleCompile_extended shows an expression requiring the §7
+// extended instructions (packet length and byte access).
+func ExampleCompile_extended() {
+	_, needsExt, err := fexpr.Compile("len >= 60 and byte[0] != 0xff", ethersim.Ether10Mb)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("extensions required:", needsExt)
+	// Output:
+	// extensions required: true
+}

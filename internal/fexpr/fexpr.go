@@ -1,0 +1,598 @@
+// Package fexpr compiles a small tcpdump-style expression language
+// into packet-filter programs.  The paper observes that "in normal
+// use, the filters are not directly constructed by the programmer, but
+// are 'compiled' at run time by a library procedure" (§3.1); this
+// package is that library procedure taken to its logical end — the
+// same idea that later grew into libpcap's expression compiler on top
+// of BPF, the packet filter's direct descendant.
+//
+// Grammar (case-insensitive keywords):
+//
+//	expr      = or
+//	or        = and { "or" and }
+//	and       = unary { "and" unary }
+//	unary     = "not" unary | "(" expr ")" | predicate
+//	predicate =
+//	    "pup" | "ip" | "arp" | "rarp" | "vmtp"        protocol family
+//	  | "pup" "type" NUM                              Pup type byte
+//	  | "pup" ("dstsocket"|"srcsocket") NUM           Pup 32-bit sockets
+//	  | "pup" ("dsthost"|"srchost") NUM               Pup host bytes
+//	  | "vmtp" "port" NUM                             VMTP destination port
+//	  | "host" NUM                                    data-link src or dst
+//	  | ("src"|"dst") NUM                             data-link address
+//	  | "broadcast"                                   data-link broadcast
+//	  | "word" "[" NUM "]" CMP NUM                    raw 16-bit word test
+//	  | "len" CMP NUM                                 packet length (extended)
+//	  | "byte" "[" NUM "]" CMP NUM                    raw byte test (extended)
+//	CMP = "==" | "=" | "!=" | "<" | "<=" | ">" | ">="
+//
+// Numbers are decimal or 0x-hex.  Examples:
+//
+//	pup and pup dstsocket 35
+//	(vmtp port 500 or vmtp port 501) and not broadcast
+//	word[1] == 2 and byte[7] > 0
+//
+// Compile targets a specific link type, resolving field offsets for
+// the 3 Mb or 10 Mb Ethernet.  When the top level of the expression is
+// a conjunction, the generated code uses the short-circuit CAND idiom
+// of figure 3-9 so non-matching packets exit after the first failing
+// conjunct.
+package fexpr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+)
+
+// Compile parses src and generates a filter program for the given
+// link.  Expressions using len or byte[] require the device to enable
+// the §7 extensions; Compile reports needsExt accordingly.
+func Compile(src string, link ethersim.LinkType) (prog filter.Program, needsExt bool, err error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, false, err
+	}
+	p := &parser{toks: toks, link: link}
+	ast, err := p.parseExpr()
+	if err != nil {
+		return nil, false, err
+	}
+	if !p.eof() {
+		return nil, false, fmt.Errorf("fexpr: unexpected %q after expression", p.peek())
+	}
+	g := &codegen{link: link}
+	prog, err = g.compile(ast)
+	if err != nil {
+		return nil, false, err
+	}
+	opt := filter.ValidateOptions{Extensions: g.usedExt}
+	if _, err := filter.Validate(prog, opt); err != nil {
+		return nil, false, fmt.Errorf("fexpr: generated program invalid: %w", err)
+	}
+	// Peephole pass: narrows literals into the wired constants and
+	// fuses push/operator pairs into the paper's two-word idiom.
+	return filter.Optimize(prog, opt), g.usedExt, nil
+}
+
+// MustCompile is Compile for expressions known good at authoring time.
+func MustCompile(src string, link ethersim.LinkType) filter.Program {
+	prog, _, err := Compile(src, link)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// --- Lexer -----------------------------------------------------------------
+
+func lex(src string) ([]string, error) {
+	var toks []string
+	s := strings.ToLower(src)
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(' || c == ')' || c == '[' || c == ']':
+			toks = append(toks, string(c))
+			i++
+		case c == '=' || c == '!' || c == '<' || c == '>':
+			j := i + 1
+			if j < len(s) && s[j] == '=' {
+				j++
+			}
+			op := s[i:j]
+			if op == "!" {
+				return nil, fmt.Errorf("fexpr: stray '!' (use !=)")
+			}
+			toks = append(toks, op)
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' ||
+				s[j] >= 'a' && s[j] <= 'f' || s[j] == 'x') {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		case c >= 'a' && c <= 'z':
+			j := i
+			for j < len(s) && (s[j] >= 'a' && s[j] <= 'z' || s[j] >= '0' && s[j] <= '9') {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("fexpr: unexpected character %q", c)
+		}
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("fexpr: empty expression")
+	}
+	return toks, nil
+}
+
+// --- AST and parser ---------------------------------------------------------
+
+type nodeKind int
+
+const (
+	nAnd nodeKind = iota
+	nOr
+	nNot
+	nWordCmp // word[off] cmp val
+	nByteCmp // byte[off] cmp val (extended)
+	nLenCmp  // len cmp val (extended)
+)
+
+type node struct {
+	kind nodeKind
+	kids []*node
+	off  int
+	cmp  filter.Op
+	val  uint16
+	mask uint16 // applied to the word before comparing (0 = none)
+}
+
+type parser struct {
+	toks []string
+	pos  int
+	link ethersim.LinkType
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+func (p *parser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+func (p *parser) expect(tok string) error {
+	if p.peek() != tok {
+		return fmt.Errorf("fexpr: expected %q, found %q", tok, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) parseExpr() (*node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "or" {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &node{kind: nOr, kids: []*node{left, right}}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (*node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "and" {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &node{kind: nAnd, kids: []*node{left, right}}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (*node, error) {
+	switch p.peek() {
+	case "not":
+		p.next()
+		kid, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &node{kind: nNot, kids: []*node{kid}}, nil
+	case "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parsePredicate()
+}
+
+// etherType returns the link's type-code for a protocol keyword.
+func (p *parser) etherType(proto string) (uint16, bool) {
+	switch proto {
+	case "pup":
+		if p.link == ethersim.Ether3Mb {
+			return ethersim.EtherTypePup3Mb, true
+		}
+		return ethersim.EtherTypePup, true
+	case "ip":
+		return ethersim.EtherTypeIP, true
+	case "arp":
+		return ethersim.EtherTypeARP, true
+	case "rarp":
+		return ethersim.EtherTypeRARP, true
+	case "vmtp":
+		return ethersim.EtherTypeVMTP, true
+	}
+	return 0, false
+}
+
+// wordEQ builds a word[off] == val node.
+func wordEQ(off int, val uint16) *node {
+	return &node{kind: nWordCmp, off: off, cmp: filter.EQ, val: val}
+}
+
+func (p *parser) parsePredicate() (*node, error) {
+	tok := p.next()
+	hw := p.link.HeaderWords()
+	typeWord := p.link.TypeWord()
+
+	if et, ok := p.etherType(tok); ok {
+		base := wordEQ(typeWord, et)
+		switch tok {
+		case "pup":
+			return p.parsePupQualifier(base, hw)
+		case "vmtp":
+			if p.peek() == "port" {
+				p.next()
+				v, err := p.num32()
+				if err != nil {
+					return nil, err
+				}
+				// VMTP destination port: payload words 0-1.
+				return conj(base,
+					wordEQ(hw, uint16(v>>16)),
+					wordEQ(hw+1, uint16(v))), nil
+			}
+		}
+		return base, nil
+	}
+
+	switch tok {
+	case "host", "src", "dst":
+		v, err := p.num64()
+		if err != nil {
+			return nil, err
+		}
+		dst, src, err := p.linkAddrNodes(v)
+		if err != nil {
+			return nil, err
+		}
+		switch tok {
+		case "src":
+			return src, nil
+		case "dst":
+			return dst, nil
+		default:
+			return &node{kind: nOr, kids: []*node{dst, src}}, nil
+		}
+	case "broadcast":
+		bcast, _, err := p.linkAddrNodes(uint64(p.link.BroadcastAddr()))
+		if err != nil {
+			return nil, err
+		}
+		return bcast, nil
+	case "word", "byte":
+		if err := p.expect("["); err != nil {
+			return nil, err
+		}
+		off, err := p.num32()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		cmp, val, err := p.cmpVal()
+		if err != nil {
+			return nil, err
+		}
+		kind := nWordCmp
+		if tok == "byte" {
+			kind = nByteCmp
+		}
+		return &node{kind: kind, off: int(off), cmp: cmp, val: val}, nil
+	case "len":
+		cmp, val, err := p.cmpVal()
+		if err != nil {
+			return nil, err
+		}
+		return &node{kind: nLenCmp, cmp: cmp, val: val}, nil
+	}
+	return nil, fmt.Errorf("fexpr: unknown predicate %q", tok)
+}
+
+// parsePupQualifier handles the optional field tests after "pup".
+func (p *parser) parsePupQualifier(base *node, hw int) (*node, error) {
+	switch p.peek() {
+	case "type":
+		p.next()
+		v, err := p.num32()
+		if err != nil {
+			return nil, err
+		}
+		// Pup type: low byte of the second Pup word.
+		n := &node{kind: nWordCmp, off: hw + 1, cmp: filter.EQ,
+			val: uint16(v) & 0x00FF, mask: 0x00FF}
+		return conj(base, n), nil
+	case "dstsocket", "srcsocket":
+		which := p.next()
+		v, err := p.num32()
+		if err != nil {
+			return nil, err
+		}
+		off := hw + 5 // DstSocket: Pup bytes 10-13
+		if which == "srcsocket" {
+			off = hw + 8 // SrcSocket: Pup bytes 16-19
+		}
+		return conj(base,
+			wordEQ(off+1, uint16(v)), // low word first: most selective
+			wordEQ(off, uint16(v>>16))), nil
+	case "dsthost", "srchost":
+		which := p.next()
+		v, err := p.num32()
+		if err != nil {
+			return nil, err
+		}
+		// DstNet|DstHost at Pup bytes 8-9; SrcNet|SrcHost at 14-15.
+		off, mask := hw+4, uint16(0x00FF)
+		if which == "srchost" {
+			off = hw + 7
+			mask = 0x00FF
+		}
+		n := &node{kind: nWordCmp, off: off, cmp: filter.EQ,
+			val: uint16(v) & mask, mask: mask}
+		return conj(base, n), nil
+	}
+	return base, nil
+}
+
+// linkAddrNodes builds (dst, src) equality nodes for a data-link
+// address on this link type.
+func (p *parser) linkAddrNodes(addr uint64) (dst, src *node, err error) {
+	if p.link == ethersim.Ether3Mb {
+		// One-byte addresses share word 0: dst high byte, src low.
+		d := &node{kind: nWordCmp, off: 0, cmp: filter.EQ,
+			val: uint16(addr<<8) & 0xFF00, mask: 0xFF00}
+		s := &node{kind: nWordCmp, off: 0, cmp: filter.EQ,
+			val: uint16(addr) & 0x00FF, mask: 0x00FF}
+		return d, s, nil
+	}
+	// Six-byte addresses: words 0-2 (dst) and 3-5 (src).
+	mk := func(base int) *node {
+		return conj(
+			wordEQ(base+2, uint16(addr)),
+			wordEQ(base+1, uint16(addr>>16)),
+			wordEQ(base, uint16(addr>>32)))
+	}
+	return mk(0), mk(3), nil
+}
+
+func (p *parser) num32() (uint32, error) {
+	v, err := p.num64()
+	if err != nil {
+		return 0, err
+	}
+	if v > 0xFFFFFFFF {
+		return 0, fmt.Errorf("fexpr: value %d exceeds 32 bits", v)
+	}
+	return uint32(v), nil
+}
+
+// num64 parses a number wide enough for 48-bit data-link addresses.
+func (p *parser) num64() (uint64, error) {
+	tok := p.next()
+	if tok == "" {
+		return 0, fmt.Errorf("fexpr: expected number at end of expression")
+	}
+	base := 10
+	s := tok
+	if strings.HasPrefix(tok, "0x") {
+		base = 16
+		s = tok[2:]
+	}
+	v, err := strconv.ParseUint(s, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("fexpr: bad number %q", tok)
+	}
+	return v, nil
+}
+
+func (p *parser) cmpVal() (filter.Op, uint16, error) {
+	var op filter.Op
+	switch tok := p.next(); tok {
+	case "==", "=":
+		op = filter.EQ
+	case "!=":
+		op = filter.NEQ
+	case "<":
+		op = filter.LT
+	case "<=":
+		op = filter.LE
+	case ">":
+		op = filter.GT
+	case ">=":
+		op = filter.GE
+	default:
+		return 0, 0, fmt.Errorf("fexpr: expected comparison, found %q", tok)
+	}
+	v, err := p.num32()
+	if err != nil {
+		return 0, 0, err
+	}
+	if v > 0xFFFF {
+		return 0, 0, fmt.Errorf("fexpr: comparison value %d exceeds 16 bits", v)
+	}
+	return op, uint16(v), nil
+}
+
+// conj folds nodes into a left-deep AND tree.
+func conj(ns ...*node) *node {
+	out := ns[0]
+	for _, n := range ns[1:] {
+		out = &node{kind: nAnd, kids: []*node{out, n}}
+	}
+	return out
+}
+
+// --- Code generation --------------------------------------------------------
+
+type codegen struct {
+	link    ethersim.LinkType
+	b       *filter.Builder
+	usedExt bool
+}
+
+func (g *codegen) compile(ast *node) (filter.Program, error) {
+	g.usedExt = usesExt(ast)
+	if g.usedExt {
+		g.b = filter.NewExtendedBuilder()
+	} else {
+		g.b = filter.NewBuilder()
+	}
+
+	// Top-level conjunction: emit the figure 3-9 short-circuit
+	// chain.  Every conjunct except the last ends with CAND against
+	// TRUE so a failing test rejects immediately.  Identical leaf
+	// conjuncts are deduplicated: "pup and pup dstsocket 35" tests
+	// the Ethernet type once, not twice.
+	conjuncts := dedupe(flattenAnd(ast))
+	for i, c := range conjuncts {
+		if err := g.emit(c); err != nil {
+			return nil, err
+		}
+		if i < len(conjuncts)-1 {
+			// Stack: ..., bool.  Compare with 1 and bail on
+			// mismatch.
+			g.b.Raw(filter.MkInstr(filter.PUSHONE, filter.CAND))
+		}
+	}
+	return g.b.Program()
+}
+
+func flattenAnd(n *node) []*node {
+	if n.kind != nAnd {
+		return []*node{n}
+	}
+	return append(flattenAnd(n.kids[0]), flattenAnd(n.kids[1])...)
+}
+
+// dedupe removes repeated identical leaf tests from a conjunction; a
+// duplicated conjunct is always redundant under AND.
+func dedupe(ns []*node) []*node {
+	type leaf struct {
+		kind nodeKind
+		off  int
+		cmp  filter.Op
+		val  uint16
+		mask uint16
+	}
+	seen := make(map[leaf]bool, len(ns))
+	out := ns[:0]
+	for _, n := range ns {
+		if len(n.kids) == 0 {
+			k := leaf{n.kind, n.off, n.cmp, n.val, n.mask}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func usesExt(n *node) bool {
+	if n.kind == nByteCmp || n.kind == nLenCmp {
+		return true
+	}
+	for _, k := range n.kids {
+		if usesExt(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// emit generates code leaving one canonical boolean (0/1) on the
+// stack.
+func (g *codegen) emit(n *node) error {
+	switch n.kind {
+	case nAnd, nOr:
+		if err := g.emit(n.kids[0]); err != nil {
+			return err
+		}
+		if err := g.emit(n.kids[1]); err != nil {
+			return err
+		}
+		if n.kind == nAnd {
+			g.b.And() // operands are canonical bools: bitwise == logical
+		} else {
+			g.b.Or()
+		}
+	case nNot:
+		if err := g.emit(n.kids[0]); err != nil {
+			return err
+		}
+		g.b.Raw(filter.MkInstr(filter.PUSHZERO, filter.EQ)) // NOT x == (x == 0)
+	case nWordCmp:
+		if n.off < 0 || n.off > filter.MaxWordIndex {
+			return fmt.Errorf("fexpr: word offset %d out of range", n.off)
+		}
+		g.b.PushWord(n.off)
+		if n.mask != 0 && n.mask != 0xFFFF {
+			g.b.LitOp(filter.AND, n.mask)
+		}
+		g.b.LitOp(n.cmp, n.val)
+	case nByteCmp:
+		g.b.PushByte(n.off)
+		g.b.LitOp(n.cmp, n.val)
+	case nLenCmp:
+		g.b.PushPktLen()
+		g.b.LitOp(n.cmp, n.val)
+	}
+	return g.b.Err()
+}

@@ -1,0 +1,281 @@
+package fexpr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/pup"
+	"repro/internal/vmtp"
+)
+
+// pupFrame builds a 3Mb Pup frame.
+func pupFrame(t uint8, dstSock, srcSock uint32, dstHost, srcHost uint8) []byte {
+	pkt := pup.Packet{
+		Type: t,
+		Dst:  pup.PortAddr{Net: 1, Host: dstHost, Socket: dstSock},
+		Src:  pup.PortAddr{Net: 1, Host: srcHost, Socket: srcSock},
+	}
+	payload, _ := pkt.Marshal()
+	return ethersim.Ether3Mb.Encode(ethersim.Addr(dstHost), ethersim.Addr(srcHost),
+		ethersim.EtherTypePup3Mb, payload)
+}
+
+func eval(t *testing.T, expr string, link ethersim.LinkType, pkt []byte) bool {
+	t.Helper()
+	prog, ext, err := Compile(expr, link)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", expr, err)
+	}
+	var r filter.Result
+	if ext {
+		r = filter.RunExt(prog, pkt, filter.Env{HeaderWords: link.HeaderWords()})
+	} else {
+		r = filter.Run(prog, pkt)
+	}
+	if r.Err != nil {
+		t.Fatalf("eval(%q): %v", expr, r.Err)
+	}
+	return r.Accept
+}
+
+func TestProtocolPredicates(t *testing.T) {
+	pupPkt := pupFrame(5, 35, 99, 2, 1)
+	ipPkt := ethersim.Ether3Mb.Encode(2, 1, ethersim.EtherTypeIP, make([]byte, 28))
+	cases := []struct {
+		expr string
+		pkt  []byte
+		want bool
+	}{
+		{"pup", pupPkt, true},
+		{"pup", ipPkt, false},
+		{"ip", ipPkt, true},
+		{"arp", ipPkt, false},
+		{"not pup", ipPkt, true},
+		{"not pup", pupPkt, false},
+		{"pup or ip", ipPkt, true},
+		{"pup and ip", ipPkt, false},
+		{"pup type 5", pupPkt, true},
+		{"pup type 6", pupPkt, false},
+		{"pup dstsocket 35", pupPkt, true},
+		{"pup dstsocket 36", pupPkt, false},
+		{"pup srcsocket 99", pupPkt, true},
+		{"pup srcsocket 98", pupPkt, false},
+		{"pup dsthost 2", pupPkt, true},
+		{"pup dsthost 3", pupPkt, false},
+		{"pup srchost 1", pupPkt, true},
+		{"pup and pup dstsocket 35 and pup type 5", pupPkt, true},
+		{"pup and pup dstsocket 35 and pup type 6", pupPkt, false},
+		{"pup and (pup type 6 or pup dstsocket 35)", pupPkt, true},
+		{"word[1] == 2", pupPkt, true},
+		{"word[1] != 2", pupPkt, false},
+		{"word[1] >= 2 and word[1] <= 2", pupPkt, true},
+	}
+	for _, c := range cases {
+		if got := eval(t, c.expr, ethersim.Ether3Mb, c.pkt); got != c.want {
+			t.Errorf("%q = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestLinkAddressPredicates(t *testing.T) {
+	pkt3 := pupFrame(1, 9, 9, 0x42, 0x17)
+	bcast3 := ethersim.Ether3Mb.Encode(ethersim.Broadcast3Mb, 0x17,
+		ethersim.EtherTypePup3Mb, make([]byte, 22))
+	cases := []struct {
+		expr string
+		pkt  []byte
+		want bool
+	}{
+		{"dst 0x42", pkt3, true},
+		{"dst 0x17", pkt3, false},
+		{"src 0x17", pkt3, true},
+		{"host 0x42", pkt3, true},
+		{"host 0x17", pkt3, true},
+		{"host 0x55", pkt3, false},
+		{"broadcast", bcast3, true},
+		{"broadcast", pkt3, false},
+	}
+	for _, c := range cases {
+		if got := eval(t, c.expr, ethersim.Ether3Mb, c.pkt); got != c.want {
+			t.Errorf("%q = %v, want %v", c.expr, got, c.want)
+		}
+	}
+
+	// 10Mb: six-byte addresses span three words each.
+	pkt10 := ethersim.Ether10Mb.Encode(0xAABBCCDDEEFF, 0x010203040506,
+		ethersim.EtherTypeIP, make([]byte, 28))
+	if !eval(t, "dst 0xAABBCCDDEEFF", ethersim.Ether10Mb, pkt10) {
+		t.Error("10Mb dst match failed")
+	}
+	if eval(t, "dst 0xAABBCCDDEE00", ethersim.Ether10Mb, pkt10) {
+		t.Error("10Mb dst mismatch accepted")
+	}
+	if !eval(t, "src 0x010203040506", ethersim.Ether10Mb, pkt10) {
+		t.Error("10Mb src match failed")
+	}
+}
+
+func TestVMTPPort(t *testing.T) {
+	mk := func(port uint32) []byte {
+		return ethersim.Ether10Mb.Encode(2, 1, ethersim.EtherTypeVMTP,
+			vmtp.Marshal(vmtp.Header{DstPort: port, Kind: vmtp.KindRequest, Count: 1}, nil))
+	}
+	if !eval(t, "vmtp port 0x12345678", ethersim.Ether10Mb, mk(0x12345678)) {
+		t.Error("vmtp port match failed")
+	}
+	if eval(t, "vmtp port 0x12345678", ethersim.Ether10Mb, mk(0x12345679)) {
+		t.Error("vmtp port mismatch accepted")
+	}
+	if !eval(t, "vmtp", ethersim.Ether10Mb, mk(7)) {
+		t.Error("bare vmtp failed")
+	}
+}
+
+func TestExtendedPredicates(t *testing.T) {
+	pkt := pupFrame(1, 9, 9, 2, 1) // 26 bytes on the wire
+	prog, ext, err := Compile("len == 26", ethersim.Ether3Mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext {
+		t.Fatal("len should require extensions")
+	}
+	if !filter.RunExt(prog, pkt, filter.Env{}).Accept {
+		t.Error("len == 26 rejected a 26-byte packet")
+	}
+	if !eval(t, "byte[3] == 2", ethersim.Ether3Mb, pkt) { // ether type low byte
+		t.Error("byte test failed")
+	}
+	if !eval(t, "len > 10 and pup", ethersim.Ether3Mb, pkt) {
+		t.Error("mixed extended/base conjunction failed")
+	}
+}
+
+func TestHexAndCaseInsensitivity(t *testing.T) {
+	pkt := pupFrame(0x10, 0x23, 9, 2, 1)
+	if !eval(t, "PUP AND PUP TYPE 0x10", ethersim.Ether3Mb, pkt) {
+		t.Error("case-insensitive keywords failed")
+	}
+	if !eval(t, "pup dstsocket 0x23", ethersim.Ether3Mb, pkt) {
+		t.Error("hex socket failed")
+	}
+}
+
+func TestEquivalenceWithHandFilters(t *testing.T) {
+	// The expression compiler must agree with the hand-written
+	// DstSocketFilter on a range of packets.
+	prog := MustCompile("pup dstsocket 35", ethersim.Ether3Mb)
+	hand := filter.DstSocketFilter(10, 35).Program
+	for _, pkt := range [][]byte{
+		pupFrame(1, 35, 0, 2, 1),
+		pupFrame(1, 36, 0, 2, 1),
+		pupFrame(9, 35|1<<16, 0, 2, 1),
+		ethersim.Ether3Mb.Encode(2, 1, ethersim.EtherTypeIP, make([]byte, 28)),
+		{0, 1},
+	} {
+		a := filter.Run(prog, pkt).Accept
+		b := filter.Run(hand, pkt).Accept
+		if a != b {
+			t.Fatalf("divergence on %x: fexpr=%v hand=%v", pkt, a, b)
+		}
+	}
+}
+
+func TestShortCircuitCodegen(t *testing.T) {
+	// A top-level conjunction must reject early: feeding a packet
+	// failing the first conjunct executes far fewer instructions
+	// than the whole program.
+	prog := MustCompile("pup and pup dstsocket 35 and pup type 1", ethersim.Ether3Mb)
+	ipPkt := ethersim.Ether3Mb.Encode(2, 1, ethersim.EtherTypeIP, make([]byte, 28))
+	r := filter.Run(prog, ipPkt)
+	if r.Accept {
+		t.Fatal("accepted wrong packet")
+	}
+	info := filter.MustValidate(prog, filter.ValidateOptions{})
+	if r.Instrs >= info.Instrs {
+		t.Fatalf("no short circuit: executed %d of %d", r.Instrs, info.Instrs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"and",
+		"pup and",
+		"frob",
+		"word[",
+		"word[1]",
+		"word[1] ?? 5",
+		"word[1] == 99999999999",
+		"word[1] == 0x10000",
+		"(pup",
+		"pup)",
+		"word[9999] == 1",
+		"vmtp port",
+		"dst",
+		"pup @ 1",
+		"word[1] ! 2",
+	}
+	for _, src := range bad {
+		if _, _, err := Compile(src, ethersim.Ether3Mb); err == nil {
+			t.Errorf("Compile(%q) succeeded", src)
+		}
+	}
+}
+
+func TestGeneratedProgramsValidate(t *testing.T) {
+	exprs := []string{
+		"pup",
+		"pup and pup dstsocket 35",
+		"not (pup or ip) and word[3] > 7",
+		"broadcast or host 5",
+		"vmtp port 500 or vmtp port 501",
+		"len >= 60 and byte[0] != 0xff",
+		"pup and pup type 1 and pup dsthost 2 and pup srchost 1 and pup srcsocket 9",
+	}
+	for _, e := range exprs {
+		prog, ext, err := Compile(e, ethersim.Ether3Mb)
+		if err != nil {
+			t.Errorf("Compile(%q): %v", e, err)
+			continue
+		}
+		if _, err := filter.Validate(prog, filter.ValidateOptions{Extensions: ext}); err != nil {
+			t.Errorf("%q: generated program invalid: %v", e, err)
+		}
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile did not panic")
+		}
+	}()
+	MustCompile("frob", ethersim.Ether3Mb)
+}
+
+func TestConjunctDeduplication(t *testing.T) {
+	// "pup and pup dstsocket 35" must test the Ethernet type once.
+	a := MustCompile("pup and pup dstsocket 35", ethersim.Ether3Mb)
+	b := MustCompile("pup dstsocket 35", ethersim.Ether3Mb)
+	if !a.Equal(b) {
+		t.Fatalf("redundant conjunct not removed:\n%s\nvs\n%s", a, b)
+	}
+	// And the deduped form still evaluates correctly.
+	if !filter.Run(a, pupFrame(1, 35, 0, 2, 1)).Accept {
+		t.Fatal("deduped program rejects matching packet")
+	}
+	if filter.Run(a, pupFrame(1, 36, 0, 2, 1)).Accept {
+		t.Fatal("deduped program accepts wrong socket")
+	}
+}
+
+func TestDisassemblyReadable(t *testing.T) {
+	prog := MustCompile("pup and pup dstsocket 35", ethersim.Ether3Mb)
+	s := prog.String()
+	if !strings.Contains(s, "CAND") {
+		t.Errorf("expected short-circuit chain in:\n%s", s)
+	}
+}

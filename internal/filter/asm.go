@@ -1,0 +1,158 @@
+package filter
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the textual form of a filter program, the same form
+// Program.String produces and the paper's listings use.  One
+// instruction per line (or comma/whitespace-separated):
+//
+//	PUSHWORD+1
+//	PUSHLIT|EQ 2      # packet type == PUP
+//	PUSHWORD+3
+//	PUSH00FF|AND      // mask low byte
+//	PUSHZERO|GT
+//
+// Instruction syntax is ACTION, OP, or ACTION|OP; PUSHLIT and PUSHBYTE
+// consume the next numeric token as their operand.  Numbers may be
+// decimal or 0x-prefixed hex.  Comments run from '#' or '//' to end of
+// line.  Mnemonics are case-insensitive.
+func Assemble(src string) (Program, error) {
+	var prog Program
+	for lineNo, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.ReplaceAll(line, ",", " ")
+		toks := strings.Fields(line)
+		for i := 0; i < len(toks); i++ {
+			tok := toks[i]
+			if isNumber(tok) {
+				return nil, fmt.Errorf("filter: line %d: unexpected operand %q", lineNo+1, tok)
+			}
+			w, needOperand, err := parseInstr(tok)
+			if err != nil {
+				return nil, fmt.Errorf("filter: line %d: %v", lineNo+1, err)
+			}
+			prog = append(prog, w)
+			if needOperand {
+				i++
+				if i >= len(toks) {
+					return nil, fmt.Errorf("filter: line %d: %s missing operand", lineNo+1, tok)
+				}
+				v, err := parseNum(toks[i])
+				if err != nil {
+					return nil, fmt.Errorf("filter: line %d: %v", lineNo+1, err)
+				}
+				prog = append(prog, Word(v))
+			}
+		}
+	}
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("filter: empty program")
+	}
+	return prog, nil
+}
+
+// parseInstr parses "ACTION", "OP" or "ACTION|OP".
+func parseInstr(tok string) (w Word, needOperand bool, err error) {
+	up := strings.ToUpper(tok)
+	action := NOPUSH
+	op := NOP
+	parts := strings.SplitN(up, "|", 2)
+
+	parsePart := func(s string) error {
+		if a, ok := parseAction(s); ok {
+			if action != NOPUSH {
+				return fmt.Errorf("two stack actions in %q", tok)
+			}
+			action = a
+			return nil
+		}
+		if o, ok := parseOp(s); ok {
+			if op != NOP {
+				return fmt.Errorf("two operators in %q", tok)
+			}
+			op = o
+			return nil
+		}
+		return fmt.Errorf("unknown mnemonic %q", s)
+	}
+	for _, p := range parts {
+		if err := parsePart(strings.TrimSpace(p)); err != nil {
+			return 0, false, err
+		}
+	}
+	return MkInstr(action, op), action.HasOperand(), nil
+}
+
+func parseAction(s string) (Action, bool) {
+	switch s {
+	case "NOPUSH":
+		return NOPUSH, true
+	case "PUSHLIT":
+		return PUSHLIT, true
+	case "PUSHZERO":
+		return PUSHZERO, true
+	case "PUSHONE":
+		return PUSHONE, true
+	case "PUSHFFFF":
+		return PUSHFFFF, true
+	case "PUSHFF00":
+		return PUSHFF00, true
+	case "PUSH00FF":
+		return PUSH00FF, true
+	case "PUSHIND":
+		return PUSHIND, true
+	case "PUSHHDRLEN":
+		return PUSHHDRLEN, true
+	case "PUSHPKTLEN":
+		return PUSHPKTLEN, true
+	case "PUSHBYTE":
+		return PUSHBYTE, true
+	}
+	if rest, ok := strings.CutPrefix(s, "PUSHWORD+"); ok {
+		n, err := parseNum(rest)
+		if err != nil || int(n) > MaxWordIndex {
+			return 0, false
+		}
+		return PushWord(int(n)), true
+	}
+	if s == "PUSHWORD" {
+		return PushWord(0), true
+	}
+	return 0, false
+}
+
+func parseOp(s string) (Op, bool) {
+	for op := NOP; op < numOps; op++ {
+		if opNames[op] == s {
+			return op, true
+		}
+	}
+	return 0, false
+}
+
+func isNumber(s string) bool {
+	_, err := parseNum(s)
+	return err == nil
+}
+
+func parseNum(s string) (uint16, error) {
+	v, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(s), "0x"), func() int {
+		if strings.HasPrefix(strings.ToLower(s), "0x") {
+			return 16
+		}
+		return 10
+	}(), 16)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return uint16(v), nil
+}

@@ -1,0 +1,219 @@
+package filter
+
+import "fmt"
+
+// Builder constructs filter programs at run time.  The paper notes
+// that "In normal use, the filters are not directly constructed by the
+// programmer, but are 'compiled' at run time by a library procedure";
+// Builder is that library procedure.  Methods append instructions and
+// return the builder, so programs read like the paper's listings:
+//
+//	prog, err := filter.NewBuilder().
+//		PushWord(1).PushLit(2).Op(filter.EQ). // packet type == PUP
+//		PushWord(3).Push00FF().Op(filter.AND). // mask low byte
+//		PushZero().Op(filter.GT).              // PupType > 0
+//		Program()
+//
+// Errors (index out of range, stack misuse, over-long program) are
+// accumulated and reported once by Program, so call chains need no
+// intermediate checks.
+type Builder struct {
+	prog Program
+	opt  ValidateOptions
+	err  error
+}
+
+// NewBuilder returns an empty Builder for the base language.
+func NewBuilder() *Builder { return &Builder{} }
+
+// NewExtendedBuilder returns a Builder that accepts the §7 extended
+// instructions.
+func NewExtendedBuilder() *Builder {
+	return &Builder{opt: ValidateOptions{Extensions: true}}
+}
+
+func (b *Builder) fail(format string, args ...any) *Builder {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+	return b
+}
+
+func (b *Builder) emit(w ...Word) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(b.prog)+len(w) > MaxProgramLen {
+		return b.fail("filter: program exceeds %d words", MaxProgramLen)
+	}
+	b.prog = append(b.prog, w...)
+	return b
+}
+
+// Raw appends pre-assembled instruction words verbatim.
+func (b *Builder) Raw(w ...Word) *Builder { return b.emit(w...) }
+
+// PushWord appends an instruction pushing packet word n.
+func (b *Builder) PushWord(n int) *Builder {
+	if n < 0 || n > MaxWordIndex {
+		return b.fail("filter: word index %d out of range", n)
+	}
+	return b.emit(MkInstr(PushWord(n), NOP))
+}
+
+// PushLit appends an instruction pushing the 16-bit literal v.
+func (b *Builder) PushLit(v uint16) *Builder {
+	return b.emit(MkInstr(PUSHLIT, NOP), Word(v))
+}
+
+// PushZero appends PUSHZERO.
+func (b *Builder) PushZero() *Builder { return b.emit(MkInstr(PUSHZERO, NOP)) }
+
+// PushOne appends PUSHONE.
+func (b *Builder) PushOne() *Builder { return b.emit(MkInstr(PUSHONE, NOP)) }
+
+// PushFFFF appends PUSHFFFF.
+func (b *Builder) PushFFFF() *Builder { return b.emit(MkInstr(PUSHFFFF, NOP)) }
+
+// PushFF00 appends PUSHFF00.
+func (b *Builder) PushFF00() *Builder { return b.emit(MkInstr(PUSHFF00, NOP)) }
+
+// Push00FF appends PUSH00FF.
+func (b *Builder) Push00FF() *Builder { return b.emit(MkInstr(PUSH00FF, NOP)) }
+
+// PushInd appends the extended indirect-push action.
+func (b *Builder) PushInd() *Builder {
+	b.requireExt("PUSHIND")
+	return b.emit(MkInstr(PUSHIND, NOP))
+}
+
+// PushByte appends the extended byte-push action for packet byte n.
+func (b *Builder) PushByte(n int) *Builder {
+	b.requireExt("PUSHBYTE")
+	if n < 0 || n > 0xFFFF {
+		return b.fail("filter: byte index %d out of range", n)
+	}
+	return b.emit(MkInstr(PUSHBYTE, NOP), Word(n))
+}
+
+// PushHdrLen appends the extended header-length push.
+func (b *Builder) PushHdrLen() *Builder {
+	b.requireExt("PUSHHDRLEN")
+	return b.emit(MkInstr(PUSHHDRLEN, NOP))
+}
+
+// PushPktLen appends the extended packet-length push.
+func (b *Builder) PushPktLen() *Builder {
+	b.requireExt("PUSHPKTLEN")
+	return b.emit(MkInstr(PUSHPKTLEN, NOP))
+}
+
+func (b *Builder) requireExt(what string) {
+	if !b.opt.Extensions && b.err == nil {
+		b.err = fmt.Errorf("filter: %s requires an extended builder", what)
+	}
+}
+
+// Op appends a bare binary operator (NOPUSH action).
+func (b *Builder) Op(op Op) *Builder {
+	if op.IsExtended() {
+		b.requireExt(op.String())
+	}
+	return b.emit(MkInstr(NOPUSH, op))
+}
+
+// LitOp appends the fused "PUSHLIT|op, v" form from the paper's
+// listings: push literal v, then apply op.
+func (b *Builder) LitOp(op Op, v uint16) *Builder {
+	if op.IsExtended() {
+		b.requireExt(op.String())
+	}
+	return b.emit(MkInstr(PUSHLIT, op), Word(v))
+}
+
+// WordOp appends "PUSHWORD+n | op": push packet word n, then apply op.
+func (b *Builder) WordOp(op Op, n int) *Builder {
+	if n < 0 || n > MaxWordIndex {
+		return b.fail("filter: word index %d out of range", n)
+	}
+	return b.emit(MkInstr(PushWord(n), op))
+}
+
+// --- Higher-level helpers -------------------------------------------------
+
+// WordEQ appends instructions testing packet word n == v, leaving the
+// boolean on the stack (three program words).
+func (b *Builder) WordEQ(n int, v uint16) *Builder {
+	return b.PushWord(n).LitOp(EQ, v)
+}
+
+// WordMaskEQ tests (packet word n AND mask) == v.
+func (b *Builder) WordMaskEQ(n int, mask, v uint16) *Builder {
+	return b.PushWord(n).LitOp(AND, mask).LitOp(EQ, v)
+}
+
+// CANDWordEQ appends a short-circuit equality test on word n: if the
+// word differs from v the whole filter rejects immediately (figure
+// 3-9's idiom).
+func (b *Builder) CANDWordEQ(n int, v uint16) *Builder {
+	return b.PushWord(n).LitOp(CAND, v)
+}
+
+// CORWordEQ appends a short-circuit test accepting immediately when
+// word n equals v.
+func (b *Builder) CORWordEQ(n int, v uint16) *Builder {
+	return b.PushWord(n).LitOp(COR, v)
+}
+
+// And appends a bare AND, combining the top two boolean results.
+func (b *Builder) And() *Builder { return b.Op(AND) }
+
+// Or appends a bare OR.
+func (b *Builder) Or() *Builder { return b.Op(OR) }
+
+// AcceptAll arranges for the program to accept every packet (a single
+// PUSHONE); useful for monitors.  It is only valid as the whole
+// program.
+func (b *Builder) AcceptAll() *Builder { return b.PushOne() }
+
+// RejectAll arranges for the program to reject every packet.
+func (b *Builder) RejectAll() *Builder { return b.PushZero() }
+
+// Len returns the number of program words emitted so far.
+func (b *Builder) Len() int { return len(b.prog) }
+
+// Err returns the first accumulated error, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Program finalizes the builder, validates the program and returns
+// it.  The builder remains usable; further instructions extend the
+// same program.
+func (b *Builder) Program() (Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := b.prog.Clone()
+	if _, err := Validate(p, b.opt); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustProgram is Program for statically known-correct filters; it
+// panics on error.
+func (b *Builder) MustProgram() Program {
+	p, err := b.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Filter finalizes the builder into a Filter at the given priority.
+func (b *Builder) Filter(priority uint8) (Filter, error) {
+	p, err := b.Program()
+	if err != nil {
+		return Filter{}, err
+	}
+	return Filter{Priority: priority, Program: p}, nil
+}

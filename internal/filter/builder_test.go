@@ -1,0 +1,189 @@
+package filter
+
+import "testing"
+
+func TestBuilderMatchesPaperListing(t *testing.T) {
+	// Rebuilding figure 3-8 with the builder must produce the exact
+	// word sequence of the hand-assembled listing.
+	got := NewBuilder().
+		PushWord(1).LitOp(EQ, 2).
+		PushWord(3).Raw(MkInstr(PUSH00FF, AND)).
+		Raw(MkInstr(PUSHZERO, GT)).
+		PushWord(3).Raw(MkInstr(PUSH00FF, AND)).
+		LitOp(LE, 100).
+		And().And().
+		MustProgram()
+	if !got.Equal(Fig38PupTypeRange().Program) {
+		t.Fatalf("builder output differs from listing:\n%s\nvs\n%s",
+			got, Fig38PupTypeRange().Program)
+	}
+}
+
+func TestBuilderErrorsAccumulate(t *testing.T) {
+	b := NewBuilder().PushWord(-1).PushOne()
+	if _, err := b.Program(); err == nil {
+		t.Fatal("negative word index accepted")
+	}
+	if b.Err() == nil {
+		t.Fatal("Err() lost the error")
+	}
+
+	if _, err := NewBuilder().PushWord(MaxWordIndex + 1).Program(); err == nil {
+		t.Fatal("oversized word index accepted")
+	}
+	if _, err := NewBuilder().WordOp(EQ, MaxWordIndex+1).Program(); err == nil {
+		t.Fatal("WordOp oversized index accepted")
+	}
+
+	// Invalid stack shapes are caught at Program() time.
+	if _, err := NewBuilder().Op(AND).Program(); err == nil {
+		t.Fatal("underflowing program accepted")
+	}
+
+	// Extended instructions require the extended builder.
+	if _, err := NewBuilder().PushInd().PushOne().Program(); err == nil {
+		t.Fatal("PUSHIND accepted by base builder")
+	}
+	if _, err := NewBuilder().PushByte(0).Program(); err == nil {
+		t.Fatal("PUSHBYTE accepted by base builder")
+	}
+	if _, err := NewBuilder().PushHdrLen().Program(); err == nil {
+		t.Fatal("PUSHHDRLEN accepted by base builder")
+	}
+	if _, err := NewBuilder().PushPktLen().Program(); err == nil {
+		t.Fatal("PUSHPKTLEN accepted by base builder")
+	}
+	if _, err := NewBuilder().PushOne().LitOp(ADD, 1).Program(); err == nil {
+		t.Fatal("ADD accepted by base builder")
+	}
+	if _, err := NewBuilder().PushByte(-1).Program(); err == nil {
+		t.Fatal("negative byte index accepted")
+	}
+
+	// Over-long programs.
+	b = NewBuilder()
+	for i := 0; i <= MaxProgramLen; i++ {
+		b.PushOne()
+	}
+	if _, err := b.Program(); err == nil {
+		t.Fatal("over-long program accepted")
+	}
+}
+
+func TestBuilderHelpers(t *testing.T) {
+	pkt := pupPacket(7, 0x0005_0023)
+
+	p := NewBuilder().WordMaskEQ(3, 0x00FF, 7).MustProgram()
+	mustAccept(t, p, pkt)
+	p = NewBuilder().WordMaskEQ(3, 0x00FF, 8).MustProgram()
+	mustReject(t, p, pkt)
+
+	p = NewBuilder().CORWordEQ(1, 2).PushZero().MustProgram()
+	mustAccept(t, p, pkt) // COR exits early on the EtherType match
+
+	p = NewBuilder().WordEQ(1, 2).WordEQ(7, 5).Or().MustProgram()
+	mustAccept(t, p, pkt)
+
+	if n := NewBuilder().PushLit(1).Len(); n != 2 {
+		t.Errorf("Len after PushLit = %d, want 2", n)
+	}
+}
+
+func TestBuilderFilter(t *testing.T) {
+	f, err := NewBuilder().AcceptAll().Filter(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Priority != 42 || len(f.Program) != 1 {
+		t.Errorf("unexpected filter %+v", f)
+	}
+	if f, err := NewBuilder().Filter(1); err != nil || len(f.Program) != 0 {
+		t.Errorf("empty filter: %v (accept-all per table 6-10)", err)
+	}
+}
+
+func TestMustProgramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProgram did not panic")
+		}
+	}()
+	NewBuilder().Op(AND).MustProgram()
+}
+
+func TestAssembleRoundTrip(t *testing.T) {
+	for _, f := range []Filter{Fig38PupTypeRange(), Fig39PupSocket()} {
+		text := f.Program.String()
+		got, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("assembling disassembly: %v\n%s", err, text)
+		}
+		if !got.Equal(f.Program) {
+			t.Fatalf("round trip mismatch:\n%s\nvs\n%s", got, f.Program)
+		}
+	}
+}
+
+func TestAssembleSyntax(t *testing.T) {
+	p, err := Assemble(`
+		# figure 3-9, with comments and odd spacing
+		pushword+8  PUSHLIT|cand , 35
+		PUSHWORD+7  PUSHZERO|CAND   // high word
+		PUSHWORD+1  PUSHLIT|EQ 0x2
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(Fig39PupSocket().Program) {
+		t.Fatalf("assembled program differs:\n%s", p)
+	}
+
+	bad := []string{
+		"",                   // empty
+		"FROB",               // unknown mnemonic
+		"PUSHLIT",            // missing operand
+		"PUSHLIT PUSHONE",    // operand is not a number
+		"12",                 // bare operand
+		"PUSHONE|PUSHZERO",   // two actions
+		"EQ|NEQ",             // two operators
+		"PUSHLIT|EQ 0x10000", // operand overflow
+		"PUSHWORD+99999",     // index overflow
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded", src)
+		}
+	}
+}
+
+func TestAssembleExtended(t *testing.T) {
+	p, err := Assemble("PUSHBYTE 14 PUSH00FF|AND PUSHIND PUSHPKTLEN OR PUSHHDRLEN OR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(p, ValidateOptions{Extensions: true}); err != nil {
+		t.Fatalf("extended program invalid: %v", err)
+	}
+	if _, err := Validate(p, ValidateOptions{}); err == nil {
+		t.Fatal("extended program validated without Extensions")
+	}
+}
+
+func TestWordStringForms(t *testing.T) {
+	cases := []struct {
+		w    Word
+		want string
+	}{
+		{MkInstr(PushWord(3), NOP), "PUSHWORD+3"},
+		{MkInstr(PUSHLIT, EQ), "PUSHLIT|EQ"},
+		{MkInstr(NOPUSH, AND), "AND"},
+		{MkInstr(NOPUSH, NOP), "NOP"},
+		{MkInstr(PUSHZERO, CAND), "PUSHZERO|CAND"},
+		{MkInstr(PUSHBYTE, NOP), "PUSHBYTE"},
+	}
+	for _, c := range cases {
+		if got := c.w.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package filter
+
+import "sort"
+
+// This file implements the last of §7's proposed improvements:
+// "Finally, with a redesigned filter language it might be possible to
+// compile the set of active filters into a decision table, which
+// should provide the best possible performance."
+//
+// Most real filters are conjunctions of equality tests on packet words
+// (the paper's figures 3-8 and 3-9 are a mask-and-range filter and a
+// pure equality conjunction respectively).  Extract analyses a program
+// and, when it is such a conjunction, returns the set of
+// (word, value) conditions; BuildTable merges the extracted filters of
+// a whole port set into one decision tree that tests each packet word
+// at most once per path.  Filters that do not fit the shape (ranges,
+// masks, indirection) fall back to linear prevalidated interpretation,
+// so Table.Match is always exactly equivalent to applying every filter
+// in priority order — a property the test suite checks with
+// testing/quick.
+
+// Cond is one equality condition: packet word Word must equal Value.
+type Cond struct {
+	Word  int
+	Value uint16
+}
+
+// Extracted is the decision-table form of a program: the packet is
+// accepted iff it contains at least MinWords whole 16-bit words and
+// every condition holds.  MinWords captures word accesses that do not
+// surface as conditions (a push consumed by a short-circuit operator
+// that would fault on a truncated packet), keeping table evaluation
+// exactly equivalent to the interpreter, which rejects a packet the
+// moment any access runs past its end.
+type Extracted struct {
+	Conds    []Cond
+	MinWords int
+}
+
+// Extract attempts to reduce a base-language program to a conjunction
+// of equality conditions.  The supported shapes cover the dominant
+// idioms:
+//
+//   - short-circuit chains:  PUSHWORD+n  PUSHLIT|CAND v   (fig. 3-9)
+//   - equality trees:        PUSHWORD+n  PUSHLIT|EQ v  ... AND
+//   - constant programs:     PUSHONE / PUSHZERO
+//
+// ok reports success.  Contradictory conjunctions (w==1 AND w==2) are
+// still returned; the table simply never matches them.
+func Extract(p Program) (ex Extracted, ok bool) {
+	if _, err := Validate(p, ValidateOptions{}); err != nil {
+		return Extracted{}, false
+	}
+	if len(p) == 0 {
+		return Extracted{}, true // empty filter: accepts everything
+	}
+
+	// Abstract values for symbolic execution.
+	type kind int
+	const (
+		aConst kind = iota // a known 16-bit constant
+		aWord              // the value of one packet word
+		aConj              // boolean: 1 iff a set of conditions holds
+	)
+	type aval struct {
+		k     kind
+		c     uint16 // for aConst
+		w     int    // for aWord
+		conds []Cond // for aConj
+	}
+
+	var stack []aval
+	var global []Cond // conditions asserted by CAND terminators
+	minWords := 0     // every accessed word must exist in the packet
+
+	pop2 := func() (t2, t1 aval) {
+		t1 = stack[len(stack)-1]
+		t2 = stack[len(stack)-2]
+		stack = stack[:len(stack)-2]
+		return
+	}
+	// eqCond turns (t2 op t1) with op∈{EQ,CAND} into a condition if
+	// one side is a packet word and the other a constant.
+	eqCond := func(t2, t1 aval) (Cond, bool) {
+		switch {
+		case t2.k == aWord && t1.k == aConst:
+			return Cond{Word: t2.w, Value: t1.c}, true
+		case t2.k == aConst && t1.k == aWord:
+			return Cond{Word: t1.w, Value: t2.c}, true
+		}
+		return Cond{}, false
+	}
+
+	for pc := 0; pc < len(p); pc++ {
+		w := p[pc]
+		a, op := w.Action(), w.Op()
+
+		switch {
+		case a == NOPUSH:
+		case a == PUSHLIT:
+			pc++
+			stack = append(stack, aval{k: aConst, c: uint16(p[pc])})
+		case a == PUSHZERO:
+			stack = append(stack, aval{k: aConst, c: 0})
+		case a == PUSHONE:
+			stack = append(stack, aval{k: aConst, c: 1})
+		case a == PUSHFFFF:
+			stack = append(stack, aval{k: aConst, c: 0xFFFF})
+		case a == PUSHFF00:
+			stack = append(stack, aval{k: aConst, c: 0xFF00})
+		case a == PUSH00FF:
+			stack = append(stack, aval{k: aConst, c: 0x00FF})
+		case a >= PUSHWORD:
+			n := int(a - PUSHWORD)
+			if n+1 > minWords {
+				minWords = n + 1
+			}
+			stack = append(stack, aval{k: aWord, w: n})
+		default:
+			return Extracted{}, false // extended action: not table-compatible
+		}
+
+		if op == NOP {
+			continue
+		}
+		t2, t1 := pop2()
+		switch op {
+		case EQ:
+			c, isEq := eqCond(t2, t1)
+			if !isEq {
+				return Extracted{}, false
+			}
+			stack = append(stack, aval{k: aConj, conds: []Cond{c}})
+		case CAND:
+			c, isEq := eqCond(t2, t1)
+			if !isEq {
+				return Extracted{}, false
+			}
+			global = append(global, c)
+			// CAND pushes TRUE when it continues.
+			stack = append(stack, aval{k: aConj})
+		case AND:
+			if t2.k != aConj || t1.k != aConj {
+				return Extracted{}, false
+			}
+			stack = append(stack, aval{k: aConj, conds: append(append([]Cond{}, t2.conds...), t1.conds...)})
+		default:
+			return Extracted{}, false
+		}
+	}
+
+	top := stack[len(stack)-1]
+	var conds []Cond
+	switch top.k {
+	case aConj:
+		conds = append(global, top.conds...)
+	case aConst:
+		if top.c == 0 {
+			return Extracted{}, false // reject-all: leave to linear path
+		}
+		conds = global
+	default: // aWord: acceptance depends on a raw field value
+		return Extracted{}, false
+	}
+	return Extracted{Conds: dedupe(conds), MinWords: minWords}, true
+}
+
+func dedupe(conds []Cond) []Cond {
+	seen := make(map[Cond]bool, len(conds))
+	out := conds[:0]
+	for _, c := range conds {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Table is a merged evaluator for a set of filters.  Filters whose
+// programs reduce to equality conjunctions are compiled into one
+// decision tree; the rest are applied linearly with prevalidated
+// interpreters.  Filters that fail even validation match nothing.
+type Table struct {
+	filters []Filter
+	root    *tnode
+	linear  []tlinear // filters outside the table shape
+	scratch []int
+}
+
+type tlinear struct {
+	idx int
+	pv  *Prevalidated
+}
+
+type tnode struct {
+	word     int // packet word tested at this node; -1 for leaf-only
+	branches map[uint16]*tnode
+	wildcard *tnode    // entries that do not test this word
+	accepts  []taccept // filters fully satisfied at this node
+}
+
+// taccept records an accepting filter and the packet length its
+// program requires (Extracted.MinWords).
+type taccept struct {
+	idx      int
+	minWords int
+}
+
+type tentry struct {
+	idx      int
+	minWords int
+	conds    []Cond
+}
+
+// BuildTable compiles the filter set.  The returned table matches
+// exactly the same (packet, filter) pairs as running every program
+// with Run.
+func BuildTable(filters []Filter) *Table {
+	t := &Table{filters: append([]Filter(nil), filters...)}
+	var entries []tentry
+	for i, f := range filters {
+		if ex, ok := Extract(f.Program); ok {
+			entries = append(entries, tentry{idx: i, minWords: ex.MinWords, conds: ex.Conds})
+			continue
+		}
+		pv, err := Prevalidate(f.Program, ValidateOptions{})
+		if err != nil {
+			continue // invalid program: matches nothing
+		}
+		t.linear = append(t.linear, tlinear{idx: i, pv: pv})
+	}
+	t.root = buildNode(entries)
+	return t
+}
+
+// buildNode recursively partitions entries by the most commonly tested
+// remaining packet word.
+func buildNode(entries []tentry) *tnode {
+	if len(entries) == 0 {
+		return nil
+	}
+	n := &tnode{word: -1}
+
+	// Entries with no remaining conditions accept here.
+	var rest []tentry
+	for _, e := range entries {
+		if len(e.conds) == 0 {
+			n.accepts = append(n.accepts, taccept{idx: e.idx, minWords: e.minWords})
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	if len(rest) == 0 {
+		return n
+	}
+
+	// Pick the word tested by the most entries (ties: lowest word,
+	// so headers are tested before payloads, which mirrors how
+	// programmers order tests by selectivity in figure 3-9).
+	count := make(map[int]int)
+	for _, e := range rest {
+		seen := make(map[int]bool)
+		for _, c := range e.conds {
+			if !seen[c.Word] {
+				seen[c.Word] = true
+				count[c.Word]++
+			}
+		}
+	}
+	best, bestN := -1, 0
+	for w, k := range count {
+		if k > bestN || (k == bestN && w < best) {
+			best, bestN = w, k
+		}
+	}
+	n.word = best
+
+	byValue := make(map[uint16][]tentry)
+	var wild []tentry
+	for _, e := range rest {
+		val, tests := uint16(0), false
+		var remaining []Cond
+		for _, c := range e.conds {
+			if c.Word == best {
+				if tests && c.Value != val {
+					// Contradiction (w==a AND w==b):
+					// this entry can never match.
+					remaining = nil
+					tests = false
+					goto next
+				}
+				val, tests = c.Value, true
+			} else {
+				remaining = append(remaining, c)
+			}
+		}
+		if tests {
+			byValue[val] = append(byValue[val], tentry{idx: e.idx, minWords: e.minWords, conds: remaining})
+		} else {
+			wild = append(wild, e)
+		}
+	next:
+	}
+	if len(byValue) > 0 {
+		n.branches = make(map[uint16]*tnode, len(byValue))
+		for v, es := range byValue {
+			n.branches[v] = buildNode(es)
+		}
+	}
+	n.wildcard = buildNode(wild)
+	return n
+}
+
+// Match returns the indices of all filters accepting pkt, sorted by
+// decreasing priority (ties by ascending index, matching the "order of
+// application is unspecified" rule deterministically).
+func (t *Table) Match(pkt []byte) []int {
+	t.scratch = t.scratch[:0]
+	t.walk(t.root, pkt)
+	for _, l := range t.linear {
+		if l.pv.Run(pkt).Accept {
+			t.scratch = append(t.scratch, l.idx)
+		}
+	}
+	out := t.scratch
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := t.filters[out[i]].Priority, t.filters[out[j]].Priority
+		if pi != pj {
+			return pi > pj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// MatchBest returns the highest-priority accepting filter index, or -1.
+func (t *Table) MatchBest(pkt []byte) int {
+	m := t.Match(pkt)
+	if len(m) == 0 {
+		return -1
+	}
+	return m[0]
+}
+
+func (t *Table) walk(n *tnode, pkt []byte) {
+	for n != nil {
+		for _, a := range n.accepts {
+			if len(pkt) >= 2*a.minWords {
+				t.scratch = append(t.scratch, a.idx)
+			}
+		}
+		if n.word < 0 {
+			return
+		}
+		if n.branches != nil {
+			if v, ok := PacketWord(pkt, n.word); ok {
+				if b := n.branches[v]; b != nil {
+					t.walk(b, pkt)
+				}
+			}
+		}
+		n = n.wildcard
+	}
+}

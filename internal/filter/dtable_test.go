@@ -1,0 +1,255 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestExtractFig39(t *testing.T) {
+	ex, ok := Extract(Fig39PupSocket().Program)
+	if !ok {
+		t.Fatal("figure 3-9 should be table-compatible")
+	}
+	conds := ex.Conds
+	if ex.MinWords != 9 {
+		t.Errorf("MinWords = %d, want 9 (words 1, 7 and 8 accessed)", ex.MinWords)
+	}
+	want := map[Cond]bool{
+		{Word: 8, Value: 35}: true,
+		{Word: 7, Value: 0}:  true,
+		{Word: 1, Value: 2}:  true,
+	}
+	if len(conds) != len(want) {
+		t.Fatalf("got %d conds: %v", len(conds), conds)
+	}
+	for _, c := range conds {
+		if !want[c] {
+			t.Errorf("unexpected cond %+v", c)
+		}
+	}
+}
+
+func TestExtractFig38NotCompatible(t *testing.T) {
+	// Figure 3-8 contains a range test (GT/LE) and masks, which the
+	// decision table cannot express; it must fall back to linear.
+	if _, ok := Extract(Fig38PupTypeRange().Program); ok {
+		t.Fatal("figure 3-8 should not be table-compatible")
+	}
+}
+
+func TestExtractForms(t *testing.T) {
+	// EQ/AND tree.
+	p := NewBuilder().WordEQ(1, 2).WordEQ(3, 4).And().MustProgram()
+	ex, ok := Extract(p)
+	if !ok || len(ex.Conds) != 2 {
+		t.Fatalf("EQ/AND tree: ok=%v ex=%+v", ok, ex)
+	}
+	// Constant accept-all.
+	ex, ok = Extract(NewBuilder().AcceptAll().MustProgram())
+	if !ok || len(ex.Conds) != 0 || ex.MinWords != 0 {
+		t.Fatalf("accept-all: ok=%v ex=%+v", ok, ex)
+	}
+	// Reject-all is left to the linear path.
+	if _, ok := Extract(NewBuilder().RejectAll().MustProgram()); ok {
+		t.Fatal("reject-all should not extract")
+	}
+	// Duplicate conditions dedupe.
+	p = NewBuilder().WordEQ(1, 2).WordEQ(1, 2).And().MustProgram()
+	ex, ok = Extract(p)
+	if !ok || len(ex.Conds) != 1 {
+		t.Fatalf("dedupe: ok=%v ex=%+v", ok, ex)
+	}
+	// A dead word access still constrains packet length: checked
+	// interpretation faults on short packets, so the table must too.
+	p = Program{MkInstr(PushWord(9), NOP), MkInstr(PUSHONE, NOP)}
+	ex, ok = Extract(p)
+	if !ok || ex.MinWords != 10 {
+		t.Fatalf("dead access: ok=%v ex=%+v", ok, ex)
+	}
+	// The empty program extracts as accept-all (table 6-10's
+	// zero-instruction filter).
+	ex, ok = Extract(Program{})
+	if !ok || len(ex.Conds) != 0 {
+		t.Fatalf("empty program: ok=%v ex=%+v", ok, ex)
+	}
+}
+
+// mkEqFilter builds a filter testing the given (word,value) pairs with
+// the fig 3-9 idiom.
+func mkEqFilter(prio uint8, conds ...Cond) Filter {
+	b := NewBuilder()
+	for i, c := range conds {
+		if i < len(conds)-1 {
+			b.CANDWordEQ(c.Word, c.Value)
+		} else {
+			b.WordEQ(c.Word, c.Value)
+		}
+	}
+	if len(conds) == 0 {
+		b.AcceptAll()
+	}
+	return Filter{Priority: prio, Program: b.MustProgram()}
+}
+
+func TestTableMatchBasic(t *testing.T) {
+	filters := []Filter{
+		mkEqFilter(10, Cond{1, 2}, Cond{8, 35}),
+		mkEqFilter(10, Cond{1, 2}, Cond{8, 36}),
+		mkEqFilter(5, Cond{1, 2}),       // any Pup packet, low priority
+		mkEqFilter(20, Cond{1, 0x0800}), // "IP" packets, high priority
+		Fig38PupTypeRange(),             // falls back to linear
+	}
+	tbl := BuildTable(filters)
+
+	pkt := pupPacket(50, 35)
+	got := tbl.Match(pkt)
+	// Expect: fig38 (prio 10, idx 4), socket-35 (prio 10, idx 0),
+	// any-pup (prio 5, idx 2).  Priority order, ties by index.
+	want := []int{0, 4, 2}
+	if len(got) != len(want) {
+		t.Fatalf("match = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match = %v, want %v", got, want)
+		}
+	}
+	if best := tbl.MatchBest(pkt); best != 0 {
+		t.Errorf("MatchBest = %d, want 0", best)
+	}
+	if best := tbl.MatchBest([]byte{0, 0}); best != -1 {
+		t.Errorf("MatchBest on nothing = %d, want -1", best)
+	}
+}
+
+func TestTableContradiction(t *testing.T) {
+	// w1==2 AND w1==3 can never match; the table must not blow up.
+	p := NewBuilder().WordEQ(1, 2).WordEQ(1, 3).And().MustProgram()
+	tbl := BuildTable([]Filter{{Priority: 1, Program: p}})
+	if m := tbl.Match(pupPacket(1, 1)); len(m) != 0 {
+		t.Errorf("contradictory filter matched: %v", m)
+	}
+}
+
+func TestTableInvalidProgramMatchesNothing(t *testing.T) {
+	bad := Program{MkInstr(NOPUSH, EQ)} // underflows: invalid
+	tbl := BuildTable([]Filter{{Priority: 1, Program: bad}})
+	if m := tbl.Match(pupPacket(1, 1)); len(m) != 0 {
+		t.Errorf("invalid filter matched: %v", m)
+	}
+	// The empty program, by contrast, matches everything.
+	tbl = BuildTable([]Filter{{Priority: 1, Program: Program{}}})
+	if m := tbl.Match(pupPacket(1, 1)); len(m) != 1 {
+		t.Errorf("empty filter match = %v", m)
+	}
+}
+
+// TestTableEquivalence: the merged table must match exactly the same
+// filters as linear application of every program, over random filter
+// populations and packets.
+func TestTableEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		nf := 1 + r.Intn(12)
+		filters := make([]Filter, 0, nf)
+		for i := 0; i < nf; i++ {
+			if r.Intn(4) == 0 {
+				// A random stack program, usually not
+				// table-compatible.
+				filters = append(filters, Filter{
+					Priority: uint8(r.Intn(4)),
+					Program:  genProgram(r, 1+r.Intn(8)),
+				})
+				continue
+			}
+			var conds []Cond
+			for k := r.Intn(4); k > 0; k-- {
+				conds = append(conds, Cond{Word: r.Intn(6), Value: uint16(r.Intn(3))})
+			}
+			filters = append(filters, mkEqFilter(uint8(r.Intn(4)), conds...))
+		}
+		tbl := BuildTable(filters)
+		for j := 0; j < 16; j++ {
+			pkt := genPacket(r)
+			got := tbl.Match(pkt)
+			var want []int
+			for i, f := range filters {
+				if Run(f.Program, pkt).Accept {
+					want = append(want, i)
+				}
+			}
+			// Same set?
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: table=%v linear=%v", trial, got, want)
+			}
+			inGot := make(map[int]bool, len(got))
+			for _, i := range got {
+				inGot[i] = true
+			}
+			for _, i := range want {
+				if !inGot[i] {
+					t.Fatalf("trial %d: table=%v linear=%v", trial, got, want)
+				}
+			}
+			// Priority-sorted?
+			for k := 1; k < len(got); k++ {
+				if filters[got[k-1]].Priority < filters[got[k]].Priority {
+					t.Fatalf("trial %d: results not priority-sorted: %v", trial, got)
+				}
+			}
+		}
+	}
+}
+
+func TestPairPredicate(t *testing.T) {
+	pred := PairPredicate{
+		{Word: 1, Value: 2},
+		{Word: 3, Mask: 0x00FF, Value: 50},
+	}
+	if !pred.Match(pupPacket(50, 1)) {
+		t.Error("expected match")
+	}
+	if pred.Match(pupPacket(51, 1)) {
+		t.Error("wrong PupType matched")
+	}
+	if pred.Match([]byte{0, 2}) {
+		t.Error("short packet matched")
+	}
+	if !(PairPredicate{}).Match(nil) {
+		t.Error("empty predicate must accept everything")
+	}
+
+	// Translation to the stack language agrees with direct matching.
+	prog := pred.Program()
+	for _, pt := range []uint8{49, 50, 51} {
+		pkt := pupPacket(pt, 9)
+		if got, want := Run(prog, pkt).Accept, pred.Match(pkt); got != want {
+			t.Errorf("PupType %d: program=%v pairs=%v", pt, got, want)
+		}
+	}
+	if prog := (PairPredicate{}).Program(); !Run(prog, nil).Accept {
+		t.Error("empty predicate program must accept")
+	}
+}
+
+func TestPairPredicateProgramEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		var pred PairPredicate
+		for k := r.Intn(5); k > 0; k-- {
+			ft := FieldTest{Word: r.Intn(6), Value: uint16(r.Intn(3))}
+			if r.Intn(2) == 0 {
+				ft.Mask = 0x00FF
+				ft.Value &= ft.Mask
+			}
+			pred = append(pred, ft)
+		}
+		prog := pred.Program()
+		for j := 0; j < 8; j++ {
+			pkt := genPacket(r)
+			if got, want := Run(prog, pkt).Accept, pred.Match(pkt); got != want {
+				t.Fatalf("pred %+v pkt %v: program=%v pairs=%v", pred, pkt, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package filter_test
+
+import (
+	"fmt"
+
+	"repro/internal/filter"
+)
+
+// ExampleBuilder reconstructs the paper's figure 3-9 filter and shows
+// the short-circuit exit: a packet with the wrong socket is rejected
+// after only two instructions.
+func ExampleBuilder() {
+	prog := filter.NewBuilder().
+		CANDWordEQ(8, 35). // DstSocket low word, most selective first
+		CANDWordEQ(7, 0).  // DstSocket high word
+		WordEQ(1, 2).      // Ethernet type == Pup
+		MustProgram()
+
+	// A 3Mb-Ethernet Pup packet for socket 35 ... and one for 36.
+	match := wordsPacket(0x0102, 2, 26, 1, 0, 0, 0x0105, 0, 35)
+	miss := wordsPacket(0x0102, 2, 26, 1, 0, 0, 0x0105, 0, 36)
+
+	r := filter.Run(prog, match)
+	fmt.Printf("socket 35: accept=%v after %d instructions\n", r.Accept, r.Instrs)
+	r = filter.Run(prog, miss)
+	fmt.Printf("socket 36: accept=%v after %d instructions\n", r.Accept, r.Instrs)
+	// Output:
+	// socket 35: accept=true after 6 instructions
+	// socket 36: accept=false after 2 instructions
+}
+
+// ExampleAssemble shows the textual program notation from the paper's
+// listings.
+func ExampleAssemble() {
+	prog, err := filter.Assemble(`
+		PUSHWORD+1  PUSHLIT|EQ 2   # packet type == PUP
+	`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(prog.String())
+	// Output:
+	// PUSHWORD+1
+	// PUSHLIT|EQ, 2
+}
+
+// ExampleOptimize shows the peephole pass narrowing literals and
+// fusing push/operator pairs.
+func ExampleOptimize() {
+	verbose := filter.NewBuilder().
+		PushWord(1).
+		PushLit(0xFFFF). // a wired-in constant spelled the long way
+		Op(filter.AND).
+		PushLit(2).
+		Op(filter.EQ).
+		MustProgram()
+	tight := filter.Optimize(verbose, filter.ValidateOptions{})
+	fmt.Printf("%d words -> %d words\n", len(verbose), len(tight))
+	fmt.Print(tight.String())
+	// Output:
+	// 7 words -> 4 words
+	// PUSHWORD+1
+	// PUSHFFFF|AND
+	// PUSHLIT|EQ, 2
+}
+
+// ExampleBuildTable merges a set of filters into the §7 decision
+// table: one tree walk replaces the priority-ordered linear scan.
+func ExampleBuildTable() {
+	filters := []filter.Filter{
+		filter.DstSocketFilter(10, 35),
+		filter.DstSocketFilter(10, 36),
+		{Priority: 1, Program: filter.Program{}}, // catch-all monitor
+	}
+	tbl := filter.BuildTable(filters)
+	pkt := wordsPacket(0x0102, 2, 26, 1, 0, 0, 0x0105, 0, 36)
+	fmt.Println("matches, by priority:", tbl.Match(pkt))
+	// Output:
+	// matches, by priority: [1 2]
+}
+
+// wordsPacket builds a packet from big-endian 16-bit words.
+func wordsPacket(ws ...uint16) []byte {
+	pkt := make([]byte, 2*len(ws))
+	for i, w := range ws {
+		pkt[2*i] = byte(w >> 8)
+		pkt[2*i+1] = byte(w)
+	}
+	return pkt
+}

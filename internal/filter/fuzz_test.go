@@ -1,0 +1,101 @@
+package filter
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets.  `go test` runs the seed corpus as ordinary
+// tests; `go test -fuzz=FuzzRun ./internal/filter` explores further.
+// The properties mirror the kernel's obligations: arbitrary programs
+// and packets must never panic the interpreter, and the §7 fast paths
+// must agree with checked interpretation whenever the program is
+// valid.
+
+func FuzzRun(f *testing.F) {
+	fig38, _ := Fig38PupTypeRange().Program.Clone(), 0
+	seed := make([]byte, 2*len(fig38))
+	for i, w := range fig38 {
+		seed[2*i] = byte(w >> 8)
+		seed[2*i+1] = byte(w)
+	}
+	f.Add(seed, []byte{0x01, 0x02, 0x00, 0x02, 0x00, 0x1A})
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0x00, 0x41}, []byte{1, 2, 3}) // bare EQ: underflow
+
+	f.Fuzz(func(t *testing.T, progBytes, pkt []byte) {
+		prog := make(Program, len(progBytes)/2)
+		for i := range prog {
+			prog[i] = Word(uint16(progBytes[2*i])<<8 | uint16(progBytes[2*i+1]))
+		}
+		checked := Run(prog, pkt)              // must not panic
+		RunExt(prog, pkt, Env{HeaderWords: 2}) // must not panic
+
+		// When the program validates, the fast paths must agree.
+		if _, err := Validate(prog, ValidateOptions{}); err == nil {
+			pv, err := Prevalidate(prog, ValidateOptions{})
+			if err != nil {
+				t.Fatalf("Validate ok but Prevalidate failed: %v", err)
+			}
+			if got := pv.Run(pkt); got.Accept != checked.Accept {
+				t.Fatalf("fast path diverges: %v vs %v", got.Accept, checked.Accept)
+			}
+			c, err := Compile(prog, ValidateOptions{}, Env{})
+			if err != nil {
+				t.Fatalf("Validate ok but Compile failed: %v", err)
+			}
+			if got := c.Run(pkt); got != checked.Accept {
+				t.Fatalf("compiled diverges: %v vs %v", got, checked.Accept)
+			}
+			opt := Optimize(prog, ValidateOptions{})
+			if got := Run(opt, pkt); got.Accept != checked.Accept {
+				t.Fatalf("optimizer diverges: %v vs %v", got.Accept, checked.Accept)
+			}
+		}
+	})
+}
+
+func FuzzAssemble(f *testing.F) {
+	f.Add("PUSHWORD+8 PUSHLIT|CAND 35\nPUSHWORD+1 PUSHLIT|EQ 2")
+	f.Add("PUSHONE")
+	f.Add("# comment only")
+	f.Add("PUSHBYTE 14 PUSHIND PUSHPKTLEN OR")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src) // must not panic
+		if err != nil {
+			return
+		}
+		// Whatever assembles must disassemble and re-assemble to
+		// the identical program.
+		back, err := Assemble(prog.String())
+		if err != nil {
+			t.Fatalf("disassembly does not re-assemble: %v\n%s", err, prog)
+		}
+		if !back.Equal(prog) {
+			t.Fatalf("round trip changed the program:\n%s\nvs\n%s", prog, back)
+		}
+	})
+}
+
+func FuzzFilterMarshal(f *testing.F) {
+	data, _ := Fig39PupSocket().MarshalBinary()
+	f.Add(data)
+	f.Add([]byte{})
+	f.Add([]byte{10, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var flt Filter
+		if err := flt.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := flt.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of unmarshaled filter failed: %v", err)
+		}
+		// The canonical prefix must round-trip.
+		if !bytes.Equal(out, data[:len(out)]) {
+			t.Fatalf("round trip changed bytes: %x vs %x", out, data[:len(out)])
+		}
+	})
+}

@@ -1,0 +1,392 @@
+package filter
+
+import "fmt"
+
+// Env supplies the per-packet context needed by the extended stack
+// actions.  The zero Env is correct for the base language.
+type Env struct {
+	// HeaderWords is the data-link header length in 16-bit words
+	// (2 on the 3 Mb experimental Ethernet, 7 on the 10 Mb
+	// Ethernet), pushed by PUSHHDRLEN.
+	HeaderWords int
+}
+
+// Result reports the outcome of applying one filter program to one
+// packet.
+type Result struct {
+	// Accept is the predicate value: true if the packet should be
+	// delivered to this filter's port.
+	Accept bool
+	// Instrs is the number of instruction words actually executed,
+	// which short-circuit operators make less than len(program).
+	// The simulator charges virtual CPU time per executed word.
+	Instrs int
+	// Err is non-nil if evaluation stopped on a malformed
+	// instruction, stack misuse or out-of-range packet access; the
+	// packet is rejected in that case, matching the original
+	// driver ("or an error is detected, it returns").
+	Err error
+}
+
+// Run applies a base-language program to a packet with full
+// per-instruction checking, exactly as the production interpreter of
+// §4 does: "it must be carefully coded since its inner loop is quite
+// busy.  It simply iterates through the 'instruction words' of a
+// filter (there are no branch instructions), evaluating the filter
+// predicate using a small stack."
+func Run(p Program, pkt []byte) Result {
+	return run(p, pkt, Env{}, false)
+}
+
+// RunExt is Run with the §7 extended instructions permitted.
+func RunExt(p Program, pkt []byte, env Env) Result {
+	return run(p, pkt, env, true)
+}
+
+func run(p Program, pkt []byte, env Env, ext bool) Result {
+	if len(p) == 0 {
+		// The empty filter accepts everything (table 6-10's
+		// zero-instruction baseline).
+		return Result{Accept: true}
+	}
+	var stack [StackDepth]uint16
+	sp := 0 // number of words on the stack
+	res := Result{}
+
+	fail := func(pc int, err error) Result {
+		res.Err = fmt.Errorf("word %d: %w", pc, err)
+		res.Accept = false
+		return res
+	}
+
+	for pc := 0; pc < len(p); pc++ {
+		w := p[pc]
+		a, op := w.Action(), w.Op()
+		res.Instrs++
+
+		// Stack action first (figure 3-6).
+		var push uint16
+		doPush := true
+		switch {
+		case a == NOPUSH:
+			doPush = false
+		case a == PUSHLIT:
+			pc++
+			if pc >= len(p) {
+				return fail(pc-1, ErrMissingOper)
+			}
+			push = uint16(p[pc])
+		case a == PUSHZERO:
+			push = 0
+		case a == PUSHONE:
+			push = 1
+		case a == PUSHFFFF:
+			push = 0xFFFF
+		case a == PUSHFF00:
+			push = 0xFF00
+		case a == PUSH00FF:
+			push = 0x00FF
+		case a == PUSHIND:
+			if !ext {
+				return fail(pc, ErrExtension)
+			}
+			if sp < 1 {
+				return fail(pc, ErrUnderflow)
+			}
+			sp--
+			v, ok := PacketWord(pkt, int(stack[sp]))
+			if !ok {
+				return fail(pc, ErrWordIndex)
+			}
+			push = v
+		case a == PUSHHDRLEN:
+			if !ext {
+				return fail(pc, ErrExtension)
+			}
+			push = uint16(env.HeaderWords)
+		case a == PUSHPKTLEN:
+			if !ext {
+				return fail(pc, ErrExtension)
+			}
+			push = uint16(len(pkt))
+		case a == PUSHBYTE:
+			if !ext {
+				return fail(pc, ErrExtension)
+			}
+			pc++
+			if pc >= len(p) {
+				return fail(pc-1, ErrMissingOper)
+			}
+			n := int(p[pc])
+			if n >= len(pkt) {
+				return fail(pc-1, ErrWordIndex)
+			}
+			push = uint16(pkt[n])
+		case a >= PUSHWORD:
+			v, ok := PacketWord(pkt, int(a-PUSHWORD))
+			if !ok {
+				return fail(pc, ErrWordIndex)
+			}
+			push = v
+		default:
+			return fail(pc, ErrBadAction)
+		}
+		if doPush {
+			if sp >= StackDepth {
+				return fail(pc, ErrStackOverflow)
+			}
+			stack[sp] = push
+			sp++
+		}
+
+		// Binary operation second.
+		if op == NOP {
+			continue
+		}
+		if !op.Valid(ext) {
+			return fail(pc, ErrBadOp)
+		}
+		if sp < 2 {
+			return fail(pc, ErrUnderflow)
+		}
+		t1 := stack[sp-1] // original top of stack
+		t2 := stack[sp-2]
+		sp -= 2
+		var r uint16
+		switch op {
+		case EQ:
+			r = b2w(t2 == t1)
+		case NEQ:
+			r = b2w(t2 != t1)
+		case LT:
+			r = b2w(t2 < t1)
+		case LE:
+			r = b2w(t2 <= t1)
+		case GT:
+			r = b2w(t2 > t1)
+		case GE:
+			r = b2w(t2 >= t1)
+		case AND:
+			r = t2 & t1
+		case OR:
+			r = t2 | t1
+		case XOR:
+			r = t2 ^ t1
+		case COR:
+			if t1 == t2 {
+				res.Accept = true
+				return res
+			}
+			r = 0
+		case CAND:
+			if t1 != t2 {
+				res.Accept = false
+				return res
+			}
+			r = 1
+		case CNOR:
+			if t1 == t2 {
+				res.Accept = false
+				return res
+			}
+			r = 0
+		case CNAND:
+			if t1 != t2 {
+				res.Accept = true
+				return res
+			}
+			r = 1
+		case ADD:
+			r = t2 + t1
+		case SUB:
+			r = t2 - t1
+		case MUL:
+			r = t2 * t1
+		case LSH:
+			r = t2 << (t1 & 15)
+		case RSH:
+			r = t2 >> (t1 & 15)
+		default:
+			return fail(pc, ErrBadOp)
+		}
+		stack[sp] = r
+		sp++
+	}
+
+	if sp == 0 {
+		return fail(len(p), ErrEmptyStack)
+	}
+	res.Accept = stack[sp-1] != 0
+	return res
+}
+
+func b2w(b bool) uint16 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Prevalidated wraps a program whose static checks have already
+// passed, so the per-packet inner loop can omit the action/operator
+// validity, operand-presence, stack-depth and constant-index checks.
+// This is the first of §7's proposed speedups.  Construct with
+// Prevalidate.
+type Prevalidated struct {
+	prog Program
+	info Info
+	env  Env
+	ext  bool
+}
+
+// Prevalidate validates p once and returns a fast evaluator for it.
+func Prevalidate(p Program, opt ValidateOptions) (*Prevalidated, error) {
+	info, err := Validate(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Prevalidated{prog: p.Clone(), info: info, ext: opt.Extensions}, nil
+}
+
+// SetEnv sets the per-device environment used by extended actions.
+func (v *Prevalidated) SetEnv(env Env) { v.env = env }
+
+// Info returns the static summary computed at validation time.
+func (v *Prevalidated) Info() Info { return v.info }
+
+// Program returns the underlying program.
+func (v *Prevalidated) Program() Program { return v.prog }
+
+// Run evaluates the prevalidated program against pkt.  Packets too
+// short for the program's constant accesses take the fully checked
+// path so that acceptance is bit-for-bit identical to Run; packets of
+// normal length run with no per-instruction checking.
+func (v *Prevalidated) Run(pkt []byte) Result {
+	if len(v.prog) == 0 {
+		return Result{Accept: true}
+	}
+	if 2*(v.info.MaxWord+1) > len(pkt) || v.info.MaxByte >= len(pkt) {
+		return run(v.prog, pkt, v.env, v.ext)
+	}
+	var stack [StackDepth]uint16
+	sp := 0
+	res := Result{}
+	p := v.prog
+
+	for pc := 0; pc < len(p); pc++ {
+		w := p[pc]
+		a, op := w.Action(), w.Op()
+		res.Instrs++
+
+		switch {
+		case a == NOPUSH:
+			// nothing
+		case a == PUSHLIT:
+			pc++
+			stack[sp] = uint16(p[pc])
+			sp++
+		case a == PUSHZERO:
+			stack[sp] = 0
+			sp++
+		case a == PUSHONE:
+			stack[sp] = 1
+			sp++
+		case a == PUSHFFFF:
+			stack[sp] = 0xFFFF
+			sp++
+		case a == PUSHFF00:
+			stack[sp] = 0xFF00
+			sp++
+		case a == PUSH00FF:
+			stack[sp] = 0x00FF
+			sp++
+		case a == PUSHIND:
+			// The only access not checkable ahead of time (§7).
+			v2, ok := PacketWord(pkt, int(stack[sp-1]))
+			if !ok {
+				res.Err = fmt.Errorf("word %d: %w", pc, ErrWordIndex)
+				return res
+			}
+			stack[sp-1] = v2
+		case a == PUSHHDRLEN:
+			stack[sp] = uint16(v.env.HeaderWords)
+			sp++
+		case a == PUSHPKTLEN:
+			stack[sp] = uint16(len(pkt))
+			sp++
+		case a == PUSHBYTE:
+			pc++
+			stack[sp] = uint16(pkt[int(p[pc])])
+			sp++
+		default: // a >= PUSHWORD; validated
+			n := int(a - PUSHWORD)
+			stack[sp] = uint16(pkt[2*n])<<8 | uint16(pkt[2*n+1])
+			sp++
+		}
+
+		if op == NOP {
+			continue
+		}
+		t1 := stack[sp-1]
+		t2 := stack[sp-2]
+		sp -= 2
+		var r uint16
+		switch op {
+		case EQ:
+			r = b2w(t2 == t1)
+		case NEQ:
+			r = b2w(t2 != t1)
+		case LT:
+			r = b2w(t2 < t1)
+		case LE:
+			r = b2w(t2 <= t1)
+		case GT:
+			r = b2w(t2 > t1)
+		case GE:
+			r = b2w(t2 >= t1)
+		case AND:
+			r = t2 & t1
+		case OR:
+			r = t2 | t1
+		case XOR:
+			r = t2 ^ t1
+		case COR:
+			if t1 == t2 {
+				res.Accept = true
+				return res
+			}
+			r = 0
+		case CAND:
+			if t1 != t2 {
+				return res
+			}
+			r = 1
+		case CNOR:
+			if t1 == t2 {
+				return res
+			}
+			r = 0
+		case CNAND:
+			if t1 != t2 {
+				res.Accept = true
+				return res
+			}
+			r = 1
+		case ADD:
+			r = t2 + t1
+		case SUB:
+			r = t2 - t1
+		case MUL:
+			r = t2 * t1
+		case LSH:
+			r = t2 << (t1 & 15)
+		case RSH:
+			r = t2 >> (t1 & 15)
+		}
+		stack[sp] = r
+		sp++
+	}
+
+	res.Accept = stack[sp-1] != 0
+	return res
+}

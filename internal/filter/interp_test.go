@@ -1,0 +1,374 @@
+package filter
+
+import (
+	"errors"
+	"testing"
+)
+
+// words builds a packet from 16-bit big-endian words.
+func words(ws ...uint16) []byte {
+	pkt := make([]byte, 2*len(ws))
+	for i, w := range ws {
+		pkt[2*i] = byte(w >> 8)
+		pkt[2*i+1] = byte(w)
+	}
+	return pkt
+}
+
+// pupPacket builds a minimal 3Mb-Ethernet Pup packet (figure 3-7
+// layout): word 1 = EtherType, word 3 low byte = PupType, words 7-8 =
+// DstSocket.
+func pupPacket(pupType uint8, dstSocket uint32) []byte {
+	ws := make([]uint16, 13)
+	ws[0] = 0x0102 // EtherDst | EtherSrc
+	ws[1] = PupEtherType
+	ws[2] = 26 // PupLength
+	ws[3] = uint16(pupType)
+	ws[6] = 0x0105 // DstNet | DstHost
+	ws[7] = uint16(dstSocket >> 16)
+	ws[8] = uint16(dstSocket)
+	return words(ws...)
+}
+
+func mustAccept(t *testing.T, p Program, pkt []byte) {
+	t.Helper()
+	r := Run(p, pkt)
+	if r.Err != nil {
+		t.Fatalf("unexpected error: %v\nprogram:\n%s", r.Err, p)
+	}
+	if !r.Accept {
+		t.Fatalf("expected accept\nprogram:\n%s", p)
+	}
+}
+
+func mustReject(t *testing.T, p Program, pkt []byte) {
+	t.Helper()
+	if r := Run(p, pkt); r.Accept {
+		t.Fatalf("expected reject\nprogram:\n%s", p)
+	}
+}
+
+func TestPushConstants(t *testing.T) {
+	pkt := words(0xDEAD)
+	cases := []struct {
+		action Action
+		want   uint16
+	}{
+		{PUSHZERO, 0},
+		{PUSHONE, 1},
+		{PUSHFFFF, 0xFFFF},
+		{PUSHFF00, 0xFF00},
+		{PUSH00FF, 0x00FF},
+	}
+	for _, c := range cases {
+		p := Program{MkInstr(c.action, NOP), MkInstr(PUSHLIT, EQ), Word(c.want)}
+		mustAccept(t, p, pkt)
+		p = Program{MkInstr(c.action, NOP), MkInstr(PUSHLIT, NEQ), Word(c.want)}
+		mustReject(t, p, pkt)
+	}
+}
+
+func TestPushWordBigEndian(t *testing.T) {
+	pkt := []byte{0x12, 0x34, 0xAB, 0xCD}
+	mustAccept(t, NewBuilder().WordEQ(0, 0x1234).MustProgram(), pkt)
+	mustAccept(t, NewBuilder().WordEQ(1, 0xABCD).MustProgram(), pkt)
+	mustReject(t, NewBuilder().WordEQ(0, 0x3412).MustProgram(), pkt)
+}
+
+func TestComparisonOps(t *testing.T) {
+	// Each case evaluates (t2 op t1) with t2 pushed first.
+	cases := []struct {
+		t2, t1 uint16
+		op     Op
+		want   bool
+	}{
+		{5, 5, EQ, true}, {5, 6, EQ, false},
+		{5, 6, NEQ, true}, {5, 5, NEQ, false},
+		{4, 5, LT, true}, {5, 5, LT, false}, {6, 5, LT, false},
+		{5, 5, LE, true}, {4, 5, LE, true}, {6, 5, LE, false},
+		{6, 5, GT, true}, {5, 5, GT, false},
+		{5, 5, GE, true}, {6, 5, GE, true}, {4, 5, GE, false},
+		// Comparisons are unsigned 16-bit.
+		{0x8000, 1, GT, true},
+		{1, 0xFFFF, LT, true},
+	}
+	for _, c := range cases {
+		p := NewBuilder().PushLit(c.t2).LitOp(c.op, c.t1).MustProgram()
+		r := Run(p, nil)
+		if r.Err != nil {
+			t.Fatalf("%d %v %d: %v", c.t2, c.op, c.t1, r.Err)
+		}
+		if r.Accept != c.want {
+			t.Errorf("%d %v %d = %v, want %v", c.t2, c.op, c.t1, r.Accept, c.want)
+		}
+	}
+}
+
+func TestBitwiseOps(t *testing.T) {
+	cases := []struct {
+		t2, t1 uint16
+		op     Op
+		want   uint16
+	}{
+		{0xFF0F, 0x00FF, AND, 0x000F},
+		{0xF000, 0x000F, OR, 0xF00F},
+		{0xFFFF, 0x0F0F, XOR, 0xF0F0},
+	}
+	for _, c := range cases {
+		p := NewBuilder().PushLit(c.t2).LitOp(c.op, c.t1).LitOp(EQ, c.want).MustProgram()
+		mustAccept(t, p, nil)
+	}
+	// Bitwise AND of two non-zero values can still be FALSE (zero):
+	// the paper's logical interpretation is "non-zero is TRUE".
+	p := NewBuilder().PushLit(0xF0).LitOp(AND, 0x0F).MustProgram()
+	mustReject(t, p, nil)
+}
+
+func TestShortCircuitSemantics(t *testing.T) {
+	pkt := words(7)
+	// COR: accept immediately when equal; program text after the
+	// COR must not execute.
+	p := Program{
+		MkInstr(PushWord(0), NOP), MkInstr(PUSHLIT, COR), 7,
+		MkInstr(PUSHZERO, NOP), // would reject if executed
+	}
+	r := Run(p, pkt)
+	if !r.Accept || r.Instrs != 2 {
+		t.Fatalf("COR: accept=%v instrs=%d, want true/2", r.Accept, r.Instrs)
+	}
+	// COR not taken: pushes FALSE and continues.
+	p = Program{
+		MkInstr(PushWord(0), NOP), MkInstr(PUSHLIT, COR), 8,
+		MkInstr(PUSHONE, OR), // FALSE OR TRUE = TRUE
+	}
+	mustAccept(t, p, pkt)
+
+	// CAND: reject immediately when not equal.
+	p = Program{
+		MkInstr(PushWord(0), NOP), MkInstr(PUSHLIT, CAND), 8,
+		MkInstr(PUSHONE, NOP),
+	}
+	r = Run(p, pkt)
+	if r.Accept || r.Instrs != 2 {
+		t.Fatalf("CAND: accept=%v instrs=%d, want false/2", r.Accept, r.Instrs)
+	}
+	// CAND taken: pushes TRUE and continues.
+	p = Program{
+		MkInstr(PushWord(0), NOP), MkInstr(PUSHLIT, CAND), 7,
+	}
+	mustAccept(t, p, pkt)
+
+	// CNOR: reject immediately when equal; else push FALSE.
+	p = Program{MkInstr(PushWord(0), NOP), MkInstr(PUSHLIT, CNOR), 7}
+	mustReject(t, p, pkt)
+	p = Program{
+		MkInstr(PushWord(0), NOP), MkInstr(PUSHLIT, CNOR), 8,
+		MkInstr(PUSHONE, OR),
+	}
+	mustAccept(t, p, pkt)
+
+	// CNAND: accept immediately when not equal; else push TRUE.
+	p = Program{MkInstr(PushWord(0), NOP), MkInstr(PUSHLIT, CNAND), 8}
+	mustAccept(t, p, pkt)
+	p = Program{MkInstr(PushWord(0), NOP), MkInstr(PUSHLIT, CNAND), 7}
+	mustAccept(t, p, pkt) // falls off end with TRUE on stack
+}
+
+func TestFig38PupTypeRange(t *testing.T) {
+	f := Fig38PupTypeRange()
+	if len(f.Program) != 12 {
+		t.Fatalf("figure 3-8 program is %d words, paper says 12", len(f.Program))
+	}
+	cases := []struct {
+		pupType uint8
+		want    bool
+	}{
+		{0, false}, {1, true}, {50, true}, {100, true}, {101, false}, {255, false},
+	}
+	for _, c := range cases {
+		pkt := pupPacket(c.pupType, 99)
+		if got := Run(f.Program, pkt).Accept; got != c.want {
+			t.Errorf("PupType %d: accept=%v, want %v", c.pupType, got, c.want)
+		}
+	}
+	// Non-Pup packets rejected regardless of the type byte.
+	pkt := pupPacket(50, 99)
+	pkt[2], pkt[3] = 0x08, 0x00 // overwrite EtherType
+	mustReject(t, f.Program, pkt)
+}
+
+func TestFig39PupSocket(t *testing.T) {
+	f := Fig39PupSocket()
+	if len(f.Program) != 8 {
+		t.Fatalf("figure 3-9 program is %d words, paper says 8", len(f.Program))
+	}
+	mustAccept(t, f.Program, pupPacket(1, 35))
+	mustReject(t, f.Program, pupPacket(1, 36))
+	mustReject(t, f.Program, pupPacket(1, 35|1<<16))
+	pkt := pupPacket(1, 35)
+	pkt[2], pkt[3] = 0x08, 0x00
+	mustReject(t, f.Program, pkt)
+
+	// The short-circuit exit must fire on the first (most
+	// selective) test: a wrong socket costs only 2 instructions.
+	if r := Run(f.Program, pupPacket(1, 36)); r.Instrs != 2 {
+		t.Errorf("wrong-socket packet executed %d instrs, want 2", r.Instrs)
+	}
+	// An accepted packet runs the whole 6-instruction program.
+	if r := Run(f.Program, pupPacket(1, 35)); r.Instrs != 6 {
+		t.Errorf("accepted packet executed %d instrs, want 6", r.Instrs)
+	}
+}
+
+func TestDstSocketFilter(t *testing.T) {
+	f := DstSocketFilter(5, 0x0001_0023)
+	mustAccept(t, f.Program, pupPacket(4, 0x0001_0023))
+	mustReject(t, f.Program, pupPacket(4, 0x0023))
+	mustReject(t, f.Program, pupPacket(4, 0x0001_0024))
+	if f.Priority != 5 {
+		t.Errorf("priority = %d, want 5", f.Priority)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Program
+		pkt  []byte
+		err  error
+	}{
+		{"word out of range", Program{MkInstr(PushWord(10), NOP)}, words(1, 2), ErrWordIndex},
+		{"odd trailing byte inaccessible", Program{MkInstr(PushWord(1), NOP)}, []byte{1, 2, 3}, ErrWordIndex},
+		{"missing literal", Program{MkInstr(PUSHLIT, NOP)}, nil, ErrMissingOper},
+		{"underflow", Program{MkInstr(PUSHONE, AND)}, nil, ErrUnderflow},
+		{"empty stack at end", Program{MkInstr(NOPUSH, NOP)}, nil, ErrEmptyStack},
+		{"extension disabled", Program{MkInstr(PUSHPKTLEN, NOP)}, nil, ErrExtension},
+		{"bad action", Program{MkInstr(Action(7), NOP)}, nil, ErrBadAction},
+		{"bad op", Program{MkInstr(PUSHONE, NOP), MkInstr(PUSHONE, Op(63))}, nil, ErrBadOp},
+	}
+	for _, c := range cases {
+		r := Run(c.p, c.pkt)
+		if r.Accept {
+			t.Errorf("%s: accepted", c.name)
+		}
+		if !errors.Is(r.Err, c.err) {
+			t.Errorf("%s: err = %v, want %v", c.name, r.Err, c.err)
+		}
+	}
+	// Stack overflow: 17 pushes.
+	var p Program
+	for i := 0; i < StackDepth+1; i++ {
+		p = append(p, MkInstr(PUSHONE, NOP))
+	}
+	if r := Run(p, nil); !errors.Is(r.Err, ErrStackOverflow) {
+		t.Errorf("overflow: err = %v, want ErrStackOverflow", r.Err)
+	}
+}
+
+func TestExtendedInstructions(t *testing.T) {
+	pkt := words(0x0003, 0xAAAA, 0xBBBB, 0xCCCC)
+
+	// PUSHIND: use word 0 (=3) as an index.
+	p := NewExtendedBuilder().PushWord(0).PushInd().LitOp(EQ, 0xCCCC).MustProgram()
+	r := RunExt(p, pkt, Env{})
+	if r.Err != nil || !r.Accept {
+		t.Fatalf("PUSHIND: accept=%v err=%v", r.Accept, r.Err)
+	}
+	// PUSHIND out of range rejects.
+	p = NewExtendedBuilder().PushLit(99).PushInd().MustProgram()
+	if r := RunExt(p, pkt, Env{}); r.Accept || !errors.Is(r.Err, ErrWordIndex) {
+		t.Fatalf("PUSHIND OOB: accept=%v err=%v", r.Accept, r.Err)
+	}
+
+	// PUSHBYTE.
+	p = NewExtendedBuilder().PushByte(3).LitOp(EQ, 0xAA).MustProgram()
+	if r := RunExt(p, pkt, Env{}); !r.Accept {
+		t.Error("PUSHBYTE: expected accept")
+	}
+	p = NewExtendedBuilder().PushByte(100).MustProgram()
+	if r := RunExt(p, pkt, Env{}); r.Accept || !errors.Is(r.Err, ErrWordIndex) {
+		t.Errorf("PUSHBYTE OOB: accept=%v err=%v", r.Accept, r.Err)
+	}
+
+	// PUSHPKTLEN / PUSHHDRLEN.
+	p = NewExtendedBuilder().PushPktLen().LitOp(EQ, uint16(len(pkt))).MustProgram()
+	if r := RunExt(p, pkt, Env{}); !r.Accept {
+		t.Error("PUSHPKTLEN: expected accept")
+	}
+	p = NewExtendedBuilder().PushHdrLen().LitOp(EQ, 7).MustProgram()
+	if r := RunExt(p, pkt, Env{HeaderWords: 7}); !r.Accept {
+		t.Error("PUSHHDRLEN: expected accept")
+	}
+
+	// Arithmetic, with 16-bit wraparound.
+	arith := []struct {
+		t2, t1 uint16
+		op     Op
+		want   uint16
+	}{
+		{3, 4, ADD, 7},
+		{0xFFFF, 2, ADD, 1},
+		{10, 3, SUB, 7},
+		{0, 1, SUB, 0xFFFF},
+		{300, 300, MUL, 0x5F90},
+		{1, 4, LSH, 16},
+		{0x8000, 15, RSH, 1},
+	}
+	for _, c := range arith {
+		p := NewExtendedBuilder().PushLit(c.t2).LitOp(c.op, c.t1).LitOp(EQ, c.want).MustProgram()
+		if r := RunExt(p, nil, Env{}); r.Err != nil || !r.Accept {
+			t.Errorf("%d %v %d != %d (err=%v)", c.t2, c.op, c.t1, c.want, r.Err)
+		}
+	}
+}
+
+// TestVariableOffsetIPFilter demonstrates §7's motivating case for the
+// extensions: finding a TCP port behind a variable-length IP header.
+func TestVariableOffsetIPFilter(t *testing.T) {
+	// Synthetic 10Mb Ethernet + IP packet: 14-byte Ethernet header
+	// (7 words), then IP whose IHL is in the low nibble of byte 14.
+	mkIP := func(ihl int, srcPort uint16) []byte {
+		ipLen := 4 * ihl
+		pkt := make([]byte, 14+ipLen+4)
+		pkt[12], pkt[13] = 0x08, 0x00 // EtherType IP
+		pkt[14] = 0x40 | byte(ihl)    // version 4, header length
+		pkt[14+ipLen] = byte(srcPort >> 8)
+		pkt[14+ipLen+1] = byte(srcPort)
+		return pkt
+	}
+	// Filter: TCP source port == 0x1234, however long the IP
+	// header is: word index = 7 (ether) + 2*IHL, then PUSHIND.
+	p := NewExtendedBuilder().
+		PushByte(14).LitOp(AND, 0x0F). // IHL in 32-bit units
+		LitOp(MUL, 2).                 // ... in 16-bit words
+		LitOp(ADD, 7).                 // skip the Ethernet header
+		PushInd().
+		LitOp(EQ, 0x1234).
+		MustProgram()
+	for _, ihl := range []int{5, 6, 8, 15} {
+		if r := RunExt(p, mkIP(ihl, 0x1234), Env{}); !r.Accept || r.Err != nil {
+			t.Errorf("IHL %d: accept=%v err=%v", ihl, r.Accept, r.Err)
+		}
+		if r := RunExt(p, mkIP(ihl, 0x4321), Env{}); r.Accept {
+			t.Errorf("IHL %d: accepted wrong port", ihl)
+		}
+	}
+}
+
+func TestInstrsCounting(t *testing.T) {
+	f := Fig38PupTypeRange()
+	r := Run(f.Program, pupPacket(50, 1))
+	// 12 words minus 2 literals = 10 instructions, no short circuit.
+	if r.Instrs != 10 {
+		t.Errorf("instrs = %d, want 10", r.Instrs)
+	}
+}
+
+func TestAcceptAllRejectAll(t *testing.T) {
+	all := NewBuilder().AcceptAll().MustProgram()
+	none := NewBuilder().RejectAll().MustProgram()
+	for _, pkt := range [][]byte{nil, {}, words(1), pupPacket(3, 9)} {
+		mustAccept(t, all, pkt)
+		mustReject(t, none, pkt)
+	}
+}

@@ -1,0 +1,99 @@
+package filter
+
+// Optimize performs semantics-preserving peephole rewrites on a filter
+// program.  Every word saved matters in a driver whose "inner loop is
+// quite busy" (§4): the rewrites shorten programs (fewer literal
+// operands) and let short-circuit exits fire sooner.
+//
+//	PUSHLIT v  ->  PUSHZERO/PUSHONE/PUSHFFFF/PUSHFF00/PUSH00FF
+//	               when v is one of the five wired-in constants,
+//	               saving the operand word (the reason those stack
+//	               actions exist, per figure 3-6);
+//	bare push followed by a bare operator word -> one fused word
+//	               (PUSHWORD+n, then NOPUSH|EQ  ->  PUSHWORD+n|EQ).
+//
+// The returned program accepts exactly the packets p accepts; the test
+// suite checks this property on random programs.  Invalid programs are
+// returned unchanged.
+func Optimize(p Program, opt ValidateOptions) Program {
+	if _, err := Validate(p, opt); err != nil {
+		return p
+	}
+	out := make(Program, 0, len(p))
+
+	// Pass 1: narrow PUSHLIT into constant stack actions.
+	for pc := 0; pc < len(p); pc++ {
+		w := p[pc]
+		a, op := w.Action(), w.Op()
+		if a == PUSHLIT && pc+1 < len(p) {
+			if c, ok := constAction(uint16(p[pc+1])); ok {
+				out = append(out, MkInstr(c, op))
+				pc++
+				continue
+			}
+		}
+		out = append(out, w)
+		if a.HasOperand() {
+			pc++
+			out = append(out, p[pc])
+		}
+	}
+
+	// Pass 2: fuse a pure push with a following pure operator.
+	fused := make(Program, 0, len(out))
+	for pc := 0; pc < len(out); pc++ {
+		w := out[pc]
+		a, op := w.Action(), w.Op()
+		operand := Word(0)
+		hasOperand := a.HasOperand()
+		if hasOperand {
+			operand = out[pc+1]
+		}
+		// Look ahead: a push with no operator, followed by an
+		// operator with no push, fuse into one word.  (The fused
+		// word performs the push first, then the operator —
+		// exactly the original two-word semantics.)  Works for
+		// operand-carrying pushes too: "PUSHLIT, v, EQ" becomes
+		// "PUSHLIT|EQ, v".
+		nxtIdx := pc + 1
+		if hasOperand {
+			nxtIdx = pc + 2
+		}
+		if op == NOP && a != NOPUSH && nxtIdx < len(out) {
+			nxt := out[nxtIdx]
+			if nxt.Action() == NOPUSH && nxt.Op() != NOP {
+				fused = append(fused, MkInstr(a, nxt.Op()))
+				if hasOperand {
+					fused = append(fused, operand)
+					pc++
+				}
+				pc++
+				continue
+			}
+		}
+		fused = append(fused, w)
+		if hasOperand {
+			fused = append(fused, operand)
+			pc++
+		}
+	}
+	return fused
+}
+
+// constAction maps a literal value to the equivalent constant stack
+// action, if one exists.
+func constAction(v uint16) (Action, bool) {
+	switch v {
+	case 0:
+		return PUSHZERO, true
+	case 1:
+		return PUSHONE, true
+	case 0xFFFF:
+		return PUSHFFFF, true
+	case 0xFF00:
+		return PUSHFF00, true
+	case 0x00FF:
+		return PUSH00FF, true
+	}
+	return 0, false
+}

@@ -1,0 +1,109 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOptimizeNarrowsLiterals(t *testing.T) {
+	// PUSHLIT 0 / 1 / FFFF / FF00 / 00FF become the wired constants.
+	p := NewBuilder().
+		PushLit(0).PushLit(1).Op(OR).
+		PushLit(0xFFFF).Op(AND).
+		PushLit(0xFF00).Op(OR).
+		PushLit(0x00FF).Op(OR).
+		MustProgram()
+	q := Optimize(p, ValidateOptions{})
+	if len(q) >= len(p) {
+		t.Fatalf("no shrink: %d -> %d words", len(p), len(q))
+	}
+	for pc := 0; pc < len(q); pc++ {
+		if q[pc].Action() == PUSHLIT {
+			t.Fatalf("PUSHLIT of a wired constant survived:\n%s", q)
+		}
+		if q[pc].Action().HasOperand() {
+			pc++
+		}
+	}
+}
+
+func TestOptimizeFusesPushOp(t *testing.T) {
+	// "PUSHWORD+1 / EQ-with-lit" written as three separate words
+	// fuses down to the paper's two-word idiom.
+	p := Program{
+		MkInstr(PushWord(1), NOP),
+		MkInstr(PUSHLIT, NOP), 2,
+		MkInstr(NOPUSH, EQ),
+	}
+	q := Optimize(p, ValidateOptions{})
+	want := Program{
+		MkInstr(PushWord(1), NOP),
+		MkInstr(PUSHLIT, EQ), 2,
+	}
+	if !q.Equal(want) {
+		t.Fatalf("got:\n%s\nwant:\n%s", q, want)
+	}
+}
+
+func TestOptimizePreservesPaperExamples(t *testing.T) {
+	// The paper's listings are already in fused form: optimization
+	// must leave them semantically intact (and not longer).
+	for _, f := range []Filter{Fig38PupTypeRange(), Fig39PupSocket()} {
+		q := Optimize(f.Program, ValidateOptions{})
+		if len(q) > len(f.Program) {
+			t.Fatalf("optimizer grew a program: %d -> %d", len(f.Program), len(q))
+		}
+		for _, pt := range []uint8{0, 1, 50, 100, 101} {
+			pkt := pupPacket(pt, 35)
+			if Run(f.Program, pkt).Accept != Run(q, pkt).Accept {
+				t.Fatalf("semantics changed for PupType %d", pt)
+			}
+		}
+	}
+}
+
+func TestOptimizeInvalidUnchanged(t *testing.T) {
+	bad := Program{MkInstr(NOPUSH, EQ)}
+	if !Optimize(bad, ValidateOptions{}).Equal(bad) {
+		t.Fatal("invalid program modified")
+	}
+}
+
+// TestOptimizeEquivalence: over random valid programs and packets, the
+// optimized program accepts exactly the same packets.
+func TestOptimizeEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 2000; i++ {
+		p := genProgram(r, 1+r.Intn(12))
+		q := Optimize(p, ValidateOptions{})
+		if _, err := Validate(q, ValidateOptions{}); err != nil {
+			t.Fatalf("optimizer produced invalid program: %v\nfrom:\n%s\nto:\n%s", err, p, q)
+		}
+		if len(q) > len(p) {
+			t.Fatalf("optimizer grew program %d -> %d", len(p), len(q))
+		}
+		for j := 0; j < 8; j++ {
+			pkt := genPacket(r)
+			a := Run(p, pkt).Accept
+			b := Run(q, pkt).Accept
+			if a != b {
+				t.Fatalf("divergence (orig=%v opt=%v) on %d-byte packet\norig:\n%s\nopt:\n%s",
+					a, b, len(pkt), p, q)
+			}
+		}
+	}
+}
+
+func TestOptimizeShrinksGeneratedCode(t *testing.T) {
+	// The expression-compiler style "push, push, op" sequences are
+	// the optimizer's bread and butter.
+	verbose := NewBuilder().
+		PushWord(1).PushLit(2).Op(EQ).
+		PushWord(3).PushLit(0).Op(GT).
+		Op(AND).
+		MustProgram()
+	q := Optimize(verbose, ValidateOptions{})
+	if len(q) >= len(verbose) {
+		t.Fatalf("no shrink: %d -> %d\n%s", len(verbose), len(q), q)
+	}
+}

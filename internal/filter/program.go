@@ -1,0 +1,254 @@
+package filter
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Limits of the virtual machine.  StackDepth matches the original
+// implementation's 16-word evaluation stack; MaxProgramLen is generous
+// compared with the original's 40 words so that the §7 extensions and
+// the decision-table experiments have room, but still small enough
+// that a hostile filter cannot consume unbounded kernel time.
+const (
+	StackDepth    = 16
+	MaxProgramLen = 128
+)
+
+// A Program is a sequence of instruction words (with interleaved
+// literal operands) for the packet-filter stack machine.  Programs are
+// normally built with a Builder or parsed with Assemble; a Program
+// built by hand should be checked with Validate before use.
+type Program []Word
+
+// A Filter associates a Program with the demultiplexing priority used
+// by the packet-filter device (§3.2): filters are applied in order of
+// decreasing priority, and a packet goes to the highest-priority
+// filter that accepts it.
+type Filter struct {
+	Priority uint8
+	Program  Program
+}
+
+// Validation and interpretation errors.
+var (
+	ErrTooLong       = errors.New("filter: program exceeds MaxProgramLen")
+	ErrStackOverflow = errors.New("filter: stack overflow")
+	ErrUnderflow     = errors.New("filter: stack underflow")
+	ErrMissingOper   = errors.New("filter: PUSHLIT/PUSHBYTE missing operand word")
+	ErrBadAction     = errors.New("filter: invalid stack action")
+	ErrBadOp         = errors.New("filter: invalid binary operator")
+	ErrExtension     = errors.New("filter: extended instruction without Extensions enabled")
+	ErrWordIndex     = errors.New("filter: packet word index out of range")
+	ErrEmptyStack    = errors.New("filter: program ends with empty stack")
+)
+
+// ValidateOptions controls static validation.
+type ValidateOptions struct {
+	// Extensions permits the §7 extended actions and operators
+	// (PUSHIND, PUSHBYTE, PUSHHDRLEN, PUSHPKTLEN, arithmetic).
+	Extensions bool
+}
+
+// Info is the result of successful static validation: everything the
+// fast interpreter needs to skip per-instruction checks (§7: "Since
+// the filter language does not include branching instructions, all
+// these tests can be performed ahead of time (except for
+// indirect-push instructions)").
+type Info struct {
+	// MaxStack is the deepest stack the program can reach.
+	MaxStack int
+	// MaxWord is the highest packet word index referenced by a
+	// constant PUSHWORD, or -1 if none.  Packets shorter than
+	// 2*(MaxWord+1) bytes are rejected up front by the fast
+	// interpreter rather than checked per instruction.
+	MaxWord int
+	// MaxByte is the highest packet byte referenced by a constant
+	// PUSHBYTE, or -1 if none.
+	MaxByte int
+	// UsesIndirect reports whether the program contains PUSHIND,
+	// whose packet access cannot be bounds-checked statically.
+	UsesIndirect bool
+	// Instrs is the number of instruction words (excluding literal
+	// operands); the simulator charges virtual time per
+	// instruction actually executed, and Instrs bounds that.
+	Instrs int
+}
+
+// Validate statically checks p: action and operator validity, operand
+// presence, stack depth never exceeding StackDepth or underflowing,
+// and in-range word indexes.  Because the language has no branches,
+// stack motion is exact, not approximate.  On success it returns the
+// Info summary used by the fast interpreter and compiler.
+//
+// The empty program is valid and accepts every packet, matching the
+// original driver (table 6-10 measures a "0 instruction" filter); a
+// non-empty program must leave a result on the stack.
+func Validate(p Program, opt ValidateOptions) (Info, error) {
+	info := Info{MaxWord: -1, MaxByte: -1}
+	if len(p) == 0 {
+		return info, nil
+	}
+	if len(p) > MaxProgramLen {
+		return info, fmt.Errorf("%w: %d words", ErrTooLong, len(p))
+	}
+	depth := 0
+	for pc := 0; pc < len(p); pc++ {
+		w := p[pc]
+		a, op := w.Action(), w.Op()
+		if !a.Valid(opt.Extensions) {
+			return info, fmt.Errorf("%w: word %d (%v)", ErrBadAction, pc, uint16(a))
+		}
+		if !op.Valid(opt.Extensions) {
+			return info, fmt.Errorf("%w: word %d (%v)", ErrBadOp, pc, uint16(op))
+		}
+		if (a.IsExtended() || op.IsExtended()) && !opt.Extensions {
+			return info, fmt.Errorf("%w: word %d", ErrExtension, pc)
+		}
+		info.Instrs++
+
+		// Stack action.
+		switch {
+		case a == NOPUSH:
+			// nothing
+		case a == PUSHIND:
+			// Pops an index, pushes a word: net zero, but
+			// requires one word on the stack.
+			if depth < 1 {
+				return info, fmt.Errorf("%w: PUSHIND at word %d", ErrUnderflow, pc)
+			}
+			info.UsesIndirect = true
+		case a.HasOperand():
+			pc++
+			if pc >= len(p) {
+				return info, fmt.Errorf("%w: at word %d", ErrMissingOper, pc-1)
+			}
+			if a == PUSHBYTE {
+				if int(p[pc]) > info.MaxByte {
+					info.MaxByte = int(p[pc])
+				}
+			}
+			depth++
+		case a >= PUSHWORD:
+			n := int(a - PUSHWORD)
+			if n > MaxWordIndex {
+				return info, fmt.Errorf("%w: word %d index %d", ErrWordIndex, pc, n)
+			}
+			if n > info.MaxWord {
+				info.MaxWord = n
+			}
+			depth++
+		default: // PUSHZERO..PUSH00FF, PUSHHDRLEN, PUSHPKTLEN
+			depth++
+		}
+		if depth > StackDepth {
+			return info, fmt.Errorf("%w: word %d", ErrStackOverflow, pc)
+		}
+		if depth > info.MaxStack {
+			info.MaxStack = depth
+		}
+
+		// Binary operator.
+		if op != NOP {
+			if depth < 2 {
+				return info, fmt.Errorf("%w: %v at word %d", ErrUnderflow, op, pc)
+			}
+			depth-- // pop two, push one
+		}
+	}
+	if depth == 0 {
+		return info, ErrEmptyStack
+	}
+	return info, nil
+}
+
+// MustValidate is Validate for programs known correct at authoring
+// time; it panics on error.
+func MustValidate(p Program, opt ValidateOptions) Info {
+	info, err := Validate(p, opt)
+	if err != nil {
+		panic(err)
+	}
+	return info
+}
+
+// String disassembles the program in the style of the paper's
+// listings: one instruction per line, literals attached.
+func (p Program) String() string {
+	var b strings.Builder
+	for pc := 0; pc < len(p); pc++ {
+		w := p[pc]
+		fmt.Fprintf(&b, "%s", w.String())
+		if w.Action().HasOperand() && pc+1 < len(p) {
+			pc++
+			fmt.Fprintf(&b, ", %d", uint16(p[pc]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Clone returns a copy of p that shares no storage with it.
+func (p Program) Clone() Program {
+	q := make(Program, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether two programs are word-for-word identical.
+func (p Program) Equal(q Program) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MarshalBinary encodes the filter in the on-the-wire/ioctl layout
+// used by the original driver's struct enfilter: a priority byte, a
+// length byte (in words), then the instruction words in network byte
+// order.
+func (f Filter) MarshalBinary() ([]byte, error) {
+	if len(f.Program) > MaxProgramLen {
+		return nil, ErrTooLong
+	}
+	out := make([]byte, 2+2*len(f.Program))
+	out[0] = f.Priority
+	out[1] = byte(len(f.Program))
+	for i, w := range f.Program {
+		binary.BigEndian.PutUint16(out[2+2*i:], uint16(w))
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes the layout produced by MarshalBinary.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	if len(data) < 2 {
+		return errors.New("filter: truncated enfilter header")
+	}
+	n := int(data[1])
+	if len(data) < 2+2*n {
+		return errors.New("filter: truncated enfilter body")
+	}
+	f.Priority = data[0]
+	f.Program = make(Program, n)
+	for i := 0; i < n; i++ {
+		f.Program[i] = Word(binary.BigEndian.Uint16(data[2+2*i:]))
+	}
+	return nil
+}
+
+// PacketWord returns 16-bit word n of pkt in network byte order and
+// whether the packet is long enough to contain it.
+func PacketWord(pkt []byte, n int) (uint16, bool) {
+	if n < 0 || 2*n+1 >= len(pkt) {
+		return 0, false
+	}
+	return binary.BigEndian.Uint16(pkt[2*n:]), true
+}

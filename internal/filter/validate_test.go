@@ -1,0 +1,156 @@
+package filter
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidateAcceptsPaperExamples(t *testing.T) {
+	for _, f := range []Filter{Fig38PupTypeRange(), Fig39PupSocket()} {
+		info, err := Validate(f.Program, ValidateOptions{})
+		if err != nil {
+			t.Fatalf("paper example rejected: %v", err)
+		}
+		if info.MaxStack < 1 || info.MaxStack > StackDepth {
+			t.Errorf("MaxStack = %d out of range", info.MaxStack)
+		}
+	}
+}
+
+func TestValidateInfo(t *testing.T) {
+	f := Fig38PupTypeRange()
+	info, err := Validate(f.Program, ValidateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.MaxWord != 3 {
+		t.Errorf("MaxWord = %d, want 3", info.MaxWord)
+	}
+	if info.Instrs != 10 {
+		t.Errorf("Instrs = %d, want 10 (12 words - 2 literals)", info.Instrs)
+	}
+	if info.UsesIndirect {
+		t.Error("UsesIndirect = true for a base-language program")
+	}
+	// Figure 3-8 peaks at four words: two pending booleans plus the
+	// word-3 push and its mask, just before the AND collapses them.
+	if info.MaxStack != 4 {
+		t.Errorf("MaxStack = %d, want 4", info.MaxStack)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Program
+		err  error
+	}{
+		{"nopush ends empty", Program{MkInstr(NOPUSH, NOP)}, ErrEmptyStack},
+		{"op consumes all", Program{MkInstr(PUSHONE, NOP), MkInstr(PUSHONE, AND), MkInstr(NOPUSH, AND)}, ErrUnderflow},
+		{"missing literal", Program{MkInstr(PUSHLIT, NOP)}, ErrMissingOper},
+		{"missing byte index", Program{MkInstr(PUSHBYTE, NOP)}, ErrMissingOper},
+		{"underflow", Program{MkInstr(NOPUSH, EQ)}, ErrUnderflow},
+		{"pushind on empty", Program{MkInstr(PUSHIND, NOP)}, ErrUnderflow},
+		{"bad action", Program{MkInstr(Action(13), NOP)}, ErrBadAction},
+		{"bad op", Program{MkInstr(PUSHONE, NOP), MkInstr(PUSHONE, Op(40))}, ErrBadOp},
+		{"extension op gated", Program{MkInstr(PUSHONE, NOP), MkInstr(PUSHONE, ADD)}, ErrBadOp},
+	}
+	ext := ValidateOptions{Extensions: true}
+	for _, c := range cases {
+		opt := ValidateOptions{}
+		if c.name == "missing byte index" || c.name == "pushind on empty" {
+			opt = ext
+		}
+		if _, err := Validate(c.p, opt); !errors.Is(err, c.err) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.err)
+		}
+	}
+
+	long := make(Program, MaxProgramLen+1)
+	for i := range long {
+		long[i] = MkInstr(PUSHONE, NOP)
+	}
+	if _, err := Validate(long, ValidateOptions{}); !errors.Is(err, ErrTooLong) {
+		t.Errorf("too long: err = %v", err)
+	}
+
+	deep := make(Program, StackDepth+1)
+	for i := range deep {
+		deep[i] = MkInstr(PUSHONE, NOP)
+	}
+	if _, err := Validate(deep, ValidateOptions{}); !errors.Is(err, ErrStackOverflow) {
+		t.Errorf("overflow: err = %v", err)
+	}
+}
+
+func TestValidateExtensionGate(t *testing.T) {
+	p := Program{MkInstr(PUSHPKTLEN, NOP)}
+	if _, err := Validate(p, ValidateOptions{}); err == nil {
+		t.Error("extended action accepted without Extensions")
+	}
+	if _, err := Validate(p, ValidateOptions{Extensions: true}); err != nil {
+		t.Errorf("extended action rejected with Extensions: %v", err)
+	}
+}
+
+func TestMustValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustValidate did not panic on an invalid program")
+		}
+	}()
+	MustValidate(Program{MkInstr(NOPUSH, EQ)}, ValidateOptions{})
+}
+
+func TestFilterMarshalRoundTrip(t *testing.T) {
+	f := Fig39PupSocket()
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 2+2*len(f.Program) {
+		t.Fatalf("encoded length = %d", len(data))
+	}
+	var g Filter
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if g.Priority != f.Priority || !g.Program.Equal(f.Program) {
+		t.Error("round trip mismatch")
+	}
+
+	if err := g.UnmarshalBinary(nil); err == nil {
+		t.Error("nil unmarshal accepted")
+	}
+	if err := g.UnmarshalBinary(data[:len(data)-1]); err == nil {
+		t.Error("truncated unmarshal accepted")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	s := Fig39PupSocket().Program.String()
+	for _, want := range []string{"PUSHWORD+8", "PUSHLIT|CAND, 35", "PUSHZERO|CAND", "PUSHLIT|EQ, 2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestProgramCloneEqual(t *testing.T) {
+	p := Fig38PupTypeRange().Program
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Fatal("clone not equal")
+	}
+	q[0] = MkInstr(PUSHONE, NOP)
+	if p.Equal(q) {
+		t.Fatal("mutating clone affected original comparison")
+	}
+	if p[0] == q[0] {
+		t.Fatal("clone shares storage")
+	}
+	if p.Equal(p[:len(p)-1]) {
+		t.Fatal("prefix compared equal")
+	}
+}

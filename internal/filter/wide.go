@@ -1,0 +1,208 @@
+package filter
+
+// The wide (32-bit) evaluation mode explores the rest of §7's field
+// size remark: "The current filter mechanism deals with 16-bit
+// values, requiring multiple filter instructions to load packet fields
+// that are wider or narrower.  It is possible that direct support for
+// other field sizes would improve filter-evaluation efficiency."
+//
+// PUSHBYTE (wide.go's companion in the extended 16-bit machine) covers
+// narrower; WideProgram covers wider: a variant machine whose stack
+// cells are 32 bits and which adds a long-push action, so a Pup
+// destination socket is one instruction and one comparison instead of
+// the two-word CAND chain of figure 3-9.  The ablation benchmarks
+// count the instruction savings.
+
+// PUSHLONG pushes packet words n and n+1 as one 32-bit big-endian
+// value; the word index n is the following operand word.  Valid only
+// on the wide machine.
+const PUSHLONG Action = 11
+
+// A WideProgram is a program for the 32-bit variant machine.  The
+// instruction encoding is identical to Program except:
+//
+//   - stack cells hold 32-bit values; PUSHWORD and PUSHBYTE
+//     zero-extend,
+//   - PUSHLONG, followed by an operand word holding the word index,
+//     pushes two packet words as one 32-bit value,
+//   - PUSHLIT's operand is still one 16-bit word (use PUSHLONGLIT—
+//     PUSHLIT with two operand words—for 32-bit literals).
+//
+// The variant exists for measurement; the production device speaks the
+// 16-bit language of the paper.
+type WideProgram []Word
+
+// PUSHLONGLIT pushes a 32-bit literal from the following two operand
+// words (high word first).
+const PUSHLONGLIT Action = 7
+
+// WideResult mirrors Result for the wide machine.
+type WideResult struct {
+	Accept bool
+	Instrs int
+	Err    error
+}
+
+// RunWide evaluates a wide program against a packet.  Errors reject,
+// as in the 16-bit machine.
+func RunWide(p WideProgram, pkt []byte) WideResult {
+	if len(p) == 0 {
+		return WideResult{Accept: true}
+	}
+	var stack [StackDepth]uint32
+	sp := 0
+	res := WideResult{}
+	fail := func(err error) WideResult {
+		res.Err = err
+		res.Accept = false
+		return res
+	}
+
+	for pc := 0; pc < len(p); pc++ {
+		w := p[pc]
+		a, op := w.Action(), w.Op()
+		res.Instrs++
+
+		var push uint32
+		doPush := true
+		switch {
+		case a == NOPUSH:
+			doPush = false
+		case a == PUSHLIT:
+			pc++
+			if pc >= len(p) {
+				return fail(ErrMissingOper)
+			}
+			push = uint32(p[pc])
+		case a == PUSHLONGLIT:
+			pc += 2
+			if pc >= len(p) {
+				return fail(ErrMissingOper)
+			}
+			push = uint32(p[pc-1])<<16 | uint32(p[pc])
+		case a == PUSHZERO:
+			push = 0
+		case a == PUSHONE:
+			push = 1
+		case a == PUSHFFFF:
+			push = 0xFFFF
+		case a == PUSHFF00:
+			push = 0xFF00
+		case a == PUSH00FF:
+			push = 0x00FF
+		case a == PUSHLONG:
+			pc++
+			if pc >= len(p) {
+				return fail(ErrMissingOper)
+			}
+			n := int(p[pc])
+			hi, ok1 := PacketWord(pkt, n)
+			lo, ok2 := PacketWord(pkt, n+1)
+			if !ok1 || !ok2 {
+				return fail(ErrWordIndex)
+			}
+			push = uint32(hi)<<16 | uint32(lo)
+		case a >= PUSHWORD:
+			v, ok := PacketWord(pkt, int(a-PUSHWORD))
+			if !ok {
+				return fail(ErrWordIndex)
+			}
+			push = uint32(v)
+		default:
+			return fail(ErrBadAction)
+		}
+		if doPush {
+			if sp >= StackDepth {
+				return fail(ErrStackOverflow)
+			}
+			stack[sp] = push
+			sp++
+		}
+
+		if op == NOP {
+			continue
+		}
+		if sp < 2 {
+			return fail(ErrUnderflow)
+		}
+		t1 := stack[sp-1]
+		t2 := stack[sp-2]
+		sp -= 2
+		var r uint32
+		switch op {
+		case EQ:
+			r = b2w32(t2 == t1)
+		case NEQ:
+			r = b2w32(t2 != t1)
+		case LT:
+			r = b2w32(t2 < t1)
+		case LE:
+			r = b2w32(t2 <= t1)
+		case GT:
+			r = b2w32(t2 > t1)
+		case GE:
+			r = b2w32(t2 >= t1)
+		case AND:
+			r = t2 & t1
+		case OR:
+			r = t2 | t1
+		case XOR:
+			r = t2 ^ t1
+		case COR:
+			if t1 == t2 {
+				res.Accept = true
+				return res
+			}
+			r = 0
+		case CAND:
+			if t1 != t2 {
+				return res
+			}
+			r = 1
+		case CNOR:
+			if t1 == t2 {
+				return res
+			}
+			r = 0
+		case CNAND:
+			if t1 != t2 {
+				res.Accept = true
+				return res
+			}
+			r = 1
+		default:
+			return fail(ErrBadOp)
+		}
+		stack[sp] = r
+		sp++
+	}
+	if sp == 0 {
+		return fail(ErrEmptyStack)
+	}
+	res.Accept = stack[sp-1] != 0
+	return res
+}
+
+func b2w32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// WideSocketFilter is figure 3-9 on the wide machine: the Pup
+// destination socket becomes a single 32-bit comparison.
+//
+//	PUSHLONG 7  PUSHLONGLIT|CAND socket
+//	PUSHWORD+1  PUSHLIT|EQ 2
+//
+// 4 instructions versus the 16-bit machine's 6 — the efficiency §7
+// conjectured.
+func WideSocketFilter(socket uint32) WideProgram {
+	return WideProgram{
+		MkInstr(PUSHLONG, NOP), 7,
+		MkInstr(PUSHLONGLIT, CAND), Word(socket >> 16), Word(socket),
+		MkInstr(PushWord(1), NOP),
+		MkInstr(PUSHLIT, EQ), 2,
+	}
+}

@@ -1,0 +1,96 @@
+package filter
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWideSocketFilter(t *testing.T) {
+	p := WideSocketFilter(0x0001_0023)
+	r := RunWide(p, pupPacket(5, 0x0001_0023))
+	if r.Err != nil || !r.Accept {
+		t.Fatalf("accept=%v err=%v", r.Accept, r.Err)
+	}
+	if r.Instrs != 4 {
+		t.Fatalf("instrs = %d, want 4 (vs 6 on the 16-bit machine)", r.Instrs)
+	}
+	if RunWide(p, pupPacket(5, 0x0001_0024)).Accept {
+		t.Fatal("wrong socket accepted")
+	}
+	// Miss exits on the single CAND after 2 instructions.
+	if r := RunWide(p, pupPacket(5, 0x0001_0024)); r.Instrs != 2 {
+		t.Fatalf("miss instrs = %d, want 2", r.Instrs)
+	}
+	// The 16-bit equivalent agrees on acceptance across sockets.
+	narrow := DstSocketFilter(10, 0x0001_0023).Program
+	for _, sock := range []uint32{0x0001_0023, 0x0023, 0x0001_0024, 0} {
+		pkt := pupPacket(5, sock)
+		if RunWide(p, pkt).Accept != Run(narrow, pkt).Accept {
+			t.Fatalf("wide and narrow disagree on socket %08x", sock)
+		}
+	}
+}
+
+func TestWideSemantics(t *testing.T) {
+	// 32-bit comparisons: values above 0xFFFF compare correctly.
+	p := WideProgram{
+		MkInstr(PUSHLONG, NOP), 0,
+		MkInstr(PUSHLONGLIT, GT), 0x0001, 0x0000,
+	}
+	if r := RunWide(p, words(0x0001, 0x0001)); !r.Accept || r.Err != nil {
+		t.Fatalf("0x10001 > 0x10000: accept=%v err=%v", r.Accept, r.Err)
+	}
+	if RunWide(p, words(0x0000, 0xFFFF)).Accept {
+		t.Fatal("0xFFFF > 0x10000 accepted")
+	}
+	// PUSHWORD zero-extends into 32 bits.
+	p = WideProgram{
+		MkInstr(PushWord(0), NOP),
+		MkInstr(PUSHLONGLIT, EQ), 0, 0xBEEF,
+	}
+	if !RunWide(p, words(0xBEEF)).Accept {
+		t.Fatal("zero-extension broken")
+	}
+}
+
+func TestWideErrors(t *testing.T) {
+	cases := []struct {
+		p   WideProgram
+		err error
+	}{
+		{WideProgram{MkInstr(PUSHLONG, NOP)}, ErrMissingOper},
+		{WideProgram{MkInstr(PUSHLONGLIT, NOP), 1}, ErrMissingOper},
+		{WideProgram{MkInstr(PUSHLONG, NOP), 50}, ErrWordIndex}, // beyond packet
+		{WideProgram{MkInstr(NOPUSH, EQ)}, ErrUnderflow},
+		{WideProgram{MkInstr(Action(13), NOP)}, ErrBadAction},
+		{WideProgram{MkInstr(PUSHONE, NOP), MkInstr(PUSHONE, ADD)}, ErrBadOp}, // no arith in wide machine
+		{WideProgram{MkInstr(NOPUSH, NOP)}, ErrEmptyStack},
+	}
+	for i, c := range cases {
+		r := RunWide(c.p, words(1, 2, 3))
+		if r.Accept || !errors.Is(r.Err, c.err) {
+			t.Errorf("case %d: accept=%v err=%v want %v", i, r.Accept, r.Err, c.err)
+		}
+	}
+	// Empty wide program accepts.
+	if !RunWide(WideProgram{}, nil).Accept {
+		t.Error("empty wide program rejected")
+	}
+	// PUSHLONG needs TWO readable words.
+	p := WideProgram{MkInstr(PUSHLONG, NOP), 0}
+	if r := RunWide(p, []byte{1, 2}); !errors.Is(r.Err, ErrWordIndex) {
+		t.Errorf("half-readable long: %v", r.Err)
+	}
+}
+
+func TestWideInstructionSavings(t *testing.T) {
+	// The §7 conjecture quantified: accepted packets cost 4 vs 6
+	// instructions; the common miss costs 2 on both machines.
+	wide := WideSocketFilter(35)
+	narrow := Fig39PupSocket().Program
+	hit := pupPacket(1, 35)
+	wi, ni := RunWide(wide, hit).Instrs, Run(narrow, hit).Instrs
+	if wi >= ni {
+		t.Fatalf("wide machine not cheaper on hit: %d vs %d", wi, ni)
+	}
+}

@@ -1,0 +1,92 @@
+package inet
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ICMP echo — ping — the kernel stack's own liveness probe.  Echo
+// requests are answered entirely inside the receiving kernel (no
+// process is involved), the way 4.3BSD answered pings; the pinging
+// process blocks in one "system call" until the reply or a timeout.
+
+// ProtoICMP is the IP protocol number for ICMP.
+const ProtoICMP = 1
+
+// ICMP message types used here.
+const (
+	icmpEchoReply   = 0
+	icmpEchoRequest = 8
+)
+
+type pingKey struct {
+	id, seq uint16
+}
+
+type pingWait struct {
+	q    *sim.WaitQ
+	done bool
+	rtt  time.Duration
+	sent time.Duration
+}
+
+// Ping sends an ICMP echo request with n payload bytes to dst and
+// waits for the reply, returning the round-trip time.
+func (st *Stack) Ping(p *sim.Proc, dst Addr, n int, timeout time.Duration) (time.Duration, error) {
+	p.Syscall("icmp")
+	p.CopyIn("icmp", n)
+
+	st.pingSeq++
+	key := pingKey{id: st.pingID, seq: st.pingSeq}
+	w := &pingWait{q: st.host.Sim().NewWaitQ(), sent: st.host.Sim().Now()}
+	if st.pings == nil {
+		st.pings = make(map[pingKey]*pingWait)
+	}
+	st.pings[key] = w
+	defer delete(st.pings, key)
+
+	msg := marshalICMP(icmpEchoRequest, key.id, key.seq, make([]byte, n))
+	st.sendIP(IPHdr{Proto: ProtoICMP, Dst: dst}, msg, len(msg))
+
+	if !p.Wait(w.q, timeout) && !w.done {
+		return 0, ErrTimeout
+	}
+	return w.rtt, nil
+}
+
+func marshalICMP(typ uint8, id, seq uint16, data []byte) []byte {
+	msg := make([]byte, 8+len(data))
+	msg[0] = typ
+	binary.BigEndian.PutUint16(msg[4:], id)
+	binary.BigEndian.PutUint16(msg[6:], seq)
+	copy(msg[8:], data)
+	binary.BigEndian.PutUint16(msg[2:], InternetChecksum(msg))
+	return msg
+}
+
+// inputICMP runs in kernel context after IP input cost was charged.
+func (st *Stack) inputICMP(h IPHdr, seg []byte) {
+	if len(seg) < 8 || InternetChecksum(seg) != 0 {
+		return
+	}
+	id := binary.BigEndian.Uint16(seg[4:])
+	seq := binary.BigEndian.Uint16(seg[6:])
+	switch seg[0] {
+	case icmpEchoRequest:
+		// Answered by the kernel with no process involvement.
+		st.host.RunKernel("icmp", st.host.Costs().IPInput/2, func() {
+			reply := marshalICMP(icmpEchoReply, id, seq, seg[8:])
+			st.sendIP(IPHdr{Proto: ProtoICMP, Dst: h.Src}, reply, len(reply))
+		})
+	case icmpEchoReply:
+		w := st.pings[pingKey{id: id, seq: seq}]
+		if w == nil || w.done {
+			return
+		}
+		w.done = true
+		w.rtt = st.host.Sim().Now() - w.sent
+		w.q.WakeAll(st.host)
+	}
+}

@@ -1,0 +1,414 @@
+package inet
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+func TestInternetChecksum(t *testing.T) {
+	// RFC 1071's worked example.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := InternetChecksum(b); got != ^uint16(0xddf2) {
+		t.Fatalf("checksum = %04x, want %04x", got, ^uint16(0xddf2))
+	}
+	// Verifying a block with its checksum included yields zero.
+	hdr := MarshalIP(IPHdr{Proto: ProtoUDP, TTL: 9, Src: 1, Dst: 2}, nil)
+	if InternetChecksum(hdr[:IPHeaderLen]) != 0 {
+		t.Fatal("self-verification failed")
+	}
+}
+
+func TestIPRoundTrip(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5}
+	pkt := MarshalIP(IPHdr{Proto: ProtoTCP, TTL: 30, Src: 0x0A000001, Dst: 0x0A000002}, payload)
+	h, got, err := UnmarshalIP(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Proto != ProtoTCP || h.Src != 0x0A000001 || h.Dst != 0x0A000002 || h.TTL != 30 {
+		t.Fatalf("header = %+v", h)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+
+	// Corruption is caught by the header checksum.
+	pkt[15] ^= 0x40
+	if _, _, err := UnmarshalIP(pkt); err != ErrChecksum {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := UnmarshalIP(pkt[:10]); err != ErrShort {
+		t.Fatal("short accepted")
+	}
+	bad := append([]byte(nil), MarshalIP(IPHdr{Proto: 1}, nil)...)
+	bad[0] = 0x65 // version 6
+	if _, _, err := UnmarshalIP(bad); err != ErrVersion {
+		t.Fatal("version accepted")
+	}
+}
+
+func TestIPMarshalProperty(t *testing.T) {
+	f := func(proto, ttl uint8, src, dst uint32, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		pkt := MarshalIP(IPHdr{Proto: proto, TTL: ttl, Src: Addr(src), Dst: Addr(dst)}, payload)
+		h, got, err := UnmarshalIP(pkt)
+		return err == nil && h.Proto == proto && h.Src == Addr(src) &&
+			h.Dst == Addr(dst) && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// inetRig wires two hosts with kernel stacks on a 10 Mb Ethernet.
+type inetRig struct {
+	s      *sim.Sim
+	net    *ethersim.Network
+	ha, hb *sim.Host
+	sa, sb *Stack
+}
+
+func newInetRig(seedARP bool) *inetRig {
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether10Mb)
+	ha, hb := s.NewHost("a"), s.NewHost("b")
+	na := net.Attach(ha, 0x11)
+	nb := net.Attach(hb, 0x22)
+	sa, sb := NewStack(na, 0x0A000001), NewStack(nb, 0x0A000002)
+	sa.StandaloneHandler()
+	sb.StandaloneHandler()
+	if seedARP {
+		sa.AddARP(sb.Addr(), nb.Addr())
+		sb.AddARP(sa.Addr(), na.Addr())
+	}
+	return &inetRig{s: s, net: net, ha: ha, hb: hb, sa: sa, sb: sb}
+}
+
+func TestUDPDelivery(t *testing.T) {
+	r := newInetRig(true)
+	var got Datagram
+	var recvErr error
+	r.s.Spawn(r.hb, "server", func(p *sim.Proc) {
+		u, err := r.sb.UDPBind(p, 53)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		u.SetTimeout(100 * time.Millisecond)
+		got, recvErr = u.Recv(p)
+	})
+	r.s.Spawn(r.ha, "client", func(p *sim.Proc) {
+		u, _ := r.sa.UDPBind(p, 1024)
+		p.Sleep(time.Millisecond)
+		u.Send(p, r.sb.Addr(), 53, []byte("query"))
+	})
+	r.s.Run(0)
+	if recvErr != nil {
+		t.Fatal(recvErr)
+	}
+	if string(got.Data) != "query" || got.Src != r.sa.Addr() || got.SrcPort != 1024 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestUDPARPResolution(t *testing.T) {
+	// Without a seeded ARP cache the first datagram triggers a
+	// request/reply exchange and still arrives.
+	r := newInetRig(false)
+	var gotData []byte
+	r.s.Spawn(r.hb, "server", func(p *sim.Proc) {
+		u, _ := r.sb.UDPBind(p, 9)
+		u.SetTimeout(200 * time.Millisecond)
+		if d, err := u.Recv(p); err == nil {
+			gotData = d.Data
+		}
+	})
+	r.s.Spawn(r.ha, "client", func(p *sim.Proc) {
+		u, _ := r.sa.UDPBind(p, 1025)
+		p.Sleep(time.Millisecond)
+		u.Send(p, r.sb.Addr(), 9, []byte("hi"))
+	})
+	r.s.Run(0)
+	if string(gotData) != "hi" {
+		t.Fatalf("got %q", gotData)
+	}
+	if r.sb.ARPIn == 0 || r.sa.ARPIn == 0 {
+		t.Fatal("no ARP traffic observed")
+	}
+}
+
+func TestUDPPortInUseAndClose(t *testing.T) {
+	r := newInetRig(true)
+	r.s.Spawn(r.ha, "p", func(p *sim.Proc) {
+		u, err := r.sa.UDPBind(p, 7)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := r.sa.UDPBind(p, 7); err != ErrPortInUse {
+			t.Errorf("err = %v", err)
+		}
+		u.Close(p)
+		if _, err := r.sa.UDPBind(p, 7); err != nil {
+			t.Errorf("rebind after close: %v", err)
+		}
+	})
+	r.s.Run(0)
+}
+
+func TestTCPConnectTransferClose(t *testing.T) {
+	r := newInetRig(true)
+	data := make([]byte, 50_000)
+	for i := range data {
+		data[i] = byte(i / 3)
+	}
+	var received bytes.Buffer
+	var acceptErr, dialErr error
+	r.s.Spawn(r.hb, "server", func(p *sim.Proc) {
+		l, _ := r.sb.TCPListen(p, 80, DefaultTCPConfig())
+		c, err := l.Accept(p, time.Second)
+		if err != nil {
+			acceptErr = err
+			return
+		}
+		c.SetTimeout(time.Second)
+		for {
+			chunk, err := c.Read(p, 0)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				acceptErr = err
+				return
+			}
+			received.Write(chunk)
+		}
+	})
+	r.s.Spawn(r.ha, "client", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		c, err := r.sa.TCPDial(p, r.sb.Addr(), 80, 2000, DefaultTCPConfig())
+		if err != nil {
+			dialErr = err
+			return
+		}
+		if err := c.Write(p, data); err != nil {
+			dialErr = err
+			return
+		}
+		dialErr = c.Close(p)
+	})
+	r.s.Run(0)
+	if acceptErr != nil || dialErr != nil {
+		t.Fatalf("accept=%v dial=%v", acceptErr, dialErr)
+	}
+	if !bytes.Equal(received.Bytes(), data) {
+		t.Fatalf("stream corrupted: got %d want %d bytes", received.Len(), len(data))
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	r := newInetRig(true)
+	var reply []byte
+	r.s.Spawn(r.hb, "server", func(p *sim.Proc) {
+		l, _ := r.sb.TCPListen(p, 7, DefaultTCPConfig())
+		c, err := l.Accept(p, time.Second)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.SetTimeout(time.Second)
+		msg, err := c.Read(p, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Write(p, bytes.ToUpper(msg))
+	})
+	r.s.Spawn(r.ha, "client", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		c, err := r.sa.TCPDial(p, r.sb.Addr(), 7, 2001, DefaultTCPConfig())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.SetTimeout(time.Second)
+		c.Write(p, []byte("hello"))
+		reply, _ = c.Read(p, 0)
+	})
+	r.s.Run(0)
+	if string(reply) != "HELLO" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestTCPRetransmission(t *testing.T) {
+	r := newInetRig(true)
+	// Drop every 9th frame; go-back-N must recover.
+	r.net.DropEvery = 9
+	data := make([]byte, 20_000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	var received bytes.Buffer
+	var retrans uint64
+	r.s.Spawn(r.hb, "server", func(p *sim.Proc) {
+		l, _ := r.sb.TCPListen(p, 80, DefaultTCPConfig())
+		c, err := l.Accept(p, 5*time.Second)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.SetTimeout(2 * time.Second)
+		for {
+			chunk, err := c.Read(p, 0)
+			if err != nil {
+				return
+			}
+			received.Write(chunk)
+		}
+	})
+	r.s.Spawn(r.ha, "client", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		c, err := r.sa.TCPDial(p, r.sb.Addr(), 80, 2000, DefaultTCPConfig())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Write(p, data)
+		c.Close(p)
+		retrans = c.Retransmits
+	})
+	r.s.Run(0)
+	if !bytes.Equal(received.Bytes(), data) {
+		t.Fatalf("stream corrupted under loss: got %d want %d", received.Len(), len(data))
+	}
+	if retrans == 0 {
+		t.Error("expected retransmissions")
+	}
+}
+
+func TestTCPDialRefused(t *testing.T) {
+	r := newInetRig(true)
+	var err error
+	r.s.Spawn(r.ha, "client", func(p *sim.Proc) {
+		_, err = r.sa.TCPDial(p, r.sb.Addr(), 81, 2000,
+			TCPConfig{RTO: 5 * time.Millisecond})
+	})
+	r.s.Run(0)
+	if err != ErrConnRefused {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPSmallMSS(t *testing.T) {
+	// Forcing small segments doubles the packets on the wire
+	// (table 6-6: "if TCP is forced to use the smaller packet size,
+	// its performance is cut in half").
+	run := func(mss int) uint64 {
+		r := newInetRig(true)
+		cfg := DefaultTCPConfig()
+		cfg.MSS = mss
+		data := make([]byte, 30_000)
+		r.s.Spawn(r.hb, "server", func(p *sim.Proc) {
+			l, _ := r.sb.TCPListen(p, 80, cfg)
+			c, err := l.Accept(p, time.Second)
+			if err != nil {
+				return
+			}
+			c.SetTimeout(time.Second)
+			for {
+				if _, err := c.Read(p, 0); err != nil {
+					return
+				}
+			}
+		})
+		r.s.Spawn(r.ha, "client", func(p *sim.Proc) {
+			p.Sleep(time.Millisecond)
+			c, err := r.sa.TCPDial(p, r.sb.Addr(), 80, 2000, cfg)
+			if err != nil {
+				return
+			}
+			c.Write(p, data)
+			c.Close(p)
+		})
+		r.s.Run(0)
+		return r.net.FramesOnWire
+	}
+	big, small := run(1024), run(512)
+	if small <= big {
+		t.Fatalf("small MSS did not increase frames: %d vs %d", small, big)
+	}
+}
+
+func TestClaimLeavesOtherTypes(t *testing.T) {
+	r := newInetRig(true)
+	frame := ethersim.Ether10Mb.Encode(0x22, 0x11, ethersim.EtherTypePup, []byte{1, 2})
+	if r.sb.Claim(frame) {
+		t.Fatal("stack claimed a Pup frame")
+	}
+	arp := ethersim.Ether10Mb.Encode(0x22, 0x11, ethersim.EtherTypeARP, make([]byte, 28))
+	if !r.sb.Claim(arp) {
+		t.Fatal("stack did not claim ARP")
+	}
+}
+
+func TestPing(t *testing.T) {
+	r := newInetRig(true)
+	var rtt time.Duration
+	var err error
+	r.s.Spawn(r.ha, "ping", func(p *sim.Proc) {
+		rtt, err = r.sa.Ping(p, r.sb.Addr(), 56, 100*time.Millisecond)
+	})
+	r.s.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 || rtt > 20*time.Millisecond {
+		t.Fatalf("rtt = %v", rtt)
+	}
+	// The reply came from the kernel: host B never ran a process.
+	if r.hb.UserTime != 0 {
+		t.Fatalf("host B consumed %v of user CPU answering a ping", r.hb.UserTime)
+	}
+}
+
+func TestPingTimeout(t *testing.T) {
+	r := newInetRig(true)
+	var err error
+	r.s.Spawn(r.ha, "ping", func(p *sim.Proc) {
+		// 10.0.0.99 does not exist (but is in no ARP cache either;
+		// seed it so the request goes out and dies silently).
+		r.sa.AddARP(0x0A000063, 0x63)
+		_, err = r.sa.Ping(p, 0x0A000063, 8, 20*time.Millisecond)
+	})
+	r.s.Run(0)
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestPingConcurrent(t *testing.T) {
+	// Two outstanding pings from one host resolve independently.
+	r := newInetRig(true)
+	var rtts [2]time.Duration
+	for i := 0; i < 2; i++ {
+		i := i
+		r.s.Spawn(r.ha, "ping", func(p *sim.Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond)
+			rtts[i], _ = r.sa.Ping(p, r.sb.Addr(), 128*i, 100*time.Millisecond)
+		})
+	}
+	r.s.Run(0)
+	if rtts[0] <= 0 || rtts[1] <= 0 {
+		t.Fatalf("rtts = %v", rtts)
+	}
+}

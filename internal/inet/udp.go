@@ -1,0 +1,126 @@
+package inet
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// UDPSocket is a kernel-resident UDP endpoint.  Received datagrams
+// wait in a kernel buffer; the reading process pays one system call
+// and one copy per datagram (or none of the protocol cost — that was
+// charged to the kernel at interrupt time).
+type UDPSocket struct {
+	stack *Stack
+	port  uint16
+
+	queue    []Datagram
+	limit    int
+	readers  *sim.WaitQ
+	timeout  time.Duration
+	Dropped  uint64
+	Checksum bool // compute/verify UDP checksums (4.3BSD could disable)
+}
+
+// Datagram is one received UDP datagram.
+type Datagram struct {
+	Src     Addr
+	SrcPort uint16
+	Data    []byte
+}
+
+// Errors from socket operations.
+var (
+	ErrPortInUse = errors.New("inet: UDP port in use")
+	ErrTimeout   = errors.New("inet: read timed out")
+)
+
+// UDPBind allocates a UDP port.  Process context.
+func (st *Stack) UDPBind(p *sim.Proc, port uint16) (*UDPSocket, error) {
+	p.Syscall("udp")
+	if _, busy := st.udp[port]; busy {
+		return nil, ErrPortInUse
+	}
+	u := &UDPSocket{
+		stack: st, port: port, limit: 32,
+		readers: st.host.Sim().NewWaitQ(),
+	}
+	st.udp[port] = u
+	return u, nil
+}
+
+// SetTimeout sets the receive timeout (0 = block forever).
+func (u *UDPSocket) SetTimeout(d time.Duration) { u.timeout = d }
+
+// Send transmits one datagram.  The process pays the system call and
+// the copy into the kernel; IP output and (optional) checksumming are
+// kernel work.
+func (u *UDPSocket) Send(p *sim.Proc, dst Addr, dstPort uint16, data []byte) error {
+	p.Syscall("udp")
+	p.CopyIn("udp", len(data))
+	seg := make([]byte, UDPHeaderLen+len(data))
+	binary.BigEndian.PutUint16(seg[0:], u.port)
+	binary.BigEndian.PutUint16(seg[2:], dstPort)
+	binary.BigEndian.PutUint16(seg[4:], uint16(len(seg)))
+	copy(seg[UDPHeaderLen:], data)
+	ckBytes := 0
+	if u.Checksum {
+		ckBytes = len(seg)
+		binary.BigEndian.PutUint16(seg[6:], pseudoChecksum(u.stack.addr, dst, ProtoUDP, seg))
+	}
+	u.stack.sendIP(IPHdr{Proto: ProtoUDP, Dst: dst}, seg, ckBytes)
+	return nil
+}
+
+// Recv blocks for the next datagram per the socket timeout.  The read
+// path is accounted separately ("udpread") from kernel protocol input.
+func (u *UDPSocket) Recv(p *sim.Proc) (Datagram, error) {
+	p.Syscall("udpread")
+	for len(u.queue) == 0 {
+		if !p.Wait(u.readers, u.timeout) {
+			return Datagram{}, ErrTimeout
+		}
+	}
+	d := u.queue[0]
+	u.queue = u.queue[1:]
+	p.CopyOut("udpread", len(d.Data))
+	return d, nil
+}
+
+// Close releases the port.
+func (u *UDPSocket) Close(p *sim.Proc) {
+	p.Syscall("udp")
+	delete(u.stack.udp, u.port)
+	u.readers.WakeAll(u.stack.host)
+}
+
+// inputUDP runs in kernel context after IP input cost was charged.
+func (st *Stack) inputUDP(h IPHdr, seg []byte) {
+	costs := st.host.Costs()
+	if len(seg) < UDPHeaderLen {
+		return
+	}
+	dstPort := binary.BigEndian.Uint16(seg[2:])
+	u := st.udp[dstPort]
+	if u == nil {
+		return
+	}
+	cost := costs.TransportInput
+	if u.Checksum && binary.BigEndian.Uint16(seg[6:]) != 0 {
+		cost += costs.Checksum(len(seg))
+	}
+	st.host.RunKernel("udp", cost, func() {
+		if len(u.queue) >= u.limit {
+			u.Dropped++
+			return
+		}
+		u.queue = append(u.queue, Datagram{
+			Src:     h.Src,
+			SrcPort: binary.BigEndian.Uint16(seg[0:]),
+			Data:    append([]byte(nil), seg[UDPHeaderLen:]...),
+		})
+		u.readers.WakeOne(st.host)
+	})
+}

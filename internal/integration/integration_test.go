@@ -1,0 +1,399 @@
+// Package integration runs whole-system scenarios: every protocol this
+// repository implements operating simultaneously over one simulated
+// Ethernet — figure 3-3's world, where kernel-resident IP/TCP, kernel
+// VMTP, user-level Pup/BSP and RARP through the packet filter, and a
+// promiscuous monitor all coexist on the same wire.
+package integration
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/inet"
+	"repro/internal/monitor"
+	"repro/internal/pfdev"
+	"repro/internal/pup"
+	"repro/internal/rarp"
+	"repro/internal/sim"
+	"repro/internal/vmtp"
+	"repro/internal/vtime"
+)
+
+// world is the full test topology: two workstations, a diskless node,
+// and a monitoring station on one 10 Mb Ethernet.
+type world struct {
+	s                 *sim.Sim
+	net               *ethersim.Network
+	alpha, beta       *sim.Host
+	diskless, watcher *sim.Host
+	nicA, nicB        *ethersim.NIC
+	nicD, nicW        *ethersim.NIC
+	stackA, stackB    *inet.Stack
+	vmtpA, vmtpB      *vmtp.KernelTransport
+	devA, devB        *pfdev.Device
+	devD, devW        *pfdev.Device
+}
+
+func newWorld() *world {
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether10Mb)
+	w := &world{
+		s: s, net: net,
+		alpha: s.NewHost("alpha"), beta: s.NewHost("beta"),
+		diskless: s.NewHost("diskless"), watcher: s.NewHost("watcher"),
+	}
+	w.nicA = net.Attach(w.alpha, 0xA1)
+	w.nicB = net.Attach(w.beta, 0xB2)
+	w.nicD = net.Attach(w.diskless, 0xD3)
+	w.nicW = net.Attach(w.watcher, 0xE4)
+	w.nicW.Promiscuous = true
+
+	w.stackA = inet.NewStack(w.nicA, 0x0A0000A1)
+	w.stackB = inet.NewStack(w.nicB, 0x0A0000B2)
+	w.stackA.AddARP(w.stackB.Addr(), w.nicB.Addr())
+	w.stackB.AddARP(w.stackA.Addr(), w.nicA.Addr())
+	w.vmtpA = vmtp.AttachKernel(w.nicA, vmtp.DefaultKernelConfig())
+	w.vmtpB = vmtp.AttachKernel(w.nicB, vmtp.DefaultKernelConfig())
+
+	w.devA = pfdev.Attach(w.nicA, pfdev.Chain(w.stackA, w.vmtpA), pfdev.Options{})
+	w.devB = pfdev.Attach(w.nicB, pfdev.Chain(w.stackB, w.vmtpB), pfdev.Options{})
+	w.devD = pfdev.Attach(w.nicD, nil, pfdev.Options{})
+	w.devW = pfdev.Attach(w.nicW, nil, pfdev.Options{})
+	return w
+}
+
+// results collected by runEverything.
+type results struct {
+	tcpBytes    int
+	bspOK       bool
+	vmtpOK      bool
+	userVMTPOK  bool
+	rarpIP      rarp.IPAddr
+	echoRTT     time.Duration
+	monPackets  int
+	monProtos   map[string]int
+	endTime     time.Duration
+	wireFrames  uint64
+	totalSwitch uint64
+}
+
+func runEverything(t *testing.T) results {
+	t.Helper()
+	w := newWorld()
+	var res results
+	tcpData := bytes.Repeat([]byte("kernel tcp "), 1000) // ~11 KB
+	bspData := bytes.Repeat([]byte("user bsp "), 800)    // ~7 KB
+	vmtpBlob := bytes.Repeat([]byte{0x5A}, 4000)
+
+	// --- Monitor (watcher host) -----------------------------------
+	mon := monitor.New(w.devW)
+	w.s.Spawn(w.watcher, "monitor", func(p *sim.Proc) {
+		mon.Run(p, 250*time.Millisecond)
+	})
+
+	// --- Kernel TCP: alpha -> beta --------------------------------
+	w.s.Spawn(w.beta, "tcpd", func(p *sim.Proc) {
+		l, err := w.stackB.TCPListen(p, 80, inet.DefaultTCPConfig())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c, err := l.Accept(p, 2*time.Second)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.SetTimeout(2 * time.Second)
+		var got bytes.Buffer
+		for {
+			chunk, err := c.Read(p, 0)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got.Write(chunk)
+		}
+		if !bytes.Equal(got.Bytes(), tcpData) {
+			t.Error("tcp stream corrupted")
+			return
+		}
+		res.tcpBytes = got.Len()
+	})
+	w.s.Spawn(w.alpha, "tcp-client", func(p *sim.Proc) {
+		p.Sleep(3 * time.Millisecond)
+		c, err := w.stackA.TCPDial(p, w.stackB.Addr(), 80, 4000, inet.DefaultTCPConfig())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Write(p, tcpData)
+		c.Close(p)
+	})
+
+	// --- User-level BSP: beta -> alpha ----------------------------
+	bspAddr := pup.PortAddr{Net: 1, Host: 0xA1, Socket: 0x500}
+	w.s.Spawn(w.alpha, "bsp-recv", func(p *sim.Proc) {
+		sock, err := pup.Open(p, w.devA, bspAddr, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rcv := pup.NewBSPReceiver(sock, pup.DefaultBSPConfig())
+		var got bytes.Buffer
+		for {
+			seg, err := rcv.Receive(p, 400*time.Millisecond)
+			if err != nil {
+				break
+			}
+			got.Write(seg)
+		}
+		res.bspOK = bytes.Equal(got.Bytes(), bspData)
+	})
+	w.s.Spawn(w.beta, "bsp-send", func(p *sim.Proc) {
+		sock, err := pup.Open(p, w.devB, pup.PortAddr{Net: 1, Host: 0xB2, Socket: 0x501}, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(5 * time.Millisecond)
+		snd := pup.NewBSPSender(sock, bspAddr, pup.DefaultBSPConfig())
+		if err := snd.Send(p, bspData); err != nil {
+			t.Error(err)
+			return
+		}
+		snd.Close(p)
+	})
+
+	// --- Kernel VMTP: alpha calls beta ----------------------------
+	w.s.Spawn(w.beta, "vmtpd", func(p *sim.Proc) {
+		svc := w.vmtpB.Register(p, 700)
+		svc.Serve(p, func(op uint16, req []byte) []byte { return vmtpBlob },
+			400*time.Millisecond)
+	})
+	w.s.Spawn(w.alpha, "vmtp-client", func(p *sim.Proc) {
+		p.Sleep(6 * time.Millisecond)
+		resp, err := w.vmtpA.Call(p, w.nicB.Addr(), 700, 2, nil, 701)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res.vmtpOK = bytes.Equal(resp, vmtpBlob)
+	})
+
+	// --- User-level VMTP on DIFFERENT ports, same hosts -----------
+	w.s.Spawn(w.beta, "uvmtpd", func(p *sim.Proc) {
+		ep, err := vmtp.NewUserEndpoint(p, w.devB, 800, vmtp.DefaultUserConfig())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ep.Serve(p, func(op uint16, req []byte) []byte { return req }, 400*time.Millisecond)
+	})
+	w.s.Spawn(w.alpha, "uvmtp-client", func(p *sim.Proc) {
+		ep, err := vmtp.NewUserEndpoint(p, w.devA, 801, vmtp.DefaultUserConfig())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(8 * time.Millisecond)
+		resp, err := ep.Call(p, w.nicB.Addr(), 800, 1, []byte("coexist"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res.userVMTPOK = string(resp) == "coexist"
+	})
+
+	// --- RARP: the diskless host boots off a server on beta -------
+	srv := rarp.NewServer(w.devB, map[ethersim.Addr]rarp.IPAddr{
+		0xD3: 0x0A0000D3,
+	})
+	w.s.Spawn(w.beta, "rarpd", func(p *sim.Proc) { srv.Run(p, 400*time.Millisecond) })
+	w.s.Spawn(w.diskless, "boot", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		ip, err := rarp.Resolve(p, w.devD, 30*time.Millisecond, 4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res.rarpIP = ip
+	})
+
+	// --- Pup echo: diskless pings beta after booting ---------------
+	echoAddr := pup.PortAddr{Net: 1, Host: 0xB2, Socket: 0x30}
+	w.s.Spawn(w.beta, "echod", func(p *sim.Proc) {
+		sock, err := pup.Open(p, w.devB, echoAddr, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sock.EchoServer(p, 400*time.Millisecond)
+	})
+	w.s.Spawn(w.diskless, "pinger", func(p *sim.Proc) {
+		sock, err := pup.Open(p, w.devD, pup.PortAddr{Net: 1, Host: 0xD3, Socket: 0x31}, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(60 * time.Millisecond)
+		rtt, err := sock.Echo(p, echoAddr, []byte("up?"), 60*time.Millisecond, 3)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res.echoRTT = rtt
+	})
+
+	res.endTime = w.s.Run(10 * time.Second)
+	res.monPackets = mon.Stats.Packets
+	res.monProtos = mon.Stats.ByProto
+	res.wireFrames = w.net.FramesOnWire
+	res.totalSwitch = w.s.Counters.ContextSwitches
+	return res
+}
+
+func TestEverythingCoexists(t *testing.T) {
+	res := runEverything(t)
+	if res.tcpBytes != 11000 {
+		t.Errorf("tcp received %d bytes", res.tcpBytes)
+	}
+	if !res.bspOK {
+		t.Error("bsp transfer failed")
+	}
+	if !res.vmtpOK {
+		t.Error("kernel vmtp failed")
+	}
+	if !res.userVMTPOK {
+		t.Error("user vmtp failed")
+	}
+	if res.rarpIP != 0x0A0000D3 {
+		t.Errorf("rarp resolved %08x", uint32(res.rarpIP))
+	}
+	if res.echoRTT <= 0 {
+		t.Error("no echo round trip")
+	}
+	// The monitor must have decoded every protocol family in play.
+	for _, proto := range []string{"ip/tcp", "bsp", "vmtp", "rarp", "pup"} {
+		if res.monProtos[proto] == 0 {
+			t.Errorf("monitor saw no %s traffic (%v)", proto, res.monProtos)
+		}
+	}
+	// And it must have seen (nearly) every frame on the wire; its
+	// own transmissions are the only exclusions.
+	if uint64(res.monPackets) < res.wireFrames*9/10 {
+		t.Errorf("monitor captured %d of %d frames", res.monPackets, res.wireFrames)
+	}
+}
+
+// TestWholeSystemDeterminism re-runs the full scenario and requires
+// bit-identical timing and counters — the property that makes every
+// benchmark in this repository reproducible.
+func TestWholeSystemDeterminism(t *testing.T) {
+	a := runEverything(t)
+	b := runEverything(t)
+	if a.endTime != b.endTime {
+		t.Fatalf("end times differ: %v vs %v", a.endTime, b.endTime)
+	}
+	if a.wireFrames != b.wireFrames {
+		t.Fatalf("wire frames differ: %d vs %d", a.wireFrames, b.wireFrames)
+	}
+	if a.totalSwitch != b.totalSwitch {
+		t.Fatalf("context switches differ: %d vs %d", a.totalSwitch, b.totalSwitch)
+	}
+	if a.echoRTT != b.echoRTT {
+		t.Fatalf("echo RTTs differ: %v vs %v", a.echoRTT, b.echoRTT)
+	}
+	if a.monPackets != b.monPackets {
+		t.Fatalf("monitor captures differ: %d vs %d", a.monPackets, b.monPackets)
+	}
+}
+
+// TestEverythingUnderLoss re-runs the scenario with deterministic
+// frame loss: every protocol must still complete via its own
+// retransmission machinery.
+func TestEverythingUnderLoss(t *testing.T) {
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether10Mb)
+	net.DropEvery = 13
+	alpha, beta := s.NewHost("alpha"), s.NewHost("beta")
+	nicA, nicB := net.Attach(alpha, 0xA1), net.Attach(beta, 0xB2)
+	stackA, stackB := inet.NewStack(nicA, 0x0A0000A1), inet.NewStack(nicB, 0x0A0000B2)
+	stackA.AddARP(stackB.Addr(), nicB.Addr())
+	stackB.AddARP(stackA.Addr(), nicA.Addr())
+	devA := pfdev.Attach(nicA, stackA, pfdev.Options{})
+	devB := pfdev.Attach(nicB, stackB, pfdev.Options{})
+
+	tcpData := bytes.Repeat([]byte("x"), 20000)
+	bspData := bytes.Repeat([]byte("y"), 5000)
+	tcpOK, bspOK := false, false
+
+	s.Spawn(beta, "tcpd", func(p *sim.Proc) {
+		l, _ := stackB.TCPListen(p, 80, inet.DefaultTCPConfig())
+		c, err := l.Accept(p, 5*time.Second)
+		if err != nil {
+			return
+		}
+		c.SetTimeout(3 * time.Second)
+		var got bytes.Buffer
+		for {
+			chunk, err := c.Read(p, 0)
+			if err != nil {
+				break
+			}
+			got.Write(chunk)
+		}
+		tcpOK = bytes.Equal(got.Bytes(), tcpData)
+	})
+	s.Spawn(alpha, "tcp-client", func(p *sim.Proc) {
+		p.Sleep(2 * time.Millisecond)
+		c, err := stackA.TCPDial(p, stackB.Addr(), 80, 4000, inet.DefaultTCPConfig())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Write(p, tcpData)
+		c.Close(p)
+	})
+
+	bspAddr := pup.PortAddr{Net: 1, Host: 0xA1, Socket: 0x500}
+	s.Spawn(alpha, "bsp-recv", func(p *sim.Proc) {
+		sock, _ := pup.Open(p, devA, bspAddr, 10)
+		rcv := pup.NewBSPReceiver(sock, pup.DefaultBSPConfig())
+		var got bytes.Buffer
+		for {
+			seg, err := rcv.Receive(p, 2*time.Second)
+			if err != nil {
+				break
+			}
+			got.Write(seg)
+		}
+		bspOK = bytes.Equal(got.Bytes(), bspData)
+	})
+	s.Spawn(beta, "bsp-send", func(p *sim.Proc) {
+		sock, _ := pup.Open(p, devB, pup.PortAddr{Net: 1, Host: 0xB2, Socket: 0x501}, 10)
+		p.Sleep(5 * time.Millisecond)
+		snd := pup.NewBSPSender(sock, bspAddr, pup.DefaultBSPConfig())
+		if err := snd.Send(p, bspData); err != nil {
+			t.Error(err)
+			return
+		}
+		snd.Close(p)
+	})
+
+	s.Run(30 * time.Second)
+	if net.Dropped == 0 {
+		t.Fatal("loss injection inactive")
+	}
+	if !tcpOK {
+		t.Error("tcp failed under loss")
+	}
+	if !bspOK {
+		t.Error("bsp failed under loss")
+	}
+}

@@ -1,0 +1,335 @@
+// Package monitor is the integrated network monitor of §5.4: a
+// packet-filter application that captures and decodes the packets
+// flowing on an Ethernet, the ancestor of tcpdump.  "A network monitor
+// closely integrated with a general-purpose operating system, running
+// on a workstation, has several important advantages over a dedicated
+// monitor" — all the tools of the host are available, and "a user can
+// write new monitoring programs to display data in novel ways, or to
+// monitor new or unusual protocols."
+//
+// The monitor binds a high-priority accept-everything filter with the
+// copy-all option set, so the processes being monitored still receive
+// their traffic undisturbed (§3.2), and asks the kernel to timestamp
+// each packet (§3.3).
+package monitor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/pfdev"
+	"repro/internal/pup"
+	"repro/internal/sim"
+	"repro/internal/vmtp"
+)
+
+// Record is one captured, decoded packet.
+type Record struct {
+	Stamp    time.Duration
+	Len      int
+	Src, Dst ethersim.Addr
+	Proto    string // "pup", "bsp", "ip/udp", "ip/tcp", "arp", "rarp", "vmtp", "ether"
+	Summary  string // one-line decoded form
+}
+
+// String renders the record like a tcpdump line.
+func (r Record) String() string {
+	return fmt.Sprintf("%10.3fms %3dB %02x > %02x %-7s %s",
+		float64(r.Stamp)/float64(time.Millisecond), r.Len,
+		uint64(r.Src), uint64(r.Dst), r.Proto, r.Summary)
+}
+
+// Stats aggregates a capture.
+type Stats struct {
+	Packets int
+	Bytes   int
+	ByProto map[string]int
+	ByHost  map[ethersim.Addr]int // packets sent, by source
+	Drops   uint64                // kernel-reported queue overflows
+}
+
+// Monitor captures traffic from one packet-filter device.
+type Monitor struct {
+	dev  *pfdev.Device
+	link ethersim.LinkType
+
+	Records []Record
+	Stats   Stats
+	// Keep bounds the trace length (0 = unlimited); statistics keep
+	// accumulating after the trace fills, like a real monitor whose
+	// screen scrolls.
+	Keep int
+	// Filter, when non-empty, replaces the accept-everything capture
+	// program — "a user can write new monitoring programs ... to
+	// monitor new or unusual protocols" — typically compiled from an
+	// expression by package fexpr.
+	Filter filter.Program
+	// KeepRaw retains the raw frames so the capture can be written
+	// to a trace file with SaveTrace.
+	KeepRaw bool
+	raw     []pfdev.Packet
+}
+
+// New creates a monitor on dev.  A nil device yields an offline
+// monitor that can only ingest pre-captured packets (a trace reader).
+func New(dev *pfdev.Device) *Monitor {
+	m := &Monitor{
+		dev: dev,
+		Stats: Stats{
+			ByProto: make(map[string]int),
+			ByHost:  make(map[ethersim.Addr]int),
+		},
+	}
+	if dev != nil {
+		m.link = dev.NIC().Network().Link()
+	}
+	return m
+}
+
+// Run captures packets until none arrive for idle.  Batch reads keep
+// up with busy networks ("sufficient performance to record all packets
+// flowing on a moderately busy Ethernet (with rare lapses)", §5.4).
+func (m *Monitor) Run(p *sim.Proc, idle time.Duration) error {
+	port := m.dev.Open(p)
+	defer port.Close(p)
+	prog := m.Filter
+	if len(prog) == 0 {
+		prog = filter.NewBuilder().AcceptAll().MustProgram()
+	}
+	f := filter.Filter{
+		Priority: 255, // first rights to every packet...
+		Program:  prog,
+	}
+	if err := port.SetFilter(p, f); err != nil {
+		return err
+	}
+	port.SetCopyAll(p, true) // ...without diverting anyone's traffic
+	port.SetStamp(p, true)
+	port.SetQueueLimit(p, 128)
+	port.SetTimeout(p, idle)
+	for {
+		batch, err := port.ReadBatch(p)
+		if err != nil {
+			return nil
+		}
+		for _, pkt := range batch {
+			m.ingest(pkt)
+		}
+	}
+}
+
+func (m *Monitor) ingest(pkt pfdev.Packet) {
+	if m.KeepRaw {
+		m.raw = append(m.raw, pkt)
+	}
+	rec := Decode(m.link, pkt.Data)
+	rec.Stamp = pkt.Stamp
+	m.Stats.Packets++
+	m.Stats.Bytes += rec.Len
+	m.Stats.ByProto[rec.Proto]++
+	m.Stats.ByHost[rec.Src]++
+	m.Stats.Drops = pkt.Drops
+	if m.Keep == 0 || len(m.Records) < m.Keep {
+		m.Records = append(m.Records, rec)
+	}
+}
+
+// Decode parses one frame into a Record; unknown protocols decode as
+// raw Ethernet.
+func Decode(link ethersim.LinkType, frame []byte) Record {
+	rec := Record{Len: len(frame), Proto: "ether", Summary: "undecoded"}
+	dst, src, etherType, payload, err := link.Decode(frame)
+	if err != nil {
+		rec.Summary = "truncated frame"
+		return rec
+	}
+	rec.Src, rec.Dst = src, dst
+
+	switch {
+	case etherType == ethersim.EtherTypePup3Mb && link == ethersim.Ether3Mb,
+		etherType == ethersim.EtherTypePup && link == ethersim.Ether10Mb:
+		decodePup(&rec, payload)
+	case etherType == ethersim.EtherTypeIP:
+		decodeIP(&rec, payload)
+	case etherType == ethersim.EtherTypeARP:
+		rec.Proto = "arp"
+		rec.Summary = arpSummary(payload, link)
+	case etherType == ethersim.EtherTypeRARP:
+		rec.Proto = "rarp"
+		rec.Summary = arpSummary(payload, link)
+	case etherType == ethersim.EtherTypeVMTP:
+		decodeVMTP(&rec, payload)
+	default:
+		rec.Summary = fmt.Sprintf("type 0x%04x, %d bytes", etherType, len(payload))
+	}
+	return rec
+}
+
+func decodePup(rec *Record, payload []byte) {
+	rec.Proto = "pup"
+	pkt, err := pup.Unmarshal(payload)
+	if err != nil {
+		rec.Summary = "malformed pup: " + err.Error()
+		return
+	}
+	name := fmt.Sprintf("type %d", pkt.Type)
+	switch pkt.Type {
+	case pup.TypeEchoMe:
+		name = "echoMe"
+	case pup.TypeImAnEcho:
+		name = "imAnEcho"
+	case pup.TypeBSPData:
+		rec.Proto = "bsp"
+		name = fmt.Sprintf("data seq %d", pkt.ID)
+	case pup.TypeBSPAck:
+		rec.Proto = "bsp"
+		name = fmt.Sprintf("ack %d", pkt.ID)
+	case pup.TypeBSPEnd:
+		rec.Proto = "bsp"
+		name = "end"
+	case pup.TypeBSPEndOK:
+		rec.Proto = "bsp"
+		name = "endOK"
+	case pup.TypeEFTPData:
+		rec.Proto = "eftp"
+		name = fmt.Sprintf("block %d", pkt.ID)
+	case pup.TypeEFTPAck:
+		rec.Proto = "eftp"
+		name = fmt.Sprintf("ack %d", pkt.ID)
+	case pup.TypeEFTPEnd:
+		rec.Proto = "eftp"
+		name = "end"
+	case pup.TypeEFTPAbort:
+		rec.Proto = "eftp"
+		name = fmt.Sprintf("abort code %d", pkt.ID)
+	}
+	rec.Summary = fmt.Sprintf("%s > %s %s, %d data bytes",
+		pkt.Src, pkt.Dst, name, len(pkt.Data))
+}
+
+func decodeIP(rec *Record, payload []byte) {
+	rec.Proto = "ip"
+	if len(payload) < 20 {
+		rec.Summary = "truncated IP"
+		return
+	}
+	proto := payload[9]
+	src := binary.BigEndian.Uint32(payload[12:])
+	dst := binary.BigEndian.Uint32(payload[16:])
+	ihl := int(payload[0]&0x0F) * 4
+	seg := payload
+	if ihl < len(payload) {
+		seg = payload[ihl:]
+	}
+	switch {
+	case proto == 1 && len(seg) >= 8:
+		rec.Proto = "ip/icmp"
+		kind := "type " + fmt.Sprint(seg[0])
+		switch seg[0] {
+		case 8:
+			kind = "echo request"
+		case 0:
+			kind = "echo reply"
+		}
+		rec.Summary = fmt.Sprintf("%s > %s icmp %s, %d data bytes",
+			ipStr(src), ipStr(dst), kind, len(seg)-8)
+	case proto == 17 && len(seg) >= 8:
+		rec.Proto = "ip/udp"
+		rec.Summary = fmt.Sprintf("%s:%d > %s:%d udp %d bytes",
+			ipStr(src), binary.BigEndian.Uint16(seg[0:]),
+			ipStr(dst), binary.BigEndian.Uint16(seg[2:]),
+			len(seg)-8)
+	case proto == 6 && len(seg) >= 20:
+		rec.Proto = "ip/tcp"
+		flags := tcpFlags(seg[13])
+		rec.Summary = fmt.Sprintf("%s:%d > %s:%d tcp %s seq %d ack %d, %d data bytes",
+			ipStr(src), binary.BigEndian.Uint16(seg[0:]),
+			ipStr(dst), binary.BigEndian.Uint16(seg[2:]),
+			flags,
+			binary.BigEndian.Uint32(seg[4:]),
+			binary.BigEndian.Uint32(seg[8:]),
+			len(seg)-int(seg[12]>>4)*4)
+	default:
+		rec.Summary = fmt.Sprintf("%s > %s proto %d", ipStr(src), ipStr(dst), proto)
+	}
+}
+
+func decodeVMTP(rec *Record, payload []byte) {
+	rec.Proto = "vmtp"
+	h, data, err := vmtp.Unmarshal(payload)
+	if err != nil {
+		rec.Summary = "malformed vmtp"
+		return
+	}
+	kind := "request"
+	if h.Kind == vmtp.KindResponse {
+		kind = "response"
+	}
+	rec.Summary = fmt.Sprintf("%s trans %d port %d pkt %d/%d, %d bytes",
+		kind, h.TransID, h.DstPort, h.Index+1, h.Count, len(data))
+}
+
+func arpSummary(payload []byte, link ethersim.LinkType) string {
+	hlen := link.AddrLen()
+	if len(payload) < 8+2*hlen+8 {
+		return "truncated"
+	}
+	op := binary.BigEndian.Uint16(payload[6:])
+	names := map[uint16]string{1: "who-has", 2: "is-at", 3: "rev-request", 4: "rev-reply"}
+	name := names[op]
+	if name == "" {
+		name = fmt.Sprintf("op %d", op)
+	}
+	return name
+}
+
+func ipStr(a uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", a>>24, byte(a>>16), byte(a>>8), byte(a))
+}
+
+func tcpFlags(f byte) string {
+	var out []string
+	for _, fl := range []struct {
+		bit  byte
+		name string
+	}{{0x02, "S"}, {0x10, "."}, {0x01, "F"}, {0x04, "R"}} {
+		if f&fl.bit != 0 {
+			out = append(out, fl.name)
+		}
+	}
+	if len(out) == 0 {
+		return "-"
+	}
+	return strings.Join(out, "")
+}
+
+// Report renders capture statistics as text.
+func (m *Monitor) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d packets, %d bytes", m.Stats.Packets, m.Stats.Bytes)
+	if m.Stats.Drops > 0 {
+		fmt.Fprintf(&b, " (%d lost to queue overflow)", m.Stats.Drops)
+	}
+	b.WriteByte('\n')
+	for _, proto := range sortedKeys(m.Stats.ByProto) {
+		fmt.Fprintf(&b, "  %-7s %6d\n", proto, m.Stats.ByProto[proto])
+	}
+	return b.String()
+}
+
+func sortedKeys(mp map[string]int) []string {
+	keys := make([]string, 0, len(mp))
+	for k := range mp {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j-1] > keys[j]; j-- {
+			keys[j-1], keys[j] = keys[j], keys[j-1]
+		}
+	}
+	return keys
+}

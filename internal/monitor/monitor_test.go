@@ -1,0 +1,175 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/pfdev"
+	"repro/internal/pup"
+	"repro/internal/sim"
+	"repro/internal/vmtp"
+	"repro/internal/vtime"
+)
+
+func TestDecodePup(t *testing.T) {
+	pkt := pup.Packet{
+		Type: pup.TypeEchoMe, ID: 7,
+		Dst: pup.PortAddr{Net: 1, Host: 2, Socket: 35},
+		Src: pup.PortAddr{Net: 1, Host: 1, Socket: 99},
+	}
+	payload, _ := pkt.Marshal()
+	frame := ethersim.Ether3Mb.Encode(2, 1, ethersim.EtherTypePup3Mb, payload)
+	rec := Decode(ethersim.Ether3Mb, frame)
+	if rec.Proto != "pup" || !strings.Contains(rec.Summary, "echoMe") {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if rec.Src != 1 || rec.Dst != 2 {
+		t.Fatalf("addrs = %v > %v", rec.Src, rec.Dst)
+	}
+	if !strings.Contains(rec.Summary, "1#2#35") {
+		t.Fatalf("summary = %q", rec.Summary)
+	}
+}
+
+func TestDecodeBSPAndVMTP(t *testing.T) {
+	bsp := pup.Packet{Type: pup.TypeBSPData, ID: 9,
+		Dst: pup.PortAddr{Socket: 1}, Data: []byte("xy")}
+	payload, _ := bsp.Marshal()
+	rec := Decode(ethersim.Ether3Mb,
+		ethersim.Ether3Mb.Encode(2, 1, ethersim.EtherTypePup3Mb, payload))
+	if rec.Proto != "bsp" || !strings.Contains(rec.Summary, "data seq 9") {
+		t.Fatalf("bsp rec = %+v", rec)
+	}
+
+	v := vmtp.Marshal(vmtp.Header{DstPort: 500, TransID: 3,
+		Kind: vmtp.KindResponse, Index: 1, Count: 4}, []byte("abc"))
+	rec = Decode(ethersim.Ether10Mb,
+		ethersim.Ether10Mb.Encode(2, 1, ethersim.EtherTypeVMTP, v))
+	if rec.Proto != "vmtp" || !strings.Contains(rec.Summary, "response trans 3") ||
+		!strings.Contains(rec.Summary, "pkt 2/4") {
+		t.Fatalf("vmtp rec = %+v", rec)
+	}
+}
+
+func TestDecodeIPForms(t *testing.T) {
+	// Hand-rolled UDP datagram.
+	udp := make([]byte, 28)
+	udp[0] = 0x45
+	udp[2], udp[3] = 0, 28
+	udp[9] = 17
+	udp[12], udp[16] = 10, 11
+	udp[20], udp[21] = 0x04, 0x00 // src port 1024
+	udp[22], udp[23] = 0x00, 0x35 // dst port 53
+	rec := Decode(ethersim.Ether10Mb,
+		ethersim.Ether10Mb.Encode(2, 1, ethersim.EtherTypeIP, udp))
+	if rec.Proto != "ip/udp" || !strings.Contains(rec.Summary, ":53") {
+		t.Fatalf("udp rec = %+v", rec)
+	}
+
+	tcp := make([]byte, 40)
+	tcp[0] = 0x45
+	tcp[3] = 40
+	tcp[9] = 6
+	tcp[32] = 5 << 4 // data offset
+	tcp[33] = 0x12   // SYN|ACK
+	rec = Decode(ethersim.Ether10Mb,
+		ethersim.Ether10Mb.Encode(2, 1, ethersim.EtherTypeIP, tcp))
+	if rec.Proto != "ip/tcp" || !strings.Contains(rec.Summary, "S.") {
+		t.Fatalf("tcp rec = %+v", rec)
+	}
+
+	rec = Decode(ethersim.Ether10Mb,
+		ethersim.Ether10Mb.Encode(2, 1, ethersim.EtherTypeIP, []byte{1, 2}))
+	if rec.Summary != "truncated IP" {
+		t.Fatalf("short rec = %+v", rec)
+	}
+}
+
+func TestDecodeUnknownAndTruncated(t *testing.T) {
+	rec := Decode(ethersim.Ether10Mb, []byte{1, 2, 3})
+	if rec.Summary != "truncated frame" {
+		t.Fatalf("rec = %+v", rec)
+	}
+	rec = Decode(ethersim.Ether3Mb,
+		ethersim.Ether3Mb.Encode(2, 1, 0x4242, []byte{1}))
+	if rec.Proto != "ether" || !strings.Contains(rec.Summary, "0x4242") {
+		t.Fatalf("rec = %+v", rec)
+	}
+	rec = Decode(ethersim.Ether3Mb,
+		ethersim.Ether3Mb.Encode(2, 1, ethersim.EtherTypeARP, make([]byte, 28)))
+	if rec.Proto != "arp" {
+		t.Fatalf("rec = %+v", rec)
+	}
+}
+
+func TestMonitorDoesNotDisturbTraffic(t *testing.T) {
+	// A monitor on the receiving host must see the packets AND the
+	// real consumer must still get them (§3.2).
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether3Mb)
+	ha, hb := s.NewHost("src"), s.NewHost("dst")
+	na := net.Attach(ha, 1)
+	db := pfdev.Attach(net.Attach(hb, 2), nil, pfdev.Options{})
+
+	m := New(db)
+	consumerGot := 0
+	s.Spawn(hb, "monitor", func(p *sim.Proc) { m.Run(p, 60*time.Millisecond) })
+	s.Spawn(hb, "consumer", func(p *sim.Proc) {
+		sock, err := pup.Open(p, db, pup.PortAddr{Net: 1, Host: 2, Socket: 35}, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sock.SetTimeout(p, 60*time.Millisecond)
+		for {
+			if _, err := sock.Recv(p); err != nil {
+				return
+			}
+			consumerGot++
+		}
+	})
+	s.Spawn(ha, "src", func(p *sim.Proc) {
+		sock, _ := pup.Open(p, pfdev.Attach(na, nil, pfdev.Options{}),
+			pup.PortAddr{Net: 1, Host: 1, Socket: 1}, 10)
+		p.Sleep(10 * time.Millisecond)
+		for i := 0; i < 4; i++ {
+			sock.Send(p, &pup.Packet{Type: 3, ID: uint32(i),
+				Dst: pup.PortAddr{Net: 1, Host: 2, Socket: 35}})
+			p.Sleep(2 * time.Millisecond)
+		}
+	})
+	s.Run(0)
+	if consumerGot != 4 {
+		t.Fatalf("consumer got %d packets", consumerGot)
+	}
+	if m.Stats.Packets != 4 || m.Stats.ByProto["pup"] != 4 {
+		t.Fatalf("monitor stats = %+v", m.Stats)
+	}
+	if len(m.Records) != 4 {
+		t.Fatalf("records = %d", len(m.Records))
+	}
+	if m.Records[0].Stamp == 0 {
+		t.Error("records not timestamped")
+	}
+	rep := m.Report()
+	if !strings.Contains(rep, "4 packets") || !strings.Contains(rep, "pup") {
+		t.Fatalf("report = %q", rep)
+	}
+	if s := m.Records[0].String(); !strings.Contains(s, "pup") {
+		t.Fatalf("record string = %q", s)
+	}
+}
+
+func TestMonitorKeepBound(t *testing.T) {
+	m := New(nil) // ingest directly; no device needed
+	m.Keep = 2
+	frame := ethersim.Ether3Mb.Encode(2, 1, 0x4242, nil)
+	for i := 0; i < 5; i++ {
+		m.ingest(pfdev.Packet{Data: frame, Stamp: time.Duration(i)})
+	}
+	if len(m.Records) != 2 || m.Stats.Packets != 5 {
+		t.Fatalf("records=%d stats=%d", len(m.Records), m.Stats.Packets)
+	}
+}

@@ -1,0 +1,132 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/ethersim"
+)
+
+// Analysis computes the derived views a 1987 network manager stared
+// at: who talks to whom, what sizes flow, how bursty the segment is.
+// "One of us has been using the packet filter ... as the basis for a
+// variety of experimental network monitoring tools" (§5.4); these are
+// those tools' table views, derived offline from the capture.
+type Analysis struct {
+	// Conversations counts packets per (src, dst) pair.
+	Conversations map[[2]ethersim.Addr]int
+	// SizeHistogram buckets frame sizes: <64, <128, <256, <512,
+	// <1024, >=1024 bytes.
+	SizeHistogram [6]int
+	// TopTalkers lists senders by descending packet count.
+	TopTalkers []Talker
+	// MeanInterarrival is the average gap between stamped packets
+	// (zero when fewer than two packets carry timestamps).
+	MeanInterarrival time.Duration
+	// PeakBurst is the largest number of packets within any 10 ms
+	// window of the capture.
+	PeakBurst int
+}
+
+// Talker is one row of the top-talkers table.
+type Talker struct {
+	Host    ethersim.Addr
+	Packets int
+}
+
+// Analyze derives the analysis views from the recorded trace lines.
+// It uses Records, so set Keep high enough (or zero) to retain the
+// packets of interest.
+func (m *Monitor) Analyze() Analysis {
+	a := Analysis{Conversations: make(map[[2]ethersim.Addr]int)}
+	counts := make(map[ethersim.Addr]int)
+
+	var stamps []time.Duration
+	for _, rec := range m.Records {
+		a.Conversations[[2]ethersim.Addr{rec.Src, rec.Dst}]++
+		counts[rec.Src]++
+		a.SizeHistogram[sizeBucket(rec.Len)]++
+		if rec.Stamp > 0 {
+			stamps = append(stamps, rec.Stamp)
+		}
+	}
+
+	for host, n := range counts {
+		a.TopTalkers = append(a.TopTalkers, Talker{Host: host, Packets: n})
+	}
+	sort.Slice(a.TopTalkers, func(i, j int) bool {
+		if a.TopTalkers[i].Packets != a.TopTalkers[j].Packets {
+			return a.TopTalkers[i].Packets > a.TopTalkers[j].Packets
+		}
+		return a.TopTalkers[i].Host < a.TopTalkers[j].Host
+	})
+
+	sort.Slice(stamps, func(i, j int) bool { return stamps[i] < stamps[j] })
+	if len(stamps) >= 2 {
+		a.MeanInterarrival = (stamps[len(stamps)-1] - stamps[0]) /
+			time.Duration(len(stamps)-1)
+	}
+	a.PeakBurst = peakBurst(stamps, 10*time.Millisecond)
+	return a
+}
+
+func sizeBucket(n int) int {
+	switch {
+	case n < 64:
+		return 0
+	case n < 128:
+		return 1
+	case n < 256:
+		return 2
+	case n < 512:
+		return 3
+	case n < 1024:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// peakBurst slides a window over sorted stamps and returns the maximum
+// packet count inside it.
+func peakBurst(stamps []time.Duration, window time.Duration) int {
+	best, lo := 0, 0
+	for hi := range stamps {
+		for stamps[hi]-stamps[lo] > window {
+			lo++
+		}
+		if n := hi - lo + 1; n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// String renders the analysis as the §5.4-style tables.
+func (a Analysis) String() string {
+	var b strings.Builder
+	b.WriteString("top talkers:\n")
+	for i, t := range a.TopTalkers {
+		if i >= 5 {
+			break
+		}
+		fmt.Fprintf(&b, "  %02x  %d packets\n", uint64(t.Host), t.Packets)
+	}
+	b.WriteString("frame sizes:\n")
+	labels := []string{"<64", "<128", "<256", "<512", "<1024", ">=1024"}
+	for i, n := range a.SizeHistogram {
+		if n > 0 {
+			fmt.Fprintf(&b, "  %-6s %d\n", labels[i], n)
+		}
+	}
+	if a.MeanInterarrival > 0 {
+		fmt.Fprintf(&b, "mean interarrival: %.2f mSec\n",
+			float64(a.MeanInterarrival)/float64(time.Millisecond))
+	}
+	if a.PeakBurst > 0 {
+		fmt.Fprintf(&b, "peak burst: %d packets / 10 mSec\n", a.PeakBurst)
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package monitor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+func ingestFrame(m *Monitor, stamp time.Duration, src, dst ethersim.Addr, size int) {
+	payload := make([]byte, size-ethersim.Ether3Mb.HeaderLen())
+	frame := ethersim.Ether3Mb.Encode(dst, src, 0x4242, payload)
+	m.ingest(pfdev.Packet{Stamp: stamp, Data: frame})
+}
+
+func TestAnalyze(t *testing.T) {
+	m := New(nil)
+	m.link = ethersim.Ether3Mb
+	// Host 1 sends 3 packets to 2; host 2 replies once; host 3 one
+	// big frame.  Stamps: burst of 3 in 4ms, stragglers later.
+	ingestFrame(m, 1*time.Millisecond, 1, 2, 60)
+	ingestFrame(m, 3*time.Millisecond, 1, 2, 130)
+	ingestFrame(m, 5*time.Millisecond, 1, 2, 300)
+	ingestFrame(m, 40*time.Millisecond, 2, 1, 60)
+	ingestFrame(m, 80*time.Millisecond, 3, 2, 580)
+
+	a := m.Analyze()
+	if a.Conversations[[2]ethersim.Addr{1, 2}] != 3 {
+		t.Errorf("conversations = %v", a.Conversations)
+	}
+	if len(a.TopTalkers) != 3 || a.TopTalkers[0].Host != 1 || a.TopTalkers[0].Packets != 3 {
+		t.Errorf("top talkers = %v", a.TopTalkers)
+	}
+	// Sizes: 60, 60 -> <64; 130 -> <256; 300 -> <512; 580 -> <1024.
+	if a.SizeHistogram[0] != 2 || a.SizeHistogram[2] != 1 ||
+		a.SizeHistogram[3] != 1 || a.SizeHistogram[4] != 1 {
+		t.Errorf("histogram = %v", a.SizeHistogram)
+	}
+	// Stamps span 79ms over 4 gaps.
+	if a.MeanInterarrival != 79*time.Millisecond/4 {
+		t.Errorf("mean interarrival = %v", a.MeanInterarrival)
+	}
+	if a.PeakBurst != 3 {
+		t.Errorf("peak burst = %d, want 3 (the 1/3/5 ms cluster)", a.PeakBurst)
+	}
+
+	s := a.String()
+	for _, want := range []string{"top talkers", "frame sizes", "peak burst: 3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("analysis output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := New(nil).Analyze()
+	if len(a.TopTalkers) != 0 || a.PeakBurst != 0 || a.MeanInterarrival != 0 {
+		t.Errorf("non-zero analysis of empty capture: %+v", a)
+	}
+}
+
+func TestSizeBuckets(t *testing.T) {
+	cases := map[int]int{0: 0, 63: 0, 64: 1, 127: 1, 128: 2, 255: 2,
+		256: 3, 511: 3, 512: 4, 1023: 4, 1024: 5, 9999: 5}
+	for n, want := range cases {
+		if got := sizeBucket(n); got != want {
+			t.Errorf("sizeBucket(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestReplayPreservesContentAndTiming(t *testing.T) {
+	// Capture a small exchange, replay it onto a fresh network, and
+	// capture the replay: same frames, same relative spacing.
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether3Mb)
+	src := s.NewHost("src")
+	watch := s.NewHost("watch")
+	nicSrc := net.Attach(src, 1)
+	nicW := net.Attach(watch, 3)
+	nicW.Promiscuous = true
+	devW := pfdev.Attach(nicW, nil, pfdev.Options{})
+
+	m := New(devW)
+	m.KeepRaw = true
+	s.Spawn(watch, "mon", func(p *sim.Proc) { m.Run(p, 50*time.Millisecond) })
+	s.Spawn(src, "traffic", func(p *sim.Proc) {
+		p.Sleep(5 * time.Millisecond)
+		for i := 0; i < 4; i++ {
+			nicSrc.Transmit(ethersim.Ether3Mb.Encode(2, 1, 0x4242, []byte{byte(i), 0}))
+			p.Sleep(time.Duration(3+i) * time.Millisecond)
+		}
+	})
+	s.Run(0)
+	if m.Stats.Packets != 4 {
+		t.Fatalf("captured %d packets", m.Stats.Packets)
+	}
+	var buf bytes.Buffer
+	if err := m.SaveTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second universe: replay the trace, capture it again.
+	s2 := sim.New(vtime.DefaultCosts())
+	net2 := ethersim.New(s2, ethersim.Ether3Mb)
+	src2 := s2.NewHost("replayer")
+	watch2 := s2.NewHost("watch2")
+	nic2 := net2.Attach(src2, 1)
+	nicW2 := net2.Attach(watch2, 3)
+	nicW2.Promiscuous = true
+	devW2 := pfdev.Attach(nicW2, nil, pfdev.Options{})
+	m2 := New(devW2)
+	var replayed int
+	s2.Spawn(watch2, "mon", func(p *sim.Proc) { m2.Run(p, 50*time.Millisecond) })
+	s2.Spawn(src2, "replay", func(p *sim.Proc) {
+		n, err := Replay(p, nic2, bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Error(err)
+		}
+		replayed = n
+	})
+	s2.Run(0)
+	if replayed != 4 || m2.Stats.Packets != 4 {
+		t.Fatalf("replayed=%d recaptured=%d", replayed, m2.Stats.Packets)
+	}
+	// Relative spacing preserved within simulation jitter.
+	d1 := m.Records[3].Stamp - m.Records[0].Stamp
+	d2 := m2.Records[3].Stamp - m2.Records[0].Stamp
+	diff := d1 - d2
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > time.Millisecond {
+		t.Fatalf("spacing drifted: original %v, replay %v", d1, d2)
+	}
+}

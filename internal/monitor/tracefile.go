@@ -1,0 +1,215 @@
+package monitor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+)
+
+// Trace files let a capture be saved and analyzed offline — the §5.4
+// advantage of an integrated monitor: "All the tools of the
+// workstation are available for manipulating and analyzing packet
+// traces."  The format is a minimal pcap analog:
+//
+//	magic   "PFTR"           4 bytes
+//	version uint16           currently 1
+//	link    uint16           0 = 3 Mb experimental, 1 = 10 Mb
+//	then per packet:
+//	stamp   int64            virtual nanoseconds since simulation start
+//	length  uint32           frame bytes that follow
+//	frame   [length]byte     complete frame including data-link header
+//
+// All integers are big-endian, like everything else on this wire.
+
+const (
+	traceMagic   = "PFTR"
+	traceVersion = 1
+	// MaxTraceFrame bounds a record so a corrupt length field cannot
+	// cause a huge allocation.
+	MaxTraceFrame = 1 << 16
+)
+
+// Trace-file errors.
+var (
+	ErrTraceMagic   = errors.New("monitor: not a trace file")
+	ErrTraceVersion = errors.New("monitor: unsupported trace version")
+	ErrTraceCorrupt = errors.New("monitor: corrupt trace record")
+)
+
+// TraceWriter streams captured packets to an io.Writer.
+type TraceWriter struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewTraceWriter writes the file header and returns the writer.
+func NewTraceWriter(w io.Writer, link ethersim.LinkType) (*TraceWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:], traceVersion)
+	binary.BigEndian.PutUint16(hdr[2:], uint16(link))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &TraceWriter{w: bw}, nil
+}
+
+// Write appends one captured packet.
+func (t *TraceWriter) Write(pkt pfdev.Packet) error {
+	if t.err != nil {
+		return t.err
+	}
+	if len(pkt.Data) > MaxTraceFrame {
+		return fmt.Errorf("monitor: frame of %d bytes exceeds trace limit", len(pkt.Data))
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[0:], uint64(pkt.Stamp))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(pkt.Data)))
+	if _, err := t.w.Write(hdr[:]); err != nil {
+		t.err = err
+		return err
+	}
+	if _, err := t.w.Write(pkt.Data); err != nil {
+		t.err = err
+		return err
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the number of packets written.
+func (t *TraceWriter) Count() int { return t.n }
+
+// Flush drains buffered records to the underlying writer.
+func (t *TraceWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// TraceReader reads a trace file.
+type TraceReader struct {
+	r    *bufio.Reader
+	Link ethersim.LinkType
+}
+
+// NewTraceReader validates the header and returns a reader.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, ErrTraceMagic
+	}
+	if string(hdr[:4]) != traceMagic {
+		return nil, ErrTraceMagic
+	}
+	if binary.BigEndian.Uint16(hdr[4:]) != traceVersion {
+		return nil, ErrTraceVersion
+	}
+	link := ethersim.LinkType(binary.BigEndian.Uint16(hdr[6:]))
+	if link != ethersim.Ether3Mb && link != ethersim.Ether10Mb {
+		return nil, ErrTraceCorrupt
+	}
+	return &TraceReader{r: br, Link: link}, nil
+}
+
+// Next returns the next packet, or io.EOF at the end of the trace.
+func (t *TraceReader) Next() (pfdev.Packet, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return pfdev.Packet{}, io.EOF
+		}
+		return pfdev.Packet{}, ErrTraceCorrupt
+	}
+	n := binary.BigEndian.Uint32(hdr[8:])
+	if n > MaxTraceFrame {
+		return pfdev.Packet{}, ErrTraceCorrupt
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(t.r, frame); err != nil {
+		return pfdev.Packet{}, ErrTraceCorrupt
+	}
+	return pfdev.Packet{
+		Stamp: time.Duration(binary.BigEndian.Uint64(hdr[0:])),
+		Data:  frame,
+	}, nil
+}
+
+// SaveTrace writes a monitor's raw capture to w.  The monitor must
+// have been run with KeepRaw enabled so frames are retained.
+func (m *Monitor) SaveTrace(w io.Writer) error {
+	tw, err := NewTraceWriter(w, m.link)
+	if err != nil {
+		return err
+	}
+	for _, pkt := range m.raw {
+		if err := tw.Write(pkt); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// Replay retransmits a saved trace onto a live network with the
+// original inter-packet spacing, from the calling process's host — a
+// captured workload becomes a reproducible traffic generator.
+func Replay(p *sim.Proc, nic *ethersim.NIC, r io.Reader) (int, error) {
+	tr, err := NewTraceReader(r)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	start := p.Now()
+	for {
+		pkt, err := tr.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		// Stamps are offsets from the replay's start, so the
+		// capture's lead-in and spacing are both reproduced.
+		if due := start + pkt.Stamp; due > p.Now() {
+			p.Sleep(due - p.Now())
+		}
+		if err := nic.Transmit(pkt.Data); err == nil {
+			n++
+		}
+	}
+}
+
+// LoadTrace ingests a saved trace into an offline monitor (decode,
+// statistics, trace lines), returning the packet count.
+func (m *Monitor) LoadTrace(r io.Reader) (int, error) {
+	tr, err := NewTraceReader(r)
+	if err != nil {
+		return 0, err
+	}
+	m.link = tr.Link
+	n := 0
+	for {
+		pkt, err := tr.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		m.ingest(pkt)
+		n++
+	}
+}

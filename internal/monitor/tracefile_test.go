@@ -1,0 +1,189 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/pfdev"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	frames := []pfdev.Packet{
+		{Stamp: 5 * time.Millisecond,
+			Data: ethersim.Ether3Mb.Encode(2, 1, ethersim.EtherTypePup3Mb, []byte{1, 2, 3})},
+		{Stamp: 9 * time.Millisecond,
+			Data: ethersim.Ether3Mb.Encode(0xFF, 1, ethersim.EtherTypeARP, make([]byte, 22))},
+		{Stamp: 12 * time.Millisecond, Data: []byte{0xDE, 0xAD}},
+	}
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, ethersim.Ether3Mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := tw.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Count() != len(frames) {
+		t.Fatalf("count = %d", tw.Count())
+	}
+
+	tr, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Link != ethersim.Ether3Mb {
+		t.Fatalf("link = %v", tr.Link)
+	}
+	for i, want := range frames {
+		got, err := tr.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.Stamp != want.Stamp || !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if _, err := tr.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(stamps []int64, payloads [][]byte) bool {
+		var buf bytes.Buffer
+		tw, err := NewTraceWriter(&buf, ethersim.Ether10Mb)
+		if err != nil {
+			return false
+		}
+		n := len(stamps)
+		if len(payloads) < n {
+			n = len(payloads)
+		}
+		var in []pfdev.Packet
+		for i := 0; i < n; i++ {
+			data := payloads[i]
+			if len(data) > MaxTraceFrame {
+				data = data[:MaxTraceFrame]
+			}
+			st := stamps[i]
+			if st < 0 {
+				st = -st
+			}
+			pkt := pfdev.Packet{Stamp: time.Duration(st), Data: data}
+			if tw.Write(pkt) != nil {
+				return false
+			}
+			in = append(in, pkt)
+		}
+		tw.Flush()
+		tr, err := NewTraceReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, want := range in {
+			got, err := tr.Next()
+			if err != nil || got.Stamp != want.Stamp || !bytes.Equal(got.Data, want.Data) {
+				return false
+			}
+		}
+		_, err = tr.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewTraceReader(bytes.NewReader([]byte("not a trace"))); err != ErrTraceMagic {
+		t.Errorf("magic: %v", err)
+	}
+	if _, err := NewTraceReader(bytes.NewReader(nil)); err != ErrTraceMagic {
+		t.Errorf("empty: %v", err)
+	}
+
+	// Wrong version.
+	var buf bytes.Buffer
+	buf.WriteString("PFTR")
+	binary.Write(&buf, binary.BigEndian, uint16(99))
+	binary.Write(&buf, binary.BigEndian, uint16(0))
+	if _, err := NewTraceReader(&buf); err != ErrTraceVersion {
+		t.Errorf("version: %v", err)
+	}
+
+	// Absurd record length.
+	buf.Reset()
+	tw, _ := NewTraceWriter(&buf, ethersim.Ether3Mb)
+	tw.Write(pfdev.Packet{Data: []byte{1}})
+	tw.Flush()
+	raw := buf.Bytes()
+	binary.BigEndian.PutUint32(raw[16:], 1<<30) // corrupt the length field
+	tr, err := NewTraceReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Next(); err != ErrTraceCorrupt {
+		t.Errorf("corrupt length: %v", err)
+	}
+
+	// Truncated frame body.
+	buf.Reset()
+	tw, _ = NewTraceWriter(&buf, ethersim.Ether3Mb)
+	tw.Write(pfdev.Packet{Data: make([]byte, 100)})
+	tw.Flush()
+	tr, _ = NewTraceReader(bytes.NewReader(buf.Bytes()[:40]))
+	if _, err := tr.Next(); err != ErrTraceCorrupt {
+		t.Errorf("truncated: %v", err)
+	}
+}
+
+func TestMonitorSaveLoadTrace(t *testing.T) {
+	// An online monitor with KeepRaw saves a trace; an offline
+	// monitor loads it and reproduces the statistics.
+	m := New(nil)
+	m.KeepRaw = true
+	m.link = ethersim.Ether3Mb
+	pupFrame := ethersim.Ether3Mb.Encode(2, 1, ethersim.EtherTypePup3Mb, mkPupPayload())
+	arpFrame := ethersim.Ether3Mb.Encode(0xFF, 1, ethersim.EtherTypeARP, make([]byte, 22))
+	m.ingest(pfdev.Packet{Stamp: time.Millisecond, Data: pupFrame})
+	m.ingest(pfdev.Packet{Stamp: 2 * time.Millisecond, Data: arpFrame})
+
+	var buf bytes.Buffer
+	if err := m.SaveTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	offline := New(nil)
+	n, err := offline.LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || offline.Stats.Packets != 2 {
+		t.Fatalf("loaded %d packets, stats %d", n, offline.Stats.Packets)
+	}
+	if offline.Stats.ByProto["pup"] != 1 || offline.Stats.ByProto["arp"] != 1 {
+		t.Fatalf("protos = %v", offline.Stats.ByProto)
+	}
+	if offline.Records[0].Stamp != time.Millisecond {
+		t.Fatal("stamps lost in round trip")
+	}
+}
+
+func mkPupPayload() []byte {
+	p := make([]byte, 22)
+	p[1] = 22 // PupLength
+	p[3] = 1  // type
+	// Checksum field NoChecksum.
+	p[20], p[21] = 0xFF, 0xFF
+	return p
+}

@@ -1,0 +1,329 @@
+// Package pfdev implements the packet filter pseudodevice of §3-§4:
+// a kernel-resident demultiplexer layered above a network interface
+// driver.  User processes open ports, bind filter programs with
+// priorities, and read/write complete data-link frames; the device
+// applies the filters of every port to each received packet in order
+// of decreasing priority and queues the packet on the first port whose
+// filter accepts it (figure 4-1), optionally letting it fall through
+// to lower-priority filters as well.
+//
+// The device runs inside the sim kernel: filter evaluation, queueing
+// and timestamping consume virtual kernel CPU on the host, and reads,
+// writes and ioctls by processes charge system-call and copy costs, so
+// every number the paper's §6 measures is observable.
+package pfdev
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/sim"
+)
+
+// EvalMode selects how the device evaluates filter programs; the modes
+// trace the paper's implementation (§4) and its §7 improvement
+// proposals, and the ablation benchmarks compare them.
+type EvalMode int
+
+const (
+	// EvalChecked is the production interpreter with full
+	// per-instruction checking (§4).
+	EvalChecked EvalMode = iota
+	// EvalFast pre-validates programs at bind time and skips the
+	// per-instruction checks (§7, "all these tests can be performed
+	// ahead of time").
+	EvalFast
+	// EvalCompiled compiles programs to native closures at bind
+	// time (§7, "compiling filters into machine code").
+	EvalCompiled
+	// EvalTable merges all bound filters into one decision table
+	// (§7, "the best possible performance").  Virtual cost is
+	// charged per decision-tree edge rather than per instruction.
+	EvalTable
+)
+
+// KernelProtocol lets a kernel-resident protocol stack (package inet)
+// claim frames before the packet filter sees them, matching the
+// paper's deployment: "The packet filter is called from the network
+// interface drivers upon receipt of packets not destined for
+// kernel-resident protocols."
+type KernelProtocol interface {
+	// Claim returns true if the kernel stack consumed the frame.
+	Claim(frame []byte) bool
+}
+
+// Chain combines kernel protocols: the first to claim a frame wins.
+// Figure 3-3's coexistence — kernel IP plus kernel VMTP plus the
+// packet filter — is a two-element chain.
+func Chain(protos ...KernelProtocol) KernelProtocol {
+	return chain(protos)
+}
+
+type chain []KernelProtocol
+
+func (c chain) Claim(frame []byte) bool {
+	for _, kp := range c {
+		if kp != nil && kp.Claim(frame) {
+			return true
+		}
+	}
+	return false
+}
+
+// Options configures a Device.
+type Options struct {
+	Mode EvalMode
+	// Reorder enables the §3.2 optimization: "the interpreter may
+	// occasionally reorder such filters to place the busier ones
+	// first" among equal-priority filters.
+	Reorder bool
+	// ReorderEvery is the packet interval between reorder passes
+	// (default 64).
+	ReorderEvery int
+	// SeeAll delivers every frame to the packet filter even if a
+	// kernel-resident protocol claimed it, so monitors can watch
+	// kernel traffic too.
+	SeeAll bool
+	// Extensions permits the §7 extended instructions in bound
+	// programs.
+	Extensions bool
+	// PrivilegedPriority, when non-zero, restricts filters at or
+	// above that priority to ports opened with OpenPrivileged —
+	// the security mechanism §3.2 describes: "An earlier version of
+	// the packet filter did provide some security by restricting
+	// the use of high-priority filters to certain users, allowing
+	// these users first rights to all packets."  (The paper notes
+	// it went unused; it is here for completeness.)
+	PrivilegedPriority uint8
+}
+
+// Device is one packet-filter pseudodevice instance bound to one
+// network interface.
+type Device struct {
+	host *sim.Host
+	nic  *ethersim.NIC
+	opt  Options
+	kern KernelProtocol
+
+	ports   []*Port // sorted: priority desc, busy-first within priority
+	nextID  int
+	pktSeen uint64
+
+	table      *filter.Table // EvalTable mode: merged evaluator
+	tablePorts []*Port       // table index -> port
+
+	// KernelDrops counts packets that matched no filter or
+	// overflowed a port queue.
+	KernelDrops uint64
+}
+
+// Attach creates a packet-filter device on nic and installs its
+// receive handler, demultiplexing to kern (may be nil) first.
+func Attach(nic *ethersim.NIC, kern KernelProtocol, opt Options) *Device {
+	if opt.ReorderEvery <= 0 {
+		opt.ReorderEvery = 64
+	}
+	d := &Device{host: nic.Host(), nic: nic, opt: opt, kern: kern}
+	nic.Handler = d.input
+	return d
+}
+
+// Host returns the host the device lives on.
+func (d *Device) Host() *sim.Host { return d.host }
+
+// NIC returns the underlying interface.
+func (d *Device) NIC() *ethersim.NIC { return d.nic }
+
+// Status is the §3.3 control/status information: "the type of the
+// underlying data-link layer; the lengths of a data-link layer address
+// and of a data-link layer header; the maximum packet size ...; the
+// data-link address for incoming packets; and the address used for
+// data-link layer broadcasts".
+type Status struct {
+	LinkType  ethersim.LinkType
+	HeaderLen int
+	AddrLen   int
+	MaxPacket int
+	Addr      ethersim.Addr
+	Broadcast ethersim.Addr
+}
+
+// Status returns the device status block.  Process context; charges an
+// ioctl.
+func (d *Device) Status(p *sim.Proc) Status {
+	p.Syscall("pf")
+	l := d.nic.Network().Link()
+	return Status{
+		LinkType:  l,
+		HeaderLen: l.HeaderLen(),
+		AddrLen:   l.AddrLen(),
+		MaxPacket: l.MaxFrame(),
+		Addr:      d.nic.Addr(),
+		Broadcast: l.BroadcastAddr(),
+	}
+}
+
+// input is the NIC receive handler (event-loop context, driver cost
+// already charged).
+func (d *Device) input(frame []byte) {
+	if d.kern != nil && d.kern.Claim(frame) && !d.opt.SeeAll {
+		return
+	}
+	d.pktSeen++
+	if d.opt.Reorder && d.pktSeen%uint64(d.opt.ReorderEvery) == 0 {
+		d.reorder()
+	}
+
+	// Evaluate the filters now (real computation), then charge the
+	// resulting virtual cost before the packet becomes visible.
+	// Predicate evaluation is accounted separately from the fixed
+	// per-packet work so experiments can reproduce §6.1's "41% of
+	// this time is spent evaluating filter predicates".
+	costs := d.host.Costs()
+	var filterCost time.Duration
+	var accepted []*Port
+
+	if d.opt.Mode == EvalTable {
+		accepted, filterCost = d.tableMatch(frame)
+	} else {
+		accepted, filterCost = d.linearMatch(frame)
+	}
+	cost := costs.PfInput
+
+	for _, port := range accepted {
+		if port.stamp {
+			cost += costs.Timestamp
+		}
+	}
+
+	own := frame
+	d.host.RunKernel("filter", filterCost, nil)
+	d.host.RunKernel("pf", cost, func() {
+		if len(accepted) == 0 {
+			d.KernelDrops++
+			d.host.Counters.PacketsDropped++
+			d.host.Sim().Counters.PacketsDropped++
+			return
+		}
+		for _, port := range accepted {
+			port.enqueue(own)
+		}
+	})
+}
+
+// linearMatch applies filters in priority order (figure 4-1) and
+// returns the accepting ports and the virtual evaluation cost.
+func (d *Device) linearMatch(frame []byte) ([]*Port, time.Duration) {
+	costs := d.host.Costs()
+	var cost time.Duration
+	var accepted []*Port
+	for _, port := range d.ports {
+		if port.closed || port.prog == nil {
+			continue
+		}
+		d.host.Counters.FilterApplied++
+		d.host.Sim().Counters.FilterApplied++
+		cost += costs.FilterApply
+
+		accept, instrs := port.eval(frame)
+		cost += time.Duration(instrs) * costs.FilterInstr
+		d.host.Counters.FilterInstrs += uint64(instrs)
+		d.host.Sim().Counters.FilterInstrs += uint64(instrs)
+
+		if !accept {
+			continue
+		}
+		port.matches++
+		d.host.Counters.PacketsMatched++
+		d.host.Sim().Counters.PacketsMatched++
+		accepted = append(accepted, port)
+		if !port.copyAll {
+			break
+		}
+		// With copy-all set, the packet continues to
+		// lower-priority filters (§3.2); equal-priority filters
+		// after this one still see it, which is how monitors
+		// coexist with the monitored.
+	}
+	return accepted, cost
+}
+
+// tableMatch uses the merged decision table.  Virtual cost: one
+// FilterApply for the walk plus one FilterInstr per condition edge,
+// approximated as the depth of the tree path; we charge per matched
+// port plus a fixed walk cost, which is the "best possible
+// performance" the paper hopes for.
+func (d *Device) tableMatch(frame []byte) ([]*Port, time.Duration) {
+	costs := d.host.Costs()
+	if d.table == nil {
+		d.rebuildTable()
+	}
+	idxs := d.table.Match(frame)
+	cost := costs.FilterApply + time.Duration(4)*costs.FilterInstr
+	var accepted []*Port
+	for _, i := range idxs {
+		port := d.tablePorts[i]
+		if port.closed {
+			continue
+		}
+		port.matches++
+		d.host.Counters.PacketsMatched++
+		d.host.Sim().Counters.PacketsMatched++
+		accepted = append(accepted, port)
+		if !port.copyAll {
+			break
+		}
+	}
+	d.host.Counters.FilterApplied++
+	d.host.Sim().Counters.FilterApplied++
+	return accepted, cost
+}
+
+func (d *Device) rebuildTable() {
+	var filters []filter.Filter
+	d.tablePorts = d.tablePorts[:0]
+	for _, port := range d.ports {
+		if port.closed || port.prog == nil {
+			continue
+		}
+		filters = append(filters, filter.Filter{Priority: port.priority, Program: port.prog})
+		d.tablePorts = append(d.tablePorts, port)
+	}
+	d.table = filter.BuildTable(filters)
+}
+
+// sortPorts re-sorts the port list: priority descending, preserving
+// the current relative order within equal priorities (which reorder()
+// adjusts by busyness).
+func (d *Device) sortPorts() {
+	// Insertion sort keeps it stable and the lists are short.
+	for i := 1; i < len(d.ports); i++ {
+		for j := i; j > 0 && d.ports[j-1].priority < d.ports[j].priority; j-- {
+			d.ports[j-1], d.ports[j] = d.ports[j], d.ports[j-1]
+		}
+	}
+	d.table = nil
+}
+
+// reorder moves busier filters earlier within each equal-priority
+// group (§3.2).
+func (d *Device) reorder() {
+	for i := 1; i < len(d.ports); i++ {
+		for j := i; j > 0 &&
+			d.ports[j-1].priority == d.ports[j].priority &&
+			d.ports[j-1].matches < d.ports[j].matches; j-- {
+			d.ports[j-1], d.ports[j] = d.ports[j], d.ports[j-1]
+		}
+	}
+}
+
+// Errors returned by port operations.
+var (
+	ErrTimeout    = errors.New("pfdev: read timed out")
+	ErrClosed     = errors.New("pfdev: port closed")
+	ErrNoFilter   = errors.New("pfdev: no filter bound")
+	ErrWouldBlock = errors.New("pfdev: no packet queued")
+	ErrPriority   = errors.New("pfdev: priority reserved for privileged ports")
+)

@@ -1,0 +1,165 @@
+package pfdev
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+func TestWriteBatch(t *testing.T) {
+	r := newRig(t, Options{})
+	var got int
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		port.SetFilter(p, socketFilter(10, 35))
+		port.SetTimeout(p, 50*time.Millisecond)
+		for {
+			if _, err := port.Read(p); err != nil {
+				return
+			}
+			got++
+		}
+	})
+	var sys, copies uint64
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		p.Sleep(5 * time.Millisecond)
+		frames := make([][]byte, 6)
+		for i := range frames {
+			frames[i] = pupTo(2, 1, byte(i+1), 35)
+		}
+		before := r.ha.Counters
+		if err := port.WriteBatch(p, frames); err != nil {
+			t.Error(err)
+		}
+		d := r.ha.Counters.Sub(before)
+		sys, copies = d.Syscalls, d.Copies
+	})
+	r.s.Run(0)
+	if got != 6 {
+		t.Fatalf("delivered %d of 6", got)
+	}
+	if sys != 1 || copies != 1 {
+		t.Fatalf("batched write used %d syscalls, %d copies; want 1/1", sys, copies)
+	}
+}
+
+func TestWriteBatchErrors(t *testing.T) {
+	r := newRig(t, Options{})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		huge := make([]byte, ethersim.Ether3Mb.MaxFrame()+1)
+		if err := port.WriteBatch(p, [][]byte{huge}); err == nil {
+			t.Error("oversized frame accepted in batch")
+		}
+		port.Close(p)
+		if err := port.WriteBatch(p, nil); err != ErrClosed {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	})
+	r.s.Run(0)
+}
+
+func TestPrivilegedPriority(t *testing.T) {
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether3Mb)
+	h := s.NewHost("h")
+	dev := Attach(net.Attach(h, 1), nil, Options{PrivilegedPriority: 100})
+	s.Spawn(h, "p", func(p *sim.Proc) {
+		normal := dev.Open(p)
+		if err := normal.SetFilter(p, socketFilter(150, 1)); err != ErrPriority {
+			t.Errorf("unprivileged high-priority bind: err = %v, want ErrPriority", err)
+		}
+		if err := normal.SetFilter(p, socketFilter(99, 1)); err != nil {
+			t.Errorf("unprivileged low-priority bind failed: %v", err)
+		}
+		root := dev.OpenPrivileged(p)
+		if err := root.SetFilter(p, socketFilter(200, 2)); err != nil {
+			t.Errorf("privileged bind failed: %v", err)
+		}
+	})
+	s.Run(0)
+}
+
+func TestPrivilegedPriorityDisabledByDefault(t *testing.T) {
+	r := newRig(t, Options{}) // threshold zero: everything allowed
+	r.s.Spawn(r.ha, "p", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		if err := port.SetFilter(p, socketFilter(255, 1)); err != nil {
+			t.Errorf("priority 255 rejected with no threshold: %v", err)
+		}
+	})
+	r.s.Run(0)
+}
+
+// TestEvalModeDeliveryEquivalence: whatever evaluation strategy the
+// device uses, the same packets reach the same ports.
+func TestEvalModeDeliveryEquivalence(t *testing.T) {
+	type key struct{ port, pkt int }
+	run := func(mode EvalMode) map[key]bool {
+		got := map[key]bool{}
+		s := sim.New(vtime.DefaultCosts())
+		net := ethersim.New(s, ethersim.Ether3Mb)
+		ha, hb := s.NewHost("a"), s.NewHost("b")
+		na := net.Attach(ha, 1)
+		db := Attach(net.Attach(hb, 2), nil, Options{Mode: mode})
+		filters := []filter.Filter{
+			socketFilter(10, 35),
+			socketFilter(10, 36),
+			filter.Fig38PupTypeRange(),               // range test: not table-compatible
+			{Priority: 1, Program: filter.Program{}}, // catch-all
+		}
+		for i, f := range filters {
+			i, f := i, f
+			s.Spawn(hb, "port", func(p *sim.Proc) {
+				port := db.Open(p)
+				if err := port.SetFilter(p, f); err != nil {
+					t.Errorf("mode %d: %v", mode, err)
+					return
+				}
+				port.SetTimeout(p, 100*time.Millisecond)
+				for {
+					pkt, err := port.Read(p)
+					if err != nil {
+						return
+					}
+					got[key{i, int(pkt.Data[7])}] = true // PupType byte tags the packet
+				}
+			})
+		}
+		s.Spawn(ha, "src", func(p *sim.Proc) {
+			p.Sleep(20 * time.Millisecond)
+			cases := []struct {
+				typ  byte
+				sock uint32
+			}{
+				{1, 35}, {2, 36}, {50, 99}, {120, 99}, {3, 35},
+			}
+			for _, c := range cases {
+				na.Transmit(pupTo(2, 1, c.typ, c.sock))
+				p.Sleep(4 * time.Millisecond)
+			}
+		})
+		s.Run(0)
+		return got
+	}
+	want := run(EvalChecked)
+	if len(want) == 0 {
+		t.Fatal("no deliveries in baseline")
+	}
+	for _, mode := range []EvalMode{EvalFast, EvalCompiled, EvalTable} {
+		got := run(mode)
+		if len(got) != len(want) {
+			t.Fatalf("mode %d: %d deliveries vs %d", mode, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("mode %d: missing delivery %+v", mode, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,536 @@
+package pfdev
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+// rig is a two-host 3Mb-Ethernet test fixture with a packet-filter
+// device on each host.
+type rig struct {
+	s      *sim.Sim
+	net    *ethersim.Network
+	ha, hb *sim.Host
+	da, db *Device
+}
+
+func newRig(t *testing.T, opt Options) *rig {
+	t.Helper()
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether3Mb)
+	ha, hb := s.NewHost("a"), s.NewHost("b")
+	na := net.Attach(ha, 1)
+	nb := net.Attach(hb, 2)
+	return &rig{
+		s: s, net: net, ha: ha, hb: hb,
+		da: Attach(na, nil, opt),
+		db: Attach(nb, nil, opt),
+	}
+}
+
+// pupTo builds a 3Mb Pup frame to dst with the given type and socket.
+func pupTo(dst ethersim.Addr, src ethersim.Addr, pupType uint8, socket uint32) []byte {
+	payload := make([]byte, 22)
+	payload[3] = pupType
+	payload[10] = byte(socket >> 24)
+	payload[11] = byte(socket >> 16)
+	payload[12] = byte(socket >> 8)
+	payload[13] = byte(socket)
+	return ethersim.Ether3Mb.Encode(dst, src, ethersim.EtherTypePup3Mb, payload)
+}
+
+func socketFilter(prio uint8, socket uint32) filter.Filter {
+	return filter.DstSocketFilter(prio, socket)
+}
+
+func TestRoundTripDelivery(t *testing.T) {
+	r := newRig(t, Options{})
+	var got Packet
+	var err error
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		if err := port.SetFilter(p, socketFilter(10, 35)); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err = port.Read(p)
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		port.SetFilter(p, socketFilter(10, 99)) // unrelated
+		p.Sleep(time.Millisecond)
+		if werr := port.Write(p, pupTo(2, 1, 1, 35)); werr != nil {
+			t.Error(werr)
+		}
+	})
+	r.s.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != 26 {
+		t.Fatalf("got %d bytes", len(got.Data))
+	}
+	// The frame includes the data-link header.
+	if got.Data[2] != 0 || got.Data[3] != byte(ethersim.EtherTypePup3Mb) {
+		t.Fatalf("ether type bytes = %v", got.Data[2:4])
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	// Two filters both accept the packet; the higher priority port
+	// must get it and the lower must not (§3.2).
+	r := newRig(t, Options{})
+	var hiGot, loGot int
+	done := make(chan struct{})
+	_ = done
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		lo := r.db.Open(p)
+		lo.SetFilter(p, socketFilter(1, 35))
+		hi := r.db.Open(p)
+		hi.SetFilter(p, socketFilter(9, 35))
+		lo.SetTimeout(p, 20*time.Millisecond)
+		hi.SetTimeout(p, 20*time.Millisecond)
+		if _, err := hi.Read(p); err == nil {
+			hiGot++
+		}
+		if _, err := lo.Read(p); err == nil {
+			loGot++
+		}
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		p.Sleep(time.Millisecond)
+		port.Write(p, pupTo(2, 1, 1, 35))
+	})
+	r.s.Run(0)
+	if hiGot != 1 || loGot != 0 {
+		t.Fatalf("hi=%d lo=%d, want 1/0", hiGot, loGot)
+	}
+}
+
+func TestCopyAllDeliversToLowerPriority(t *testing.T) {
+	// A monitor with copy-all set sees the packet and so does the
+	// lower-priority real consumer (§3.2's monitoring use case).
+	r := newRig(t, Options{})
+	var monGot, loGot bool
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		lo := r.db.Open(p)
+		lo.SetFilter(p, socketFilter(1, 35))
+		mon := r.db.Open(p)
+		mon.SetFilter(p, filter.Filter{Priority: 200,
+			Program: filter.NewBuilder().AcceptAll().MustProgram()})
+		mon.SetCopyAll(p, true)
+		mon.SetTimeout(p, 20*time.Millisecond)
+		lo.SetTimeout(p, 20*time.Millisecond)
+		if _, err := mon.Read(p); err == nil {
+			monGot = true
+		}
+		if _, err := lo.Read(p); err == nil {
+			loGot = true
+		}
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		p.Sleep(10 * time.Millisecond) // let the receiver finish its ioctls
+		port.Write(p, pupTo(2, 1, 1, 35))
+	})
+	r.s.Run(0)
+	if !monGot || !loGot {
+		t.Fatalf("monitor=%v consumer=%v, want both", monGot, loGot)
+	}
+}
+
+func TestReadTimeoutAndNonblocking(t *testing.T) {
+	r := newRig(t, Options{})
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		port.SetFilter(p, socketFilter(10, 35))
+		port.SetTimeout(p, 5*time.Millisecond)
+		start := p.Now()
+		if _, err := port.Read(p); err != ErrTimeout {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+		if waited := p.Now() - start; waited < 5*time.Millisecond {
+			t.Errorf("returned after %v", waited)
+		}
+		port.SetTimeout(p, -1)
+		if _, err := port.Read(p); err != ErrWouldBlock {
+			t.Errorf("err = %v, want ErrWouldBlock", err)
+		}
+		if _, err := port.ReadBatch(p); err != ErrWouldBlock {
+			t.Errorf("batch err = %v, want ErrWouldBlock", err)
+		}
+	})
+	r.s.Run(0)
+}
+
+func TestReadBatch(t *testing.T) {
+	r := newRig(t, Options{})
+	var batch []Packet
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		port.SetFilter(p, socketFilter(10, 35))
+		p.Sleep(20 * time.Millisecond) // let several packets queue
+		var err error
+		batch, err = port.ReadBatch(p)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		for i := 0; i < 5; i++ {
+			port.Write(p, pupTo(2, 1, byte(i+1), 35))
+		}
+	})
+	r.s.Run(0)
+	if len(batch) != 5 {
+		t.Fatalf("batch size = %d, want 5", len(batch))
+	}
+	for i, pkt := range batch {
+		if pkt.Data[7] != byte(i+1) { // PupType byte, in order
+			t.Fatalf("batch out of order at %d", i)
+		}
+	}
+}
+
+func TestBatchMax(t *testing.T) {
+	r := newRig(t, Options{})
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		port.SetFilter(p, socketFilter(10, 35))
+		port.SetBatchMax(p, 2)
+		p.Sleep(20 * time.Millisecond)
+		b1, _ := port.ReadBatch(p)
+		b2, _ := port.ReadBatch(p)
+		if len(b1) != 2 || len(b2) != 2 {
+			t.Errorf("batches = %d,%d want 2,2", len(b1), len(b2))
+		}
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		for i := 0; i < 4; i++ {
+			port.Write(p, pupTo(2, 1, 1, 35))
+		}
+	})
+	r.s.Run(0)
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	r := newRig(t, Options{})
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		port.SetFilter(p, socketFilter(10, 35))
+		port.SetQueueLimit(p, 2)
+		p.Sleep(50 * time.Millisecond)
+		// The 8-packet burst overflowed the 2-entry queue.
+		if q, dropped := port.Stats(); q != 2 || dropped != 6 {
+			t.Errorf("queued=%d dropped=%d, want 2/6", q, dropped)
+		}
+		port.Read(p)
+		port.Read(p)
+		// A packet arriving after the overflow reports the
+		// cumulative drop count (§3.3).
+		pkt, err := port.Read(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if pkt.Drops != 6 {
+			t.Errorf("pkt.Drops = %d, want 6", pkt.Drops)
+		}
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		p.Sleep(10 * time.Millisecond)
+		for i := 0; i < 8; i++ {
+			port.Write(p, pupTo(2, 1, 1, 35))
+		}
+		p.Sleep(60 * time.Millisecond)
+		port.Write(p, pupTo(2, 1, 1, 35))
+	})
+	r.s.Run(0)
+}
+
+func TestStamping(t *testing.T) {
+	r := newRig(t, Options{})
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		port.SetFilter(p, socketFilter(10, 35))
+		port.SetStamp(p, true)
+		pkt, err := port.Read(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if pkt.Stamp == 0 {
+			t.Error("no timestamp")
+		}
+		if pkt.Stamp > p.Now() {
+			t.Error("timestamp in the future")
+		}
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		p.Sleep(time.Millisecond)
+		port.Write(p, pupTo(2, 1, 1, 35))
+	})
+	r.s.Run(0)
+}
+
+func TestUnmatchedPacketsDropped(t *testing.T) {
+	r := newRig(t, Options{})
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		port.SetFilter(p, socketFilter(10, 999))
+		port.SetTimeout(p, 20*time.Millisecond)
+		if _, err := port.Read(p); err != ErrTimeout {
+			t.Errorf("err = %v", err)
+		}
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		p.Sleep(time.Millisecond)
+		port.Write(p, pupTo(2, 1, 1, 35))
+	})
+	r.s.Run(0)
+	if r.db.KernelDrops != 1 {
+		t.Fatalf("kernel drops = %d, want 1", r.db.KernelDrops)
+	}
+}
+
+func TestEvalModesAgree(t *testing.T) {
+	for _, mode := range []EvalMode{EvalChecked, EvalFast, EvalCompiled, EvalTable} {
+		r := newRig(t, Options{Mode: mode})
+		var got int
+		r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+			port := r.db.Open(p)
+			if err := port.SetFilter(p, socketFilter(10, 35)); err != nil {
+				t.Errorf("mode %d: %v", mode, err)
+				return
+			}
+			port.SetTimeout(p, 50*time.Millisecond)
+			for {
+				if _, err := port.Read(p); err != nil {
+					return
+				}
+				got++
+			}
+		})
+		r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+			port := r.da.Open(p)
+			p.Sleep(time.Millisecond)
+			port.Write(p, pupTo(2, 1, 1, 35))
+			port.Write(p, pupTo(2, 1, 1, 36)) // no match
+			port.Write(p, pupTo(2, 1, 2, 35))
+		})
+		r.s.Run(0)
+		if got != 2 {
+			t.Errorf("mode %d: delivered %d, want 2", mode, got)
+		}
+	}
+}
+
+func TestSetFilterValidatesInFastModes(t *testing.T) {
+	bad := filter.Filter{Priority: 1, Program: filter.Program{filter.MkInstr(filter.NOPUSH, filter.EQ)}}
+	for _, mode := range []EvalMode{EvalFast, EvalCompiled} {
+		r := newRig(t, Options{Mode: mode})
+		r.s.Spawn(r.hb, "p", func(p *sim.Proc) {
+			port := r.db.Open(p)
+			if err := port.SetFilter(p, bad); err == nil {
+				t.Errorf("mode %d accepted invalid program", mode)
+			}
+		})
+		r.s.Run(0)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := newRig(t, Options{})
+	var selected int
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		p1 := r.db.Open(p)
+		p1.SetFilter(p, socketFilter(10, 35))
+		p2 := r.db.Open(p)
+		p2.SetFilter(p, socketFilter(10, 36))
+		selected = Select(p, []*Port{p1, p2}, 50*time.Millisecond)
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		p.Sleep(time.Millisecond)
+		port.Write(p, pupTo(2, 1, 1, 36))
+	})
+	r.s.Run(0)
+	if selected != 1 {
+		t.Fatalf("selected = %d, want 1", selected)
+	}
+}
+
+func TestSelectTimeout(t *testing.T) {
+	r := newRig(t, Options{})
+	var selected int
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		p1 := r.db.Open(p)
+		p1.SetFilter(p, socketFilter(10, 35))
+		selected = Select(p, []*Port{p1}, 5*time.Millisecond)
+	})
+	r.s.Run(0)
+	if selected != -1 {
+		t.Fatalf("selected = %d, want -1", selected)
+	}
+}
+
+func TestCloseWakesReader(t *testing.T) {
+	r := newRig(t, Options{})
+	var readErr error
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		port.SetFilter(p, socketFilter(10, 35))
+		r.s.After(2*time.Millisecond, func() {
+			r.s.Spawn(r.hb, "closer", func(p2 *sim.Proc) { port.Close(p2) })
+		})
+		_, readErr = port.Read(p)
+	})
+	r.s.Run(0)
+	if readErr != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", readErr)
+	}
+}
+
+func TestKernelProtocolClaims(t *testing.T) {
+	claimed := 0
+	kern := claimFunc(func(frame []byte) bool {
+		_, _, typ, _, _ := ethersim.Ether3Mb.Decode(frame)
+		if typ == 0x0800 {
+			claimed++
+			return true
+		}
+		return false
+	})
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether3Mb)
+	ha, hb := s.NewHost("a"), s.NewHost("b")
+	na := net.Attach(ha, 1)
+	nb := net.Attach(hb, 2)
+	db := Attach(nb, kern, Options{})
+	var pfGot int
+	s.Spawn(hb, "recv", func(p *sim.Proc) {
+		port := db.Open(p)
+		port.SetFilter(p, filter.Filter{Priority: 1,
+			Program: filter.NewBuilder().AcceptAll().MustProgram()})
+		port.SetTimeout(p, 30*time.Millisecond)
+		for {
+			if _, err := port.Read(p); err != nil {
+				return
+			}
+			pfGot++
+		}
+	})
+	s.Spawn(ha, "send", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		na.Transmit(ethersim.Ether3Mb.Encode(2, 1, 0x0800, make([]byte, 20))) // kernel
+		na.Transmit(ethersim.Ether3Mb.Encode(2, 1, 2, make([]byte, 20)))      // pf
+	})
+	s.Run(0)
+	if claimed != 1 || pfGot != 1 {
+		t.Fatalf("claimed=%d pfGot=%d, want 1/1", claimed, pfGot)
+	}
+}
+
+type claimFunc func([]byte) bool
+
+func (f claimFunc) Claim(frame []byte) bool { return f(frame) }
+
+func TestBusyFirstReordering(t *testing.T) {
+	// With many same-priority filters and traffic concentrated on
+	// the last one, reordering must cut the instructions executed
+	// per packet.
+	run := func(reorder bool) uint64 {
+		s := sim.New(vtime.DefaultCosts())
+		net := ethersim.New(s, ethersim.Ether3Mb)
+		ha, hb := s.NewHost("a"), s.NewHost("b")
+		na := net.Attach(ha, 1)
+		db := Attach(net.Attach(hb, 2), nil, Options{Reorder: reorder, ReorderEvery: 16})
+		s.Spawn(hb, "recv", func(p *sim.Proc) {
+			for sock := uint32(0); sock < 8; sock++ {
+				port := db.Open(p)
+				port.SetFilter(p, socketFilter(10, sock))
+				port.SetQueueLimit(p, 1000)
+			}
+			// Ports drain nothing; we only count kernel work.
+			p.Wait(s.NewWaitQ(), 400*time.Millisecond)
+		})
+		s.Spawn(ha, "send", func(p *sim.Proc) {
+			// Let the receiver finish binding all eight filters
+			// first; a packet storm during setup livelocks the
+			// receiving host's CPU with interrupt work.
+			p.Sleep(30 * time.Millisecond)
+			for i := 0; i < 100; i++ {
+				// All traffic goes to the lowest-listed socket 7.
+				na.Transmit(pupTo(2, 1, 1, 7))
+				p.Sleep(2 * time.Millisecond)
+			}
+		})
+		s.Run(0)
+		return hb.Counters.FilterInstrs
+	}
+	plain, reordered := run(false), run(true)
+	if reordered >= plain {
+		t.Fatalf("reordering did not help: %d vs %d instrs", reordered, plain)
+	}
+}
+
+func TestStatusBlock(t *testing.T) {
+	r := newRig(t, Options{})
+	r.s.Spawn(r.hb, "p", func(p *sim.Proc) {
+		st := r.db.Status(p)
+		if st.LinkType != ethersim.Ether3Mb || st.HeaderLen != 4 || st.AddrLen != 1 {
+			t.Errorf("status = %+v", st)
+		}
+		if st.Addr != 2 || st.Broadcast != ethersim.Broadcast3Mb {
+			t.Errorf("addr/broadcast = %v/%v", st.Addr, st.Broadcast)
+		}
+		if st.MaxPacket != ethersim.Ether3Mb.MaxFrame() {
+			t.Errorf("max packet = %d", st.MaxPacket)
+		}
+	})
+	r.s.Run(0)
+}
+
+func TestFilterCostCharged(t *testing.T) {
+	// Binding a 0-instruction vs a long filter must change kernel
+	// "filter" CPU time (the table 6-10 effect).
+	recvWith := func(f filter.Filter) time.Duration {
+		r := newRig(t, Options{})
+		r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+			port := r.db.Open(p)
+			port.SetFilter(p, f)
+			port.SetTimeout(p, 100*time.Millisecond)
+			for {
+				if _, err := port.Read(p); err != nil {
+					return
+				}
+			}
+		})
+		r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+			port := r.da.Open(p)
+			for i := 0; i < 20; i++ {
+				port.Write(p, pupTo(2, 1, 1, 35))
+				p.Sleep(2 * time.Millisecond)
+			}
+		})
+		r.s.Run(0)
+		return r.hb.KernelTime["pf"]
+	}
+	short := recvWith(filter.Filter{Priority: 1,
+		Program: filter.NewBuilder().AcceptAll().MustProgram()})
+	long := recvWith(filter.Fig38PupTypeRange())
+	if long <= short {
+		t.Fatalf("long filter not more expensive: %v vs %v", long, short)
+	}
+}

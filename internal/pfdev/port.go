@@ -1,0 +1,384 @@
+package pfdev
+
+import (
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/sim"
+)
+
+// Packet is one received packet as returned by Read: the complete
+// frame including the data-link header ("The entire packet, including
+// the data-link layer header, is returned, so that user programs may
+// implement protocols that depend on header information", §3), plus
+// the optional timestamp and the cumulative drop count (§3.3).
+type Packet struct {
+	Data  []byte
+	Stamp time.Duration // reception time; zero unless stamping enabled
+	Drops uint64        // packets lost on this port up to this packet
+}
+
+// Port is one packet-filter port, opened by a process as a character
+// special device.
+type Port struct {
+	dev *Device
+	id  int
+
+	priority uint8
+	prog     filter.Program
+	pv       *filter.Prevalidated
+	compiled *filter.Compiled
+
+	queue      []Packet
+	queueLimit int
+	dropped    uint64
+
+	timeout  time.Duration // 0: block forever; <0: non-blocking
+	batchMax int           // ReadBatch upper bound; 0 = unlimited
+	copyAll  bool
+	stamp    bool
+	closed   bool
+
+	matches uint64 // packets accepted (for busy-first reordering)
+
+	privileged bool // may bind filters above PrivilegedPriority
+
+	readers  *sim.WaitQ
+	watchers []*sim.WaitQ // Select subscribers
+}
+
+// DefaultQueueLimit bounds a port's input queue unless configured
+// otherwise (§3.3: the user controls "the maximum length of the
+// per-port input queue").
+const DefaultQueueLimit = 32
+
+// Open opens a new port on the device.  Process context.
+func (d *Device) Open(p *sim.Proc) *Port {
+	p.Syscall("pf")
+	port := &Port{
+		dev:        d,
+		id:         d.nextID,
+		queueLimit: DefaultQueueLimit,
+		readers:    d.host.Sim().NewWaitQ(),
+	}
+	d.nextID++
+	d.ports = append(d.ports, port)
+	d.sortPorts()
+	return port
+}
+
+// OpenPrivileged opens a port allowed to bind filters at or above the
+// device's PrivilegedPriority threshold (§3.2's restricted
+// high-priority filters).
+func (d *Device) OpenPrivileged(p *sim.Proc) *Port {
+	port := d.Open(p)
+	port.privileged = true
+	return port
+}
+
+// SetFilter binds a filter to the port via ioctl; "a new filter can be
+// bound at any time, at a cost comparable to that of receiving a
+// packet" (§3).  Under EvalFast/EvalCompiled the program is validated
+// or compiled here, at bind time, not per packet.
+func (port *Port) SetFilter(p *sim.Proc, f filter.Filter) error {
+	p.Syscall("pf")
+	p.CopyIn("pf", 2+2*len(f.Program))
+	p.ConsumeKernel("pf", p.Sim().Costs().Copy(128)) // "comparable to receiving a packet"
+
+	if t := port.dev.opt.PrivilegedPriority; t > 0 && f.Priority >= t && !port.privileged {
+		return ErrPriority
+	}
+
+	opt := filter.ValidateOptions{Extensions: port.dev.opt.Extensions}
+	switch port.dev.opt.Mode {
+	case EvalFast:
+		pv, err := filter.Prevalidate(f.Program, opt)
+		if err != nil {
+			return err
+		}
+		pv.SetEnv(filter.Env{HeaderWords: port.dev.nic.Network().Link().HeaderWords()})
+		port.pv = pv
+	case EvalCompiled:
+		c, err := filter.Compile(f.Program, opt,
+			filter.Env{HeaderWords: port.dev.nic.Network().Link().HeaderWords()})
+		if err != nil {
+			return err
+		}
+		port.compiled = c
+	default:
+		// The checked interpreter accepts anything and fails
+		// per packet, exactly like the original driver; the
+		// decision table revalidates on rebuild.
+	}
+	port.prog = f.Program.Clone()
+	port.priority = f.Priority
+	port.dev.sortPorts()
+	return nil
+}
+
+// eval applies the port's filter to a frame, returning acceptance and
+// the virtual cost in instruction units.  The unit is one *checked*
+// interpreter step; the faster §7 evaluation strategies charge
+// proportionally less: prevalidation removes the per-instruction
+// validity/bounds/stack checks (~40% of the inner loop), and compiled
+// filters skip instruction decode entirely (~1/3 the cost) — the
+// ratios the real-time benchmarks in bench_test.go measure.
+func (port *Port) eval(frame []byte) (bool, int) {
+	switch port.dev.opt.Mode {
+	case EvalFast:
+		r := port.pv.Run(frame)
+		return r.Accept, (r.Instrs*3 + 4) / 5
+	case EvalCompiled:
+		ok := port.compiled.Run(frame)
+		return ok, (port.compiled.Info().Instrs + 2) / 3
+	default:
+		var r filter.Result
+		if port.dev.opt.Extensions {
+			r = filter.RunExt(port.prog, frame,
+				filter.Env{HeaderWords: port.dev.nic.Network().Link().HeaderWords()})
+		} else {
+			r = filter.Run(port.prog, frame)
+		}
+		return r.Accept, r.Instrs
+	}
+}
+
+// SetTimeout sets the blocking-read timeout: 0 blocks indefinitely, a
+// negative value makes reads non-blocking (§3.3: "the timeout duration
+// for blocking reads (or optionally, immediate return or indefinite
+// blocking)").
+func (port *Port) SetTimeout(p *sim.Proc, d time.Duration) {
+	p.Syscall("pf")
+	port.timeout = d
+}
+
+// SetQueueLimit sets the maximum per-port input queue length.
+func (port *Port) SetQueueLimit(p *sim.Proc, n int) {
+	p.Syscall("pf")
+	if n < 1 {
+		n = 1
+	}
+	port.queueLimit = n
+}
+
+// SetCopyAll requests that packets accepted by this port's filter also
+// be submitted to lower-priority filters (§3.2); monitors set it.
+func (port *Port) SetCopyAll(p *sim.Proc, on bool) {
+	p.Syscall("pf")
+	port.copyAll = on
+}
+
+// SetStamp enables receive timestamping (§3.3); each stamped packet
+// costs the kernel a microtime() call (§7).
+func (port *Port) SetStamp(p *sim.Proc, on bool) {
+	p.Syscall("pf")
+	port.stamp = on
+}
+
+// SetBatchMax bounds how many packets one ReadBatch may return; 0
+// means all queued packets.
+func (port *Port) SetBatchMax(p *sim.Proc, n int) {
+	p.Syscall("pf")
+	port.batchMax = n
+}
+
+// enqueue adds a packet to the port queue (kernel context).
+func (port *Port) enqueue(frame []byte) {
+	if len(port.queue) >= port.queueLimit {
+		port.dropped++
+		port.dev.host.Counters.PacketsDropped++
+		port.dev.host.Sim().Counters.PacketsDropped++
+		return
+	}
+	pkt := Packet{Data: frame, Drops: port.dropped}
+	if port.stamp {
+		pkt.Stamp = port.dev.host.Sim().Now()
+	}
+	port.queue = append(port.queue, pkt)
+	port.readers.WakeOne(port.dev.host)
+	for _, w := range port.watchers {
+		w.WakeOne(port.dev.host)
+	}
+}
+
+// Read returns the first queued packet, blocking per the port timeout.
+// One system call and one kernel-to-user copy per packet (figure 3-4).
+func (port *Port) Read(p *sim.Proc) (Packet, error) {
+	if port.closed {
+		return Packet{}, ErrClosed
+	}
+	p.Syscall("pfread")
+	for len(port.queue) == 0 {
+		if port.timeout < 0 {
+			return Packet{}, ErrWouldBlock
+		}
+		if !p.Wait(port.readers, port.timeout) {
+			return Packet{}, ErrTimeout
+		}
+		if port.closed {
+			return Packet{}, ErrClosed
+		}
+	}
+	pkt := port.queue[0]
+	port.queue = port.queue[1:]
+	p.CopyOut("pfread", len(pkt.Data))
+	return pkt, nil
+}
+
+// ReadBatch returns all queued packets (up to the batch bound) in one
+// system call, amortizing its overhead (§3: "The program may ask that
+// all pending packets be returned in a batch; this is useful for
+// high-volume communications", figure 3-5).  It blocks like Read when
+// the queue is empty.
+func (port *Port) ReadBatch(p *sim.Proc) ([]Packet, error) {
+	if port.closed {
+		return nil, ErrClosed
+	}
+	p.Syscall("pfread")
+	for len(port.queue) == 0 {
+		if port.timeout < 0 {
+			return nil, ErrWouldBlock
+		}
+		if !p.Wait(port.readers, port.timeout) {
+			return nil, ErrTimeout
+		}
+		if port.closed {
+			return nil, ErrClosed
+		}
+	}
+	n := len(port.queue)
+	if port.batchMax > 0 && n > port.batchMax {
+		n = port.batchMax
+	}
+	batch := make([]Packet, n)
+	copy(batch, port.queue[:n])
+	port.queue = port.queue[n:]
+	total := 0
+	for _, pkt := range batch {
+		total += len(pkt.Data)
+	}
+	// One copy for the whole batch: the win over per-packet reads.
+	p.CopyOut("pfread", total)
+	return batch, nil
+}
+
+// Poll reports whether a packet is queued, without blocking (the
+// cheap half of a 4.3BSD select).
+func (port *Port) Poll(p *sim.Proc) bool {
+	p.Syscall("pf")
+	return len(port.queue) > 0
+}
+
+// Write transmits a complete frame, including the data-link header;
+// "control returns to the user once the packet is queued for
+// transmission" (§3).
+func (port *Port) Write(p *sim.Proc, frame []byte) error {
+	if port.closed {
+		return ErrClosed
+	}
+	p.Syscall("pfsend")
+	p.CopyIn("pfsend", len(frame))
+	p.ConsumeKernel("driver", p.Sim().Costs().DriverSend)
+	return port.dev.nic.Transmit(frame)
+}
+
+// WriteBatch transmits several complete frames in one system call,
+// §7's proposed symmetric optimization: "a write-batching option (to
+// send several packets in one system call) might also improve
+// performance."  One kernel entry and one user-to-kernel copy cover
+// the whole batch; the driver cost is still paid per frame.
+func (port *Port) WriteBatch(p *sim.Proc, frames [][]byte) error {
+	if port.closed {
+		return ErrClosed
+	}
+	p.Syscall("pfsend")
+	total := 0
+	for _, f := range frames {
+		total += len(f)
+	}
+	p.CopyIn("pfsend", total)
+	costs := p.Sim().Costs()
+	for _, f := range frames {
+		p.ConsumeKernel("driver", costs.DriverSend)
+		if err := port.dev.nic.Transmit(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats reports queue occupancy and cumulative drops.
+func (port *Port) Stats() (queued int, dropped uint64) {
+	return len(port.queue), port.dropped
+}
+
+// Matches returns how many packets this port's filter has accepted.
+func (port *Port) Matches() uint64 { return port.matches }
+
+// Priority returns the bound filter's priority.
+func (port *Port) Priority() uint8 { return port.priority }
+
+// Close releases the port; blocked readers fail with ErrClosed.
+func (port *Port) Close(p *sim.Proc) {
+	if port.closed {
+		return
+	}
+	p.Syscall("pf")
+	port.closed = true
+	port.readers.WakeAll(port.dev.host)
+	for i, q := range port.dev.ports {
+		if q == port {
+			port.dev.ports = append(port.dev.ports[:i], port.dev.ports[i+1:]...)
+			break
+		}
+	}
+	port.dev.table = nil
+}
+
+// Select blocks until one of the ports has a queued packet, returning
+// its index, or -1 on timeout.  It models the 4.3BSD select mechanism
+// the paper cites for non-blocking network I/O (§3).
+func Select(p *sim.Proc, ports []*Port, timeout time.Duration) int {
+	p.Syscall("pf")
+	check := func() int {
+		for i, port := range ports {
+			if len(port.queue) > 0 && !port.closed {
+				return i
+			}
+		}
+		return -1
+	}
+	if i := check(); i >= 0 {
+		return i
+	}
+	q := p.Sim().NewWaitQ()
+	for _, port := range ports {
+		port.watchers = append(port.watchers, q)
+	}
+	defer func() {
+		for _, port := range ports {
+			for i, w := range port.watchers {
+				if w == q {
+					port.watchers = append(port.watchers[:i], port.watchers[i+1:]...)
+					break
+				}
+			}
+		}
+	}()
+	deadline := p.Now() + timeout
+	for {
+		remain := time.Duration(0)
+		if timeout > 0 {
+			remain = deadline - p.Now()
+			if remain <= 0 {
+				return -1
+			}
+		}
+		if !p.Wait(q, remain) {
+			return -1
+		}
+		if i := check(); i >= 0 {
+			return i
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package pup
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+)
+
+// This file implements BSP, Pup's Byte Stream Protocol, as a
+// user-level sliding-window protocol over Pup datagrams — the protocol
+// behind table 6-6's file-transfer comparison against kernel TCP.
+//
+// Segments ride in TypeBSPData Pups whose ID field carries the
+// sequence number; the receiver returns cumulative TypeBSPAck Pups
+// whose ID is the next sequence number expected.  A TypeBSPEnd /
+// TypeBSPEndOK exchange closes the stream.  Every data Pup is limited
+// to MaxData bytes, so a BSP packet never exceeds 568 bytes (§6.4).
+
+// BSPConfig tunes the stream protocol.
+type BSPConfig struct {
+	// Window is the number of unacknowledged segments in flight.
+	Window int
+	// RTO is the retransmission timeout.
+	RTO time.Duration
+	// SegSize caps the data bytes per segment (defaults to
+	// MaxData; table 6-6's "forced small packet" variants shrink
+	// it).
+	SegSize int
+	// PerSegmentCPU charges user-mode protocol processing per
+	// segment sent or received, modelling the BSP implementation's
+	// own work (sequence bookkeeping, buffer management).
+	PerSegmentCPU time.Duration
+}
+
+// DefaultBSPConfig returns the configuration used by the benchmarks.
+// The Stanford BSP moved bulk data at 38 KB/s on a MicroVAX-II (table
+// 6-6), about 14 ms of end-to-end cost per 546-byte segment — one
+// round trip per segment, i.e. effectively one segment in flight, with
+// heavyweight user-mode processing.  Window and PerSegmentCPU are
+// calibrated to that; the benches also sweep larger windows.
+func DefaultBSPConfig() BSPConfig {
+	return BSPConfig{
+		Window:        1,
+		RTO:           50 * time.Millisecond,
+		SegSize:       MaxData,
+		PerSegmentCPU: 1500 * time.Microsecond,
+	}
+}
+
+// BSPSender transmits a byte stream to a remote BSP receiver.
+type BSPSender struct {
+	sock *Socket
+	dst  PortAddr
+	cfg  BSPConfig
+
+	nextSeq  uint32 // next sequence number to send
+	ackedSeq uint32 // all segments below this are acknowledged
+
+	// Retransmissions counts timeouts; lossless simulations should
+	// see zero.
+	Retransmissions int
+}
+
+// NewBSPSender creates a sender from an open socket to a destination
+// port.
+func NewBSPSender(sock *Socket, dst PortAddr, cfg BSPConfig) *BSPSender {
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
+	if cfg.SegSize <= 0 || cfg.SegSize > MaxData {
+		cfg.SegSize = MaxData
+	}
+	if cfg.RTO <= 0 {
+		cfg.RTO = 50 * time.Millisecond
+	}
+	return &BSPSender{sock: sock, dst: dst, cfg: cfg}
+}
+
+// ErrStreamAborted reports too many consecutive retransmissions.
+var ErrStreamAborted = errors.New("pup/bsp: too many retransmissions")
+
+// Send reliably transmits data, blocking until every byte is
+// acknowledged.
+func (s *BSPSender) Send(p *sim.Proc, data []byte) error {
+	segs := segment(data, s.cfg.SegSize)
+	base := s.nextSeq
+	window := make(map[uint32][]byte, s.cfg.Window)
+	next := 0 // next unsent segment index
+	stalls := 0
+
+	for s.ackedSeq < base+uint32(len(segs)) {
+		// Fill the window.
+		for len(window) < s.cfg.Window && next < len(segs) {
+			seq := base + uint32(next)
+			if err := s.sendSeg(p, TypeBSPData, seq, segs[next]); err != nil {
+				return err
+			}
+			window[seq] = segs[next]
+			next++
+		}
+		// Await an ack.
+		s.sock.SetTimeout(p, s.cfg.RTO)
+		pkt, err := s.sock.Recv(p)
+		if err == pfdev.ErrTimeout {
+			// Go-back-N: retransmit everything in flight.
+			s.Retransmissions++
+			stalls++
+			if stalls > 20 {
+				return ErrStreamAborted
+			}
+			for seq := s.ackedSeq; seq < base+uint32(next); seq++ {
+				if seg, ok := window[seq]; ok {
+					if err := s.sendSeg(p, TypeBSPData, seq, seg); err != nil {
+						return err
+					}
+				}
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if pkt.Type != TypeBSPAck {
+			continue
+		}
+		stalls = 0
+		ack := pkt.ID // next expected by receiver
+		for seq := s.ackedSeq; seq < ack; seq++ {
+			delete(window, seq)
+		}
+		if ack > s.ackedSeq {
+			s.ackedSeq = ack
+		}
+	}
+	s.nextSeq = base + uint32(len(segs))
+	return nil
+}
+
+// Close performs the End/EndOK handshake.
+func (s *BSPSender) Close(p *sim.Proc) error {
+	s.sock.SetTimeout(p, s.cfg.RTO)
+	for try := 0; try < 20; try++ {
+		if err := s.sendSeg(p, TypeBSPEnd, s.nextSeq, nil); err != nil {
+			return err
+		}
+		pkt, err := s.sock.Recv(p)
+		if err == pfdev.ErrTimeout {
+			s.Retransmissions++
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if pkt.Type == TypeBSPEndOK {
+			return nil
+		}
+	}
+	return ErrStreamAborted
+}
+
+func (s *BSPSender) sendSeg(p *sim.Proc, typ uint8, seq uint32, data []byte) error {
+	if s.cfg.PerSegmentCPU > 0 {
+		p.Consume(s.cfg.PerSegmentCPU)
+	}
+	return s.sock.Send(p, &Packet{Type: typ, ID: seq, Dst: s.dst, Data: data})
+}
+
+func segment(data []byte, size int) [][]byte {
+	if len(data) == 0 {
+		return [][]byte{nil}
+	}
+	var segs [][]byte
+	for len(data) > 0 {
+		n := size
+		if n > len(data) {
+			n = len(data)
+		}
+		segs = append(segs, data[:n])
+		data = data[n:]
+	}
+	return segs
+}
+
+// BSPReceiver accepts a byte stream.
+type BSPReceiver struct {
+	sock    *Socket
+	cfg     BSPConfig
+	nextSeq uint32
+	// Duplicates counts retransmitted segments seen.
+	Duplicates int
+}
+
+// NewBSPReceiver creates a receiver on an open socket.
+func NewBSPReceiver(sock *Socket, cfg BSPConfig) *BSPReceiver {
+	if cfg.RTO <= 0 {
+		cfg.RTO = 50 * time.Millisecond
+	}
+	return &BSPReceiver{sock: sock, cfg: cfg}
+}
+
+// ErrStreamClosed is returned by Receive after the End handshake.
+var ErrStreamClosed = errors.New("pup/bsp: stream closed")
+
+// Receive returns the next in-order segment of the stream, or
+// ErrStreamClosed when the sender finishes.  idle bounds how long to
+// wait for traffic.
+func (r *BSPReceiver) Receive(p *sim.Proc, idle time.Duration) ([]byte, error) {
+	r.sock.SetTimeout(p, idle)
+	for {
+		pkt, err := r.sock.Recv(p)
+		if err != nil {
+			return nil, err
+		}
+		if r.cfg.PerSegmentCPU > 0 {
+			p.Consume(r.cfg.PerSegmentCPU)
+		}
+		switch pkt.Type {
+		case TypeBSPData:
+			if pkt.ID == r.nextSeq {
+				r.nextSeq++
+				r.ack(p, pkt.Src)
+				return pkt.Data, nil
+			}
+			// Duplicate or out-of-order: re-ack and drop.
+			r.Duplicates++
+			r.ack(p, pkt.Src)
+		case TypeBSPEnd:
+			r.sock.Send(p, &Packet{Type: TypeBSPEndOK, ID: pkt.ID, Dst: pkt.Src})
+			return nil, ErrStreamClosed
+		}
+	}
+}
+
+func (r *BSPReceiver) ack(p *sim.Proc, to PortAddr) {
+	r.sock.Send(p, &Packet{Type: TypeBSPAck, ID: r.nextSeq, Dst: to})
+}

@@ -1,0 +1,198 @@
+package pup
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+)
+
+// EFTP is Pup's Easy File Transfer Protocol: the deliberately minimal
+// stop-and-wait transfer used by Alto boot servers and printers — one
+// data block outstanding, each acknowledged by block number, with an
+// End block closing the transfer and Abort packets reporting failure.
+// §5.1's "variety of applications using both datagram
+// (request-response) and stream transport protocols" ran protocols of
+// exactly this shape over the packet filter.
+//
+// Pup types (the classic assignments):
+const (
+	TypeEFTPData  uint8 = 24
+	TypeEFTPAck   uint8 = 25
+	TypeEFTPEnd   uint8 = 26
+	TypeEFTPAbort uint8 = 27
+)
+
+// EFTPConfig tunes the protocol.
+type EFTPConfig struct {
+	// BlockSize caps data bytes per block (default MaxData).
+	BlockSize int
+	// RTO is the per-block retransmission timeout.
+	RTO time.Duration
+	// Retries bounds retransmissions of one block before aborting.
+	Retries int
+	// PerBlockCPU models the user-mode processing per block.
+	PerBlockCPU time.Duration
+}
+
+// DefaultEFTPConfig returns the configuration used in examples and
+// tests.
+func DefaultEFTPConfig() EFTPConfig {
+	return EFTPConfig{
+		BlockSize:   MaxData,
+		RTO:         40 * time.Millisecond,
+		Retries:     8,
+		PerBlockCPU: 800 * time.Microsecond,
+	}
+}
+
+func (c *EFTPConfig) sanitize() {
+	if c.BlockSize <= 0 || c.BlockSize > MaxData {
+		c.BlockSize = MaxData
+	}
+	if c.RTO <= 0 {
+		c.RTO = 40 * time.Millisecond
+	}
+	if c.Retries <= 0 {
+		c.Retries = 8
+	}
+}
+
+// EFTP errors.
+var (
+	ErrEFTPTimeout = errors.New("pup/eftp: transfer timed out")
+	ErrEFTPAborted = errors.New("pup/eftp: transfer aborted by peer")
+)
+
+// EFTPAbortError carries the peer's abort code and message.
+type EFTPAbortError struct {
+	Code uint32
+	Msg  string
+}
+
+func (e *EFTPAbortError) Error() string {
+	return fmt.Sprintf("pup/eftp: aborted by peer: code %d: %s", e.Code, e.Msg)
+}
+
+func (e *EFTPAbortError) Unwrap() error { return ErrEFTPAborted }
+
+// EFTPSend transfers data to dst over sock, block by block.  It
+// returns the number of retransmissions performed.
+func EFTPSend(p *sim.Proc, sock *Socket, dst PortAddr, data []byte, cfg EFTPConfig) (int, error) {
+	cfg.sanitize()
+	retrans := 0
+	blocks := segment(data, cfg.BlockSize)
+	sock.SetTimeout(p, cfg.RTO)
+
+	xmit := func(seq uint32, typ uint8, blk []byte) error {
+		if cfg.PerBlockCPU > 0 {
+			p.Consume(cfg.PerBlockCPU)
+		}
+		return sock.Send(p, &Packet{Type: typ, ID: seq, Dst: dst, Data: blk})
+	}
+	// await waits for the ack of seq, retransmitting as needed.
+	await := func(seq uint32, typ uint8, blk []byte) error {
+		for try := 0; try <= cfg.Retries; try++ {
+			pkt, err := sock.Recv(p)
+			if err == pfdev.ErrTimeout {
+				retrans++
+				if err := xmit(seq, typ, blk); err != nil {
+					return err
+				}
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			switch pkt.Type {
+			case TypeEFTPAck:
+				if pkt.ID == seq {
+					return nil
+				}
+				// A stale ack for an earlier block: ignore.
+			case TypeEFTPAbort:
+				return &EFTPAbortError{Code: pkt.ID, Msg: string(pkt.Data)}
+			}
+		}
+		return ErrEFTPTimeout
+	}
+
+	for i, blk := range blocks {
+		seq := uint32(i)
+		if err := xmit(seq, TypeEFTPData, blk); err != nil {
+			return retrans, err
+		}
+		if err := await(seq, TypeEFTPData, blk); err != nil {
+			return retrans, err
+		}
+	}
+	endSeq := uint32(len(blocks))
+	if err := xmit(endSeq, TypeEFTPEnd, nil); err != nil {
+		return retrans, err
+	}
+	if err := await(endSeq, TypeEFTPEnd, nil); err != nil {
+		return retrans, err
+	}
+	return retrans, nil
+}
+
+// EFTPReceive accepts one transfer on sock, returning the reassembled
+// data.  idle bounds the wait for the first block and between blocks.
+// Duplicate blocks (from lost acks) are re-acknowledged and discarded.
+func EFTPReceive(p *sim.Proc, sock *Socket, idle time.Duration, cfg EFTPConfig) ([]byte, error) {
+	cfg.sanitize()
+	sock.SetTimeout(p, idle)
+	var out []byte
+	next := uint32(0)
+
+	ack := func(to PortAddr, seq uint32) error {
+		if cfg.PerBlockCPU > 0 {
+			p.Consume(cfg.PerBlockCPU)
+		}
+		return sock.Send(p, &Packet{Type: TypeEFTPAck, ID: seq, Dst: to})
+	}
+
+	for {
+		pkt, err := sock.Recv(p)
+		if err != nil {
+			return out, err
+		}
+		switch pkt.Type {
+		case TypeEFTPData:
+			switch {
+			case pkt.ID == next:
+				out = append(out, pkt.Data...)
+				if err := ack(pkt.Src, next); err != nil {
+					return out, err
+				}
+				next++
+			case pkt.ID < next:
+				// Our ack was lost; re-ack the duplicate.
+				if err := ack(pkt.Src, pkt.ID); err != nil {
+					return out, err
+				}
+			default:
+				// A future block under stop-and-wait means the
+				// sender is broken; abort.
+				sock.Send(p, &Packet{Type: TypeEFTPAbort, ID: 1,
+					Dst: pkt.Src, Data: []byte("block out of order")})
+				return out, ErrEFTPAborted
+			}
+		case TypeEFTPEnd:
+			if pkt.ID == next {
+				ack(pkt.Src, next)
+				return out, nil
+			}
+			ack(pkt.Src, pkt.ID) // stale end retransmission
+		case TypeEFTPAbort:
+			return out, &EFTPAbortError{Code: pkt.ID, Msg: string(pkt.Data)}
+		}
+	}
+}
+
+// EFTPAbort tells the peer to stop an in-progress transfer.
+func EFTPAbort(p *sim.Proc, sock *Socket, dst PortAddr, code uint32, msg string) error {
+	return sock.Send(p, &Packet{Type: TypeEFTPAbort, ID: code, Dst: dst, Data: []byte(msg)})
+}

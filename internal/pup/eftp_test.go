@@ -1,0 +1,170 @@
+package pup
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/sim"
+)
+
+func TestEFTPTransfer(t *testing.T) {
+	r := newRig(ethersim.Ether3Mb)
+	data := bytes.Repeat([]byte("easy file transfer protocol "), 120) // ~3.4 KB
+	var got []byte
+	var sendErr, recvErr error
+	var retrans int
+
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		sock, err := Open(p, r.db, addrB, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got, recvErr = EFTPReceive(p, sock, 300*time.Millisecond, DefaultEFTPConfig())
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		sock, err := Open(p, r.da, addrA, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(5 * time.Millisecond)
+		retrans, sendErr = EFTPSend(p, sock, addrB, data, DefaultEFTPConfig())
+	})
+	r.s.Run(0)
+	if sendErr != nil || recvErr != nil {
+		t.Fatalf("send=%v recv=%v", sendErr, recvErr)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("transfer corrupted: got %d want %d bytes", len(got), len(data))
+	}
+	if retrans != 0 {
+		t.Errorf("lossless transfer retransmitted %d times", retrans)
+	}
+}
+
+func TestEFTPTransferWithLoss(t *testing.T) {
+	r := newRig(ethersim.Ether3Mb)
+	r.net.DropEvery = 5 // brutal: every 5th frame lost
+	data := bytes.Repeat([]byte("lossy"), 500)
+	var got []byte
+	var sendErr error
+	var retrans int
+
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		sock, _ := Open(p, r.db, addrB, 10)
+		got, _ = EFTPReceive(p, sock, time.Second, DefaultEFTPConfig())
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		sock, _ := Open(p, r.da, addrA, 10)
+		p.Sleep(5 * time.Millisecond)
+		retrans, sendErr = EFTPSend(p, sock, addrB, data, DefaultEFTPConfig())
+	})
+	r.s.Run(0)
+	if sendErr != nil {
+		t.Fatalf("send failed under loss: %v", sendErr)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("corrupted under loss: got %d want %d bytes", len(got), len(data))
+	}
+	if retrans == 0 {
+		t.Error("no retransmissions despite loss")
+	}
+}
+
+func TestEFTPEmptyTransfer(t *testing.T) {
+	r := newRig(ethersim.Ether3Mb)
+	var got []byte
+	var recvErr error
+	done := false
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		sock, _ := Open(p, r.db, addrB, 10)
+		got, recvErr = EFTPReceive(p, sock, 200*time.Millisecond, DefaultEFTPConfig())
+		done = true
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		sock, _ := Open(p, r.da, addrA, 10)
+		p.Sleep(5 * time.Millisecond)
+		if _, err := EFTPSend(p, sock, addrB, nil, DefaultEFTPConfig()); err != nil {
+			t.Error(err)
+		}
+	})
+	r.s.Run(0)
+	if !done || recvErr != nil {
+		t.Fatalf("done=%v err=%v", done, recvErr)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty transfer yielded %d bytes", len(got))
+	}
+}
+
+func TestEFTPAbort(t *testing.T) {
+	r := newRig(ethersim.Ether3Mb)
+	var recvErr error
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		sock, _ := Open(p, r.db, addrB, 10)
+		_, recvErr = EFTPReceive(p, sock, 200*time.Millisecond, DefaultEFTPConfig())
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		sock, _ := Open(p, r.da, addrA, 10)
+		p.Sleep(5 * time.Millisecond)
+		EFTPAbort(p, sock, addrB, 42, "disk on fire")
+	})
+	r.s.Run(0)
+	var abort *EFTPAbortError
+	if !errors.As(recvErr, &abort) {
+		t.Fatalf("recv err = %v, want EFTPAbortError", recvErr)
+	}
+	if abort.Code != 42 || abort.Msg != "disk on fire" {
+		t.Fatalf("abort = %+v", abort)
+	}
+	if !errors.Is(recvErr, ErrEFTPAborted) {
+		t.Error("abort error does not unwrap to ErrEFTPAborted")
+	}
+}
+
+func TestEFTPSenderTimesOutWithoutReceiver(t *testing.T) {
+	r := newRig(ethersim.Ether3Mb)
+	var sendErr error
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		sock, _ := Open(p, r.da, addrA, 10)
+		cfg := DefaultEFTPConfig()
+		cfg.RTO = 5 * time.Millisecond
+		cfg.Retries = 2
+		_, sendErr = EFTPSend(p, sock, addrB, []byte("x"), cfg)
+	})
+	r.s.Run(0)
+	if sendErr != ErrEFTPTimeout {
+		t.Fatalf("err = %v, want ErrEFTPTimeout", sendErr)
+	}
+}
+
+func TestEFTPAcrossGateway(t *testing.T) {
+	w := newInternet()
+	data := bytes.Repeat([]byte("boot image "), 300)
+	var got []byte
+	var sendErr error
+	w.s.Spawn(w.hb, "recv", func(p *sim.Proc) {
+		sock, _ := Open(p, w.db, netAddrB, 10)
+		sock.Gateway = w.gwAddr2
+		got, _ = EFTPReceive(p, sock, 500*time.Millisecond, DefaultEFTPConfig())
+	})
+	w.s.Spawn(w.ha, "send", func(p *sim.Proc) {
+		sock, _ := Open(p, w.da, netAddrA, 10)
+		sock.Gateway = w.gwAddr1
+		p.Sleep(10 * time.Millisecond)
+		cfg := DefaultEFTPConfig()
+		cfg.RTO = 80 * time.Millisecond // cross-net RTT is longer
+		_, sendErr = EFTPSend(p, sock, netAddrB, data, cfg)
+	})
+	w.s.Run(0)
+	if sendErr != nil {
+		t.Fatal(sendErr)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("cross-net transfer corrupted: got %d want %d", len(got), len(data))
+	}
+}

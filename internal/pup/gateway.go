@@ -1,0 +1,154 @@
+package pup
+
+import (
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+)
+
+// Pup is "an internetwork architecture" (Boggs et al.): Pups route
+// between networks through gateways, identified by the Net byte of
+// each port address.  In the spirit of §5.1 — everything above the
+// data link implemented at user level — the gateway here is an
+// ordinary process with one packet-filter port per attached network.
+// It accepts Pups whose destination network differs from the network
+// they arrived on, decrements the hop budget, and re-encapsulates them
+// on the destination network.
+
+// MaxHops bounds a Pup's gateway traversals; Pups that exceed it are
+// dropped, which breaks routing loops.
+const MaxHops = 15
+
+// GatewayPort is one of the gateway's attachments: a packet-filter
+// device on some network, with that network's Pup number and the
+// link-layer addresses of hosts reachable on it (host number -> link
+// address; Pup host bytes usually equal link addresses on an Ethernet,
+// so a nil map means the identity).
+type GatewayPort struct {
+	Dev   *pfdev.Device
+	Net   uint8
+	Hosts map[uint8]ethersim.Addr
+}
+
+// Gateway forwards Pups between two or more networks.
+type Gateway struct {
+	ports []GatewayPort
+	// Forwarded, DroppedHops and DroppedNoRoute count routing
+	// outcomes.
+	Forwarded, DroppedHops, DroppedNoRoute uint64
+}
+
+// NewGateway creates a gateway over the given attachments.
+func NewGateway(ports ...GatewayPort) *Gateway {
+	return &Gateway{ports: ports}
+}
+
+// transitFilter accepts Pups that need forwarding: Pup packets whose
+// destination network is NOT this port's own network.  The whole test
+// runs in the kernel — the gateway process is only woken for packets
+// it will actually forward (§2's argument applied to routing).
+func transitFilter(link ethersim.LinkType, localNet uint8) filter.Filter {
+	hw := link.HeaderWords()
+	etherType := ethersim.EtherTypePup3Mb
+	if link == ethersim.Ether10Mb {
+		etherType = ethersim.EtherTypePup
+	}
+	// Pup DstNet is the high byte of Pup word 4 (bytes 8-9).
+	prog := filter.NewBuilder().
+		CANDWordEQ(link.TypeWord(), etherType). // must be a Pup
+		PushWord(hw+4).PushFF00().Op(filter.AND).
+		LitOp(filter.NEQ, uint16(localNet)<<8). // DstNet != ours
+		MustProgram()
+	return filter.Filter{Priority: 50, Program: prog}
+}
+
+// Run forwards traffic until all attachments are idle for the given
+// duration.  One process serves all attachments round-robin via
+// select, like a small routing daemon.
+func (g *Gateway) Run(p *sim.Proc, idle time.Duration) error {
+	ports := make([]*pfdev.Port, len(g.ports))
+	for i, gp := range g.ports {
+		port := gp.Dev.Open(p)
+		link := gp.Dev.NIC().Network().Link()
+		if err := port.SetFilter(p, transitFilter(link, gp.Net)); err != nil {
+			return err
+		}
+		port.SetQueueLimit(p, 64)
+		port.SetTimeout(p, -1) // non-blocking; select drives the loop
+		ports[i] = port
+	}
+	defer func() {
+		for _, port := range ports {
+			port.Close(p)
+		}
+	}()
+
+	for {
+		i := pfdev.Select(p, ports, idle)
+		if i < 0 {
+			return nil
+		}
+		raw, err := ports[i].Read(p)
+		if err != nil {
+			continue
+		}
+		g.forward(p, ports, i, raw.Data)
+	}
+}
+
+// forward routes one frame that arrived on attachment in.
+func (g *Gateway) forward(p *sim.Proc, ports []*pfdev.Port, in int, frame []byte) {
+	inLink := g.ports[in].Dev.NIC().Network().Link()
+	_, _, _, payload, err := inLink.Decode(frame)
+	if err != nil {
+		return
+	}
+	pkt, err := Unmarshal(payload)
+	if err != nil {
+		return
+	}
+	if pkt.HopCount >= MaxHops {
+		g.DroppedHops++
+		return
+	}
+	pkt.HopCount++
+
+	out := -1
+	for i, gp := range g.ports {
+		if i != in && gp.Net == pkt.Dst.Net {
+			out = i
+			break
+		}
+	}
+	if out < 0 {
+		g.DroppedNoRoute++
+		return
+	}
+
+	gp := g.ports[out]
+	outLink := gp.Dev.NIC().Network().Link()
+	dstHW := ethersim.Addr(pkt.Dst.Host)
+	if gp.Hosts != nil {
+		hw, ok := gp.Hosts[pkt.Dst.Host]
+		if !ok {
+			g.DroppedNoRoute++
+			return
+		}
+		dstHW = hw
+	}
+	etherType := ethersim.EtherTypePup3Mb
+	if outLink == ethersim.Ether10Mb {
+		etherType = ethersim.EtherTypePup
+	}
+	wire, err := pkt.Marshal()
+	if err != nil {
+		return
+	}
+	outFrame := outLink.Encode(dstHW, gp.Dev.NIC().Addr(), etherType, wire)
+	if ports[out].Write(p, outFrame) == nil {
+		g.Forwarded++
+	}
+}

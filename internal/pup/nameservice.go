@@ -1,0 +1,165 @@
+package pup
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+)
+
+// The Pup Miscellaneous Services protocol included network name
+// lookup: a client broadcasts "what is the address of 'printer'?" and
+// any name server answers with the port to talk to.  It is the piece
+// that lets §5.1's "variety of applications" find each other without
+// configuration files, and a natural demonstration of user-level
+// protocol code: the name server is just another process with a filter
+// on its well-known socket.
+
+// WellKnownNameSocket is the Pup socket every name server listens on
+// (Miscellaneous Services lived on a well-known socket in real Pup).
+const WellKnownNameSocket uint32 = 4
+
+// Pup types for the name protocol.
+const (
+	TypeNameLookup uint8 = 0x90 // request: data = name
+	TypeNameIs     uint8 = 0x91 // reply: data = name + address
+	TypeNameError  uint8 = 0x92 // reply: data = name (not registered)
+)
+
+// MaxNameLen bounds a registered name.
+const MaxNameLen = 100
+
+// Name-service errors.
+var (
+	ErrNameTooLong = errors.New("pup/name: name too long")
+	ErrNameUnknown = errors.New("pup/name: name not registered")
+	ErrNameTimeout = errors.New("pup/name: no name server answered")
+)
+
+// marshalNameIs encodes a TypeNameIs payload: the 6-byte port address
+// followed by the name.
+func marshalNameIs(name string, addr PortAddr) []byte {
+	b := make([]byte, 6+len(name))
+	b[0] = addr.Net
+	b[1] = addr.Host
+	binary.BigEndian.PutUint32(b[2:], addr.Socket)
+	copy(b[6:], name)
+	return b
+}
+
+func unmarshalNameIs(b []byte) (string, PortAddr, bool) {
+	if len(b) < 6 {
+		return "", PortAddr{}, false
+	}
+	addr := PortAddr{
+		Net: b[0], Host: b[1],
+		Socket: binary.BigEndian.Uint32(b[2:]),
+	}
+	return string(b[6:]), addr, true
+}
+
+// NameServer answers lookup requests from a registration table.
+type NameServer struct {
+	dev   *pfdev.Device
+	local PortAddr
+	table map[string]PortAddr
+	// Served and Unknown count lookups answered and refused.
+	Served, Unknown int
+}
+
+// NewNameServer creates a server on dev; local is its own Pup address
+// (Socket is forced to WellKnownNameSocket).
+func NewNameServer(dev *pfdev.Device, local PortAddr) *NameServer {
+	local.Socket = WellKnownNameSocket
+	return &NameServer{dev: dev, local: local, table: make(map[string]PortAddr)}
+}
+
+// Register binds a name to a port address.
+func (ns *NameServer) Register(name string, addr PortAddr) error {
+	if len(name) > MaxNameLen {
+		return ErrNameTooLong
+	}
+	ns.table[name] = addr
+	return nil
+}
+
+// Run answers lookups until none arrive for idle.
+func (ns *NameServer) Run(p *sim.Proc, idle time.Duration) error {
+	sock, err := Open(p, ns.dev, ns.local, 15)
+	if err != nil {
+		return err
+	}
+	defer sock.Close(p)
+	sock.SetTimeout(p, idle)
+	for {
+		pkt, err := sock.Recv(p)
+		if err != nil {
+			return nil
+		}
+		if pkt.Type != TypeNameLookup {
+			continue
+		}
+		name := string(pkt.Data)
+		if addr, ok := ns.table[name]; ok {
+			ns.Served++
+			sock.Send(p, &Packet{Type: TypeNameIs, ID: pkt.ID,
+				Dst: pkt.Src, Data: marshalNameIs(name, addr)})
+		} else {
+			ns.Unknown++
+			sock.Send(p, &Packet{Type: TypeNameError, ID: pkt.ID,
+				Dst: pkt.Src, Data: pkt.Data})
+		}
+	}
+}
+
+// LookupName resolves a name by broadcasting to the well-known name
+// socket and waiting for any server's answer, retrying on timeout.
+// sock is the caller's own socket (replies come back to it).
+func LookupName(p *sim.Proc, sock *Socket, name string, timeout time.Duration, retries int) (PortAddr, error) {
+	if len(name) > MaxNameLen {
+		return PortAddr{}, ErrNameTooLong
+	}
+	id := uint32(p.Now()/time.Microsecond) & 0xFFFFFF
+	req := &Packet{
+		Type: TypeNameLookup,
+		ID:   id,
+		Dst: PortAddr{
+			Net:    sock.Local.Net,
+			Host:   0, // Pup broadcast: any host on this network
+			Socket: WellKnownNameSocket,
+		},
+		Data: []byte(name),
+	}
+	sock.SetTimeout(p, timeout)
+	for try := 0; try <= retries; try++ {
+		if err := sock.Send(p, req); err != nil {
+			return PortAddr{}, err
+		}
+		for {
+			pkt, err := sock.Recv(p)
+			if err == pfdev.ErrTimeout {
+				break // retransmit
+			}
+			if err != nil {
+				return PortAddr{}, err
+			}
+			if pkt.ID != id {
+				continue
+			}
+			switch pkt.Type {
+			case TypeNameIs:
+				got, addr, ok := unmarshalNameIs(pkt.Data)
+				if ok && got == name {
+					return addr, nil
+				}
+			case TypeNameError:
+				if string(pkt.Data) == name {
+					return PortAddr{}, ErrNameUnknown
+				}
+			}
+		}
+	}
+	return PortAddr{}, ErrNameTimeout
+}

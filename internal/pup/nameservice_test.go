@@ -1,0 +1,98 @@
+package pup
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/sim"
+)
+
+func TestNameLookup(t *testing.T) {
+	for _, link := range []ethersim.LinkType{ethersim.Ether3Mb, ethersim.Ether10Mb} {
+		r := newRig(link)
+		printer := PortAddr{Net: 1, Host: 2, Socket: 0x777}
+		ns := NewNameServer(r.db, PortAddr{Net: 1, Host: 2})
+		if err := ns.Register("printer", printer); err != nil {
+			t.Fatal(err)
+		}
+		r.s.Spawn(r.hb, "named", func(p *sim.Proc) { ns.Run(p, 150*time.Millisecond) })
+
+		var got PortAddr
+		var lookupErr, missErr error
+		r.s.Spawn(r.ha, "client", func(p *sim.Proc) {
+			sock, err := Open(p, r.da, addrA, 10)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sleep(5 * time.Millisecond)
+			got, lookupErr = LookupName(p, sock, "printer", 30*time.Millisecond, 3)
+			_, missErr = LookupName(p, sock, "toaster", 30*time.Millisecond, 1)
+		})
+		r.s.Run(0)
+		if lookupErr != nil {
+			t.Fatalf("%v: lookup: %v", link, lookupErr)
+		}
+		if got != printer {
+			t.Fatalf("%v: got %v, want %v", link, got, printer)
+		}
+		if missErr != ErrNameUnknown {
+			t.Fatalf("%v: missing name err = %v", link, missErr)
+		}
+		if ns.Served != 1 || ns.Unknown == 0 {
+			t.Fatalf("%v: served=%d unknown=%d", link, ns.Served, ns.Unknown)
+		}
+	}
+}
+
+func TestNameLookupRetriesOnLoss(t *testing.T) {
+	r := newRig(ethersim.Ether3Mb)
+	r.net.DropFn = func(i uint64, _ []byte) bool { return i == 1 }
+	ns := NewNameServer(r.db, PortAddr{Net: 1, Host: 2})
+	ns.Register("fileserver", PortAddr{Net: 1, Host: 2, Socket: 9})
+	r.s.Spawn(r.hb, "named", func(p *sim.Proc) { ns.Run(p, 200*time.Millisecond) })
+
+	var err error
+	r.s.Spawn(r.ha, "client", func(p *sim.Proc) {
+		sock, _ := Open(p, r.da, addrA, 10)
+		p.Sleep(5 * time.Millisecond)
+		_, err = LookupName(p, sock, "fileserver", 20*time.Millisecond, 4)
+	})
+	r.s.Run(0)
+	if err != nil {
+		t.Fatalf("lookup failed despite retries: %v", err)
+	}
+}
+
+func TestNameLookupNoServer(t *testing.T) {
+	r := newRig(ethersim.Ether3Mb)
+	var err error
+	r.s.Spawn(r.ha, "client", func(p *sim.Proc) {
+		sock, _ := Open(p, r.da, addrA, 10)
+		_, err = LookupName(p, sock, "anyone", 10*time.Millisecond, 1)
+	})
+	r.s.Run(0)
+	if err != ErrNameTimeout {
+		t.Fatalf("err = %v, want ErrNameTimeout", err)
+	}
+}
+
+func TestNameTooLong(t *testing.T) {
+	long := make([]byte, MaxNameLen+1)
+	ns := NewNameServer(nil, PortAddr{})
+	if err := ns.Register(string(long), PortAddr{}); err != ErrNameTooLong {
+		t.Fatalf("register: %v", err)
+	}
+}
+
+func TestNameIsRoundTrip(t *testing.T) {
+	addr := PortAddr{Net: 3, Host: 9, Socket: 0xDEADBEEF}
+	name, got, ok := unmarshalNameIs(marshalNameIs("laser", addr))
+	if !ok || name != "laser" || got != addr {
+		t.Fatalf("round trip: %v %v %v", name, got, ok)
+	}
+	if _, _, ok := unmarshalNameIs([]byte{1, 2}); ok {
+		t.Fatal("short payload accepted")
+	}
+}

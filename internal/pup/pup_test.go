@@ -1,0 +1,118 @@
+package pup
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	in := &Packet{
+		HopCount: 3, Type: TypeEchoMe, ID: 0xDEADBEEF,
+		Dst:  PortAddr{Net: 1, Host: 5, Socket: 0x00010023},
+		Src:  PortAddr{Net: 1, Host: 2, Socket: 77},
+		Data: []byte("hello pup"),
+	}
+	for _, ck := range []bool{false, true} {
+		in.Checksummed = ck
+		wire, err := in.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wire) != HeaderLen+len(in.Data)+ChecksumLen {
+			t.Fatalf("wire len = %d", len(wire))
+		}
+		out, err := Unmarshal(wire)
+		if err != nil {
+			t.Fatalf("checksummed=%v: %v", ck, err)
+		}
+		if out.Type != in.Type || out.ID != in.ID || out.Dst != in.Dst ||
+			out.Src != in.Src || out.HopCount != in.HopCount {
+			t.Fatalf("header mismatch: %+v vs %+v", out, in)
+		}
+		if !bytes.Equal(out.Data, in.Data) {
+			t.Fatal("data mismatch")
+		}
+		if out.Checksummed != ck {
+			t.Fatalf("checksummed = %v, want %v", out.Checksummed, ck)
+		}
+	}
+}
+
+func TestMarshalLimits(t *testing.T) {
+	p := &Packet{Data: make([]byte, MaxData)}
+	wire, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != MaxPup || MaxPup != 568 {
+		t.Fatalf("max pup = %d, paper says 568", len(wire))
+	}
+	p.Data = make([]byte, MaxData+1)
+	if _, err := p.Marshal(); err != ErrTooLong {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, HeaderLen)); err != ErrTooShort {
+		t.Errorf("short: %v", err)
+	}
+	p := &Packet{Data: []byte("x")}
+	wire, _ := p.Marshal()
+	wire[0], wire[1] = 0xFF, 0xFF // absurd length
+	if _, err := Unmarshal(wire); err != ErrBadLength {
+		t.Errorf("bad length: %v", err)
+	}
+	wire, _ = p.Marshal()
+	wire[1] = 5 // shorter than a header
+	if _, err := Unmarshal(wire); err != ErrBadLength {
+		t.Errorf("tiny length: %v", err)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	p := &Packet{Type: 9, ID: 42, Data: []byte("payload bytes"), Checksummed: true}
+	wire, _ := p.Marshal()
+	for i := 0; i < len(wire)-ChecksumLen; i++ {
+		bad := append([]byte(nil), wire...)
+		bad[i] ^= 0x01
+		if _, err := Unmarshal(bad); err == nil {
+			t.Fatalf("single-bit corruption at byte %d undetected", i)
+		}
+	}
+}
+
+func TestChecksumProperties(t *testing.T) {
+	// The checksum never produces the NoChecksum sentinel, and it is
+	// sensitive to word order (unlike a plain sum).
+	f := func(data []byte) bool {
+		return Checksum(data) != NoChecksum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	a := Checksum([]byte{1, 2, 3, 4})
+	b := Checksum([]byte{3, 4, 1, 2})
+	if a == b {
+		t.Error("checksum insensitive to word order")
+	}
+}
+
+func TestSegment(t *testing.T) {
+	segs := segment(make([]byte, 1000), 400)
+	if len(segs) != 3 || len(segs[0]) != 400 || len(segs[2]) != 200 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	segs = segment(nil, 400)
+	if len(segs) != 1 || segs[0] != nil {
+		t.Fatal("empty data should yield one empty segment")
+	}
+}
+
+func TestPortAddrString(t *testing.T) {
+	a := PortAddr{Net: 4, Host: 12, Socket: 35}
+	if a.String() != "4#12#35" {
+		t.Fatalf("got %q", a.String())
+	}
+}

@@ -1,0 +1,202 @@
+package pup
+
+import (
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+)
+
+// Socket is a user-level Pup endpoint bound to a packet-filter port.
+// Opening one binds the figure 3-9 style filter — destination socket
+// tested first with short-circuit operators, then the Ethernet type —
+// so "two processes implementing different communication streams under
+// the same protocol ... specify slightly different predicates" (§3).
+type Socket struct {
+	Port  *pfdev.Port
+	Local PortAddr
+	dev   *pfdev.Device
+	link  ethersim.LinkType
+	// pending holds packets read in a batch but not yet consumed.
+	pending []*Packet
+	// Checksummed selects whether outgoing Pups carry checksums.
+	Checksummed bool
+	// Batch selects batched port reads (tables 6-4/6-9).
+	Batch bool
+	// Gateway, when non-zero, is the link address of the Pup
+	// gateway used for destinations on other networks (Dst.Net !=
+	// Local.Net).  On-net destinations always go direct.
+	Gateway ethersim.Addr
+}
+
+// SocketFilter builds the demultiplexing filter for a destination
+// socket on the given link.  On the 3 Mb net it is exactly the paper's
+// figure 3-9 (with the socket constant substituted); on the 10 Mb net,
+// the socket words shift with the longer data-link header.
+func SocketFilter(link ethersim.LinkType, priority uint8, socket uint32) filter.Filter {
+	hw := link.HeaderWords()
+	etherType := ethersim.EtherTypePup3Mb
+	if link == ethersim.Ether10Mb {
+		etherType = ethersim.EtherTypePup
+	}
+	// Word offsets of the Pup destination socket: Pup header starts
+	// at word hw; DstSocket is Pup bytes 10..13 = words hw+5, hw+6.
+	prog := filter.NewBuilder().
+		CANDWordEQ(hw+6, uint16(socket)).     // low word: most selective
+		CANDWordEQ(hw+5, uint16(socket>>16)). // high word
+		WordEQ(link.TypeWord(), etherType).   // packet type == Pup
+		MustProgram()
+	return filter.Filter{Priority: priority, Program: prog}
+}
+
+// Open binds a Pup socket on dev.  Process context.
+func Open(p *sim.Proc, dev *pfdev.Device, local PortAddr, priority uint8) (*Socket, error) {
+	port := dev.Open(p)
+	link := dev.NIC().Network().Link()
+	if err := port.SetFilter(p, SocketFilter(link, priority, local.Socket)); err != nil {
+		return nil, err
+	}
+	return &Socket{Port: port, Local: local, dev: dev, link: link}, nil
+}
+
+// etherType returns the Pup type code for the socket's link.
+func (s *Socket) etherType() uint16 {
+	if s.link == ethersim.Ether10Mb {
+		return ethersim.EtherTypePup
+	}
+	return ethersim.EtherTypePup3Mb
+}
+
+// Send transmits one Pup to dst.  dstHostAddr is the data-link address
+// of the destination host (Pup's routing tables are out of scope; on
+// one Ethernet segment host numbers map directly to link addresses).
+func (s *Socket) Send(p *sim.Proc, pkt *Packet) error {
+	pkt.Src = s.Local
+	pkt.Checksummed = s.Checksummed
+	payload, err := pkt.Marshal()
+	if err != nil {
+		return err
+	}
+	// Route: on-net Pups go straight to the destination host;
+	// internetwork Pups go to the gateway (pup.Gateway forwards
+	// them, decrementing the hop budget).  Pup host 0 is the
+	// broadcast convention: "any host on the destination network".
+	linkDst := ethersim.Addr(pkt.Dst.Host)
+	if pkt.Dst.Host == 0 {
+		linkDst = s.link.BroadcastAddr()
+	}
+	if pkt.Dst.Net != s.Local.Net && s.Gateway != 0 {
+		linkDst = s.Gateway
+	}
+	frame := s.link.Encode(linkDst, s.dev.NIC().Addr(), s.etherType(), payload)
+	return s.Port.Write(p, frame)
+}
+
+// SetTimeout sets the receive timeout (0 blocks, negative is
+// non-blocking).
+func (s *Socket) SetTimeout(p *sim.Proc, d time.Duration) {
+	s.Port.SetTimeout(p, d)
+}
+
+// Recv returns the next Pup addressed to this socket.  With Batch set,
+// one system call drains the whole port queue and subsequent calls
+// consume the remainder without kernel entries (figure 3-5).
+func (s *Socket) Recv(p *sim.Proc) (*Packet, error) {
+	for {
+		if len(s.pending) > 0 {
+			pkt := s.pending[0]
+			s.pending = s.pending[1:]
+			return pkt, nil
+		}
+		if s.Batch {
+			batch, err := s.Port.ReadBatch(p)
+			if err != nil {
+				return nil, err
+			}
+			for _, raw := range batch {
+				if pkt := s.decode(raw.Data); pkt != nil {
+					s.pending = append(s.pending, pkt)
+				}
+			}
+			continue
+		}
+		raw, err := s.Port.Read(p)
+		if err != nil {
+			return nil, err
+		}
+		if pkt := s.decode(raw.Data); pkt != nil {
+			return pkt, nil
+		}
+	}
+}
+
+// decode strips the data-link header and parses the Pup; malformed
+// packets are dropped silently, as a user-level protocol must ("the
+// user must discover transmission failure through lack of response").
+func (s *Socket) decode(frame []byte) *Packet {
+	_, _, _, payload, err := s.link.Decode(frame)
+	if err != nil {
+		return nil
+	}
+	pkt, err := Unmarshal(payload)
+	if err != nil {
+		return nil
+	}
+	return pkt
+}
+
+// Close releases the underlying port.
+func (s *Socket) Close(p *sim.Proc) { s.Port.Close(p) }
+
+// --- Echo protocol (§5.1's request-response workload) ---------------------
+
+// Echo sends an EchoMe Pup carrying data and waits for the matching
+// ImAnEcho, retrying on timeout; it returns the round-trip time.  This
+// is the "write; read with timeout; retry if necessary" paradigm of
+// §3.
+func (s *Socket) Echo(p *sim.Proc, dst PortAddr, data []byte, timeout time.Duration, retries int) (time.Duration, error) {
+	start := p.Now()
+	id := uint32(start/time.Microsecond) & 0xFFFFFF
+	s.SetTimeout(p, timeout)
+	for try := 0; try <= retries; try++ {
+		err := s.Send(p, &Packet{Type: TypeEchoMe, ID: id, Dst: dst, Data: data})
+		if err != nil {
+			return 0, err
+		}
+		for {
+			pkt, err := s.Recv(p)
+			if err == pfdev.ErrTimeout {
+				break // retransmit
+			}
+			if err != nil {
+				return 0, err
+			}
+			if pkt.Type == TypeImAnEcho && pkt.ID == id {
+				return p.Now() - start, nil
+			}
+		}
+	}
+	return 0, pfdev.ErrTimeout
+}
+
+// EchoServer answers EchoMe Pups until the port closes or the timeout
+// expires with no traffic; it returns the number of echoes served.
+func (s *Socket) EchoServer(p *sim.Proc, idleTimeout time.Duration) int {
+	served := 0
+	s.SetTimeout(p, idleTimeout)
+	for {
+		pkt, err := s.Recv(p)
+		if err != nil {
+			return served
+		}
+		if pkt.Type != TypeEchoMe {
+			continue
+		}
+		reply := &Packet{Type: TypeImAnEcho, ID: pkt.ID, Dst: pkt.Src, Data: pkt.Data}
+		if s.Send(p, reply) == nil {
+			served++
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package pup
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+// rig builds a two-host network with packet-filter devices, on either
+// link type.
+type rig struct {
+	s      *sim.Sim
+	net    *ethersim.Network
+	ha, hb *sim.Host
+	da, db *pfdev.Device
+}
+
+func newRig(link ethersim.LinkType) *rig {
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, link)
+	ha, hb := s.NewHost("a"), s.NewHost("b")
+	return &rig{
+		s: s, net: net, ha: ha, hb: hb,
+		da: pfdev.Attach(net.Attach(ha, 1), nil, pfdev.Options{}),
+		db: pfdev.Attach(net.Attach(hb, 2), nil, pfdev.Options{}),
+	}
+}
+
+var (
+	addrA = PortAddr{Net: 1, Host: 1, Socket: 0x100}
+	addrB = PortAddr{Net: 1, Host: 2, Socket: 0x200}
+)
+
+func TestEchoOverBothLinks(t *testing.T) {
+	for _, link := range []ethersim.LinkType{ethersim.Ether3Mb, ethersim.Ether10Mb} {
+		r := newRig(link)
+		var rtt time.Duration
+		var echoErr error
+		r.s.Spawn(r.hb, "server", func(p *sim.Proc) {
+			sock, err := Open(p, r.db, addrB, 10)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sock.EchoServer(p, 100*time.Millisecond)
+		})
+		r.s.Spawn(r.ha, "client", func(p *sim.Proc) {
+			sock, err := Open(p, r.da, addrA, 10)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sleep(5 * time.Millisecond)
+			rtt, echoErr = sock.Echo(p, addrB, []byte("ping"), 50*time.Millisecond, 3)
+		})
+		r.s.Run(0)
+		if echoErr != nil {
+			t.Fatalf("%v: echo: %v", link, echoErr)
+		}
+		if rtt <= 0 || rtt > 50*time.Millisecond {
+			t.Fatalf("%v: rtt = %v", link, rtt)
+		}
+	}
+}
+
+func TestEchoRetryAfterLoss(t *testing.T) {
+	r := newRig(ethersim.Ether3Mb)
+	// Drop the first request frame only; the retry must succeed.
+	r.net.DropFn = func(i uint64, _ []byte) bool { return i == 1 }
+	var echoErr error
+	r.s.Spawn(r.hb, "server", func(p *sim.Proc) {
+		sock, _ := Open(p, r.db, addrB, 10)
+		sock.EchoServer(p, 200*time.Millisecond)
+	})
+	r.s.Spawn(r.ha, "client", func(p *sim.Proc) {
+		sock, _ := Open(p, r.da, addrA, 10)
+		p.Sleep(5 * time.Millisecond)
+		_, echoErr = sock.Echo(p, addrB, []byte("x"), 20*time.Millisecond, 5)
+	})
+	r.s.Run(0)
+	if echoErr != nil {
+		t.Fatalf("echo failed despite retries: %v", echoErr)
+	}
+	if r.net.Dropped == 0 {
+		t.Fatal("loss injection inactive")
+	}
+}
+
+func TestSocketDemultiplexing(t *testing.T) {
+	// Two sockets on one host; each receives only its own traffic.
+	r := newRig(ethersim.Ether3Mb)
+	addrB2 := PortAddr{Net: 1, Host: 2, Socket: 0x300}
+	var got1, got2 []byte
+	r.s.Spawn(r.hb, "servers", func(p *sim.Proc) {
+		s1, _ := Open(p, r.db, addrB, 10)
+		s2, _ := Open(p, r.db, addrB2, 10)
+		s1.SetTimeout(p, 100*time.Millisecond)
+		s2.SetTimeout(p, 100*time.Millisecond)
+		if pkt, err := s1.Recv(p); err == nil {
+			got1 = pkt.Data
+		}
+		if pkt, err := s2.Recv(p); err == nil {
+			got2 = pkt.Data
+		}
+	})
+	r.s.Spawn(r.ha, "client", func(p *sim.Proc) {
+		sock, _ := Open(p, r.da, addrA, 10)
+		p.Sleep(5 * time.Millisecond)
+		sock.Send(p, &Packet{Type: 1, Dst: addrB2, Data: []byte("to-2")})
+		sock.Send(p, &Packet{Type: 1, Dst: addrB, Data: []byte("to-1")})
+	})
+	r.s.Run(0)
+	if string(got1) != "to-1" || string(got2) != "to-2" {
+		t.Fatalf("got1=%q got2=%q", got1, got2)
+	}
+}
+
+func TestChecksummedSocketRejectsCorruption(t *testing.T) {
+	// With checksums on, a corrupted Pup is dropped at Recv.
+	p := &Packet{Type: 1, Dst: addrB, Src: addrA, Data: []byte("abc"), Checksummed: true}
+	wire, _ := p.Marshal()
+	wire[HeaderLen] ^= 0xFF
+	if _, err := Unmarshal(wire); err != ErrBadChecksum {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBSPTransfer(t *testing.T) {
+	r := newRig(ethersim.Ether3Mb)
+	data := make([]byte, 5000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	var received bytes.Buffer
+	var sendErr, recvErr error
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		sock, _ := Open(p, r.db, addrB, 10)
+		rcv := NewBSPReceiver(sock, DefaultBSPConfig())
+		for {
+			seg, err := rcv.Receive(p, 200*time.Millisecond)
+			if err == ErrStreamClosed {
+				return
+			}
+			if err != nil {
+				recvErr = err
+				return
+			}
+			received.Write(seg)
+		}
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		sock, _ := Open(p, r.da, addrA, 10)
+		p.Sleep(5 * time.Millisecond)
+		snd := NewBSPSender(sock, addrB, DefaultBSPConfig())
+		if err := snd.Send(p, data); err != nil {
+			sendErr = err
+			return
+		}
+		sendErr = snd.Close(p)
+	})
+	r.s.Run(0)
+	if sendErr != nil || recvErr != nil {
+		t.Fatalf("send=%v recv=%v", sendErr, recvErr)
+	}
+	if !bytes.Equal(received.Bytes(), data) {
+		t.Fatalf("data corrupted: got %d bytes want %d", received.Len(), len(data))
+	}
+}
+
+func TestBSPTransferWithLoss(t *testing.T) {
+	r := newRig(ethersim.Ether3Mb)
+	r.net.DropEvery = 7
+	data := make([]byte, 4000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	var received bytes.Buffer
+	var sendErr error
+	var retrans int
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		sock, _ := Open(p, r.db, addrB, 10)
+		rcv := NewBSPReceiver(sock, DefaultBSPConfig())
+		for {
+			seg, err := rcv.Receive(p, 2*time.Second)
+			if err != nil {
+				return
+			}
+			received.Write(seg)
+		}
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		sock, _ := Open(p, r.da, addrA, 10)
+		p.Sleep(5 * time.Millisecond)
+		snd := NewBSPSender(sock, addrB, DefaultBSPConfig())
+		sendErr = snd.Send(p, data)
+		if sendErr == nil {
+			snd.Close(p)
+		}
+		retrans = snd.Retransmissions
+	})
+	r.s.Run(0)
+	if sendErr != nil {
+		t.Fatalf("send: %v", sendErr)
+	}
+	if !bytes.Equal(received.Bytes(), data) {
+		t.Fatalf("data corrupted under loss: got %d want %d bytes", received.Len(), len(data))
+	}
+	if retrans == 0 {
+		t.Error("expected retransmissions under loss")
+	}
+}
+
+func TestBSPSmallSegments(t *testing.T) {
+	// Forcing small segments (table 6-6's TCP comparison trick)
+	// still delivers correctly, with more packets on the wire.
+	r := newRig(ethersim.Ether3Mb)
+	cfg := DefaultBSPConfig()
+	cfg.SegSize = 100
+	data := make([]byte, 1000)
+	var got int
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		sock, _ := Open(p, r.db, addrB, 10)
+		rcv := NewBSPReceiver(sock, cfg)
+		for {
+			seg, err := rcv.Receive(p, 200*time.Millisecond)
+			if err != nil {
+				return
+			}
+			got += len(seg)
+		}
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		sock, _ := Open(p, r.da, addrA, 10)
+		p.Sleep(5 * time.Millisecond)
+		snd := NewBSPSender(sock, addrB, cfg)
+		if err := snd.Send(p, data); err != nil {
+			t.Error(err)
+		}
+		snd.Close(p)
+	})
+	r.s.Run(0)
+	if got != 1000 {
+		t.Fatalf("received %d bytes", got)
+	}
+	if r.net.FramesOnWire < 20 {
+		t.Fatalf("frames = %d, expected at least 10 data + 10 acks", r.net.FramesOnWire)
+	}
+}
+
+func TestBatchedSocketRecv(t *testing.T) {
+	r := newRig(ethersim.Ether3Mb)
+	var got int
+	var syscallsBatched uint64
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		sock, _ := Open(p, r.db, addrB, 10)
+		sock.Batch = true
+		sock.SetTimeout(p, 50*time.Millisecond)
+		p.Sleep(30 * time.Millisecond) // let packets accumulate
+		before := r.hb.Counters.Syscalls
+		for {
+			if _, err := sock.Recv(p); err != nil {
+				break
+			}
+			got++
+		}
+		syscallsBatched = r.hb.Counters.Syscalls - before
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		sock, _ := Open(p, r.da, addrA, 10)
+		p.Sleep(5 * time.Millisecond)
+		for i := 0; i < 6; i++ {
+			sock.Send(p, &Packet{Type: 1, ID: uint32(i), Dst: addrB})
+		}
+	})
+	r.s.Run(0)
+	if got != 6 {
+		t.Fatalf("received %d", got)
+	}
+	// One batched read drained all six packets; only the final
+	// (timing-out) read adds more syscalls.
+	if syscallsBatched > 3 {
+		t.Fatalf("batched receive used %d syscalls for 6 packets", syscallsBatched)
+	}
+}

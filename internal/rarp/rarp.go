@@ -1,0 +1,221 @@
+// Package rarp implements the Reverse Address Resolution Protocol
+// (RFC 903) as a user-level service over the packet filter — the
+// paper's §5.3 case study: "With the packet filter, however, a RARP
+// implementation was easy; the work was done in a few weeks by a
+// student who had no experience with network programming, and who had
+// no need to learn how to modify the Unix kernel."
+//
+// RARP's defining property is that it is a parallel layer to IP, not
+// above it: a diskless workstation that does not yet know its IP
+// address broadcasts a request carrying its hardware address, and a
+// server replies with the IP address from its table.  Implementing it
+// under 4.2BSD's kernel IP stack raised "questions of
+// implementability" — with the packet filter it is just another
+// Ethernet type to bind a filter for.
+package rarp
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+)
+
+// RARP opcodes (the packet layout is ARP's, RFC 826).
+const (
+	OpRequestReverse = 3
+	OpReplyReverse   = 4
+)
+
+// IPAddr is an IPv4 address (kept separate from package inet: RARP
+// must not depend on the kernel IP stack, that is its whole point).
+type IPAddr uint32
+
+// Packet is a parsed RARP packet.
+type Packet struct {
+	Op       uint16
+	SenderHW ethersim.Addr
+	SenderIP IPAddr
+	TargetHW ethersim.Addr
+	TargetIP IPAddr
+}
+
+// ErrShort reports a truncated RARP packet.
+var ErrShort = errors.New("rarp: truncated packet")
+
+// Marshal encodes the packet for the given link type.
+func Marshal(p Packet, link ethersim.LinkType) []byte {
+	hlen := link.AddrLen()
+	b := make([]byte, 8+2*hlen+8)
+	binary.BigEndian.PutUint16(b[0:], 1) // hardware: Ethernet
+	binary.BigEndian.PutUint16(b[2:], uint16(ethersim.EtherTypeIP))
+	b[4] = byte(hlen)
+	b[5] = 4
+	binary.BigEndian.PutUint16(b[6:], p.Op)
+	off := 8
+	putHW := func(a ethersim.Addr) {
+		for i := hlen - 1; i >= 0; i-- {
+			b[off+i] = byte(a)
+			a >>= 8
+		}
+		off += hlen
+	}
+	putIP := func(a IPAddr) {
+		binary.BigEndian.PutUint32(b[off:], uint32(a))
+		off += 4
+	}
+	putHW(p.SenderHW)
+	putIP(p.SenderIP)
+	putHW(p.TargetHW)
+	putIP(p.TargetIP)
+	return b
+}
+
+// Unmarshal decodes a RARP packet for the given link type.
+func Unmarshal(b []byte, link ethersim.LinkType) (Packet, error) {
+	hlen := link.AddrLen()
+	if len(b) < 8+2*hlen+8 || int(b[4]) != hlen || b[5] != 4 {
+		return Packet{}, ErrShort
+	}
+	var p Packet
+	p.Op = binary.BigEndian.Uint16(b[6:])
+	off := 8
+	getHW := func() ethersim.Addr {
+		var a ethersim.Addr
+		for i := 0; i < hlen; i++ {
+			a = a<<8 | ethersim.Addr(b[off+i])
+		}
+		off += hlen
+		return a
+	}
+	p.SenderHW = getHW()
+	p.SenderIP = IPAddr(binary.BigEndian.Uint32(b[off:]))
+	off += 4
+	p.TargetHW = getHW()
+	p.TargetIP = IPAddr(binary.BigEndian.Uint32(b[off:]))
+	return p, nil
+}
+
+// TypeFilter selects RARP frames: a single equality test on the
+// Ethernet type word — so simple that it shows why a type-field-only
+// demultiplexer (§2's "one simple mechanism") is insufficient in
+// general but fine here.
+func TypeFilter(link ethersim.LinkType, priority uint8) filter.Filter {
+	return filter.Filter{
+		Priority: priority,
+		Program: filter.NewBuilder().
+			WordEQ(link.TypeWord(), ethersim.EtherTypeRARP).
+			MustProgram(),
+	}
+}
+
+// Server answers RARP requests from a static table.
+type Server struct {
+	dev   *pfdev.Device
+	link  ethersim.LinkType
+	table map[ethersim.Addr]IPAddr
+	// Served counts answered requests; Unknown counts requests for
+	// unlisted hardware addresses (ignored, per RFC 903).
+	Served, Unknown int
+}
+
+// NewServer creates a RARP server with the given hw→IP table.
+func NewServer(dev *pfdev.Device, table map[ethersim.Addr]IPAddr) *Server {
+	t := make(map[ethersim.Addr]IPAddr, len(table))
+	for k, v := range table {
+		t[k] = v
+	}
+	return &Server{dev: dev, link: dev.NIC().Network().Link(), table: t}
+}
+
+// Run serves requests until none arrive for idle.
+func (s *Server) Run(p *sim.Proc, idle time.Duration) {
+	port := s.dev.Open(p)
+	defer port.Close(p)
+	if err := port.SetFilter(p, TypeFilter(s.link, 20)); err != nil {
+		return
+	}
+	port.SetTimeout(p, idle)
+	myIP := s.table[s.dev.NIC().Addr()]
+	for {
+		raw, err := port.Read(p)
+		if err != nil {
+			return
+		}
+		_, src, _, payload, err := s.link.Decode(raw.Data)
+		if err != nil {
+			continue
+		}
+		req, err := Unmarshal(payload, s.link)
+		if err != nil || req.Op != OpRequestReverse {
+			continue
+		}
+		ip, ok := s.table[req.TargetHW]
+		if !ok {
+			s.Unknown++
+			continue
+		}
+		reply := Packet{
+			Op:       OpReplyReverse,
+			SenderHW: s.dev.NIC().Addr(),
+			SenderIP: myIP,
+			TargetHW: req.TargetHW,
+			TargetIP: ip,
+		}
+		frame := s.link.Encode(src, s.dev.NIC().Addr(), ethersim.EtherTypeRARP,
+			Marshal(reply, s.link))
+		if port.Write(p, frame) == nil {
+			s.Served++
+		}
+	}
+}
+
+// Errors returned by Resolve.
+var ErrNoReply = errors.New("rarp: no reply")
+
+// Resolve performs the client side: broadcast a reverse request for
+// our own hardware address and wait for the reply, retrying per RFC
+// 903's suggestion.  This is what a diskless workstation runs first
+// thing at boot.
+func Resolve(p *sim.Proc, dev *pfdev.Device, timeout time.Duration, retries int) (IPAddr, error) {
+	link := dev.NIC().Network().Link()
+	port := dev.Open(p)
+	defer port.Close(p)
+	if err := port.SetFilter(p, TypeFilter(link, 10)); err != nil {
+		return 0, err
+	}
+	port.SetTimeout(p, timeout)
+	self := dev.NIC().Addr()
+	req := Packet{Op: OpRequestReverse, SenderHW: self, TargetHW: self}
+	frame := link.Encode(link.BroadcastAddr(), self, ethersim.EtherTypeRARP,
+		Marshal(req, link))
+
+	for try := 0; try <= retries; try++ {
+		if err := port.Write(p, frame); err != nil {
+			return 0, err
+		}
+		for {
+			raw, err := port.Read(p)
+			if err == pfdev.ErrTimeout {
+				break
+			}
+			if err != nil {
+				return 0, err
+			}
+			_, _, _, payload, err := link.Decode(raw.Data)
+			if err != nil {
+				continue
+			}
+			rep, err := Unmarshal(payload, link)
+			if err != nil || rep.Op != OpReplyReverse || rep.TargetHW != self {
+				continue
+			}
+			return rep.TargetIP, nil
+		}
+	}
+	return 0, ErrNoReply
+}

@@ -1,0 +1,120 @@
+package rarp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, link := range []ethersim.LinkType{ethersim.Ether3Mb, ethersim.Ether10Mb} {
+		in := Packet{
+			Op:       OpReplyReverse,
+			SenderHW: 0x42, SenderIP: 0x0A000001,
+			TargetHW: 0x17, TargetIP: 0x0A000099,
+		}
+		out, err := Unmarshal(Marshal(in, link), link)
+		if err != nil {
+			t.Fatalf("%v: %v", link, err)
+		}
+		if out != in {
+			t.Fatalf("%v: %+v vs %+v", link, out, in)
+		}
+		if _, err := Unmarshal(Marshal(in, link)[:8], link); err != ErrShort {
+			t.Fatalf("%v: short accepted", link)
+		}
+	}
+}
+
+func TestResolveAgainstServer(t *testing.T) {
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether10Mb)
+	hs, hc := s.NewHost("server"), s.NewHost("diskless")
+	ns := net.Attach(hs, 0x51)
+	nc := net.Attach(hc, 0x99)
+	ds := pfdev.Attach(ns, nil, pfdev.Options{})
+	dc := pfdev.Attach(nc, nil, pfdev.Options{})
+
+	table := map[ethersim.Addr]IPAddr{
+		0x51: 0x0A000001,
+		0x99: 0x0A000042,
+	}
+	srv := NewServer(ds, table)
+	s.Spawn(hs, "rarpd", func(p *sim.Proc) { srv.Run(p, 100*time.Millisecond) })
+
+	var ip IPAddr
+	var err error
+	s.Spawn(hc, "boot", func(p *sim.Proc) {
+		p.Sleep(5 * time.Millisecond)
+		ip, err = Resolve(p, dc, 20*time.Millisecond, 3)
+	})
+	s.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip != 0x0A000042 {
+		t.Fatalf("ip = %08x", uint32(ip))
+	}
+	if srv.Served != 1 {
+		t.Fatalf("served = %d", srv.Served)
+	}
+}
+
+func TestResolveRetriesAndUnknown(t *testing.T) {
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether10Mb)
+	hs, hc, hx := s.NewHost("server"), s.NewHost("known"), s.NewHost("unknown")
+	ns := net.Attach(hs, 0x51)
+	nc := net.Attach(hc, 0x99)
+	nx := net.Attach(hx, 0x77)
+	ds := pfdev.Attach(ns, nil, pfdev.Options{})
+	dc := pfdev.Attach(nc, nil, pfdev.Options{})
+	dx := pfdev.Attach(nx, nil, pfdev.Options{})
+
+	// Drop the first broadcast so the known client must retry.
+	net.DropFn = func(i uint64, _ []byte) bool { return i == 1 }
+
+	srv := NewServer(ds, map[ethersim.Addr]IPAddr{0x99: 0x0A000042})
+	s.Spawn(hs, "rarpd", func(p *sim.Proc) { srv.Run(p, 200*time.Millisecond) })
+
+	var okIP IPAddr
+	var okErr, badErr error
+	s.Spawn(hc, "known", func(p *sim.Proc) {
+		p.Sleep(5 * time.Millisecond)
+		okIP, okErr = Resolve(p, dc, 20*time.Millisecond, 5)
+	})
+	s.Spawn(hx, "unknown", func(p *sim.Proc) {
+		p.Sleep(6 * time.Millisecond)
+		_, badErr = Resolve(p, dx, 20*time.Millisecond, 1)
+	})
+	s.Run(0)
+	if okErr != nil || okIP != 0x0A000042 {
+		t.Fatalf("known: ip=%08x err=%v", uint32(okIP), okErr)
+	}
+	if badErr != ErrNoReply {
+		t.Fatalf("unknown: err = %v, want ErrNoReply", badErr)
+	}
+	if srv.Unknown == 0 {
+		t.Error("server did not count the unknown request")
+	}
+}
+
+func TestRARPCoexistsWithKernelIP(t *testing.T) {
+	// The whole point of §5.3: RARP runs at user level while the
+	// kernel owns IP.  The filter must not steal IP frames.
+	link := ethersim.Ether10Mb
+	f := TypeFilter(link, 10)
+	ipFrame := link.Encode(0x51, 0x99, ethersim.EtherTypeIP, make([]byte, 28))
+	rarpFrame := link.Encode(0x51, 0x99, ethersim.EtherTypeRARP, make([]byte, 28))
+	if filter.Run(f.Program, ipFrame).Accept {
+		t.Error("RARP filter accepted an IP frame")
+	}
+	if !filter.Run(f.Program, rarpFrame).Accept {
+		t.Error("RARP filter rejected a RARP frame")
+	}
+}

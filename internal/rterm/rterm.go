@@ -1,0 +1,151 @@
+// Package rterm is the remote-terminal (Telnet-like) application of
+// table 6-7: "A program on the 'server' host prints characters which
+// are transmitted across the network and displayed at the 'user'
+// host."  The session runs over any byte-stream transport — the
+// user-level Pup/BSP or the kernel TCP — through one small interface,
+// which is precisely the portability argument of §2: protocol choice
+// is a deployment detail, not an application rewrite.
+package rterm
+
+import (
+	"time"
+
+	"repro/internal/inet"
+	"repro/internal/pup"
+	"repro/internal/sim"
+)
+
+// Stream is the transport a terminal session runs over.
+type Stream interface {
+	// Send transmits a chunk of output characters.
+	Send(p *sim.Proc, chunk []byte) error
+	// Recv returns the next received chunk, or an error when the
+	// stream ends or idles out.
+	Recv(p *sim.Proc, idle time.Duration) ([]byte, error)
+}
+
+// Display models the user-side sink: an MC68010 workstation console
+// (3350 chars/s) or a 9600-baud terminal (960 chars/s) from table 6-7.
+type Display struct {
+	// CPS is the display's character rate.
+	CPS int
+	// Shown counts characters drawn.
+	Shown int
+	// start and last bound the displaying interval.
+	start, last time.Duration
+}
+
+// Draw renders a chunk, taking len/CPS of real (non-CPU) time.
+func (d *Display) Draw(p *sim.Proc, chunk []byte) {
+	if d.Shown == 0 {
+		d.start = p.Now()
+	}
+	if d.CPS > 0 {
+		p.Sleep(time.Duration(len(chunk)) * time.Second / time.Duration(d.CPS))
+	}
+	d.Shown += len(chunk)
+	d.last = p.Now()
+}
+
+// Rate returns the achieved output rate in characters per second —
+// the number table 6-7 reports.
+func (d *Display) Rate() float64 {
+	if d.Shown == 0 || d.last <= d.start {
+		return 0
+	}
+	return float64(d.Shown) / (float64(d.last-d.start) / float64(time.Second))
+}
+
+// ServerConfig tunes the character producer.
+type ServerConfig struct {
+	// Chunk is the characters per write (a line-ish unit).
+	Chunk int
+	// GenCPU is the CPU cost of producing one chunk of output.
+	GenCPU time.Duration
+}
+
+// DefaultServerConfig returns the benchmark configuration.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{Chunk: 64, GenCPU: 200 * time.Microsecond}
+}
+
+// Serve "prints" total characters down the stream in chunks.
+func Serve(p *sim.Proc, s Stream, total int, cfg ServerConfig) error {
+	if cfg.Chunk <= 0 {
+		cfg.Chunk = 64
+	}
+	line := make([]byte, cfg.Chunk)
+	for i := range line {
+		line[i] = byte('a' + i%26)
+	}
+	for sent := 0; sent < total; sent += cfg.Chunk {
+		if cfg.GenCPU > 0 {
+			p.Consume(cfg.GenCPU)
+		}
+		if err := s.Send(p, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// View consumes the stream into the display until chars have been
+// shown or the stream idles out; it returns the achieved rate.
+func View(p *sim.Proc, s Stream, d *Display, chars int, idle time.Duration) float64 {
+	for d.Shown < chars {
+		chunk, err := s.Recv(p, idle)
+		if err != nil {
+			break
+		}
+		d.Draw(p, chunk)
+	}
+	return d.Rate()
+}
+
+// --- BSP adapter ------------------------------------------------------------
+
+// BSPStream adapts a Pup/BSP sender or receiver to Stream; use
+// NewBSPServerStream on the printing side and NewBSPUserStream on the
+// display side.
+type BSPStream struct {
+	snd *pup.BSPSender
+	rcv *pup.BSPReceiver
+}
+
+// NewBSPServerStream wraps a BSP sender.
+func NewBSPServerStream(sock *pup.Socket, dst pup.PortAddr, cfg pup.BSPConfig) *BSPStream {
+	return &BSPStream{snd: pup.NewBSPSender(sock, dst, cfg)}
+}
+
+// NewBSPUserStream wraps a BSP receiver.
+func NewBSPUserStream(sock *pup.Socket, cfg pup.BSPConfig) *BSPStream {
+	return &BSPStream{rcv: pup.NewBSPReceiver(sock, cfg)}
+}
+
+// Send implements Stream.
+func (b *BSPStream) Send(p *sim.Proc, chunk []byte) error {
+	return b.snd.Send(p, chunk)
+}
+
+// Recv implements Stream.
+func (b *BSPStream) Recv(p *sim.Proc, idle time.Duration) ([]byte, error) {
+	return b.rcv.Receive(p, idle)
+}
+
+// --- TCP adapter ------------------------------------------------------------
+
+// TCPStream adapts a kernel TCP connection to Stream.
+type TCPStream struct {
+	Conn *inet.TCPConn
+}
+
+// Send implements Stream.
+func (t *TCPStream) Send(p *sim.Proc, chunk []byte) error {
+	return t.Conn.Write(p, chunk)
+}
+
+// Recv implements Stream.
+func (t *TCPStream) Recv(p *sim.Proc, idle time.Duration) ([]byte, error) {
+	t.Conn.SetTimeout(idle)
+	return t.Conn.Read(p, 0)
+}

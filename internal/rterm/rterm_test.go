@@ -1,0 +1,130 @@
+package rterm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/inet"
+	"repro/internal/pfdev"
+	"repro/internal/pup"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+// session runs one Telnet-style session over the given transport and
+// display rate, returning the achieved chars/sec.
+func session(t *testing.T, proto string, link ethersim.LinkType, cps, chars int) float64 {
+	t.Helper()
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, link)
+	server, user := s.NewHost("server"), s.NewHost("user")
+	nicS := net.Attach(server, 1)
+	nicU := net.Attach(user, 2)
+
+	d := &Display{CPS: cps}
+	var rate float64
+
+	switch proto {
+	case "bsp":
+		devS := pfdev.Attach(nicS, nil, pfdev.Options{})
+		devU := pfdev.Attach(nicU, nil, pfdev.Options{})
+		cfg := pup.DefaultBSPConfig()
+		cfg.SegSize = 64
+		userAddr := pup.PortAddr{Net: 1, Host: 2, Socket: 0x200}
+		s.Spawn(user, "display", func(p *sim.Proc) {
+			sock, err := pup.Open(p, devU, userAddr, 10)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rate = View(p, NewBSPUserStream(sock, cfg), d, chars, 2*time.Second)
+		})
+		s.Spawn(server, "printer", func(p *sim.Proc) {
+			sock, err := pup.Open(p, devS, pup.PortAddr{Net: 1, Host: 1, Socket: 0x100}, 10)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sleep(5 * time.Millisecond)
+			Serve(p, NewBSPServerStream(sock, userAddr, cfg), chars+64, DefaultServerConfig())
+		})
+	case "tcp":
+		stS := inet.NewStack(nicS, 0x0A000001)
+		stU := inet.NewStack(nicU, 0x0A000002)
+		stS.AddARP(stU.Addr(), nicU.Addr())
+		stU.AddARP(stS.Addr(), nicS.Addr())
+		stS.StandaloneHandler()
+		stU.StandaloneHandler()
+		cfg := inet.DefaultTCPConfig()
+		cfg.MSS = 256
+		s.Spawn(user, "display", func(p *sim.Proc) {
+			l, err := stU.TCPListen(p, 23, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			c, err := l.Accept(p, 2*time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rate = View(p, &TCPStream{Conn: c}, d, chars, 2*time.Second)
+		})
+		s.Spawn(server, "printer", func(p *sim.Proc) {
+			p.Sleep(5 * time.Millisecond)
+			c, err := stS.TCPDial(p, stU.Addr(), 23, 4000, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			Serve(p, &TCPStream{Conn: c}, chars+256, DefaultServerConfig())
+			c.Close(p)
+		})
+	}
+	s.Run(time.Minute)
+	return rate
+}
+
+func TestDisplayLimitedSession(t *testing.T) {
+	// On a slow terminal both protocols are display-limited: the
+	// achieved rate sits just under the terminal's 960 cps.
+	for _, proto := range []string{"bsp", "tcp"} {
+		rate := session(t, proto, ethersim.Ether3Mb, 960, 2000)
+		if rate < 0.8*960 || rate > 960 {
+			t.Errorf("%s terminal rate = %.0f, want ~960", proto, rate)
+		}
+	}
+}
+
+func TestFastDisplaySession(t *testing.T) {
+	// On the fast workstation display, protocol costs show: rates
+	// stay below the display maximum but well above the terminal.
+	for _, proto := range []string{"bsp", "tcp"} {
+		rate := session(t, proto, ethersim.Ether10Mb, 3350, 3000)
+		if rate <= 960 || rate > 3350 {
+			t.Errorf("%s workstation rate = %.0f, want (960, 3350]", proto, rate)
+		}
+	}
+}
+
+func TestDisplayAccounting(t *testing.T) {
+	s := sim.New(vtime.Costs{})
+	h := s.NewHost("h")
+	d := &Display{CPS: 1000}
+	s.Spawn(h, "draw", func(p *sim.Proc) {
+		d.Draw(p, make([]byte, 100)) // 100 ms
+		d.Draw(p, make([]byte, 100))
+	})
+	s.Run(0)
+	if d.Shown != 200 {
+		t.Fatalf("shown = %d", d.Shown)
+	}
+	// 200 chars over 200 ms = 1000 cps.
+	if r := d.Rate(); r < 999 || r > 1001 {
+		t.Fatalf("rate = %.1f", r)
+	}
+	if (&Display{}).Rate() != 0 {
+		t.Fatal("empty display rate should be 0")
+	}
+}

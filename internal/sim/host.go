@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// Host is one simulated machine: a uniprocessor CPU shared by kernel
+// interrupt work and processes, plus whatever devices other packages
+// attach (network interfaces, the packet-filter pseudodevice, the
+// kernel-resident protocol stack).
+type Host struct {
+	sim  *Sim
+	name string
+
+	// Counters holds per-host event counts.
+	Counters vtime.Counters
+
+	// cpu state: a single processor with interrupt work served
+	// ahead of process work, matching the VAX's interrupt priority
+	// levels.
+	cpuBusy   bool
+	intrQ     []*cpuReq
+	procQ     []*cpuReq
+	lastOwner *Proc // last process granted the CPU
+
+	// KernelTime accumulates kernel-mode CPU by category ("pf",
+	// "filter", "ip", "driver", ...) so experiments can reproduce
+	// the §6.1 gprof-style breakdown.
+	KernelTime map[string]time.Duration
+	// UserTime is CPU consumed in user mode by processes.
+	UserTime time.Duration
+}
+
+type cpuReq struct {
+	d    time.Duration
+	proc *Proc  // non-nil for process work
+	fn   func() // non-nil for kernel work completion
+	tag  string
+}
+
+// NewHost adds a host to the simulation.
+func (s *Sim) NewHost(name string) *Host {
+	h := &Host{sim: s, name: name, KernelTime: make(map[string]time.Duration)}
+	s.hosts = append(s.hosts, h)
+	return h
+}
+
+// Name returns the host's name.
+func (h *Host) Name() string { return h.name }
+
+// Sim returns the owning simulation.
+func (h *Host) Sim() *Sim { return h.sim }
+
+// Costs returns the simulation cost model.
+func (h *Host) Costs() vtime.Costs { return h.sim.costs }
+
+// RunKernel charges d of kernel CPU at interrupt level, accounted
+// under tag, then calls fn (which may be nil) in event-loop context.
+// This is how device drivers and the packet filter consume time: the
+// work queues if the CPU is busy and is served before process work.
+func (h *Host) RunKernel(tag string, d time.Duration, fn func()) {
+	h.intrQ = append(h.intrQ, &cpuReq{d: d, fn: fn, tag: tag})
+	h.pump()
+}
+
+// requestCPU enqueues process work; proc parks until it completes.
+// Called from process context via Proc.Consume and the syscall
+// helpers.
+func (h *Host) requestCPU(p *Proc, d time.Duration, kernelMode bool, tag string) {
+	h.procQ = append(h.procQ, &cpuReq{d: d, proc: p, tag: tag})
+	_ = kernelMode
+	h.pump()
+	p.park()
+}
+
+// pump grants the CPU to the next request if it is idle.  Interrupt
+// work preempts queued (not running) process work.
+func (h *Host) pump() {
+	if h.cpuBusy {
+		return
+	}
+	var r *cpuReq
+	switch {
+	case len(h.intrQ) > 0:
+		r = h.intrQ[0]
+		h.intrQ = h.intrQ[1:]
+	case len(h.procQ) > 0:
+		r = h.procQ[0]
+		h.procQ = h.procQ[1:]
+	default:
+		return
+	}
+
+	d := r.d
+	if r.proc != nil {
+		// Charge a context switch when the CPU passes to a
+		// different process (§6.5.2, about 0.4 ms), or when this
+		// process blocked on a wait queue since its last grant —
+		// suspending and resuming is a switch pair even on an
+		// otherwise idle system (§6.5.1).
+		if (r.proc != h.lastOwner && h.lastOwner != nil) || r.proc.blocked {
+			d += h.sim.costs.CtxSwitch
+			h.Counters.ContextSwitches++
+			h.sim.Counters.ContextSwitches++
+			h.KernelTime["ctxswitch"] += h.sim.costs.CtxSwitch
+		}
+		r.proc.blocked = false
+		h.lastOwner = r.proc
+	}
+
+	h.cpuBusy = true
+	h.sim.After(d, func() {
+		h.cpuBusy = false
+		if r.proc != nil {
+			if r.tag == "user" {
+				h.UserTime += r.d
+			} else {
+				h.KernelTime[r.tag] += r.d
+			}
+			h.sim.runProc(r.proc)
+		} else {
+			h.KernelTime[r.tag] += r.d
+			if r.fn != nil {
+				r.fn()
+			}
+		}
+		h.pump()
+	})
+}
+
+// KernelTotal sums kernel-mode CPU across categories.
+func (h *Host) KernelTotal() time.Duration {
+	var t time.Duration
+	for _, d := range h.KernelTime {
+		t += d
+	}
+	return t
+}
+
+// ResetAccounting zeroes the host's counters and CPU accounting;
+// benchmarks call it after warm-up.
+func (h *Host) ResetAccounting() {
+	h.Counters = vtime.Counters{}
+	h.KernelTime = make(map[string]time.Duration)
+	h.UserTime = 0
+}

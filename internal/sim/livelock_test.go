@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// TestReceiveLivelock documents a real phenomenon the simulator
+// reproduces: interrupt-level work is served before process work, so a
+// host flooded with kernel work starves its processes — the
+// receive-livelock problem Mogul later studied directly ("Eliminating
+// Receive Livelock in an Interrupt-Driven Kernel", 1996).  Here a
+// stream of 1 ms interrupt jobs arriving every 0.5 ms prevents a
+// process from finishing a 5 ms computation until the storm ends.
+func TestReceiveLivelock(t *testing.T) {
+	s := New(vtime.Costs{})
+	h := s.NewHost("victim")
+	var done time.Duration
+	s.Spawn(h, "worker", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Consume(time.Millisecond)
+		}
+		done = p.Now()
+	})
+	// Interrupt storm: 100 jobs of 1 ms each, arriving every 0.5 ms
+	// starting immediately.
+	for i := 0; i < 100; i++ {
+		s.At(time.Duration(i)*500*time.Microsecond, func() {
+			h.RunKernel("driver", time.Millisecond, nil)
+		})
+	}
+	s.Run(0)
+	// The storm occupies the CPU for ~100 ms; the process cannot
+	// complete inside it.
+	if done < 100*time.Millisecond {
+		t.Fatalf("worker finished at %v, inside the interrupt storm", done)
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	s := New(vtime.Costs{})
+	fired := false
+	e := s.After(time.Millisecond, func() { fired = true })
+	e2 := s.After(2*time.Millisecond, func() {})
+	_ = e2
+	// Cancel via the WaitQ timeout path: Wait that is woken cancels
+	// its timer.
+	h := s.NewHost("h")
+	q := s.NewWaitQ()
+	woken := false
+	s.Spawn(h, "w", func(p *Proc) {
+		woken = p.Wait(q, 10*time.Millisecond)
+	})
+	s.After(500*time.Microsecond, func() { q.WakeOne(h) })
+	s.Run(0)
+	if !fired || !woken {
+		t.Fatalf("fired=%v woken=%v", fired, woken)
+	}
+	// The canceled wait timeout must not have produced a second
+	// wakeup; clock stops at the last real event.
+	if s.Now() > 10*time.Millisecond {
+		t.Fatalf("clock ran to %v: canceled timer still acted", s.Now())
+	}
+	_ = e
+}
+
+func TestYieldInterleaves(t *testing.T) {
+	s := New(vtime.Costs{})
+	h := s.NewHost("h")
+	var order []string
+	s.Spawn(h, "a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	s.Spawn(h, "b", func(p *Proc) {
+		order = append(order, "b1")
+		p.Yield()
+		order = append(order, "b2")
+	})
+	s.Run(0)
+	want := []string{"a1", "b1", "a2", "b2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunForAdvancesPartially(t *testing.T) {
+	s := New(vtime.Costs{})
+	hits := 0
+	for i := 1; i <= 10; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() { hits++ })
+	}
+	s.RunFor(5 * time.Millisecond)
+	if hits != 5 {
+		t.Fatalf("hits = %d after 5ms", hits)
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Fatalf("clock = %v", s.Now())
+	}
+	s.Run(0)
+	if hits != 10 {
+		t.Fatalf("hits = %d at end", hits)
+	}
+}
+
+func TestResetAccounting(t *testing.T) {
+	s := New(vtime.DefaultCosts())
+	h := s.NewHost("h")
+	s.Spawn(h, "p", func(p *Proc) {
+		p.Syscall("x")
+		p.Consume(time.Millisecond)
+	})
+	s.Run(0)
+	if h.Counters.Syscalls == 0 || h.UserTime == 0 || h.KernelTotal() == 0 {
+		t.Fatal("no accounting recorded")
+	}
+	h.ResetAccounting()
+	if h.Counters.Syscalls != 0 || h.UserTime != 0 || h.KernelTotal() != 0 {
+		t.Fatal("reset left residue")
+	}
+}
+
+func TestBlockedResumeChargesSwitch(t *testing.T) {
+	// A single process that blocks and resumes pays a context
+	// switch even with no other process on the host (§6.5.1: once
+	// the receiver suspends, resuming it is a switch).
+	s := New(vtime.DefaultCosts())
+	h := s.NewHost("h")
+	q := s.NewWaitQ()
+	s.Spawn(h, "p", func(p *Proc) {
+		p.Consume(time.Millisecond) // no switch: first grant
+		p.Wait(q, 0)
+		p.Consume(time.Millisecond) // switch: resumed after blocking
+	})
+	s.After(5*time.Millisecond, func() { q.WakeOne(h) })
+	s.Run(0)
+	if h.Counters.ContextSwitches != 1 {
+		t.Fatalf("context switches = %d, want exactly 1", h.Counters.ContextSwitches)
+	}
+}

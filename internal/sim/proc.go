@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"time"
+)
+
+// Proc is one simulated user process.  All its methods except Name
+// must be called from the process's own goroutine (inside the function
+// passed to Spawn).
+type Proc struct {
+	sim    *Sim
+	host   *Host
+	name   string
+	resume chan struct{}
+	done   bool
+
+	// blocked records that the process slept on a wait queue since
+	// its last CPU grant; the next grant charges a context switch
+	// even if no other process ran meanwhile ("in the best case the
+	// receiving process will never be suspended, and no context
+	// switches take place" — §6.5.1; once it does suspend, resuming
+	// it costs a switch).
+	blocked bool
+}
+
+// Spawn creates a process on host h running fn.  The process starts
+// when the event loop next runs.  Spawn may be called from any
+// context.
+func (s *Sim) Spawn(h *Host, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, host: h, name: name, resume: make(chan struct{})}
+	s.nprocs++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		s.nprocs--
+		s.yield <- struct{}{}
+	}()
+	s.schedule(p)
+	return p
+}
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Host returns the host the process runs on.
+func (p *Proc) Host() *Host { return p.host }
+
+// Sim returns the owning simulation.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.sim.now }
+
+// park yields to the event loop until something resumes this process.
+func (p *Proc) park() {
+	if p.sim.current != p {
+		panic("sim: park from wrong context")
+	}
+	p.sim.yield <- struct{}{}
+	<-p.resume
+}
+
+// Consume charges d of user-mode CPU time, competing with other work
+// on this host's processor.
+func (p *Proc) Consume(d time.Duration) {
+	p.sim.assertProc("Consume")
+	p.host.requestCPU(p, d, false, "user")
+}
+
+// ConsumeKernel charges d of kernel-mode CPU on behalf of this
+// process (the kernel half of a system call), accounted under tag.
+func (p *Proc) ConsumeKernel(tag string, d time.Duration) {
+	p.sim.assertProc("ConsumeKernel")
+	p.host.requestCPU(p, d, true, tag)
+}
+
+// Sleep suspends the process for d of virtual time without consuming
+// CPU.
+func (p *Proc) Sleep(d time.Duration) {
+	p.sim.assertProc("Sleep")
+	p.sim.After(d, func() { p.sim.runProc(p) })
+	p.park()
+}
+
+// Yield gives up the processor momentarily (other runnable work at the
+// current instant proceeds first).
+func (p *Proc) Yield() {
+	p.sim.assertProc("Yield")
+	p.sim.schedule(p)
+	p.park()
+}
+
+// Syscall accounts one kernel entry/exit: the fixed trap cost plus the
+// bookkeeping counters (one system call, two domain crossings).  The
+// work done inside the kernel is charged separately by the caller.
+func (p *Proc) Syscall(tag string) {
+	p.sim.assertProc("Syscall")
+	h := p.host
+	h.Counters.Syscalls++
+	h.Counters.DomainCrossings += 2
+	p.sim.Counters.Syscalls++
+	p.sim.Counters.DomainCrossings += 2
+	p.ConsumeKernel(tag, p.sim.costs.Syscall)
+}
+
+// CopyIn charges moving n bytes from user space into the kernel.
+func (p *Proc) CopyIn(tag string, n int) { p.copy(tag, n) }
+
+// CopyOut charges moving n bytes from the kernel to user space.
+func (p *Proc) CopyOut(tag string, n int) { p.copy(tag, n) }
+
+func (p *Proc) copy(tag string, n int) {
+	p.sim.assertProc("Copy")
+	h := p.host
+	h.Counters.Copies++
+	h.Counters.BytesCopied += uint64(n)
+	p.sim.Counters.Copies++
+	p.sim.Counters.BytesCopied += uint64(n)
+	p.ConsumeKernel(tag, p.sim.costs.Copy(n))
+}
+
+// Exit marks the process finished; it must be the last statement the
+// process executes (it simply documents intent — returning from the
+// Spawn function has the same effect).
+func (p *Proc) Exit() {}
+
+// Spin runs a CPU-bound loop forever in quanta of q; experiments use
+// it to model "other active processes" on a timesharing system
+// (§6.5.1: "If the system has other active processes, an additional
+// context switch to an unrelated process may occur").
+func (p *Proc) Spin(q time.Duration) {
+	for {
+		p.Consume(q)
+	}
+}

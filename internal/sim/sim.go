@@ -1,0 +1,158 @@
+// Package sim is a deterministic discrete-event simulation of the
+// operating-system substrate the paper's measurements ran on: a set of
+// uniprocessor hosts, each with processes, system calls, context
+// switches, kernel/user data copies and pipes, all charged virtual
+// time from the calibrated cost model in package vtime.
+//
+// Protocol code in this repository is written in ordinary blocking
+// style (read, write, wait); under the hood each simulated process is
+// a goroutine that runs in lockstep with the event loop — exactly one
+// goroutine (either the event loop or one process) is ever runnable,
+// so simulations are fully deterministic and need no locking.
+//
+// The paper's performance arguments are about counts: how many context
+// switches, system calls and copies a received packet costs under each
+// demultiplexing scheme (figures 2-1 through 3-5), and how those
+// counts translate to time (§6.5).  Hosts and the simulator both
+// accumulate vtime.Counters so experiments can report exactly those
+// quantities.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// Sim is one simulation universe: a virtual clock, an event queue and
+// any number of hosts.
+type Sim struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	costs  vtime.Costs
+	hosts  []*Host
+
+	// Counters aggregates events across all hosts.
+	Counters vtime.Counters
+
+	yield   chan struct{} // lockstep handshake with process goroutines
+	current *Proc         // process currently executing, nil in event loop
+	nprocs  int
+}
+
+// New creates a simulation with the given cost model.
+func New(costs vtime.Costs) *Sim {
+	return &Sim{costs: costs, yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Costs returns the cost model in force.
+func (s *Sim) Costs() vtime.Costs { return s.costs }
+
+// Hosts returns all hosts in creation order.
+func (s *Sim) Hosts() []*Host { return s.hosts }
+
+type event struct {
+	when time.Duration
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// At schedules fn to run in event-loop context at virtual time when
+// (clamped to now).  Events at equal times run in scheduling order.
+func (s *Sim) At(when time.Duration, fn func()) *event {
+	if when < s.now {
+		when = s.now
+	}
+	e := &event{when: when, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d time.Duration, fn func()) *event {
+	return s.At(s.now+d, fn)
+}
+
+// cancel marks an event as a no-op; the heap entry stays until popped.
+func (e *event) cancel() { e.fn = nil }
+
+// Run processes events until the queue is empty or the virtual clock
+// would pass limit (0 means no limit).  It returns the virtual time at
+// which it stopped.  Run must not be called from process context.
+func (s *Sim) Run(limit time.Duration) time.Duration {
+	s.assertEventLoop("Run")
+	for s.events.Len() > 0 {
+		e := s.events[0]
+		if limit > 0 && e.when > limit {
+			s.now = limit
+			return s.now
+		}
+		heap.Pop(&s.events)
+		s.now = e.when
+		if e.fn != nil {
+			e.fn()
+		}
+	}
+	return s.now
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (s *Sim) RunFor(d time.Duration) time.Duration { return s.Run(s.now + d) }
+
+func (s *Sim) assertEventLoop(op string) {
+	if s.current != nil {
+		panic(fmt.Sprintf("sim: %s called from process %q; only event-loop context may do this", op, s.current.name))
+	}
+}
+
+func (s *Sim) assertProc(op string) *Proc {
+	if s.current == nil {
+		panic(fmt.Sprintf("sim: %s called outside process context", op))
+	}
+	return s.current
+}
+
+// runProc transfers control to p until it parks or exits.  Event-loop
+// context only.
+func (s *Sim) runProc(p *Proc) {
+	if p.done {
+		return
+	}
+	s.current = p
+	p.resume <- struct{}{}
+	<-s.yield
+	s.current = nil
+}
+
+// schedule arranges for p to resume via the event queue; safe from any
+// context.
+func (s *Sim) schedule(p *Proc) {
+	s.At(s.now, func() { s.runProc(p) })
+}

@@ -1,0 +1,367 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+func ms(n float64) time.Duration { return time.Duration(n * float64(time.Millisecond)) }
+
+func TestEventOrdering(t *testing.T) {
+	s := New(vtime.Costs{})
+	var order []int
+	s.After(2*time.Millisecond, func() { order = append(order, 2) })
+	s.After(1*time.Millisecond, func() { order = append(order, 1) })
+	s.After(1*time.Millisecond, func() { order = append(order, 11) }) // same time: FIFO
+	s.After(3*time.Millisecond, func() { order = append(order, 3) })
+	end := s.Run(0)
+	if end != 3*time.Millisecond {
+		t.Errorf("end = %v", end)
+	}
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	s := New(vtime.Costs{})
+	fired := false
+	s.After(10*time.Millisecond, func() { fired = true })
+	s.Run(5 * time.Millisecond)
+	if fired {
+		t.Fatal("event beyond limit fired")
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Fatalf("clock = %v, want 5ms", s.Now())
+	}
+	s.Run(0)
+	if !fired {
+		t.Fatal("event never fired")
+	}
+}
+
+func TestProcessLifecycleAndSleep(t *testing.T) {
+	s := New(vtime.Costs{})
+	h := s.NewHost("a")
+	var trace []string
+	s.Spawn(h, "p1", func(p *Proc) {
+		trace = append(trace, "start")
+		p.Sleep(5 * time.Millisecond)
+		trace = append(trace, "woke")
+	})
+	s.Run(0)
+	if len(trace) != 2 || trace[0] != "start" || trace[1] != "woke" {
+		t.Fatalf("trace = %v", trace)
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestConsumeSerializesOnOneCPU(t *testing.T) {
+	// Two processes each consuming 10ms on one host must take 20ms
+	// of virtual time plus one context switch between them.
+	costs := vtime.Costs{CtxSwitch: ms(0.4)}
+	s := New(costs)
+	h := s.NewHost("a")
+	var done []string
+	s.Spawn(h, "p1", func(p *Proc) { p.Consume(ms(10)); done = append(done, "p1") })
+	s.Spawn(h, "p2", func(p *Proc) { p.Consume(ms(10)); done = append(done, "p2") })
+	end := s.Run(0)
+	if want := ms(20.4); end != want {
+		t.Fatalf("end = %v, want %v", end, want)
+	}
+	if h.Counters.ContextSwitches != 1 {
+		t.Fatalf("context switches = %d, want 1", h.Counters.ContextSwitches)
+	}
+	if len(done) != 2 || done[0] != "p1" || done[1] != "p2" {
+		t.Fatalf("done = %v", done)
+	}
+}
+
+func TestTwoHostsRunInParallel(t *testing.T) {
+	// The same work on two hosts overlaps: total elapsed 10ms.
+	s := New(vtime.Costs{})
+	h1, h2 := s.NewHost("a"), s.NewHost("b")
+	s.Spawn(h1, "p1", func(p *Proc) { p.Consume(ms(10)) })
+	s.Spawn(h2, "p2", func(p *Proc) { p.Consume(ms(10)) })
+	if end := s.Run(0); end != ms(10) {
+		t.Fatalf("end = %v, want 10ms", end)
+	}
+}
+
+func TestInterruptWorkPreemptsQueuedProcessWork(t *testing.T) {
+	s := New(vtime.Costs{})
+	h := s.NewHost("a")
+	var order []string
+	s.Spawn(h, "p", func(p *Proc) {
+		p.Consume(ms(1))
+		order = append(order, "proc1")
+		p.Consume(ms(1))
+		order = append(order, "proc2")
+	})
+	// Interrupt work arriving while the CPU is busy runs before the
+	// process's second quantum.
+	s.After(ms(0.5), func() {
+		h.RunKernel("driver", ms(2), func() { order = append(order, "intr") })
+	})
+	s.Run(0)
+	want := []string{"proc1", "intr", "proc2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if h.KernelTime["driver"] != ms(2) {
+		t.Errorf("driver time = %v", h.KernelTime["driver"])
+	}
+	if h.UserTime != ms(2) {
+		t.Errorf("user time = %v", h.UserTime)
+	}
+}
+
+func TestNoContextSwitchForSameProcess(t *testing.T) {
+	// One process doing repeated kernel entries never context
+	// switches (figure 2-2's best case: "the receiving process will
+	// never be suspended, and no context switches take place").
+	s := New(vtime.DefaultCosts())
+	h := s.NewHost("a")
+	s.Spawn(h, "p", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Syscall("pf")
+			p.CopyOut("pf", 128)
+		}
+	})
+	s.Run(0)
+	if h.Counters.ContextSwitches != 0 {
+		t.Fatalf("context switches = %d, want 0", h.Counters.ContextSwitches)
+	}
+	if h.Counters.Syscalls != 10 || h.Counters.Copies != 10 {
+		t.Fatalf("syscalls=%d copies=%d", h.Counters.Syscalls, h.Counters.Copies)
+	}
+	if h.Counters.DomainCrossings != 20 {
+		t.Fatalf("domain crossings = %d, want 20", h.Counters.DomainCrossings)
+	}
+}
+
+func TestSyscallAndCopyCosts(t *testing.T) {
+	costs := vtime.Costs{Syscall: ms(0.15), CopyFixed: ms(0.37), CopyPerKB: ms(1)}
+	s := New(costs)
+	h := s.NewHost("a")
+	s.Spawn(h, "p", func(p *Proc) {
+		p.Syscall("x")
+		p.CopyOut("x", 1024)
+	})
+	end := s.Run(0)
+	if want := ms(0.15) + ms(0.37) + ms(1); end != want {
+		t.Fatalf("end = %v, want %v", end, want)
+	}
+	if h.Counters.BytesCopied != 1024 {
+		t.Fatalf("bytes copied = %d", h.Counters.BytesCopied)
+	}
+}
+
+func TestWaitWakeOne(t *testing.T) {
+	s := New(vtime.Costs{Wakeup: ms(0.05)})
+	h := s.NewHost("a")
+	q := s.NewWaitQ()
+	var got bool
+	var wakeTime time.Duration
+	s.Spawn(h, "waiter", func(p *Proc) {
+		got = p.Wait(q, 0)
+		wakeTime = p.Now()
+	})
+	s.After(ms(3), func() { q.WakeOne(h) })
+	s.Run(0)
+	if !got {
+		t.Fatal("Wait returned false")
+	}
+	if wakeTime != ms(3.05) {
+		t.Fatalf("woke at %v, want 3.05ms", wakeTime)
+	}
+	if h.Counters.Wakeups != 1 {
+		t.Fatalf("wakeups = %d", h.Counters.Wakeups)
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	s := New(vtime.Costs{})
+	h := s.NewHost("a")
+	q := s.NewWaitQ()
+	var got bool
+	var at time.Duration
+	s.Spawn(h, "waiter", func(p *Proc) {
+		got = p.Wait(q, ms(2))
+		at = p.Now()
+	})
+	s.Run(0)
+	if got {
+		t.Fatal("Wait reported woken on timeout")
+	}
+	if at != ms(2) {
+		t.Fatalf("timed out at %v", at)
+	}
+	if q.Len() != 0 {
+		t.Fatal("waiter left on queue after timeout")
+	}
+}
+
+func TestWakeAllAndOrder(t *testing.T) {
+	s := New(vtime.Costs{})
+	h := s.NewHost("a")
+	q := s.NewWaitQ()
+	var order []string
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		s.Spawn(h, name, func(p *Proc) {
+			p.Wait(q, 0)
+			order = append(order, name)
+		})
+	}
+	s.After(ms(1), func() { q.WakeAll(h) })
+	s.Run(0)
+	if len(order) != 3 || order[0] != "w1" || order[1] != "w2" || order[2] != "w3" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestWokenBeforeTimeoutDoesNotTimeout(t *testing.T) {
+	s := New(vtime.Costs{})
+	h := s.NewHost("a")
+	q := s.NewWaitQ()
+	rounds := 0
+	s.Spawn(h, "w", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			if p.Wait(q, ms(10)) {
+				rounds++
+			}
+		}
+	})
+	s.Spawn(h, "k", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(ms(1))
+			q.WakeOne(h)
+		}
+	})
+	s.Run(0)
+	if rounds != 3 {
+		t.Fatalf("woken rounds = %d, want 3", rounds)
+	}
+}
+
+func TestPipeTransfersInOrder(t *testing.T) {
+	s := New(vtime.DefaultCosts())
+	h := s.NewHost("a")
+	pipe := s.NewPipe(h, 4)
+	var got []byte
+	s.Spawn(h, "writer", func(p *Proc) {
+		for i := byte(0); i < 10; i++ {
+			p.Write(pipe, []byte{i})
+		}
+	})
+	s.Spawn(h, "reader", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			m := p.Read(pipe)
+			got = append(got, m[0])
+		}
+	})
+	s.Run(0)
+	if len(got) != 10 {
+		t.Fatalf("got %d messages", len(got))
+	}
+	for i := range got {
+		if got[i] != byte(i) {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	// Pipe transfer = 2 syscalls + 2 copies per message, and the
+	// writer/reader ping-pong forces context switches.
+	if h.Counters.Syscalls != 20 || h.Counters.Copies != 20 {
+		t.Errorf("syscalls=%d copies=%d", h.Counters.Syscalls, h.Counters.Copies)
+	}
+	if h.Counters.ContextSwitches == 0 {
+		t.Error("expected context switches from pipe ping-pong")
+	}
+}
+
+func TestPipeBlocksWhenFull(t *testing.T) {
+	s := New(vtime.Costs{})
+	h := s.NewHost("a")
+	pipe := s.NewPipe(h, 1)
+	var wrote, read int
+	s.Spawn(h, "writer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Write(pipe, []byte{1})
+			wrote++
+		}
+	})
+	s.Spawn(h, "reader", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(ms(1))
+			p.Read(pipe)
+			read++
+		}
+	})
+	s.Run(0)
+	if wrote != 5 || read != 5 {
+		t.Fatalf("wrote=%d read=%d", wrote, read)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (time.Duration, vtime.Counters) {
+		s := New(vtime.DefaultCosts())
+		h := s.NewHost("a")
+		pipe := s.NewPipe(h, 2)
+		q := s.NewWaitQ()
+		s.Spawn(h, "w", func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				p.Write(pipe, make([]byte, 100))
+			}
+		})
+		s.Spawn(h, "r", func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				p.Read(pipe)
+			}
+			q.WakeAll(h)
+		})
+		s.Spawn(h, "idle", func(p *Proc) { p.Wait(q, 0) })
+		end := s.Run(0)
+		return end, s.Counters
+	}
+	e1, c1 := run()
+	e2, c2 := run()
+	if e1 != e2 || c1 != c2 {
+		t.Fatalf("nondeterministic: %v/%v vs %v/%v", e1, c1, e2, c2)
+	}
+}
+
+func TestAssertConsumeOutsideProcPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s := New(vtime.Costs{})
+	h := s.NewHost("a")
+	p := &Proc{sim: s, host: h}
+	p.Consume(time.Millisecond)
+}
+
+func TestCountersSubAdd(t *testing.T) {
+	a := vtime.Counters{Syscalls: 5, Copies: 3}
+	b := vtime.Counters{Syscalls: 2, Copies: 1}
+	d := a.Sub(b)
+	if d.Syscalls != 3 || d.Copies != 2 {
+		t.Fatalf("sub = %+v", d)
+	}
+	b.Add(d)
+	if b != a {
+		t.Fatalf("add mismatch: %+v vs %+v", b, a)
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import "time"
+
+// WaitQ is a kernel wait queue (the moral equivalent of 4.3BSD's
+// sleep/wakeup channels).  Processes block on it with Wait; kernel or
+// process code unblocks them with WakeOne/WakeAll.
+type WaitQ struct {
+	sim     *Sim
+	waiters []*waiter
+}
+
+type waiter struct {
+	proc    *Proc
+	woken   bool
+	timeout *event
+}
+
+// NewWaitQ creates a wait queue.
+func (s *Sim) NewWaitQ() *WaitQ { return &WaitQ{sim: s} }
+
+// Wait blocks the calling process until a wakeup or until timeout
+// elapses; timeout <= 0 means wait indefinitely.  It reports whether
+// the process was woken (false on timeout).
+func (p *Proc) Wait(q *WaitQ, timeout time.Duration) bool {
+	p.sim.assertProc("Wait")
+	w := &waiter{proc: p}
+	p.blocked = true
+	q.waiters = append(q.waiters, w)
+	if timeout > 0 {
+		w.timeout = p.sim.After(timeout, func() {
+			if w.woken {
+				return
+			}
+			q.remove(w)
+			p.sim.runProc(p)
+		})
+	}
+	p.park()
+	if w.woken && w.timeout != nil {
+		w.timeout.cancel()
+	}
+	return w.woken
+}
+
+func (q *WaitQ) remove(w *waiter) {
+	for i, x := range q.waiters {
+		if x == w {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// WakeOne unblocks the longest-waiting process, if any, charging the
+// scheduler's wakeup cost to h.  It reports whether a process was
+// woken.  Safe from any context.
+func (q *WaitQ) WakeOne(h *Host) bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	w := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	q.wake(h, w)
+	return true
+}
+
+// WakeAll unblocks every waiting process.
+func (q *WaitQ) WakeAll(h *Host) {
+	ws := q.waiters
+	q.waiters = nil
+	for _, w := range ws {
+		q.wake(h, w)
+	}
+}
+
+func (q *WaitQ) wake(h *Host, w *waiter) {
+	w.woken = true
+	h.Counters.Wakeups++
+	q.sim.Counters.Wakeups++
+	// The woken process becomes runnable after the scheduler's
+	// wakeup cost; the context switch itself is charged when the
+	// CPU actually passes to it.
+	q.sim.After(q.sim.costs.Wakeup, func() { q.sim.runProc(w.proc) })
+}
+
+// Len returns the number of blocked processes.
+func (q *WaitQ) Len() int { return len(q.waiters) }

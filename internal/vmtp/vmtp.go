@@ -1,0 +1,128 @@
+// Package vmtp implements a VMTP-style transaction protocol (Cheriton,
+// SIGCOMM '86): a client sends a request message and the server
+// returns a response message, possibly segmented into a back-to-back
+// packet group; the response acknowledges the request and the next
+// request acknowledges the response.
+//
+// VMTP matters to the paper because it is "the only interesting
+// protocol for which there is both a packet-filter based
+// implementation and a kernel-resident implementation" (§6.3),
+// providing the direct measurement of the cost of user-level
+// implementation behind tables 6-2 through 6-5.  This package mirrors
+// that arrangement with two interchangeable engines over the same wire
+// format:
+//
+//   - UserClient/UserServer (user.go): every protocol packet crosses
+//     the kernel/user boundary through a packet-filter port, with
+//     optional received-packet batching;
+//   - KernelTransport (kernel.go): the protocol machine lives in the
+//     kernel, so overhead packets are confined there and a transaction
+//     costs each process exactly one system call and one copy
+//     (figure 2-3).
+package vmtp
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+)
+
+// Wire format, carried directly over Ethernet type EtherTypeVMTP:
+//
+//	bytes 0-3   destination port (the demultiplexing key)
+//	bytes 4-7   transaction identifier
+//	byte  8     kind (request/response)
+//	byte  9     flags (unused)
+//	bytes 10-11 packet index within the message group
+//	bytes 12-13 packet count of the message group
+//	bytes 14-17 source port (where to send the reply)
+//	bytes 18-19 operation code
+//	bytes 20-   data
+const HeaderLen = 20
+
+// MaxSeg bounds the data bytes per packet so a VMTP packet fits the
+// 3 Mb Ethernet's maximum frame alongside Pup traffic.
+const MaxSeg = 512
+
+// Message kinds.
+const (
+	KindRequest  uint8 = 1
+	KindResponse uint8 = 2
+)
+
+// Header is the parsed packet header.
+type Header struct {
+	DstPort uint32
+	TransID uint32
+	Kind    uint8
+	Index   uint16
+	Count   uint16
+	SrcPort uint32
+	Op      uint16
+}
+
+// ErrShort reports a packet too short for the VMTP header.
+var ErrShort = errors.New("vmtp: truncated packet")
+
+// Marshal encodes a header and segment data into a VMTP packet.
+func Marshal(h Header, data []byte) []byte {
+	b := make([]byte, HeaderLen+len(data))
+	binary.BigEndian.PutUint32(b[0:], h.DstPort)
+	binary.BigEndian.PutUint32(b[4:], h.TransID)
+	b[8] = h.Kind
+	binary.BigEndian.PutUint16(b[10:], h.Index)
+	binary.BigEndian.PutUint16(b[12:], h.Count)
+	binary.BigEndian.PutUint32(b[14:], h.SrcPort)
+	binary.BigEndian.PutUint16(b[18:], h.Op)
+	copy(b[HeaderLen:], data)
+	return b
+}
+
+// Unmarshal parses a VMTP packet; data aliases b.
+func Unmarshal(b []byte) (Header, []byte, error) {
+	if len(b) < HeaderLen {
+		return Header{}, nil, ErrShort
+	}
+	return Header{
+		DstPort: binary.BigEndian.Uint32(b[0:]),
+		TransID: binary.BigEndian.Uint32(b[4:]),
+		Kind:    b[8],
+		Index:   binary.BigEndian.Uint16(b[10:]),
+		Count:   binary.BigEndian.Uint16(b[12:]),
+		SrcPort: binary.BigEndian.Uint32(b[14:]),
+		Op:      binary.BigEndian.Uint16(b[18:]),
+	}, b[HeaderLen:], nil
+}
+
+// PortFilter builds the packet-filter program selecting VMTP packets
+// for one port: destination-port words first (most selective, with
+// short-circuit exits), Ethernet type last — the figure 3-9 idiom.
+func PortFilter(link ethersim.LinkType, priority uint8, port uint32) filter.Filter {
+	hw := link.HeaderWords()
+	prog := filter.NewBuilder().
+		CANDWordEQ(hw+1, uint16(port)).   // port low word
+		CANDWordEQ(hw, uint16(port>>16)). // port high word
+		WordEQ(link.TypeWord(), ethersim.EtherTypeVMTP).
+		MustProgram()
+	return filter.Filter{Priority: priority, Program: prog}
+}
+
+// Segments splits a response message into group segments of at most
+// MaxSeg bytes; an empty message is one empty segment.
+func Segments(data []byte) [][]byte {
+	if len(data) == 0 {
+		return [][]byte{nil}
+	}
+	var segs [][]byte
+	for len(data) > 0 {
+		n := MaxSeg
+		if n > len(data) {
+			n = len(data)
+		}
+		segs = append(segs, data[:n])
+		data = data[n:]
+	}
+	return segs
+}

@@ -1,0 +1,268 @@
+package vmtp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{DstPort: 0xAABBCCDD, TransID: 42, Kind: KindResponse,
+		Index: 3, Count: 7, SrcPort: 0x11223344, Op: 9}
+	data := []byte("segment")
+	pkt := Marshal(h, data)
+	if len(pkt) != HeaderLen+len(data) {
+		t.Fatalf("len = %d", len(pkt))
+	}
+	got, gd, err := Unmarshal(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h || !bytes.Equal(gd, data) {
+		t.Fatalf("got %+v %q", got, gd)
+	}
+	if _, _, err := Unmarshal(pkt[:10]); err != ErrShort {
+		t.Fatal("short accepted")
+	}
+}
+
+func TestSegments(t *testing.T) {
+	segs := Segments(make([]byte, 2*MaxSeg+1))
+	if len(segs) != 3 || len(segs[2]) != 1 {
+		t.Fatalf("segments: %d", len(segs))
+	}
+	if segs := Segments(nil); len(segs) != 1 {
+		t.Fatal("empty message must be one segment")
+	}
+}
+
+func TestPortFilterSelectivity(t *testing.T) {
+	link := ethersim.Ether3Mb
+	f := PortFilter(link, 10, 0x12345678)
+	mk := func(port uint32, etherType uint16) []byte {
+		return link.Encode(2, 1, etherType, Marshal(Header{DstPort: port}, nil))
+	}
+	if !filter.Run(f.Program, mk(0x12345678, ethersim.EtherTypeVMTP)).Accept {
+		t.Error("own port rejected")
+	}
+	if filter.Run(f.Program, mk(0x12345679, ethersim.EtherTypeVMTP)).Accept {
+		t.Error("wrong port accepted")
+	}
+	if filter.Run(f.Program, mk(0x12345678, ethersim.EtherTypeIP)).Accept {
+		t.Error("wrong ether type accepted")
+	}
+}
+
+// vmtpRig wires a client host and server host with packet-filter
+// devices and kernel VMTP engines on a 10 Mb net.
+type vmtpRig struct {
+	s        *sim.Sim
+	net      *ethersim.Network
+	hc, hs   *sim.Host
+	dc, ds   *pfdev.Device
+	kc, ks   *KernelTransport
+	hwC, hwS ethersim.Addr
+}
+
+func newVMTPRig() *vmtpRig {
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether10Mb)
+	hc, hs := s.NewHost("client"), s.NewHost("server")
+	nc := net.Attach(hc, 0x0C)
+	ns := net.Attach(hs, 0x05)
+	kc := AttachKernel(nc, DefaultKernelConfig())
+	ks := AttachKernel(ns, DefaultKernelConfig())
+	return &vmtpRig{
+		s: s, net: net, hc: hc, hs: hs,
+		dc: pfdev.Attach(nc, kc, pfdev.Options{}),
+		ds: pfdev.Attach(ns, ks, pfdev.Options{}),
+		kc: kc, ks: ks,
+		hwC: nc.Addr(), hwS: ns.Addr(),
+	}
+}
+
+// echoHandler returns op-dependent test payloads.
+func echoHandler(blob []byte) Handler {
+	return func(op uint16, req []byte) []byte {
+		switch op {
+		case 0: // minimal: zero bytes
+			return nil
+		case 1: // echo
+			return req
+		default: // bulk read
+			return blob
+		}
+	}
+}
+
+func TestUserLevelTransaction(t *testing.T) {
+	for _, batch := range []bool{false, true} {
+		r := newVMTPRig()
+		blob := make([]byte, 3000)
+		for i := range blob {
+			blob[i] = byte(i * 13)
+		}
+		var resp, echo []byte
+		var callErr error
+		r.s.Spawn(r.hs, "server", func(p *sim.Proc) {
+			cfg := DefaultUserConfig()
+			cfg.Batch = batch
+			ep, err := NewUserEndpoint(p, r.ds, 500, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ep.Serve(p, echoHandler(blob), 200*time.Millisecond)
+		})
+		r.s.Spawn(r.hc, "client", func(p *sim.Proc) {
+			cfg := DefaultUserConfig()
+			cfg.Batch = batch
+			ep, err := NewUserEndpoint(p, r.dc, 600, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sleep(5 * time.Millisecond)
+			resp, callErr = ep.Call(p, r.hwS, 500, 2, nil)
+			if callErr == nil {
+				echo, callErr = ep.Call(p, r.hwS, 500, 1, []byte("marco"))
+			}
+		})
+		r.s.Run(0)
+		if callErr != nil {
+			t.Fatalf("batch=%v: %v", batch, callErr)
+		}
+		if !bytes.Equal(resp, blob) {
+			t.Fatalf("batch=%v: bulk response corrupted (%d bytes)", batch, len(resp))
+		}
+		if string(echo) != "marco" {
+			t.Fatalf("batch=%v: echo = %q", batch, echo)
+		}
+	}
+}
+
+func TestUserLevelRetransmission(t *testing.T) {
+	r := newVMTPRig()
+	r.net.DropFn = func(i uint64, _ []byte) bool { return i == 1 } // lose first request
+	var callErr error
+	var retrans int
+	r.s.Spawn(r.hs, "server", func(p *sim.Proc) {
+		ep, _ := NewUserEndpoint(p, r.ds, 500, DefaultUserConfig())
+		ep.Serve(p, echoHandler(nil), 400*time.Millisecond)
+	})
+	r.s.Spawn(r.hc, "client", func(p *sim.Proc) {
+		cfg := DefaultUserConfig()
+		cfg.RTO = 30 * time.Millisecond
+		ep, _ := NewUserEndpoint(p, r.dc, 600, cfg)
+		p.Sleep(5 * time.Millisecond)
+		_, callErr = ep.Call(p, r.hwS, 500, 1, []byte("x"))
+		retrans = ep.Retransmissions
+	})
+	r.s.Run(0)
+	if callErr != nil {
+		t.Fatal(callErr)
+	}
+	if retrans == 0 {
+		t.Error("expected a retransmission")
+	}
+}
+
+func TestKernelTransaction(t *testing.T) {
+	r := newVMTPRig()
+	blob := make([]byte, 5000)
+	for i := range blob {
+		blob[i] = byte(i * 31)
+	}
+	var resp []byte
+	var callErr error
+	r.s.Spawn(r.hs, "server", func(p *sim.Proc) {
+		svc := r.ks.Register(p, 500)
+		svc.Serve(p, echoHandler(blob), 200*time.Millisecond)
+	})
+	r.s.Spawn(r.hc, "client", func(p *sim.Proc) {
+		p.Sleep(5 * time.Millisecond)
+		resp, callErr = r.kc.Call(p, r.hwS, 500, 2, nil, 600)
+	})
+	r.s.Run(0)
+	if callErr != nil {
+		t.Fatal(callErr)
+	}
+	if !bytes.Equal(resp, blob) {
+		t.Fatalf("bulk response corrupted (%d bytes)", len(resp))
+	}
+}
+
+func TestKernelDuplicateReplayedWithoutServer(t *testing.T) {
+	r := newVMTPRig()
+	// Lose the whole first response group (frames 2..N); the client
+	// retry must be answered by the kernel replay without a second
+	// server wakeup.
+	r.net.DropFn = func(i uint64, f []byte) bool { return i == 2 }
+	served := 0
+	var callErr error
+	r.s.Spawn(r.hs, "server", func(p *sim.Proc) {
+		svc := r.ks.Register(p, 500)
+		served = svc.Serve(p, echoHandler(nil), 300*time.Millisecond)
+	})
+	r.s.Spawn(r.hc, "client", func(p *sim.Proc) {
+		p.Sleep(5 * time.Millisecond)
+		_, callErr = r.kc.Call(p, r.hwS, 500, 0, nil, 600)
+	})
+	r.s.Run(0)
+	if callErr != nil {
+		t.Fatal(callErr)
+	}
+	if served != 1 {
+		t.Fatalf("server woken %d times, want 1", served)
+	}
+}
+
+func TestKernelFewerDomainCrossingsThanUser(t *testing.T) {
+	// Figure 2-3: for the same bulk transaction the kernel engine
+	// must cross the kernel/user boundary far fewer times.
+	blob := make([]byte, 8000) // 16 response packets
+
+	runUser := func() uint64 {
+		r := newVMTPRig()
+		r.s.Spawn(r.hs, "server", func(p *sim.Proc) {
+			ep, _ := NewUserEndpoint(p, r.ds, 500, DefaultUserConfig())
+			ep.Serve(p, echoHandler(blob), 200*time.Millisecond)
+		})
+		var after vtime.Counters
+		r.s.Spawn(r.hc, "client", func(p *sim.Proc) {
+			ep, _ := NewUserEndpoint(p, r.dc, 600, DefaultUserConfig())
+			p.Sleep(5 * time.Millisecond)
+			before := r.hc.Counters
+			ep.Call(p, r.hwS, 500, 2, nil)
+			after = r.hc.Counters.Sub(before)
+		})
+		r.s.Run(0)
+		return after.DomainCrossings
+	}
+	runKernel := func() uint64 {
+		r := newVMTPRig()
+		r.s.Spawn(r.hs, "server", func(p *sim.Proc) {
+			svc := r.ks.Register(p, 500)
+			svc.Serve(p, echoHandler(blob), 200*time.Millisecond)
+		})
+		var after vtime.Counters
+		r.s.Spawn(r.hc, "client", func(p *sim.Proc) {
+			p.Sleep(5 * time.Millisecond)
+			before := r.hc.Counters
+			r.kc.Call(p, r.hwS, 500, 2, nil, 600)
+			after = r.hc.Counters.Sub(before)
+		})
+		r.s.Run(0)
+		return after.DomainCrossings
+	}
+	u, k := runUser(), runKernel()
+	if k*4 > u {
+		t.Fatalf("kernel engine crossings %d not well below user %d", k, u)
+	}
+}

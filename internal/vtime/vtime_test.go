@@ -1,0 +1,93 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultCostsMatchPaperCalibration(t *testing.T) {
+	c := DefaultCosts()
+	// The constants the paper states directly.
+	if c.CtxSwitch != 400*Microsecond {
+		t.Errorf("CtxSwitch = %v, §6.5.2 says ~0.4 mSec", c.CtxSwitch)
+	}
+	if c.CopyPerKB != 1000*Microsecond {
+		t.Errorf("CopyPerKB = %v, §6.5.2 says ~1 mSec/KB", c.CopyPerKB)
+	}
+	// "about 0.5 mSec of CPU time to transfer a short packet": a
+	// 128-byte copy must land near that.
+	short := c.Copy(128)
+	if short < 400*Microsecond || short > 600*Microsecond {
+		t.Errorf("Copy(128) = %v, want ~0.5 mSec", short)
+	}
+	// Table 6-10's slope: ~28.6 µs per filter instruction.
+	if c.FilterInstr < 25*Microsecond || c.FilterInstr > 32*Microsecond {
+		t.Errorf("FilterInstr = %v, want ~28.6 µSec", c.FilterInstr)
+	}
+	// §6.1: kernel IP input 0.49 mSec, full transport path 1.77.
+	if c.IPInput != 490*Microsecond {
+		t.Errorf("IPInput = %v", c.IPInput)
+	}
+	if got := c.IPInput + c.TransportInput; got != 1770*Microsecond {
+		t.Errorf("IP+transport = %v, want 1.77 mSec", got)
+	}
+	// §7: microtime ~70 µs.
+	if c.Timestamp != 70*Microsecond {
+		t.Errorf("Timestamp = %v", c.Timestamp)
+	}
+}
+
+func TestCopyScalesLinearly(t *testing.T) {
+	c := DefaultCosts()
+	if c.Copy(0) != c.CopyFixed {
+		t.Error("Copy(0) != CopyFixed")
+	}
+	if got := c.Copy(2048) - c.Copy(1024); got != c.CopyPerKB {
+		t.Errorf("per-KB increment = %v", got)
+	}
+	if c.Checksum(1024) != c.ChecksumPerKB {
+		t.Errorf("Checksum(1KB) = %v", c.Checksum(1024))
+	}
+	if c.Checksum(0) != 0 {
+		t.Error("Checksum(0) != 0")
+	}
+}
+
+func TestZeroCostsChargeNothing(t *testing.T) {
+	var c Costs
+	if c.Copy(4096) != 0 || c.Checksum(4096) != 0 {
+		t.Error("zero Costs charged time")
+	}
+}
+
+func TestCountersAddSubInverse(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint64) bool {
+		a := Counters{Syscalls: a1, Copies: a2, PacketsIn: a1 ^ a2}
+		b := Counters{Syscalls: b1, Copies: b2, FilterInstrs: b1 & b2}
+		sum := a
+		sum.Add(b)
+		return sum.Sub(b) == a && sum.Sub(a) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountersSubAllFields(t *testing.T) {
+	a := Counters{
+		ContextSwitches: 10, Syscalls: 9, DomainCrossings: 8, Copies: 7,
+		BytesCopied: 6, Wakeups: 5, PacketsIn: 4, PacketsOut: 3,
+		FilterApplied: 2, FilterInstrs: 1, PacketsMatched: 11, PacketsDropped: 12,
+	}
+	z := a.Sub(a)
+	if z != (Counters{}) {
+		t.Fatalf("a-a = %+v", z)
+	}
+}
+
+func TestUnitAliases(t *testing.T) {
+	if Microsecond != time.Microsecond || Millisecond != time.Millisecond || Second != time.Second {
+		t.Fatal("unit aliases drifted")
+	}
+}

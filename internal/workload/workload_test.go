@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/inet"
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+func TestMixProportions(t *testing.T) {
+	g := NewGenerator(1, ethersim.Ether10Mb, PaperMix(), []uint32{1, 2, 3})
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if f := g.Frame(2, 1); len(f) == 0 {
+			t.Fatal("empty frame")
+		}
+	}
+	within := func(got, wantPct, tolPct int) bool {
+		want := n * wantPct / 100
+		tol := n * tolPct / 100
+		return got > want-tol && got < want+tol
+	}
+	if !within(g.SentPF, 21, 3) || !within(g.SentIP, 69, 3) || !within(g.SentARP, 10, 3) {
+		t.Fatalf("mix: pf=%d ip=%d arp=%d other=%d",
+			g.SentPF, g.SentIP, g.SentARP, g.SentOther)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1 := NewGenerator(7, ethersim.Ether3Mb, PaperMix(), []uint32{5, 6})
+	g2 := NewGenerator(7, ethersim.Ether3Mb, PaperMix(), []uint32{5, 6})
+	for i := 0; i < 200; i++ {
+		a, b := g1.Frame(2, 1), g2.Frame(2, 1)
+		if len(a) != len(b) {
+			t.Fatalf("frame %d: lengths differ", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("frame %d differs at byte %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSocketBiasSkewsTraffic(t *testing.T) {
+	sockets := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	g := NewGenerator(3, ethersim.Ether3Mb, Mix{PctPF: 100}, sockets)
+	g.SocketBias = 0.7
+	counts := make(map[uint32]int)
+	for i := 0; i < 2000; i++ {
+		counts[g.pickSocket()]++
+	}
+	if counts[sockets[0]] <= counts[sockets[len(sockets)-1]] {
+		t.Fatalf("bias ineffective: first=%d last=%d",
+			counts[sockets[0]], counts[sockets[len(sockets)-1]])
+	}
+}
+
+func TestGeneratedFramesParseEverywhere(t *testing.T) {
+	// The generated mix must be consumable by the real kernel stack
+	// and the packet filter without errors.
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether10Mb)
+	ha, hb := s.NewHost("src"), s.NewHost("dst")
+	na := net.Attach(ha, 1)
+	nb := net.Attach(hb, 2)
+	stack := inet.NewStack(nb, 0x0A000002)
+	dev := pfdev.Attach(nb, stack, pfdev.Options{})
+
+	var pfGot int
+	s.Spawn(hb, "pf", func(p *sim.Proc) {
+		port := dev.Open(p)
+		port.SetFilter(p, filter.Filter{Priority: 10,
+			Program: filter.NewBuilder().
+				WordEQ(ethersim.Ether10Mb.TypeWord(), ethersim.EtherTypePup).
+				MustProgram()})
+		port.SetTimeout(p, 100*time.Millisecond)
+		port.SetQueueLimit(p, 1000)
+		for {
+			if _, err := port.Read(p); err != nil {
+				return
+			}
+			pfGot++
+		}
+	})
+	g := NewGenerator(11, ethersim.Ether10Mb, PaperMix(), []uint32{0x100})
+	s.Spawn(ha, "src", func(p *sim.Proc) {
+		p.Sleep(5 * time.Millisecond)
+		g.Drive(p, na, 2, 200, 2*time.Millisecond)
+	})
+	s.Run(0)
+	if g.SentPF > 0 && pfGot != g.SentPF {
+		t.Fatalf("pf delivered %d of %d pup packets", pfGot, g.SentPF)
+	}
+	if g.SentIP > 0 && stack.IPIn == 0 {
+		t.Fatal("kernel stack saw no IP")
+	}
+	if g.SentARP > 0 && stack.ARPIn == 0 {
+		t.Fatal("kernel stack saw no ARP")
+	}
+}
