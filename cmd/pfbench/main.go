@@ -2,46 +2,106 @@
 // evaluation on the simulated substrate and prints them in the paper's
 // layout.  Run with -id to select one experiment:
 //
-//	pfbench            # run everything
-//	pfbench -id t6-2   # just table 6-2
-//	pfbench -list      # list experiment ids
+//	pfbench                  # run everything
+//	pfbench -id t6-2         # just table 6-2
+//	pfbench -list            # list experiment ids
+//	pfbench -json            # tables as JSON
+//	pfbench -id s6-1 -trace  # also print the trace-derived kernel profile
+//	pfbench -chrome out.json # dump the runs as a Chrome/Perfetto trace
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/trace"
 )
 
 func main() {
 	id := flag.String("id", "", "run only the experiment with this id")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
+	asJSON := flag.Bool("json", false, "emit tables (and any trace snapshot) as JSON")
+	withTrace := flag.Bool("trace", false, "run under a tracer and report the metrics snapshot")
+	chromeFile := flag.String("chrome", "", "write a Chrome trace-event JSON of the runs to this file")
 	flag.Parse()
 
-	tables := bench.All()
+	var tr *trace.Tracer
+	var rec *trace.Recorder
+	if *withTrace || *chromeFile != "" || (*asJSON && *withTrace) {
+		tr = trace.New()
+		if *chromeFile != "" {
+			rec = &trace.Recorder{}
+			tr.SetSink(rec)
+		}
+		bench.Tracer = tr
+	}
+
+	exps := bench.Experiments()
 	if *list {
-		for _, t := range tables {
+		for _, e := range exps {
+			t := e.Run()
 			fmt.Printf("%-12s %s\n", t.ID, t.Title)
 		}
 		return
 	}
-	found := false
-	for _, t := range tables {
-		if *id != "" && t.ID != *id {
+	// Run only the selected experiments: with -id and -trace this keeps
+	// the metrics snapshot scoped to that experiment's rigs.
+	var selected []bench.Table
+	for _, e := range exps {
+		if *id != "" && e.ID != *id {
 			continue
 		}
-		found = true
-		if *md {
+		selected = append(selected, e.Run())
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "pfbench: no experiment %q (try -list)\n", *id)
+		os.Exit(1)
+	}
+
+	switch {
+	case *asJSON:
+		report := struct {
+			Tables []bench.Table   `json:"tables"`
+			Trace  *trace.Snapshot `json:"trace,omitempty"`
+		}{Tables: selected}
+		if tr != nil {
+			report.Trace = tr.Snapshot()
+		}
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(raw))
+	case *md:
+		for _, t := range selected {
 			fmt.Println(t.Markdown())
-		} else {
+		}
+	default:
+		for _, t := range selected {
 			fmt.Println(t)
 		}
 	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "pfbench: no experiment %q (try -list)\n", *id)
-		os.Exit(1)
+
+	if tr != nil && !*asJSON {
+		fmt.Println("--- trace snapshot (selected experiment rigs) ---")
+		fmt.Print(tr.Snapshot().Text())
+	}
+	if *chromeFile != "" {
+		f, err := os.Create(*chromeFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteChromeTrace(f, rec.Events); err != nil {
+			fmt.Fprintln(os.Stderr, "pfbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pfbench: wrote %d trace events to %s\n", len(rec.Events), *chromeFile)
 	}
 }

@@ -5,13 +5,17 @@
 // with the copy-all option, and prints a tcpdump-style trace and
 // per-protocol statistics.
 //
-//	pfmon [-link 3mb|10mb] [-n packets] [-trace lines] [-seed s]
-//	      [-filter expr] [-w file] [-r file]
+//	pfmon [-link 3mb|10mb] [-n packets] [-lines n] [-seed s]
+//	      [-filter expr] [-w file] [-r file] [-json] [-trace file]
 //
 // -w saves the capture to a trace file; -r skips the simulation and
 // analyzes a previously saved trace instead ("all the tools of the
 // workstation are available for manipulating and analyzing packet
 // traces", §5.4).
+//
+// -json prints the run's virtual-time metrics snapshot (counters,
+// latency percentiles, kernel profile); -trace writes the full event
+// stream as Chrome trace-event JSON, which opens in Perfetto.
 //
 // -filter takes a tcpdump-style expression (see internal/fexpr), e.g.
 // 'pup and pup dstsocket 0x123' or 'not ip', applied in the simulated
@@ -32,6 +36,7 @@ import (
 	"repro/internal/pfdev"
 	"repro/internal/pup"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 	"repro/internal/workload"
 )
@@ -39,14 +44,19 @@ import (
 func main() {
 	linkName := flag.String("link", "3mb", "network type: 3mb or 10mb")
 	n := flag.Int("n", 60, "background packets to generate")
-	trace := flag.Int("trace", 25, "trace lines to print")
+	lines := flag.Int("lines", 25, "trace lines to print")
 	seed := flag.Int64("seed", 1, "workload random seed")
 	filterExpr := flag.String("filter", "", "capture filter expression (fexpr syntax)")
 	writeFile := flag.String("w", "", "save the capture to this trace file")
 	readFile := flag.String("r", "", "analyze a saved trace file instead of simulating")
+	asJSON := flag.Bool("json", false, "print the virtual-time metrics snapshot as JSON")
+	traceFile := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	flag.Parse()
 
 	if *readFile != "" {
+		if *asJSON || *traceFile != "" {
+			fmt.Fprintln(os.Stderr, "pfmon: -json/-trace need a live simulation; ignored with -r")
+		}
 		f, err := os.Open(*readFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pfmon:", err)
@@ -54,7 +64,7 @@ func main() {
 		}
 		defer f.Close()
 		m := monitor.New(nil)
-		m.Keep = *trace
+		m.Keep = *lines
 		if _, err := m.LoadTrace(f); err != nil {
 			fmt.Fprintln(os.Stderr, "pfmon:", err)
 			os.Exit(1)
@@ -76,6 +86,16 @@ func main() {
 	}
 
 	s := sim.New(vtime.DefaultCosts())
+	var tr *trace.Tracer
+	var rec *trace.Recorder
+	if *asJSON || *traceFile != "" {
+		tr = trace.New()
+		if *traceFile != "" {
+			rec = &trace.Recorder{}
+			tr.SetSink(rec)
+		}
+		s.SetTracer(tr)
+	}
 	net := ethersim.New(s, link)
 	src := s.NewHost("src")
 	dst := s.NewHost("dst")
@@ -92,7 +112,7 @@ func main() {
 	devMon := pfdev.Attach(nicMon, nil, pfdev.Options{})
 
 	m := monitor.New(devMon)
-	m.Keep = *trace
+	m.Keep = *lines
 	m.KeepRaw = *writeFile != ""
 	if *filterExpr != "" {
 		prog, _, err := fexpr.Compile(*filterExpr, link)
@@ -156,5 +176,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d packets to %s\n", m.Stats.Packets, *writeFile)
+	}
+
+	if *asJSON {
+		raw, err := tr.Snapshot().JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfmon:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s\n", raw)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfmon:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteChromeTrace(f, rec.Events); err != nil {
+			fmt.Fprintln(os.Stderr, "pfmon:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d trace events to %s\n", len(rec.Events), *traceFile)
 	}
 }

@@ -1,0 +1,165 @@
+// Pfstat is the observability front end for the simulated packet
+// filter: it drives the paper's mixed traffic profile (21% packet
+// filter / 69% kernel IP / 10% ARP, §6.1) at a receiver with a
+// configurable port population, watches the whole run through the
+// virtual-time tracer, and reports where the kernel time went.
+//
+//	pfstat [-link 3mb|10mb] [-n packets] [-ports k] [-seed s]
+//	       [-json] [-chrome file]
+//
+// The default output is a set of text tables: event counters, queue
+// gauges, arrival-to-delivery latency percentiles, the per-host
+// kernel-time profile with its §6.1 packet-filter summary, per-port
+// statistics, and the static instruction mix of the bound filters.
+// -json emits the same data machine-readably; -chrome writes the full
+// event stream as Chrome trace-event JSON, which opens in Perfetto
+// (ui.perfetto.dev) as a per-host timeline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/inet"
+	"repro/internal/pfdev"
+	"repro/internal/pup"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+	"repro/internal/workload"
+)
+
+func main() {
+	linkName := flag.String("link", "10mb", "network type: 3mb or 10mb")
+	n := flag.Int("n", 400, "packets of mixed traffic to generate")
+	nPorts := flag.Int("ports", 8, "packet-filter ports at the receiver")
+	seed := flag.Int64("seed", 42, "workload random seed")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	chromeFile := flag.String("chrome", "", "write Chrome trace-event JSON (Perfetto) to this file")
+	flag.Parse()
+
+	link := ethersim.Ether3Mb
+	if *linkName == "10mb" {
+		link = ethersim.Ether10Mb
+	} else if *linkName != "3mb" {
+		fmt.Fprintln(os.Stderr, "pfstat: -link must be 3mb or 10mb")
+		os.Exit(2)
+	}
+	if *nPorts < 1 {
+		fmt.Fprintln(os.Stderr, "pfstat: -ports must be at least 1")
+		os.Exit(2)
+	}
+
+	tr := trace.New()
+	var rec *trace.Recorder
+	if *chromeFile != "" {
+		rec = &trace.Recorder{}
+		tr.SetSink(rec)
+	}
+
+	s := sim.New(vtime.DefaultCosts())
+	s.SetTracer(tr)
+	net := ethersim.New(s, link)
+	src := s.NewHost("src")
+	recv := s.NewHost("recv")
+	nicSrc := net.Attach(src, 1)
+	nicRecv := net.Attach(recv, 2)
+
+	stack := inet.NewStack(nicRecv, 0x0A000002)
+	dev := pfdev.Attach(nicRecv, stack, pfdev.Options{Reorder: true})
+	pfdev.Attach(nicSrc, nil, pfdev.Options{})
+
+	// A kernel UDP sink so the IP share of the mix terminates in a
+	// real protocol, and one Pup reader per packet-filter port.
+	s.Spawn(recv, "udp-sink", func(p *sim.Proc) {
+		u, err := stack.UDPBind(p, 1)
+		if err != nil {
+			return
+		}
+		u.SetTimeout(300 * time.Millisecond)
+		for {
+			if _, err := u.Recv(p); err != nil {
+				return
+			}
+		}
+	})
+	sockets := make([]uint32, *nPorts)
+	for i := range sockets {
+		sockets[i] = uint32(0x100 + i)
+		sock := sockets[i]
+		s.Spawn(recv, fmt.Sprintf("pup-%d", i), func(p *sim.Proc) {
+			ps, err := pup.Open(p, dev, pup.PortAddr{Net: 1, Host: 2, Socket: sock}, 10)
+			if err != nil {
+				return
+			}
+			ps.Batch = true
+			ps.SetTimeout(p, 300*time.Millisecond)
+			for {
+				if _, err := ps.Recv(p); err != nil {
+					return
+				}
+			}
+		})
+	}
+
+	gen := workload.NewGenerator(*seed, link, workload.PaperMix(), sockets)
+	gen.SocketBias = 0.4
+	s.Spawn(src, "traffic", func(p *sim.Proc) {
+		p.Sleep(time.Duration(20+4**nPorts) * time.Millisecond)
+		gen.Drive(p, nicSrc, 2, *n, 4*time.Millisecond)
+	})
+	s.Run(5 * time.Minute)
+
+	// Collect the per-port statistics with a real status-read ioctl.
+	var ports []pfdev.PortStats
+	s.Spawn(recv, "pfstat", func(p *sim.Proc) { ports = dev.PortStats(p) })
+	s.Run(0)
+
+	snap := tr.Snapshot()
+	if *asJSON {
+		report := struct {
+			Trace *trace.Snapshot   `json:"trace"`
+			Ports []pfdev.PortStats `json:"ports"`
+		}{Trace: snap, Ports: ports}
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfstat:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(raw))
+	} else {
+		fmt.Print(snap.Text())
+		fmt.Println("\nper-port statistics")
+		fmt.Printf("  %4s %4s %6s %5s %5s %8s %8s %6s %7s %7s\n",
+			"port", "prio", "queued", "maxq", "drops", "matched", "instrs",
+			"reads", "batches", "batched")
+		for _, ps := range ports {
+			fmt.Printf("  %4d %4d %6d %5d %5d %8d %8d %6d %7d %7d\n",
+				ps.ID, ps.Priority, ps.Queued, ps.MaxQueued, ps.Dropped,
+				ps.Matched, ps.FilterInstrs, ps.Reads, ps.BatchReads, ps.BatchPackets)
+		}
+		// Every reader binds the same socket-demux program shape;
+		// its static instruction mix explains the pf.instrs column.
+		mix := filter.MixOf(pup.SocketFilter(link, 10, sockets[0]).Program)
+		fmt.Printf("\nbound filter mix (per port): %s\n", mix)
+	}
+
+	if *chromeFile != "" {
+		f, err := os.Create(*chromeFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfstat:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteChromeTrace(f, rec.Events); err != nil {
+			fmt.Fprintln(os.Stderr, "pfstat:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pfstat: wrote %d trace events to %s\n", len(rec.Events), *chromeFile)
+	}
+}

@@ -18,17 +18,22 @@ import (
 	"repro/internal/inet"
 	"repro/internal/pfdev"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vmtp"
 	"repro/internal/vtime"
 )
 
+// Tracer, when set, is attached to every experiment rig, so the whole
+// benchmark suite can run under observation (cmd/pfbench -trace).
+var Tracer *trace.Tracer
+
 // Table is one regenerated paper table or figure.
 type Table struct {
-	ID      string // experiment id from DESIGN.md, e.g. "t6-2"
-	Title   string // the paper's caption
-	Columns []string
-	Rows    [][]string
-	Notes   []string // shape commentary, paper values, caveats
+	ID      string     `json:"id"`    // experiment id from DESIGN.md, e.g. "t6-2"
+	Title   string     `json:"title"` // the paper's caption
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"` // shape commentary, paper values, caveats
 }
 
 // String renders the table as aligned text.
@@ -146,6 +151,9 @@ func newRig(o rigOptions) *rig {
 		o.costs = vtime.DefaultCosts()
 	}
 	s := sim.New(o.costs)
+	if Tracer != nil {
+		s.SetTracer(Tracer)
+	}
 	net := ethersim.New(s, o.link)
 	hA, hB := s.NewHost("A"), s.NewHost("B")
 	r := &rig{
@@ -173,30 +181,49 @@ func newRig(o rigOptions) *rig {
 	return r
 }
 
+// An Experiment pairs a table id with the function that regenerates
+// it, so callers can run a single experiment without paying for (or —
+// when tracing, since rigs reuse host names — polluting the metrics
+// of) all the others.
+type Experiment struct {
+	ID  string
+	Run func() Table
+}
+
+// Experiments lists every experiment in DESIGN.md order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig2-1/2-2", Fig21DemuxCounts},
+		{"fig2-3", Fig23DomainCrossings},
+		{"fig3-4/3-5", Fig34Batching},
+		{"t6-1", Table61Send},
+		{"t6-2", Table62VMTPSmall},
+		{"t6-3", Table63VMTPBulk},
+		{"t6-4", Table64Batching},
+		{"t6-5", Table65UserDemux},
+		{"t6-6", Table66Stream},
+		{"t6-7", Table67Telnet},
+		{"t6-8", Table68RecvCost},
+		{"t6-9", Table69RecvBatch},
+		{"t6-10", Table610FilterLen},
+		{"s6-1", Sec61Profile},
+		{"s6-1-fit", Sec61LinearFit},
+		{"s6-5-break", Sec65BreakEven},
+		{"abl-eval", AblationEvalModes},
+		{"abl-sc", AblationShortCircuit},
+		{"abl-prio", AblationPriorityOrder},
+		{"abl-nit", AblationNIT},
+		{"abl-wbatch", AblationWriteBatch},
+		{"abl-gw", AblationGateway},
+	}
+}
+
 // All runs every experiment in DESIGN.md order.
 func All() []Table {
-	return []Table{
-		Fig21DemuxCounts(),
-		Fig23DomainCrossings(),
-		Fig34Batching(),
-		Table61Send(),
-		Table62VMTPSmall(),
-		Table63VMTPBulk(),
-		Table64Batching(),
-		Table65UserDemux(),
-		Table66Stream(),
-		Table67Telnet(),
-		Table68RecvCost(),
-		Table69RecvBatch(),
-		Table610FilterLen(),
-		Sec61Profile(),
-		Sec61LinearFit(),
-		Sec65BreakEven(),
-		AblationEvalModes(),
-		AblationShortCircuit(),
-		AblationPriorityOrder(),
-		AblationNIT(),
-		AblationWriteBatch(),
-		AblationGateway(),
+	exps := Experiments()
+	tables := make([]Table, len(exps))
+	for i, e := range exps {
+		tables[i] = e.Run()
 	}
+	return tables
 }

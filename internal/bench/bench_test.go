@@ -394,3 +394,20 @@ func TestAllRuns(t *testing.T) {
 		seen[tb.ID] = true
 	}
 }
+
+// The Experiments registry declares each table's id statically so
+// callers can select one experiment without running the rest; a drift
+// between a declared id and the id of the table the function actually
+// builds would silently break that selection.
+func TestExperimentIDsMatchTables(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range Experiments() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if got := e.Run().ID; got != e.ID {
+			t.Errorf("experiment registered as %q builds table %q", e.ID, got)
+		}
+	}
+}

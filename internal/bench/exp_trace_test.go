@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestTracedProfileMatchesExperiment checks the tentpole parity
+// guarantee: the trace-derived §6.1 profile reports exactly the same
+// kernel-time split as the experiment's own accounting, because both
+// are fed from the same completion points in the simulator.
+func TestTracedProfileMatchesExperiment(t *testing.T) {
+	tr := trace.New()
+	Tracer = tr
+	defer func() { Tracer = nil }()
+
+	res := runProfile(12, 800, true, 0.4)
+	if res.pfPackets == 0 {
+		t.Fatal("profile workload saw no packet-filter traffic")
+	}
+
+	pf, ok := tr.Snapshot().PF("B")
+	if !ok {
+		t.Fatal("trace snapshot has no packet-filter profile for host B")
+	}
+	if pf.Packets != res.pfPackets {
+		t.Errorf("packets: trace %d, experiment %d", pf.Packets, res.pfPackets)
+	}
+	if pf.PerPacket != res.perPacket {
+		t.Errorf("per-packet: trace %v, experiment %v", pf.PerPacket, res.perPacket)
+	}
+	if pf.FilterFraction != res.filterFraction {
+		t.Errorf("filter fraction: trace %v, experiment %v",
+			pf.FilterFraction, res.filterFraction)
+	}
+	if pf.AvgPredicates != res.avgPredicates {
+		t.Errorf("avg predicates: trace %v, experiment %v",
+			pf.AvgPredicates, res.avgPredicates)
+	}
+}

@@ -287,10 +287,17 @@ func (n *Network) pumpWire() {
 	if !lost && n.DropFn != nil {
 		lost = n.DropFn(n.FramesOnWire, job.frame)
 	}
+	txTime := time.Duration(int64(len(job.frame)) * 8 * int64(time.Second) / n.link.Bandwidth())
+	tr := n.s.Tracer()
+	if tr != nil {
+		tr.WireTx(n.s.Now(), job.from.host.Name(), len(job.frame), txTime)
+	}
 	if lost {
 		n.Dropped++
+		if tr != nil {
+			tr.Drop(n.s.Now(), job.from.host.Name(), "wire")
+		}
 	}
-	txTime := time.Duration(int64(len(job.frame)) * 8 * int64(time.Second) / n.link.Bandwidth())
 	n.s.After(txTime, func() {
 		n.wireBusy = false
 		if !lost {
@@ -326,6 +333,9 @@ func (nic *NIC) receive(frame []byte) {
 		nic.Drops++
 		nic.host.Counters.PacketsDropped++
 		nic.host.Sim().Counters.PacketsDropped++
+		if tr := nic.host.Sim().Tracer(); tr != nil {
+			tr.Drop(nic.host.Sim().Now(), nic.host.Name(), "nic")
+		}
 		return
 	}
 	nic.pending++
@@ -333,6 +343,9 @@ func (nic *NIC) receive(frame []byte) {
 	h := nic.host
 	h.Counters.PacketsIn++
 	h.Sim().Counters.PacketsIn++
+	if tr := h.Sim().Tracer(); tr != nil {
+		tr.WireRx(h.Sim().Now(), h.Name(), len(frame))
+	}
 	h.RunKernel("driver", h.Costs().DriverRecv, func() {
 		nic.pending--
 		if nic.Handler != nil {

@@ -1,0 +1,85 @@
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpMix is a static instruction-mix analysis of a filter program: how
+// many words it occupies, which stack actions and operators it uses,
+// and how many of its operators can short-circuit.  The §3.1 design
+// history turned on exactly this kind of census ("an analysis showed
+// that they would reduce the cost of interpreting filter predicates"),
+// and pfstat reports it per bound filter so the cost a trace attributes
+// to predicate evaluation can be read against the programs that caused
+// it.
+//
+// The analysis is static — it never touches the interpreter hot path,
+// so observability of the instruction mix costs nothing per packet.
+type OpMix struct {
+	Words         int            `json:"words"`          // program length incl. literal operands
+	Instrs        int            `json:"instrs"`         // instruction words (operands excluded)
+	Actions       map[string]int `json:"actions"`        // mnemonic -> count (pushes only)
+	Ops           map[string]int `json:"ops"`            // mnemonic -> count (NOP excluded)
+	ShortCircuits int            `json:"short_circuits"` // COR/CAND/CNOR/CNAND operators
+	Comparisons   int            `json:"comparisons"`    // EQ..GE operators
+}
+
+// MixOf computes the instruction mix of a program.  Literal operand
+// words (following PUSHLIT/PUSHBYTE) are counted in Words but not
+// classified; a truncated trailing operand is simply not there to
+// classify, exactly as the checked interpreter treats it.
+func MixOf(p Program) OpMix {
+	m := OpMix{
+		Words:   len(p),
+		Actions: make(map[string]int),
+		Ops:     make(map[string]int),
+	}
+	for i := 0; i < len(p); i++ {
+		w := p[i]
+		m.Instrs++
+		a, op := w.Action(), w.Op()
+		if a != NOPUSH {
+			m.Actions[a.String()]++
+		}
+		if op != NOP {
+			m.Ops[op.String()]++
+		}
+		if op.IsShortCircuit() {
+			m.ShortCircuits++
+		}
+		if op.IsComparison() {
+			m.Comparisons++
+		}
+		if a.HasOperand() {
+			i++ // skip the literal operand word
+		}
+	}
+	return m
+}
+
+// String renders the mix on one line, mnemonics sorted, e.g.
+// "6 words, 4 instrs; actions PUSHLIT:2 PUSHWORD+1:1 ...; ops CAND:1 EQ:1".
+func (m OpMix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d words, %d instrs", m.Words, m.Instrs)
+	for _, part := range []struct {
+		label string
+		set   map[string]int
+	}{{"actions", m.Actions}, {"ops", m.Ops}} {
+		if len(part.set) == 0 {
+			continue
+		}
+		names := make([]string, 0, len(part.set))
+		for n := range part.set {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "; %s", part.label)
+		for _, n := range names {
+			fmt.Fprintf(&b, " %s:%d", n, part.set[n])
+		}
+	}
+	return b.String()
+}

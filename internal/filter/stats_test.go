@@ -1,0 +1,40 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMixOf(t *testing.T) {
+	// PUSHWORD+3, PUSHLIT|CAND <lit>, PUSHWORD+5, PUSHLIT|EQ <lit>
+	p := Program{
+		MkInstr(PushWord(3), NOP),
+		MkInstr(PUSHLIT, CAND), 0x1234,
+		MkInstr(PushWord(5), NOP),
+		MkInstr(PUSHLIT, EQ), 0x5678,
+	}
+	m := MixOf(p)
+	if m.Words != 6 || m.Instrs != 4 {
+		t.Fatalf("words/instrs = %d/%d, want 6/4", m.Words, m.Instrs)
+	}
+	if m.Actions["PUSHLIT"] != 2 || m.Actions["PUSHWORD+3"] != 1 || m.Actions["PUSHWORD+5"] != 1 {
+		t.Fatalf("actions = %v", m.Actions)
+	}
+	if m.Ops["CAND"] != 1 || m.Ops["EQ"] != 1 || len(m.Ops) != 2 {
+		t.Fatalf("ops = %v", m.Ops)
+	}
+	if m.ShortCircuits != 1 || m.Comparisons != 1 {
+		t.Fatalf("short-circuits/comparisons = %d/%d", m.ShortCircuits, m.Comparisons)
+	}
+	s := m.String()
+	for _, want := range []string{"6 words", "4 instrs", "PUSHLIT:2", "CAND:1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	// A literal operand that happens to encode like an instruction
+	// must not be classified.
+	if MixOf(Program{MkInstr(PUSHLIT, NOP), MkInstr(PushWord(9), EQ)}).Instrs != 1 {
+		t.Fatal("operand word was classified as an instruction")
+	}
+}

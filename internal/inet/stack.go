@@ -92,6 +92,9 @@ func (st *Stack) inputIP(payload []byte) {
 		return
 	}
 	st.IPIn++
+	if tr := st.host.Sim().Tracer(); tr != nil {
+		tr.Proto(st.host.Sim().Now(), st.host.Name(), "ip_in")
+	}
 	switch h.Proto {
 	case ProtoUDP:
 		st.host.RunKernel("ip", costs.IPInput, func() {
@@ -121,6 +124,9 @@ func (st *Stack) sendIP(h IPHdr, seg []byte, checksumBytes int) {
 	pkt := MarshalIP(h, seg)
 	cost := costs.IPOutput + costs.DriverSend + costs.Checksum(checksumBytes)
 	st.IPOut++
+	if tr := st.host.Sim().Tracer(); tr != nil {
+		tr.Proto(st.host.Sim().Now(), st.host.Name(), "ip_out")
+	}
 	st.host.RunKernel("ip", cost, func() {
 		st.transmitResolved(h.Dst, pkt)
 	})
@@ -218,6 +224,9 @@ func (st *Stack) sendARP(op uint16, target Addr, targetHW ethersim.Addr) {
 
 func (st *Stack) inputARP(payload []byte) {
 	st.ARPIn++
+	if tr := st.host.Sim().Tracer(); tr != nil {
+		tr.Proto(st.host.Sim().Now(), st.host.Name(), "arp_in")
+	}
 	link := st.nic.Network().Link()
 	costs := st.host.Costs()
 	op, senderHW, senderIP, _, targetIP, ok := unmarshalARP(payload, link)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/pup"
 	"repro/internal/rarp"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vmtp"
 	"repro/internal/vtime"
 )
@@ -80,9 +81,14 @@ type results struct {
 	totalSwitch uint64
 }
 
-func runEverything(t *testing.T) results {
+// runEverything drives the whole scenario; tr, when non-nil, observes
+// the run (the traced-determinism test passes a recording tracer).
+func runEverything(t *testing.T, tr *trace.Tracer) results {
 	t.Helper()
 	w := newWorld()
+	if tr != nil {
+		w.s.SetTracer(tr)
+	}
 	var res results
 	tcpData := bytes.Repeat([]byte("kernel tcp "), 1000) // ~11 KB
 	bspData := bytes.Repeat([]byte("user bsp "), 800)    // ~7 KB
@@ -259,7 +265,7 @@ func runEverything(t *testing.T) results {
 }
 
 func TestEverythingCoexists(t *testing.T) {
-	res := runEverything(t)
+	res := runEverything(t, nil)
 	if res.tcpBytes != 11000 {
 		t.Errorf("tcp received %d bytes", res.tcpBytes)
 	}
@@ -295,8 +301,8 @@ func TestEverythingCoexists(t *testing.T) {
 // bit-identical timing and counters — the property that makes every
 // benchmark in this repository reproducible.
 func TestWholeSystemDeterminism(t *testing.T) {
-	a := runEverything(t)
-	b := runEverything(t)
+	a := runEverything(t, nil)
+	b := runEverything(t, nil)
 	if a.endTime != b.endTime {
 		t.Fatalf("end times differ: %v vs %v", a.endTime, b.endTime)
 	}
@@ -311,6 +317,51 @@ func TestWholeSystemDeterminism(t *testing.T) {
 	}
 	if a.monPackets != b.monPackets {
 		t.Fatalf("monitor captures differ: %d vs %d", a.monPackets, b.monPackets)
+	}
+}
+
+// TestTracedRunsAreDeterministic extends the determinism guarantee to
+// the observability layer: two identical traced runs must produce
+// bit-identical event streams and metric snapshots, and attaching a
+// tracer must not perturb the simulation itself.
+func TestTracedRunsAreDeterministic(t *testing.T) {
+	run := func() (results, []trace.Event, []byte) {
+		tr := trace.New()
+		rec := &trace.Recorder{}
+		tr.SetSink(rec)
+		res := runEverything(t, tr)
+		raw, err := tr.Snapshot().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rec.Events, raw
+	}
+	resA, eventsA, snapA := run()
+	_, eventsB, snapB := run()
+
+	if len(eventsA) == 0 {
+		t.Fatal("traced run produced no events")
+	}
+	if len(eventsA) != len(eventsB) {
+		t.Fatalf("event counts differ: %d vs %d", len(eventsA), len(eventsB))
+	}
+	for i := range eventsA {
+		if eventsA[i] != eventsB[i] {
+			t.Fatalf("event %d differs:\n  %+v\n  %+v", i, eventsA[i], eventsB[i])
+		}
+	}
+	if !bytes.Equal(snapA, snapB) {
+		t.Fatal("metric snapshots differ between identical runs")
+	}
+
+	// The tracer is an observer only: the simulation must end at the
+	// same virtual time with the same counters as an untraced run.
+	plain := runEverything(t, nil)
+	if plain.endTime != resA.endTime || plain.totalSwitch != resA.totalSwitch ||
+		plain.wireFrames != resA.wireFrames {
+		t.Fatalf("tracing perturbed the run: traced (%v, %d, %d) vs plain (%v, %d, %d)",
+			resA.endTime, resA.totalSwitch, resA.wireFrames,
+			plain.endTime, plain.totalSwitch, plain.wireFrames)
 	}
 }
 

@@ -171,6 +171,11 @@ func (d *Device) input(frame []byte) {
 	if d.kern != nil && d.kern.Claim(frame) && !d.opt.SeeAll {
 		return
 	}
+	arrival := d.host.Sim().Now()
+	tr := d.host.Sim().Tracer()
+	if tr != nil {
+		tr.PacketIn(arrival, d.host.Name())
+	}
 	d.pktSeen++
 	if d.opt.Reorder && d.pktSeen%uint64(d.opt.ReorderEvery) == 0 {
 		d.reorder()
@@ -205,10 +210,13 @@ func (d *Device) input(frame []byte) {
 			d.KernelDrops++
 			d.host.Counters.PacketsDropped++
 			d.host.Sim().Counters.PacketsDropped++
+			if tr := d.host.Sim().Tracer(); tr != nil {
+				tr.Drop(d.host.Sim().Now(), d.host.Name(), "nomatch")
+			}
 			return
 		}
 		for _, port := range accepted {
-			port.enqueue(own)
+			port.enqueue(own, arrival)
 		}
 	})
 }
@@ -217,6 +225,8 @@ func (d *Device) input(frame []byte) {
 // returns the accepting ports and the virtual evaluation cost.
 func (d *Device) linearMatch(frame []byte) ([]*Port, time.Duration) {
 	costs := d.host.Costs()
+	tr := d.host.Sim().Tracer()
+	now := d.host.Sim().Now()
 	var cost time.Duration
 	var accepted []*Port
 	for _, port := range d.ports {
@@ -231,6 +241,10 @@ func (d *Device) linearMatch(frame []byte) ([]*Port, time.Duration) {
 		cost += time.Duration(instrs) * costs.FilterInstr
 		d.host.Counters.FilterInstrs += uint64(instrs)
 		d.host.Sim().Counters.FilterInstrs += uint64(instrs)
+		port.instrs += uint64(instrs)
+		if tr != nil {
+			tr.FilterEval(now, d.host.Name(), port.id, instrs, accept)
+		}
 
 		if !accept {
 			continue
@@ -278,6 +292,11 @@ func (d *Device) tableMatch(frame []byte) ([]*Port, time.Duration) {
 	}
 	d.host.Counters.FilterApplied++
 	d.host.Sim().Counters.FilterApplied++
+	if tr := d.host.Sim().Tracer(); tr != nil {
+		// One merged walk stands in for all bound filters; it is
+		// charged (and reported) as four instruction units, port -1.
+		tr.FilterEval(d.host.Sim().Now(), d.host.Name(), -1, 4, len(accepted) > 0)
+	}
 	return accepted, cost
 }
 

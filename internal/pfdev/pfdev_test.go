@@ -7,6 +7,7 @@ import (
 	"repro/internal/ethersim"
 	"repro/internal/filter"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -229,8 +230,8 @@ func TestQueueOverflowDrops(t *testing.T) {
 		port.SetQueueLimit(p, 2)
 		p.Sleep(50 * time.Millisecond)
 		// The 8-packet burst overflowed the 2-entry queue.
-		if q, dropped := port.Stats(); q != 2 || dropped != 6 {
-			t.Errorf("queued=%d dropped=%d, want 2/6", q, dropped)
+		if st := port.Stats(); st.Queued != 2 || st.Dropped != 6 {
+			t.Errorf("queued=%d dropped=%d, want 2/6", st.Queued, st.Dropped)
 		}
 		port.Read(p)
 		port.Read(p)
@@ -532,5 +533,130 @@ func TestFilterCostCharged(t *testing.T) {
 	long := recvWith(filter.Fig38PupTypeRange())
 	if long <= short {
 		t.Fatalf("long filter not more expensive: %v vs %v", long, short)
+	}
+}
+
+// TestHostGlobalCounterConsistency drives a traced mixed workload and
+// checks two invariants: the per-host vtime counters sum exactly to
+// the simulation-global counters, and the trace layer's counters
+// mirror the host's own bookkeeping field for field.
+func TestHostGlobalCounterConsistency(t *testing.T) {
+	r := newRig(t, Options{})
+	tr := trace.New()
+	r.s.SetTracer(tr)
+
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		single := r.db.Open(p)
+		single.SetFilter(p, socketFilter(10, 35))
+		single.SetTimeout(p, 20*time.Millisecond)
+		batch := r.db.Open(p)
+		batch.SetFilter(p, socketFilter(5, 36))
+		batch.SetTimeout(p, 20*time.Millisecond)
+		for {
+			if _, err := single.Read(p); err != nil {
+				break
+			}
+		}
+		for {
+			if _, err := batch.ReadBatch(p); err != nil {
+				break
+			}
+		}
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		p.Sleep(time.Millisecond)
+		for i := 0; i < 12; i++ {
+			port.Write(p, pupTo(2, 1, 1, uint32(35+i%3))) // socket 37: no match
+			p.Sleep(3 * time.Millisecond)
+		}
+	})
+	r.s.Run(0)
+
+	var sum vtime.Counters
+	for _, h := range r.s.Hosts() {
+		sum.Add(h.Counters)
+	}
+	if sum != r.s.Counters {
+		t.Fatalf("host counters do not sum to global:\n  sum    %+v\n  global %+v",
+			sum, r.s.Counters)
+	}
+
+	snap := tr.Snapshot()
+	for _, host := range []struct {
+		name string
+		c    vtime.Counters
+	}{{"a", r.ha.Counters}, {"b", r.hb.Counters}} {
+		for _, chk := range []struct {
+			metric string
+			want   uint64
+		}{
+			{"sched.ctxswitch", host.c.ContextSwitches},
+			{"sys.calls", host.c.Syscalls},
+			{"sys.copies", host.c.Copies},
+			{"sys.copy_bytes", host.c.BytesCopied},
+			{"sched.wakeups", host.c.Wakeups},
+			{"wire.rx", host.c.PacketsIn},
+			{"pf.evals", host.c.FilterApplied},
+			{"pf.instrs", host.c.FilterInstrs},
+			{"pf.matched", host.c.PacketsMatched},
+		} {
+			if got := snap.CounterValue(host.name, chk.metric); got != chk.want {
+				t.Errorf("host %s: trace %s = %d, host counter = %d",
+					host.name, chk.metric, got, chk.want)
+			}
+		}
+	}
+	if r.hb.Counters.PacketsMatched == 0 {
+		t.Fatal("workload matched no packets; test proves nothing")
+	}
+}
+
+// TestPortStats exercises the unified per-port statistics block: match
+// and instruction counts, queue high-water mark, read/batch counters,
+// and the PortStats device status read.
+func TestPortStats(t *testing.T) {
+	r := newRig(t, Options{})
+	var single, batch PortStats
+	var all []PortStats
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		sp := r.db.Open(p)
+		sp.SetFilter(p, socketFilter(10, 35))
+		bp := r.db.Open(p)
+		bp.SetFilter(p, socketFilter(5, 36))
+		p.Sleep(40 * time.Millisecond) // let traffic queue up
+		sp.Read(p)
+		sp.Read(p)
+		bp.ReadBatch(p)
+		single, batch = sp.Stats(), bp.Stats()
+		all = r.db.PortStats(p)
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		p.Sleep(time.Millisecond)
+		for i := 0; i < 3; i++ {
+			port.Write(p, pupTo(2, 1, 1, 35))
+			port.Write(p, pupTo(2, 1, 1, 36))
+		}
+	})
+	r.s.Run(0)
+
+	if single.Matched != 3 || single.Reads != 2 || single.Queued != 1 ||
+		single.MaxQueued != 3 || single.Dropped != 0 {
+		t.Errorf("single-read port stats = %+v", single)
+	}
+	if single.FilterInstrs == 0 {
+		t.Error("no filter instructions recorded for matching port")
+	}
+	if batch.Matched != 3 || batch.BatchReads != 1 || batch.BatchPackets != 3 ||
+		batch.Queued != 0 || batch.MaxQueued != 3 {
+		t.Errorf("batch port stats = %+v", batch)
+	}
+	if len(all) != 2 || all[0].ID >= all[1].ID {
+		t.Fatalf("device PortStats = %+v", all)
+	}
+	// The status read must agree with the per-port view.
+	if all[0] != single || all[1] != batch {
+		t.Errorf("status read disagrees with port stats:\n  %+v\n  %+v", all, []PortStats{single, batch})
 	}
 }

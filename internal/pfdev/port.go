@@ -1,10 +1,13 @@
 package pfdev
 
 import (
+	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/filter"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Packet is one received packet as returned by Read: the complete
@@ -16,6 +19,10 @@ type Packet struct {
 	Data  []byte
 	Stamp time.Duration // reception time; zero unless stamping enabled
 	Drops uint64        // packets lost on this port up to this packet
+
+	// arrived is when the frame entered the packet-filter input path,
+	// the start of the arrival-to-delivery latency the tracer reports.
+	arrived time.Duration
 }
 
 // Port is one packet-filter port, opened by a process as a character
@@ -31,6 +38,7 @@ type Port struct {
 
 	queue      []Packet
 	queueLimit int
+	maxQueued  int // high-water mark of the input queue
 	dropped    uint64
 
 	timeout  time.Duration // 0: block forever; <0: non-blocking
@@ -40,6 +48,12 @@ type Port struct {
 	closed   bool
 
 	matches uint64 // packets accepted (for busy-first reordering)
+	instrs  uint64 // filter instruction words interpreted for this port
+	reads   uint64 // successful Read calls
+	batches uint64 // successful ReadBatch calls
+	batched uint64 // packets returned by ReadBatch
+
+	qGauge *trace.Gauge // cached tracer gauge for queue depth
 
 	privileged bool // may bind filters above PrivilegedPriority
 
@@ -182,23 +196,44 @@ func (port *Port) SetBatchMax(p *sim.Proc, n int) {
 	port.batchMax = n
 }
 
-// enqueue adds a packet to the port queue (kernel context).
-func (port *Port) enqueue(frame []byte) {
+// enqueue adds a packet to the port queue (kernel context).  arrived is
+// when the frame entered the packet-filter input path.
+func (port *Port) enqueue(frame []byte, arrived time.Duration) {
+	h := port.dev.host
 	if len(port.queue) >= port.queueLimit {
 		port.dropped++
-		port.dev.host.Counters.PacketsDropped++
-		port.dev.host.Sim().Counters.PacketsDropped++
+		h.Counters.PacketsDropped++
+		h.Sim().Counters.PacketsDropped++
+		if tr := h.Sim().Tracer(); tr != nil {
+			tr.Drop(h.Sim().Now(), h.Name(), "queue")
+		}
 		return
 	}
-	pkt := Packet{Data: frame, Drops: port.dropped}
+	pkt := Packet{Data: frame, Drops: port.dropped, arrived: arrived}
 	if port.stamp {
-		pkt.Stamp = port.dev.host.Sim().Now()
+		pkt.Stamp = h.Sim().Now()
 	}
 	port.queue = append(port.queue, pkt)
-	port.readers.WakeOne(port.dev.host)
-	for _, w := range port.watchers {
-		w.WakeOne(port.dev.host)
+	if len(port.queue) > port.maxQueued {
+		port.maxQueued = len(port.queue)
 	}
+	if tr := h.Sim().Tracer(); tr != nil {
+		port.depthGauge(tr).Set(int64(len(port.queue)))
+		tr.Enqueue(h.Sim().Now(), h.Name(), port.id, len(port.queue))
+	}
+	port.readers.WakeOne(h)
+	for _, w := range port.watchers {
+		w.WakeOne(h)
+	}
+}
+
+// depthGauge returns (caching) the tracer gauge for this port's queue
+// depth.
+func (port *Port) depthGauge(tr *trace.Tracer) *trace.Gauge {
+	if port.qGauge == nil {
+		port.qGauge = tr.Gauge(port.dev.host.Name(), fmt.Sprintf("pf.port%d.depth", port.id))
+	}
+	return port.qGauge
 }
 
 // Read returns the first queued packet, blocking per the port timeout.
@@ -221,7 +256,15 @@ func (port *Port) Read(p *sim.Proc) (Packet, error) {
 	}
 	pkt := port.queue[0]
 	port.queue = port.queue[1:]
+	port.reads++
 	p.CopyOut("pfread", len(pkt.Data))
+	if tr := p.Sim().Tracer(); tr != nil {
+		h := port.dev.host
+		now := p.Now()
+		port.depthGauge(tr).Set(int64(len(port.queue)))
+		tr.Dequeue(now, h.Name(), port.id, len(port.queue), 1)
+		tr.Deliver(now, h.Name(), port.id, now-pkt.arrived)
+	}
 	return pkt, nil
 }
 
@@ -253,12 +296,23 @@ func (port *Port) ReadBatch(p *sim.Proc) ([]Packet, error) {
 	batch := make([]Packet, n)
 	copy(batch, port.queue[:n])
 	port.queue = port.queue[n:]
+	port.batches++
+	port.batched += uint64(n)
 	total := 0
 	for _, pkt := range batch {
 		total += len(pkt.Data)
 	}
 	// One copy for the whole batch: the win over per-packet reads.
 	p.CopyOut("pfread", total)
+	if tr := p.Sim().Tracer(); tr != nil {
+		h := port.dev.host
+		now := p.Now()
+		port.depthGauge(tr).Set(int64(len(port.queue)))
+		tr.Dequeue(now, h.Name(), port.id, len(port.queue), n)
+		for _, pkt := range batch {
+			tr.Deliver(now, h.Name(), port.id, now-pkt.arrived)
+		}
+	}
 	return batch, nil
 }
 
@@ -307,9 +361,52 @@ func (port *Port) WriteBatch(p *sim.Proc, frames [][]byte) error {
 	return nil
 }
 
-// Stats reports queue occupancy and cumulative drops.
-func (port *Port) Stats() (queued int, dropped uint64) {
-	return len(port.queue), port.dropped
+// PortStats is the per-port statistics block reported by Port.Stats
+// and Device.PortStats — the §3.3 "count of the number of packets
+// lost" generalized to everything the kernel already tracks per port.
+// It is fed from the same counters the trace layer reads.
+type PortStats struct {
+	ID           int    `json:"id"`
+	Priority     uint8  `json:"priority"`
+	Queued       int    `json:"queued"`        // packets on the input queue now
+	MaxQueued    int    `json:"max_queued"`    // input-queue high-water mark
+	Dropped      uint64 `json:"dropped"`       // lost to queue overflow
+	Matched      uint64 `json:"matched"`       // accepted by this port's filter
+	FilterInstrs uint64 `json:"filter_instrs"` // instruction words interpreted
+	Reads        uint64 `json:"reads"`         // single-packet reads
+	BatchReads   uint64 `json:"batch_reads"`   // ReadBatch calls
+	BatchPackets uint64 `json:"batch_packets"` // packets returned by ReadBatch
+}
+
+// Stats reports the port's statistics block (kernel bookkeeping only;
+// no system call is charged — the device status read PortStats is the
+// user-visible ioctl).
+func (port *Port) Stats() PortStats {
+	return PortStats{
+		ID:           port.id,
+		Priority:     port.priority,
+		Queued:       len(port.queue),
+		MaxQueued:    port.maxQueued,
+		Dropped:      port.dropped,
+		Matched:      port.matches,
+		FilterInstrs: port.instrs,
+		Reads:        port.reads,
+		BatchReads:   port.batches,
+		BatchPackets: port.batched,
+	}
+}
+
+// PortStats returns the statistics blocks of every open port in port-id
+// order — the status-read extension of §3.3's lost-packet counts.
+// Process context; charges an ioctl.
+func (d *Device) PortStats(p *sim.Proc) []PortStats {
+	p.Syscall("pf")
+	stats := make([]PortStats, 0, len(d.ports))
+	for _, port := range d.ports {
+		stats = append(stats, port.Stats())
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].ID < stats[j].ID })
+	return stats
 }
 
 // Matches returns how many packets this port's filter has accepted.

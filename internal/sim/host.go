@@ -94,6 +94,7 @@ func (h *Host) pump() {
 	}
 
 	d := r.d
+	tr := h.sim.tracer
 	if r.proc != nil {
 		// Charge a context switch when the CPU passes to a
 		// different process (§6.5.2, about 0.4 ms), or when this
@@ -101,27 +102,52 @@ func (h *Host) pump() {
 		// suspending and resuming is a switch pair even on an
 		// otherwise idle system (§6.5.1).
 		if (r.proc != h.lastOwner && h.lastOwner != nil) || r.proc.blocked {
-			d += h.sim.costs.CtxSwitch
+			cs := h.sim.costs.CtxSwitch
+			d += cs
 			h.Counters.ContextSwitches++
 			h.sim.Counters.ContextSwitches++
-			h.KernelTime["ctxswitch"] += h.sim.costs.CtxSwitch
+			h.KernelTime["ctxswitch"] += cs
+			if tr != nil {
+				tr.CtxSwitch(h.sim.now, h.name, r.proc.name, cs)
+				tr.KernelTime(h.name, "ctxswitch", cs)
+			}
 		}
 		r.proc.blocked = false
 		h.lastOwner = r.proc
+	}
+	if tr != nil {
+		switch {
+		case r.proc != nil && r.tag == "user":
+			tr.UserSlice(h.sim.now, h.name, r.proc.name, r.d)
+		case r.proc != nil:
+			tr.KernelSlice(h.sim.now, h.name, r.tag, r.proc.name, r.d)
+		default:
+			tr.KernelSlice(h.sim.now, h.name, r.tag, "", r.d)
+		}
 	}
 
 	h.cpuBusy = true
 	h.sim.After(d, func() {
 		h.cpuBusy = false
+		tr := h.sim.tracer
 		if r.proc != nil {
 			if r.tag == "user" {
 				h.UserTime += r.d
+				if tr != nil {
+					tr.UserTime(h.name, r.d)
+				}
 			} else {
 				h.KernelTime[r.tag] += r.d
+				if tr != nil {
+					tr.KernelTime(h.name, r.tag, r.d)
+				}
 			}
 			h.sim.runProc(r.proc)
 		} else {
 			h.KernelTime[r.tag] += r.d
+			if tr != nil {
+				tr.KernelTime(h.name, r.tag, r.d)
+			}
 			if r.fn != nil {
 				r.fn()
 			}
@@ -139,10 +165,15 @@ func (h *Host) KernelTotal() time.Duration {
 	return t
 }
 
-// ResetAccounting zeroes the host's counters and CPU accounting;
-// benchmarks call it after warm-up.
+// ResetAccounting zeroes the host's counters and CPU accounting — and
+// any attached tracer's metrics for this host, so trace-derived
+// profiles stay in exact agreement with KernelTime.  Benchmarks call
+// it after warm-up.
 func (h *Host) ResetAccounting() {
 	h.Counters = vtime.Counters{}
 	h.KernelTime = make(map[string]time.Duration)
 	h.UserTime = 0
+	if tr := h.sim.tracer; tr != nil {
+		tr.ResetHost(h.name)
+	}
 }

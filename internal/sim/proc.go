@@ -101,7 +101,13 @@ func (p *Proc) Syscall(tag string) {
 	h.Counters.DomainCrossings += 2
 	p.sim.Counters.Syscalls++
 	p.sim.Counters.DomainCrossings += 2
+	if tr := p.sim.tracer; tr != nil {
+		tr.SyscallEnter(p.sim.now, h.name, p.name, tag)
+	}
 	p.ConsumeKernel(tag, p.sim.costs.Syscall)
+	if tr := p.sim.tracer; tr != nil {
+		tr.SyscallExit(p.sim.now, h.name, p.name, tag)
+	}
 }
 
 // CopyIn charges moving n bytes from user space into the kernel.
@@ -117,6 +123,9 @@ func (p *Proc) copy(tag string, n int) {
 	h.Counters.BytesCopied += uint64(n)
 	p.sim.Counters.Copies++
 	p.sim.Counters.BytesCopied += uint64(n)
+	if tr := p.sim.tracer; tr != nil {
+		tr.Copy(p.sim.now, h.name, p.name, tag, n)
+	}
 	p.ConsumeKernel(tag, p.sim.costs.Copy(n))
 }
 

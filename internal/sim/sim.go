@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -34,6 +35,7 @@ type Sim struct {
 	seq    uint64
 	costs  vtime.Costs
 	hosts  []*Host
+	tracer *trace.Tracer
 
 	// Counters aggregates events across all hosts.
 	Counters vtime.Counters
@@ -56,6 +58,14 @@ func (s *Sim) Costs() vtime.Costs { return s.costs }
 
 // Hosts returns all hosts in creation order.
 func (s *Sim) Hosts() []*Host { return s.hosts }
+
+// SetTracer attaches a tracer (nil detaches).  With no tracer attached
+// — the default — instrumentation sites cost a single nil check.
+func (s *Sim) SetTracer(t *trace.Tracer) { s.tracer = t }
+
+// Tracer returns the attached tracer, or nil.  Device packages consult
+// it at their own instrumentation points.
+func (s *Sim) Tracer() *trace.Tracer { return s.tracer }
 
 type event struct {
 	when time.Duration

@@ -78,6 +78,9 @@ func (q *WaitQ) wake(h *Host, w *waiter) {
 	w.woken = true
 	h.Counters.Wakeups++
 	q.sim.Counters.Wakeups++
+	if tr := q.sim.tracer; tr != nil {
+		tr.Wakeup(q.sim.now, h.name)
+	}
 	// The woken process becomes runnable after the scheduler's
 	// wakeup cost; the context switch itself is charged when the
 	// CPU actually passes to it.

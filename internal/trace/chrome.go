@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome trace-event export: renders a recorded event stream in the
+// Trace Event Format consumed by Perfetto (ui.perfetto.dev) and
+// chrome://tracing, so a simulated run's per-host CPU, syscall and
+// wire activity opens as an interactive timeline.
+//
+// Mapping: each simulated host is a "process"; within it, kernel work
+// gets one "thread" lane per accounting tag, each user process gets
+// its own lane, and scheduler/wire/packet events appear as instants.
+// Timestamps are virtual microseconds.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// laneIDs hands out stable pid/tid numbers and remembers the names so
+// metadata events can label them.
+type laneIDs struct {
+	pids     map[string]int
+	pidNames []string
+	tids     map[[2]string]int // (host, lane) -> tid
+	tidNames []struct {
+		pid  int
+		tid  int
+		name string
+	}
+}
+
+func (l *laneIDs) pid(host string) int {
+	if id, ok := l.pids[host]; ok {
+		return id
+	}
+	id := len(l.pidNames) + 1
+	l.pids[host] = id
+	l.pidNames = append(l.pidNames, host)
+	return id
+}
+
+func (l *laneIDs) tid(host, lane string) int {
+	k := [2]string{host, lane}
+	if id, ok := l.tids[k]; ok {
+		return id
+	}
+	id := len(l.tids) + 1
+	l.tids[k] = id
+	l.tidNames = append(l.tidNames, struct {
+		pid  int
+		tid  int
+		name string
+	}{l.pid(host), id, lane})
+	return id
+}
+
+func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// WriteChromeTrace writes events (normally Recorder.Events) as Chrome
+// trace-event JSON.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	lanes := &laneIDs{pids: map[string]int{}, tids: map[[2]string]int{}}
+	out := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	add := func(e chromeEvent) { out.TraceEvents = append(out.TraceEvents, e) }
+
+	for _, e := range events {
+		host := e.Host
+		if host == "" {
+			host = "?"
+		}
+		pid := lanes.pid(host)
+		ts := usec(e.When)
+		switch e.Kind {
+		case KindKernelSlice:
+			add(chromeEvent{Name: e.Tag, Cat: "kernel", Ph: "X", Ts: ts,
+				Dur: usec(time.Duration(e.Value)), Pid: pid,
+				Tid:  lanes.tid(host, "kernel:"+e.Tag),
+				Args: map[string]any{"proc": e.Proc}})
+		case KindUserSlice:
+			add(chromeEvent{Name: e.Proc, Cat: "user", Ph: "X", Ts: ts,
+				Dur: usec(time.Duration(e.Value)), Pid: pid,
+				Tid: lanes.tid(host, "proc:"+e.Proc)})
+		case KindSyscallEnter:
+			add(chromeEvent{Name: "syscall:" + e.Tag, Cat: "syscall", Ph: "B", Ts: ts,
+				Pid: pid, Tid: lanes.tid(host, "proc:"+e.Proc)})
+		case KindSyscallExit:
+			add(chromeEvent{Name: "syscall:" + e.Tag, Cat: "syscall", Ph: "E", Ts: ts,
+				Pid: pid, Tid: lanes.tid(host, "proc:"+e.Proc)})
+		case KindCtxSwitch:
+			add(chromeEvent{Name: "ctxswitch", Cat: "sched", Ph: "X", Ts: ts,
+				Dur: usec(time.Duration(e.Value)), Pid: pid,
+				Tid:  lanes.tid(host, "sched"),
+				Args: map[string]any{"to": e.Proc}})
+		case KindWakeup:
+			add(chromeEvent{Name: "wakeup", Cat: "sched", Ph: "i", Ts: ts,
+				Pid: pid, Tid: lanes.tid(host, "sched")})
+		case KindCopy:
+			add(chromeEvent{Name: "copy", Cat: "syscall", Ph: "i", Ts: ts,
+				Pid: pid, Tid: lanes.tid(host, "proc:"+e.Proc),
+				Args: map[string]any{"bytes": e.Value, "tag": e.Tag}})
+		case KindFilterEval:
+			add(chromeEvent{Name: "filter", Cat: "pf", Ph: "i", Ts: ts,
+				Pid: pid, Tid: lanes.tid(host, "pf"),
+				Args: map[string]any{"port": e.Port, "instrs": e.Value, "accept": e.Aux == 1}})
+		case KindEnqueue, KindDequeue:
+			add(chromeEvent{Name: fmt.Sprintf("port%d depth", e.Port), Cat: "pf",
+				Ph: "C", Ts: ts, Pid: pid, Tid: lanes.tid(host, "pf"),
+				Args: map[string]any{"depth": e.Value}})
+		case KindDrop:
+			add(chromeEvent{Name: "drop:" + e.Tag, Cat: "pf", Ph: "i", Ts: ts,
+				Pid: pid, Tid: lanes.tid(host, "pf")})
+		case KindDeliver:
+			add(chromeEvent{Name: "deliver", Cat: "pf", Ph: "i", Ts: ts,
+				Pid: pid, Tid: lanes.tid(host, "pf"),
+				Args: map[string]any{"port": e.Port,
+					"latency_us": usec(time.Duration(e.Value))}})
+		case KindWireTx:
+			add(chromeEvent{Name: "tx", Cat: "wire", Ph: "X", Ts: ts,
+				Dur: usec(time.Duration(e.Aux)), Pid: pid,
+				Tid:  lanes.tid(host, "wire"),
+				Args: map[string]any{"bytes": e.Value}})
+		case KindWireRx:
+			add(chromeEvent{Name: "rx", Cat: "wire", Ph: "i", Ts: ts,
+				Pid: pid, Tid: lanes.tid(host, "wire"),
+				Args: map[string]any{"bytes": e.Value}})
+		case KindProto:
+			add(chromeEvent{Name: e.Tag, Cat: "inet", Ph: "i", Ts: ts,
+				Pid: pid, Tid: lanes.tid(host, "inet")})
+		}
+	}
+
+	// Metadata: name the process and thread lanes, and order threads
+	// so kernel lanes come first.
+	meta := []chromeEvent{}
+	for i, name := range lanes.pidNames {
+		meta = append(meta, chromeEvent{Name: "process_name", Ph: "M", Pid: i + 1,
+			Args: map[string]any{"name": "host " + name}})
+	}
+	sort.Slice(lanes.tidNames, func(i, j int) bool {
+		a, b := lanes.tidNames[i], lanes.tidNames[j]
+		if a.pid != b.pid {
+			return a.pid < b.pid
+		}
+		return a.name < b.name
+	})
+	for i, t := range lanes.tidNames {
+		meta = append(meta, chromeEvent{Name: "thread_name", Ph: "M", Pid: t.pid, Tid: t.tid,
+			Args: map[string]any{"name": t.name}})
+		meta = append(meta, chromeEvent{Name: "thread_sort_index", Ph: "M", Pid: t.pid, Tid: t.tid,
+			Args: map[string]any{"sort_index": i}})
+	}
+	out.TraceEvents = append(meta, out.TraceEvents...)
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

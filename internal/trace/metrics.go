@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"math/bits"
+	"time"
+)
+
+// metricKey scopes a metric name to one simulated host.
+type metricKey struct{ host, name string }
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ v uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is an instantaneous level (queue depth, window size) that also
+// remembers its high-water mark.
+type Gauge struct{ v, max int64 }
+
+// Set records the current level.
+func (g *Gauge) Set(v int64) {
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max }
+
+// histBuckets is the number of log2-microsecond histogram buckets;
+// bucket i holds observations in [2^(i-1), 2^i) µs (bucket 0 holds
+// sub-microsecond observations), so 48 buckets span every virtual
+// duration a simulation can produce.
+const histBuckets = 48
+
+// Histogram is a fixed-bucket virtual-time latency histogram.  Buckets
+// are log2-spaced in microseconds, which is plenty of resolution for
+// the millisecond-scale world of the paper while keeping snapshots
+// deterministic and tiny.
+type Histogram struct {
+	buckets  [histBuckets]uint64
+	count    uint64
+	sum      time.Duration
+	min, max time.Duration
+}
+
+func bucketOf(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	i := bits.Len64(uint64(d / time.Microsecond))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.buckets[bucketOf(d)]++
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Min and Max return the exact extreme samples.
+func (h *Histogram) Min() time.Duration { return h.min }
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Mean returns the exact average sample.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// upper edge of the bucket containing it, clamped to the exact
+// maximum.  Resolution is a factor of two, which is enough to place a
+// latency on the millisecond scale the paper reasons at.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= rank {
+			// Bucket i (i >= 1) holds samples in [2^(i-1), 2^i) µs;
+			// bucket 0 holds sub-microsecond samples.
+			ub := time.Microsecond
+			if i > 0 {
+				ub = time.Duration(1) << uint(i) * time.Microsecond
+			}
+			if ub > h.max {
+				ub = h.max
+			}
+			if ub < h.min {
+				ub = h.min
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// zero resets the histogram in place.
+func (h *Histogram) zero() { *h = Histogram{} }
+
+// registry is the tracer's metric store.  Lookups allocate only on
+// first use of a (host, name) pair; hot instrumentation sites cache
+// the returned pointers.
+type registry struct {
+	counters   map[metricKey]*Counter
+	gauges     map[metricKey]*Gauge
+	histograms map[metricKey]*Histogram
+}
+
+func (r *registry) init() {
+	r.counters = make(map[metricKey]*Counter)
+	r.gauges = make(map[metricKey]*Gauge)
+	r.histograms = make(map[metricKey]*Histogram)
+}
+
+func (r *registry) counter(host, name string) *Counter {
+	k := metricKey{host, name}
+	c := r.counters[k]
+	if c == nil {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+func (r *registry) gauge(host, name string) *Gauge {
+	k := metricKey{host, name}
+	g := r.gauges[k]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+func (r *registry) histogram(host, name string) *Histogram {
+	k := metricKey{host, name}
+	h := r.histograms[k]
+	if h == nil {
+		h = &Histogram{}
+		r.histograms[k] = h
+	}
+	return h
+}
+
+// resetHost zeroes every metric scoped to host in place, so cached
+// pointers stay live.
+func (r *registry) resetHost(host string) {
+	for k, c := range r.counters {
+		if k.host == host {
+			c.v = 0
+		}
+	}
+	for k, g := range r.gauges {
+		if k.host == host {
+			*g = Gauge{}
+		}
+	}
+	for k, h := range r.histograms {
+		if k.host == host {
+			h.zero()
+		}
+	}
+}

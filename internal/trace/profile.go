@@ -1,0 +1,102 @@
+package trace
+
+import "time"
+
+// profiler attributes completed virtual CPU time to (host, category)
+// pairs — the generalization of the gprof run behind the paper's §6.1
+// kernel-time breakdown.  It is fed from the same accounting points
+// that update sim.Host.KernelTime, so the two always agree exactly.
+type profiler struct {
+	kernel map[metricKey]time.Duration
+	user   map[string]time.Duration
+}
+
+func (p *profiler) init() {
+	p.kernel = make(map[metricKey]time.Duration)
+	p.user = make(map[string]time.Duration)
+}
+
+func (p *profiler) addKernel(host, tag string, d time.Duration) {
+	p.kernel[metricKey{host, tag}] += d
+}
+
+func (p *profiler) addUser(host string, d time.Duration) {
+	p.user[host] += d
+}
+
+func (p *profiler) resetHost(host string) {
+	for k := range p.kernel {
+		if k.host == host {
+			delete(p.kernel, k)
+		}
+	}
+	delete(p.user, host)
+}
+
+// KernelCat is one kernel-time category of a host profile.
+type KernelCat struct {
+	Tag  string        `json:"tag"`
+	Time time.Duration `json:"time"`
+	Pct  float64       `json:"pct"` // share of the host's kernel time
+}
+
+// HostProfile is the §6.1-style CPU breakdown for one host.
+type HostProfile struct {
+	Host        string        `json:"host"`
+	Kernel      []KernelCat   `json:"kernel"` // sorted by descending time
+	KernelTotal time.Duration `json:"kernel_total"`
+	User        time.Duration `json:"user"`
+}
+
+// Category returns the time attributed to tag (zero if absent).
+func (hp HostProfile) Category(tag string) time.Duration {
+	for _, c := range hp.Kernel {
+		if c.Tag == tag {
+			return c.Time
+		}
+	}
+	return 0
+}
+
+// PFProfile is the derived packet-filter summary the paper reports in
+// §6.1 for the mixed-traffic workload: per-packet cost, the share
+// spent evaluating predicates, and predicates tested per packet.
+type PFProfile struct {
+	Host           string        `json:"host"`
+	Packets        uint64        `json:"packets"`          // packets entering the pf input path
+	PerPacket      time.Duration `json:"per_packet"`       // (pf + filter) kernel time / packet
+	FilterFraction float64       `json:"filter_fraction"`  // share in predicate evaluation
+	AvgPredicates  float64       `json:"avg_predicates"`   // filters applied / packet
+	AvgInstrs      float64       `json:"avg_instructions"` // filter words interpreted / packet
+}
+
+// PF derives the §6.1 packet-filter summary for one host of a
+// snapshot.  ok is false if the host saw no packet-filter traffic.
+func (s *Snapshot) PF(host string) (PFProfile, bool) {
+	var hp *HostProfile
+	for i := range s.Profiles {
+		if s.Profiles[i].Host == host {
+			hp = &s.Profiles[i]
+		}
+	}
+	if hp == nil {
+		return PFProfile{}, false
+	}
+	packets := s.CounterValue(host, "pf.packets")
+	if packets == 0 {
+		return PFProfile{}, false
+	}
+	pf := hp.Category("pf")
+	fl := hp.Category("filter")
+	p := PFProfile{
+		Host:      host,
+		Packets:   packets,
+		PerPacket: (pf + fl) / time.Duration(packets),
+	}
+	if pf+fl > 0 {
+		p.FilterFraction = float64(fl) / float64(pf+fl)
+	}
+	p.AvgPredicates = float64(s.CounterValue(host, "pf.evals")) / float64(packets)
+	p.AvgInstrs = float64(s.CounterValue(host, "pf.instrs")) / float64(packets)
+	return p, true
+}

@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CounterSnap is one counter in a snapshot.
+type CounterSnap struct {
+	Host  string `json:"host"`
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnap is one gauge in a snapshot.
+type GaugeSnap struct {
+	Host  string `json:"host"`
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+	Max   int64  `json:"max"`
+}
+
+// HistogramSnap is one histogram in a snapshot, with percentile
+// summaries of the virtual-time distribution.
+type HistogramSnap struct {
+	Host  string        `json:"host"`
+	Name  string        `json:"name"`
+	Count uint64        `json:"count"`
+	Min   time.Duration `json:"min"`
+	Mean  time.Duration `json:"mean"`
+	P50   time.Duration `json:"p50"`
+	P90   time.Duration `json:"p90"`
+	P99   time.Duration `json:"p99"`
+	Max   time.Duration `json:"max"`
+}
+
+// Snapshot is a point-in-time, machine-readable export of everything
+// the tracer knows: counters, gauges, latency histograms and the
+// per-host kernel-time profile.  It marshals to the JSON format the
+// -json flags of pfstat, pfbench and pfmon emit.  All orderings are
+// deterministic (sorted by host, then name/tag).
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters"`
+	Gauges     []GaugeSnap     `json:"gauges,omitempty"`
+	Histograms []HistogramSnap `json:"histograms,omitempty"`
+	Profiles   []HostProfile   `json:"kernel_profile,omitempty"`
+}
+
+// Snapshot captures the tracer's current state.
+func (t *Tracer) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	for k, c := range t.reg.counters {
+		if c.v != 0 {
+			s.Counters = append(s.Counters, CounterSnap{Host: k.host, Name: k.name, Value: c.v})
+		}
+	}
+	sort.Slice(s.Counters, func(i, j int) bool {
+		a, b := s.Counters[i], s.Counters[j]
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		return a.Name < b.Name
+	})
+	for k, g := range t.reg.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Host: k.host, Name: k.name, Value: g.v, Max: g.max})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		a, b := s.Gauges[i], s.Gauges[j]
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		return a.Name < b.Name
+	})
+	for k, h := range t.reg.histograms {
+		if h.count == 0 {
+			continue
+		}
+		s.Histograms = append(s.Histograms, HistogramSnap{
+			Host: k.host, Name: k.name, Count: h.count,
+			Min: h.min, Mean: h.Mean(),
+			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+			Max: h.max,
+		})
+	}
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		a, b := s.Histograms[i], s.Histograms[j]
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		return a.Name < b.Name
+	})
+
+	hosts := map[string]*HostProfile{}
+	hostOf := func(name string) *HostProfile {
+		hp := hosts[name]
+		if hp == nil {
+			hp = &HostProfile{Host: name}
+			hosts[name] = hp
+		}
+		return hp
+	}
+	for k, d := range t.prof.kernel {
+		hp := hostOf(k.host)
+		hp.Kernel = append(hp.Kernel, KernelCat{Tag: k.name, Time: d})
+		hp.KernelTotal += d
+	}
+	for h, d := range t.prof.user {
+		hostOf(h).User = d
+	}
+	for _, hp := range hosts {
+		for i := range hp.Kernel {
+			if hp.KernelTotal > 0 {
+				hp.Kernel[i].Pct = float64(hp.Kernel[i].Time) / float64(hp.KernelTotal)
+			}
+		}
+		sort.Slice(hp.Kernel, func(i, j int) bool {
+			a, b := hp.Kernel[i], hp.Kernel[j]
+			if a.Time != b.Time {
+				return a.Time > b.Time
+			}
+			return a.Tag < b.Tag
+		})
+		s.Profiles = append(s.Profiles, *hp)
+	}
+	sort.Slice(s.Profiles, func(i, j int) bool { return s.Profiles[i].Host < s.Profiles[j].Host })
+	return s
+}
+
+// CounterValue returns the snapshotted value of a counter (zero if
+// absent).
+func (s *Snapshot) CounterValue(host, name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Host == host && c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// JSON marshals the snapshot with stable field order and indentation.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+func msf(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond))
+}
+
+// Text renders the snapshot as aligned tables: counters, queue gauges,
+// latency percentiles and the per-host kernel-time profile.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+
+	if len(s.Counters) > 0 {
+		b.WriteString("counters\n")
+		w := 0
+		for _, c := range s.Counters {
+			if n := len(c.Host) + 1 + len(c.Name); n > w {
+				w = n
+			}
+		}
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "  %-*s %12d\n", w, c.Host+"."+c.Name, c.Value)
+		}
+	}
+
+	if len(s.Gauges) > 0 {
+		b.WriteString("\ngauges (current / high-water)\n")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&b, "  %-32s %6d / %d\n", g.Host+"."+g.Name, g.Value, g.Max)
+		}
+	}
+
+	if len(s.Histograms) > 0 {
+		b.WriteString("\nlatency histograms (virtual mSec)\n")
+		fmt.Fprintf(&b, "  %-32s %8s %9s %9s %9s %9s %9s %9s\n",
+			"", "count", "min", "mean", "p50", "p90", "p99", "max")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(&b, "  %-32s %8d %9s %9s %9s %9s %9s %9s\n",
+				h.Host+"."+h.Name, h.Count, msf(h.Min), msf(h.Mean),
+				msf(h.P50), msf(h.P90), msf(h.P99), msf(h.Max))
+		}
+	}
+
+	for _, hp := range s.Profiles {
+		fmt.Fprintf(&b, "\nkernel profile, host %s (total %s mSec kernel, %s mSec user)\n",
+			hp.Host, msf(hp.KernelTotal), msf(hp.User))
+		for _, c := range hp.Kernel {
+			fmt.Fprintf(&b, "  %-12s %10s mSec  %5.1f%%\n", c.Tag, msf(c.Time), 100*c.Pct)
+		}
+		if pf, ok := s.PF(hp.Host); ok {
+			fmt.Fprintf(&b, "  §6.1 summary: %d pf packets, %s mSec/packet, "+
+				"%.0f%% evaluating predicates, %.1f predicates (%.1f instrs) per packet\n",
+				pf.Packets, msf(pf.PerPacket), 100*pf.FilterFraction,
+				pf.AvgPredicates, pf.AvgInstrs)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,297 @@
+// Package trace is the virtual-time observability layer of the
+// simulated kernel: a typed event stream, a metrics registry and a
+// kernel-time profiler, with text, JSON and Chrome-trace exporters.
+//
+// The paper's entire evaluation (§6) is observability — counting
+// context switches, domain crossings, copies and filter instructions,
+// and profiling where kernel time goes ("41% of this time is spent
+// evaluating filter predicates", §6.1).  This package generalizes the
+// one-off accounting in internal/bench so that *any* workload can be
+// asked "where did the virtual time go?".
+//
+// Cost model:
+//
+//   - no Tracer attached to a simulation: zero cost — every
+//     instrumentation site is a single nil check;
+//   - Tracer attached, no Sink: metrics and the kernel profile
+//     accumulate (counter bumps, no allocation per event);
+//   - Sink attached (SetSink): every typed event is delivered too,
+//     which is what the Chrome-trace export consumes.
+//
+// All quantities are virtual time from the simulation clock, so two
+// identical runs produce bit-identical event streams and snapshots.
+package trace
+
+import "time"
+
+// Kind identifies the type of one trace event.
+type Kind uint8
+
+const (
+	// KindCtxSwitch: the CPU of Host passed to process Proc.
+	// Value is the switch cost in nanoseconds of virtual time.
+	KindCtxSwitch Kind = iota
+	// KindSyscallEnter / KindSyscallExit bracket one kernel
+	// entry+exit by Proc on Host; Tag is the kernel subsystem.
+	KindSyscallEnter
+	KindSyscallExit
+	// KindCopy: Value bytes crossed the kernel/user boundary.
+	KindCopy
+	// KindWakeup: a blocked process on Host was made runnable.
+	KindWakeup
+	// KindKernelSlice: the Host CPU ran kernel work accounted under
+	// Tag for Value nanoseconds (Proc set when the slice is the
+	// kernel half of a system call).
+	KindKernelSlice
+	// KindUserSlice: Proc ran in user mode for Value nanoseconds.
+	KindUserSlice
+	// KindFilterEval: the packet filter applied the filter of Port
+	// to a packet; Value is instruction words interpreted, Aux is 1
+	// on accept.  Port is -1 for a merged decision-table walk.
+	KindFilterEval
+	// KindEnqueue: a packet was queued on Port; Value is the queue
+	// depth after the operation.
+	KindEnqueue
+	// KindDequeue: a read drained packets from Port; Value is the
+	// queue depth after, Aux the number of packets taken.
+	KindDequeue
+	// KindDrop: a packet was lost; Tag is the reason ("nomatch",
+	// "queue", "nic", "wire").
+	KindDrop
+	// KindDeliver: a packet reached a user process via Port; Value
+	// is the arrival-to-delivery latency in nanoseconds.
+	KindDeliver
+	// KindWireTx: Host began transmitting a Value-byte frame; Aux
+	// is the wire occupancy time in nanoseconds.
+	KindWireTx
+	// KindWireRx: Host's interface accepted a Value-byte frame.
+	KindWireRx
+	// KindProto: a kernel-resident protocol event on Host; Tag is
+	// "ip_in", "ip_out", "arp_in", ...
+	KindProto
+
+	numKinds // sentinel
+)
+
+var kindNames = [numKinds]string{
+	"ctxswitch", "syscall_enter", "syscall_exit", "copy", "wakeup",
+	"kernel_slice", "user_slice", "filter_eval", "enqueue", "dequeue",
+	"drop", "deliver", "wire_tx", "wire_rx", "proto",
+}
+
+// String returns the event kind's snake_case name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one typed trace event.  Which fields are meaningful depends
+// on Kind (see the Kind constants).  Events are comparable, so two
+// captured streams can be checked for bit-identity.
+type Event struct {
+	When  time.Duration `json:"ts"`
+	Kind  Kind          `json:"kind"`
+	Host  string        `json:"host,omitempty"`
+	Proc  string        `json:"proc,omitempty"`
+	Tag   string        `json:"tag,omitempty"`
+	Port  int           `json:"port,omitempty"`
+	Value int64         `json:"value,omitempty"`
+	Aux   int64         `json:"aux,omitempty"`
+}
+
+// Sink receives every event of a traced run.
+type Sink interface {
+	Emit(Event)
+}
+
+// Recorder is a Sink that retains the whole event stream in order —
+// the input to WriteChromeTrace and to determinism tests.
+type Recorder struct {
+	Events []Event
+}
+
+// Emit appends the event.
+func (r *Recorder) Emit(e Event) { r.Events = append(r.Events, e) }
+
+// Tracer is the per-simulation observability hub: it owns the metrics
+// registry and kernel profile, and forwards typed events to an
+// optional Sink.  Attach one to a simulation with sim.SetTracer.
+type Tracer struct {
+	sink Sink
+	reg  registry
+	prof profiler
+}
+
+// New creates a Tracer with metrics and profiling enabled and no
+// event sink.
+func New() *Tracer {
+	t := &Tracer{}
+	t.reg.init()
+	t.prof.init()
+	return t
+}
+
+// SetSink attaches (or, with nil, detaches) the event sink.
+func (t *Tracer) SetSink(s Sink) { t.sink = s }
+
+func (t *Tracer) emit(e Event) {
+	if t.sink != nil {
+		t.sink.Emit(e)
+	}
+}
+
+// ResetHost zeroes every metric, histogram, gauge and profile entry
+// scoped to the named host, in place — pointers obtained earlier from
+// Counter/Gauge/Histogram remain valid.  Benchmarks call it (via
+// Host.ResetAccounting) after warm-up.
+func (t *Tracer) ResetHost(host string) {
+	t.reg.resetHost(host)
+	t.prof.resetHost(host)
+}
+
+// --- Instrumentation entry points ----------------------------------------
+//
+// Each helper updates the metrics registry and, when a sink is
+// attached, emits one typed event.  They are called by the simulator
+// and device packages, always behind a nil-Tracer check.
+
+// CtxSwitch records the Host CPU passing to process proc at now, with
+// the given virtual switch cost.
+func (t *Tracer) CtxSwitch(now time.Duration, host, proc string, cost time.Duration) {
+	t.reg.counter(host, "sched.ctxswitch").Add(1)
+	t.emit(Event{When: now, Kind: KindCtxSwitch, Host: host, Proc: proc, Value: int64(cost)})
+}
+
+// SyscallEnter records a kernel entry by proc, under subsystem tag.
+func (t *Tracer) SyscallEnter(now time.Duration, host, proc, tag string) {
+	t.reg.counter(host, "sys.calls").Add(1)
+	t.emit(Event{When: now, Kind: KindSyscallEnter, Host: host, Proc: proc, Tag: tag})
+}
+
+// SyscallExit records the matching kernel exit.
+func (t *Tracer) SyscallExit(now time.Duration, host, proc, tag string) {
+	t.emit(Event{When: now, Kind: KindSyscallExit, Host: host, Proc: proc, Tag: tag})
+}
+
+// Copy records n bytes moving across the kernel/user boundary.
+func (t *Tracer) Copy(now time.Duration, host, proc, tag string, n int) {
+	t.reg.counter(host, "sys.copies").Add(1)
+	t.reg.counter(host, "sys.copy_bytes").Add(uint64(n))
+	t.emit(Event{When: now, Kind: KindCopy, Host: host, Proc: proc, Tag: tag, Value: int64(n)})
+}
+
+// Wakeup records a blocked process being made runnable on host.
+func (t *Tracer) Wakeup(now time.Duration, host string) {
+	t.reg.counter(host, "sched.wakeups").Add(1)
+	t.emit(Event{When: now, Kind: KindWakeup, Host: host})
+}
+
+// KernelSlice records the host CPU starting d of kernel work under
+// tag (event stream only; time attribution happens via KernelTime when
+// the slice completes, mirroring the host's own accounting).
+func (t *Tracer) KernelSlice(now time.Duration, host, tag, proc string, d time.Duration) {
+	t.emit(Event{When: now, Kind: KindKernelSlice, Host: host, Proc: proc, Tag: tag, Value: int64(d)})
+}
+
+// UserSlice records proc starting d of user-mode CPU.
+func (t *Tracer) UserSlice(now time.Duration, host, proc string, d time.Duration) {
+	t.emit(Event{When: now, Kind: KindUserSlice, Host: host, Proc: proc, Value: int64(d)})
+}
+
+// KernelTime attributes d of completed kernel CPU on host to the
+// category tag — the profiler's input, fed from the same place that
+// updates Host.KernelTime so the two always agree.
+func (t *Tracer) KernelTime(host, tag string, d time.Duration) {
+	t.prof.addKernel(host, tag, d)
+}
+
+// UserTime attributes d of completed user-mode CPU on host.
+func (t *Tracer) UserTime(host string, d time.Duration) {
+	t.prof.addUser(host, d)
+}
+
+// PacketIn records one received packet entering the packet-filter
+// input path on host (after any kernel-resident protocol claim).
+func (t *Tracer) PacketIn(now time.Duration, host string) {
+	t.reg.counter(host, "pf.packets").Add(1)
+}
+
+// FilterEval records one filter application: instrs instruction words
+// interpreted on behalf of port, accepting or rejecting the packet.
+// port is -1 for a merged decision-table walk.
+func (t *Tracer) FilterEval(now time.Duration, host string, port int, instrs int, accept bool) {
+	t.reg.counter(host, "pf.evals").Add(1)
+	t.reg.counter(host, "pf.instrs").Add(uint64(instrs))
+	var aux int64
+	if accept {
+		t.reg.counter(host, "pf.matched").Add(1)
+		aux = 1
+	}
+	t.emit(Event{When: now, Kind: KindFilterEval, Host: host, Port: port,
+		Value: int64(instrs), Aux: aux})
+}
+
+// Enqueue records a packet queued on port, with the depth after.
+func (t *Tracer) Enqueue(now time.Duration, host string, port, depth int) {
+	t.reg.counter(host, "pf.enqueued").Add(1)
+	t.emit(Event{When: now, Kind: KindEnqueue, Host: host, Port: port, Value: int64(depth)})
+}
+
+// Dequeue records a read draining n packets from port, with the depth
+// after.
+func (t *Tracer) Dequeue(now time.Duration, host string, port, depth, n int) {
+	t.reg.counter(host, "pf.dequeued").Add(uint64(n))
+	t.emit(Event{When: now, Kind: KindDequeue, Host: host, Port: port,
+		Value: int64(depth), Aux: int64(n)})
+}
+
+// Drop records a lost packet; reason is "nomatch", "queue", "nic" or
+// "wire".
+func (t *Tracer) Drop(now time.Duration, host, reason string) {
+	t.reg.counter(host, "drop."+reason).Add(1)
+	t.emit(Event{When: now, Kind: KindDrop, Host: host, Tag: reason})
+}
+
+// Deliver records a packet reaching a user process via port,
+// observing the arrival-to-delivery latency histogram.
+func (t *Tracer) Deliver(now time.Duration, host string, port int, latency time.Duration) {
+	t.reg.counter(host, "pf.delivered").Add(1)
+	t.reg.histogram(host, "pf.delivery_latency").Observe(latency)
+	t.emit(Event{When: now, Kind: KindDeliver, Host: host, Port: port, Value: int64(latency)})
+}
+
+// WireTx records host beginning to transmit an n-byte frame occupying
+// the wire for txTime.
+func (t *Tracer) WireTx(now time.Duration, host string, n int, txTime time.Duration) {
+	t.reg.counter(host, "wire.tx").Add(1)
+	t.reg.counter(host, "wire.tx_bytes").Add(uint64(n))
+	t.emit(Event{When: now, Kind: KindWireTx, Host: host, Value: int64(n), Aux: int64(txTime)})
+}
+
+// WireRx records host's interface accepting an n-byte frame.
+func (t *Tracer) WireRx(now time.Duration, host string, n int) {
+	t.reg.counter(host, "wire.rx").Add(1)
+	t.reg.counter(host, "wire.rx_bytes").Add(uint64(n))
+	t.emit(Event{When: now, Kind: KindWireRx, Host: host, Value: int64(n)})
+}
+
+// Proto records a kernel-resident protocol event ("ip_in", "ip_out",
+// "arp_in", ...).
+func (t *Tracer) Proto(now time.Duration, host, what string) {
+	t.reg.counter(host, "inet."+what).Add(1)
+	t.emit(Event{When: now, Kind: KindProto, Host: host, Tag: what})
+}
+
+// --- Direct registry access ----------------------------------------------
+
+// Counter returns (creating if needed) the named host-scoped counter.
+func (t *Tracer) Counter(host, name string) *Counter { return t.reg.counter(host, name) }
+
+// Gauge returns (creating if needed) the named host-scoped gauge.
+func (t *Tracer) Gauge(host, name string) *Gauge { return t.reg.gauge(host, name) }
+
+// Histogram returns (creating if needed) the named host-scoped
+// virtual-time histogram.
+func (t *Tracer) Histogram(host, name string) *Histogram { return t.reg.histogram(host, name) }

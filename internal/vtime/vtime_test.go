@@ -74,6 +74,22 @@ func TestCountersAddSubInverse(t *testing.T) {
 	}
 }
 
+// TestCountersRoundTripAllFields is the whole-struct generalization of
+// the inverse property: for randomly generated counter sets, adding and
+// then subtracting either operand recovers the other exactly, across
+// every field at once (modular arithmetic makes this hold even at the
+// uint64 extremes quick generates).
+func TestCountersRoundTripAllFields(t *testing.T) {
+	f := func(a, b Counters) bool {
+		sum := a
+		sum.Add(b)
+		return sum.Sub(b) == a && sum.Sub(a) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCountersSubAllFields(t *testing.T) {
 	a := Counters{
 		ContextSwitches: 10, Syscalls: 9, DomainCrossings: 8, Copies: 7,
