@@ -1,0 +1,351 @@
+// Pfchaos runs the full protocol suite over a deterministically
+// hostile network and prints the fault ledger, each protocol's
+// recovery statistics, and the trace-derived metrics — then proves the
+// injector's ledger and the trace registry agree on every fault count.
+//
+//	pfchaos                    # the "lossy" plan, seed 1
+//	pfchaos -plan crashy       # wire faults plus host pause/crash
+//	pfchaos -plan hostile -seed 7
+//	pfchaos -list              # list built-in plans
+//	pfchaos -json              # machine-readable report
+//
+// The same (seed, plan) pair always reproduces the same run, byte for
+// byte — chaos you can put under version control.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/faults"
+	"repro/internal/pfdev"
+	"repro/internal/pup"
+	"repro/internal/rarp"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vmtp"
+	"repro/internal/vtime"
+)
+
+// report is the machine-readable run summary.
+type report struct {
+	Plan     string        `json:"plan"`
+	Seed     uint64        `json:"seed"`
+	End      time.Duration `json:"end_virtual"`
+	Ledger   faults.Ledger `json:"ledger"`
+	Protos   protoStats    `json:"protocols"`
+	Reconcil bool          `json:"ledger_matches_registry"`
+}
+
+// protoStats collects every protocol's recovery accounting.
+type protoStats struct {
+	BSPOK        bool         `json:"bsp_ok"`
+	BSP          pup.BSPStats `json:"bsp"`
+	BSPDelivered int          `json:"bsp_delivered"`
+	BSPDupes     int          `json:"bsp_duplicates_suppressed"`
+
+	EFTPOK bool          `json:"eftp_ok"`
+	EFTP   pup.EFTPStats `json:"eftp"`
+
+	VMTPOK      bool           `json:"vmtp_ok"`
+	VMTP        vmtp.UserStats `json:"vmtp"`
+	VMTPRebinds int            `json:"vmtp_rebinds"`
+
+	LookupOK bool            `json:"name_lookup_ok"`
+	Lookup   pup.LookupStats `json:"name_lookup"`
+
+	RARPOK bool              `json:"rarp_ok"`
+	RARP   rarp.ResolveStats `json:"rarp"`
+
+	EchoServed  int `json:"echo_served"`
+	EchoRebinds int `json:"echo_rebinds"`
+}
+
+func main() {
+	planName := flag.String("plan", "lossy", "fault plan (see -list)")
+	seed := flag.Uint64("seed", 1, "fault schedule seed")
+	list := flag.Bool("list", false, "list built-in plans and exit")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	if *list {
+		for _, name := range faults.PlanNames() {
+			p, _ := faults.Named(name)
+			fmt.Printf("%-8s wire %.0f%%, %d host events, %d squeezes\n",
+				name, p.Wire.Rate()*100, len(p.Hosts), len(p.Squeezes))
+		}
+		return
+	}
+	plan, ok := faults.Named(*planName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pfchaos: no plan %q (try -list)\n", *planName)
+		os.Exit(1)
+	}
+
+	rep, snap := run(*seed, plan)
+	if *asJSON {
+		raw, err := json.MarshalIndent(struct {
+			report
+			Trace *trace.Snapshot `json:"trace"`
+		}{rep, snap}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfchaos:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(raw))
+	} else {
+		printReport(rep, snap)
+	}
+	if !rep.Reconcil {
+		fmt.Fprintln(os.Stderr, "pfchaos: fault ledger does not match the trace registry")
+		os.Exit(1)
+	}
+}
+
+// run executes the scenario: four hosts on one 10 Mb Ethernet — alpha
+// and beta as workhorses, charlie as client, diskless booting via RARP
+// — with every protocol exercised while the plan's faults land.
+func run(seed uint64, plan faults.Plan) (report, *trace.Snapshot) {
+	s := sim.New(vtime.DefaultCosts())
+	tr := trace.New()
+	s.SetTracer(tr)
+
+	net := ethersim.New(s, ethersim.Ether10Mb)
+	alpha, beta := s.NewHost("alpha"), s.NewHost("beta")
+	charlie, diskless := s.NewHost("charlie"), s.NewHost("diskless")
+	nicA := net.Attach(alpha, 0xA1)
+	nicB := net.Attach(beta, 0xB2)
+	nicC := net.Attach(charlie, 0xC3)
+	nicD := net.Attach(diskless, 0xD4)
+	devA := pfdev.Attach(nicA, nil, pfdev.Options{})
+	devB := pfdev.Attach(nicB, nil, pfdev.Options{})
+	devC := pfdev.Attach(nicC, nil, pfdev.Options{})
+	devD := pfdev.Attach(nicD, nil, pfdev.Options{})
+
+	eng := faults.New(s, seed, plan)
+	eng.AttachWire(net)
+	for _, h := range s.Hosts() {
+		eng.AttachHost(h)
+	}
+	for _, d := range []*pfdev.Device{devA, devB, devC, devD} {
+		eng.AttachQueues(d)
+	}
+
+	var rep report
+	rep.Plan, rep.Seed = plan.Name, seed
+	idle := 3 * time.Second
+
+	// --- Name service on alpha ------------------------------------
+	ns := pup.NewNameServer(devA, pup.PortAddr{Net: 1, Host: 0xA1})
+	ns.Register("echo", pup.PortAddr{Net: 1, Host: 0xB2, Socket: 0x30})
+	s.Spawn(alpha, "named", func(p *sim.Proc) { ns.Run(p, idle) })
+
+	// --- Echo server on beta (survives crashes by re-binding) -----
+	var echoSock *pup.Socket
+	echoServed := 0
+	s.Spawn(beta, "echod", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devB, pup.PortAddr{Net: 1, Host: 0xB2, Socket: 0x30}, 10)
+		if err != nil {
+			return
+		}
+		echoSock = sock
+		echoServed = sock.EchoServer(p, idle)
+	})
+
+	// --- Charlie: name lookup, then echo through the answer -------
+	s.Spawn(charlie, "client", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devC, pup.PortAddr{Net: 1, Host: 0xC3, Socket: 0x31}, 10)
+		if err != nil {
+			return
+		}
+		sock.Checksummed = true
+		p.Sleep(5 * time.Millisecond)
+		addr, lst, err := pup.LookupNameStats(p, sock, "echo", 50*time.Millisecond, 8)
+		rep.Protos.Lookup = lst
+		if err != nil {
+			return
+		}
+		rep.Protos.LookupOK = true
+		if _, err := sock.Echo(p, addr, []byte("chaos?"), 80*time.Millisecond, 8); err == nil {
+			// served count tallied by the server side
+			_ = addr
+		}
+	})
+
+	// --- BSP: beta -> alpha, checksummed --------------------------
+	bspData := make([]byte, 4096)
+	for i := range bspData {
+		bspData[i] = byte(i)
+	}
+	bspAddr := pup.PortAddr{Net: 1, Host: 0xA1, Socket: 0x500}
+	var bspRcv *pup.BSPReceiver
+	s.Spawn(alpha, "bsp-recv", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devA, bspAddr, 10)
+		if err != nil {
+			return
+		}
+		sock.Checksummed = true
+		bspRcv = pup.NewBSPReceiver(sock, pup.DefaultBSPConfig())
+		var got []byte
+		for {
+			seg, err := bspRcv.Receive(p, idle)
+			if err != nil {
+				break
+			}
+			got = append(got, seg...)
+		}
+		rep.Protos.BSPOK = string(got) == string(bspData)
+	})
+	var bspSnd *pup.BSPSender
+	s.Spawn(beta, "bsp-send", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devB, pup.PortAddr{Net: 1, Host: 0xB2, Socket: 0x501}, 10)
+		if err != nil {
+			return
+		}
+		sock.Checksummed = true
+		p.Sleep(2 * time.Millisecond)
+		bspSnd = pup.NewBSPSender(sock, bspAddr, pup.DefaultBSPConfig())
+		if bspSnd.Send(p, bspData) == nil {
+			bspSnd.Close(p)
+		}
+	})
+
+	// --- EFTP: alpha -> charlie, checksummed ----------------------
+	eftpData := make([]byte, 3000)
+	for i := range eftpData {
+		eftpData[i] = byte(i * 7)
+	}
+	eftpAddr := pup.PortAddr{Net: 1, Host: 0xC3, Socket: 0x600}
+	eftpCfg := pup.DefaultEFTPConfig()
+	eftpCfg.Retries = 16
+	eftpCfg.Stats = &rep.Protos.EFTP
+	s.Spawn(charlie, "eftp-recv", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devC, eftpAddr, 10)
+		if err != nil {
+			return
+		}
+		sock.Checksummed = true
+		got, err := pup.EFTPReceive(p, sock, idle, eftpCfg)
+		rep.Protos.EFTPOK = err == nil && string(got) == string(eftpData)
+	})
+	s.Spawn(alpha, "eftp-send", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devA, pup.PortAddr{Net: 1, Host: 0xA1, Socket: 0x601}, 10)
+		if err != nil {
+			return
+		}
+		sock.Checksummed = true
+		p.Sleep(3 * time.Millisecond)
+		pup.EFTPSend(p, sock, eftpAddr, eftpData, eftpCfg)
+	})
+
+	// --- User-level VMTP: charlie calls beta, checksummed ---------
+	vcfg := vmtp.DefaultUserConfig()
+	vcfg.Checksummed = true
+	s.Spawn(beta, "uvmtpd", func(p *sim.Proc) {
+		ep, err := vmtp.NewUserEndpoint(p, devB, 800, vcfg)
+		if err != nil {
+			return
+		}
+		ep.Serve(p, func(op uint16, req []byte) []byte { return req }, idle)
+	})
+	s.Spawn(charlie, "uvmtp-client", func(p *sim.Proc) {
+		ep, err := vmtp.NewUserEndpoint(p, devC, 801, vcfg)
+		if err != nil {
+			return
+		}
+		p.Sleep(4 * time.Millisecond)
+		ok := true
+		blob := make([]byte, 600)
+		for i := 0; i < 3; i++ {
+			resp, err := ep.Call(p, nicB.Addr(), 800, uint16(i), blob)
+			if err != nil || len(resp) != len(blob) {
+				ok = false
+				break
+			}
+		}
+		rep.Protos.VMTPOK = ok
+		rep.Protos.VMTP = ep.Stats
+		rep.Protos.VMTPRebinds = ep.Rebinds
+	})
+
+	// --- RARP: diskless boots off a server on alpha ---------------
+	rsrv := rarp.NewServer(devA, map[ethersim.Addr]rarp.IPAddr{0xD4: 0x0A0000D4})
+	s.Spawn(alpha, "rarpd", func(p *sim.Proc) { rsrv.Run(p, idle) })
+	s.Spawn(diskless, "boot", func(p *sim.Proc) {
+		p.Sleep(8 * time.Millisecond)
+		ip, st, err := rarp.ResolveWithStats(p, devD, 40*time.Millisecond, 8)
+		rep.Protos.RARP = st
+		rep.Protos.RARPOK = err == nil && ip == 0x0A0000D4
+	})
+
+	rep.End = s.Run(60 * time.Second)
+	rep.Ledger = eng.Ledger
+	if bspRcv != nil {
+		rep.Protos.BSPDelivered = bspRcv.Delivered
+		rep.Protos.BSPDupes = bspRcv.Duplicates
+	}
+	if bspSnd != nil {
+		rep.Protos.BSP = bspSnd.Stats
+	}
+	rep.Protos.EchoServed = echoServed
+	if echoSock != nil {
+		rep.Protos.EchoRebinds = echoSock.Rebinds
+	}
+
+	snap := tr.Snapshot()
+	rep.Reconcil = reconcile(rep.Ledger, snap)
+	return rep, snap
+}
+
+// reconcile checks the injector's ledger against the trace registry's
+// fault.<kind> counters, summed across hosts: the two are written at
+// different layers and must agree exactly.
+func reconcile(l faults.Ledger, snap *trace.Snapshot) bool {
+	for kind, want := range l.ByKind() {
+		var got uint64
+		for _, c := range snap.Counters {
+			if c.Name == "fault."+kind {
+				got += c.Value
+			}
+		}
+		if got != want {
+			return false
+		}
+	}
+	return true
+}
+
+func printReport(rep report, snap *trace.Snapshot) {
+	fmt.Printf("plan %q, seed %d — ended at %v (virtual)\n\n", rep.Plan, rep.Seed, rep.End)
+	fmt.Println("fault ledger:")
+	fmt.Printf("  %s\n\n", rep.Ledger.String())
+
+	okStr := func(ok bool) string {
+		if ok {
+			return "ok"
+		}
+		return "FAILED"
+	}
+	fmt.Println("protocol recovery:")
+	p := rep.Protos
+	fmt.Printf("  bsp    %-6s  %d segs, %d attempts, %d retransmits, %d timeouts, max RTO %v; rx %d delivered, %d dupes suppressed\n",
+		okStr(p.BSPOK), p.BSP.Segments, p.BSP.Attempts, p.BSP.Retransmissions,
+		p.BSP.Timeouts, p.BSP.MaxRTOReached, p.BSPDelivered, p.BSPDupes)
+	fmt.Printf("  eftp   %-6s  %d blocks, %d attempts, %d retransmits\n",
+		okStr(p.EFTPOK), p.EFTP.Blocks, p.EFTP.Attempts, p.EFTP.Retransmissions)
+	fmt.Printf("  vmtp   %-6s  %d calls, %d attempts, %d retransmits, %d checksum drops, %d rebinds\n",
+		okStr(p.VMTPOK), p.VMTP.Calls, p.VMTP.Attempts, p.VMTP.Retransmissions,
+		p.VMTP.ChecksumDrops, p.VMTPRebinds)
+	fmt.Printf("  lookup %-6s  %d attempts\n", okStr(p.LookupOK), p.Lookup.Attempts)
+	fmt.Printf("  rarp   %-6s  %d attempts\n", okStr(p.RARPOK), p.RARP.Attempts)
+	fmt.Printf("  echo   served %d, rebinds %d\n\n", p.EchoServed, p.EchoRebinds)
+
+	fmt.Println("ledger vs registry:", map[bool]string{true: "exact match", false: "MISMATCH"}[rep.Reconcil])
+	fmt.Println()
+	fmt.Println("--- trace snapshot ---")
+	fmt.Print(snap.Text())
+}

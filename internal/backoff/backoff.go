@@ -1,0 +1,42 @@
+// Package backoff provides the capped exponential retry schedule
+// shared by every retrying protocol in the repository (BSP, EFTP, the
+// name service, the RARP client, VMTP).
+//
+// The schedule is deliberately jitter-free: the simulation is a
+// deterministic discrete-event system, and reproducibility of a run
+// from its seed matters more than the collision-avoidance jitter buys
+// on a real network.  Determinism of retries is what lets the chaos
+// soak suite assert bit-identical trace streams.
+package backoff
+
+import "time"
+
+// Policy is a capped exponential backoff schedule: attempt n waits
+// Base<<n, never exceeding Cap.
+type Policy struct {
+	Base time.Duration // delay before the first retry (attempt 0)
+	Cap  time.Duration // upper bound; zero means no cap
+}
+
+// Delay returns the wait before retry number attempt (0-based).  The
+// doubling is overflow-safe: once the shifted value would exceed Cap
+// (or overflow), Cap is returned.
+func (p Policy) Delay(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := p.Base
+	for i := 0; i < attempt; i++ {
+		if p.Cap > 0 && d >= p.Cap {
+			return p.Cap
+		}
+		if d > 1<<61 { // doubling again would overflow
+			break
+		}
+		d *= 2
+	}
+	if p.Cap > 0 && d > p.Cap {
+		return p.Cap
+	}
+	return d
+}

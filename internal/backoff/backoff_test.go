@@ -1,0 +1,57 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayDoublesAndCaps(t *testing.T) {
+	p := Policy{Base: 50 * time.Millisecond, Cap: 400 * time.Millisecond}
+	want := []time.Duration{
+		50 * time.Millisecond,  // attempt 0: base
+		100 * time.Millisecond, // attempt 1
+		200 * time.Millisecond, // attempt 2
+		400 * time.Millisecond, // attempt 3: hits cap exactly
+		400 * time.Millisecond, // attempt 4: capped
+		400 * time.Millisecond, // attempt 5: capped
+	}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDelayNoCap(t *testing.T) {
+	p := Policy{Base: time.Millisecond}
+	if got := p.Delay(10); got != 1024*time.Millisecond {
+		t.Errorf("Delay(10) = %v, want 1024ms", got)
+	}
+}
+
+func TestDelayOverflowSafe(t *testing.T) {
+	p := Policy{Base: time.Hour}
+	if got := p.Delay(1000); got <= 0 {
+		t.Errorf("Delay(1000) = %v, want positive", got)
+	}
+	capped := Policy{Base: time.Hour, Cap: 2 * time.Hour}
+	if got := capped.Delay(1000); got != 2*time.Hour {
+		t.Errorf("capped Delay(1000) = %v, want 2h", got)
+	}
+}
+
+func TestDelayNegativeAttempt(t *testing.T) {
+	p := Policy{Base: 5 * time.Millisecond, Cap: time.Second}
+	if got := p.Delay(-3); got != 5*time.Millisecond {
+		t.Errorf("Delay(-3) = %v, want base", got)
+	}
+}
+
+func TestDelayIsDeterministic(t *testing.T) {
+	p := Policy{Base: 7 * time.Millisecond, Cap: 100 * time.Millisecond}
+	for i := 0; i < 20; i++ {
+		if p.Delay(i) != p.Delay(i) {
+			t.Fatalf("Delay(%d) not stable", i)
+		}
+	}
+}

@@ -215,6 +215,7 @@ func Experiments() []Experiment {
 		{"abl-nit", AblationNIT},
 		{"abl-wbatch", AblationWriteBatch},
 		{"abl-gw", AblationGateway},
+		{"chaos", ChaosGoodput},
 	}
 }
 

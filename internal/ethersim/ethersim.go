@@ -185,14 +185,53 @@ type Network struct {
 	// DropEvery, when non-zero, silently discards every Nth frame
 	// after transmission — deterministic loss injection for
 	// exercising protocol retransmission paths ("Transmission is
-	// unreliable if the data link is unreliable", §3).
+	// unreliable if the data link is unreliable", §3).  It is a
+	// thin compatibility wrapper over the Injector verdict path.
 	DropEvery uint64
 	// DropFn, when non-nil, is consulted per frame (1-based index
-	// on the wire) for finer-grained loss injection.
+	// on the wire) for finer-grained loss injection.  Like
+	// DropEvery it folds into the Injector verdict path.
 	DropFn func(index uint64, frame []byte) bool
-	// Dropped counts frames lost to injection.
+	// Dropped counts frames lost to injection (all sources:
+	// DropEvery, DropFn and an attached Injector).
 	Dropped uint64
+
+	injector Injector
 }
+
+// Verdict is an Injector's decision about one frame.  The zero value
+// with FlipBit == -1 (see NoFault) leaves the frame alone.  At most
+// one fault field should be set per frame — the fault engine draws
+// mutually exclusive outcomes so ledger and trace counters line up.
+type Verdict struct {
+	// Drop discards the frame after it occupied the wire.
+	Drop bool
+	// FlipBit, when >= 0, inverts that bit (frame[FlipBit/8] bit
+	// 7-FlipBit%8) before delivery — payload corruption that the
+	// transport checksums must catch.  -1 means no corruption.
+	FlipBit int
+	// Dup delivers the frame a second time, DupDelay after the
+	// first delivery.
+	Dup      bool
+	DupDelay time.Duration
+	// Delay postpones delivery by this much after the frame leaves
+	// the wire (the wire itself frees on schedule) — queueing delay
+	// in the interface, which reorders frames relative to later
+	// undelayed traffic.
+	Delay time.Duration
+}
+
+// NoFault is the verdict that leaves a frame untouched.
+var NoFault = Verdict{FlipBit: -1}
+
+// An Injector decides per wire frame (1-based index) which faults to
+// apply.  It runs in event-loop context and must be deterministic.
+type Injector interface {
+	Frame(index uint64, frame []byte) Verdict
+}
+
+// SetInjector attaches (or, with nil, detaches) the fault injector.
+func (n *Network) SetInjector(i Injector) { n.injector = i }
 
 type txJob struct {
 	frame []byte
@@ -206,6 +245,9 @@ func New(s *sim.Sim, link LinkType) *Network {
 
 // Link returns the network's link type.
 func (n *Network) Link() LinkType { return n.link }
+
+// Sim returns the owning simulation.
+func (n *Network) Sim() *sim.Sim { return n.s }
 
 // NIC is one network interface attached to a host.  The kernel (other
 // packages) sets Handler to receive frames in event-loop context after
@@ -241,6 +283,10 @@ const DefaultQueueLimit = 32
 func (n *Network) Attach(h *sim.Host, addr Addr) *NIC {
 	nic := &NIC{net: n, host: h, addr: addr}
 	n.nics = append(n.nics, nic)
+	// Frames the interface had queued for the CPU die with the host:
+	// the host clears its interrupt queue on crash, so the pending
+	// count must reset with it.
+	h.OnCrash(func() { nic.pending = 0 })
 	return nic
 }
 
@@ -264,6 +310,11 @@ func (nic *NIC) Transmit(frame []byte) error {
 	if len(frame) < nic.net.link.HeaderLen() {
 		return ErrTruncated
 	}
+	if nic.host.Down() {
+		// A dead machine transmits nothing; in-flight kernel work
+		// racing a crash loses its frame silently.
+		return nil
+	}
 	nic.host.Counters.PacketsOut++
 	nic.host.Sim().Counters.PacketsOut++
 	nic.net.send(&txJob{frame: append([]byte(nil), frame...), from: nic})
@@ -283,25 +334,63 @@ func (n *Network) pumpWire() {
 	n.txq = n.txq[1:]
 	n.wireBusy = true
 	n.FramesOnWire++
-	lost := n.DropEvery > 0 && n.FramesOnWire%n.DropEvery == 0
-	if !lost && n.DropFn != nil {
-		lost = n.DropFn(n.FramesOnWire, job.frame)
+	idx := n.FramesOnWire
+
+	// One verdict per frame: the injector's, then the legacy
+	// DropEvery/DropFn wrappers folded into the same path.
+	v := NoFault
+	injected := false
+	if n.injector != nil {
+		v = n.injector.Frame(idx, job.frame)
+		injected = v != NoFault
 	}
+	if !injected {
+		if n.DropEvery > 0 && idx%n.DropEvery == 0 {
+			v.Drop = true
+		}
+		if !v.Drop && n.DropFn != nil && n.DropFn(idx, job.frame) {
+			v.Drop = true
+		}
+	}
+
 	txTime := time.Duration(int64(len(job.frame)) * 8 * int64(time.Second) / n.link.Bandwidth())
 	tr := n.s.Tracer()
+	src := job.from.host.Name()
 	if tr != nil {
-		tr.WireTx(n.s.Now(), job.from.host.Name(), len(job.frame), txTime)
+		tr.WireTx(n.s.Now(), src, len(job.frame), txTime)
 	}
-	if lost {
+	if v.Drop {
 		n.Dropped++
 		if tr != nil {
-			tr.Drop(n.s.Now(), job.from.host.Name(), "wire")
+			tr.Drop(n.s.Now(), src, "wire")
+			if injected {
+				tr.Fault(n.s.Now(), src, "drop", idx)
+			}
 		}
+	}
+	if !v.Drop && v.FlipBit >= 0 && v.FlipBit < len(job.frame)*8 {
+		job.frame[v.FlipBit/8] ^= 0x80 >> (v.FlipBit % 8)
+		if tr != nil {
+			tr.Fault(n.s.Now(), src, "corrupt", idx)
+		}
+	}
+	if !v.Drop && v.Dup && tr != nil {
+		tr.Fault(n.s.Now(), src, "dup", idx)
+	}
+	if !v.Drop && v.Delay > 0 && tr != nil {
+		tr.Fault(n.s.Now(), src, "delay", idx)
 	}
 	n.s.After(txTime, func() {
 		n.wireBusy = false
-		if !lost {
-			n.deliver(job)
+		if !v.Drop {
+			if v.Delay > 0 {
+				n.s.After(v.Delay, func() { n.deliver(job) })
+			} else {
+				n.deliver(job)
+			}
+			if v.Dup {
+				n.s.After(v.Delay+v.DupDelay, func() { n.deliver(job) })
+			}
 		}
 		n.pumpWire()
 	})
@@ -325,6 +414,17 @@ func (n *Network) deliver(job *txJob) {
 }
 
 func (nic *NIC) receive(frame []byte) {
+	if nic.host.Down() {
+		// Frames addressed to a crashed host fall on the floor,
+		// counted like any interface loss.
+		nic.Drops++
+		nic.host.Counters.PacketsDropped++
+		nic.host.Sim().Counters.PacketsDropped++
+		if tr := nic.host.Sim().Tracer(); tr != nil {
+			tr.Drop(nic.host.Sim().Now(), nic.host.Name(), "nic")
+		}
+		return
+	}
 	limit := nic.QueueLimit
 	if limit == 0 {
 		limit = DefaultQueueLimit

@@ -1,0 +1,235 @@
+// Package faults is the deterministic fault-injection engine: a
+// seeded Plan attaches to the existing simulation layers and perturbs
+// them — frame drop, payload bit-flip corruption, duplication and
+// bounded delay on the wire (ethersim), NIC and port-queue squeezes
+// (pfdev), and host pause/crash/restart (sim).
+//
+// Every injected fault is a typed trace event (trace.KindFault),
+// counted in the metrics registry as "fault.<kind>", and tallied in
+// the engine's Ledger; a run is fully reproducible from (seed, plan)
+// because every decision is a pure hash of the seed, the fault stream
+// and the frame index (see rng.go) or an explicitly scheduled plan
+// event.  cmd/pfchaos reconciles the Ledger against the registry to
+// prove the two views agree exactly.
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+)
+
+// Fault-stream identifiers: each decision kind draws from its own
+// stream so adding a draw to one knob never shifts another's schedule.
+// Wire streams are additionally salted by attachment order, keeping
+// multiple networks in one simulation independent.
+const (
+	streamVerdict uint64 = iota // which fault (if any) hits a frame
+	streamBit                   // which payload bit a corruption flips
+	streamDelay                 // how long an injected delay lasts
+	wireStreams                 // streams consumed per attached wire
+)
+
+// Defaults for unset WirePlan bounds.
+const (
+	DefaultMaxDelay = 2 * time.Millisecond
+	DefaultDupDelay = 500 * time.Microsecond
+)
+
+// Ledger tallies every fault the engine injected, by kind.  It is the
+// injector-side view of the same counts the trace registry accumulates
+// as "fault.<kind>" counters.
+type Ledger struct {
+	Drops    uint64 `json:"drops"`
+	Corrupts uint64 `json:"corrupts"`
+	Dups     uint64 `json:"dups"`
+	Delays   uint64 `json:"delays"`
+	Pauses   uint64 `json:"pauses"`
+	Crashes  uint64 `json:"crashes"`
+	Restarts uint64 `json:"restarts"`
+	Squeezes uint64 `json:"squeezes"`
+}
+
+// Total sums the ledger.
+func (l Ledger) Total() uint64 {
+	return l.Drops + l.Corrupts + l.Dups + l.Delays +
+		l.Pauses + l.Crashes + l.Restarts + l.Squeezes
+}
+
+// ByKind returns the ledger as kind-name → count, keyed exactly like
+// the registry's "fault.<kind>" counters.
+func (l Ledger) ByKind() map[string]uint64 {
+	return map[string]uint64{
+		"drop": l.Drops, "corrupt": l.Corrupts, "dup": l.Dups, "delay": l.Delays,
+		"pause": l.Pauses, "crash": l.Crashes, "restart": l.Restarts, "squeeze": l.Squeezes,
+	}
+}
+
+// String renders the ledger as a one-line summary.
+func (l Ledger) String() string {
+	return fmt.Sprintf("drop=%d corrupt=%d dup=%d delay=%d pause=%d crash=%d restart=%d squeeze=%d (total %d)",
+		l.Drops, l.Corrupts, l.Dups, l.Delays, l.Pauses, l.Crashes, l.Restarts, l.Squeezes, l.Total())
+}
+
+// Engine executes one Plan against one simulation.  Attach it to the
+// layers it should perturb with AttachWire, AttachHost and
+// AttachQueues before running the simulation.
+type Engine struct {
+	s    *sim.Sim
+	seed uint64
+	plan Plan
+
+	// Ledger counts every injected fault.
+	Ledger Ledger
+
+	wires uint64 // networks attached so far, for stream salting
+}
+
+// New creates an engine for (seed, plan) on the simulation.
+func New(s *sim.Sim, seed uint64, plan Plan) *Engine {
+	if plan.Wire.MaxDelay <= 0 {
+		plan.Wire.MaxDelay = DefaultMaxDelay
+	}
+	if plan.Wire.DupDelay <= 0 {
+		plan.Wire.DupDelay = DefaultDupDelay
+	}
+	return &Engine{s: s, seed: seed, plan: plan}
+}
+
+// Plan returns the engine's plan (with defaults filled in).
+func (e *Engine) Plan() Plan { return e.plan }
+
+// Seed returns the engine's seed.
+func (e *Engine) Seed() uint64 { return e.seed }
+
+// AttachWire installs the engine as the network's fault injector.
+// Each attached network gets its own fault streams, in attachment
+// order, so multi-network topologies stay deterministic.
+func (e *Engine) AttachWire(n *ethersim.Network) {
+	salt := e.wires * wireStreams
+	e.wires++
+	n.SetInjector(&wireInjector{e: e, salt: salt, hdrBits: n.Link().HeaderLen() * 8})
+}
+
+// wireInjector decides the fate of each frame on one network.
+type wireInjector struct {
+	e       *Engine
+	salt    uint64
+	hdrBits int
+}
+
+// Frame draws one verdict per frame.  At most one fault applies, so
+// the plan's rates are additive; the ledger is bumped here, at
+// decision time, and ethersim emits the matching trace event when it
+// applies the verdict — the two always move together.
+func (w *wireInjector) Frame(index uint64, frame []byte) ethersim.Verdict {
+	v := ethersim.NoFault
+	p := w.e.plan.Wire
+	now := w.e.s.Now()
+	if now < p.Start || (p.Stop > 0 && now >= p.Stop) {
+		return v
+	}
+	r := u01(w.e.seed, streamVerdict+w.salt, index)
+	switch {
+	case r < p.DropRate:
+		v.Drop = true
+		w.e.Ledger.Drops++
+	case r < p.DropRate+p.CorruptRate:
+		// Flip a bit strictly past the data-link header, where the
+		// transport checksums (Pup, IP, TCP, UDP, VMTP) cover it —
+		// corruption must be *caught*, never survive by luck.  A
+		// frame with no payload can't be corrupted detectably, so
+		// it drops instead.
+		bits := len(frame)*8 - w.hdrBits
+		if bits <= 0 {
+			v.Drop = true
+			w.e.Ledger.Drops++
+			break
+		}
+		v.FlipBit = w.hdrBits + int(draw(w.e.seed, streamBit+w.salt, index)%uint64(bits))
+		w.e.Ledger.Corrupts++
+	case r < p.DropRate+p.CorruptRate+p.DupRate:
+		v.Dup = true
+		v.DupDelay = p.DupDelay
+		w.e.Ledger.Dups++
+	case r < p.DropRate+p.CorruptRate+p.DupRate+p.DelayRate:
+		v.Delay = time.Duration(1 + draw(w.e.seed, streamDelay+w.salt, index)%uint64(p.MaxDelay))
+		w.e.Ledger.Delays++
+	}
+	return v
+}
+
+// AttachHost schedules the plan's lifecycle events (pause/resume,
+// crash/restart) that name this host.
+func (e *Engine) AttachHost(h *sim.Host) {
+	name := h.Name()
+	for _, ev := range e.plan.Hosts {
+		if ev.Host != name {
+			continue
+		}
+		ev := ev
+		e.s.At(ev.At, func() {
+			tr := e.s.Tracer()
+			switch ev.Kind {
+			case Pause:
+				h.Pause()
+				e.Ledger.Pauses++
+				if tr != nil {
+					tr.Fault(e.s.Now(), name, "pause", 0)
+				}
+				if ev.Outage > 0 {
+					e.s.After(ev.Outage, h.Resume)
+				}
+			case Crash:
+				h.Crash()
+				e.Ledger.Crashes++
+				if tr != nil {
+					tr.Fault(e.s.Now(), name, "crash", 0)
+				}
+				if ev.Outage > 0 {
+					e.s.After(ev.Outage, func() {
+						h.Restart()
+						e.Ledger.Restarts++
+						if tr := e.s.Tracer(); tr != nil {
+							tr.Fault(e.s.Now(), name, "restart", 0)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// AttachQueues schedules the plan's queue squeezes against the
+// device's host: the NIC input-queue limit and the device-wide port
+// cap shrink for the squeeze window, then restore.
+func (e *Engine) AttachQueues(dev *pfdev.Device) {
+	nic := dev.NIC()
+	name := nic.Host().Name()
+	for _, sq := range e.plan.Squeezes {
+		if sq.Host != name {
+			continue
+		}
+		sq := sq
+		e.s.At(sq.At, func() {
+			oldLimit := nic.QueueLimit
+			nic.QueueLimit = sq.NICLimit
+			if sq.PortCap > 0 {
+				dev.SetQueueCap(sq.PortCap)
+			}
+			e.Ledger.Squeezes++
+			if tr := e.s.Tracer(); tr != nil {
+				tr.Fault(e.s.Now(), name, "squeeze", 0)
+			}
+			if sq.Duration > 0 {
+				e.s.After(sq.Duration, func() {
+					nic.QueueLimit = oldLimit
+					dev.SetQueueCap(0)
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// TestDrawIsPure pins the stateless RNG: draws are pure functions of
+// (seed, stream, index), distinct across each argument, and u01 stays
+// in [0, 1).
+func TestDrawIsPure(t *testing.T) {
+	if draw(1, 2, 3) != draw(1, 2, 3) {
+		t.Fatal("draw is not deterministic")
+	}
+	if draw(1, 2, 3) == draw(2, 2, 3) ||
+		draw(1, 2, 3) == draw(1, 3, 3) ||
+		draw(1, 2, 3) == draw(1, 2, 4) {
+		t.Fatal("draw does not separate seed/stream/index")
+	}
+	for i := uint64(0); i < 10000; i++ {
+		r := u01(42, 0, i)
+		if r < 0 || r >= 1 {
+			t.Fatalf("u01 out of range: %v", r)
+		}
+	}
+}
+
+// chaosRig is a two-host wire with an engine attached, blasting a fixed
+// number of frames so wire faults actually fire.
+func chaosRig(seed uint64, plan Plan, frames int) (*sim.Sim, *Engine, *trace.Tracer) {
+	s := sim.New(vtime.DefaultCosts())
+	tr := trace.New()
+	s.SetTracer(tr)
+	net := ethersim.New(s, ethersim.Ether10Mb)
+	a := s.NewHost("a")
+	s.NewHost("b")
+	nicA := net.Attach(a, 0x0A)
+	net.Attach(s.Hosts()[1], 0x0B)
+
+	eng := New(s, seed, plan)
+	eng.AttachWire(net)
+
+	frame := ethersim.Ether10Mb.Encode(0x0B, 0x0A, 0x0777, make([]byte, 200))
+	for i := 0; i < frames; i++ {
+		i := i
+		s.At(time.Duration(i)*100*time.Microsecond, func() { nicA.Transmit(frame) })
+	}
+	return s, eng, tr
+}
+
+// TestLedgerMatchesTraceCounters is the core reconciliation invariant:
+// the engine's Ledger and the registry's fault.<kind> counters are two
+// views of the same injections and must agree exactly.
+func TestLedgerMatchesTraceCounters(t *testing.T) {
+	plan := Plan{Wire: Uniform(0.40)}
+	plan.Hosts = []HostEvent{
+		{Host: "a", At: 5 * time.Millisecond, Kind: Pause, Outage: 2 * time.Millisecond},
+		{Host: "b", At: 10 * time.Millisecond, Kind: Crash, Outage: 3 * time.Millisecond},
+	}
+	s, eng, tr := chaosRig(7, plan, 400)
+	for _, h := range s.Hosts() {
+		eng.AttachHost(h)
+	}
+	s.Run(time.Second)
+
+	if eng.Ledger.Total() == 0 {
+		t.Fatal("no faults injected at 40% rate over 400 frames")
+	}
+	if eng.Ledger.Pauses != 1 || eng.Ledger.Crashes != 1 || eng.Ledger.Restarts != 1 {
+		t.Fatalf("host events miscounted: %s", eng.Ledger.String())
+	}
+	snap := tr.Snapshot()
+	for kind, want := range eng.Ledger.ByKind() {
+		var got uint64
+		for _, c := range snap.Counters {
+			if c.Name == "fault."+kind {
+				got += c.Value
+			}
+		}
+		if got != want {
+			t.Errorf("fault.%s: ledger %d vs registry %d", kind, want, got)
+		}
+	}
+}
+
+// TestSameSeedSamePlanIsBitIdentical reruns one chaotic schedule and
+// requires identical ledgers and identical end times.
+func TestSameSeedSamePlanIsBitIdentical(t *testing.T) {
+	run := func() (Ledger, time.Duration) {
+		s, eng, _ := chaosRig(99, Plan{Wire: Uniform(0.30)}, 300)
+		end := s.Run(time.Second)
+		return eng.Ledger, end
+	}
+	l1, e1 := run()
+	l2, e2 := run()
+	if l1 != l2 {
+		t.Fatalf("ledgers differ:\n  %s\n  %s", l1.String(), l2.String())
+	}
+	if e1 != e2 {
+		t.Fatalf("end times differ: %v vs %v", e1, e2)
+	}
+}
+
+// TestDifferentSeedsDiffer guards against the seed being ignored.
+func TestDifferentSeedsDiffer(t *testing.T) {
+	s1, eng1, _ := chaosRig(1, Plan{Wire: Uniform(0.30)}, 300)
+	s1.Run(time.Second)
+	s2, eng2, _ := chaosRig(2, Plan{Wire: Uniform(0.30)}, 300)
+	s2.Run(time.Second)
+	if eng1.Ledger == eng2.Ledger {
+		t.Fatal("different seeds produced identical ledgers (seed unused?)")
+	}
+}
+
+// TestInjectionWindow pins Start/Stop: outside the window the wire is
+// untouched.
+func TestInjectionWindow(t *testing.T) {
+	plan := Plan{Wire: Uniform(0.99)}
+	plan.Wire.Start = 10 * time.Millisecond
+	plan.Wire.Stop = 20 * time.Millisecond
+	// Frames go out every 100µs for 40ms; only those inside [10ms,
+	// 20ms) may be faulted.
+	s, eng, _ := chaosRig(5, plan, 400)
+	s.Run(time.Second)
+	if eng.Ledger.Total() == 0 {
+		t.Fatal("window produced no faults at 99% rate")
+	}
+	// Re-run with the window closed entirely.
+	closed := plan
+	closed.Wire.Start = 2 * time.Second
+	s2, eng2, _ := chaosRig(5, closed, 400)
+	s2.Run(time.Second)
+	if eng2.Ledger.Total() != 0 {
+		t.Fatalf("faults outside the injection window: %s", eng2.Ledger.String())
+	}
+}
+
+// TestRatesAreAdditive checks the observed combined fault rate tracks
+// the plan's Rate() because at most one fault applies per frame.
+func TestRatesAreAdditive(t *testing.T) {
+	const frames = 2000
+	plan := Plan{Wire: Uniform(0.20)}
+	s, eng, _ := chaosRig(1234, plan, frames)
+	s.Run(time.Second)
+	got := float64(eng.Ledger.Total()) / frames
+	if got < 0.15 || got > 0.25 {
+		t.Fatalf("combined fault rate %.3f far from planned %.2f", got, plan.Wire.Rate())
+	}
+}
+
+// TestNamedPlans pins the built-in plan table.
+func TestNamedPlans(t *testing.T) {
+	for _, name := range PlanNames() {
+		p, ok := Named(name)
+		if !ok || p.Name != name {
+			t.Errorf("Named(%q) = %+v, %v", name, p, ok)
+		}
+	}
+	if _, ok := Named("no-such-plan"); ok {
+		t.Error("unknown plan name accepted")
+	}
+}

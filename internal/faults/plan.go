@@ -1,0 +1,120 @@
+package faults
+
+import "time"
+
+// WirePlan is the per-frame fault schedule for one network: each frame
+// on the wire draws one uniform number and suffers at most one fault,
+// so the rates are additive and (DropRate + CorruptRate + DupRate +
+// DelayRate) is the combined fault rate.
+type WirePlan struct {
+	DropRate    float64 // frame discarded after occupying the wire
+	CorruptRate float64 // one payload bit inverted (checksums must catch it)
+	DupRate     float64 // frame delivered twice
+	DelayRate   float64 // delivery postponed, reordering the frame
+
+	// MaxDelay bounds injected delivery delay (default 2ms): delays
+	// are drawn uniformly in (0, MaxDelay], long enough to reorder
+	// several back-to-back frames but bounded so protocols converge.
+	MaxDelay time.Duration
+	// DupDelay separates a duplicate from its original (default
+	// 500µs).
+	DupDelay time.Duration
+
+	// Start and Stop bound the injection window in virtual time;
+	// Stop == 0 means no end.
+	Start, Stop time.Duration
+}
+
+// Rate returns the combined per-frame fault probability.
+func (w WirePlan) Rate() float64 {
+	return w.DropRate + w.CorruptRate + w.DupRate + w.DelayRate
+}
+
+// Uniform is a wire plan with the combined fault rate split equally
+// across drop, corrupt, duplicate and delay.
+func Uniform(rate float64) WirePlan {
+	return WirePlan{DropRate: rate / 4, CorruptRate: rate / 4, DupRate: rate / 4, DelayRate: rate / 4}
+}
+
+// HostFaultKind selects what happens to a host at a HostEvent.
+type HostFaultKind int
+
+const (
+	// Pause stalls the host's CPU without losing state; its NIC
+	// queue fills and overflows while it lasts.
+	Pause HostFaultKind = iota
+	// Crash takes the host down: interrupt work and packet-filter
+	// ports are lost, and survivors must re-bind filters after the
+	// restart.
+	Crash
+)
+
+// String names the host fault kind.
+func (k HostFaultKind) String() string {
+	if k == Pause {
+		return "pause"
+	}
+	return "crash"
+}
+
+// HostEvent schedules one lifecycle fault against a named host.
+type HostEvent struct {
+	Host   string
+	At     time.Duration
+	Kind   HostFaultKind
+	Outage time.Duration // until Resume/Restart; 0 = never comes back
+}
+
+// Squeeze temporarily shrinks a host's receive queues: the NIC input
+// queue and (through the device-wide cap) every packet-filter port
+// queue — §6's "queue overflows in the network interface" made
+// schedulable.
+type Squeeze struct {
+	Host     string
+	At       time.Duration
+	Duration time.Duration // 0 = permanent
+	NICLimit int           // NIC input-queue bound while squeezed
+	PortCap  int           // pf port-queue cap while squeezed (0 = leave alone)
+}
+
+// Plan is a complete, self-describing fault schedule.  The same
+// (seed, plan) pair always reproduces the same run.
+type Plan struct {
+	Name     string
+	Wire     WirePlan
+	Hosts    []HostEvent
+	Squeezes []Squeeze
+}
+
+// Named returns one of the built-in demonstration plans used by
+// cmd/pfchaos.  The host names refer to pfchaos's topology (alpha,
+// beta, charlie, diskless).
+func Named(name string) (Plan, bool) {
+	switch name {
+	case "calm":
+		return Plan{Name: "calm", Wire: Uniform(0.02)}, true
+	case "lossy":
+		return Plan{Name: "lossy", Wire: Uniform(0.20)}, true
+	case "hostile":
+		return Plan{
+			Name: "hostile",
+			Wire: Uniform(0.30),
+			Squeezes: []Squeeze{
+				{Host: "beta", At: 50 * time.Millisecond, Duration: 150 * time.Millisecond, NICLimit: 2, PortCap: 2},
+			},
+		}, true
+	case "crashy":
+		return Plan{
+			Name: "crashy",
+			Wire: Uniform(0.10),
+			Hosts: []HostEvent{
+				{Host: "beta", At: 60 * time.Millisecond, Kind: Pause, Outage: 40 * time.Millisecond},
+				{Host: "charlie", At: 120 * time.Millisecond, Kind: Crash, Outage: 80 * time.Millisecond},
+			},
+		}, true
+	}
+	return Plan{}, false
+}
+
+// PlanNames lists the built-in plans.
+func PlanNames() []string { return []string{"calm", "lossy", "hostile", "crashy"} }

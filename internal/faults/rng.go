@@ -1,0 +1,30 @@
+package faults
+
+// Stateless deterministic randomness: every draw is a pure hash of
+// (seed, stream, index), so a fault decision depends only on the plan
+// seed, which knob is drawing (the stream) and the frame index — never
+// on how many draws other streams have made.  That is what makes a run
+// reproducible from (seed, plan) alone, and what keeps two networks in
+// one simulation from perturbing each other's fault schedules.
+
+const golden = 0x9e3779b97f4a7c15
+
+// mix is the splitmix64 output permutation.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// draw hashes (seed, stream, index) to a uniform uint64.
+func draw(seed, stream, index uint64) uint64 {
+	return mix(mix(seed+stream*golden) + index*golden)
+}
+
+// u01 maps a draw to [0, 1) with 53 bits of precision.
+func u01(seed, stream, index uint64) float64 {
+	return float64(draw(seed, stream, index)>>11) / (1 << 53)
+}

@@ -30,6 +30,11 @@ func FuzzRun(f *testing.F) {
 		}
 		checked := Run(prog, pkt)              // must not panic
 		RunExt(prog, pkt, Env{HeaderWords: 2}) // must not panic
+		if checked.Err != nil && checked.Accept {
+			// Errors must reject: "or an error is detected, it
+			// returns" — never deliver on a faulted evaluation.
+			t.Fatalf("evaluation errored (%v) yet accepted the packet", checked.Err)
+		}
 
 		// When the program validates, the fast paths must agree.
 		if _, err := Validate(prog, ValidateOptions{}); err == nil {

@@ -295,7 +295,10 @@ func (c *TCPConn) sendSeg(flags uint8, seq uint32, data []byte) {
 	c.stack.sendIP(IPHdr{Proto: ProtoTCP, Dst: c.key.remote}, seg, len(seg))
 }
 
-// armRTO (re)starts the retransmission timer.
+// armRTO starts the retransmission timer unless one is already in
+// flight.  Invariant: exactly one timer is pending iff rtxArmed, and
+// only rtoFire clears it — acks restart the clock by bumping rtxGen,
+// never by disarming, so the timer can't be lost or duplicated.
 func (c *TCPConn) armRTO() {
 	if c.rtxArmed {
 		return
@@ -306,14 +309,21 @@ func (c *TCPConn) armRTO() {
 }
 
 func (c *TCPConn) rtoFire(gen int) {
-	if gen != c.rtxGen || c.state == stDone {
-		c.rtxArmed = false
+	c.rtxArmed = false
+	if c.state == stDone {
 		return
 	}
-	c.rtxArmed = false
 	outstanding := c.sndNxt != c.sndBase || c.state == stSynSent ||
 		(c.state == stFinWait)
 	if !outstanding {
+		return
+	}
+	if gen != c.rtxGen {
+		// An ack (or the handshake) restarted the clock while this
+		// timer was in flight.  Unacknowledged data remains, so the
+		// timer must live on — dropping it here would leave a stalled
+		// window with no retransmission path at all.
+		c.armRTO()
 		return
 	}
 	c.Retransmits++
@@ -436,7 +446,6 @@ func (c *TCPConn) handle(flags uint8, seq, ack uint32, data []byte) {
 			}
 			c.sndBase = ack
 			c.rtxGen++ // restart timing from the new base
-			c.rtxArmed = false
 			if c.sndNxt != c.sndBase {
 				c.armRTO()
 			}

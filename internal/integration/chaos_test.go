@@ -1,0 +1,368 @@
+package integration
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/faults"
+	"repro/internal/pfdev"
+	"repro/internal/pup"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vmtp"
+	"repro/internal/vtime"
+)
+
+// The chaos soak: BSP, EFTP and user-level VMTP all running over a
+// wire that drops, corrupts, duplicates and delays frames at up to a
+// 30% combined rate.  The invariants under test are the ones ISSUE's
+// fault model demands:
+//
+//   - exactly-once, in-order delivery of every byte through each
+//     protocol's own retransmission, duplicate-suppression and
+//     checksum machinery (corruption must be *caught*, never slip
+//     through);
+//   - bit-identical reruns: the same (seed, rate) cell produces the
+//     same trace event stream and the same metric snapshot every time.
+
+// chaosResult captures one soak cell.
+type chaosResult struct {
+	bspOK, eftpOK, vmtpOK bool
+	bspDuplicates         int
+	ledger                faults.Ledger
+	end                   time.Duration
+	events                []trace.Event
+	snap                  []byte
+}
+
+// runChaosCell runs the three checksummed protocols concurrently over
+// one faulted wire and records the full trace.
+func runChaosCell(t *testing.T, seed uint64, rate float64) chaosResult {
+	t.Helper()
+	s := sim.New(vtime.DefaultCosts())
+	tr := trace.New()
+	rec := &trace.Recorder{}
+	tr.SetSink(rec)
+	s.SetTracer(tr)
+
+	net := ethersim.New(s, ethersim.Ether10Mb)
+	alpha, beta := s.NewHost("alpha"), s.NewHost("beta")
+	nicA, nicB := net.Attach(alpha, 0xA1), net.Attach(beta, 0xB2)
+	devA := pfdev.Attach(nicA, nil, pfdev.Options{})
+	devB := pfdev.Attach(nicB, nil, pfdev.Options{})
+
+	eng := faults.New(s, seed, faults.Plan{Name: "soak", Wire: faults.Uniform(rate)})
+	eng.AttachWire(net)
+
+	bspData := bytes.Repeat([]byte("soak bsp "), 450)   // ~4 KB beta -> alpha
+	eftpData := bytes.Repeat([]byte("soak eftp "), 300) // ~3 KB alpha -> beta
+	vmtpReq := bytes.Repeat([]byte{0xC3}, 512)
+
+	var res chaosResult
+
+	// --- BSP: beta -> alpha, checksummed --------------------------
+	bspAddr := pup.PortAddr{Net: 1, Host: 0xA1, Socket: 0x500}
+	var bspRcv *pup.BSPReceiver
+	s.Spawn(alpha, "bsp-recv", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devA, bspAddr, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sock.Checksummed = true
+		bspRcv = pup.NewBSPReceiver(sock, pup.DefaultBSPConfig())
+		var got bytes.Buffer
+		for {
+			seg, err := bspRcv.Receive(p, 3*time.Second)
+			if err != nil {
+				break
+			}
+			got.Write(seg)
+		}
+		res.bspOK = bytes.Equal(got.Bytes(), bspData)
+	})
+	s.Spawn(beta, "bsp-send", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devB, pup.PortAddr{Net: 1, Host: 0xB2, Socket: 0x501}, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sock.Checksummed = true
+		p.Sleep(2 * time.Millisecond)
+		snd := pup.NewBSPSender(sock, bspAddr, pup.DefaultBSPConfig())
+		if err := snd.Send(p, bspData); err != nil {
+			t.Errorf("bsp send (seed %d rate %.2f): %v", seed, rate, err)
+			return
+		}
+		snd.Close(p)
+	})
+
+	// --- EFTP: alpha -> beta, checksummed -------------------------
+	eftpAddr := pup.PortAddr{Net: 1, Host: 0xB2, Socket: 0x600}
+	eftpCfg := pup.DefaultEFTPConfig()
+	eftpCfg.Retries = 16 // survive 30% combined faults
+	s.Spawn(beta, "eftp-recv", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devB, eftpAddr, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sock.Checksummed = true
+		got, err := pup.EFTPReceive(p, sock, 3*time.Second, eftpCfg)
+		res.eftpOK = err == nil && bytes.Equal(got, eftpData)
+	})
+	s.Spawn(alpha, "eftp-send", func(p *sim.Proc) {
+		sock, err := pup.Open(p, devA, pup.PortAddr{Net: 1, Host: 0xA1, Socket: 0x601}, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sock.Checksummed = true
+		p.Sleep(3 * time.Millisecond)
+		if _, err := pup.EFTPSend(p, sock, eftpAddr, eftpData, eftpCfg); err != nil {
+			t.Errorf("eftp send (seed %d rate %.2f): %v", seed, rate, err)
+		}
+	})
+
+	// --- User-level VMTP: alpha calls beta, checksummed -----------
+	vcfg := vmtp.DefaultUserConfig()
+	vcfg.Checksummed = true
+	s.Spawn(beta, "uvmtpd", func(p *sim.Proc) {
+		ep, err := vmtp.NewUserEndpoint(p, devB, 800, vcfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ep.Serve(p, func(op uint16, req []byte) []byte { return req }, 3*time.Second)
+	})
+	s.Spawn(alpha, "uvmtp-client", func(p *sim.Proc) {
+		ep, err := vmtp.NewUserEndpoint(p, devA, 801, vcfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(4 * time.Millisecond)
+		ok := true
+		for i := 0; i < 5; i++ {
+			resp, err := ep.Call(p, nicB.Addr(), 800, uint16(i), vmtpReq)
+			if err != nil || !bytes.Equal(resp, vmtpReq) {
+				t.Errorf("vmtp call %d (seed %d rate %.2f): %v", i, seed, rate, err)
+				ok = false
+				break
+			}
+		}
+		res.vmtpOK = ok
+	})
+
+	res.end = s.Run(60 * time.Second)
+	res.ledger = eng.Ledger
+	if bspRcv != nil {
+		res.bspDuplicates = bspRcv.Duplicates
+	}
+	res.events = rec.Events
+	raw, err := tr.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.snap = raw
+	return res
+}
+
+// TestChaosSoak runs the seeds × fault-rates grid and checks both
+// invariants in every cell.
+func TestChaosSoak(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	rates := []float64{0, 0.10, 0.20, 0.30}
+	for _, seed := range seeds {
+		for _, rate := range rates {
+			seed, rate := seed, rate
+			t.Run(fmt.Sprintf("seed=%d/rate=%.0f%%", seed, rate*100), func(t *testing.T) {
+				a := runChaosCell(t, seed, rate)
+				if !a.bspOK {
+					t.Error("bsp stream not delivered exactly-once in-order")
+				}
+				if !a.eftpOK {
+					t.Error("eftp file not delivered exactly-once in-order")
+				}
+				if !a.vmtpOK {
+					t.Error("vmtp transactions failed")
+				}
+				if rate > 0 && a.ledger.Total() == 0 {
+					t.Errorf("no faults injected at rate %.2f", rate)
+				}
+				if rate == 0 && a.ledger.Total() != 0 {
+					t.Errorf("faults injected at rate 0: %s", a.ledger.String())
+				}
+
+				// Bit-identical rerun: same seed, same plan, same
+				// everything — events and metric snapshots included.
+				b := runChaosCell(t, seed, rate)
+				if a.end != b.end {
+					t.Fatalf("end times differ: %v vs %v", a.end, b.end)
+				}
+				if a.ledger != b.ledger {
+					t.Fatalf("ledgers differ:\n  %s\n  %s", a.ledger.String(), b.ledger.String())
+				}
+				if len(a.events) != len(b.events) {
+					t.Fatalf("event counts differ: %d vs %d", len(a.events), len(b.events))
+				}
+				for i := range a.events {
+					if a.events[i] != b.events[i] {
+						t.Fatalf("event %d differs:\n  %+v\n  %+v", i, a.events[i], b.events[i])
+					}
+				}
+				if !bytes.Equal(a.snap, b.snap) {
+					t.Fatal("metric snapshots differ between identical runs")
+				}
+			})
+		}
+	}
+}
+
+// TestChaosDuplicateSuppression pins that a dup-heavy wire exercises
+// the receiver's duplicate suppression (the exactly-once half that a
+// pure drop schedule never tests).
+func TestChaosDuplicateSuppression(t *testing.T) {
+	res := runChaosCell(t, 11, 0.30)
+	if !res.bspOK {
+		t.Fatal("bsp failed under 30% faults")
+	}
+	if res.ledger.Dups == 0 {
+		t.Fatal("plan injected no duplicates")
+	}
+	if res.bspDuplicates == 0 {
+		t.Error("receiver suppressed no duplicates despite injected dups/retransmits")
+	}
+}
+
+// TestChaosCrashRecovery crashes hosts mid-run and requires the
+// services on them to recover: the echo server re-binds its filter
+// after its own kernel reboots, and the gateway re-opens its transit
+// ports so cross-net traffic flows again.
+func TestChaosCrashRecovery(t *testing.T) {
+	s := sim.New(vtime.DefaultCosts())
+	tr := trace.New()
+	s.SetTracer(tr)
+
+	net1 := ethersim.New(s, ethersim.Ether10Mb)
+	net2 := ethersim.New(s, ethersim.Ether10Mb)
+	ha, hb, hgw := s.NewHost("a"), s.NewHost("b"), s.NewHost("gw")
+	da := pfdev.Attach(net1.Attach(ha, 0x0A), nil, pfdev.Options{})
+	db := pfdev.Attach(net2.Attach(hb, 0x0B), nil, pfdev.Options{})
+	dg1 := pfdev.Attach(net1.Attach(hgw, 0x7E), nil, pfdev.Options{})
+	dg2 := pfdev.Attach(net2.Attach(hgw, 0x7F), nil, pfdev.Options{})
+	gw := pup.NewGateway(
+		pup.GatewayPort{Dev: dg1, Net: 1},
+		pup.GatewayPort{Dev: dg2, Net: 2},
+	)
+	s.Spawn(hgw, "gateway", func(p *sim.Proc) { gw.Run(p, 2*time.Second) })
+
+	// Crash the gateway mid-transfer and the echo server's host too.
+	plan := faults.Plan{
+		Name: "crash-recovery",
+		Hosts: []faults.HostEvent{
+			{Host: "gw", At: 30 * time.Millisecond, Kind: faults.Crash, Outage: 20 * time.Millisecond},
+			{Host: "b", At: 90 * time.Millisecond, Kind: faults.Crash, Outage: 20 * time.Millisecond},
+		},
+	}
+	eng := faults.New(s, 1, plan)
+	eng.AttachHost(hgw)
+	eng.AttachHost(hb)
+
+	addrA := pup.PortAddr{Net: 1, Host: 0x0A, Socket: 0x100}
+	addrB := pup.PortAddr{Net: 2, Host: 0x0B, Socket: 0x200}
+
+	var echoSock *pup.Socket
+	s.Spawn(hb, "echod", func(p *sim.Proc) {
+		sock, err := pup.Open(p, db, addrB, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sock.Gateway = 0x7F
+		echoSock = sock
+		sock.EchoServer(p, 2*time.Second)
+	})
+
+	// A BSP stream through the gateway spans both crashes.
+	bspData := bytes.Repeat([]byte("across the gap "), 300) // ~4.5 KB
+	bspOK := false
+	s.Spawn(hb, "bsp-recv", func(p *sim.Proc) {
+		sock, err := pup.Open(p, db, pup.PortAddr{Net: 2, Host: 0x0B, Socket: 0x300}, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sock.Gateway = 0x7F
+		rcv := pup.NewBSPReceiver(sock, pup.DefaultBSPConfig())
+		var got bytes.Buffer
+		for {
+			seg, err := rcv.Receive(p, 3*time.Second)
+			if err == pfdev.ErrClosed {
+				// Our own host crashed: re-bind and keep receiving
+				// (the sender retransmits what the reboot lost).
+				if sock.Reopen(p) != nil {
+					break
+				}
+				continue
+			}
+			if err != nil {
+				break
+			}
+			got.Write(seg)
+		}
+		bspOK = bytes.Equal(got.Bytes(), bspData)
+	})
+	s.Spawn(ha, "bsp-send", func(p *sim.Proc) {
+		sock, err := pup.Open(p, da, addrA, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sock.Gateway = 0x7E
+		p.Sleep(5 * time.Millisecond)
+		snd := pup.NewBSPSender(sock, pup.PortAddr{Net: 2, Host: 0x0B, Socket: 0x300}, pup.DefaultBSPConfig())
+		if err := snd.Send(p, bspData); err != nil {
+			t.Errorf("bsp through crashed gateway: %v", err)
+			return
+		}
+		snd.Close(p)
+	})
+
+	// An echo after the second crash proves the server re-bound.
+	var rtt time.Duration
+	var echoErr error
+	s.Spawn(ha, "pinger", func(p *sim.Proc) {
+		sock, err := pup.Open(p, da, pup.PortAddr{Net: 1, Host: 0x0A, Socket: 0x101}, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sock.Gateway = 0x7E
+		p.Sleep(150 * time.Millisecond) // after the echo host's reboot
+		rtt, echoErr = sock.Echo(p, addrB, []byte("back?"), 100*time.Millisecond, 8)
+	})
+
+	s.Run(30 * time.Second)
+
+	if !bspOK {
+		t.Error("bsp stream did not survive the crashes")
+	}
+	if echoErr != nil {
+		t.Errorf("echo after reboot failed: %v", echoErr)
+	} else if rtt <= 0 {
+		t.Error("no echo round trip after reboot")
+	}
+	if gw.Recoveries == 0 {
+		t.Error("gateway never recovered its route")
+	}
+	if echoSock == nil || echoSock.Rebinds == 0 {
+		t.Error("echo server never re-bound its filter")
+	}
+	if eng.Ledger.Crashes != 2 || eng.Ledger.Restarts != 2 {
+		t.Errorf("crash/restart miscounted: %s", eng.Ledger.String())
+	}
+}

@@ -114,6 +114,11 @@ type Device struct {
 	table      *filter.Table // EvalTable mode: merged evaluator
 	tablePorts []*Port       // table index -> port
 
+	// queueCap, when non-zero, caps the effective input-queue limit
+	// of every port on the device — the fault engine's "port-queue
+	// pressure" knob.
+	queueCap int
+
 	// KernelDrops counts packets that matched no filter or
 	// overflowed a port queue.
 	KernelDrops uint64
@@ -127,8 +132,37 @@ func Attach(nic *ethersim.NIC, kern KernelProtocol, opt Options) *Device {
 	}
 	d := &Device{host: nic.Host(), nic: nic, opt: opt, kern: kern}
 	nic.Handler = d.input
+	// Port state lives in the kernel and dies with the machine:
+	// every open port is closed on a crash, so surviving process
+	// goroutines see ErrClosed and must re-open and re-bind their
+	// filters on recovery.
+	nic.Host().OnCrash(d.crash)
 	return d
 }
+
+// crash closes every port in event-loop context (no process to charge
+// syscalls to): queues are flushed, blocked readers and selectors wake
+// to find ErrClosed.
+func (d *Device) crash() {
+	ports := d.ports
+	d.ports = nil
+	d.table = nil
+	d.tablePorts = nil
+	for _, port := range ports {
+		port.closed = true
+		port.queue = nil
+		port.readers.WakeAll(d.host)
+		for _, w := range port.watchers {
+			w.WakeAll(d.host)
+		}
+	}
+}
+
+// SetQueueCap caps (or, with 0, uncaps) the effective input-queue
+// length of every port on the device, on top of each port's own
+// limit.  The fault engine uses it to model transient kernel-memory
+// pressure on the port queues.
+func (d *Device) SetQueueCap(n int) { d.queueCap = n }
 
 // Host returns the host the device lives on.
 func (d *Device) Host() *sim.Host { return d.host }

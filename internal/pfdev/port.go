@@ -200,7 +200,11 @@ func (port *Port) SetBatchMax(p *sim.Proc, n int) {
 // when the frame entered the packet-filter input path.
 func (port *Port) enqueue(frame []byte, arrived time.Duration) {
 	h := port.dev.host
-	if len(port.queue) >= port.queueLimit {
+	limit := port.queueLimit
+	if c := port.dev.queueCap; c > 0 && c < limit {
+		limit = c
+	}
+	if len(port.queue) >= limit {
 		port.dropped++
 		h.Counters.PacketsDropped++
 		h.Sim().Counters.PacketsDropped++
@@ -238,6 +242,16 @@ func (port *Port) depthGauge(tr *trace.Tracer) *trace.Gauge {
 
 // Read returns the first queued packet, blocking per the port timeout.
 // One system call and one kernel-to-user copy per packet (figure 3-4).
+//
+// Tie-break: when the read timeout and a packet delivery land on the
+// same virtual instant, whichever event was scheduled first wins — the
+// timeout was scheduled when the wait began, so a packet arriving via
+// the receive path exactly at the deadline loses the race, Read
+// returns ErrTimeout, and the packet stays queued for the next read.
+// Only an enqueue whose event was scheduled before the wait started
+// can beat the timeout at the same tick.  This order is deterministic
+// (sim events at equal times run in scheduling order) and is pinned by
+// TestReadTimeoutVsSameTickDelivery.
 func (port *Port) Read(p *sim.Proc) (Packet, error) {
 	if port.closed {
 		return Packet{}, ErrClosed
@@ -432,14 +446,17 @@ func (port *Port) Close(p *sim.Proc) {
 	port.dev.table = nil
 }
 
-// Select blocks until one of the ports has a queued packet, returning
-// its index, or -1 on timeout.  It models the 4.3BSD select mechanism
-// the paper cites for non-blocking network I/O (§3).
+// Select blocks until one of the ports has a queued packet — or has
+// been closed under the caller, which also makes it "ready" so the
+// next Read surfaces ErrClosed instead of Select blocking forever on a
+// dead port (a host crash closes every port).  Returns the ready
+// index, or -1 on timeout.  It models the 4.3BSD select mechanism the
+// paper cites for non-blocking network I/O (§3).
 func Select(p *sim.Proc, ports []*Port, timeout time.Duration) int {
 	p.Syscall("pf")
 	check := func() int {
 		for i, port := range ports {
-			if len(port.queue) > 0 && !port.closed {
+			if port.closed || len(port.queue) > 0 {
 				return i
 			}
 		}

@@ -1,0 +1,90 @@
+package pfdev
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+// TestReadTimeoutVsSameTickDelivery pins the tie-break documented on
+// Port.Read: when a packet's enqueue event and a blocked read's
+// deadline land on the same virtual tick, the winner is whichever
+// event was scheduled first.  An enqueue scheduled before the wait
+// started delivers the packet; an enqueue scheduled after it loses,
+// Read returns ErrTimeout, and the packet stays queued for the next
+// read.  Zero costs make the wait start at exactly the spawn time, so
+// both cases hit the deadline tick dead on.
+func TestReadTimeoutVsSameTickDelivery(t *testing.T) {
+	const deadline = time.Millisecond
+	frame := pupTo(2, 1, 1, 35)
+
+	setup := func() (*sim.Sim, *Port) {
+		s := sim.New(vtime.Costs{})
+		net := ethersim.New(s, ethersim.Ether3Mb)
+		dev := Attach(net.Attach(s.NewHost("b"), 2), nil, Options{})
+		var port *Port
+		s.Spawn(dev.Host(), "open", func(p *sim.Proc) {
+			port = dev.Open(p)
+			if err := port.SetFilter(p, socketFilter(10, 35)); err != nil {
+				t.Fatal(err)
+			}
+		})
+		s.Run(0)
+		return s, port
+	}
+
+	t.Run("enqueue scheduled before the wait wins", func(t *testing.T) {
+		s, port := setup()
+		// Scheduled now, before the reader exists: first in line at
+		// the deadline tick.
+		s.At(deadline, func() { port.enqueue(frame, s.Now()) })
+		var err error
+		var at time.Duration
+		s.Spawn(port.dev.Host(), "read", func(p *sim.Proc) {
+			port.SetTimeout(p, deadline)
+			_, err = port.Read(p)
+			at = p.Now()
+		})
+		s.Run(0)
+		if err != nil {
+			t.Fatalf("Read = %v, want the packet (enqueue event predates the wait)", err)
+		}
+		if at != deadline {
+			t.Fatalf("delivered at %v, want exactly %v", at, deadline)
+		}
+	})
+
+	t.Run("timeout beats an enqueue scheduled after the wait", func(t *testing.T) {
+		s, port := setup()
+		// Inserted from a later event, so at the deadline tick it
+		// runs after the timeout that the wait registered at t=0.
+		s.At(deadline/2, func() {
+			s.At(deadline, func() { port.enqueue(frame, s.Now()) })
+		})
+		var first, second error
+		var firstAt, secondAt time.Duration
+		s.Spawn(port.dev.Host(), "read", func(p *sim.Proc) {
+			port.SetTimeout(p, deadline)
+			_, first = port.Read(p)
+			firstAt = p.Now()
+			_, second = port.Read(p)
+			secondAt = p.Now()
+		})
+		s.Run(0)
+		if first != ErrTimeout {
+			t.Fatalf("first Read = %v, want ErrTimeout (timeout event predates the enqueue)", first)
+		}
+		if firstAt != deadline {
+			t.Fatalf("timed out at %v, want exactly %v", firstAt, deadline)
+		}
+		if second != nil {
+			t.Fatalf("second Read = %v, want the queued packet", second)
+		}
+		if secondAt != deadline {
+			t.Fatalf("packet delivered at %v, want exactly %v (it was already queued)", secondAt, deadline)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/pfdev"
 	"repro/internal/sim"
 )
@@ -22,8 +23,12 @@ import (
 type BSPConfig struct {
 	// Window is the number of unacknowledged segments in flight.
 	Window int
-	// RTO is the retransmission timeout.
+	// RTO is the initial retransmission timeout; consecutive
+	// timeouts back off exponentially (deterministic, jitter-free)
+	// up to MaxRTO.
 	RTO time.Duration
+	// MaxRTO caps the backed-off timeout (default 8×RTO).
+	MaxRTO time.Duration
 	// SegSize caps the data bytes per segment (defaults to
 	// MaxData; table 6-6's "forced small packet" variants shrink
 	// it).
@@ -61,6 +66,17 @@ type BSPSender struct {
 	// Retransmissions counts timeouts; lossless simulations should
 	// see zero.
 	Retransmissions int
+	// Stats accumulates the sender's per-stream accounting.
+	Stats BSPStats
+}
+
+// BSPStats is the sender-side accounting block.
+type BSPStats struct {
+	Segments        int           // distinct data segments sent
+	Attempts        int           // data transmissions including retransmits
+	Timeouts        int           // ack waits that expired
+	Retransmissions int           // = Timeouts for go-back-N; kept for symmetry
+	MaxRTOReached   time.Duration // largest backed-off timeout actually used
 }
 
 // NewBSPSender creates a sender from an open socket to a destination
@@ -75,7 +91,20 @@ func NewBSPSender(sock *Socket, dst PortAddr, cfg BSPConfig) *BSPSender {
 	if cfg.RTO <= 0 {
 		cfg.RTO = 50 * time.Millisecond
 	}
+	if cfg.MaxRTO <= 0 {
+		cfg.MaxRTO = 8 * cfg.RTO
+	}
 	return &BSPSender{sock: sock, dst: dst, cfg: cfg}
+}
+
+// rto returns the backed-off timeout for the given consecutive-stall
+// count and records the high-water mark.
+func (s *BSPSender) rto(stalls int) time.Duration {
+	d := backoff.Policy{Base: s.cfg.RTO, Cap: s.cfg.MaxRTO}.Delay(stalls)
+	if d > s.Stats.MaxRTOReached {
+		s.Stats.MaxRTOReached = d
+	}
+	return d
 }
 
 // ErrStreamAborted reports too many consecutive retransmissions.
@@ -97,15 +126,18 @@ func (s *BSPSender) Send(p *sim.Proc, data []byte) error {
 			if err := s.sendSeg(p, TypeBSPData, seq, segs[next]); err != nil {
 				return err
 			}
+			s.Stats.Segments++
 			window[seq] = segs[next]
 			next++
 		}
-		// Await an ack.
-		s.sock.SetTimeout(p, s.cfg.RTO)
+		// Await an ack, backing off while the stall persists.
+		s.sock.SetTimeout(p, s.rto(stalls))
 		pkt, err := s.sock.Recv(p)
 		if err == pfdev.ErrTimeout {
 			// Go-back-N: retransmit everything in flight.
 			s.Retransmissions++
+			s.Stats.Timeouts++
+			s.Stats.Retransmissions++
 			stalls++
 			if stalls > 20 {
 				return ErrStreamAborted
@@ -138,16 +170,21 @@ func (s *BSPSender) Send(p *sim.Proc, data []byte) error {
 	return nil
 }
 
-// Close performs the End/EndOK handshake.
+// Close performs the End/EndOK handshake, backing off like Send.
+// Every data segment was acknowledged before Close runs, so if the
+// whole handshake is lost the receiver still has the complete stream;
+// exhausting the retries is therefore success, not failure — the
+// two-army problem at teardown has no better answer.
 func (s *BSPSender) Close(p *sim.Proc) error {
-	s.sock.SetTimeout(p, s.cfg.RTO)
 	for try := 0; try < 20; try++ {
 		if err := s.sendSeg(p, TypeBSPEnd, s.nextSeq, nil); err != nil {
 			return err
 		}
+		s.sock.SetTimeout(p, s.rto(try))
 		pkt, err := s.sock.Recv(p)
 		if err == pfdev.ErrTimeout {
 			s.Retransmissions++
+			s.Stats.Timeouts++
 			continue
 		}
 		if err != nil {
@@ -157,12 +194,15 @@ func (s *BSPSender) Close(p *sim.Proc) error {
 			return nil
 		}
 	}
-	return ErrStreamAborted
+	return nil
 }
 
 func (s *BSPSender) sendSeg(p *sim.Proc, typ uint8, seq uint32, data []byte) error {
 	if s.cfg.PerSegmentCPU > 0 {
 		p.Consume(s.cfg.PerSegmentCPU)
+	}
+	if typ == TypeBSPData {
+		s.Stats.Attempts++
 	}
 	return s.sock.Send(p, &Packet{Type: typ, ID: seq, Dst: s.dst, Data: data})
 }
@@ -188,7 +228,12 @@ type BSPReceiver struct {
 	sock    *Socket
 	cfg     BSPConfig
 	nextSeq uint32
-	// Duplicates counts retransmitted segments seen.
+	// Delivered counts in-order segments returned to the caller;
+	// Duplicates counts retransmitted or out-of-order segments that
+	// were suppressed (re-acked and dropped) — the receive-side
+	// duplicate suppression that keeps delivery exactly-once when
+	// the wire duplicates or reorders frames.
+	Delivered  int
 	Duplicates int
 }
 
@@ -220,6 +265,7 @@ func (r *BSPReceiver) Receive(p *sim.Proc, idle time.Duration) ([]byte, error) {
 		case TypeBSPData:
 			if pkt.ID == r.nextSeq {
 				r.nextSeq++
+				r.Delivered++
 				r.ack(p, pkt.Src)
 				return pkt.Data, nil
 			}

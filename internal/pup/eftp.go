@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/pfdev"
 	"repro/internal/sim"
 )
@@ -29,12 +30,31 @@ const (
 type EFTPConfig struct {
 	// BlockSize caps data bytes per block (default MaxData).
 	BlockSize int
-	// RTO is the per-block retransmission timeout.
+	// RTO is the initial per-block retransmission timeout;
+	// consecutive timeouts on the same block back off exponentially
+	// up to MaxRTO.
 	RTO time.Duration
+	// MaxRTO caps the backed-off timeout (default 8×RTO).
+	MaxRTO time.Duration
 	// Retries bounds retransmissions of one block before aborting.
 	Retries int
+	// Dally is how long the receiver lingers after acknowledging the
+	// End block, re-acking retransmitted Ends whose acks were lost
+	// (default 2×MaxRTO — longer than the sender's largest
+	// retransmission gap).  Without it the final ack's loss strands
+	// the sender: the two-army problem at teardown.
+	Dally time.Duration
 	// PerBlockCPU models the user-mode processing per block.
 	PerBlockCPU time.Duration
+	// Stats, when non-nil, accumulates sender-side accounting.
+	Stats *EFTPStats
+}
+
+// EFTPStats is the sender-side accounting block.
+type EFTPStats struct {
+	Blocks          int // distinct blocks sent (including the End)
+	Attempts        int // block transmissions including retransmits
+	Retransmissions int // timeouts that forced a retransmit
 }
 
 // DefaultEFTPConfig returns the configuration used in examples and
@@ -55,8 +75,14 @@ func (c *EFTPConfig) sanitize() {
 	if c.RTO <= 0 {
 		c.RTO = 40 * time.Millisecond
 	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 8 * c.RTO
+	}
 	if c.Retries <= 0 {
 		c.Retries = 8
+	}
+	if c.Dally <= 0 {
+		c.Dally = 2 * c.MaxRTO
 	}
 }
 
@@ -84,20 +110,36 @@ func EFTPSend(p *sim.Proc, sock *Socket, dst PortAddr, data []byte, cfg EFTPConf
 	cfg.sanitize()
 	retrans := 0
 	blocks := segment(data, cfg.BlockSize)
-	sock.SetTimeout(p, cfg.RTO)
+	pol := backoff.Policy{Base: cfg.RTO, Cap: cfg.MaxRTO}
 
 	xmit := func(seq uint32, typ uint8, blk []byte) error {
 		if cfg.PerBlockCPU > 0 {
 			p.Consume(cfg.PerBlockCPU)
 		}
+		if cfg.Stats != nil {
+			cfg.Stats.Attempts++
+		}
 		return sock.Send(p, &Packet{Type: typ, ID: seq, Dst: dst, Data: blk})
 	}
-	// await waits for the ack of seq, retransmitting as needed.
+	// await waits for the ack of seq, retransmitting with exponential
+	// backoff while the same block keeps timing out.  Only timeouts
+	// consume the retry budget: a duplicated wire makes the receiver
+	// re-ack earlier blocks, and those stale acks must not starve the
+	// block actually in flight.
 	await := func(seq uint32, typ uint8, blk []byte) error {
-		for try := 0; try <= cfg.Retries; try++ {
+		try := 0
+		for try <= cfg.Retries {
+			sock.SetTimeout(p, pol.Delay(try))
 			pkt, err := sock.Recv(p)
 			if err == pfdev.ErrTimeout {
+				try++
+				if try > cfg.Retries {
+					break
+				}
 				retrans++
+				if cfg.Stats != nil {
+					cfg.Stats.Retransmissions++
+				}
 				if err := xmit(seq, typ, blk); err != nil {
 					return err
 				}
@@ -121,6 +163,9 @@ func EFTPSend(p *sim.Proc, sock *Socket, dst PortAddr, data []byte, cfg EFTPConf
 
 	for i, blk := range blocks {
 		seq := uint32(i)
+		if cfg.Stats != nil {
+			cfg.Stats.Blocks++
+		}
 		if err := xmit(seq, TypeEFTPData, blk); err != nil {
 			return retrans, err
 		}
@@ -129,10 +174,21 @@ func EFTPSend(p *sim.Proc, sock *Socket, dst PortAddr, data []byte, cfg EFTPConf
 		}
 	}
 	endSeq := uint32(len(blocks))
+	if cfg.Stats != nil {
+		cfg.Stats.Blocks++
+	}
 	if err := xmit(endSeq, TypeEFTPEnd, nil); err != nil {
 		return retrans, err
 	}
 	if err := await(endSeq, TypeEFTPEnd, nil); err != nil {
+		// Every data block was acknowledged, so the receiver has the
+		// whole file; only the End handshake is in doubt.  The
+		// receiver dallies to re-ack retransmitted Ends, but if every
+		// exchange in the dally window was lost the sender must
+		// assume success rather than fail a completed transfer.
+		if err == ErrEFTPTimeout {
+			return retrans, nil
+		}
 		return retrans, err
 	}
 	return retrans, nil
@@ -182,12 +238,34 @@ func EFTPReceive(p *sim.Proc, sock *Socket, idle time.Duration, cfg EFTPConfig) 
 			}
 		case TypeEFTPEnd:
 			if pkt.ID == next {
-				ack(pkt.Src, next)
+				if err := ack(pkt.Src, next); err != nil {
+					return out, err
+				}
+				dally(p, sock, ack, next, cfg.Dally)
 				return out, nil
 			}
 			ack(pkt.Src, pkt.ID) // stale end retransmission
 		case TypeEFTPAbort:
 			return out, &EFTPAbortError{Code: pkt.ID, Msg: string(pkt.Data)}
+		}
+	}
+}
+
+// dally keeps the receiver alive briefly after acknowledging End,
+// re-acking retransmitted Ends (and stale data) whose acks were lost.
+// Each retransmission restarts the window, so the receiver outlives
+// any run of losses the sender is still retrying through.
+func dally(p *sim.Proc, sock *Socket, ack func(PortAddr, uint32) error, endSeq uint32, window time.Duration) {
+	sock.SetTimeout(p, window)
+	for {
+		pkt, err := sock.Recv(p)
+		if err != nil {
+			return
+		}
+		if pkt.Type == TypeEFTPEnd || pkt.Type == TypeEFTPData {
+			if ack(pkt.Src, pkt.ID) != nil {
+				return
+			}
 		}
 	}
 }

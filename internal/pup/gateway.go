@@ -39,6 +39,9 @@ type Gateway struct {
 	// Forwarded, DroppedHops and DroppedNoRoute count routing
 	// outcomes.
 	Forwarded, DroppedHops, DroppedNoRoute uint64
+	// Recoveries counts route recoveries: the gateway's ports died
+	// with a crashed kernel and were re-opened with filters re-bound.
+	Recoveries uint64
 }
 
 // NewGateway creates a gateway over the given attachments.
@@ -65,20 +68,34 @@ func transitFilter(link ethersim.LinkType, localNet uint8) filter.Filter {
 	return filter.Filter{Priority: 50, Program: prog}
 }
 
-// Run forwards traffic until all attachments are idle for the given
-// duration.  One process serves all attachments round-robin via
-// select, like a small routing daemon.
-func (g *Gateway) Run(p *sim.Proc, idle time.Duration) error {
+// openPorts opens one transit port per attachment and binds its
+// filter — called at startup and again for route recovery after the
+// gateway's kernel crashes (which closes every port under it).
+func (g *Gateway) openPorts(p *sim.Proc) ([]*pfdev.Port, error) {
 	ports := make([]*pfdev.Port, len(g.ports))
 	for i, gp := range g.ports {
 		port := gp.Dev.Open(p)
 		link := gp.Dev.NIC().Network().Link()
 		if err := port.SetFilter(p, transitFilter(link, gp.Net)); err != nil {
-			return err
+			return nil, err
 		}
 		port.SetQueueLimit(p, 64)
 		port.SetTimeout(p, -1) // non-blocking; select drives the loop
 		ports[i] = port
+	}
+	return ports, nil
+}
+
+// Run forwards traffic until all attachments are idle for the given
+// duration.  One process serves all attachments round-robin via
+// select, like a small routing daemon.  A crash of the gateway's host
+// closes its ports; Run then re-opens them and re-binds the transit
+// filters, restoring the route (in-flight Pups are lost and left to
+// end-to-end retransmission).
+func (g *Gateway) Run(p *sim.Proc, idle time.Duration) error {
+	ports, err := g.openPorts(p)
+	if err != nil {
+		return err
 	}
 	defer func() {
 		for _, port := range ports {
@@ -92,6 +109,17 @@ func (g *Gateway) Run(p *sim.Proc, idle time.Duration) error {
 			return nil
 		}
 		raw, err := ports[i].Read(p)
+		if err == pfdev.ErrClosed {
+			// The kernel rebooted under us: every attachment's
+			// port is gone.  Re-open and re-bind them all.
+			fresh, rerr := g.openPorts(p)
+			if rerr != nil {
+				return rerr
+			}
+			copy(ports, fresh)
+			g.Recoveries++
+			continue
+		}
 		if err != nil {
 			continue
 		}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/pfdev"
 	"repro/internal/sim"
 )
@@ -114,12 +115,25 @@ func (ns *NameServer) Run(p *sim.Proc, idle time.Duration) error {
 	}
 }
 
+// LookupStats reports how hard a lookup had to try.
+type LookupStats struct {
+	Attempts int // broadcasts sent (1 on a quiet network)
+}
+
 // LookupName resolves a name by broadcasting to the well-known name
-// socket and waiting for any server's answer, retrying on timeout.
-// sock is the caller's own socket (replies come back to it).
+// socket and waiting for any server's answer, retrying with capped
+// exponential backoff on timeout.  sock is the caller's own socket
+// (replies come back to it).
 func LookupName(p *sim.Proc, sock *Socket, name string, timeout time.Duration, retries int) (PortAddr, error) {
+	addr, _, err := LookupNameStats(p, sock, name, timeout, retries)
+	return addr, err
+}
+
+// LookupNameStats is LookupName, also reporting attempt counts.
+func LookupNameStats(p *sim.Proc, sock *Socket, name string, timeout time.Duration, retries int) (PortAddr, LookupStats, error) {
+	var st LookupStats
 	if len(name) > MaxNameLen {
-		return PortAddr{}, ErrNameTooLong
+		return PortAddr{}, st, ErrNameTooLong
 	}
 	id := uint32(p.Now()/time.Microsecond) & 0xFFFFFF
 	req := &Packet{
@@ -132,18 +146,20 @@ func LookupName(p *sim.Proc, sock *Socket, name string, timeout time.Duration, r
 		},
 		Data: []byte(name),
 	}
-	sock.SetTimeout(p, timeout)
+	pol := backoff.Policy{Base: timeout, Cap: 8 * timeout}
 	for try := 0; try <= retries; try++ {
+		sock.SetTimeout(p, pol.Delay(try))
 		if err := sock.Send(p, req); err != nil {
-			return PortAddr{}, err
+			return PortAddr{}, st, err
 		}
+		st.Attempts++
 		for {
 			pkt, err := sock.Recv(p)
 			if err == pfdev.ErrTimeout {
 				break // retransmit
 			}
 			if err != nil {
-				return PortAddr{}, err
+				return PortAddr{}, st, err
 			}
 			if pkt.ID != id {
 				continue
@@ -152,14 +168,14 @@ func LookupName(p *sim.Proc, sock *Socket, name string, timeout time.Duration, r
 			case TypeNameIs:
 				got, addr, ok := unmarshalNameIs(pkt.Data)
 				if ok && got == name {
-					return addr, nil
+					return addr, st, nil
 				}
 			case TypeNameError:
 				if string(pkt.Data) == name {
-					return PortAddr{}, ErrNameUnknown
+					return PortAddr{}, st, ErrNameUnknown
 				}
 			}
 		}
 	}
-	return PortAddr{}, ErrNameTimeout
+	return PortAddr{}, st, ErrNameTimeout
 }

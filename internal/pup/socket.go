@@ -29,6 +29,11 @@ type Socket struct {
 	// gateway used for destinations on other networks (Dst.Net !=
 	// Local.Net).  On-net destinations always go direct.
 	Gateway ethersim.Addr
+	// Rebinds counts successful Reopen calls — recoveries from a
+	// port lost to a host crash.
+	Rebinds int
+
+	priority uint8 // filter priority, kept for Reopen
 }
 
 // SocketFilter builds the demultiplexing filter for a destination
@@ -58,7 +63,23 @@ func Open(p *sim.Proc, dev *pfdev.Device, local PortAddr, priority uint8) (*Sock
 	if err := port.SetFilter(p, SocketFilter(link, priority, local.Socket)); err != nil {
 		return nil, err
 	}
-	return &Socket{Port: port, Local: local, dev: dev, link: link}, nil
+	return &Socket{Port: port, Local: local, dev: dev, link: link, priority: priority}, nil
+}
+
+// Reopen re-opens the socket's packet-filter port and re-binds its
+// demultiplexing filter — the recovery step after a host crash closes
+// every port on the device.  Pending batched packets are discarded
+// (they died with the kernel); the caller must re-set its timeout.
+func (s *Socket) Reopen(p *sim.Proc) error {
+	port := s.dev.Open(p)
+	if err := port.SetFilter(p, SocketFilter(s.link, s.priority, s.Local.Socket)); err != nil {
+		port.Close(p)
+		return err
+	}
+	s.Port = port
+	s.pending = nil
+	s.Rebinds++
+	return nil
 }
 
 // etherType returns the Pup type code for the socket's link.
@@ -181,13 +202,23 @@ func (s *Socket) Echo(p *sim.Proc, dst PortAddr, data []byte, timeout time.Durat
 	return 0, pfdev.ErrTimeout
 }
 
-// EchoServer answers EchoMe Pups until the port closes or the timeout
-// expires with no traffic; it returns the number of echoes served.
+// EchoServer answers EchoMe Pups until the timeout expires with no
+// traffic; it returns the number of echoes served.  If the port is
+// closed under it (a host crash), the server re-binds its filter and
+// keeps serving — §5.1's long-running services must survive their
+// machine rebooting.
 func (s *Socket) EchoServer(p *sim.Proc, idleTimeout time.Duration) int {
 	served := 0
 	s.SetTimeout(p, idleTimeout)
 	for {
 		pkt, err := s.Recv(p)
+		if err == pfdev.ErrClosed {
+			if s.Reopen(p) != nil {
+				return served
+			}
+			s.SetTimeout(p, idleTimeout)
+			continue
+		}
 		if err != nil {
 			return served
 		}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/ethersim"
 	"repro/internal/filter"
 	"repro/internal/pfdev"
@@ -177,34 +178,48 @@ func (s *Server) Run(p *sim.Proc, idle time.Duration) {
 // Errors returned by Resolve.
 var ErrNoReply = errors.New("rarp: no reply")
 
+// ResolveStats reports how hard a resolution had to try.
+type ResolveStats struct {
+	Attempts int // broadcasts sent (1 on a quiet network)
+}
+
 // Resolve performs the client side: broadcast a reverse request for
-// our own hardware address and wait for the reply, retrying per RFC
-// 903's suggestion.  This is what a diskless workstation runs first
-// thing at boot.
+// our own hardware address and wait for the reply, retrying with
+// capped exponential backoff per RFC 903's suggestion.  This is what a
+// diskless workstation runs first thing at boot.
 func Resolve(p *sim.Proc, dev *pfdev.Device, timeout time.Duration, retries int) (IPAddr, error) {
+	ip, _, err := ResolveWithStats(p, dev, timeout, retries)
+	return ip, err
+}
+
+// ResolveWithStats is Resolve, also reporting attempt counts.
+func ResolveWithStats(p *sim.Proc, dev *pfdev.Device, timeout time.Duration, retries int) (IPAddr, ResolveStats, error) {
+	var st ResolveStats
 	link := dev.NIC().Network().Link()
 	port := dev.Open(p)
 	defer port.Close(p)
 	if err := port.SetFilter(p, TypeFilter(link, 10)); err != nil {
-		return 0, err
+		return 0, st, err
 	}
-	port.SetTimeout(p, timeout)
 	self := dev.NIC().Addr()
 	req := Packet{Op: OpRequestReverse, SenderHW: self, TargetHW: self}
 	frame := link.Encode(link.BroadcastAddr(), self, ethersim.EtherTypeRARP,
 		Marshal(req, link))
 
+	pol := backoff.Policy{Base: timeout, Cap: 8 * timeout}
 	for try := 0; try <= retries; try++ {
+		port.SetTimeout(p, pol.Delay(try))
 		if err := port.Write(p, frame); err != nil {
-			return 0, err
+			return 0, st, err
 		}
+		st.Attempts++
 		for {
 			raw, err := port.Read(p)
 			if err == pfdev.ErrTimeout {
 				break
 			}
 			if err != nil {
-				return 0, err
+				return 0, st, err
 			}
 			_, _, _, payload, err := link.Decode(raw.Data)
 			if err != nil {
@@ -214,8 +229,8 @@ func Resolve(p *sim.Proc, dev *pfdev.Device, timeout time.Duration, retries int)
 			if err != nil || rep.Op != OpReplyReverse || rep.TargetHW != self {
 				continue
 			}
-			return rep.TargetIP, nil
+			return rep.TargetIP, st, nil
 		}
 	}
-	return 0, ErrNoReply
+	return 0, st, ErrNoReply
 }

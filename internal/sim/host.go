@@ -25,6 +25,15 @@ type Host struct {
 	procQ     []*cpuReq
 	lastOwner *Proc // last process granted the CPU
 
+	// lifecycle state for fault injection: a paused host stops
+	// granting its CPU but keeps all queued work; a crashed host
+	// additionally loses its interrupt queue and in-flight kernel
+	// work (epoch guards the completions already scheduled).
+	paused     bool
+	down       bool
+	epoch      uint64
+	crashHooks []func()
+
 	// KernelTime accumulates kernel-mode CPU by category ("pf",
 	// "filter", "ip", "driver", ...) so experiments can reproduce
 	// the §6.1 gprof-style breakdown.
@@ -75,10 +84,55 @@ func (h *Host) requestCPU(p *Proc, d time.Duration, kernelMode bool, tag string)
 	p.park()
 }
 
+// Pause stalls the host's CPU: no new work is granted until Resume,
+// but queued and in-flight work is preserved — the model of a machine
+// that stops scheduling (heavy GC, a debugger, a hiccup) without
+// losing state.  Its NIC input queue fills and overflows naturally.
+func (h *Host) Pause() { h.paused = true }
+
+// Resume restarts a paused host's CPU.
+func (h *Host) Resume() {
+	h.paused = false
+	if !h.down {
+		h.pump()
+	}
+}
+
+// Crash takes the host down: pending interrupt work (and the kernel
+// halves of in-flight completions) is lost, and registered crash hooks
+// run so attached devices can flush their state — the packet filter
+// closes its ports, which is what forces user code to re-bind filters
+// on recovery.  Parked processes are NOT destroyed: their queued CPU
+// requests survive and are served after Restart, modeling processes
+// that come back with the machine.
+func (h *Host) Crash() {
+	h.down = true
+	h.epoch++
+	h.intrQ = nil
+	for _, fn := range h.crashHooks {
+		fn()
+	}
+}
+
+// Restart brings a crashed (or paused) host back up.
+func (h *Host) Restart() {
+	h.down = false
+	h.paused = false
+	h.pump()
+}
+
+// Down reports whether the host is crashed (not merely paused).
+// Devices consult it to discard I/O addressed to a dead machine.
+func (h *Host) Down() bool { return h.down }
+
+// OnCrash registers fn to run (in event-loop context) whenever the
+// host crashes.  Devices use it to model state lost with the machine.
+func (h *Host) OnCrash(fn func()) { h.crashHooks = append(h.crashHooks, fn) }
+
 // pump grants the CPU to the next request if it is idle.  Interrupt
 // work preempts queued (not running) process work.
 func (h *Host) pump() {
-	if h.cpuBusy {
+	if h.cpuBusy || h.paused || h.down {
 		return
 	}
 	var r *cpuReq
@@ -127,8 +181,20 @@ func (h *Host) pump() {
 	}
 
 	h.cpuBusy = true
+	epoch := h.epoch
 	h.sim.After(d, func() {
 		h.cpuBusy = false
+		if h.epoch != epoch {
+			// The host crashed while this work was in flight: the
+			// kernel half is lost, but a process is resumed so its
+			// goroutine survives the crash (it will queue for CPU
+			// again and run after Restart).
+			if r.proc != nil {
+				h.sim.runProc(r.proc)
+			}
+			h.pump()
+			return
+		}
 		tr := h.sim.tracer
 		if r.proc != nil {
 			if r.tag == "user" {

@@ -144,6 +144,10 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		case KindProto:
 			add(chromeEvent{Name: e.Tag, Cat: "inet", Ph: "i", Ts: ts,
 				Pid: pid, Tid: lanes.tid(host, "inet")})
+		case KindFault:
+			add(chromeEvent{Name: "fault:" + e.Tag, Cat: "faults", Ph: "i", Ts: ts,
+				Pid: pid, Tid: lanes.tid(host, "faults"),
+				Args: map[string]any{"index": e.Value}})
 		}
 	}
 

@@ -69,6 +69,11 @@ const (
 	// KindProto: a kernel-resident protocol event on Host; Tag is
 	// "ip_in", "ip_out", "arp_in", ...
 	KindProto
+	// KindFault: the fault-injection engine perturbed the run; Tag
+	// is the fault kind ("drop", "corrupt", "dup", "delay", "pause",
+	// "crash", "restart", "squeeze"), Value the injector's frame
+	// index (or 0 for host-lifecycle faults).
+	KindFault
 
 	numKinds // sentinel
 )
@@ -76,7 +81,7 @@ const (
 var kindNames = [numKinds]string{
 	"ctxswitch", "syscall_enter", "syscall_exit", "copy", "wakeup",
 	"kernel_slice", "user_slice", "filter_eval", "enqueue", "dequeue",
-	"drop", "deliver", "wire_tx", "wire_rx", "proto",
+	"drop", "deliver", "wire_tx", "wire_rx", "proto", "fault",
 }
 
 // String returns the event kind's snake_case name.
@@ -282,6 +287,17 @@ func (t *Tracer) WireRx(now time.Duration, host string, n int) {
 func (t *Tracer) Proto(now time.Duration, host, what string) {
 	t.reg.counter(host, "inet."+what).Add(1)
 	t.emit(Event{When: now, Kind: KindProto, Host: host, Tag: what})
+}
+
+// Fault records one injected fault of the given kind ("drop",
+// "corrupt", "dup", "delay", "pause", "crash", "restart", "squeeze")
+// against host; index is the wire-frame index for frame faults, 0 for
+// host-lifecycle faults.  Every injection increments the host-scoped
+// counter "fault.<kind>", which is what cmd/pfchaos reconciles against
+// the injector's own ledger.
+func (t *Tracer) Fault(now time.Duration, host, kind string, index uint64) {
+	t.reg.counter(host, "fault."+kind).Add(1)
+	t.emit(Event{When: now, Kind: KindFault, Host: host, Tag: kind, Value: int64(index)})
 }
 
 // --- Direct registry access ----------------------------------------------

@@ -1,0 +1,59 @@
+package vmtp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz target for the VMTP wire format: arbitrary bytes must
+// never panic Unmarshal, and checksummed packets must round-trip.
+
+func FuzzVMTPUnmarshal(f *testing.F) {
+	f.Add(Marshal(Header{DstPort: 800, TransID: 1, Kind: KindRequest,
+		Count: 1, Op: 7, Flags: FlagChecksum}, []byte("req")))
+	f.Add(Marshal(Header{DstPort: 800, TransID: 1, Kind: KindResponse, Count: 1}, nil))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderLen))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, data, err := Unmarshal(b) // must not panic
+		if err != nil {
+			return
+		}
+		// Whatever parses must survive a marshal/unmarshal round trip.
+		h2, data2, err := Unmarshal(Marshal(h, data))
+		if err != nil {
+			t.Fatalf("re-parse of re-marshaled packet failed: %v", err)
+		}
+		if h2 != h || !bytes.Equal(data2, data) {
+			t.Fatalf("round trip changed the packet: %+v vs %+v", h, h2)
+		}
+	})
+}
+
+// TestVMTPBitFlipNeverSurvives mirrors the Pup bit-flip contract for
+// checksummed VMTP packets.  The only flips that parse cleanly are the
+// ones that clear FlagChecksum itself — those yield a visibly
+// unchecksummed packet, which Checksummed endpoints discard (see
+// UserEndpoint.recv).
+func TestVMTPBitFlipNeverSurvives(t *testing.T) {
+	data := make([]byte, 80)
+	for i := range data {
+		data[i] = byte(i * 5)
+	}
+	h := Header{DstPort: 800, TransID: 42, Kind: KindRequest, Count: 1,
+		SrcPort: 801, Op: 3, Flags: FlagChecksum}
+	wire := Marshal(h, data)
+	for bit := 0; bit < len(wire)*8; bit++ {
+		flipped := append([]byte(nil), wire...)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		fh, _, err := Unmarshal(flipped)
+		if err != nil {
+			continue // caught by the checksum trailer
+		}
+		if fh.Flags&FlagChecksum == 0 {
+			continue // flip cleared the flag: visibly unchecksummed, endpoints drop it
+		}
+		t.Fatalf("bit flip at %d (byte %d) survived Unmarshal", bit, bit/8)
+	}
+}

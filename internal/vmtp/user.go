@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/ethersim"
 	"repro/internal/pfdev"
 	"repro/internal/sim"
@@ -20,13 +21,21 @@ type UserConfig struct {
 	// Batch enables received-packet batching (tables 6-4/6-9):
 	// one read system call returns every queued packet.
 	Batch bool
-	// RTO is the client's retransmission timeout.
+	// RTO is the client's initial retransmission timeout;
+	// consecutive timeouts back off exponentially up to MaxRTO.
 	RTO time.Duration
+	// MaxRTO caps the backed-off timeout (default 8×RTO).
+	MaxRTO time.Duration
 	// PerPacketCPU is the user-mode protocol processing charged per
 	// packet sent or received (header crunching, reassembly).
 	PerPacketCPU time.Duration
 	// Priority is the filter priority for the port.
 	Priority uint8
+	// Checksummed adds the FlagChecksum trailer to outgoing packets
+	// and discards incoming packets that lack it or fail it — the
+	// hostile-network mode where corruption must never reach the
+	// application.
+	Checksummed bool
 }
 
 // DefaultUserConfig returns the configuration used by the benchmarks.
@@ -52,12 +61,27 @@ type UserEndpoint struct {
 
 	// Retransmissions counts client request retries.
 	Retransmissions int
+	// Rebinds counts recoveries from a port lost to a host crash.
+	Rebinds int
+	// Stats accumulates the endpoint's accounting.
+	Stats UserStats
+}
+
+// UserStats is the user-level endpoint's accounting block.
+type UserStats struct {
+	Calls           int // transactions attempted
+	Attempts        int // request transmissions including retransmits
+	Retransmissions int // timeouts that forced a retransmit
+	ChecksumDrops   int // received packets discarded as corrupt/unchecksummed
 }
 
 // NewUserEndpoint opens a VMTP port on the device.  Process context.
 func NewUserEndpoint(p *sim.Proc, dev *pfdev.Device, port uint32, cfg UserConfig) (*UserEndpoint, error) {
 	if cfg.RTO <= 0 {
 		cfg.RTO = 100 * time.Millisecond
+	}
+	if cfg.MaxRTO <= 0 {
+		cfg.MaxRTO = 8 * cfg.RTO
 	}
 	pf := dev.Open(p)
 	link := dev.NIC().Network().Link()
@@ -71,12 +95,31 @@ func NewUserEndpoint(p *sim.Proc, dev *pfdev.Device, port uint32, cfg UserConfig
 // ErrCallTimeout reports a transaction abandoned after retries.
 var ErrCallTimeout = errors.New("vmtp: call timed out")
 
+// reopen re-binds the endpoint's packet-filter port after a host
+// crash closed it; queued packets died with the kernel and the caller
+// must re-set its timeout.
+func (e *UserEndpoint) reopen(p *sim.Proc) error {
+	pf := e.dev.Open(p)
+	if err := pf.SetFilter(p, PortFilter(e.link, e.cfg.Priority, e.port)); err != nil {
+		pf.Close(p)
+		return err
+	}
+	pf.SetQueueLimit(p, 64)
+	e.Port = pf
+	e.pending = nil
+	e.Rebinds++
+	return nil
+}
+
 // send transmits one VMTP packet.
 func (e *UserEndpoint) send(p *sim.Proc, dstHW ethersim.Addr, h Header, data []byte) error {
 	if e.cfg.PerPacketCPU > 0 {
 		p.Consume(e.cfg.PerPacketCPU)
 	}
 	h.SrcPort = e.port
+	if e.cfg.Checksummed {
+		h.Flags |= FlagChecksum
+	}
 	frame := e.link.Encode(dstHW, e.dev.NIC().Addr(), ethersim.EtherTypeVMTP, Marshal(h, data))
 	return e.Port.Write(p, frame)
 }
@@ -111,6 +154,17 @@ func (e *UserEndpoint) recv(p *sim.Proc) (Header, []byte, ethersim.Addr, error) 
 		}
 		h, data, err := Unmarshal(payload)
 		if err != nil {
+			// Corruption surfaced as a checksum/format error: the
+			// packet is dropped and end-to-end retransmission
+			// recovers, exactly like a lost frame.
+			e.Stats.ChecksumDrops++
+			continue
+		}
+		if e.cfg.Checksummed && h.Flags&FlagChecksum == 0 {
+			// In checksummed deployments an unflagged packet is
+			// corrupt by definition (a flip can clear the flag bit
+			// itself); trusting it would let corruption through.
+			e.Stats.ChecksumDrops++
 			continue
 		}
 		return h, data, src, nil
@@ -122,10 +176,27 @@ func (e *UserEndpoint) recv(p *sim.Proc) (Header, []byte, ethersim.Addr, error) 
 func (e *UserEndpoint) Call(p *sim.Proc, server ethersim.Addr, serverPort uint32, op uint16, req []byte) ([]byte, error) {
 	e.nextID++
 	id := e.nextID
-	e.Port.SetTimeout(p, e.cfg.RTO)
+	e.Stats.Calls++
+	pol := backoff.Policy{Base: e.cfg.RTO, Cap: e.cfg.MaxRTO}
+	e.Port.SetTimeout(p, pol.Delay(0))
 
 	h := Header{DstPort: serverPort, TransID: id, Kind: KindRequest, Count: 1, Op: op}
-	if err := e.send(p, server, h, req); err != nil {
+	// xmit sends the request, recovering from a port lost to a host
+	// crash (Write fails with ErrClosed just like Read does when the
+	// machine died mid-transaction) by re-binding and sending again.
+	xmit := func(tries int) error {
+		e.Stats.Attempts++
+		err := e.send(p, server, h, req)
+		if err == pfdev.ErrClosed {
+			if err := e.reopen(p); err != nil {
+				return err
+			}
+			e.Port.SetTimeout(p, pol.Delay(tries))
+			err = e.send(p, server, h, req)
+		}
+		return err
+	}
+	if err := xmit(0); err != nil {
 		return nil, err
 	}
 
@@ -133,10 +204,24 @@ func (e *UserEndpoint) Call(p *sim.Proc, server ethersim.Addr, serverPort uint32
 	var count uint16
 	for tries := 0; tries < 10; {
 		rh, data, _, err := e.recv(p)
+		if err == pfdev.ErrClosed {
+			// Our kernel rebooted mid-transaction: re-bind the port
+			// and retransmit the (idempotent) request.
+			if err := e.reopen(p); err != nil {
+				return nil, err
+			}
+			e.Port.SetTimeout(p, pol.Delay(tries))
+			if err := xmit(tries); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		if err == pfdev.ErrTimeout {
 			tries++
 			e.Retransmissions++
-			if err := e.send(p, server, h, req); err != nil {
+			e.Stats.Retransmissions++
+			e.Port.SetTimeout(p, pol.Delay(tries))
+			if err := xmit(tries); err != nil {
 				return nil, err
 			}
 			continue
@@ -178,6 +263,16 @@ func (e *UserEndpoint) Serve(p *sim.Proc, handler Handler, idle time.Duration) i
 	var lastPort uint32
 	for {
 		h, req, src, err := e.recv(p)
+		if err == pfdev.ErrClosed {
+			// A host crash closed the port under the server: re-bind
+			// the filter and keep serving, like §5.1's long-running
+			// services surviving a reboot.
+			if e.reopen(p) != nil {
+				return served
+			}
+			e.Port.SetTimeout(p, idle)
+			continue
+		}
 		if err != nil {
 			return served
 		}

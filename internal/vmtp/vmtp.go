@@ -34,13 +34,20 @@ import (
 //	bytes 0-3   destination port (the demultiplexing key)
 //	bytes 4-7   transaction identifier
 //	byte  8     kind (request/response)
-//	byte  9     flags (unused)
+//	byte  9     flags (FlagChecksum)
 //	bytes 10-11 packet index within the message group
 //	bytes 12-13 packet count of the message group
 //	bytes 14-17 source port (where to send the reply)
 //	bytes 18-19 operation code
-//	bytes 20-   data
+//	bytes 20-   data, optionally followed by a 2-byte checksum
+//	            trailer when FlagChecksum is set
 const HeaderLen = 20
+
+// FlagChecksum marks a packet carrying the 16-bit ones'-complement
+// checksum trailer over header and data.  The paper-era endpoints did
+// not checksum; hostile-network runs turn it on so corruption is
+// always caught rather than delivered.
+const FlagChecksum uint8 = 0x01
 
 // MaxSeg bounds the data bytes per packet so a VMTP packet fits the
 // 3 Mb Ethernet's maximum frame alongside Pup traffic.
@@ -57,43 +64,89 @@ type Header struct {
 	DstPort uint32
 	TransID uint32
 	Kind    uint8
+	Flags   uint8
 	Index   uint16
 	Count   uint16
 	SrcPort uint32
 	Op      uint16
 }
 
-// ErrShort reports a packet too short for the VMTP header.
-var ErrShort = errors.New("vmtp: truncated packet")
+// Errors returned by Unmarshal.
+var (
+	// ErrShort reports a packet too short for the VMTP header.
+	ErrShort = errors.New("vmtp: truncated packet")
+	// ErrChecksum reports a checksummed packet whose trailer does
+	// not match its contents.
+	ErrChecksum = errors.New("vmtp: bad checksum")
+)
 
-// Marshal encodes a header and segment data into a VMTP packet.
+// checksum is the 16-bit ones'-complement sum over b (odd trailing
+// byte padded with zero), complemented — the classic internet sum.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Marshal encodes a header and segment data into a VMTP packet; with
+// FlagChecksum set in h.Flags, a 2-byte checksum trailer over header
+// and data is appended.
 func Marshal(h Header, data []byte) []byte {
-	b := make([]byte, HeaderLen+len(data))
+	n := HeaderLen + len(data)
+	if h.Flags&FlagChecksum != 0 {
+		n += 2
+	}
+	b := make([]byte, n)
 	binary.BigEndian.PutUint32(b[0:], h.DstPort)
 	binary.BigEndian.PutUint32(b[4:], h.TransID)
 	b[8] = h.Kind
+	b[9] = h.Flags
 	binary.BigEndian.PutUint16(b[10:], h.Index)
 	binary.BigEndian.PutUint16(b[12:], h.Count)
 	binary.BigEndian.PutUint32(b[14:], h.SrcPort)
 	binary.BigEndian.PutUint16(b[18:], h.Op)
 	copy(b[HeaderLen:], data)
+	if h.Flags&FlagChecksum != 0 {
+		binary.BigEndian.PutUint16(b[n-2:], checksum(b[:n-2]))
+	}
 	return b
 }
 
-// Unmarshal parses a VMTP packet; data aliases b.
+// Unmarshal parses a VMTP packet, verifying the checksum trailer when
+// the packet carries one; data aliases b.
 func Unmarshal(b []byte) (Header, []byte, error) {
 	if len(b) < HeaderLen {
 		return Header{}, nil, ErrShort
 	}
-	return Header{
+	h := Header{
 		DstPort: binary.BigEndian.Uint32(b[0:]),
 		TransID: binary.BigEndian.Uint32(b[4:]),
 		Kind:    b[8],
+		Flags:   b[9],
 		Index:   binary.BigEndian.Uint16(b[10:]),
 		Count:   binary.BigEndian.Uint16(b[12:]),
 		SrcPort: binary.BigEndian.Uint32(b[14:]),
 		Op:      binary.BigEndian.Uint16(b[18:]),
-	}, b[HeaderLen:], nil
+	}
+	data := b[HeaderLen:]
+	if h.Flags&FlagChecksum != 0 {
+		if len(b) < HeaderLen+2 {
+			return Header{}, nil, ErrShort
+		}
+		if binary.BigEndian.Uint16(b[len(b)-2:]) != checksum(b[:len(b)-2]) {
+			return Header{}, nil, ErrChecksum
+		}
+		data = b[HeaderLen : len(b)-2]
+	}
+	return h, data, nil
 }
 
 // PortFilter builds the packet-filter program selecting VMTP packets
