@@ -4,6 +4,8 @@
 //
 //	pfbench                  # run everything
 //	pfbench -id t6-2         # just table 6-2
+//	pfbench -exp shm         # the shared-memory copy ablation (= -id exp-shm)
+//	pfbench -exp shm -shm-n 8  # same, at a tiny packet count (CI smoke)
 //	pfbench -list            # list experiment ids
 //	pfbench -json            # tables as JSON
 //	pfbench -id s6-1 -trace  # also print the trace-derived kernel profile
@@ -22,12 +24,20 @@ import (
 
 func main() {
 	id := flag.String("id", "", "run only the experiment with this id")
+	exp := flag.String("exp", "", "alias for -id; short names resolve to exp-<name>")
+	shmN := flag.Int("shm-n", 0, "packets per exp-shm measurement (0 = default)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
 	asJSON := flag.Bool("json", false, "emit tables (and any trace snapshot) as JSON")
 	withTrace := flag.Bool("trace", false, "run under a tracer and report the metrics snapshot")
 	chromeFile := flag.String("chrome", "", "write a Chrome trace-event JSON of the runs to this file")
 	flag.Parse()
+	if *id == "" {
+		*id = *exp
+	}
+	if *shmN > 0 {
+		bench.ShmCount = *shmN
+	}
 
 	var tr *trace.Tracer
 	var rec *trace.Recorder
@@ -52,7 +62,7 @@ func main() {
 	// the metrics snapshot scoped to that experiment's rigs.
 	var selected []bench.Table
 	for _, e := range exps {
-		if *id != "" && e.ID != *id {
+		if *id != "" && e.ID != *id && e.ID != "exp-"+*id {
 			continue
 		}
 		selected = append(selected, e.Run())

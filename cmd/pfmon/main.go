@@ -6,7 +6,10 @@
 // per-protocol statistics.
 //
 //	pfmon [-link 3mb|10mb] [-n packets] [-lines n] [-seed s]
-//	      [-filter expr] [-w file] [-r file] [-json] [-trace file]
+//	      [-filter expr] [-ring slots] [-w file] [-r file] [-json] [-trace file]
+//
+// -ring captures through a mapped shared-memory ring instead of
+// copying reads, the zero-copy path busy segments need.
 //
 // -w saves the capture to a trace file; -r skips the simulation and
 // analyzes a previously saved trace instead ("all the tools of the
@@ -49,6 +52,7 @@ func main() {
 	filterExpr := flag.String("filter", "", "capture filter expression (fexpr syntax)")
 	writeFile := flag.String("w", "", "save the capture to this trace file")
 	readFile := flag.String("r", "", "analyze a saved trace file instead of simulating")
+	ring := flag.Int("ring", 0, "capture through a shared-memory ring of this many slots (0 = copying reads)")
 	asJSON := flag.Bool("json", false, "print the virtual-time metrics snapshot as JSON")
 	traceFile := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	flag.Parse()
@@ -114,6 +118,7 @@ func main() {
 	m := monitor.New(devMon)
 	m.Keep = *lines
 	m.KeepRaw = *writeFile != ""
+	m.Ring = *ring
 	if *filterExpr != "" {
 		prog, _, err := fexpr.Compile(*filterExpr, link)
 		if err != nil {

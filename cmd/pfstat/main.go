@@ -38,6 +38,7 @@ func main() {
 	linkName := flag.String("link", "10mb", "network type: 3mb or 10mb")
 	n := flag.Int("n", 400, "packets of mixed traffic to generate")
 	nPorts := flag.Int("ports", 8, "packet-filter ports at the receiver")
+	ring := flag.Int("ring", 0, "map a shared-memory ring of this many slots on each Pup reader (0 = copying reads)")
 	seed := flag.Int64("seed", 42, "workload random seed")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	chromeFile := flag.String("chrome", "", "write Chrome trace-event JSON (Perfetto) to this file")
@@ -98,6 +99,11 @@ func main() {
 				return
 			}
 			ps.Batch = true
+			if *ring > 0 {
+				if err := ps.EnableRing(p, *ring); err != nil {
+					fmt.Fprintln(os.Stderr, "pfstat: ring:", err)
+				}
+			}
 			ps.SetTimeout(p, 300*time.Millisecond)
 			for {
 				if _, err := ps.Recv(p); err != nil {
@@ -135,13 +141,14 @@ func main() {
 	} else {
 		fmt.Print(snap.Text())
 		fmt.Println("\nper-port statistics")
-		fmt.Printf("  %4s %4s %6s %5s %5s %8s %8s %6s %7s %7s\n",
+		fmt.Printf("  %4s %4s %6s %5s %5s %8s %8s %6s %7s %7s %5s %8s %8s\n",
 			"port", "prio", "queued", "maxq", "drops", "matched", "instrs",
-			"reads", "batches", "batched")
+			"reads", "batches", "batched", "reaps", "copiedB", "mappedB")
 		for _, ps := range ports {
-			fmt.Printf("  %4d %4d %6d %5d %5d %8d %8d %6d %7d %7d\n",
+			fmt.Printf("  %4d %4d %6d %5d %5d %8d %8d %6d %7d %7d %5d %8d %8d\n",
 				ps.ID, ps.Priority, ps.Queued, ps.MaxQueued, ps.Dropped,
-				ps.Matched, ps.FilterInstrs, ps.Reads, ps.BatchReads, ps.BatchPackets)
+				ps.Matched, ps.FilterInstrs, ps.Reads, ps.BatchReads, ps.BatchPackets,
+				ps.RingReaps, ps.BytesCopied, ps.BytesMapped)
 		}
 		// Every reader binds the same socket-demux program shape;
 		// its static instruction mix explains the pf.instrs column.

@@ -216,6 +216,7 @@ func Experiments() []Experiment {
 		{"abl-wbatch", AblationWriteBatch},
 		{"abl-gw", AblationGateway},
 		{"chaos", ChaosGoodput},
+		{"exp-shm", ExpShm},
 	}
 }
 

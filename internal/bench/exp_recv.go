@@ -8,6 +8,7 @@ import (
 	"repro/internal/ethersim"
 	"repro/internal/filter"
 	"repro/internal/pfdev"
+	"repro/internal/shm"
 	"repro/internal/sim"
 	"repro/internal/vtime"
 )
@@ -33,6 +34,8 @@ type recvSetup struct {
 	gap      time.Duration // sender inter-packet gap
 	batch    bool          // batched port reads
 	userProc bool          // demultiplex in a user process (fig. 2-1)
+	ring     bool          // drain through a mapped shm ring (exp-shm)
+	shared   bool          // demux forwards through a shared arena (exp-shm)
 	prog     filter.Program
 	mode     pfdev.EvalMode
 	spinner  bool // an unrelated CPU-bound process shares host B
@@ -73,7 +76,7 @@ func measureRecv(cfg recvSetup) recvResult {
 	recordLast := func(p *sim.Proc) { t1 = p.Now() }
 
 	if cfg.userProc {
-		d := demux.New(r.devB, demux.Config{Batch: cfg.batch, PipeCap: 4 * cfg.count})
+		d := demux.New(r.devB, demux.Config{Batch: cfg.batch, Shared: cfg.shared, PipeCap: 4 * cfg.count})
 		client := d.Register(func(frame []byte) bool {
 			_, _, typ, _, err := ethersim.Ether10Mb.Decode(frame)
 			return err == nil && typ == testEtherType
@@ -95,8 +98,36 @@ func measureRecv(cfg recvSetup) recvResult {
 			port.SetFilter(p, filter.Filter{Priority: 10, Program: cfg.prog})
 			port.SetQueueLimit(p, 4*cfg.count)
 			port.SetTimeout(p, 300*time.Millisecond)
+			if cfg.ring {
+				// Map the receive ring once, modestly sized (a bigger ring
+				// costs more MapCost up front for backlog headroom this
+				// paced workload never needs); unbatched ring mode reaps
+				// one descriptor per syscall so it is comparable with
+				// per-packet Read.
+				slots := 64
+				if s := 4 * cfg.count; s < slots {
+					slots = s
+				}
+				reg := shm.NewRegistry(r.hB)
+				seg, err := reg.Map(p, "bench-ring", port.RingLayoutSize(slots))
+				if err != nil {
+					return
+				}
+				if err := port.MapRing(p, seg, slots); err != nil {
+					return
+				}
+				if !cfg.batch {
+					port.SetBatchMax(p, 1)
+				}
+			}
 			for res.received < cfg.count {
-				if cfg.batch {
+				if cfg.ring {
+					batch, err := port.ReapBatch(p)
+					if err != nil {
+						return
+					}
+					res.received += len(batch)
+				} else if cfg.batch {
 					batch, err := port.ReadBatch(p)
 					if err != nil {
 						return
@@ -121,7 +152,13 @@ func measureRecv(cfg recvSetup) recvResult {
 	}
 
 	r.s.Spawn(r.hA, "src", func(p *sim.Proc) {
-		p.Sleep(10 * time.Millisecond) // let host B finish its ioctls
+		setup := 10 * time.Millisecond // let host B finish its ioctls
+		if cfg.ring || cfg.shared {
+			// The one-time segment mapping (vtime MapCost) belongs to
+			// setup, not to the per-packet window the clock measures.
+			setup = 40 * time.Millisecond
+		}
+		p.Sleep(setup)
 		t0 = p.Now()
 		c0 = r.hB.Counters
 		frame := ethersim.Ether10Mb.Encode(2, 1, testEtherType,

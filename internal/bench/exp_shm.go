@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// ShmCount is the packet count per exp-shm measurement; cmd/pfbench
+// -shm-n overrides it so CI can smoke-test the experiment cheaply.
+var ShmCount = 60
+
+// chargedCopy computes the virtual time a measurement window spent on
+// kernel/user boundary copies, from the counter deltas and the cost
+// model: Copies fixed charges plus the per-byte charge on BytesCopied.
+func chargedCopy(c vtime.Counters, costs vtime.Costs) time.Duration {
+	return time.Duration(c.Copies)*costs.CopyFixed +
+		time.Duration(c.BytesCopied)*costs.CopyPerKB/1024
+}
+
+// ExpShm is the copy ablation the shm subsystem exists for: the §6
+// receive measurements re-run with the kernel/user copies elided by
+// shared-memory rings.  Four delivery paths per packet size —
+// {copying, ring} × {per-packet, batched} — plus the table 6-8 user
+// demultiplexer with its pipes replaced by a shared forwarding arena.
+// The "copy cost/pkt" column is the charged boundary-copy time per
+// received packet; the ring rows must show it collapsing while
+// "mapped B/pkt" absorbs the payload.
+func ExpShm() Table {
+	t := Table{
+		ID:    "exp-shm",
+		Title: "Copy ablation: shared-memory rings vs copying delivery",
+		Columns: []string{"Path", "Packet size", "per packet",
+			"copies/pkt", "copy cost/pkt", "mapped B/pkt"},
+		Notes: []string{
+			"counterfactual to tables 6-8/6-9: §2 blames user-level demux costs on copies 'since Unix does not support memory sharing'",
+			"shape: ring rows keep the syscall and wakeup costs but shed the per-byte copy charge; the win grows with packet size",
+			"mapping is charged once at setup (vtime MapCost), not per packet; descriptors still cost RingDesc each",
+		},
+	}
+	costs := vtime.DefaultCosts()
+	add := func(name string, size int, cfg recvSetup) {
+		cfg.size = size
+		cfg.count = ShmCount
+		cfg.gap = 500 * time.Microsecond
+		if size >= 1500 {
+			cfg.gap = 1500 * time.Microsecond
+		}
+		res := measureRecv(cfg)
+		if res.received == 0 {
+			t.Rows = append(t.Rows, []string{name, fmt.Sprintf("%d bytes", size),
+				"n/a", "n/a", "n/a", "n/a"})
+			return
+		}
+		n := time.Duration(res.received)
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%d bytes", size),
+			ms(res.perPacket),
+			fmt.Sprintf("%.2f", float64(res.counters.Copies)/float64(res.received)),
+			fmt.Sprintf("%.0f µSec", float64(chargedCopy(res.counters, costs)/n)/float64(time.Microsecond)),
+			fmt.Sprintf("%.0f", float64(res.counters.BytesMapped)/float64(res.received)),
+		})
+	}
+	for _, size := range []int{128, 1500} {
+		add("copy/read", size, recvSetup{})
+		add("copy/batch", size, recvSetup{batch: true})
+		add("ring/reap-1", size, recvSetup{ring: true})
+		add("ring/batch", size, recvSetup{ring: true, batch: true})
+	}
+	// The table 6-8 user-level demultiplexer, pipes vs shared arena.
+	add("demux/pipes", 1500, recvSetup{userProc: true, batch: true})
+	add("demux/shm", 1500, recvSetup{userProc: true, shared: true})
+	return t
+}

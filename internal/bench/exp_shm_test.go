@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// TestRingReducesChargedCopyTime pins the acceptance criterion of the
+// shm subsystem: at equal packet counts, the ring path spends strictly
+// less charged copy time per received packet than the copying path —
+// at both table 6-8 packet sizes, batched and unbatched.
+func TestRingReducesChargedCopyTime(t *testing.T) {
+	costs := vtime.DefaultCosts()
+	for _, size := range []int{128, 1500} {
+		for _, batch := range []bool{false, true} {
+			base := recvSetup{size: size, count: 24, batch: batch}
+			ringCfg := base
+			ringCfg.ring = true
+			cp := measureRecv(base)
+			rg := measureRecv(ringCfg)
+			if cp.received != rg.received || cp.received == 0 {
+				t.Fatalf("size %d batch %v: unequal counts copy=%d ring=%d",
+					size, batch, cp.received, rg.received)
+			}
+			cpCost := chargedCopy(cp.counters, costs) / time.Duration(cp.received)
+			rgCost := chargedCopy(rg.counters, costs) / time.Duration(rg.received)
+			if rgCost >= cpCost {
+				t.Errorf("size %d batch %v: ring copy cost %v/pkt not below copying %v/pkt",
+					size, batch, rgCost, cpCost)
+			}
+			if rg.counters.BytesMapped == 0 || rg.counters.RingReaps == 0 {
+				t.Errorf("size %d batch %v: ring path idle: %+v", size, batch, rg.counters)
+			}
+			if perPkt := rg.counters.BytesMapped / uint64(rg.received); perPkt < uint64(size) {
+				t.Errorf("size %d batch %v: mapped %d B/pkt, want >= frame size", size, batch, perPkt)
+			}
+		}
+	}
+}
+
+// TestExpShmDeterministic pins bit-identical reproduction: the whole
+// experiment run twice yields the same table, cell for cell.
+func TestExpShmDeterministic(t *testing.T) {
+	old := ShmCount
+	ShmCount = 12
+	defer func() { ShmCount = old }()
+	a, b := ExpShm(), ExpShm()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two exp-shm runs differ:\n%v\nvs\n%v", a, b)
+	}
+	if len(a.Rows) != 10 {
+		t.Fatalf("expected 10 rows, got %d", len(a.Rows))
+	}
+	for _, row := range a.Rows {
+		if row[2] == "n/a" {
+			t.Errorf("row %v received nothing", row)
+		}
+	}
+}

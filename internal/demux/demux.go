@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/filter"
 	"repro/internal/pfdev"
+	"repro/internal/shm"
 	"repro/internal/sim"
 )
 
@@ -35,6 +36,18 @@ type Config struct {
 	DecisionCPU time.Duration
 	// PipeCap bounds each client pipe (default 16 messages).
 	PipeCap int
+	// Shared rebuilds the forwarding path on shared memory (§2's
+	// "this would be easier in a system that supported shared
+	// memory"): the port is drained through a mapped receive ring,
+	// each frame is deposited into the destination client's arena
+	// slot, and only a 12-byte descriptor travels down the pipe.
+	// The wakeup and its system calls remain; the per-byte boundary
+	// copies disappear.
+	Shared bool
+	// ArenaSlots is the per-client arena slot count in Shared mode
+	// (default 2*PipeCap, so a slot is never reused while its
+	// descriptor can still be queued in the pipe).
+	ArenaSlots int
 }
 
 // Demux is the demultiplexing process state.
@@ -43,22 +56,34 @@ type Demux struct {
 	cfg     Config
 	clients []*Client
 
+	// seg and slotSize are the Shared-mode forwarding arena: one
+	// segment shared by the demultiplexer and every client, divided
+	// into per-client slot arenas.
+	seg      *shm.Segment
+	slotSize int
+
 	// Forwarded counts packets delivered to clients; Unclaimed
 	// counts packets no predicate wanted.
 	Forwarded, Unclaimed uint64
 }
 
 // Client is one destination process's handle: a pipe fed by the
-// demultiplexer.
+// demultiplexer and, in Shared mode, a slice of the forwarding arena.
 type Client struct {
+	d    *Demux
+	idx  int
 	pred Predicate
 	pipe *sim.Pipe
+	next uint64 // rotating arena slot (demux side)
 }
 
 // New creates a demultiplexer on a packet-filter device.
 func New(dev *pfdev.Device, cfg Config) *Demux {
 	if cfg.PipeCap <= 0 {
 		cfg.PipeCap = 16
+	}
+	if cfg.ArenaSlots <= 0 {
+		cfg.ArenaSlots = 2 * cfg.PipeCap
 	}
 	return &Demux{dev: dev, cfg: cfg}
 }
@@ -67,6 +92,8 @@ func New(dev *pfdev.Device, cfg Config) *Demux {
 // Run starts forwarding.
 func (d *Demux) Register(pred Predicate) *Client {
 	c := &Client{
+		d:    d,
+		idx:  len(d.clients),
 		pred: pred,
 		pipe: d.dev.Host().Sim().NewPipe(d.dev.Host(), d.cfg.PipeCap),
 	}
@@ -75,9 +102,24 @@ func (d *Demux) Register(pred Predicate) *Client {
 }
 
 // Recv blocks until the demultiplexer forwards a packet to this
-// client; the caller is the destination process.
+// client; the caller is the destination process.  In Shared mode the
+// pipe carries a descriptor and the payload is read in place from the
+// arena — counted as mapped bytes, charged no copy.
 func (c *Client) Recv(p *sim.Proc) []byte {
-	return p.Read(c.pipe)
+	msg := p.Read(c.pipe)
+	if c.d.seg == nil {
+		return msg
+	}
+	desc, err := shm.DecodeDesc(msg)
+	if err != nil || len(msg) != shm.DescSize {
+		return msg // oversized-frame fallback: the pipe carried the frame itself
+	}
+	view, err := c.d.seg.Slice(desc.Off, desc.Len)
+	if err != nil {
+		return nil
+	}
+	p.Mapped("demux", len(view))
+	return view
 }
 
 // Run is the demultiplexing process main loop: bind one catch-all (or
@@ -99,12 +141,40 @@ func (d *Demux) Run(p *sim.Proc, f filter.Filter, idle time.Duration) error {
 	port.SetTimeout(p, idle)
 	port.SetQueueLimit(p, 64)
 
+	if d.cfg.Shared {
+		// One mapping pays for the whole run: a receive ring on the
+		// port plus a forwarding arena shared with every client.
+		reg := shm.NewRegistry(d.dev.Host())
+		d.slotSize = d.dev.NIC().Network().Link().MaxFrame()
+		ringSeg, err := reg.Map(p, "demux-ring", port.RingLayoutSize(64))
+		if err != nil {
+			return err
+		}
+		if err := port.MapRing(p, ringSeg, 64); err != nil {
+			return err
+		}
+		arena, err := reg.Map(p, "demux-arena", len(d.clients)*d.cfg.ArenaSlots*d.slotSize)
+		if err != nil {
+			return err
+		}
+		// The arena outlives Run: clients may still be consuming
+		// queued descriptors after the demultiplexer goes idle.
+		d.seg = arena
+	}
+
 	var pending []pfdev.Packet
 	for {
 		var pkt pfdev.Packet
 		if len(pending) > 0 {
 			pkt = pending[0]
 			pending = pending[1:]
+		} else if d.cfg.Shared {
+			batch, err := port.ReapBatch(p)
+			if err != nil {
+				return nil
+			}
+			pending = batch
+			continue
 		} else if d.cfg.Batch {
 			batch, err := port.ReadBatch(p)
 			if err != nil {
@@ -128,14 +198,39 @@ func (d *Demux) forward(p *sim.Proc, frame []byte) {
 		if d.cfg.DecisionCPU > 0 {
 			p.Consume(d.cfg.DecisionCPU)
 		}
-		if c.pred(frame) {
+		if !c.pred(frame) {
+			continue
+		}
+		if d.seg != nil {
+			d.forwardShared(p, c, frame)
+		} else {
 			// "the demultiplexing process transfers the packet
 			// to the appropriate destination process" — two
 			// more copies and at least two context switches.
 			p.Write(c.pipe, frame)
-			d.Forwarded++
-			return
 		}
+		d.Forwarded++
+		return
 	}
 	d.Unclaimed++
+}
+
+// forwardShared deposits the frame into the client's next arena slot
+// and sends only its descriptor down the pipe.  The wakeup (pipe
+// syscalls, context switches) is still paid; the payload never crosses
+// the kernel/user boundary again.
+func (d *Demux) forwardShared(p *sim.Proc, c *Client, frame []byte) {
+	slot := int(c.next % uint64(d.cfg.ArenaSlots))
+	c.next++
+	off := uint32((c.idx*d.cfg.ArenaSlots + slot) * d.slotSize)
+	view, err := d.seg.Slice(off, uint32(len(frame)))
+	if err != nil {
+		// A frame larger than a slot (impossible off a conforming
+		// link) falls back to the copying pipe.
+		p.Write(c.pipe, frame)
+		return
+	}
+	copy(view, frame)
+	d.seg.Stats.BytesOut += uint64(len(frame))
+	p.Write(c.pipe, shm.Desc{Off: off, Len: uint32(len(frame))}.Encode(nil))
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/pfdev"
 	"repro/internal/pup"
+	"repro/internal/shm"
 	"repro/internal/sim"
 	"repro/internal/vmtp"
 )
@@ -71,7 +72,13 @@ type Monitor struct {
 	// KeepRaw retains the raw frames so the capture can be written
 	// to a trace file with SaveTrace.
 	KeepRaw bool
-	raw     []pfdev.Packet
+	// Ring captures through a mapped shared-memory ring of this many
+	// slots: the kernel deposits frames in place and the monitor
+	// reaps descriptors, which is how a capture keeps up with a busy
+	// segment without paying a copy per packet.  Zero keeps the
+	// copying ReadBatch path.
+	Ring int
+	raw  []pfdev.Packet
 }
 
 // New creates a monitor on dev.  A nil device yields an offline
@@ -111,8 +118,18 @@ func (m *Monitor) Run(p *sim.Proc, idle time.Duration) error {
 	port.SetStamp(p, true)
 	port.SetQueueLimit(p, 128)
 	port.SetTimeout(p, idle)
+	if m.Ring > 0 {
+		reg := shm.NewRegistry(m.dev.Host())
+		seg, err := reg.Map(p, "monitor-ring", port.RingLayoutSize(m.Ring))
+		if err != nil {
+			return err
+		}
+		if err := port.MapRing(p, seg, m.Ring); err != nil {
+			return err
+		}
+	}
 	for {
-		batch, err := port.ReadBatch(p)
+		batch, err := port.ReapBatch(p) // = ReadBatch when no ring is mapped
 		if err != nil {
 			return nil
 		}
@@ -124,6 +141,9 @@ func (m *Monitor) Run(p *sim.Proc, idle time.Duration) error {
 
 func (m *Monitor) ingest(pkt pfdev.Packet) {
 	if m.KeepRaw {
+		// Ring-delivered Data is a slot view the kernel will reuse;
+		// saved traces need their own copy.
+		pkt.Data = append([]byte(nil), pkt.Data...)
 		m.raw = append(m.raw, pkt)
 	}
 	rec := Decode(m.link, pkt.Data)

@@ -151,6 +151,10 @@ func (d *Device) crash() {
 	for _, port := range ports {
 		port.closed = true
 		port.queue = nil
+		// Ring attachments die with the kernel's port state; the
+		// segment itself is user memory and survives, free for the
+		// re-opened port to map again.
+		port.detachRing()
 		port.readers.WakeAll(d.host)
 		for _, w := range port.watchers {
 			w.WakeAll(d.host)

@@ -53,6 +53,15 @@ type Port struct {
 	batches uint64 // successful ReadBatch calls
 	batched uint64 // packets returned by ReadBatch
 
+	// ring, when non-nil, is the mapped shared-memory ring (ring.go);
+	// the counters below split delivery between the two paths.
+	ring        *ring
+	reaps       uint64 // successful ReapBatch calls through the ring
+	reaped      uint64 // packets returned by ReapBatch
+	bytesCopied uint64 // payload bytes moved kernel<->user for this port
+	bytesMapped uint64 // payload bytes delivered or sent in place
+	descErrors  uint64 // hostile/malformed ring descriptors rejected
+
 	qGauge *trace.Gauge // cached tracer gauge for queue depth
 
 	privileged bool // may bind filters above PrivilegedPriority
@@ -204,6 +213,11 @@ func (port *Port) enqueue(frame []byte, arrived time.Duration) {
 	if c := port.dev.queueCap; c > 0 && c < limit {
 		limit = c
 	}
+	if r := port.ring; r != nil && r.slots < limit {
+		// A mapped ring can hold at most one queued frame per slot;
+		// overflow drops exactly like a full input queue.
+		limit = r.slots
+	}
 	if len(port.queue) >= limit {
 		port.dropped++
 		h.Counters.PacketsDropped++
@@ -212,6 +226,13 @@ func (port *Port) enqueue(frame []byte, arrived time.Duration) {
 			tr.Drop(h.Sim().Now(), h.Name(), "queue")
 		}
 		return
+	}
+	if r := port.ring; r != nil {
+		// Deposit the frame in place: the driver writes straight into
+		// the shared segment's receive slot, so the later reap moves
+		// no data.  Queued packets never outnumber slots (limit above),
+		// so a slot is never overwritten while its packet is queued.
+		frame = r.deposit(frame)
 	}
 	pkt := Packet{Data: frame, Drops: port.dropped, arrived: arrived}
 	if port.stamp {
@@ -271,10 +292,12 @@ func (port *Port) Read(p *sim.Proc) (Packet, error) {
 	pkt := port.queue[0]
 	port.queue = port.queue[1:]
 	port.reads++
+	port.bytesCopied += uint64(len(pkt.Data))
 	p.CopyOut("pfread", len(pkt.Data))
 	if tr := p.Sim().Tracer(); tr != nil {
 		h := port.dev.host
 		now := p.Now()
+		tr.PortCopied(h.Name(), len(pkt.Data))
 		port.depthGauge(tr).Set(int64(len(port.queue)))
 		tr.Dequeue(now, h.Name(), port.id, len(port.queue), 1)
 		tr.Deliver(now, h.Name(), port.id, now-pkt.arrived)
@@ -288,10 +311,24 @@ func (port *Port) Read(p *sim.Proc) (Packet, error) {
 // high-volume communications", figure 3-5).  It blocks like Read when
 // the queue is empty.
 func (port *Port) ReadBatch(p *sim.Proc) ([]Packet, error) {
+	return port.drainBatch(p, false)
+}
+
+// drainBatch is the shared body of ReadBatch and ReapBatch: identical
+// blocking, timeout, batch-bound and drain behavior, differing only in
+// how the drained bytes are charged (one kernel-to-user copy vs
+// per-descriptor ring handling with the data already in place).  The
+// ring/copy equivalence property test pins that the two paths return
+// the same packet sequence.
+func (port *Port) drainBatch(p *sim.Proc, viaRing bool) ([]Packet, error) {
 	if port.closed {
 		return nil, ErrClosed
 	}
-	p.Syscall("pfread")
+	tag := "pfread"
+	if viaRing {
+		tag = "pfreap"
+	}
+	p.Syscall(tag)
 	for len(port.queue) == 0 {
 		if port.timeout < 0 {
 			return nil, ErrWouldBlock
@@ -310,16 +347,36 @@ func (port *Port) ReadBatch(p *sim.Proc) ([]Packet, error) {
 	batch := make([]Packet, n)
 	copy(batch, port.queue[:n])
 	port.queue = port.queue[n:]
-	port.batches++
-	port.batched += uint64(n)
 	total := 0
 	for _, pkt := range batch {
 		total += len(pkt.Data)
 	}
-	// One copy for the whole batch: the win over per-packet reads.
-	p.CopyOut("pfread", total)
-	if tr := p.Sim().Tracer(); tr != nil {
-		h := port.dev.host
+	h := port.dev.host
+	tr := p.Sim().Tracer()
+	if viaRing {
+		// The frames already sit in the shared segment; the kernel
+		// only validates and hands over n descriptors.
+		port.reaps++
+		port.reaped += uint64(n)
+		port.bytesMapped += uint64(total)
+		h.Counters.RingReaps++
+		h.Sim().Counters.RingReaps++
+		p.ConsumeKernel(tag, time.Duration(n)*p.Sim().Costs().RingDesc)
+		p.Mapped(tag, total)
+		if tr != nil {
+			tr.RingReap(p.Now(), h.Name(), port.id, n, total)
+		}
+	} else {
+		port.batches++
+		port.batched += uint64(n)
+		port.bytesCopied += uint64(total)
+		// One copy for the whole batch: the win over per-packet reads.
+		p.CopyOut(tag, total)
+		if tr != nil {
+			tr.PortCopied(h.Name(), total)
+		}
+	}
+	if tr != nil {
 		now := p.Now()
 		port.depthGauge(tr).Set(int64(len(port.queue)))
 		tr.Dequeue(now, h.Name(), port.id, len(port.queue), n)
@@ -346,6 +403,10 @@ func (port *Port) Write(p *sim.Proc, frame []byte) error {
 	}
 	p.Syscall("pfsend")
 	p.CopyIn("pfsend", len(frame))
+	port.bytesCopied += uint64(len(frame))
+	if tr := p.Sim().Tracer(); tr != nil {
+		tr.PortCopied(port.dev.host.Name(), len(frame))
+	}
 	p.ConsumeKernel("driver", p.Sim().Costs().DriverSend)
 	return port.dev.nic.Transmit(frame)
 }
@@ -365,6 +426,10 @@ func (port *Port) WriteBatch(p *sim.Proc, frames [][]byte) error {
 		total += len(f)
 	}
 	p.CopyIn("pfsend", total)
+	port.bytesCopied += uint64(total)
+	if tr := p.Sim().Tracer(); tr != nil {
+		tr.PortCopied(port.dev.host.Name(), total)
+	}
 	costs := p.Sim().Costs()
 	for _, f := range frames {
 		p.ConsumeKernel("driver", costs.DriverSend)
@@ -390,6 +455,11 @@ type PortStats struct {
 	Reads        uint64 `json:"reads"`         // single-packet reads
 	BatchReads   uint64 `json:"batch_reads"`   // ReadBatch calls
 	BatchPackets uint64 `json:"batch_packets"` // packets returned by ReadBatch
+	RingReaps    uint64 `json:"ring_reaps"`    // ReapBatch calls through a mapped ring
+	ReapPackets  uint64 `json:"reap_packets"`  // packets returned by ReapBatch
+	BytesCopied  uint64 `json:"bytes_copied"`  // payload bytes moved kernel<->user
+	BytesMapped  uint64 `json:"bytes_mapped"`  // payload bytes delivered/sent in place
+	DescErrors   uint64 `json:"desc_errors"`   // malformed ring descriptors rejected
 }
 
 // Stats reports the port's statistics block (kernel bookkeeping only;
@@ -407,6 +477,11 @@ func (port *Port) Stats() PortStats {
 		Reads:        port.reads,
 		BatchReads:   port.batches,
 		BatchPackets: port.batched,
+		RingReaps:    port.reaps,
+		ReapPackets:  port.reaped,
+		BytesCopied:  port.bytesCopied,
+		BytesMapped:  port.bytesMapped,
+		DescErrors:   port.descErrors,
 	}
 }
 
@@ -436,6 +511,7 @@ func (port *Port) Close(p *sim.Proc) {
 	}
 	p.Syscall("pf")
 	port.closed = true
+	port.detachRing()
 	port.readers.WakeAll(port.dev.host)
 	for i, q := range port.dev.ports {
 		if q == port {

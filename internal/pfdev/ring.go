@@ -1,0 +1,216 @@
+package pfdev
+
+import (
+	"errors"
+
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+// This file gives a packet-filter port a ring mode over a
+// shared-memory segment (internal/shm): the driver deposits accepted
+// frames directly into the segment's receive slots, the process reaps
+// whole batches with one system call that moves descriptors instead of
+// data (ReapBatch), and the symmetric transmit ring sends frames the
+// process composed in the segment (RingTransmit).  With no segment
+// mapped, every port behaves byte-for-byte like the copying §3 device.
+//
+// This is the counterfactual §2 wishes for — "this would be easier in
+// a system that supported shared memory between the kernel and user
+// processes" — built so the §6 receive tables can be re-run with the
+// copies elided and the difference measured.
+
+// Ring errors.
+var (
+	ErrNoRing    = errors.New("pfdev: no ring mapped on port")
+	ErrRingHost  = errors.New("pfdev: segment belongs to another host's kernel")
+	ErrRingSize  = errors.New("pfdev: segment too small for ring layout")
+	ErrRingSlots = errors.New("pfdev: ring needs at least one slot")
+	ErrBadDesc   = errors.New("pfdev: malformed ring descriptor")
+)
+
+// ring is the kernel-side state of a mapped ring port.
+type ring struct {
+	seg      *shm.Segment
+	slots    int // receive descriptor slots
+	slotSize int // bytes per receive slot (the link maximum frame)
+	rxNext   uint64
+	txBase   int // start of the transmit arena within the segment
+	txOff    int // rotating deposit offset within the arena
+}
+
+// RingLayoutSize returns the minimum segment size for a ring of slots
+// receive slots on the port's link: the receive slots plus a transmit
+// arena of equal size.
+func (port *Port) RingLayoutSize(slots int) int {
+	slotSize := port.dev.nic.Network().Link().MaxFrame()
+	return 2 * slots * slotSize
+}
+
+// MapRing attaches a shared-memory segment to the port as a
+// descriptor ring via ioctl.  The segment must be registered with the
+// same host's kernel, must not be attached elsewhere (a port can never
+// alias another port's segment), and must be large enough for slots
+// receive slots plus the transmit arena.  Process context.
+func (port *Port) MapRing(p *sim.Proc, seg *shm.Segment, slots int) error {
+	p.Syscall("pf")
+	if port.closed {
+		return ErrClosed
+	}
+	if slots < 1 {
+		return ErrRingSlots
+	}
+	if seg.Host() != port.dev.host {
+		return ErrRingHost
+	}
+	slotSize := port.dev.nic.Network().Link().MaxFrame()
+	need := 2 * slots * slotSize
+	if seg.Size() < need {
+		return ErrRingSize
+	}
+	if err := seg.Attach(port); err != nil {
+		return err
+	}
+	port.ring = &ring{
+		seg:      seg,
+		slots:    slots,
+		slotSize: slotSize,
+		txBase:   slots * slotSize,
+	}
+	// Packets queued before the mapping existed are private kernel
+	// copies; migrate them into ring slots now so the first reap's
+	// accounting is honest.  Frames beyond the slot count stay private
+	// (the same overflow rule enqueue applies from here on).
+	for i := range port.queue {
+		if i >= slots {
+			break
+		}
+		port.queue[i].Data = port.ring.deposit(port.queue[i].Data)
+	}
+	return nil
+}
+
+// UnmapRing detaches the ring; the port falls back to the copying
+// read/write path.  Process context.
+func (port *Port) UnmapRing(p *sim.Proc) {
+	p.Syscall("pf")
+	port.detachRing()
+}
+
+// detachRing releases the segment attachment (kernel context; also
+// called from Close and the crash path).
+func (port *Port) detachRing() {
+	if port.ring != nil {
+		port.ring.seg.Detach(port)
+		port.ring = nil
+	}
+}
+
+// RingMapped reports whether a ring is currently attached.
+func (port *Port) RingMapped() bool { return port.ring != nil }
+
+// deposit writes a received frame into the next receive slot and
+// returns the in-segment view that the queued Packet will carry.
+func (r *ring) deposit(frame []byte) []byte {
+	slot := int(r.rxNext % uint64(r.slots))
+	r.rxNext++
+	view, err := r.seg.Slice(uint32(slot*r.slotSize), uint32(len(frame)))
+	if err != nil {
+		// A frame can exceed slotSize only if the link's MaxFrame
+		// lied; keep the kernel alive and deliver a private copy.
+		return append([]byte(nil), frame...)
+	}
+	copy(view, frame)
+	r.seg.Stats.BytesIn += uint64(len(frame))
+	return view
+}
+
+// ReapBatch drains the port queue exactly like ReadBatch — same
+// blocking, timeout and batch bound — but delivers through the mapped
+// ring: the kernel validates and hands over one descriptor per packet
+// (Costs.RingDesc each) and the frame bytes, already deposited in the
+// shared segment, cross no boundary.  Without a mapped ring it is
+// ReadBatch, byte for byte.
+func (port *Port) ReapBatch(p *sim.Proc) ([]Packet, error) {
+	return port.drainBatch(p, port.ring != nil)
+}
+
+// RingTransmit sends the frames named by a raw descriptor block, the
+// §7 write-batching idea with the copy elided: one system call, no
+// user-to-kernel data copy, one driver transmission per descriptor.
+// The block is hostile user input: it is parsed and bounds-checked
+// against the segment and the link maximum frame, and the first bad
+// descriptor aborts the call with ErrBadDesc (frames before it are
+// already on the wire, as with a partial writev).  The kernel snapshots
+// each frame out of the segment at transmit time, so a process
+// rewriting its arena mid-call cannot corrupt queued frames.
+func (port *Port) RingTransmit(p *sim.Proc, raw []byte) error {
+	if port.closed {
+		return ErrClosed
+	}
+	p.Syscall("pfsend")
+	r := port.ring
+	if r == nil {
+		return ErrNoRing
+	}
+	descs, err := shm.DecodeDescs(raw)
+	if err != nil {
+		port.descErrors++
+		return errors.Join(ErrBadDesc, err)
+	}
+	costs := p.Sim().Costs()
+	maxFrame := port.dev.nic.Network().Link().MaxFrame()
+	for _, d := range descs {
+		p.ConsumeKernel("pfsend", costs.RingDesc)
+		if err := d.CheckBounds(r.seg.Size(), maxFrame); err != nil {
+			port.descErrors++
+			return errors.Join(ErrBadDesc, err)
+		}
+		view, err := r.seg.Slice(d.Off, d.Len)
+		if err != nil {
+			port.descErrors++
+			return errors.Join(ErrBadDesc, err)
+		}
+		frame := append([]byte(nil), view...)
+		port.bytesMapped += uint64(len(frame))
+		r.seg.Stats.BytesOut += uint64(len(frame))
+		p.Mapped("pfsend", len(frame))
+		p.ConsumeKernel("driver", costs.DriverSend)
+		if err := port.dev.nic.Transmit(frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteRing lays the given frames into the transmit arena, builds
+// their descriptor block and submits it with one RingTransmit call —
+// the convenience path protocols use.  Frames that cannot fit the
+// arena in one batch return ErrRingSize.
+func (port *Port) WriteRing(p *sim.Proc, frames [][]byte) error {
+	r := port.ring
+	if r == nil {
+		return ErrNoRing
+	}
+	arena := r.seg.Size() - r.txBase
+	total := 0
+	for _, f := range frames {
+		total += len(f)
+	}
+	if total > arena {
+		return ErrRingSize
+	}
+	if r.txOff+total > arena {
+		r.txOff = 0 // wrap: the whole batch fits from the arena start
+	}
+	var raw []byte
+	off := r.txBase + r.txOff
+	buf := r.seg.Bytes()
+	for _, f := range frames {
+		copy(buf[off:], f)
+		raw = shm.Desc{Off: uint32(off), Len: uint32(len(f))}.Encode(raw)
+		off += len(f)
+	}
+	r.txOff = off - r.txBase
+	return port.RingTransmit(p, raw)
+}

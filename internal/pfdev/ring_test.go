@@ -1,0 +1,415 @@
+package pfdev
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/shm"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// mapTestRing maps a fresh segment sized for slots receive slots onto
+// the port and returns it.
+func mapTestRing(t *testing.T, p *sim.Proc, port *Port, slots int) *shm.Segment {
+	t.Helper()
+	reg := shm.NewRegistry(port.dev.host)
+	seg, err := reg.Map(p, "ring", port.RingLayoutSize(slots))
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if err := port.MapRing(p, seg, slots); err != nil {
+		t.Fatalf("MapRing: %v", err)
+	}
+	return seg
+}
+
+func TestRingReapDeliversInPlace(t *testing.T) {
+	r := newRig(t, Options{})
+	const n = 5
+	var got [][]byte
+	var stats PortStats
+	var seg *shm.Segment
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		port.SetFilter(p, socketFilter(10, 35))
+		port.SetTimeout(p, 50*time.Millisecond)
+		seg = mapTestRing(t, p, port, 8)
+		for len(got) < n {
+			batch, err := port.ReapBatch(p)
+			if err != nil {
+				t.Errorf("ReapBatch: %v", err)
+				return
+			}
+			for _, pkt := range batch {
+				got = append(got, append([]byte(nil), pkt.Data...))
+			}
+		}
+		stats = port.Stats()
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		p.Sleep(time.Millisecond)
+		for i := 0; i < n; i++ {
+			port.Write(p, pupTo(2, 1, uint8(i+1), 35))
+			p.Sleep(time.Millisecond)
+		}
+	})
+	r.s.Run(0)
+
+	if len(got) != n {
+		t.Fatalf("delivered %d packets, want %d", len(got), n)
+	}
+	var total uint64
+	for i, frame := range got {
+		if frame[7] != byte(i+1) { // Pup type byte under the 4-byte link header
+			t.Errorf("packet %d has pup type %d", i, frame[7])
+		}
+		total += uint64(len(frame))
+	}
+	if stats.RingReaps == 0 || stats.ReapPackets != n {
+		t.Errorf("ring stats: reaps=%d reaped=%d", stats.RingReaps, stats.ReapPackets)
+	}
+	if stats.BytesMapped != total {
+		t.Errorf("BytesMapped = %d, want %d", stats.BytesMapped, total)
+	}
+	if stats.BytesCopied != 0 {
+		t.Errorf("BytesCopied = %d, want 0 (nothing should cross the boundary)", stats.BytesCopied)
+	}
+	if stats.BatchReads != 0 {
+		t.Errorf("BatchReads = %d, want 0 (delivery went through the ring)", stats.BatchReads)
+	}
+	if seg.Stats.BytesIn != total {
+		t.Errorf("segment BytesIn = %d, want %d", seg.Stats.BytesIn, total)
+	}
+	if r.hb.Counters.BytesMapped != total {
+		t.Errorf("host BytesMapped = %d, want %d", r.hb.Counters.BytesMapped, total)
+	}
+}
+
+// TestReapWithoutRingIsReadBatch pins the fallback: on a port with no
+// segment mapped, ReapBatch charges and counts exactly like ReadBatch.
+func TestReapWithoutRingIsReadBatch(t *testing.T) {
+	deliver := func(reap bool) (PortStats, vtime.Counters) {
+		r := newRig(t, Options{})
+		var stats PortStats
+		r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+			port := r.db.Open(p)
+			port.SetFilter(p, socketFilter(10, 35))
+			port.SetTimeout(p, 50*time.Millisecond)
+			var batch []Packet
+			var err error
+			if reap {
+				batch, err = port.ReapBatch(p)
+			} else {
+				batch, err = port.ReadBatch(p)
+			}
+			if err != nil || len(batch) != 1 {
+				t.Errorf("drain(reap=%v) = (%d, %v)", reap, len(batch), err)
+			}
+			stats = port.Stats()
+		})
+		r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+			port := r.da.Open(p)
+			p.Sleep(time.Millisecond)
+			port.Write(p, pupTo(2, 1, 1, 35))
+		})
+		r.s.Run(0)
+		return stats, r.hb.Counters
+	}
+
+	reapStats, reapCounters := deliver(true)
+	readStats, readCounters := deliver(false)
+	if reapStats.RingReaps != 0 || reapStats.BytesMapped != 0 {
+		t.Errorf("fallback reap counted ring activity: %+v", reapStats)
+	}
+	if reapStats.BytesCopied != readStats.BytesCopied || reapStats.BatchPackets != readStats.BatchPackets {
+		t.Errorf("fallback reap stats %+v != read stats %+v", reapStats, readStats)
+	}
+	if reapCounters != readCounters {
+		t.Errorf("fallback reap host counters differ:\n%+v\n%+v", reapCounters, readCounters)
+	}
+}
+
+func TestRingTransmitHostileDescriptors(t *testing.T) {
+	r := newRig(t, Options{})
+	var stats PortStats
+	received := 0
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		port.SetFilter(p, socketFilter(10, 35))
+		port.SetTimeout(p, 30*time.Millisecond)
+		for {
+			if _, err := port.Read(p); err != nil {
+				return
+			}
+			received++
+		}
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		seg := mapTestRing(t, p, port, 4)
+		segSize := uint32(seg.Size())
+
+		// A good frame staged in the arena, referenced by hand.
+		frame := pupTo(2, 1, 1, 35)
+		base := uint32(port.ring.txBase)
+		copy(seg.Bytes()[base:], frame)
+		good := shm.Desc{Off: base, Len: uint32(len(frame))}
+
+		hostiles := [][]byte{
+			good.Encode(nil)[:shm.DescSize-1],                       // truncated block
+			shm.Desc{Off: segSize, Len: 64}.Encode(nil),             // past the end
+			shm.Desc{Off: 0xFFFFFFF0, Len: 0x40}.Encode(nil),        // 32-bit wrap attempt
+			shm.Desc{Off: 0, Len: 0}.Encode(nil),                    // empty frame
+			shm.Desc{Off: 0, Len: segSize + 1}.Encode(nil),          // larger than segment
+			shm.Desc{Off: 0, Len: 1 << 30}.Encode(nil),              // larger than any frame
+			good.Encode(shm.Desc{Off: segSize, Len: 8}.Encode(nil)), // bad first, good second
+			{0, 0, 0, 0, 0, 0, 0, 64, 0xFF, 0xFF, 0xBE, 0xEF},       // reserved bits set
+		}
+		for i, raw := range hostiles {
+			if err := port.RingTransmit(p, raw); !errors.Is(err, ErrBadDesc) {
+				t.Errorf("hostile %d: RingTransmit = %v, want ErrBadDesc", i, err)
+			}
+		}
+		// The port must still work for honest descriptors.
+		if err := port.RingTransmit(p, good.Encode(nil)); err != nil {
+			t.Errorf("honest RingTransmit after hostility: %v", err)
+		}
+		stats = port.Stats()
+	})
+	r.s.Run(0)
+
+	if received != 1 {
+		t.Errorf("received %d frames, want exactly the honest one", received)
+	}
+	if stats.DescErrors != 8 {
+		t.Errorf("DescErrors = %d, want 8", stats.DescErrors)
+	}
+}
+
+func TestRingMappingGuards(t *testing.T) {
+	r := newRig(t, Options{})
+	r.s.Spawn(r.hb, "procB", func(p *sim.Proc) {
+		portA := r.db.Open(p)
+		portB := r.db.Open(p)
+		reg := shm.NewRegistry(r.hb)
+		seg, err := reg.Map(p, "seg", portA.RingLayoutSize(4))
+		if err != nil {
+			t.Errorf("Map: %v", err)
+			return
+		}
+		if err := portA.MapRing(p, seg, 4); err != nil {
+			t.Errorf("first MapRing: %v", err)
+		}
+		// Another port must not be able to alias the same segment.
+		if err := portB.MapRing(p, seg, 4); !errors.Is(err, shm.ErrBusy) {
+			t.Errorf("aliasing MapRing = %v, want shm.ErrBusy", err)
+		}
+		// Undersized segments and zero slots are rejected.
+		small, _ := reg.Map(p, "small", 64)
+		if err := portB.MapRing(p, small, 4); !errors.Is(err, ErrRingSize) {
+			t.Errorf("undersized MapRing = %v, want ErrRingSize", err)
+		}
+		if err := portB.MapRing(p, small, 0); !errors.Is(err, ErrRingSlots) {
+			t.Errorf("zero-slot MapRing = %v, want ErrRingSlots", err)
+		}
+		// Unmapping frees the segment for another port.
+		portA.UnmapRing(p)
+		if err := portB.MapRing(p, seg, 4); err != nil {
+			t.Errorf("MapRing after UnmapRing: %v", err)
+		}
+	})
+	r.s.Spawn(r.ha, "procA", func(p *sim.Proc) {
+		// A segment registered with another host's kernel is refused.
+		port := r.da.Open(p)
+		regB := shm.NewRegistry(r.hb)
+		segB, err := regB.Map(p, "foreign", port.RingLayoutSize(4))
+		if err != nil {
+			t.Errorf("Map: %v", err)
+			return
+		}
+		if err := port.MapRing(p, segB, 4); !errors.Is(err, ErrRingHost) {
+			t.Errorf("cross-host MapRing = %v, want ErrRingHost", err)
+		}
+	})
+	r.s.Run(0)
+}
+
+func TestRingDetachesOnCrashAndClose(t *testing.T) {
+	r := newRig(t, Options{})
+	var seg *shm.Segment
+	var port *Port
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port = r.db.Open(p)
+		port.SetFilter(p, socketFilter(10, 35))
+		seg = mapTestRing(t, p, port, 4)
+	})
+	r.s.Run(0)
+	if seg.Attached() == nil {
+		t.Fatal("segment not attached after MapRing")
+	}
+	r.hb.Crash()
+	r.s.Run(0)
+	if seg.Attached() != nil {
+		t.Error("crash left the segment attached")
+	}
+	if !seg.Mapped() {
+		t.Error("crash unmapped user memory; the segment should survive")
+	}
+	r.hb.Restart()
+	// The surviving segment can back a fresh port's ring.
+	r.s.Spawn(r.hb, "recover", func(p *sim.Proc) {
+		np := r.db.Open(p)
+		np.SetFilter(p, socketFilter(10, 35))
+		if err := np.MapRing(p, seg, 4); err != nil {
+			t.Errorf("re-MapRing after crash: %v", err)
+		}
+		np.Close(p)
+	})
+	r.s.Run(0)
+	if seg.Attached() != nil {
+		t.Error("Close left the segment attached")
+	}
+}
+
+// TestRingStatsCrossCheck reconciles the per-port statistics blocks
+// against the tracer's registry the same way the fault ledger is
+// reconciled: the sums must agree exactly.
+func TestRingStatsCrossCheck(t *testing.T) {
+	s := sim.New(vtime.DefaultCosts())
+	tr := trace.New()
+	s.SetTracer(tr)
+	net := ethersim.New(s, ethersim.Ether3Mb)
+	ha, hb := s.NewHost("a"), s.NewHost("b")
+	na, nb := net.Attach(ha, 1), net.Attach(hb, 2)
+	da, db := Attach(na, nil, Options{}), Attach(nb, nil, Options{})
+
+	const n = 6
+	// One ring reader and one copying reader on the same device.
+	r1 := make(chan struct{})
+	s.Spawn(hb, "ring-reader", func(p *sim.Proc) {
+		port := db.Open(p)
+		port.SetFilter(p, socketFilter(10, 35))
+		port.SetTimeout(p, 50*time.Millisecond)
+		mapTestRing(t, p, port, 8)
+		got := 0
+		for got < n {
+			batch, err := port.ReapBatch(p)
+			if err != nil {
+				break
+			}
+			got += len(batch)
+		}
+		close(r1)
+	})
+	s.Spawn(hb, "copy-reader", func(p *sim.Proc) {
+		port := db.Open(p)
+		port.SetFilter(p, socketFilter(10, 36))
+		port.SetTimeout(p, 50*time.Millisecond)
+		got := 0
+		for got < n {
+			batch, err := port.ReadBatch(p)
+			if err != nil {
+				break
+			}
+			got += len(batch)
+		}
+	})
+	s.Spawn(ha, "send", func(p *sim.Proc) {
+		port := da.Open(p)
+		p.Sleep(time.Millisecond)
+		for i := 0; i < n; i++ {
+			port.Write(p, pupTo(2, 1, 1, 35))
+			port.Write(p, pupTo(2, 1, 1, 36))
+			p.Sleep(time.Millisecond)
+		}
+	})
+	s.Run(0)
+	<-r1
+
+	var wantMapped, wantCopiedB, wantReaps uint64
+	var portsB []PortStats
+	s.Spawn(hb, "stat", func(p *sim.Proc) { portsB = db.PortStats(p) })
+	s.Run(0)
+	for _, ps := range portsB {
+		wantMapped += ps.BytesMapped
+		wantCopiedB += ps.BytesCopied
+		wantReaps += ps.RingReaps
+	}
+	if wantMapped == 0 || wantCopiedB == 0 {
+		t.Fatalf("test did not exercise both paths: mapped=%d copied=%d", wantMapped, wantCopiedB)
+	}
+	if got := tr.Counter("b", "pf.mapped_bytes").Value(); got != wantMapped {
+		t.Errorf("tracer pf.mapped_bytes = %d, port stats sum = %d", got, wantMapped)
+	}
+	if got := tr.Counter("b", "pf.copied_bytes").Value(); got != wantCopiedB {
+		t.Errorf("tracer pf.copied_bytes = %d, port stats sum = %d", got, wantCopiedB)
+	}
+	if got := tr.Counter("b", "pf.ring_reaps").Value(); got != wantReaps {
+		t.Errorf("tracer pf.ring_reaps = %d, port stats sum = %d", got, wantReaps)
+	}
+	if got := hb.Counters.RingReaps; got != wantReaps {
+		t.Errorf("host RingReaps = %d, port stats sum = %d", got, wantReaps)
+	}
+	if got := hb.Counters.BytesMapped; got != wantMapped {
+		t.Errorf("host BytesMapped = %d, port stats sum = %d", got, wantMapped)
+	}
+}
+
+// TestWriteRingRoundTrip sends through the transmit ring and checks
+// the receiver sees exactly the frames the sender staged, with the
+// sender's bytes accounted as mapped, not copied.
+func TestWriteRingRoundTrip(t *testing.T) {
+	r := newRig(t, Options{})
+	var got [][]byte
+	var sendStats PortStats
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		port.SetFilter(p, socketFilter(10, 35))
+		port.SetTimeout(p, 30*time.Millisecond)
+		for {
+			pkt, err := port.Read(p)
+			if err != nil {
+				return
+			}
+			got = append(got, pkt.Data)
+		}
+	})
+	frames := [][]byte{pupTo(2, 1, 1, 35), pupTo(2, 1, 2, 35), pupTo(2, 1, 3, 35)}
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		mapTestRing(t, p, port, 4)
+		if err := port.WriteRing(p, frames); err != nil {
+			t.Errorf("WriteRing: %v", err)
+		}
+		// Rewriting the arena after the call must not corrupt what
+		// was sent: the kernel snapshots at transmit time.
+		for i := range port.ring.seg.Bytes() {
+			port.ring.seg.Bytes()[i] = 0xEE
+		}
+		sendStats = port.Stats()
+	})
+	r.s.Run(0)
+
+	if len(got) != len(frames) {
+		t.Fatalf("received %d frames, want %d", len(got), len(frames))
+	}
+	var total uint64
+	for i := range frames {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Errorf("frame %d mangled: %x vs %x", i, got[i], frames[i])
+		}
+		total += uint64(len(frames[i]))
+	}
+	if sendStats.BytesMapped != total {
+		t.Errorf("sender BytesMapped = %d, want %d", sendStats.BytesMapped, total)
+	}
+	if sendStats.BytesCopied != 0 {
+		t.Errorf("sender BytesCopied = %d, want 0", sendStats.BytesCopied)
+	}
+}

@@ -1,0 +1,125 @@
+package pup
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+)
+
+// TestBSPTransferOverRing runs the full byte-stream protocol with both
+// endpoints on the zero-copy ring path: data segments, acks and the
+// end mark all travel through mapped segments, and no payload byte
+// crosses the kernel/user boundary as a copy on either port.
+func TestBSPTransferOverRing(t *testing.T) {
+	r := newRig(ethersim.Ether3Mb)
+	data := make([]byte, 5000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	var received bytes.Buffer
+	var sendErr, recvErr error
+	var sendStats, recvStats pfdev.PortStats
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		sock, _ := Open(p, r.db, addrB, 10)
+		if err := sock.EnableRing(p, 16); err != nil {
+			recvErr = err
+			return
+		}
+		rcv := NewBSPReceiver(sock, DefaultBSPConfig())
+		for {
+			seg, err := rcv.Receive(p, 200*time.Millisecond)
+			if err == ErrStreamClosed {
+				recvStats = sock.Port.Stats()
+				return
+			}
+			if err != nil {
+				recvErr = err
+				return
+			}
+			received.Write(seg)
+		}
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		sock, _ := Open(p, r.da, addrA, 10)
+		if err := sock.EnableRing(p, 16); err != nil {
+			sendErr = err
+			return
+		}
+		p.Sleep(5 * time.Millisecond)
+		snd := NewBSPSender(sock, addrB, DefaultBSPConfig())
+		if err := snd.Send(p, data); err != nil {
+			sendErr = err
+			return
+		}
+		sendErr = snd.Close(p)
+		sendStats = sock.Port.Stats()
+	})
+	r.s.Run(0)
+	if sendErr != nil || recvErr != nil {
+		t.Fatalf("send=%v recv=%v", sendErr, recvErr)
+	}
+	if !bytes.Equal(received.Bytes(), data) {
+		t.Fatalf("data corrupted over ring: got %d bytes want %d", received.Len(), len(data))
+	}
+	for _, ps := range []struct {
+		name  string
+		stats pfdev.PortStats
+	}{{"send", sendStats}, {"recv", recvStats}} {
+		if ps.stats.BytesCopied != 0 {
+			t.Errorf("%s port copied %d bytes; the ring path should copy none", ps.name, ps.stats.BytesCopied)
+		}
+		if ps.stats.BytesMapped == 0 {
+			t.Errorf("%s port mapped no bytes; the ring path was not exercised", ps.name)
+		}
+	}
+	if recvStats.BytesMapped < uint64(len(data)) {
+		t.Errorf("receiver mapped %d bytes, less than the %d-byte stream", recvStats.BytesMapped, len(data))
+	}
+}
+
+// TestRingSurvivesReopen crashes the serving host mid-conversation:
+// the segment is user memory and survives, Reopen re-maps it onto the
+// fresh port, and the echo service keeps answering on the ring path.
+func TestRingSurvivesReopen(t *testing.T) {
+	r := newRig(ethersim.Ether3Mb)
+	var served int
+	var rebinds int
+	var afterCrash pfdev.PortStats
+	r.s.Spawn(r.hb, "server", func(p *sim.Proc) {
+		sock, _ := Open(p, r.db, addrB, 10)
+		if err := sock.EnableRing(p, 8); err != nil {
+			t.Errorf("EnableRing: %v", err)
+			return
+		}
+		served = sock.EchoServer(p, 100*time.Millisecond)
+		rebinds = sock.Rebinds
+		afterCrash = sock.Port.Stats()
+	})
+	r.s.Spawn(r.ha, "client", func(p *sim.Proc) {
+		sock, _ := Open(p, r.da, addrA, 10)
+		p.Sleep(5 * time.Millisecond)
+		if _, err := sock.Echo(p, addrB, []byte("before"), 50*time.Millisecond, 3); err != nil {
+			t.Errorf("echo before crash: %v", err)
+		}
+		r.hb.Crash()
+		p.Sleep(2 * time.Millisecond)
+		r.hb.Restart()
+		if _, err := sock.Echo(p, addrB, []byte("after"), 50*time.Millisecond, 5); err != nil {
+			t.Errorf("echo after crash: %v", err)
+		}
+	})
+	r.s.Run(0)
+	if served < 2 {
+		t.Errorf("served %d echoes, want at least one on each side of the crash", served)
+	}
+	if rebinds != 1 {
+		t.Errorf("rebinds = %d, want 1", rebinds)
+	}
+	if afterCrash.BytesMapped == 0 || afterCrash.BytesCopied != 0 {
+		t.Errorf("post-crash port not on the ring path: %+v", afterCrash)
+	}
+}

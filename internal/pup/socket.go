@@ -6,6 +6,7 @@ import (
 	"repro/internal/ethersim"
 	"repro/internal/filter"
 	"repro/internal/pfdev"
+	"repro/internal/shm"
 	"repro/internal/sim"
 )
 
@@ -34,6 +35,12 @@ type Socket struct {
 	Rebinds int
 
 	priority uint8 // filter priority, kept for Reopen
+
+	// ringSeg/ringSlots, when set by EnableRing, put the socket on
+	// the zero-copy path: receives reap the port ring in batches and
+	// sends go through the transmit arena.
+	ringSeg   *shm.Segment
+	ringSlots int
 }
 
 // SocketFilter builds the demultiplexing filter for a destination
@@ -70,6 +77,9 @@ func Open(p *sim.Proc, dev *pfdev.Device, local PortAddr, priority uint8) (*Sock
 // demultiplexing filter — the recovery step after a host crash closes
 // every port on the device.  Pending batched packets are discarded
 // (they died with the kernel); the caller must re-set its timeout.
+// A ring enabled with EnableRing is re-mapped onto the new port: the
+// segment is user memory and survived the crash, only the kernel-side
+// attachment was lost.
 func (s *Socket) Reopen(p *sim.Proc) error {
 	port := s.dev.Open(p)
 	if err := port.SetFilter(p, SocketFilter(s.link, s.priority, s.Local.Socket)); err != nil {
@@ -79,6 +89,29 @@ func (s *Socket) Reopen(p *sim.Proc) error {
 	s.Port = port
 	s.pending = nil
 	s.Rebinds++
+	if s.ringSeg != nil {
+		if err := port.MapRing(p, s.ringSeg, s.ringSlots); err != nil {
+			s.ringSeg, s.ringSlots = nil, 0 // fall back to the copying path
+		}
+	}
+	return nil
+}
+
+// EnableRing maps a shared-memory segment onto the socket's port and
+// switches the socket to the zero-copy delivery path: Recv reaps the
+// receive ring in batches, Send stages frames in the transmit arena.
+// One mapping charge here covers the socket's lifetime.
+func (s *Socket) EnableRing(p *sim.Proc, slots int) error {
+	reg := shm.NewRegistry(s.dev.Host())
+	seg, err := reg.Map(p, "pup-ring", s.Port.RingLayoutSize(slots))
+	if err != nil {
+		return err
+	}
+	if err := s.Port.MapRing(p, seg, slots); err != nil {
+		seg.Unmap(p)
+		return err
+	}
+	s.ringSeg, s.ringSlots = seg, slots
 	return nil
 }
 
@@ -112,6 +145,9 @@ func (s *Socket) Send(p *sim.Proc, pkt *Packet) error {
 		linkDst = s.Gateway
 	}
 	frame := s.link.Encode(linkDst, s.dev.NIC().Addr(), s.etherType(), payload)
+	if s.ringSeg != nil && s.Port.RingMapped() {
+		return s.Port.WriteRing(p, [][]byte{frame})
+	}
 	return s.Port.Write(p, frame)
 }
 
@@ -130,6 +166,18 @@ func (s *Socket) Recv(p *sim.Proc) (*Packet, error) {
 			pkt := s.pending[0]
 			s.pending = s.pending[1:]
 			return pkt, nil
+		}
+		if s.ringSeg != nil && s.Port.RingMapped() {
+			batch, err := s.Port.ReapBatch(p)
+			if err != nil {
+				return nil, err
+			}
+			for _, raw := range batch {
+				if pkt := s.decode(raw.Data); pkt != nil {
+					s.pending = append(s.pending, pkt)
+				}
+			}
+			continue
 		}
 		if s.Batch {
 			batch, err := s.Port.ReadBatch(p)

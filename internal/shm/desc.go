@@ -1,0 +1,114 @@
+package shm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file defines the ring-descriptor wire format shared between
+// user processes and the simulated kernel.  A descriptor names one
+// frame inside a segment by offset and length; user processes write
+// descriptor blocks into their segment and hand them to the kernel
+// (pfdev ring transmit), and the kernel writes them back on the
+// receive ring.  Because descriptors come from user memory they are
+// hostile input: the kernel must parse and bounds-check them the way
+// it checks filter programs, and the fuzz target in fuzz_test.go holds
+// the parser to that.
+
+// DescSize is the encoded size of one descriptor in bytes.
+const DescSize = 12
+
+// Descriptor flag bits.  Bits outside FlagMask are reserved and must
+// be zero; the kernel rejects descriptors that set them.
+const (
+	// FlagWrap marks the descriptor that wraps the ring (bookkeeping
+	// hint only; the kernel recomputes wrapping itself).
+	FlagWrap uint16 = 1 << 0
+
+	// FlagMask covers every defined flag.
+	FlagMask = FlagWrap
+)
+
+// Desc is one ring descriptor: a frame at [Off, Off+Len) within the
+// attached segment.
+//
+// Wire layout (big-endian, DescSize bytes):
+//
+//	bytes 0..3  Off   uint32
+//	bytes 4..7  Len   uint32
+//	bytes 8..9  Flags uint16
+//	bytes 10..11 zero (reserved)
+type Desc struct {
+	Off   uint32
+	Len   uint32
+	Flags uint16
+}
+
+// Errors returned by descriptor parsing and validation.
+var (
+	ErrDescShort    = errors.New("shm: descriptor block truncated")
+	ErrDescReserved = errors.New("shm: descriptor sets reserved bits")
+	ErrDescEmpty    = errors.New("shm: descriptor length is zero")
+	ErrDescFrame    = errors.New("shm: descriptor exceeds maximum frame size")
+)
+
+// Encode appends the descriptor's wire form to b.
+func (d Desc) Encode(b []byte) []byte {
+	var w [DescSize]byte
+	binary.BigEndian.PutUint32(w[0:], d.Off)
+	binary.BigEndian.PutUint32(w[4:], d.Len)
+	binary.BigEndian.PutUint16(w[8:], d.Flags)
+	return append(b, w[:]...)
+}
+
+// DecodeDesc parses one descriptor from the first DescSize bytes of b.
+func DecodeDesc(b []byte) (Desc, error) {
+	if len(b) < DescSize {
+		return Desc{}, ErrDescShort
+	}
+	d := Desc{
+		Off:   binary.BigEndian.Uint32(b[0:]),
+		Len:   binary.BigEndian.Uint32(b[4:]),
+		Flags: binary.BigEndian.Uint16(b[8:]),
+	}
+	if b[10] != 0 || b[11] != 0 || d.Flags&^FlagMask != 0 {
+		return Desc{}, ErrDescReserved
+	}
+	return d, nil
+}
+
+// DecodeDescs parses a whole descriptor block: a concatenation of
+// DescSize-byte descriptors with no trailing partial entry.
+func DecodeDescs(b []byte) ([]Desc, error) {
+	if len(b)%DescSize != 0 {
+		return nil, ErrDescShort
+	}
+	descs := make([]Desc, 0, len(b)/DescSize)
+	for off := 0; off < len(b); off += DescSize {
+		d, err := DecodeDesc(b[off:])
+		if err != nil {
+			return nil, fmt.Errorf("descriptor %d: %w", off/DescSize, err)
+		}
+		descs = append(descs, d)
+	}
+	return descs, nil
+}
+
+// CheckBounds validates the descriptor against a segment of segSize
+// bytes and a link maximum frame of maxFrame bytes.  The arithmetic is
+// 64-bit so Off+Len cannot wrap.  This is the kernel's only defense
+// between hostile user memory and its own address space, which is why
+// the fuzz target exercises it directly.
+func (d Desc) CheckBounds(segSize, maxFrame int) error {
+	if d.Len == 0 {
+		return ErrDescEmpty
+	}
+	if maxFrame > 0 && uint64(d.Len) > uint64(maxFrame) {
+		return fmt.Errorf("%w: %d > %d", ErrDescFrame, d.Len, maxFrame)
+	}
+	if end := uint64(d.Off) + uint64(d.Len); end > uint64(segSize) {
+		return fmt.Errorf("%w: [%d,%d) of %d-byte segment", ErrBounds, d.Off, end, segSize)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package shm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz target for the ring-descriptor wire format, in the
+// style of internal/pup/fuzz_test.go.  Descriptors come from user
+// memory, so the kernel-side parser faces arbitrary bytes from a
+// possibly hostile process; the obligations are: never panic, never
+// accept a descriptor that escapes the segment, and parse
+// canonically (whatever decodes re-encodes to the same bytes).
+func FuzzDesc(f *testing.F) {
+	f.Add(Desc{Off: 0, Len: 64}.Encode(nil))
+	f.Add(Desc{Off: 4096, Len: 1500, Flags: FlagWrap}.Encode(nil))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, DescSize))
+	f.Add(bytes.Repeat([]byte{0xFF}, 3*DescSize))
+	f.Add(append(Desc{Off: 10, Len: 20}.Encode(nil), 0x01)) // trailing partial
+
+	const segSize, maxFrame = 4096, 1500
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		descs, err := DecodeDescs(b) // must not panic
+		if err != nil {
+			return
+		}
+		if len(b)%DescSize != 0 {
+			t.Fatalf("accepted a %d-byte block with a partial descriptor", len(b))
+		}
+		var re []byte
+		for i, d := range descs {
+			// Canonical: decoded descriptors re-encode bit-identically.
+			re = d.Encode(re)
+			if err := d.CheckBounds(segSize, maxFrame); err != nil {
+				continue
+			}
+			// Anything that validates must be honored by Slice —
+			// i.e. validation implies the kernel's view stays inside
+			// the segment.
+			if uint64(d.Off)+uint64(d.Len) > segSize {
+				t.Fatalf("descriptor %d validated but escapes: %+v", i, d)
+			}
+			if d.Len == 0 || d.Len > maxFrame {
+				t.Fatalf("descriptor %d validated with bad length: %+v", i, d)
+			}
+		}
+		if !bytes.Equal(re, b) {
+			t.Fatalf("re-encode changed the block: %x vs %x", re, b)
+		}
+	})
+}
+
+// TestValidatedDescNeverEscapesSegment sweeps the edges CheckBounds
+// must hold: every (off, len) pair near the segment boundary either
+// fails validation or yields an in-bounds Slice.
+func TestValidatedDescNeverEscapesSegment(t *testing.T) {
+	seg := &Segment{buf: make([]byte, 256), mapped: true}
+	for _, off := range []uint32{0, 1, 128, 255, 256, 257, 0xFFFFFFFF} {
+		for _, n := range []uint32{0, 1, 128, 255, 256, 257, 0xFFFFFFFF} {
+			d := Desc{Off: off, Len: n}
+			if err := d.CheckBounds(seg.Size(), 0); err != nil {
+				continue
+			}
+			v, err := seg.Slice(d.Off, d.Len)
+			if err != nil {
+				t.Fatalf("validated desc %+v rejected by Slice: %v", d, err)
+			}
+			if len(v) != int(n) {
+				t.Fatalf("desc %+v: got %d-byte view", d, len(v))
+			}
+		}
+	}
+}

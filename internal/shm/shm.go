@@ -1,0 +1,175 @@
+// Package shm is the shared-memory subsystem the paper could not
+// have: simulated memory segments shared between a user process and
+// the kernel of one host.  §2 and §6.5.1 blame much of user-level
+// demultiplexing's penalty on the two extra data copies forced by the
+// fact that "Unix does not support memory sharing"; §7 lists reducing
+// copy cost as the remaining speedup once filters are compiled.  This
+// package builds the counterfactual so the §6 tables can be re-run
+// with copies elided and the copy tax measured directly.
+//
+// The cost model preserves the paper's accounting discipline:
+//
+//   - establishing a mapping charges virtual time once, at setup
+//     (vtime.Costs.MapCost), never per packet;
+//   - payload bytes delivered through a segment charge zero copy time
+//     but are counted (Counters.BytesMapped, the sys.mapped_bytes
+//     trace counter) so bytes-mapped and bytes-copied stay directly
+//     comparable;
+//   - the kernel still pays a small per-descriptor handling cost
+//     (vtime.Costs.RingDesc) on ring operations, because validating a
+//     descriptor is work even when moving the data is not.
+//
+// Segments are registered with a per-host Registry, are owned by one
+// consumer at a time (Attach/Detach — a hostile process cannot alias
+// another port's segment), and expose only bounds-checked views
+// (Slice), so kernel code that honors the Desc validation rules can
+// never be steered outside the segment.
+package shm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Errors returned by segment operations.
+var (
+	ErrSize     = errors.New("shm: segment size must be positive")
+	ErrBusy     = errors.New("shm: segment already attached")
+	ErrNotOwner = errors.New("shm: detach by non-owner")
+	ErrBounds   = errors.New("shm: reference outside segment bounds")
+	ErrUnmapped = errors.New("shm: segment is unmapped")
+)
+
+// Registry holds the segments registered with one host's kernel.
+type Registry struct {
+	host   *sim.Host
+	segs   []*Segment
+	nextID int
+}
+
+// NewRegistry creates a segment registry for host h.
+func NewRegistry(h *sim.Host) *Registry { return &Registry{host: h} }
+
+// Host returns the host whose kernel the registry belongs to.
+func (r *Registry) Host() *sim.Host { return r.host }
+
+// Segments returns the live (mapped) segments in creation order.
+func (r *Registry) Segments() []*Segment {
+	live := make([]*Segment, 0, len(r.segs))
+	for _, s := range r.segs {
+		if s.mapped {
+			live = append(live, s)
+		}
+	}
+	return live
+}
+
+// Segment is one shared-memory region: backing bytes visible to both
+// the owning process and the simulated kernel of its host.
+type Segment struct {
+	reg    *Registry
+	id     int
+	name   string
+	buf    []byte
+	mapped bool
+
+	// attached is the single consumer (a pfdev ring port, a demux
+	// arena) currently bound to the segment; nil when free.
+	attached any
+
+	// Stats is the segment's traffic accounting.
+	Stats SegStats
+}
+
+// SegStats counts payload bytes moved through a segment in each
+// direction (kernel deposits in, process deposits out).
+type SegStats struct {
+	BytesIn  uint64 `json:"bytes_in"`  // deposited by the kernel (receive path)
+	BytesOut uint64 `json:"bytes_out"` // deposited by the process (transmit path)
+}
+
+// Map registers a size-byte segment shared between the calling process
+// and the kernel, charging the one-time mapping cost: one system call
+// plus MapCost(size) of kernel page-table work.  Process context.
+func (r *Registry) Map(p *sim.Proc, name string, size int) (*Segment, error) {
+	p.Syscall("shm")
+	if size <= 0 {
+		return nil, ErrSize
+	}
+	p.ConsumeKernel("shm", p.Sim().Costs().MapCost(size))
+	s := &Segment{reg: r, id: r.nextID, name: name, buf: make([]byte, size), mapped: true}
+	r.nextID++
+	r.segs = append(r.segs, s)
+	return s, nil
+}
+
+// Unmap tears the mapping down; an attached consumer is detached
+// first.  Views obtained earlier become dead (Slice fails).  Process
+// context; charges one system call.
+func (s *Segment) Unmap(p *sim.Proc) {
+	p.Syscall("shm")
+	s.attached = nil
+	s.mapped = false
+	s.buf = nil
+}
+
+// ID returns the segment's registry-unique id.
+func (s *Segment) ID() int { return s.id }
+
+// Name returns the segment's debugging name.
+func (s *Segment) Name() string { return s.name }
+
+// Size returns the segment length in bytes (0 once unmapped).
+func (s *Segment) Size() int { return len(s.buf) }
+
+// Host returns the host whose kernel the segment is registered with.
+func (s *Segment) Host() *sim.Host { return s.reg.host }
+
+// Mapped reports whether the segment is still mapped.
+func (s *Segment) Mapped() bool { return s.mapped }
+
+// Attach binds the segment to one consumer.  A segment already
+// attached elsewhere refuses (ErrBusy): this is the aliasing guard —
+// two ports can never share one segment, so a hostile descriptor can
+// at worst reference the attacker's own memory.
+func (s *Segment) Attach(owner any) error {
+	if !s.mapped {
+		return ErrUnmapped
+	}
+	if s.attached != nil && s.attached != owner {
+		return ErrBusy
+	}
+	s.attached = owner
+	return nil
+}
+
+// Detach releases the segment if owner holds it.
+func (s *Segment) Detach(owner any) error {
+	if s.attached != owner {
+		return ErrNotOwner
+	}
+	s.attached = nil
+	return nil
+}
+
+// Attached returns the current consumer, or nil.
+func (s *Segment) Attached() any { return s.attached }
+
+// Slice returns a bounds-checked view of [off, off+n).  The arithmetic
+// is done in 64 bits so hostile 32-bit values cannot wrap.
+func (s *Segment) Slice(off, n uint32) ([]byte, error) {
+	if !s.mapped {
+		return nil, ErrUnmapped
+	}
+	end := uint64(off) + uint64(n)
+	if end > uint64(len(s.buf)) {
+		return nil, fmt.Errorf("%w: [%d,%d) of %d-byte segment", ErrBounds, off, end, len(s.buf))
+	}
+	return s.buf[off:end:end], nil
+}
+
+// Bytes returns the whole backing store (the process's own view of its
+// mapping); nil once unmapped.
+func (s *Segment) Bytes() []byte { return s.buf }

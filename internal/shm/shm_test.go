@@ -1,0 +1,199 @@
+package shm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+func TestMapChargesOnceAtSetup(t *testing.T) {
+	costs := vtime.DefaultCosts()
+	s := sim.New(costs)
+	h := s.NewHost("h")
+	reg := NewRegistry(h)
+
+	var seg *Segment
+	s.Spawn(h, "proc", func(p *sim.Proc) {
+		var err error
+		seg, err = reg.Map(p, "test", 8192)
+		if err != nil {
+			t.Errorf("Map: %v", err)
+			return
+		}
+		// Delivering bytes through the segment charges nothing and
+		// counts them as mapped.
+		before := p.Now()
+		p.Mapped("test", 4096)
+		if p.Now() != before {
+			t.Errorf("Mapped charged virtual time: %v", p.Now()-before)
+		}
+	})
+	s.Run(0)
+
+	if seg == nil || seg.Size() != 8192 {
+		t.Fatalf("segment not mapped: %+v", seg)
+	}
+	if got, want := h.Counters.Syscalls, uint64(1); got != want {
+		t.Errorf("syscalls = %d, want %d", got, want)
+	}
+	// The "shm" category holds the syscall trap plus the one-time
+	// mapping cost; nothing else.
+	if got, want := h.KernelTime["shm"], costs.Syscall+costs.MapCost(8192); got != want {
+		t.Errorf("shm kernel time = %v, want %v", got, want)
+	}
+	if got, want := h.Counters.BytesMapped, uint64(4096); got != want {
+		t.Errorf("BytesMapped = %d, want %d", got, want)
+	}
+	if h.Counters.BytesCopied != 0 {
+		t.Errorf("BytesCopied = %d, want 0", h.Counters.BytesCopied)
+	}
+}
+
+func TestMapRejectsBadSize(t *testing.T) {
+	s := sim.New(vtime.Costs{})
+	h := s.NewHost("h")
+	reg := NewRegistry(h)
+	s.Spawn(h, "proc", func(p *sim.Proc) {
+		if _, err := reg.Map(p, "bad", 0); !errors.Is(err, ErrSize) {
+			t.Errorf("Map(0) = %v, want ErrSize", err)
+		}
+		if _, err := reg.Map(p, "bad", -4); !errors.Is(err, ErrSize) {
+			t.Errorf("Map(-4) = %v, want ErrSize", err)
+		}
+	})
+	s.Run(0)
+}
+
+func TestAttachExcludesSecondOwner(t *testing.T) {
+	s := sim.New(vtime.Costs{})
+	h := s.NewHost("h")
+	reg := NewRegistry(h)
+	s.Spawn(h, "proc", func(p *sim.Proc) {
+		seg, err := reg.Map(p, "seg", 1024)
+		if err != nil {
+			t.Errorf("Map: %v", err)
+			return
+		}
+		ownerA, ownerB := new(int), new(int)
+		if err := seg.Attach(ownerA); err != nil {
+			t.Errorf("first Attach: %v", err)
+		}
+		if err := seg.Attach(ownerA); err != nil {
+			t.Errorf("re-Attach by owner: %v", err)
+		}
+		if err := seg.Attach(ownerB); !errors.Is(err, ErrBusy) {
+			t.Errorf("Attach by second owner = %v, want ErrBusy", err)
+		}
+		if err := seg.Detach(ownerB); !errors.Is(err, ErrNotOwner) {
+			t.Errorf("Detach by non-owner = %v, want ErrNotOwner", err)
+		}
+		if err := seg.Detach(ownerA); err != nil {
+			t.Errorf("Detach by owner: %v", err)
+		}
+		if err := seg.Attach(ownerB); err != nil {
+			t.Errorf("Attach after Detach: %v", err)
+		}
+		seg.Unmap(p)
+		if err := seg.Attach(ownerB); !errors.Is(err, ErrUnmapped) {
+			t.Errorf("Attach after Unmap = %v, want ErrUnmapped", err)
+		}
+		if len(reg.Segments()) != 0 {
+			t.Errorf("unmapped segment still listed live")
+		}
+	})
+	s.Run(0)
+}
+
+func TestSliceBounds(t *testing.T) {
+	s := sim.New(vtime.Costs{})
+	h := s.NewHost("h")
+	reg := NewRegistry(h)
+	s.Spawn(h, "proc", func(p *sim.Proc) {
+		seg, err := reg.Map(p, "seg", 100)
+		if err != nil {
+			t.Errorf("Map: %v", err)
+			return
+		}
+		if v, err := seg.Slice(90, 10); err != nil || len(v) != 10 {
+			t.Errorf("Slice(90,10) = (%d bytes, %v)", len(v), err)
+		}
+		if _, err := seg.Slice(90, 11); !errors.Is(err, ErrBounds) {
+			t.Errorf("Slice(90,11) = %v, want ErrBounds", err)
+		}
+		// 32-bit wrap attempt: off+n overflows uint32.
+		if _, err := seg.Slice(0xFFFFFFFF, 2); !errors.Is(err, ErrBounds) {
+			t.Errorf("wrapping Slice = %v, want ErrBounds", err)
+		}
+		// A view must not be able to grow back into the segment.
+		v, _ := seg.Slice(0, 10)
+		if cap(v) != 10 {
+			t.Errorf("Slice cap = %d, want 10 (three-index slice)", cap(v))
+		}
+	})
+	s.Run(0)
+}
+
+func TestDescRoundTrip(t *testing.T) {
+	d := Desc{Off: 4096, Len: 1500, Flags: FlagWrap}
+	wire := d.Encode(nil)
+	if len(wire) != DescSize {
+		t.Fatalf("encoded length %d, want %d", len(wire), DescSize)
+	}
+	got, err := DecodeDesc(wire)
+	if err != nil {
+		t.Fatalf("DecodeDesc: %v", err)
+	}
+	if got != d {
+		t.Fatalf("round trip changed descriptor: %+v vs %+v", got, d)
+	}
+}
+
+func TestDecodeDescsRejectsPartial(t *testing.T) {
+	d := Desc{Off: 0, Len: 64}
+	block := d.Encode(d.Encode(nil))
+	descs, err := DecodeDescs(block)
+	if err != nil || len(descs) != 2 {
+		t.Fatalf("DecodeDescs(valid) = (%d, %v)", len(descs), err)
+	}
+	if _, err := DecodeDescs(block[:len(block)-1]); !errors.Is(err, ErrDescShort) {
+		t.Errorf("truncated block = %v, want ErrDescShort", err)
+	}
+}
+
+func TestCheckBounds(t *testing.T) {
+	cases := []struct {
+		d       Desc
+		seg, mf int
+		wantErr error
+	}{
+		{Desc{Off: 0, Len: 100}, 4096, 1500, nil},
+		{Desc{Off: 3996, Len: 100}, 4096, 1500, nil},
+		{Desc{Off: 3997, Len: 100}, 4096, 1500, ErrBounds},
+		{Desc{Off: 0, Len: 0}, 4096, 1500, ErrDescEmpty},
+		{Desc{Off: 0, Len: 1501}, 4096, 1500, ErrDescFrame},
+		{Desc{Off: 0xFFFFFFF0, Len: 0x20}, 4096, 0, ErrBounds}, // 64-bit sum, no wrap
+	}
+	for i, c := range cases {
+		err := c.d.CheckBounds(c.seg, c.mf)
+		if (c.wantErr == nil) != (err == nil) || (err != nil && !errors.Is(err, c.wantErr)) {
+			t.Errorf("case %d: CheckBounds(%+v) = %v, want %v", i, c.d, err, c.wantErr)
+		}
+	}
+}
+
+// TestMapCostScales pins the shape of the mapping cost: linear in
+// size, and amortizable — mapping 64 KB once costs less than copying
+// it twice at the paper's 1 ms/KB.
+func TestMapCostScales(t *testing.T) {
+	c := vtime.DefaultCosts()
+	small, big := c.MapCost(4096), c.MapCost(65536)
+	if big <= small {
+		t.Errorf("MapCost not increasing: %v vs %v", small, big)
+	}
+	copyTwice := 2 * c.Copy(65536)
+	if big >= copyTwice {
+		t.Errorf("mapping 64KB (%v) should be cheaper than two copies (%v)", big, copyTwice)
+	}
+}

@@ -129,6 +129,22 @@ func (p *Proc) copy(tag string, n int) {
 	p.ConsumeKernel(tag, p.sim.costs.Copy(n))
 }
 
+// Mapped records n bytes delivered through a shared-memory mapping
+// without crossing the kernel/user boundary: the counterfactual the
+// paper could not build ("Unix does not support memory sharing", §2).
+// No copy time is charged — that is the point — but the bytes are
+// accounted so experiments can report bytes-mapped against
+// bytes-copied.
+func (p *Proc) Mapped(tag string, n int) {
+	p.sim.assertProc("Mapped")
+	h := p.host
+	h.Counters.BytesMapped += uint64(n)
+	p.sim.Counters.BytesMapped += uint64(n)
+	if tr := p.sim.tracer; tr != nil {
+		tr.Mapped(p.sim.now, h.name, p.name, tag, n)
+	}
+}
+
 // Exit marks the process finished; it must be the last statement the
 // process executes (it simply documents intent — returning from the
 // Spawn function has the same effect).

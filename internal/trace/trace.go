@@ -74,6 +74,12 @@ const (
 	// "crash", "restart", "squeeze"), Value the injector's frame
 	// index (or 0 for host-lifecycle faults).
 	KindFault
+	// KindMapped: Value bytes were delivered to Proc in place
+	// through a shared-memory mapping (no kernel/user copy).
+	KindMapped
+	// KindRingReap: one reap syscall harvested Aux packets totalling
+	// Value bytes from the mapped ring of Port.
+	KindRingReap
 
 	numKinds // sentinel
 )
@@ -82,6 +88,7 @@ var kindNames = [numKinds]string{
 	"ctxswitch", "syscall_enter", "syscall_exit", "copy", "wakeup",
 	"kernel_slice", "user_slice", "filter_eval", "enqueue", "dequeue",
 	"drop", "deliver", "wire_tx", "wire_rx", "proto", "fault",
+	"mapped", "ring_reap",
 }
 
 // String returns the event kind's snake_case name.
@@ -287,6 +294,29 @@ func (t *Tracer) WireRx(now time.Duration, host string, n int) {
 func (t *Tracer) Proto(now time.Duration, host, what string) {
 	t.reg.counter(host, "inet."+what).Add(1)
 	t.emit(Event{When: now, Kind: KindProto, Host: host, Tag: what})
+}
+
+// Mapped records n bytes delivered to proc in place through a
+// shared-memory mapping — the copies that did NOT happen.
+func (t *Tracer) Mapped(now time.Duration, host, proc, tag string, n int) {
+	t.reg.counter(host, "sys.mapped_bytes").Add(uint64(n))
+	t.emit(Event{When: now, Kind: KindMapped, Host: host, Proc: proc, Tag: tag, Value: int64(n)})
+}
+
+// PortCopied attributes n kernel/user-copied bytes to the packet
+// filter's delivery path (the per-port bytes_copied counters sum to
+// this), so ring-vs-copy ablations can read the copy tax directly.
+func (t *Tracer) PortCopied(host string, n int) {
+	t.reg.counter(host, "pf.copied_bytes").Add(uint64(n))
+}
+
+// RingReap records one reap syscall harvesting n packets totalling
+// bytes from the mapped ring of port.
+func (t *Tracer) RingReap(now time.Duration, host string, port, n, bytes int) {
+	t.reg.counter(host, "pf.ring_reaps").Add(1)
+	t.reg.counter(host, "pf.mapped_bytes").Add(uint64(bytes))
+	t.emit(Event{When: now, Kind: KindRingReap, Host: host, Port: port,
+		Value: int64(bytes), Aux: int64(n)})
 }
 
 // Fault records one injected fault of the given kind ("drop",
