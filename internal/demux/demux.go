@@ -169,6 +169,11 @@ func (d *Demux) Run(p *sim.Proc, f filter.Filter, idle time.Duration) error {
 			pkt = pending[0]
 			pending = pending[1:]
 		} else if d.cfg.Shared {
+			// The reaped views stay valid while pending drains:
+			// their ring slots are lent out until the next
+			// ReapBatch call, so the driver cannot redeposit over
+			// them during the Consume/pipe-write yields below —
+			// burst overflow drops at the port instead.
 			batch, err := port.ReapBatch(p)
 			if err != nil {
 				return nil

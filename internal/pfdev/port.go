@@ -23,6 +23,12 @@ type Packet struct {
 	// arrived is when the frame entered the packet-filter input path,
 	// the start of the arrival-to-delivery latency the tracer reports.
 	arrived time.Duration
+
+	// slot, when non-zero, is 1 + the ring receive slot holding Data.
+	// The slot stays reserved — free for neither deposit nor reuse —
+	// until the packet is copied out (Read/ReadBatch) or, after a
+	// reap, until the process's next drain syscall reclaims it.
+	slot int
 }
 
 // Port is one packet-filter port, opened by a process as a character
@@ -213,12 +219,12 @@ func (port *Port) enqueue(frame []byte, arrived time.Duration) {
 	if c := port.dev.queueCap; c > 0 && c < limit {
 		limit = c
 	}
-	if r := port.ring; r != nil && r.slots < limit {
-		// A mapped ring can hold at most one queued frame per slot;
-		// overflow drops exactly like a full input queue.
-		limit = r.slots
-	}
-	if len(port.queue) >= limit {
+	r := port.ring
+	if len(port.queue) >= limit || (r != nil && len(r.free) == 0) {
+		// A mapped ring can hold one frame per slot, and slots stay
+		// reserved while queued *or* lent out to a reaping process;
+		// with none free, overflow drops exactly like a full input
+		// queue rather than overwriting a frame still being read.
 		port.dropped++
 		h.Counters.PacketsDropped++
 		h.Sim().Counters.PacketsDropped++
@@ -227,14 +233,14 @@ func (port *Port) enqueue(frame []byte, arrived time.Duration) {
 		}
 		return
 	}
-	if r := port.ring; r != nil {
+	var slot int
+	if r != nil {
 		// Deposit the frame in place: the driver writes straight into
-		// the shared segment's receive slot, so the later reap moves
-		// no data.  Queued packets never outnumber slots (limit above),
-		// so a slot is never overwritten while its packet is queued.
-		frame = r.deposit(frame)
+		// a free receive slot of the shared segment, so the later reap
+		// moves no data.
+		frame, slot = r.deposit(frame)
 	}
-	pkt := Packet{Data: frame, Drops: port.dropped, arrived: arrived}
+	pkt := Packet{Data: frame, Drops: port.dropped, arrived: arrived, slot: slot}
 	if port.stamp {
 		pkt.Stamp = h.Sim().Now()
 	}
@@ -278,6 +284,9 @@ func (port *Port) Read(p *sim.Proc) (Packet, error) {
 		return Packet{}, ErrClosed
 	}
 	p.Syscall("pfread")
+	if r := port.ring; r != nil {
+		r.reclaim()
+	}
 	for len(port.queue) == 0 {
 		if port.timeout < 0 {
 			return Packet{}, ErrWouldBlock
@@ -291,6 +300,12 @@ func (port *Port) Read(p *sim.Proc) (Packet, error) {
 	}
 	pkt := port.queue[0]
 	port.queue = port.queue[1:]
+	if r := port.ring; r != nil && pkt.slot > 0 {
+		// Read copies the frame out of its ring slot; the slot frees
+		// immediately.
+		r.free = append(r.free, pkt.slot-1)
+		pkt.slot = 0
+	}
 	port.reads++
 	port.bytesCopied += uint64(len(pkt.Data))
 	p.CopyOut("pfread", len(pkt.Data))
@@ -329,6 +344,9 @@ func (port *Port) drainBatch(p *sim.Proc, viaRing bool) ([]Packet, error) {
 		tag = "pfreap"
 	}
 	p.Syscall(tag)
+	if r := port.ring; r != nil {
+		r.reclaim()
+	}
 	for len(port.queue) == 0 {
 		if port.timeout < 0 {
 			return nil, ErrWouldBlock
@@ -347,33 +365,57 @@ func (port *Port) drainBatch(p *sim.Proc, viaRing bool) ([]Packet, error) {
 	batch := make([]Packet, n)
 	copy(batch, port.queue[:n])
 	port.queue = port.queue[n:]
-	total := 0
-	for _, pkt := range batch {
-		total += len(pkt.Data)
+	// Charge each packet against the ring as it exists *now* — the
+	// mapping may have appeared or dissolved while we blocked.  Only
+	// frames that actually sit in a live ring slot and leave through
+	// ReapBatch are descriptor handovers; everything else (fallback
+	// private copies, frames orphaned by an unmap, any ReadBatch
+	// drain) crosses the boundary as a copy.
+	r := port.ring
+	mapped, copied, ringPkts := 0, 0, 0
+	for i := range batch {
+		pkt := &batch[i]
+		switch {
+		case viaRing && r != nil && pkt.slot > 0:
+			// Handed over in place; the slot is lent until the
+			// process's next drain call reclaims it.
+			r.lent = append(r.lent, pkt.slot-1)
+			mapped += len(pkt.Data)
+			ringPkts++
+		case r != nil && pkt.slot > 0:
+			// Copied out of its slot; the slot frees immediately.
+			r.free = append(r.free, pkt.slot-1)
+			pkt.slot = 0
+			copied += len(pkt.Data)
+		default:
+			pkt.slot = 0
+			copied += len(pkt.Data)
+		}
 	}
 	h := port.dev.host
 	tr := p.Sim().Tracer()
-	if viaRing {
+	if ringPkts > 0 {
 		// The frames already sit in the shared segment; the kernel
-		// only validates and hands over n descriptors.
+		// only validates and hands over the descriptors.
 		port.reaps++
-		port.reaped += uint64(n)
-		port.bytesMapped += uint64(total)
+		port.reaped += uint64(ringPkts)
+		port.bytesMapped += uint64(mapped)
 		h.Counters.RingReaps++
 		h.Sim().Counters.RingReaps++
-		p.ConsumeKernel(tag, time.Duration(n)*p.Sim().Costs().RingDesc)
-		p.Mapped(tag, total)
+		p.ConsumeKernel(tag, time.Duration(ringPkts)*p.Sim().Costs().RingDesc)
+		p.Mapped(tag, mapped)
 		if tr != nil {
-			tr.RingReap(p.Now(), h.Name(), port.id, n, total)
+			tr.RingReap(p.Now(), h.Name(), port.id, ringPkts, mapped)
 		}
-	} else {
+	}
+	if ringPkts < n {
 		port.batches++
-		port.batched += uint64(n)
-		port.bytesCopied += uint64(total)
+		port.batched += uint64(n - ringPkts)
+		port.bytesCopied += uint64(copied)
 		// One copy for the whole batch: the win over per-packet reads.
-		p.CopyOut(tag, total)
+		p.CopyOut(tag, copied)
 		if tr != nil {
-			tr.PortCopied(h.Name(), total)
+			tr.PortCopied(h.Name(), copied)
 		}
 	}
 	if tr != nil {

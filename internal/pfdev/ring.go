@@ -30,13 +30,32 @@ var (
 )
 
 // ring is the kernel-side state of a mapped ring port.
+//
+// Receive slots move through three states: free (the driver may
+// deposit an arriving frame), queued (the frame sits on the port input
+// queue), and lent (the frame was handed to the process by ReapBatch
+// and the process may still be reading the view).  Lent slots are
+// reclaimed at the process's next drain syscall on the port — asking
+// for more packets implies the previous batch has been consumed — so
+// the driver can never overwrite a frame the process might still read.
+// A reaped view is therefore valid exactly until the next
+// Read/ReadBatch/ReapBatch call on the same port.
 type ring struct {
 	seg      *shm.Segment
-	slots    int // receive descriptor slots
-	slotSize int // bytes per receive slot (the link maximum frame)
-	rxNext   uint64
-	txBase   int // start of the transmit arena within the segment
-	txOff    int // rotating deposit offset within the arena
+	slots    int   // receive descriptor slots
+	slotSize int   // bytes per receive slot (the link maximum frame)
+	free     []int // slots available for the driver to deposit into
+	lent     []int // slots reaped by the process, reclaimed at its next drain
+	txBase   int   // start of the transmit arena within the segment
+	txOff    int   // rotating deposit offset within the arena
+}
+
+// reclaim returns lent slots to the free list.  Called at the top of
+// every drain syscall: the process asking for another batch implies it
+// is done with the views handed out by the previous one.
+func (r *ring) reclaim() {
+	r.free = append(r.free, r.lent...)
+	r.lent = r.lent[:0]
 }
 
 // RingLayoutSize returns the minimum segment size for a ring of slots
@@ -71,21 +90,30 @@ func (port *Port) MapRing(p *sim.Proc, seg *shm.Segment, slots int) error {
 	if err := seg.Attach(port); err != nil {
 		return err
 	}
-	port.ring = &ring{
+	if old := port.ring; old != nil && old.seg != seg {
+		// Remapping over a live ring: release the previous segment's
+		// attachment now, or it stays attached to this port forever
+		// and every other consumer gets ErrBusy.
+		old.seg.Detach(port)
+	}
+	r := &ring{
 		seg:      seg,
 		slots:    slots,
 		slotSize: slotSize,
+		free:     make([]int, 0, slots),
 		txBase:   slots * slotSize,
 	}
-	// Packets queued before the mapping existed are private kernel
-	// copies; migrate them into ring slots now so the first reap's
-	// accounting is honest.  Frames beyond the slot count stay private
-	// (the same overflow rule enqueue applies from here on).
+	for i := 0; i < slots; i++ {
+		r.free = append(r.free, i)
+	}
+	port.ring = r
+	// Packets already queued (private kernel copies, or views into a
+	// previous ring's segment) migrate into this ring's slots now so
+	// the first reap's accounting is honest and nothing queued still
+	// references an older mapping.  Frames beyond the slot count stay
+	// private copies (deposit falls back when no slot is free).
 	for i := range port.queue {
-		if i >= slots {
-			break
-		}
-		port.queue[i].Data = port.ring.deposit(port.queue[i].Data)
+		port.queue[i].Data, port.queue[i].slot = r.deposit(port.queue[i].Data)
 	}
 	return nil
 }
@@ -109,20 +137,30 @@ func (port *Port) detachRing() {
 // RingMapped reports whether a ring is currently attached.
 func (port *Port) RingMapped() bool { return port.ring != nil }
 
-// deposit writes a received frame into the next receive slot and
-// returns the in-segment view that the queued Packet will carry.
-func (r *ring) deposit(frame []byte) []byte {
-	slot := int(r.rxNext % uint64(r.slots))
-	r.rxNext++
+// deposit writes a received frame into a free receive slot and returns
+// the in-segment view the queued Packet will carry plus the 1-based
+// slot handle (0 when the frame had to become a private kernel copy:
+// oversized for a slot, no slot free, or the segment was unmapped
+// under the ring).  Only free slots are used — queued and lent slots
+// are never overwritten, so a frame the process may still read cannot
+// be corrupted by a later arrival.
+func (r *ring) deposit(frame []byte) ([]byte, int) {
+	if len(frame) > r.slotSize || !r.seg.Mapped() || len(r.free) == 0 {
+		// Oversize frames (the link's MaxFrame lied) must not bleed
+		// into the next slot; keep the kernel alive with a private
+		// copy, charged as such when drained.
+		return append([]byte(nil), frame...), 0
+	}
+	slot := r.free[0]
+	r.free = r.free[1:]
 	view, err := r.seg.Slice(uint32(slot*r.slotSize), uint32(len(frame)))
 	if err != nil {
-		// A frame can exceed slotSize only if the link's MaxFrame
-		// lied; keep the kernel alive and deliver a private copy.
-		return append([]byte(nil), frame...)
+		r.free = append(r.free, slot)
+		return append([]byte(nil), frame...), 0
 	}
 	copy(view, frame)
 	r.seg.Stats.BytesIn += uint64(len(frame))
-	return view
+	return view, slot + 1
 }
 
 // ReapBatch drains the port queue exactly like ReadBatch — same
@@ -131,8 +169,28 @@ func (r *ring) deposit(frame []byte) []byte {
 // (Costs.RingDesc each) and the frame bytes, already deposited in the
 // shared segment, cross no boundary.  Without a mapped ring it is
 // ReadBatch, byte for byte.
+//
+// The returned Data views stay valid until the caller's next drain
+// call (Read/ReadBatch/ReapBatch) on this port: their slots are lent
+// out until then and the driver deposits new arrivals only into free
+// slots, dropping (as queue overflow) when none remain.
 func (port *Port) ReapBatch(p *sim.Proc) ([]Packet, error) {
 	return port.drainBatch(p, port.ring != nil)
+}
+
+// SegmentUnmapped implements shm.Consumer: the owning process unmapped
+// the segment under the kernel, so the ring dissolves and the port
+// falls back to the copying path.  Frames already queued keep their
+// views (now private memory as far as delivery accounting goes) and
+// are charged as copies when drained.
+func (port *Port) SegmentUnmapped(seg *shm.Segment) {
+	if port.ring == nil || port.ring.seg != seg {
+		return
+	}
+	port.ring = nil
+	for i := range port.queue {
+		port.queue[i].slot = 0
+	}
 }
 
 // RingTransmit sends the frames named by a raw descriptor block, the

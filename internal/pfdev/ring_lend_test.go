@@ -1,0 +1,197 @@
+package pfdev
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+// TestReapedSlotsNotRedeposited pins the slot lend protocol: frames
+// handed out by ReapBatch keep their slots reserved until the next
+// drain call, so a burst arriving while the process is still consuming
+// the batch drops at the port instead of silently overwriting the
+// views the process holds.
+func TestReapedSlotsNotRedeposited(t *testing.T) {
+	r := newRig(t, Options{})
+	var stats PortStats
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		port.SetFilter(p, socketFilter(10, 35))
+		port.SetTimeout(p, 50*time.Millisecond)
+		mapTestRing(t, p, port, 2)
+
+		p.Sleep(10 * time.Millisecond) // let frames 1 and 2 queue up
+		batch, err := port.ReapBatch(p)
+		if err != nil || len(batch) != 2 {
+			t.Errorf("first reap = (%d, %v), want 2 packets", len(batch), err)
+			return
+		}
+		// Consume the batch slowly: frames 3..5 arrive while both ring
+		// slots are lent out, so they must be dropped, not deposited
+		// over the views we are still holding.
+		p.Sleep(20 * time.Millisecond)
+		for i, pkt := range batch {
+			if got := pkt.Data[7]; got != byte(i+1) {
+				t.Errorf("held view %d corrupted: pup type %d, want %d", i, got, i+1)
+			}
+		}
+		// The next reap reclaims the lent slots; frame 6 lands in one.
+		batch, err = port.ReapBatch(p)
+		if err != nil || len(batch) != 1 || batch[0].Data[7] != 6 {
+			t.Errorf("second reap = (%d, %v), want exactly frame 6", len(batch), err)
+		}
+		stats = port.Stats()
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		p.Sleep(time.Millisecond)
+		port.Write(p, pupTo(2, 1, 1, 35))
+		port.Write(p, pupTo(2, 1, 2, 35))
+		p.Sleep(19 * time.Millisecond) // receiver is mid-batch now
+		port.Write(p, pupTo(2, 1, 3, 35))
+		port.Write(p, pupTo(2, 1, 4, 35))
+		port.Write(p, pupTo(2, 1, 5, 35))
+		p.Sleep(20 * time.Millisecond) // receiver has reaped again
+		port.Write(p, pupTo(2, 1, 6, 35))
+	})
+	r.s.Run(0)
+
+	if stats.Dropped != 3 {
+		t.Errorf("Dropped = %d, want 3 (the burst against lent slots)", stats.Dropped)
+	}
+	if stats.BytesCopied != 0 {
+		t.Errorf("BytesCopied = %d, want 0", stats.BytesCopied)
+	}
+}
+
+// TestRemapDetachesOldSegment pins that MapRing over a live ring
+// releases the previous segment's attachment instead of leaking it.
+func TestRemapDetachesOldSegment(t *testing.T) {
+	r := newRig(t, Options{})
+	r.s.Spawn(r.hb, "proc", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		reg := shm.NewRegistry(r.hb)
+		segA, err := reg.Map(p, "a", port.RingLayoutSize(4))
+		if err != nil {
+			t.Errorf("Map a: %v", err)
+			return
+		}
+		segB, err := reg.Map(p, "b", port.RingLayoutSize(4))
+		if err != nil {
+			t.Errorf("Map b: %v", err)
+			return
+		}
+		if err := port.MapRing(p, segA, 4); err != nil {
+			t.Errorf("MapRing a: %v", err)
+		}
+		if err := port.MapRing(p, segB, 4); err != nil {
+			t.Errorf("remap to b: %v", err)
+		}
+		if segA.Attached() != nil {
+			t.Error("remap leaked the old segment's attachment")
+		}
+		// Another port can use the released segment immediately.
+		other := r.db.Open(p)
+		if err := other.MapRing(p, segA, 4); err != nil {
+			t.Errorf("MapRing on released segment: %v", err)
+		}
+		// Remapping the same segment (e.g. to resize the slot count)
+		// keeps it attached.
+		if err := port.MapRing(p, segB, 2); err != nil {
+			t.Errorf("same-segment remap: %v", err)
+		}
+		if segB.Attached() != port {
+			t.Error("same-segment remap lost the attachment")
+		}
+	})
+	r.s.Run(0)
+}
+
+// TestUnmapMidBlockFallsBackToCopies pins the shm.Consumer
+// notification and the post-block accounting: when the process unmaps
+// the segment while a reader is blocked in ReapBatch, the ring
+// dissolves, later arrivals are private copies, and the drain charges
+// them as copies — not as mapped ring traffic.
+func TestUnmapMidBlockFallsBackToCopies(t *testing.T) {
+	r := newRig(t, Options{})
+	var port *Port
+	var seg *shm.Segment
+	var stats PortStats
+	frameLen := len(pupTo(2, 1, 1, 35))
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port = r.db.Open(p)
+		port.SetFilter(p, socketFilter(10, 35))
+		port.SetTimeout(p, 50*time.Millisecond)
+		seg = mapTestRing(t, p, port, 4)
+		batch, err := port.ReapBatch(p) // blocks; the unmap happens under us
+		if err != nil || len(batch) != 1 {
+			t.Errorf("ReapBatch = (%d, %v), want 1 packet", len(batch), err)
+			return
+		}
+		stats = port.Stats()
+	})
+	r.s.Spawn(r.hb, "unmapper", func(p *sim.Proc) {
+		p.Sleep(5 * time.Millisecond)
+		seg.Unmap(p)
+		if port.RingMapped() {
+			t.Error("Unmap left the port ring mapped")
+		}
+		if err := port.RingTransmit(p, shm.Desc{Off: 0, Len: 8}.Encode(nil)); !errors.Is(err, ErrNoRing) {
+			t.Errorf("RingTransmit after unmap = %v, want ErrNoRing", err)
+		}
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		p.Sleep(10 * time.Millisecond) // after the unmap
+		port.Write(p, pupTo(2, 1, 1, 35))
+	})
+	r.s.Run(0)
+
+	if stats.BytesMapped != 0 || stats.RingReaps != 0 {
+		t.Errorf("unmapped ring still counted mapped traffic: %+v", stats)
+	}
+	if stats.BytesCopied != uint64(frameLen) {
+		t.Errorf("BytesCopied = %d, want %d", stats.BytesCopied, frameLen)
+	}
+	if stats.DescErrors != 0 {
+		t.Errorf("DescErrors = %d, want 0 (unmap is not a hostile descriptor)", stats.DescErrors)
+	}
+}
+
+// TestOversizeFrameStaysPrivate pins the deposit guard: a frame longer
+// than a slot becomes a private kernel copy in every slot position —
+// it never bleeds into the next slot's bytes and never consumes a free
+// slot.
+func TestOversizeFrameStaysPrivate(t *testing.T) {
+	r := newRig(t, Options{})
+	r.s.Spawn(r.hb, "proc", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		seg := mapTestRing(t, p, port, 4)
+		ring := port.ring
+		oversize := make([]byte, ring.slotSize+1)
+		for i := range oversize {
+			oversize[i] = 0xAB
+		}
+		freeBefore := len(ring.free)
+		data, slot := ring.deposit(oversize)
+		if slot != 0 {
+			t.Errorf("oversize deposit claimed slot %d, want private copy", slot-1)
+		}
+		if len(ring.free) != freeBefore {
+			t.Errorf("oversize deposit consumed a free slot: %d -> %d", freeBefore, len(ring.free))
+		}
+		if len(data) != len(oversize) || &data[0] == &seg.Bytes()[0] {
+			t.Error("oversize deposit did not return a private copy")
+		}
+		for i, b := range seg.Bytes()[:2*ring.slotSize] {
+			if b != 0 {
+				t.Errorf("oversize deposit leaked into the segment at byte %d", i)
+				break
+			}
+		}
+	})
+	r.s.Run(0)
+}

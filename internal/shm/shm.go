@@ -105,11 +105,23 @@ func (r *Registry) Map(p *sim.Proc, name string, size int) (*Segment, error) {
 	return s, nil
 }
 
-// Unmap tears the mapping down; an attached consumer is detached
-// first.  Views obtained earlier become dead (Slice fails).  Process
-// context; charges one system call.
+// Consumer is the optional interface of attach owners (a pfdev ring
+// port) that must hear when the process unmaps the segment under
+// them, so they can drop their mapping instead of serving stale views
+// with skewed accounting.
+type Consumer interface {
+	SegmentUnmapped(*Segment)
+}
+
+// Unmap tears the mapping down; an attached consumer is notified (if
+// it implements Consumer) and detached first.  Views obtained earlier
+// become dead (Slice fails).  Process context; charges one system
+// call.
 func (s *Segment) Unmap(p *sim.Proc) {
 	p.Syscall("shm")
+	if c, ok := s.attached.(Consumer); ok {
+		c.SegmentUnmapped(s)
+	}
 	s.attached = nil
 	s.mapped = false
 	s.buf = nil
