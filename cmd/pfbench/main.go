@@ -26,6 +26,7 @@ func main() {
 	id := flag.String("id", "", "run only the experiment with this id")
 	exp := flag.String("exp", "", "alias for -id; short names resolve to exp-<name>")
 	shmN := flag.Int("shm-n", 0, "packets per exp-shm measurement (0 = default)")
+	coalesceN := flag.Int("coalesce-n", 0, "packets per exp-coalesce measurement (0 = default)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
 	asJSON := flag.Bool("json", false, "emit tables (and any trace snapshot) as JSON")
@@ -37,6 +38,9 @@ func main() {
 	}
 	if *shmN > 0 {
 		bench.ShmCount = *shmN
+	}
+	if *coalesceN > 0 {
+		bench.CoalesceCount = *coalesceN
 	}
 
 	var tr *trace.Tracer

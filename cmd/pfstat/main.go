@@ -39,6 +39,8 @@ func main() {
 	n := flag.Int("n", 400, "packets of mixed traffic to generate")
 	nPorts := flag.Int("ports", 8, "packet-filter ports at the receiver")
 	ring := flag.Int("ring", 0, "map a shared-memory ring of this many slots on each Pup reader (0 = copying reads)")
+	coalesce := flag.Int("coalesce", 0, "interrupt-coalescing budget at the receiver (0 or 1 = off)")
+	coalesceDelay := flag.Duration("coalesce-delay", 2*time.Millisecond, "interrupt-moderation timer (with -coalesce)")
 	seed := flag.Int64("seed", 42, "workload random seed")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	chromeFile := flag.String("chrome", "", "write Chrome trace-event JSON (Perfetto) to this file")
@@ -72,7 +74,8 @@ func main() {
 	nicRecv := net.Attach(recv, 2)
 
 	stack := inet.NewStack(nicRecv, 0x0A000002)
-	dev := pfdev.Attach(nicRecv, stack, pfdev.Options{Reorder: true})
+	dev := pfdev.Attach(nicRecv, stack, pfdev.Options{Reorder: true,
+		CoalesceBudget: *coalesce, CoalesceDelay: *coalesceDelay})
 	pfdev.Attach(nicSrc, nil, pfdev.Options{})
 
 	// A kernel UDP sink so the IP share of the mix terminates in a
@@ -154,6 +157,17 @@ func main() {
 		// its static instruction mix explains the pf.instrs column.
 		mix := filter.MixOf(pup.SocketFilter(link, 10, sockets[0]).Program)
 		fmt.Printf("\nbound filter mix (per port): %s\n", mix)
+
+		c := recv.Counters
+		fmt.Printf("\nreceiver interrupt load: %d kernel entries", c.KernelEntries)
+		if c.PacketsIn > 0 {
+			fmt.Printf(" (%.2f per packet in)", float64(c.KernelEntries)/float64(c.PacketsIn))
+		}
+		fmt.Println()
+		if c.Bursts > 0 {
+			fmt.Printf("interrupt coalescing: %d bursts, %d frames coalesced (%.1f frames/burst)\n",
+				c.Bursts, c.CoalescedFrames, float64(c.CoalescedFrames)/float64(c.Bursts))
+		}
 	}
 
 	if *chromeFile != "" {

@@ -217,6 +217,7 @@ func Experiments() []Experiment {
 		{"abl-gw", AblationGateway},
 		{"chaos", ChaosGoodput},
 		{"exp-shm", ExpShm},
+		{"exp-coalesce", ExpCoalesce},
 	}
 }
 

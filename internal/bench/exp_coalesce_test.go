@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestCoalesceAmortizesKernelEntries pins the tentpole's acceptance
+// criterion at the bench workload: with a poll budget of 4 at the
+// paced burst workload, kernel entries and context switches per packet
+// drop at least 2x against the uncoalesced path, while a single
+// isolated packet is delivered at exactly the uncoalesced latency.
+func TestCoalesceAmortizesKernelEntries(t *testing.T) {
+	const gap = 3 * time.Millisecond
+	base := recvSetup{size: 128, count: 32, gap: gap}
+	coal := base
+	coal.coalesce = 4
+	coal.coalesceDelay = 2 * gap * 4
+
+	plain := measureRecv(base)
+	batched := measureRecv(coal)
+	if plain.received != batched.received || plain.received == 0 {
+		t.Fatalf("unequal counts: plain=%d coalesced=%d", plain.received, batched.received)
+	}
+	if batched.counters.Bursts == 0 {
+		t.Fatal("coalesced run formed no bursts")
+	}
+	if 2*batched.counters.KernelEntries > plain.counters.KernelEntries {
+		t.Errorf("kernel entries did not drop 2x: %d coalesced vs %d plain",
+			batched.counters.KernelEntries, plain.counters.KernelEntries)
+	}
+	if 2*batched.counters.ContextSwitches > plain.counters.ContextSwitches {
+		t.Errorf("context switches did not drop 2x: %d coalesced vs %d plain",
+			batched.counters.ContextSwitches, plain.counters.ContextSwitches)
+	}
+
+	basIso, coalIso := base, coal
+	basIso.count, coalIso.count = 1, 1
+	pi, ci := measureRecv(basIso), measureRecv(coalIso)
+	if pi.received != 1 || ci.received != 1 {
+		t.Fatalf("isolated runs received %d/%d packets", pi.received, ci.received)
+	}
+	if pi.perPacket != ci.perPacket {
+		t.Errorf("isolated latency changed: %v coalesced vs %v plain", ci.perPacket, pi.perPacket)
+	}
+}
+
+// TestExpCoalesceDeterministic pins bit-identical reproduction of the
+// whole ablation table.
+func TestExpCoalesceDeterministic(t *testing.T) {
+	old := CoalesceCount
+	CoalesceCount = 12
+	defer func() { CoalesceCount = old }()
+	a, b := ExpCoalesce(), ExpCoalesce()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two exp-coalesce runs differ:\n%v\nvs\n%v", a, b)
+	}
+	if len(a.Rows) != 5 {
+		t.Fatalf("expected 5 rows, got %d", len(a.Rows))
+	}
+	for _, row := range a.Rows {
+		if row[2] == "n/a" {
+			t.Errorf("row %v received nothing", row)
+		}
+	}
+	// Every row's isolated-latency cell must be identical to the
+	// uncoalesced baseline's.
+	for _, row := range a.Rows[1:] {
+		if row[6] != a.Rows[0][6] {
+			t.Errorf("isolated latency diverged: budget %s row says %s, baseline %s",
+				row[0], row[6], a.Rows[0][6])
+		}
+	}
+}

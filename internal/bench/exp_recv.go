@@ -39,6 +39,9 @@ type recvSetup struct {
 	prog     filter.Program
 	mode     pfdev.EvalMode
 	spinner  bool // an unrelated CPU-bound process shares host B
+
+	coalesce      int           // interrupt-coalescing budget (exp-coalesce)
+	coalesceDelay time.Duration // moderation timer
 }
 
 // recvResult reports per-packet receive cost and the receiver host's
@@ -92,7 +95,8 @@ func measureRecv(cfg recvSetup) recvResult {
 			}
 		})
 	} else {
-		r.devB = pfdev.Attach(r.nicB, nil, pfdev.Options{Mode: cfg.mode})
+		r.devB = pfdev.Attach(r.nicB, nil, pfdev.Options{Mode: cfg.mode,
+			CoalesceBudget: cfg.coalesce, CoalesceDelay: cfg.coalesceDelay})
 		r.s.Spawn(r.hB, "dest", func(p *sim.Proc) {
 			port := r.devB.Open(p)
 			port.SetFilter(p, filter.Filter{Priority: 10, Program: cfg.prog})

@@ -1,0 +1,116 @@
+package ethersim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestCoalesceBurstsAtNIC exercises the interrupt-coalescing state
+// machine at the interface level: back-to-back frames are handed to the
+// BurstHandler in bursts no larger than the budget, in arrival order,
+// and an isolated frame after an idle gap arrives alone (the NAPI
+// "first interrupt" path).
+func TestCoalesceBurstsAtNIC(t *testing.T) {
+	s, net := newNet(t, Ether3Mb)
+	ha, hb := s.NewHost("a"), s.NewHost("b")
+	na := net.Attach(ha, 1)
+	nb := net.Attach(hb, 2)
+
+	const budget = 3
+	nb.SetCoalesce(budget, 500*time.Microsecond)
+	var bursts [][]byte // tag bytes per burst
+	nb.BurstHandler = func(frames [][]byte) {
+		tags := make([]byte, len(frames))
+		for i, f := range frames {
+			tags[i] = f[4]
+		}
+		bursts = append(bursts, tags)
+	}
+
+	s.Spawn(ha, "send", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		for i := 0; i < 7; i++ {
+			// Back-to-back: the wire paces the frames, the receiving
+			// driver (100µs per entry) falls behind, bursts form.
+			na.Transmit(Ether3Mb.Encode(2, 1, EtherTypePup3Mb, []byte{byte(i)}))
+		}
+		// After an idle gap well past the moderation delay, one
+		// isolated frame must come up alone and immediately.
+		p.Sleep(20 * time.Millisecond)
+		na.Transmit(Ether3Mb.Encode(2, 1, EtherTypePup3Mb, []byte{99}))
+	})
+	s.Run(0)
+
+	var got []byte
+	for _, b := range bursts {
+		if len(b) == 0 || len(b) > budget {
+			t.Errorf("burst of %d frames, budget %d", len(b), budget)
+		}
+		got = append(got, b...)
+	}
+	want := []byte{0, 1, 2, 3, 4, 5, 6, 99}
+	if len(got) != len(want) {
+		t.Fatalf("delivered tags %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frames out of order: %v, want %v", got, want)
+		}
+	}
+	if len(bursts) >= 8 {
+		t.Errorf("%d bursts for 8 frames: nothing coalesced", len(bursts))
+	}
+	if last := bursts[len(bursts)-1]; len(last) != 1 || last[0] != 99 {
+		t.Errorf("isolated frame arrived in burst %v, want [99]", last)
+	}
+
+	if hb.Counters.Bursts != uint64(len(bursts)) {
+		t.Errorf("Bursts counter = %d, observed %d bursts", hb.Counters.Bursts, len(bursts))
+	}
+	if hb.Counters.CoalescedFrames != 8 {
+		t.Errorf("CoalescedFrames = %d, want 8", hb.Counters.CoalescedFrames)
+	}
+	if s.Counters.Bursts != hb.Counters.Bursts ||
+		s.Counters.CoalescedFrames != hb.Counters.CoalescedFrames {
+		t.Error("global burst counters disagree with host counters")
+	}
+}
+
+// TestCoalesceFallsBackToHandler checks that with coalescing on but no
+// BurstHandler bound, the frames of a burst are fed to the per-frame
+// Handler one by one, still under one driver entry.
+func TestCoalesceFallsBackToHandler(t *testing.T) {
+	s, net := newNet(t, Ether3Mb)
+	ha, hb := s.NewHost("a"), s.NewHost("b")
+	na := net.Attach(ha, 1)
+	nb := net.Attach(hb, 2)
+	nb.SetCoalesce(4, 0)
+	var got []byte
+	nb.Handler = func(frame []byte) { got = append(got, frame[4]) }
+
+	s.Spawn(ha, "send", func(p *sim.Proc) {
+		for i := 0; i < 6; i++ {
+			na.Transmit(Ether3Mb.Encode(2, 1, EtherTypePup3Mb, []byte{byte(i)}))
+		}
+	})
+	s.Run(0)
+
+	if len(got) != 6 {
+		t.Fatalf("delivered %d frames, want 6", len(got))
+	}
+	for i := range got {
+		if got[i] != byte(i) {
+			t.Fatalf("frames out of order: %v", got)
+		}
+	}
+	if hb.Counters.Bursts == 0 || hb.Counters.Bursts >= 6 {
+		t.Errorf("Bursts = %d, want batching (0 < bursts < 6)", hb.Counters.Bursts)
+	}
+	// One kernel entry per burst, not per frame.
+	if hb.Counters.KernelEntries != hb.Counters.Bursts {
+		t.Errorf("KernelEntries = %d, Bursts = %d; want one entry per burst",
+			hb.Counters.KernelEntries, hb.Counters.Bursts)
+	}
+}

@@ -262,6 +262,12 @@ type NIC struct {
 	// via host.RunKernel.
 	Handler func(frame []byte)
 
+	// BurstHandler, when set, receives coalesced receive bursts (see
+	// SetCoalesce) instead of per-frame Handler calls.  With no
+	// BurstHandler the frames of a burst are handed to Handler one by
+	// one, still under a single driver entry.
+	BurstHandler func(frames [][]byte)
+
 	// Promiscuous makes the interface accept every frame.
 	Promiscuous bool
 
@@ -273,6 +279,20 @@ type NIC struct {
 
 	// Drops counts frames lost to input-queue overflow.
 	Drops uint64
+
+	// Interrupt-coalescing state (SetCoalesce).  The interface is a
+	// two-state NAPI-style machine: idle (interrupts unmasked — the
+	// next frame is handed to the kernel immediately, so an isolated
+	// packet pays no coalescing latency) and polling (frames
+	// accumulate in burst; the budget or the moderation timer flushes
+	// them in one driver entry).  All transitions ride the simulation
+	// event queue, so coalesced runs stay deterministic.
+	coalesceMax   int
+	coalesceDelay time.Duration
+	burst         [][]byte
+	polling       bool
+	inflight      int // bursts handed to RunKernel, not yet completed
+	flushTimer    *sim.Timer
 }
 
 // DefaultQueueLimit is the input-queue bound used when a NIC does not
@@ -285,9 +305,30 @@ func (n *Network) Attach(h *sim.Host, addr Addr) *NIC {
 	n.nics = append(n.nics, nic)
 	// Frames the interface had queued for the CPU die with the host:
 	// the host clears its interrupt queue on crash, so the pending
-	// count must reset with it.
-	h.OnCrash(func() { nic.pending = 0 })
+	// count must reset with it — and so must any coalescing burst
+	// buffered in the interface and its moderation timer.
+	h.OnCrash(func() {
+		nic.pending = 0
+		nic.burst = nil
+		nic.polling = false
+		nic.inflight = 0
+		nic.flushTimer.Stop()
+		nic.flushTimer = nil
+	})
 	return nic
+}
+
+// SetCoalesce configures interrupt coalescing: up to budget frames are
+// delivered per kernel entry, and after a receive poll completes the
+// interface holds further frames up to delay of virtual time hoping to
+// fill another burst.  A budget of 0 or 1 disables coalescing and the
+// interface behaves exactly as before (one driver entry per frame).
+// With delay 0 bursts still form, but only from frames that arrive
+// while a previous burst is being serviced (pure poll-mode batching,
+// no added latency).
+func (nic *NIC) SetCoalesce(budget int, delay time.Duration) {
+	nic.coalesceMax = budget
+	nic.coalesceDelay = delay
 }
 
 // Addr returns the interface's data-link address.
@@ -446,10 +487,93 @@ func (nic *NIC) receive(frame []byte) {
 	if tr := h.Sim().Tracer(); tr != nil {
 		tr.WireRx(h.Sim().Now(), h.Name(), len(frame))
 	}
+	if nic.coalesceMax > 1 {
+		nic.coalesce(own)
+		return
+	}
 	h.RunKernel("driver", h.Costs().DriverRecv, func() {
 		nic.pending--
 		if nic.Handler != nil {
 			nic.Handler(own)
+		}
+	})
+}
+
+// coalesce buffers an accepted frame under the poll state machine.
+// The first frame after an idle period flushes immediately (the
+// "interrupt"); while a poll is in progress or the moderation timer is
+// armed, frames accumulate until the budget fills or the timer fires.
+func (nic *NIC) coalesce(frame []byte) {
+	nic.burst = append(nic.burst, frame)
+	if !nic.polling {
+		nic.polling = true
+		nic.flush()
+		return
+	}
+	if len(nic.burst) >= nic.coalesceMax {
+		nic.flush()
+	}
+}
+
+// flush hands up to one budget's worth of buffered frames to the
+// kernel in a single driver entry: DriverRecv for the entry itself
+// plus DriverPoll per additional frame.
+func (nic *NIC) flush() {
+	nic.flushTimer.Stop()
+	nic.flushTimer = nil
+	if len(nic.burst) == 0 {
+		return
+	}
+	n := len(nic.burst)
+	if n > nic.coalesceMax {
+		n = nic.coalesceMax
+	}
+	frames := nic.burst[:n:n]
+	nic.burst = nic.burst[n:]
+
+	h := nic.host
+	h.Counters.Bursts++
+	h.Sim().Counters.Bursts++
+	h.Counters.CoalescedFrames += uint64(n)
+	h.Sim().Counters.CoalescedFrames += uint64(n)
+	if tr := h.Sim().Tracer(); tr != nil {
+		tr.Burst(h.Sim().Now(), h.Name(), n, len(nic.burst))
+	}
+	costs := h.Costs()
+	cost := costs.DriverRecv + time.Duration(n-1)*costs.DriverPoll
+	nic.inflight++
+	h.RunKernel("driver", cost, func() {
+		nic.pending -= n
+		nic.inflight--
+		if nic.BurstHandler != nil {
+			nic.BurstHandler(frames)
+		} else if nic.Handler != nil {
+			for _, f := range frames {
+				nic.Handler(f)
+			}
+		}
+		nic.pollDone()
+	})
+}
+
+// pollDone runs after a burst's kernel entry completes: a full buffer
+// flushes again at once; otherwise the moderation timer is armed so a
+// partial burst (or, with nothing buffered, the return to idle) waits
+// out the coalesce delay.
+func (nic *NIC) pollDone() {
+	if len(nic.burst) >= nic.coalesceMax {
+		nic.flush()
+		return
+	}
+	if nic.flushTimer != nil {
+		return
+	}
+	nic.flushTimer = nic.host.Sim().NewTimer(nic.coalesceDelay, func() {
+		nic.flushTimer = nil
+		if len(nic.burst) > 0 {
+			nic.flush()
+		} else if nic.inflight == 0 {
+			nic.polling = false
 		}
 	})
 }

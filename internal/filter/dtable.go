@@ -186,6 +186,8 @@ type Table struct {
 	root    *tnode
 	linear  []tlinear // filters outside the table shape
 	scratch []int
+	lin     []LinearEval
+	edges   int // tree nodes whose word was examined on the last walk
 }
 
 type tlinear struct {
@@ -312,16 +314,46 @@ func buildNode(entries []tentry) *tnode {
 	return n
 }
 
+// LinearEval reports one fallback interpreter run performed during a
+// table match: which filter, how many instruction words it executed,
+// and whether it accepted.
+type LinearEval struct {
+	Idx    int
+	Instrs int
+	Accept bool
+}
+
+// MatchResult is a table match plus its evaluation-cost detail: the
+// decision-tree path depth (Edges, one per tree node whose packet word
+// was examined) and the per-filter interpreter runs of the linear
+// fallbacks.  The total work of the match is Edges plus the sum of the
+// fallback Instrs.
+type MatchResult struct {
+	Idxs   []int
+	Edges  int
+	Linear []LinearEval
+}
+
 // Match returns the indices of all filters accepting pkt, sorted by
 // decreasing priority (ties by ascending index, matching the "order of
 // application is unspecified" rule deterministically).
 func (t *Table) Match(pkt []byte) []int {
+	return t.MatchStats(pkt).Idxs
+}
+
+// MatchStats is Match plus cost accounting.  The returned slices are
+// reused by the next call.
+func (t *Table) MatchStats(pkt []byte) MatchResult {
 	t.scratch = t.scratch[:0]
+	t.lin = t.lin[:0]
+	t.edges = 0
 	t.walk(t.root, pkt)
 	for _, l := range t.linear {
-		if l.pv.Run(pkt).Accept {
+		r := l.pv.Run(pkt)
+		if r.Accept {
 			t.scratch = append(t.scratch, l.idx)
 		}
+		t.lin = append(t.lin, LinearEval{Idx: l.idx, Instrs: r.Instrs, Accept: r.Accept})
 	}
 	out := t.scratch
 	sort.Slice(out, func(i, j int) bool {
@@ -331,7 +363,7 @@ func (t *Table) Match(pkt []byte) []int {
 		}
 		return out[i] < out[j]
 	})
-	return out
+	return MatchResult{Idxs: out, Edges: t.edges, Linear: t.lin}
 }
 
 // MatchBest returns the highest-priority accepting filter index, or -1.
@@ -353,6 +385,7 @@ func (t *Table) walk(n *tnode, pkt []byte) {
 		if n.word < 0 {
 			return
 		}
+		t.edges++
 		if n.branches != nil {
 			if v, ok := PacketWord(pkt, n.word); ok {
 				if b := n.branches[v]; b != nil {

@@ -1,0 +1,64 @@
+package filter
+
+import "testing"
+
+// TestMatchStatsAccounting pins the cost detail MatchStats adds to
+// Match: the decision-tree walk reports its real path depth in Edges,
+// every linear fallback reports its interpreter run, and the Idxs are
+// the plain Match result.
+func TestMatchStatsAccounting(t *testing.T) {
+	filters := []Filter{
+		mkEqFilter(10, Cond{1, 2}, Cond{8, 35}), // tree entry
+		mkEqFilter(10, Cond{1, 2}, Cond{8, 36}), // tree entry, other socket
+		Fig38PupTypeRange(),                     // range test: linear fallback
+	}
+	tbl := BuildTable(filters)
+
+	pkt := pupPacket(50, 35)
+	res := tbl.MatchStats(pkt)
+
+	if len(res.Idxs) == 0 {
+		t.Fatal("packet matched nothing")
+	}
+	match := tbl.Match(pkt)
+	if len(match) != len(res.Idxs) {
+		t.Fatalf("MatchStats.Idxs = %v, Match = %v", res.Idxs, match)
+	}
+	for i := range match {
+		if match[i] != res.Idxs[i] {
+			t.Fatalf("MatchStats.Idxs = %v, Match = %v", res.Idxs, match)
+		}
+	}
+
+	// The walk examined at least the two tested words (1 and 8), so
+	// the charged path depth is the real work, not a constant.
+	if res.Edges < 2 {
+		t.Errorf("Edges = %d, want the real path depth (>= 2)", res.Edges)
+	}
+
+	if len(res.Linear) != 1 || res.Linear[0].Idx != 2 {
+		t.Fatalf("Linear = %+v, want one entry for filter 2", res.Linear)
+	}
+	le := res.Linear[0]
+	r := Run(filters[2].Program, pkt)
+	if le.Accept != r.Accept || le.Instrs != r.Instrs {
+		t.Errorf("fallback eval = %+v, interpreter says accept=%v instrs=%d",
+			le, r.Accept, r.Instrs)
+	}
+	if le.Instrs == 0 {
+		t.Error("fallback charged zero instructions")
+	}
+
+	// A packet missing every tree entry still pays for the tree words
+	// the walk examined (the fallback range filter may accept it; only
+	// the tree entries 0 and 1 must miss).
+	miss := tbl.MatchStats(pupPacket(50, 99))
+	if miss.Edges == 0 {
+		t.Error("miss charged zero edges despite examining tree words")
+	}
+	for _, idx := range miss.Idxs {
+		if idx == 0 || idx == 1 {
+			t.Errorf("socket-99 packet matched tree entry %d", idx)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package pfdev
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+// equivSpec is one randomly drawn port configuration, bound
+// identically on the linear-mode and table-mode devices.
+type equivSpec struct {
+	f       filter.Filter
+	copyAll bool
+}
+
+// randSpec draws a port spec: priorities from a small range so ties
+// are common, a mix of decision-table-compatible filters (socket
+// conjunctions), linear fallbacks (OR programs, reject-all) and
+// wildcard accept-alls, and a copy-all coin.
+func randSpec(rng *rand.Rand) equivSpec {
+	prio := uint8(rng.Intn(3)) + 1
+	var f filter.Filter
+	switch rng.Intn(6) {
+	case 0, 1, 2: // extractable conjunction (tree path)
+		f = filter.DstSocketFilter(prio, uint32(35+rng.Intn(3)))
+	case 3: // OR program: accepts two sockets, linear fallback
+		a, b := uint16(35+rng.Intn(3)), uint16(35+rng.Intn(3))
+		f = filter.Filter{Priority: prio, Program: filter.NewBuilder().
+			PushWord(8).PushLit(a).Op(filter.EQ).
+			PushWord(8).PushLit(b).Op(filter.EQ).
+			Or().MustProgram()}
+	case 4: // reject-all: constant false, linear fallback
+		f = filter.Filter{Priority: prio, Program: filter.NewBuilder().RejectAll().MustProgram()}
+	default: // accept-all wildcard (tree path)
+		f = filter.Filter{Priority: prio, Program: filter.NewBuilder().AcceptAll().MustProgram()}
+	}
+	return equivSpec{f: f, copyAll: rng.Intn(3) == 0}
+}
+
+// equivRun drives one randomized traffic schedule at two receiver
+// hosts with identical port sets — one device in EvalChecked (linear)
+// mode, one in EvalTable mode — and reports whether every port slot
+// received the identical packet sequence.  Reorder churn is on, one
+// port is closed and reopened mid-run during a traffic gap, and the
+// whole run is repeated with interrupt coalescing on or off.
+func equivRun(t *testing.T, seed int64, budget int, delay time.Duration, totalDelivered *int) bool {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	nPorts := 2 + rng.Intn(4)
+	specs := make([]equivSpec, nPorts)
+	for i := range specs {
+		specs[i] = randSpec(rng)
+	}
+	const nFrames = 36
+	sockets := make([]uint32, nFrames)
+	gaps := make([]time.Duration, nFrames)
+	for i := range sockets {
+		sockets[i] = uint32(34 + rng.Intn(5)) // some match nothing
+		gaps[i] = time.Duration(rng.Intn(1500)) * time.Microsecond
+	}
+	churnIdx := rng.Intn(nPorts)
+
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether3Mb)
+	hs := s.NewHost("src")
+	hl := s.NewHost("linear")
+	ht := s.NewHost("table")
+	ns := net.Attach(hs, 1)
+	nl := net.Attach(hl, 2)
+	nt := net.Attach(ht, 3)
+	nl.QueueLimit = 4 * nFrames
+	nt.QueueLimit = 4 * nFrames
+	mkOpt := func(mode EvalMode) Options {
+		return Options{Mode: mode, Reorder: true, ReorderEvery: 8,
+			CoalesceBudget: budget, CoalesceDelay: delay}
+	}
+	dl := Attach(nl, nil, mkOpt(EvalChecked))
+	dt := Attach(nt, nil, mkOpt(EvalTable))
+
+	// The churn sits deep inside a long traffic gap: the two hosts'
+	// kernels charge different filter costs, so their backlogs drain
+	// at different rates, and the close/reopen must not race any
+	// frame's delivery on either host.  120 ms comfortably exceeds
+	// the worst-case drain of a whole half's backlog.
+	const half = nFrames / 2
+	const quiet = 200 * time.Millisecond
+	churnTime := 10 * time.Millisecond
+	for i := 0; i < half; i++ {
+		churnTime += gaps[i]
+	}
+	churnTime += 120 * time.Millisecond
+
+	open := func(p *sim.Proc, d *Device, spec equivSpec) *Port {
+		port := d.Open(p)
+		if err := port.SetFilter(p, spec.f); err != nil {
+			t.Errorf("seed %d: SetFilter: %v", seed, err)
+		}
+		port.SetQueueLimit(p, 4*nFrames)
+		port.SetCopyAll(p, spec.copyAll)
+		return port
+	}
+	slotsL := make([]*Port, nPorts)
+	slotsT := make([]*Port, nPorts)
+	ctl := func(d *Device, slots []*Port) func(*sim.Proc) {
+		return func(p *sim.Proc) {
+			for i := range specs {
+				slots[i] = open(p, d, specs[i])
+			}
+			p.Sleep(churnTime - p.Now())
+			slots[churnIdx].Close(p)
+			slots[churnIdx] = open(p, d, specs[churnIdx])
+		}
+	}
+	s.Spawn(hl, "ctl", ctl(dl, slotsL))
+	s.Spawn(ht, "ctl", ctl(dt, slotsT))
+	s.Spawn(hs, "src", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond) // let the receivers finish setup
+		bcast := ethersim.Ether3Mb.BroadcastAddr()
+		for i := 0; i < nFrames; i++ {
+			if i == half {
+				p.Sleep(quiet) // churn happens in here
+			}
+			frame := pupTo(bcast, 1, 1, sockets[i])
+			// Tag the frame with its sequence number in a payload word
+			// no filter inspects, so delivered sequences are comparable.
+			frame[4+16] = byte(i)
+			ns.Transmit(frame)
+			p.Sleep(gaps[i])
+		}
+	})
+	s.Run(2 * time.Second)
+
+	ok := true
+	delivered := 0
+	for i := 0; i < nPorts; i++ {
+		seqOf := func(port *Port) []byte {
+			var seq []byte
+			for _, pkt := range port.queue {
+				seq = append(seq, pkt.Data[4+16])
+			}
+			return seq
+		}
+		l, tt := seqOf(slotsL[i]), seqOf(slotsT[i])
+		delivered += len(l)
+		if fmt.Sprint(l) != fmt.Sprint(tt) {
+			t.Logf("seed %d slot %d: linear delivered %v, table delivered %v", seed, i, l, tt)
+			ok = false
+		}
+	}
+	if totalDelivered != nil {
+		*totalDelivered += delivered
+	}
+	return ok
+}
+
+// TestLinearTableEquivalenceQuick is the satellite property: under
+// random filter sets with copy-all, priority ties, a close/reopen and
+// reorder churn, EvalChecked and EvalTable deliver identical
+// accepted-port packet sequences — with and without coalescing.
+func TestLinearTableEquivalenceQuick(t *testing.T) {
+	for _, co := range []struct {
+		name   string
+		budget int
+		delay  time.Duration
+	}{
+		{"nocoalesce", 0, 0},
+		{"coalesce", 4, 2 * time.Millisecond},
+	} {
+		t.Run(co.name, func(t *testing.T) {
+			cfg := &quick.Config{MaxCount: 18, Rand: rand.New(rand.NewSource(7))}
+			delivered := 0
+			prop := func(seed int64) bool {
+				return equivRun(t, seed, co.budget, co.delay, &delivered)
+			}
+			if err := quick.Check(prop, cfg); err != nil {
+				t.Fatal(err)
+			}
+			if delivered == 0 {
+				t.Fatal("property held vacuously: no frames were delivered in any run")
+			}
+		})
+	}
+}

@@ -59,6 +59,12 @@ type Port struct {
 	batches uint64 // successful ReadBatch calls
 	batched uint64 // packets returned by ReadBatch
 
+	// applyBurst is the coalesced burst that last charged this port's
+	// fixed FilterApply setup; wakePending marks the port as already
+	// collected for this burst's once-per-port reader wakeup.
+	applyBurst  uint64
+	wakePending bool
+
 	// ring, when non-nil, is the mapped shared-memory ring (ring.go);
 	// the counters below split delivery between the two paths.
 	ring        *ring
@@ -211,9 +217,20 @@ func (port *Port) SetBatchMax(p *sim.Proc, n int) {
 	port.batchMax = n
 }
 
-// enqueue adds a packet to the port queue (kernel context).  arrived is
-// when the frame entered the packet-filter input path.
+// enqueue adds a packet to the port queue and wakes readers (kernel
+// context).  arrived is when the frame entered the packet-filter input
+// path.
 func (port *Port) enqueue(frame []byte, arrived time.Duration) {
+	if port.enqueueQuiet(frame, arrived) {
+		port.wakeReaders()
+	}
+}
+
+// enqueueQuiet adds a packet to the port queue without waking readers,
+// reporting whether it was queued (false: dropped on overflow).  The
+// coalesced input path enqueues a whole burst and then wakes each
+// port's readers once.
+func (port *Port) enqueueQuiet(frame []byte, arrived time.Duration) bool {
 	h := port.dev.host
 	limit := port.queueLimit
 	if c := port.dev.queueCap; c > 0 && c < limit {
@@ -231,7 +248,7 @@ func (port *Port) enqueue(frame []byte, arrived time.Duration) {
 		if tr := h.Sim().Tracer(); tr != nil {
 			tr.Drop(h.Sim().Now(), h.Name(), "queue")
 		}
-		return
+		return false
 	}
 	var slot int
 	if r != nil {
@@ -252,6 +269,12 @@ func (port *Port) enqueue(frame []byte, arrived time.Duration) {
 		port.depthGauge(tr).Set(int64(len(port.queue)))
 		tr.Enqueue(h.Sim().Now(), h.Name(), port.id, len(port.queue))
 	}
+	return true
+}
+
+// wakeReaders wakes one blocked reader and every Select watcher.
+func (port *Port) wakeReaders() {
+	h := port.dev.host
 	port.readers.WakeOne(h)
 	for _, w := range port.watchers {
 		w.WakeOne(h)

@@ -70,6 +70,8 @@ func (h *Host) Costs() vtime.Costs { return h.sim.costs }
 // This is how device drivers and the packet filter consume time: the
 // work queues if the CPU is busy and is served before process work.
 func (h *Host) RunKernel(tag string, d time.Duration, fn func()) {
+	h.Counters.KernelEntries++
+	h.sim.Counters.KernelEntries++
 	h.intrQ = append(h.intrQ, &cpuReq{d: d, fn: fn, tag: tag})
 	h.pump()
 }

@@ -113,6 +113,28 @@ func (s *Sim) After(d time.Duration, fn func()) *event {
 // cancel marks an event as a no-op; the heap entry stays until popped.
 func (e *event) cancel() { e.fn = nil }
 
+// Timer is a cancellable handle on one scheduled event, for device
+// code that schedules deferred work it may later abandon — the NIC's
+// interrupt-coalescing timer is the motivating user.  A nil Timer is
+// safe to Stop.
+type Timer struct{ e *event }
+
+// NewTimer schedules fn to run in event-loop context d from now and
+// returns a handle that can cancel it before it fires.
+func (s *Sim) NewTimer(d time.Duration, fn func()) *Timer {
+	return &Timer{e: s.After(d, fn)}
+}
+
+// Stop cancels the timer if it has not fired yet.  Stopping a fired or
+// already-stopped timer is a no-op.
+func (t *Timer) Stop() {
+	if t == nil || t.e == nil {
+		return
+	}
+	t.e.cancel()
+	t.e = nil
+}
+
 // Run processes events until the queue is empty or the virtual clock
 // would pass limit (0 means no limit).  It returns the virtual time at
 // which it stopped.  Run must not be called from process context.

@@ -80,6 +80,10 @@ const (
 	// KindRingReap: one reap syscall harvested Aux packets totalling
 	// Value bytes from the mapped ring of Port.
 	KindRingReap
+	// KindBurst: the interface handed a coalesced burst of Value
+	// frames to the kernel under one driver entry on Host; Aux is the
+	// number of frames still buffered behind it.
+	KindBurst
 
 	numKinds // sentinel
 )
@@ -88,7 +92,7 @@ var kindNames = [numKinds]string{
 	"ctxswitch", "syscall_enter", "syscall_exit", "copy", "wakeup",
 	"kernel_slice", "user_slice", "filter_eval", "enqueue", "dequeue",
 	"drop", "deliver", "wire_tx", "wire_rx", "proto", "fault",
-	"mapped", "ring_reap",
+	"mapped", "ring_reap", "burst",
 }
 
 // String returns the event kind's snake_case name.
@@ -317,6 +321,16 @@ func (t *Tracer) RingReap(now time.Duration, host string, port, n, bytes int) {
 	t.reg.counter(host, "pf.mapped_bytes").Add(uint64(bytes))
 	t.emit(Event{When: now, Kind: KindRingReap, Host: host, Port: port,
 		Value: int64(bytes), Aux: int64(n)})
+}
+
+// Burst records the interface on host handing a coalesced burst of
+// frames to the kernel in one driver entry; backlog is the number of
+// frames still buffered behind it.
+func (t *Tracer) Burst(now time.Duration, host string, frames, backlog int) {
+	t.reg.counter(host, "nic.bursts").Add(1)
+	t.reg.counter(host, "nic.coalesced").Add(uint64(frames))
+	t.emit(Event{When: now, Kind: KindBurst, Host: host,
+		Value: int64(frames), Aux: int64(backlog)})
 }
 
 // Fault records one injected fault of the given kind ("drop",
