@@ -27,6 +27,8 @@ func main() {
 	exp := flag.String("exp", "", "alias for -id; short names resolve to exp-<name>")
 	shmN := flag.Int("shm-n", 0, "packets per exp-shm measurement (0 = default)")
 	coalesceN := flag.Int("coalesce-n", 0, "packets per exp-coalesce measurement (0 = default)")
+	scaleN := flag.Int("scale-n", 0, "packets per exp-scale cell (0 = default)")
+	parallel := flag.Int("parallel", 0, "worker pool for sweep cells (0 = GOMAXPROCS, 1 = sequential; forced to 1 under -trace)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
 	asJSON := flag.Bool("json", false, "emit tables (and any trace snapshot) as JSON")
@@ -42,6 +44,10 @@ func main() {
 	if *coalesceN > 0 {
 		bench.CoalesceCount = *coalesceN
 	}
+	if *scaleN > 0 {
+		bench.ScaleCount = *scaleN
+	}
+	bench.Workers = *parallel
 
 	var tr *trace.Tracer
 	var rec *trace.Recorder

@@ -6,6 +6,8 @@
 //	pfchaos                    # the "lossy" plan, seed 1
 //	pfchaos -plan crashy       # wire faults plus host pause/crash
 //	pfchaos -plan hostile -seed 7
+//	pfchaos -runs 8            # seeds 1..8, reports in seed order
+//	pfchaos -runs 8 -parallel 4  # same reports, 4 universes at a time
 //	pfchaos -list              # list built-in plans
 //	pfchaos -json              # machine-readable report
 //
@@ -22,6 +24,7 @@ import (
 
 	"repro/internal/ethersim"
 	"repro/internal/faults"
+	"repro/internal/parsim"
 	"repro/internal/pfdev"
 	"repro/internal/pup"
 	"repro/internal/rarp"
@@ -68,6 +71,8 @@ type protoStats struct {
 func main() {
 	planName := flag.String("plan", "lossy", "fault plan (see -list)")
 	seed := flag.Uint64("seed", 1, "fault schedule seed")
+	runs := flag.Int("runs", 1, "number of consecutive seeds to run, starting at -seed")
+	parallel := flag.Int("parallel", 0, "worker pool for multi-seed runs (0 = GOMAXPROCS, 1 = sequential)")
 	list := flag.Bool("list", false, "list built-in plans and exit")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	flag.Parse()
@@ -86,22 +91,60 @@ func main() {
 		os.Exit(1)
 	}
 
-	rep, snap := run(*seed, plan)
+	if *runs < 1 {
+		*runs = 1
+	}
+	// Every seed is an isolated universe, so the sweep fans out across
+	// the parsim pool; reports come back in seed order, making the
+	// output byte-identical at any worker count.
+	type outcome struct {
+		rep  report
+		snap *trace.Snapshot
+	}
+	outs := parsim.Map(*runs, *parallel, func(i int) outcome {
+		rep, snap := run(*seed+uint64(i), plan)
+		return outcome{rep, snap}
+	})
+
 	if *asJSON {
-		raw, err := json.MarshalIndent(struct {
+		type entry struct {
 			report
 			Trace *trace.Snapshot `json:"trace"`
-		}{rep, snap}, "", "  ")
+		}
+		var payload any
+		if *runs == 1 {
+			payload = entry{outs[0].rep, outs[0].snap}
+		} else {
+			entries := make([]entry, len(outs))
+			for i, o := range outs {
+				entries[i] = entry{o.rep, o.snap}
+			}
+			payload = entries
+		}
+		raw, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pfchaos:", err)
 			os.Exit(1)
 		}
 		fmt.Println(string(raw))
 	} else {
-		printReport(rep, snap)
+		for i, o := range outs {
+			if i > 0 {
+				fmt.Println()
+				fmt.Println("========")
+				fmt.Println()
+			}
+			printReport(o.rep, o.snap)
+		}
 	}
-	if !rep.Reconcil {
-		fmt.Fprintln(os.Stderr, "pfchaos: fault ledger does not match the trace registry")
+	bad := false
+	for _, o := range outs {
+		if !o.rep.Reconcil {
+			fmt.Fprintf(os.Stderr, "pfchaos: seed %d: fault ledger does not match the trace registry\n", o.rep.Seed)
+			bad = true
+		}
+	}
+	if bad {
 		os.Exit(1)
 	}
 }

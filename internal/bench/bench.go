@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/ethersim"
 	"repro/internal/inet"
+	"repro/internal/parsim"
 	"repro/internal/pfdev"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -26,6 +27,22 @@ import (
 // Tracer, when set, is attached to every experiment rig, so the whole
 // benchmark suite can run under observation (cmd/pfbench -trace).
 var Tracer *trace.Tracer
+
+// Workers bounds how many simulation universes the benchmark sweeps
+// run concurrently (cmd/pfbench -parallel); <= 0 selects GOMAXPROCS.
+// Each sweep cell builds its own rig, so cells parallelize with
+// bit-identical tables — results are collected in cell order.
+var Workers int
+
+// sweepWorkers resolves Workers for a sweep, forcing sequential
+// execution when the shared Tracer is attached: rigs reuse host names,
+// so concurrent traced universes would interleave their metrics.
+func sweepWorkers() int {
+	if Tracer != nil {
+		return 1
+	}
+	return parsim.Workers(Workers)
+}
 
 // Table is one regenerated paper table or figure.
 type Table struct {
@@ -218,15 +235,17 @@ func Experiments() []Experiment {
 		{"chaos", ChaosGoodput},
 		{"exp-shm", ExpShm},
 		{"exp-coalesce", ExpCoalesce},
+		{"exp-scale", ExpScale},
 	}
 }
 
-// All runs every experiment in DESIGN.md order.
+// All runs every experiment in DESIGN.md order.  Experiments are
+// independent (each builds its own rigs) and run across the parsim
+// pool; tables come back in registry order, so the suite's output is
+// byte-identical to a sequential run.
 func All() []Table {
 	exps := Experiments()
-	tables := make([]Table, len(exps))
-	for i, e := range exps {
-		tables[i] = e.Run()
-	}
-	return tables
+	return parsim.Map(len(exps), sweepWorkers(), func(i int) Table {
+		return exps[i].Run()
+	})
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ethersim"
 	"repro/internal/faults"
 	"repro/internal/inet"
+	"repro/internal/parsim"
 	"repro/internal/pup"
 	"repro/internal/sim"
 )
@@ -141,9 +142,28 @@ func ChaosGoodput() Table {
 			"deterministic: every cell reproduces bit-identically from (seed, rate)",
 		},
 	}
-	for _, rate := range []float64{0, 0.05, 0.10, 0.20, 0.30} {
-		bspT, bspR, bspOK := chaosBSP(rate)
-		tcpT, tcpR, tcpOK := chaosTCP(rate)
+	rates := []float64{0, 0.05, 0.10, 0.20, 0.30}
+	// Each (rate, protocol) cell is its own simulation universe; the
+	// sweep fans out across the parsim pool and rows are assembled in
+	// rate order, so the table is identical at any worker count.
+	type cell struct {
+		d  time.Duration
+		r  int
+		ok bool
+	}
+	cells := parsim.Map(2*len(rates), sweepWorkers(), func(i int) cell {
+		var c cell
+		if i%2 == 0 {
+			c.d, c.r, c.ok = chaosBSP(rates[i/2])
+		} else {
+			c.d, c.r, c.ok = chaosTCP(rates[i/2])
+		}
+		return c
+	})
+	for i, rate := range rates {
+		bsp, tcp := cells[2*i], cells[2*i+1]
+		bspT, bspR, bspOK := bsp.d, bsp.r, bsp.ok
+		tcpT, tcpR, tcpOK := tcp.d, tcp.r, tcp.ok
 		bspG, tcpG := kbps(chaosBytes, bspT), kbps(chaosBytes, tcpT)
 		if !bspOK {
 			bspG = "FAILED"

@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/parsim"
 )
 
 // CoalesceCount is the packet count per exp-coalesce measurement;
@@ -35,14 +37,21 @@ func ExpCoalesce() Table {
 		},
 	}
 	const gap = 3 * time.Millisecond
-	for _, budget := range []int{0, 2, 4, 8, 16} {
-		delay := 2 * gap * time.Duration(budget)
+	budgets := []int{0, 2, 4, 8, 16}
+	// Each (budget, paced|isolated) measurement is its own universe;
+	// the sweep fans out across the parsim pool, rows stay in budget
+	// order.
+	results := parsim.Map(2*len(budgets), sweepWorkers(), func(i int) recvResult {
+		budget := budgets[i/2]
 		cfg := recvSetup{size: 128, count: CoalesceCount, gap: gap,
-			coalesce: budget, coalesceDelay: delay}
-		res := measureRecv(cfg)
-		iso := cfg
-		iso.count = 1
-		isoRes := measureRecv(iso)
+			coalesce: budget, coalesceDelay: 2 * gap * time.Duration(budget)}
+		if i%2 == 1 {
+			cfg.count = 1
+		}
+		return measureRecv(cfg)
+	})
+	for i, budget := range budgets {
+		res, isoRes := results[2*i], results[2*i+1]
 		if res.received == 0 || isoRes.received == 0 {
 			t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", budget),
 				"n/a", "n/a", "n/a", "n/a", "n/a", "n/a"})

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scaleSmoke shrinks the sweep for tests: full port counts, tiny
+// packet count per cell.
+func scaleSmoke(t *testing.T, workers int) Table {
+	t.Helper()
+	oldCount, oldWorkers := ScaleCount, Workers
+	ScaleCount, Workers = 6, workers
+	defer func() { ScaleCount, Workers = oldCount, oldWorkers }()
+	return ExpScale()
+}
+
+// TestExpScaleParallelBitIdentical is the sweep's acceptance gate: the
+// table produced by the parallel sweep is cell-for-cell identical to
+// the sequential one.
+func TestExpScaleParallelBitIdentical(t *testing.T) {
+	seq := scaleSmoke(t, 1)
+	par := scaleSmoke(t, 4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("exp-scale diverged between sequential and parallel sweeps:\n%v\nvs\n%v", seq, par)
+	}
+}
+
+// TestExpScaleShape pins the curve the experiment exists to show:
+// linear cost and scans grow with the port population while the
+// decision-table cost stays flat, across >= 6 port counts up to 1024.
+func TestExpScaleShape(t *testing.T) {
+	tab := scaleSmoke(t, 0)
+	if len(tab.Rows) < 6 {
+		t.Fatalf("want >= 6 port counts, got %d", len(tab.Rows))
+	}
+	if got := tab.Rows[len(tab.Rows)-1][0]; got != "1024" {
+		t.Fatalf("largest population = %s, want 1024", got)
+	}
+	msOf := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, " mSec"), 64)
+		if err != nil {
+			t.Fatalf("unparseable cell %q: %v", cell, err)
+		}
+		return v
+	}
+	var prevLinear float64
+	var firstTable, lastTable float64
+	for i, row := range tab.Rows {
+		ports, _ := strconv.Atoi(row[0])
+		linear, scans, table := msOf(row[1]), row[2], msOf(row[3])
+		if i > 0 && linear <= prevLinear {
+			t.Errorf("%s ports: linear cost %.2f did not grow (prev %.2f)", row[0], linear, prevLinear)
+		}
+		prevLinear = linear
+		if want := strconv.Itoa(ports) + ".0"; scans != want {
+			t.Errorf("%s ports: linear scans/pkt = %s, want %s", row[0], scans, want)
+		}
+		if i == 0 {
+			firstTable = table
+		}
+		lastTable = table
+	}
+	// Flat within 2x while the population grows 512x.
+	if lastTable > 2*firstTable {
+		t.Errorf("table cost not flat: %.2f mSec at %s ports vs %.2f at %s",
+			lastTable, tab.Rows[len(tab.Rows)-1][0], firstTable, tab.Rows[0][0])
+	}
+}

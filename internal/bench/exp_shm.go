@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/parsim"
 	"repro/internal/vtime"
 )
 
@@ -40,6 +41,12 @@ func ExpShm() Table {
 		},
 	}
 	costs := vtime.DefaultCosts()
+	type cell struct {
+		name string
+		size int
+		cfg  recvSetup
+	}
+	var cells []cell
 	add := func(name string, size int, cfg recvSetup) {
 		cfg.size = size
 		cfg.count = ShmCount
@@ -47,21 +54,7 @@ func ExpShm() Table {
 		if size >= 1500 {
 			cfg.gap = 1500 * time.Microsecond
 		}
-		res := measureRecv(cfg)
-		if res.received == 0 {
-			t.Rows = append(t.Rows, []string{name, fmt.Sprintf("%d bytes", size),
-				"n/a", "n/a", "n/a", "n/a"})
-			return
-		}
-		n := time.Duration(res.received)
-		t.Rows = append(t.Rows, []string{
-			name,
-			fmt.Sprintf("%d bytes", size),
-			ms(res.perPacket),
-			fmt.Sprintf("%.2f", float64(res.counters.Copies)/float64(res.received)),
-			fmt.Sprintf("%.0f µSec", float64(chargedCopy(res.counters, costs)/n)/float64(time.Microsecond)),
-			fmt.Sprintf("%.0f", float64(res.counters.BytesMapped)/float64(res.received)),
-		})
+		cells = append(cells, cell{name, size, cfg})
 	}
 	for _, size := range []int{128, 1500} {
 		add("copy/read", size, recvSetup{})
@@ -72,5 +65,28 @@ func ExpShm() Table {
 	// The table 6-8 user-level demultiplexer, pipes vs shared arena.
 	add("demux/pipes", 1500, recvSetup{userProc: true, batch: true})
 	add("demux/shm", 1500, recvSetup{userProc: true, shared: true})
+
+	// One universe per delivery path; measured across the parsim pool,
+	// rows assembled in path order.
+	results := parsim.Map(len(cells), sweepWorkers(), func(i int) recvResult {
+		return measureRecv(cells[i].cfg)
+	})
+	for i, c := range cells {
+		res := results[i]
+		if res.received == 0 {
+			t.Rows = append(t.Rows, []string{c.name, fmt.Sprintf("%d bytes", c.size),
+				"n/a", "n/a", "n/a", "n/a"})
+			continue
+		}
+		n := time.Duration(res.received)
+		t.Rows = append(t.Rows, []string{
+			c.name,
+			fmt.Sprintf("%d bytes", c.size),
+			ms(res.perPacket),
+			fmt.Sprintf("%.2f", float64(res.counters.Copies)/float64(res.received)),
+			fmt.Sprintf("%.0f µSec", float64(chargedCopy(res.counters, costs)/n)/float64(time.Microsecond)),
+			fmt.Sprintf("%.0f", float64(res.counters.BytesMapped)/float64(res.received)),
+		})
+	}
 	return t
 }

@@ -13,6 +13,8 @@ package filter
 // which packets are rejected for out-of-range accesses — a property
 // the test suite checks with testing/quick.
 
+import "sync"
+
 type cstate struct {
 	stack [StackDepth]uint16
 	sp    int
@@ -232,19 +234,29 @@ func (c *Compiled) Info() Info { return c.info }
 // Program returns the source program.
 func (c *Compiled) Program() Program { return c.prog }
 
+// cstatePool recycles evaluation stacks across Run calls.  The state
+// escapes through the indirect step calls, so a stack-allocated one
+// would cost a heap allocation per packet; pooling keeps Run
+// allocation-free while remaining safe for concurrent use.
+var cstatePool = sync.Pool{New: func() any { return new(cstate) }}
+
 // Run evaluates the compiled filter against pkt.
 func (c *Compiled) Run(pkt []byte) bool {
 	if len(c.steps) == 0 {
 		return true // the empty filter accepts everything
 	}
-	var st cstate
+	st := cstatePool.Get().(*cstate)
+	st.sp = 0
+	accept, done := false, false
 	for _, s := range c.steps {
-		switch s(pkt, &st) {
-		case stepAccept:
-			return true
-		case stepReject:
-			return false
+		if r := s(pkt, st); r != stepContinue {
+			accept, done = r == stepAccept, true
+			break
 		}
 	}
-	return st.stack[st.sp-1] != 0
+	if !done {
+		accept = st.stack[st.sp-1] != 0
+	}
+	cstatePool.Put(st)
+	return accept
 }

@@ -1,7 +1,5 @@
 package filter
 
-import "sort"
-
 // This file implements the last of §7's proposed improvements:
 // "Finally, with a redesigned filter language it might be possible to
 // compile the set of active filters into a decision table, which
@@ -356,13 +354,18 @@ func (t *Table) MatchStats(pkt []byte) MatchResult {
 		t.lin = append(t.lin, LinearEval{Idx: l.idx, Instrs: r.Instrs, Accept: r.Accept})
 	}
 	out := t.scratch
-	sort.Slice(out, func(i, j int) bool {
-		pi, pj := t.filters[out[i]].Priority, t.filters[out[j]].Priority
-		if pi != pj {
-			return pi > pj
+	// Insertion sort in place (decreasing priority, ties by ascending
+	// index): sort.Slice's interface conversion allocates, and this
+	// path runs once per received packet.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			pp, pc := t.filters[out[j-1]].Priority, t.filters[out[j]].Priority
+			if pp > pc || (pp == pc && out[j-1] < out[j]) {
+				break
+			}
+			out[j-1], out[j] = out[j], out[j-1]
 		}
-		return out[i] < out[j]
-	})
+	}
 	return MatchResult{Idxs: out, Edges: t.edges, Linear: t.lin}
 }
 

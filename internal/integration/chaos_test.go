@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/ethersim"
 	"repro/internal/faults"
+	"repro/internal/parsim"
 	"repro/internal/pfdev"
 	"repro/internal/pup"
 	"repro/internal/sim"
@@ -165,60 +166,87 @@ func runChaosCell(t *testing.T, seed uint64, rate float64) chaosResult {
 	res.events = rec.Events
 	raw, err := tr.Snapshot().JSON()
 	if err != nil {
-		t.Fatal(err)
+		// Error, not Fatal: cells may run on parsim worker goroutines,
+		// where FailNow is illegal.
+		t.Error(err)
+		return res
 	}
 	res.snap = raw
 	return res
 }
 
-// TestChaosSoak runs the seeds × fault-rates grid and checks both
-// invariants in every cell.
-func TestChaosSoak(t *testing.T) {
-	seeds := []uint64{1, 2, 3}
-	rates := []float64{0, 0.10, 0.20, 0.30}
-	for _, seed := range seeds {
-		for _, rate := range rates {
-			seed, rate := seed, rate
-			t.Run(fmt.Sprintf("seed=%d/rate=%.0f%%", seed, rate*100), func(t *testing.T) {
-				a := runChaosCell(t, seed, rate)
-				if !a.bspOK {
-					t.Error("bsp stream not delivered exactly-once in-order")
-				}
-				if !a.eftpOK {
-					t.Error("eftp file not delivered exactly-once in-order")
-				}
-				if !a.vmtpOK {
-					t.Error("vmtp transactions failed")
-				}
-				if rate > 0 && a.ledger.Total() == 0 {
-					t.Errorf("no faults injected at rate %.2f", rate)
-				}
-				if rate == 0 && a.ledger.Total() != 0 {
-					t.Errorf("faults injected at rate 0: %s", a.ledger.String())
-				}
+// chaosCell names one soak grid cell.
+type chaosCell struct {
+	seed uint64
+	rate float64
+}
 
-				// Bit-identical rerun: same seed, same plan, same
-				// everything — events and metric snapshots included.
-				b := runChaosCell(t, seed, rate)
-				if a.end != b.end {
-					t.Fatalf("end times differ: %v vs %v", a.end, b.end)
-				}
-				if a.ledger != b.ledger {
-					t.Fatalf("ledgers differ:\n  %s\n  %s", a.ledger.String(), b.ledger.String())
-				}
-				if len(a.events) != len(b.events) {
-					t.Fatalf("event counts differ: %d vs %d", len(a.events), len(b.events))
-				}
-				for i := range a.events {
-					if a.events[i] != b.events[i] {
-						t.Fatalf("event %d differs:\n  %+v\n  %+v", i, a.events[i], b.events[i])
-					}
-				}
-				if !bytes.Equal(a.snap, b.snap) {
-					t.Fatal("metric snapshots differ between identical runs")
-				}
-			})
+func chaosGrid() []chaosCell {
+	var cells []chaosCell
+	for _, seed := range []uint64{1, 2, 3} {
+		for _, rate := range []float64{0, 0.10, 0.20, 0.30} {
+			cells = append(cells, chaosCell{seed, rate})
 		}
+	}
+	return cells
+}
+
+// TestChaosSoak runs the seeds × fault-rates grid and checks both
+// invariants in every cell.  The cells are independent simulation
+// universes, so they run on the parsim worker pool; every Fatal-grade
+// assertion happens back on the test goroutine, over results collected
+// in deterministic trial order.
+func TestChaosSoak(t *testing.T) {
+	cells := chaosGrid()
+	type pair struct{ a, b chaosResult }
+	// Each trial runs its cell twice: the second run is the
+	// bit-identical rerun the determinism invariant compares against.
+	results := parsim.Map(len(cells), 0, func(i int) pair {
+		return pair{
+			a: runChaosCell(t, cells[i].seed, cells[i].rate),
+			b: runChaosCell(t, cells[i].seed, cells[i].rate),
+		}
+	})
+	for i, cell := range cells {
+		seed, rate := cell.seed, cell.rate
+		a, b := results[i].a, results[i].b
+		t.Run(fmt.Sprintf("seed=%d/rate=%.0f%%", seed, rate*100), func(t *testing.T) {
+			if !a.bspOK {
+				t.Error("bsp stream not delivered exactly-once in-order")
+			}
+			if !a.eftpOK {
+				t.Error("eftp file not delivered exactly-once in-order")
+			}
+			if !a.vmtpOK {
+				t.Error("vmtp transactions failed")
+			}
+			if rate > 0 && a.ledger.Total() == 0 {
+				t.Errorf("no faults injected at rate %.2f", rate)
+			}
+			if rate == 0 && a.ledger.Total() != 0 {
+				t.Errorf("faults injected at rate 0: %s", a.ledger.String())
+			}
+
+			// Bit-identical rerun: same seed, same plan, same
+			// everything — events and metric snapshots included.
+			if a.end != b.end {
+				t.Fatalf("end times differ: %v vs %v", a.end, b.end)
+			}
+			if a.ledger != b.ledger {
+				t.Fatalf("ledgers differ:\n  %s\n  %s", a.ledger.String(), b.ledger.String())
+			}
+			if len(a.events) != len(b.events) {
+				t.Fatalf("event counts differ: %d vs %d", len(a.events), len(b.events))
+			}
+			for i := range a.events {
+				if a.events[i] != b.events[i] {
+					t.Fatalf("event %d differs:\n  %+v\n  %+v", i, a.events[i], b.events[i])
+				}
+			}
+			if !bytes.Equal(a.snap, b.snap) {
+				t.Fatal("metric snapshots differ between identical runs")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,191 @@
+package integration
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/faults"
+	"repro/internal/filter"
+	"repro/internal/parsim"
+	"repro/internal/pfdev"
+	"repro/internal/shm"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// The golden-trace corpus: a grid of (config, seed) universes whose
+// complete observable behavior — every trace event, the final metrics
+// snapshot and the final virtual clock — is pinned as a SHA-256 hash.
+// Any change that shifts an event, a counter or a tick anywhere in
+// sim/ethersim/pfdev/shm/faults moves a hash and fails here; any
+// optimization that preserves behavior (event pooling, buffer reuse,
+// parallel execution) leaves every hash untouched.
+
+// goldenCfg is one delivery configuration of the corpus.
+type goldenCfg struct {
+	name     string
+	coalesce bool // interrupt coalescing, budget 4 / 2 mSec
+	ring     bool // drain through a mapped shm ring
+	faults   bool // 20% seeded wire chaos
+}
+
+func goldenConfigs() []goldenCfg {
+	return []goldenCfg{
+		{name: "plain"},
+		{name: "coalesce", coalesce: true},
+		{name: "ring", ring: true},
+		{name: "faults", faults: true},
+		{name: "all", coalesce: true, ring: true, faults: true},
+	}
+}
+
+// goldenFrame builds a Pup frame to socket 35 carrying seq and
+// rng-derived filler.
+func goldenFrame(rng *rand.Rand, seq int) []byte {
+	size := 22 + rng.Intn(160)
+	payload := make([]byte, size)
+	payload[3] = byte(seq)
+	payload[13] = 35
+	for i := 22; i < size; i++ {
+		payload[i] = byte(rng.Intn(256))
+	}
+	return ethersim.Ether3Mb.Encode(2, 1, ethersim.EtherTypePup3Mb, payload)
+}
+
+// goldenRun drives one fully traced universe and digests everything
+// observable about it into one hash.
+func goldenRun(seed uint64, cfg goldenCfg) string {
+	s := sim.New(vtime.DefaultCosts())
+	tr := trace.New()
+	rec := &trace.Recorder{}
+	tr.SetSink(rec)
+	s.SetTracer(tr)
+
+	net := ethersim.New(s, ethersim.Ether3Mb)
+	ha, hb := s.NewHost("a"), s.NewHost("b")
+	na, nb := net.Attach(ha, 1), net.Attach(hb, 2)
+	opt := pfdev.Options{}
+	if cfg.coalesce {
+		opt.CoalesceBudget = 4
+		opt.CoalesceDelay = 2 * time.Millisecond
+	}
+	da := pfdev.Attach(na, nil, pfdev.Options{})
+	db := pfdev.Attach(nb, nil, opt)
+	if cfg.faults {
+		eng := faults.New(s, seed, faults.Plan{Name: "golden", Wire: faults.Uniform(0.20)})
+		eng.AttachWire(net)
+	}
+
+	n := 12 + int(seed%5)
+	s.Spawn(hb, "recv", func(p *sim.Proc) {
+		port := db.Open(p)
+		port.SetFilter(p, filter.DstSocketFilter(10, 35))
+		port.SetQueueLimit(p, 4*n)
+		port.SetTimeout(p, 10*time.Millisecond)
+		if cfg.ring {
+			reg := shm.NewRegistry(hb)
+			seg, err := reg.Map(p, "golden", port.RingLayoutSize(2*n))
+			if err != nil {
+				panic(err)
+			}
+			if err := port.MapRing(p, seg, 2*n); err != nil {
+				panic(err)
+			}
+		}
+		idle := 0
+		for idle < 2 {
+			var err error
+			if cfg.ring {
+				_, err = port.ReapBatch(p)
+			} else {
+				_, err = port.Read(p)
+			}
+			if err != nil {
+				idle++
+			} else {
+				idle = 0
+			}
+		}
+	})
+	s.Spawn(ha, "send", func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		port := da.Open(p)
+		p.Sleep(2 * time.Millisecond)
+		for i := 0; i < n; i++ {
+			if err := port.Write(p, goldenFrame(rng, i)); err != nil {
+				panic(err)
+			}
+			p.Sleep(time.Duration(100+rng.Intn(1200)) * time.Microsecond)
+		}
+	})
+	end := s.Run(0)
+
+	h := sha256.New()
+	for _, e := range rec.Events {
+		fmt.Fprintf(h, "%d %d %s %s %s %d %d %d\n",
+			e.When, e.Kind, e.Host, e.Proc, e.Tag, e.Port, e.Value, e.Aux)
+	}
+	snap, err := tr.Snapshot().JSON()
+	if err != nil {
+		panic(err)
+	}
+	h.Write(snap)
+	fmt.Fprintf(h, "end %d\n", end)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// goldenHashes pins the corpus.  When an intentional behavior change
+// moves a trace, the failure message prints the new hash — re-pin it
+// here only after confirming the shift is intended.
+var goldenHashes = map[string]string{
+	"plain/1":    "ec21cf900c9cd19c1195d46d3f4d12dee8d2231c0a81be1d95d424ef575ef818",
+	"plain/2":    "323c61964fc4aba1cae8070aeabb6d731b7d5f45b6225b7cd555a1523a57822f",
+	"coalesce/1": "fdb2077e02194035096574649af785fdfe24be8590d4f222e75ea3dddc2ade4e",
+	"coalesce/2": "d5e809f3dfc435c8c71a8573ce9fd330ddd70ed6f0d5e2dc5d2220583b7d3251",
+	"ring/1":     "624fe435fa428ade84e87bd04258aa578a1a1ead205975dbc368b892f642f7f5",
+	"ring/2":     "b838fb7a0e2be17d0d62ecfb8245ef1765684f5e32112fcfb9576883fb142f56",
+	"faults/1":   "5ef4a611b9a622c48df7307349e6328ca9bf2266b4a1fa16d6f307a5e87d0bcd",
+	"faults/2":   "6b3f89b1be627e9501997bc7e6ccb41d1c8698b3b8b2699d52623dfae0309b88",
+	"all/1":      "09430fb263d8d5f8bf55106ee5765fed9fcd8101ab831c3ed5531ac749724099",
+	"all/2":      "dd1731399c188b0144b7b02d653aaa4a61df8eb123e483f78806bc5065745e2b",
+}
+
+// goldenCells enumerates the corpus in deterministic order.
+func goldenCells() (keys []string, cfgs []goldenCfg, seeds []uint64) {
+	for _, cfg := range goldenConfigs() {
+		for _, seed := range []uint64{1, 2} {
+			keys = append(keys, fmt.Sprintf("%s/%d", cfg.name, seed))
+			cfgs = append(cfgs, cfg)
+			seeds = append(seeds, seed)
+		}
+	}
+	return
+}
+
+// TestGoldenTraceCorpus checks every cell against its pinned hash —
+// run both sequentially and across the parsim pool, so the worker pool
+// itself is pinned to have no observable effect.
+func TestGoldenTraceCorpus(t *testing.T) {
+	keys, cfgs, seeds := goldenCells()
+	for _, workers := range []int{1, 4} {
+		got := parsim.Map(len(keys), workers, func(i int) string {
+			return goldenRun(seeds[i], cfgs[i])
+		})
+		for i, key := range keys {
+			want := goldenHashes[key]
+			if want == "" {
+				t.Errorf("workers=%d: %s: no pinned hash; got %s", workers, key, got[i])
+				continue
+			}
+			if got[i] != want {
+				t.Errorf("workers=%d: %s: trace hash %s, want %s", workers, key, got[i], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package pfdev
+
+import (
+	"testing"
+
+	"repro/internal/ethersim"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+// allocWorld builds the smallest steady-state receive universe: one
+// host, one device, one bound port with a deep queue, no tracer.
+func allocWorld(t testing.TB) (*sim.Sim, *Device, *Port) {
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether3Mb)
+	ha := s.NewHost("a")
+	na := net.Attach(ha, 1)
+	d := Attach(na, nil, Options{})
+	var port *Port
+	s.Spawn(ha, "ctl", func(p *sim.Proc) {
+		port = d.Open(p)
+		if err := port.SetFilter(p, socketFilter(10, 35)); err != nil {
+			t.Error(err)
+		}
+		port.SetQueueLimit(p, 1<<16)
+	})
+	s.Run(0)
+	if port == nil {
+		t.Fatal("port setup did not run")
+	}
+	return s, d, port
+}
+
+// TestReceivePathAllocationFree pins the whole per-frame kernel
+// receive path — device input, filter match, pending-delivery queue,
+// kernel CPU scheduling and port enqueue — at zero heap allocations
+// per packet once pools and backing arrays are warm.  This is the
+// assertion behind the sweep speedups: a trial's hot loop must not
+// pressure the collector.
+func TestReceivePathAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc pins only run without -race")
+	}
+	s, d, port := allocWorld(t)
+	match := pupTo(1, 2, 1, 35)
+	miss := pupTo(1, 2, 1, 99)
+	deliver := func(frame []byte) {
+		d.input(frame)
+		s.Run(0)
+	}
+	// Warm every free list this path touches: the sim event pool, the
+	// host's cpuReq pool, the device's pending-delivery queue and the
+	// port queue's backing array.
+	for i := 0; i < 64; i++ {
+		deliver(match)
+	}
+	for port.qlen() > 0 {
+		port.popFront(1)
+	}
+	deliver(miss)
+
+	if a := testing.AllocsPerRun(200, func() {
+		deliver(match)
+		if port.qlen() != 1 {
+			t.Fatalf("frame not delivered (qlen %d)", port.qlen())
+		}
+		port.popFront(1)
+	}); a != 0 {
+		t.Errorf("matched receive path allocates %.1f/packet, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		deliver(miss)
+		if port.qlen() != 0 {
+			t.Fatalf("non-matching frame delivered")
+		}
+	}); a != 0 {
+		t.Errorf("dropped receive path allocates %.1f/packet, want 0", a)
+	}
+}
+
+// BenchmarkReceivePath measures the real (wall-clock) cost of one
+// simulated frame delivery end to end, allocation-counted.
+func BenchmarkReceivePath(b *testing.B) {
+	s, d, port := allocWorld(b)
+	frame := pupTo(1, 2, 1, 35)
+	for i := 0; i < 64; i++ {
+		d.input(frame)
+		s.Run(0)
+	}
+	for port.qlen() > 0 {
+		port.popFront(1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.input(frame)
+		s.Run(0)
+		port.popFront(1)
+	}
+}

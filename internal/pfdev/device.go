@@ -141,6 +141,22 @@ type Device struct {
 	// pressure" knob.
 	queueCap int
 
+	// Pending-delivery queue: input/inputBurst match frames
+	// synchronously, then defer enqueueing behind the "pf" kernel CPU
+	// charge.  Matched frames queue here and the pre-bound
+	// deliverOneFn/deliverBurstFn callbacks pop them FIFO (kernel
+	// grants complete in request order), so the per-packet path
+	// allocates no closures and the match scratch slices are reused.
+	// A crash drops the queue along with the host's interrupt work.
+	pend           []delivery
+	pendHead       int
+	burstLens      []int
+	burstHead      int
+	treeScratch    []*Port
+	wakeScratch    []*Port
+	deliverOneFn   func()
+	deliverBurstFn func()
+
 	// KernelDrops counts packets that matched no filter or
 	// overflowed a port queue.
 	KernelDrops uint64
@@ -153,6 +169,8 @@ func Attach(nic *ethersim.NIC, kern KernelProtocol, opt Options) *Device {
 		opt.ReorderEvery = 64
 	}
 	d := &Device{host: nic.Host(), nic: nic, opt: opt, kern: kern}
+	d.deliverOneFn = d.deliverOne
+	d.deliverBurstFn = d.deliverBurst
 	nic.Handler = d.input
 	nic.BurstHandler = nil
 	nic.SetCoalesce(opt.CoalesceBudget, opt.CoalesceDelay)
@@ -175,9 +193,17 @@ func (d *Device) crash() {
 	d.ports = nil
 	d.table = nil
 	d.tablePorts = nil
+	// Matched-but-undelivered frames die with the kernel: their "pf"
+	// completions were dropped from the host's interrupt queue, so the
+	// pending queue must empty in step with it.
+	d.pend = d.pend[:0]
+	d.pendHead = 0
+	d.burstLens = d.burstLens[:0]
+	d.burstHead = 0
 	for _, port := range ports {
 		port.closed = true
 		port.queue = nil
+		port.qhead = 0
 		// Ring attachments die with the kernel's port state; the
 		// segment itself is user memory and survives, free for the
 		// re-opened port to map again.
@@ -252,38 +278,93 @@ func (d *Device) input(frame []byte) {
 	// per-packet work so experiments can reproduce §6.1's "41% of
 	// this time is spent evaluating filter predicates".
 	costs := d.host.Costs()
+	dl := d.pushPending(frame, arrival)
 	var filterCost time.Duration
-	var accepted []*Port
 
 	if d.opt.Mode == EvalTable {
-		accepted, filterCost = d.tableMatch(frame)
+		dl.ports, filterCost = d.tableMatch(frame, dl.ports)
 	} else {
-		accepted, filterCost = d.linearMatch(frame)
+		dl.ports, filterCost = d.linearMatch(frame, dl.ports)
 	}
 	cost := costs.PfInput
 
-	for _, port := range accepted {
+	for _, port := range dl.ports {
 		if port.stamp {
 			cost += costs.Timestamp
 		}
 	}
 
-	own := frame
 	d.host.RunKernel("filter", filterCost, nil)
-	d.host.RunKernel("pf", cost, func() {
-		if len(accepted) == 0 {
-			d.KernelDrops++
-			d.host.Counters.PacketsDropped++
-			d.host.Sim().Counters.PacketsDropped++
-			if tr := d.host.Sim().Tracer(); tr != nil {
-				tr.Drop(d.host.Sim().Now(), d.host.Name(), "nomatch")
-			}
-			return
+	d.host.RunKernel("pf", cost, d.deliverOneFn)
+}
+
+// delivery is one matched frame awaiting its "pf" CPU charge; the
+// ports slice backing is recycled across frames.
+type delivery struct {
+	frame   []byte
+	arrival time.Duration
+	ports   []*Port
+}
+
+// pushPending appends a pending delivery, reusing a recycled slot's
+// ports capacity when one is available.
+func (d *Device) pushPending(frame []byte, arrival time.Duration) *delivery {
+	n := len(d.pend)
+	if n < cap(d.pend) {
+		d.pend = d.pend[:n+1]
+	} else {
+		d.pend = append(d.pend, delivery{})
+	}
+	dl := &d.pend[n]
+	dl.frame, dl.arrival = frame, arrival
+	dl.ports = dl.ports[:0]
+	return dl
+}
+
+// popPending consumes the oldest pending delivery.  The returned value
+// shares its ports backing with the slot, which is only reused by a
+// later pushPending — never while the caller is still delivering.
+func (d *Device) popPending() delivery {
+	dl := d.pend[d.pendHead]
+	d.pend[d.pendHead].frame = nil
+	d.pendHead++
+	if d.pendHead == len(d.pend) {
+		d.pend = d.pend[:0]
+		d.pendHead = 0
+	}
+	return dl
+}
+
+func (d *Device) pushBurst(n int) {
+	d.burstLens = append(d.burstLens, n)
+}
+
+func (d *Device) popBurst() int {
+	n := d.burstLens[d.burstHead]
+	d.burstHead++
+	if d.burstHead == len(d.burstLens) {
+		d.burstLens = d.burstLens[:0]
+		d.burstHead = 0
+	}
+	return n
+}
+
+// deliverOne completes one input(): it runs after the "pf" CPU charge
+// and enqueues (or drops) the oldest pending frame.
+func (d *Device) deliverOne() {
+	dl := d.popPending()
+	if len(dl.ports) == 0 {
+		d.KernelDrops++
+		d.host.Counters.PacketsDropped++
+		d.host.Sim().Counters.PacketsDropped++
+		if tr := d.host.Sim().Tracer(); tr != nil {
+			tr.Drop(d.host.Sim().Now(), d.host.Name(), "nomatch")
 		}
-		for _, port := range accepted {
-			port.enqueue(own, arrival)
-		}
-	})
+		return
+	}
+	for _, port := range dl.ports {
+		port.enqueue(dl.frame, dl.arrival)
+	}
 }
 
 // inputBurst is the coalesced receive handler: the interface hands
@@ -305,11 +386,7 @@ func (d *Device) inputBurst(frames [][]byte) {
 	tr := d.host.Sim().Tracer()
 	costs := d.host.Costs()
 
-	type delivery struct {
-		frame []byte
-		ports []*Port
-	}
-	var deliveries []delivery
+	nDel := 0
 	var filterCost, pfCost time.Duration
 	d.burstSeq++
 	d.curBurst = d.burstSeq
@@ -324,66 +401,77 @@ func (d *Device) inputBurst(frames [][]byte) {
 		if d.opt.Reorder && d.pktSeen%uint64(d.opt.ReorderEvery) == 0 {
 			d.reorder()
 		}
-		var accepted []*Port
+		dl := d.pushPending(frame, arrival)
 		var fc time.Duration
 		if d.opt.Mode == EvalTable {
-			accepted, fc = d.tableMatch(frame)
+			dl.ports, fc = d.tableMatch(frame, dl.ports)
 		} else {
-			accepted, fc = d.linearMatch(frame)
+			dl.ports, fc = d.linearMatch(frame, dl.ports)
 		}
 		filterCost += fc
-		if len(deliveries) == 0 {
+		if nDel == 0 {
 			pfCost += costs.PfInput
 		} else {
 			pfCost += costs.PfPoll
 		}
-		for _, port := range accepted {
+		for _, port := range dl.ports {
 			if port.stamp {
 				pfCost += costs.Timestamp
 			}
 		}
-		deliveries = append(deliveries, delivery{frame: frame, ports: accepted})
+		nDel++
 	}
 	d.curBurst = 0
-	if len(deliveries) == 0 {
+	if nDel == 0 {
 		return
 	}
+	d.pushBurst(nDel)
 	d.host.RunKernel("filter", filterCost, nil)
-	d.host.RunKernel("pf", pfCost, func() {
-		now := d.host.Sim().Now()
-		var wake []*Port
-		for _, del := range deliveries {
-			if len(del.ports) == 0 {
-				d.KernelDrops++
-				d.host.Counters.PacketsDropped++
-				d.host.Sim().Counters.PacketsDropped++
-				if tr := d.host.Sim().Tracer(); tr != nil {
-					tr.Drop(now, d.host.Name(), "nomatch")
-				}
-				continue
-			}
-			for _, port := range del.ports {
-				if port.enqueueQuiet(del.frame, arrival) && !port.wakePending {
-					port.wakePending = true
-					wake = append(wake, port)
-				}
-			}
-		}
-		for _, port := range wake {
-			port.wakePending = false
-			port.wakeReaders()
-		}
-	})
+	d.host.RunKernel("pf", pfCost, d.deliverBurstFn)
 }
 
-// linearMatch applies filters in priority order (figure 4-1) and
-// returns the accepting ports and the virtual evaluation cost.
-func (d *Device) linearMatch(frame []byte) ([]*Port, time.Duration) {
+// deliverBurst completes one inputBurst(): it pops the burst's pending
+// frames, enqueues them without waking, then wakes each touched port's
+// readers once — the once-per-burst wakeup the coalescing path exists
+// for.
+func (d *Device) deliverBurst() {
+	n := d.popBurst()
+	now := d.host.Sim().Now()
+	wake := d.wakeScratch[:0]
+	for k := 0; k < n; k++ {
+		dl := d.popPending()
+		if len(dl.ports) == 0 {
+			d.KernelDrops++
+			d.host.Counters.PacketsDropped++
+			d.host.Sim().Counters.PacketsDropped++
+			if tr := d.host.Sim().Tracer(); tr != nil {
+				tr.Drop(now, d.host.Name(), "nomatch")
+			}
+			continue
+		}
+		for _, port := range dl.ports {
+			if port.enqueueQuiet(dl.frame, dl.arrival) && !port.wakePending {
+				port.wakePending = true
+				wake = append(wake, port)
+			}
+		}
+	}
+	for _, port := range wake {
+		port.wakePending = false
+		port.wakeReaders()
+	}
+	d.wakeScratch = wake[:0]
+}
+
+// linearMatch applies filters in priority order (figure 4-1),
+// appending the accepting ports to dst, and returns the (possibly
+// regrown) slice and the virtual evaluation cost.
+func (d *Device) linearMatch(frame []byte, dst []*Port) ([]*Port, time.Duration) {
 	costs := d.host.Costs()
 	tr := d.host.Sim().Tracer()
 	now := d.host.Sim().Now()
 	var cost time.Duration
-	var accepted []*Port
+	accepted := dst
 	for _, port := range d.ports {
 		if port.closed || port.prog == nil {
 			continue
@@ -447,7 +535,7 @@ func (d *Device) linearMatch(frame []byte) ([]*Port, time.Duration) {
 // ports are visited in scan order (priority descending, current order
 // within a priority — rebuildTable snapshots d.ports, so busy-first
 // reordering carries over) and a non-copy-all accept ends delivery.
-func (d *Device) tableMatch(frame []byte) ([]*Port, time.Duration) {
+func (d *Device) tableMatch(frame []byte, dst []*Port) ([]*Port, time.Duration) {
 	costs := d.host.Costs()
 	if d.table == nil {
 		d.rebuildTable()
@@ -475,7 +563,7 @@ func (d *Device) tableMatch(frame []byte) ([]*Port, time.Duration) {
 		}
 		return false
 	}
-	var accepted, treeAccepts []*Port
+	accepted, treeAccepts := dst, d.treeScratch[:0]
 	stopped := false
 	for _, i := range res.Idxs {
 		port := d.tablePorts[i]
@@ -529,6 +617,7 @@ func (d *Device) tableMatch(frame []byte) ([]*Port, time.Duration) {
 			tr.FilterEval(now, d.host.Name(), -1, res.Edges, false)
 		}
 	}
+	d.treeScratch = treeAccepts[:0]
 	return accepted, cost
 }
 

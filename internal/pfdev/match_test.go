@@ -50,8 +50,8 @@ func TestEqualPriorityTieDelivery(t *testing.T) {
 
 	check := func(stage string, want []int) {
 		t.Helper()
-		lin, _ := r.db.linearMatch(probe)
-		tab, _ := r.db.tableMatch(probe)
+		lin, _ := r.db.linearMatch(probe, nil)
+		tab, _ := r.db.tableMatch(probe, nil)
 		if !sameIDs(portIDs(lin), want) {
 			t.Errorf("%s: linearMatch delivered to %v, want %v", stage, portIDs(lin), want)
 		}
@@ -95,7 +95,7 @@ func TestReorderInvalidatesTable(t *testing.T) {
 	probe := pupTo(2, 1, 1, 35)
 
 	// Prime the table in the original open order: the tie goes to pA.
-	if tab, _ := r.db.tableMatch(probe); !sameIDs(portIDs(tab), []int{pA.id}) {
+	if tab, _ := r.db.tableMatch(probe, nil); !sameIDs(portIDs(tab), []int{pA.id}) {
 		t.Fatalf("pre-reorder table delivered to %v, want %v", portIDs(tab), []int{pA.id})
 	}
 
@@ -107,8 +107,8 @@ func TestReorderInvalidatesTable(t *testing.T) {
 	if r.db.table != nil {
 		t.Error("reorder left the decision table stale")
 	}
-	lin, _ := r.db.linearMatch(probe)
-	tab, _ := r.db.tableMatch(probe)
+	lin, _ := r.db.linearMatch(probe, nil)
+	tab, _ := r.db.tableMatch(probe, nil)
 	if !sameIDs(portIDs(lin), []int{pB.id}) {
 		t.Errorf("post-reorder linear tie went to %v, want busy port %v", portIDs(lin), []int{pB.id})
 	}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package pfdev
+
+// raceEnabled gates allocation assertions; see race_test.go.
+const raceEnabled = false

@@ -42,7 +42,12 @@ type Port struct {
 	pv       *filter.Prevalidated
 	compiled *filter.Compiled
 
+	// queue is head-indexed: qhead marks the first undelivered packet
+	// and dequeues advance it instead of re-slicing, so the backing
+	// array's capacity survives and the steady-state receive path
+	// allocates nothing.
 	queue      []Packet
+	qhead      int
 	queueLimit int
 	maxQueued  int // high-water mark of the input queue
 	dropped    uint64
@@ -217,6 +222,34 @@ func (port *Port) SetBatchMax(p *sim.Proc, n int) {
 	port.batchMax = n
 }
 
+// queued returns the live (undelivered) packets in queue order.
+func (port *Port) queued() []Packet { return port.queue[port.qhead:] }
+
+// qlen returns the input-queue depth.
+func (port *Port) qlen() int { return len(port.queue) - port.qhead }
+
+// popFront consumes n packets from the queue head, clearing consumed
+// slots (so delivered frames are not retained by the kernel) and
+// recycling the backing array once drained or mostly consumed.
+func (port *Port) popFront(n int) {
+	for i := port.qhead; i < port.qhead+n; i++ {
+		port.queue[i] = Packet{}
+	}
+	port.qhead += n
+	switch {
+	case port.qhead == len(port.queue):
+		port.queue = port.queue[:0]
+		port.qhead = 0
+	case port.qhead >= 32 && 2*port.qhead >= len(port.queue):
+		kept := copy(port.queue, port.queue[port.qhead:])
+		for i := kept; i < len(port.queue); i++ {
+			port.queue[i] = Packet{}
+		}
+		port.queue = port.queue[:kept]
+		port.qhead = 0
+	}
+}
+
 // enqueue adds a packet to the port queue and wakes readers (kernel
 // context).  arrived is when the frame entered the packet-filter input
 // path.
@@ -237,7 +270,7 @@ func (port *Port) enqueueQuiet(frame []byte, arrived time.Duration) bool {
 		limit = c
 	}
 	r := port.ring
-	if len(port.queue) >= limit || (r != nil && len(r.free) == 0) {
+	if port.qlen() >= limit || (r != nil && len(r.free) == 0) {
 		// A mapped ring can hold one frame per slot, and slots stay
 		// reserved while queued *or* lent out to a reaping process;
 		// with none free, overflow drops exactly like a full input
@@ -262,12 +295,12 @@ func (port *Port) enqueueQuiet(frame []byte, arrived time.Duration) bool {
 		pkt.Stamp = h.Sim().Now()
 	}
 	port.queue = append(port.queue, pkt)
-	if len(port.queue) > port.maxQueued {
-		port.maxQueued = len(port.queue)
+	if port.qlen() > port.maxQueued {
+		port.maxQueued = port.qlen()
 	}
 	if tr := h.Sim().Tracer(); tr != nil {
-		port.depthGauge(tr).Set(int64(len(port.queue)))
-		tr.Enqueue(h.Sim().Now(), h.Name(), port.id, len(port.queue))
+		port.depthGauge(tr).Set(int64(port.qlen()))
+		tr.Enqueue(h.Sim().Now(), h.Name(), port.id, port.qlen())
 	}
 	return true
 }
@@ -310,7 +343,7 @@ func (port *Port) Read(p *sim.Proc) (Packet, error) {
 	if r := port.ring; r != nil {
 		r.reclaim()
 	}
-	for len(port.queue) == 0 {
+	for port.qlen() == 0 {
 		if port.timeout < 0 {
 			return Packet{}, ErrWouldBlock
 		}
@@ -321,8 +354,8 @@ func (port *Port) Read(p *sim.Proc) (Packet, error) {
 			return Packet{}, ErrClosed
 		}
 	}
-	pkt := port.queue[0]
-	port.queue = port.queue[1:]
+	pkt := port.queue[port.qhead]
+	port.popFront(1)
 	if r := port.ring; r != nil && pkt.slot > 0 {
 		// Read copies the frame out of its ring slot; the slot frees
 		// immediately.
@@ -336,8 +369,8 @@ func (port *Port) Read(p *sim.Proc) (Packet, error) {
 		h := port.dev.host
 		now := p.Now()
 		tr.PortCopied(h.Name(), len(pkt.Data))
-		port.depthGauge(tr).Set(int64(len(port.queue)))
-		tr.Dequeue(now, h.Name(), port.id, len(port.queue), 1)
+		port.depthGauge(tr).Set(int64(port.qlen()))
+		tr.Dequeue(now, h.Name(), port.id, port.qlen(), 1)
 		tr.Deliver(now, h.Name(), port.id, now-pkt.arrived)
 	}
 	return pkt, nil
@@ -370,7 +403,7 @@ func (port *Port) drainBatch(p *sim.Proc, viaRing bool) ([]Packet, error) {
 	if r := port.ring; r != nil {
 		r.reclaim()
 	}
-	for len(port.queue) == 0 {
+	for port.qlen() == 0 {
 		if port.timeout < 0 {
 			return nil, ErrWouldBlock
 		}
@@ -381,13 +414,13 @@ func (port *Port) drainBatch(p *sim.Proc, viaRing bool) ([]Packet, error) {
 			return nil, ErrClosed
 		}
 	}
-	n := len(port.queue)
+	n := port.qlen()
 	if port.batchMax > 0 && n > port.batchMax {
 		n = port.batchMax
 	}
 	batch := make([]Packet, n)
-	copy(batch, port.queue[:n])
-	port.queue = port.queue[n:]
+	copy(batch, port.queued()[:n])
+	port.popFront(n)
 	// Charge each packet against the ring as it exists *now* — the
 	// mapping may have appeared or dissolved while we blocked.  Only
 	// frames that actually sit in a live ring slot and leave through
@@ -443,8 +476,8 @@ func (port *Port) drainBatch(p *sim.Proc, viaRing bool) ([]Packet, error) {
 	}
 	if tr != nil {
 		now := p.Now()
-		port.depthGauge(tr).Set(int64(len(port.queue)))
-		tr.Dequeue(now, h.Name(), port.id, len(port.queue), n)
+		port.depthGauge(tr).Set(int64(port.qlen()))
+		tr.Dequeue(now, h.Name(), port.id, port.qlen(), n)
 		for _, pkt := range batch {
 			tr.Deliver(now, h.Name(), port.id, now-pkt.arrived)
 		}
@@ -456,7 +489,7 @@ func (port *Port) drainBatch(p *sim.Proc, viaRing bool) ([]Packet, error) {
 // cheap half of a 4.3BSD select).
 func (port *Port) Poll(p *sim.Proc) bool {
 	p.Syscall("pf")
-	return len(port.queue) > 0
+	return port.qlen() > 0
 }
 
 // Write transmits a complete frame, including the data-link header;
@@ -534,7 +567,7 @@ func (port *Port) Stats() PortStats {
 	return PortStats{
 		ID:           port.id,
 		Priority:     port.priority,
-		Queued:       len(port.queue),
+		Queued:       port.qlen(),
 		MaxQueued:    port.maxQueued,
 		Dropped:      port.dropped,
 		Matched:      port.matches,
@@ -597,7 +630,7 @@ func Select(p *sim.Proc, ports []*Port, timeout time.Duration) int {
 	p.Syscall("pf")
 	check := func() int {
 		for i, port := range ports {
-			if port.closed || len(port.queue) > 0 {
+			if port.closed || port.qlen() > 0 {
 				return i
 			}
 		}

@@ -1,0 +1,8 @@
+//go:build race
+
+package pfdev
+
+// raceEnabled gates allocation assertions: the race detector's
+// instrumentation allocates, so AllocsPerRun checks are meaningless
+// under -race.
+const raceEnabled = true

@@ -112,8 +112,9 @@ func (port *Port) MapRing(p *sim.Proc, seg *shm.Segment, slots int) error {
 	// the first reap's accounting is honest and nothing queued still
 	// references an older mapping.  Frames beyond the slot count stay
 	// private copies (deposit falls back when no slot is free).
-	for i := range port.queue {
-		port.queue[i].Data, port.queue[i].slot = r.deposit(port.queue[i].Data)
+	q := port.queued()
+	for i := range q {
+		q[i].Data, q[i].slot = r.deposit(q[i].Data)
 	}
 	return nil
 }
@@ -188,8 +189,9 @@ func (port *Port) SegmentUnmapped(seg *shm.Segment) {
 		return
 	}
 	port.ring = nil
-	for i := range port.queue {
-		port.queue[i].slot = 0
+	q := port.queued()
+	for i := range q {
+		q[i].slot = 0
 	}
 }
 

@@ -20,10 +20,24 @@ type Host struct {
 	// cpu state: a single processor with interrupt work served
 	// ahead of process work, matching the VAX's interrupt priority
 	// levels.
+	// Both queues pop from a head index instead of reslicing so the
+	// backing arrays are reused once drained; a steady-state receive
+	// path enqueues and dequeues without touching the allocator.
 	cpuBusy   bool
 	intrQ     []*cpuReq
+	intrHead  int
 	procQ     []*cpuReq
+	procHead  int
 	lastOwner *Proc // last process granted the CPU
+
+	// Grant completion state: cpuBusy serializes grants, so at most
+	// one request is ever in flight and a single pre-bound callback
+	// (completeFn) plus a free list of requests keeps the per-grant
+	// path allocation-free.
+	running    *cpuReq
+	runEpoch   uint64
+	completeFn func()
+	reqFree    []*cpuReq
 
 	// lifecycle state for fault injection: a paused host stops
 	// granting its CPU but keeps all queued work; a crashed host
@@ -52,8 +66,27 @@ type cpuReq struct {
 // NewHost adds a host to the simulation.
 func (s *Sim) NewHost(name string) *Host {
 	h := &Host{sim: s, name: name, KernelTime: make(map[string]time.Duration)}
+	h.completeFn = h.complete
 	s.hosts = append(s.hosts, h)
 	return h
+}
+
+// getReq takes a request from the free list (or allocates one).
+func (h *Host) getReq(d time.Duration, proc *Proc, fn func(), tag string) *cpuReq {
+	if n := len(h.reqFree); n > 0 {
+		r := h.reqFree[n-1]
+		h.reqFree[n-1] = nil
+		h.reqFree = h.reqFree[:n-1]
+		*r = cpuReq{d: d, proc: proc, fn: fn, tag: tag}
+		return r
+	}
+	return &cpuReq{d: d, proc: proc, fn: fn, tag: tag}
+}
+
+// putReq returns a completed request to the free list.
+func (h *Host) putReq(r *cpuReq) {
+	*r = cpuReq{}
+	h.reqFree = append(h.reqFree, r)
 }
 
 // Name returns the host's name.
@@ -72,7 +105,7 @@ func (h *Host) Costs() vtime.Costs { return h.sim.costs }
 func (h *Host) RunKernel(tag string, d time.Duration, fn func()) {
 	h.Counters.KernelEntries++
 	h.sim.Counters.KernelEntries++
-	h.intrQ = append(h.intrQ, &cpuReq{d: d, fn: fn, tag: tag})
+	h.intrQ = append(h.intrQ, h.getReq(d, nil, fn, tag))
 	h.pump()
 }
 
@@ -80,7 +113,7 @@ func (h *Host) RunKernel(tag string, d time.Duration, fn func()) {
 // Called from process context via Proc.Consume and the syscall
 // helpers.
 func (h *Host) requestCPU(p *Proc, d time.Duration, kernelMode bool, tag string) {
-	h.procQ = append(h.procQ, &cpuReq{d: d, proc: p, tag: tag})
+	h.procQ = append(h.procQ, h.getReq(d, p, nil, tag))
 	_ = kernelMode
 	h.pump()
 	p.park()
@@ -110,7 +143,12 @@ func (h *Host) Resume() {
 func (h *Host) Crash() {
 	h.down = true
 	h.epoch++
-	h.intrQ = nil
+	for i := h.intrHead; i < len(h.intrQ); i++ {
+		h.putReq(h.intrQ[i])
+		h.intrQ[i] = nil
+	}
+	h.intrQ = h.intrQ[:0]
+	h.intrHead = 0
 	for _, fn := range h.crashHooks {
 		fn()
 	}
@@ -139,12 +177,22 @@ func (h *Host) pump() {
 	}
 	var r *cpuReq
 	switch {
-	case len(h.intrQ) > 0:
-		r = h.intrQ[0]
-		h.intrQ = h.intrQ[1:]
-	case len(h.procQ) > 0:
-		r = h.procQ[0]
-		h.procQ = h.procQ[1:]
+	case h.intrHead < len(h.intrQ):
+		r = h.intrQ[h.intrHead]
+		h.intrQ[h.intrHead] = nil
+		h.intrHead++
+		if h.intrHead == len(h.intrQ) {
+			h.intrQ = h.intrQ[:0]
+			h.intrHead = 0
+		}
+	case h.procHead < len(h.procQ):
+		r = h.procQ[h.procHead]
+		h.procQ[h.procHead] = nil
+		h.procHead++
+		if h.procHead == len(h.procQ) {
+			h.procQ = h.procQ[:0]
+			h.procHead = 0
+		}
 	default:
 		return
 	}
@@ -183,45 +231,55 @@ func (h *Host) pump() {
 	}
 
 	h.cpuBusy = true
-	epoch := h.epoch
-	h.sim.After(d, func() {
-		h.cpuBusy = false
-		if h.epoch != epoch {
-			// The host crashed while this work was in flight: the
-			// kernel half is lost, but a process is resumed so its
-			// goroutine survives the crash (it will queue for CPU
-			// again and run after Restart).
-			if r.proc != nil {
-				h.sim.runProc(r.proc)
-			}
-			h.pump()
-			return
-		}
-		tr := h.sim.tracer
+	h.running = r
+	h.runEpoch = h.epoch
+	h.sim.After(d, h.completeFn)
+}
+
+// complete finishes the in-flight CPU grant.  It is scheduled by pump
+// through a single pre-bound callback; cpuBusy guarantees at most one
+// grant is ever outstanding, so h.running is unambiguous.
+func (h *Host) complete() {
+	h.cpuBusy = false
+	r := h.running
+	h.running = nil
+	if h.epoch != h.runEpoch {
+		// The host crashed while this work was in flight: the
+		// kernel half is lost, but a process is resumed so its
+		// goroutine survives the crash (it will queue for CPU
+		// again and run after Restart).
 		if r.proc != nil {
-			if r.tag == "user" {
-				h.UserTime += r.d
-				if tr != nil {
-					tr.UserTime(h.name, r.d)
-				}
-			} else {
-				h.KernelTime[r.tag] += r.d
-				if tr != nil {
-					tr.KernelTime(h.name, r.tag, r.d)
-				}
-			}
 			h.sim.runProc(r.proc)
+		}
+		h.putReq(r)
+		h.pump()
+		return
+	}
+	tr := h.sim.tracer
+	if r.proc != nil {
+		if r.tag == "user" {
+			h.UserTime += r.d
+			if tr != nil {
+				tr.UserTime(h.name, r.d)
+			}
 		} else {
 			h.KernelTime[r.tag] += r.d
 			if tr != nil {
 				tr.KernelTime(h.name, r.tag, r.d)
 			}
-			if r.fn != nil {
-				r.fn()
-			}
 		}
-		h.pump()
-	})
+		h.sim.runProc(r.proc)
+	} else {
+		h.KernelTime[r.tag] += r.d
+		if tr != nil {
+			tr.KernelTime(h.name, r.tag, r.d)
+		}
+		if r.fn != nil {
+			r.fn()
+		}
+	}
+	h.putReq(r)
+	h.pump()
 }
 
 // KernelTotal sums kernel-mode CPU across categories.

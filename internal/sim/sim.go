@@ -43,6 +43,10 @@ type Sim struct {
 	yield   chan struct{} // lockstep handshake with process goroutines
 	current *Proc         // process currently executing, nil in event loop
 	nprocs  int
+
+	// free recycles fired events so the per-packet hot path (every
+	// CPU grant is one sim.After) allocates nothing in steady state.
+	free []*event
 }
 
 // New creates a simulation with the given cost model.
@@ -70,6 +74,7 @@ func (s *Sim) Tracer() *trace.Tracer { return s.tracer }
 type event struct {
 	when time.Duration
 	seq  uint64
+	gen  uint64 // bumped on reuse so stale handles cannot cancel a recycled event
 	fn   func()
 }
 
@@ -99,7 +104,16 @@ func (s *Sim) At(when time.Duration, fn func()) *event {
 	if when < s.now {
 		when = s.now
 	}
-	e := &event{when: when, seq: s.seq, fn: fn}
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.gen++
+	} else {
+		e = &event{}
+	}
+	e.when, e.seq, e.fn = when, s.seq, fn
 	s.seq++
 	heap.Push(&s.events, e)
 	return e
@@ -117,21 +131,29 @@ func (e *event) cancel() { e.fn = nil }
 // code that schedules deferred work it may later abandon — the NIC's
 // interrupt-coalescing timer is the motivating user.  A nil Timer is
 // safe to Stop.
-type Timer struct{ e *event }
+type Timer struct {
+	e   *event
+	gen uint64
+}
 
 // NewTimer schedules fn to run in event-loop context d from now and
 // returns a handle that can cancel it before it fires.
 func (s *Sim) NewTimer(d time.Duration, fn func()) *Timer {
-	return &Timer{e: s.After(d, fn)}
+	e := s.After(d, fn)
+	return &Timer{e: e, gen: e.gen}
 }
 
 // Stop cancels the timer if it has not fired yet.  Stopping a fired or
-// already-stopped timer is a no-op.
+// already-stopped timer is a no-op.  The generation check makes Stop
+// safe after the underlying event has fired and been recycled for an
+// unrelated callback.
 func (t *Timer) Stop() {
 	if t == nil || t.e == nil {
 		return
 	}
-	t.e.cancel()
+	if t.e.gen == t.gen {
+		t.e.cancel()
+	}
 	t.e = nil
 }
 
@@ -148,8 +170,13 @@ func (s *Sim) Run(limit time.Duration) time.Duration {
 		}
 		heap.Pop(&s.events)
 		s.now = e.when
-		if e.fn != nil {
-			e.fn()
+		// Recycle before running: fn may schedule new events and is
+		// welcome to reuse this one (its gen is bumped on reuse).
+		fn := e.fn
+		e.fn = nil
+		s.free = append(s.free, e)
+		if fn != nil {
+			fn()
 		}
 	}
 	return s.now

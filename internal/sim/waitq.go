@@ -14,6 +14,7 @@ type waiter struct {
 	proc    *Proc
 	woken   bool
 	timeout *event
+	tgen    uint64 // generation of timeout when armed (events are pooled)
 }
 
 // NewWaitQ creates a wait queue.
@@ -35,9 +36,13 @@ func (p *Proc) Wait(q *WaitQ, timeout time.Duration) bool {
 			q.remove(w)
 			p.sim.runProc(p)
 		})
+		w.tgen = w.timeout.gen
 	}
 	p.park()
-	if w.woken && w.timeout != nil {
+	// A wakeup that raced with the timeout may resume us after the
+	// timeout event fired and was recycled; only cancel our own
+	// generation.
+	if w.woken && w.timeout != nil && w.timeout.gen == w.tgen {
 		w.timeout.cancel()
 	}
 	return w.woken

@@ -1,6 +1,7 @@
 package vtime
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -35,6 +36,57 @@ func TestDefaultCostsMatchPaperCalibration(t *testing.T) {
 	// §7: microtime ~70 µs.
 	if c.Timestamp != 70*Microsecond {
 		t.Errorf("Timestamp = %v", c.Timestamp)
+	}
+}
+
+// TestDefaultCostsPinnedExhaustively pins every field of the default
+// cost model.  Every benchmark table and every golden trace hash is a
+// function of these values, so a calibration drift anywhere must fail
+// loudly here, with the paper's justification next to the number.  The
+// reflect pass makes the table self-maintaining: adding a Costs field
+// without pinning it (or pinning a field that no longer exists) fails.
+func TestDefaultCostsPinnedExhaustively(t *testing.T) {
+	want := map[string]time.Duration{
+		"CtxSwitch":      400 * Microsecond,  // §6.5.2: ~0.4 mSec per process switch
+		"Syscall":        150 * Microsecond,  // tuned: zero-instr batched recv = 1.9 mSec (t6-10)
+		"CopyFixed":      370 * Microsecond,  // §6.5.2: short-packet transfer ~0.5 mSec incl. per-byte part
+		"CopyPerKB":      1000 * Microsecond, // §6.5.2: copying ~1 mSec/KB
+		"FilterInstr":    28 * Microsecond,   // table 6-10 slope ~28.6 µSec/instruction
+		"FilterApply":    60 * Microsecond,   // §6.1: fixed share of 0.122 mSec/predicate
+		"DriverRecv":     250 * Microsecond,  // driver interrupt service per frame
+		"DriverSend":     200 * Microsecond,  // driver transmit path per frame
+		"DriverPoll":     80 * Microsecond,   // marginal frame in a coalesced burst
+		"PfInput":        550 * Microsecond,  // §6.1: pf module share of the 0.8 mSec fixed term
+		"PfPoll":         180 * Microsecond,  // marginal pf cost per coalesced packet
+		"IPInput":        490 * Microsecond,  // §6.1: kernel IP input 0.49 mSec
+		"TransportInput": 1280 * Microsecond, // §6.1: IP+transport = 1.77 mSec
+		"IPOutput":       600 * Microsecond,  // kernel IP output path
+		"ChecksumPerKB":  450 * Microsecond,  // software checksum per KB
+		"Pipe":           300 * Microsecond,  // pipe transfer per message
+		"Timestamp":      70 * Microsecond,   // §7: microtime ~70 µSec
+		"Wakeup":         50 * Microsecond,   // making a blocked process runnable
+		"MapSetup":       500 * Microsecond,  // one-time shared-segment mapping
+		"MapPerKB":       80 * Microsecond,   // per-KB page-table share of the mapping
+		"RingDesc":       12 * Microsecond,   // ring descriptor publish/reap
+	}
+	c := DefaultCosts()
+	v := reflect.ValueOf(c)
+	typ := v.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("Costs field %s has no pinned default — add it to this table", name)
+			continue
+		}
+		if got := v.Field(i).Interface().(time.Duration); got != w {
+			t.Errorf("%s = %v, want %v", name, got, w)
+		}
+	}
+	for name := range want {
+		if _, ok := typ.FieldByName(name); !ok {
+			t.Errorf("pinned field %s no longer exists in Costs", name)
+		}
 	}
 }
 
