@@ -57,6 +57,10 @@ func main() {
 			rec = &trace.Recorder{}
 			tr.SetSink(rec)
 		}
+		// The flight recorder rides along whenever the suite runs under
+		// observation: if an experiment panics, the last 4096 packet
+		// provenance records go to stderr before the crash propagates.
+		defer trace.DumpOnPanic(tr.EnableSpans(trace.SpanConfig{}), os.Stderr)()
 		bench.Tracer = tr
 	}
 
@@ -78,7 +82,10 @@ func main() {
 		selected = append(selected, e.Run())
 	}
 	if len(selected) == 0 {
-		fmt.Fprintf(os.Stderr, "pfbench: no experiment %q (try -list)\n", *id)
+		fmt.Fprintf(os.Stderr, "pfbench: no experiment %q; registered experiments:\n", *id)
+		for _, e := range exps {
+			fmt.Fprintf(os.Stderr, "  %s\n", e.ID)
+		}
 		os.Exit(1)
 	}
 

@@ -42,6 +42,7 @@ func main() {
 	coalesce := flag.Int("coalesce", 0, "interrupt-coalescing budget at the receiver (0 or 1 = off)")
 	coalesceDelay := flag.Duration("coalesce-delay", 2*time.Millisecond, "interrupt-moderation timer (with -coalesce)")
 	seed := flag.Int64("seed", 42, "workload random seed")
+	spans := flag.Bool("spans", false, "track per-packet provenance (sampling 1): per-stage latency breakdown, drop taxonomy and flight recorder")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	chromeFile := flag.String("chrome", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	flag.Parse()
@@ -63,6 +64,11 @@ func main() {
 	if *chromeFile != "" {
 		rec = &trace.Recorder{}
 		tr.SetSink(rec)
+	}
+	var sp *trace.Spans
+	if *spans {
+		sp = tr.EnableSpans(trace.SpanConfig{Ring: 1 << 14})
+		defer trace.DumpOnPanic(sp, os.Stderr)()
 	}
 
 	s := sim.New(vtime.DefaultCosts())
@@ -130,11 +136,22 @@ func main() {
 	s.Run(0)
 
 	snap := tr.Snapshot()
+	var taxonomy map[string]uint64
+	if sp != nil {
+		taxonomy = make(map[string]uint64)
+		for i, n := range sp.Drops {
+			if n > 0 {
+				taxonomy[trace.DropReason(i).String()] = n
+			}
+		}
+	}
 	if *asJSON {
 		report := struct {
 			Trace *trace.Snapshot   `json:"trace"`
 			Ports []pfdev.PortStats `json:"ports"`
-		}{Trace: snap, Ports: ports}
+			Spans *trace.Spans      `json:"spans,omitempty"`
+			Drops map[string]uint64 `json:"drop_taxonomy,omitempty"`
+		}{Trace: snap, Ports: ports, Spans: sp, Drops: taxonomy}
 		raw, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pfstat:", err)
@@ -168,6 +185,35 @@ func main() {
 			fmt.Printf("interrupt coalescing: %d bursts, %d frames coalesced (%.1f frames/burst)\n",
 				c.Bursts, c.CoalescedFrames, float64(c.CoalescedFrames)/float64(c.Bursts))
 		}
+		if sp != nil {
+			fmt.Println("\nper-packet provenance (sampling 1)")
+			fmt.Printf("  %-8s %8s %12s %12s %12s\n", "stage", "count", "mean", "p50", "p99")
+			stages := []struct{ label, hist string }{
+				{"wire", "span.stage.wire"},
+				{"nic", "span.stage.nic"},
+				{"filter", "span.stage.filter"},
+				{"pf", "span.stage.pf"},
+				{"queue", "span.stage.queue"},
+			}
+			for _, st := range stages {
+				h := tr.Histogram("recv", st.hist)
+				fmt.Printf("  %-8s %8d %12v %12v %12v\n",
+					st.label, h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
+			}
+			h := sp.Total()
+			fmt.Printf("  %-8s %8d %12v %12v %12v\n",
+				"total", h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
+			fmt.Printf("\nflight recorder: %d spans created, %d delivered to users, %d to kernel protocols, %d dropped, %d live\n",
+				sp.Created, sp.DeliveredUser, sp.DeliveredKernel, sp.TotalDrops(), sp.Live())
+			if len(taxonomy) > 0 {
+				fmt.Println("drop taxonomy")
+				for i, n := range sp.Drops {
+					if n > 0 {
+						fmt.Printf("  %-12s %8d\n", trace.DropReason(i), n)
+					}
+				}
+			}
+		}
 	}
 
 	if *chromeFile != "" {
@@ -177,7 +223,11 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := trace.WriteChromeTrace(f, rec.Events); err != nil {
+		var recs []trace.SpanRecord
+		if sp != nil {
+			recs = sp.RecordsSnapshot()
+		}
+		if err := trace.WriteChromeTraceSpans(f, rec.Events, recs); err != nil {
 			fmt.Fprintln(os.Stderr, "pfstat:", err)
 			os.Exit(1)
 		}

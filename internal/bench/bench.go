@@ -236,6 +236,7 @@ func Experiments() []Experiment {
 		{"exp-shm", ExpShm},
 		{"exp-coalesce", ExpCoalesce},
 		{"exp-scale", ExpScale},
+		{"exp-provenance", ExpProvenance},
 	}
 }
 

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/faults"
+	"repro/internal/parsim"
+	"repro/internal/pup"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// The provenance experiment: with span tracking at sampling 1, every
+// frame of a checksummed BSP transfer is followed from its origin
+// write through wire, NIC, demultiplexer, filter evaluation and port
+// queue to the user read that retires it.  The table reports the mean
+// residence in each stage, the p99 of the whole path, and the typed
+// drop taxonomy — the same numbers the flight recorder dumps when the
+// SLO watchdog trips, here regenerated per fault rate.
+
+// provCell is one fault-rate universe's provenance summary.
+type provCell struct {
+	created, delivered uint64
+	stages             [len(provStages)]time.Duration
+	p99                time.Duration
+	taxonomy           string
+	ok                 bool
+}
+
+// provStages names the per-stage histograms in path order.
+var provStages = [...]string{
+	"span.stage.wire",
+	"span.stage.nic",
+	"span.stage.filter",
+	"span.stage.pf",
+	"span.stage.queue",
+}
+
+// usec formats a duration in microseconds.
+func usec(d time.Duration) string {
+	return fmt.Sprintf("%.1f uSec", float64(d)/float64(time.Microsecond))
+}
+
+// taxonomyString renders the non-zero drop counts, reason=count,
+// in enum order.
+func taxonomyString(sp *trace.Spans) string {
+	var parts []string
+	for i := 0; i < int(trace.NumDropReasons); i++ {
+		if n := sp.Drops[i]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", trace.DropReason(i), n))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}
+
+// provenanceRun drives one checksummed BSP transfer over a faulted
+// wire with full span tracking and summarizes the provenance stream.
+func provenanceRun(rate float64) provCell {
+	r := newRig(rigOptions{link: ethersim.Ether10Mb})
+	tr := trace.New()
+	sp := tr.EnableSpans(trace.SpanConfig{Ring: 1 << 14})
+	r.s.SetTracer(tr)
+	eng := faults.New(r.s, chaosSeed, faults.Plan{Name: "prov", Wire: faults.Uniform(rate)})
+	eng.AttachWire(r.net)
+
+	data := bytes.Repeat([]byte{0x42}, chaosBytes)
+	dst := pup.PortAddr{Net: 1, Host: 2, Socket: 0x500}
+	var c provCell
+
+	r.s.Spawn(r.hB, "bsp-recv", func(p *sim.Proc) {
+		sock, err := pup.Open(p, r.devB, dst, 10)
+		if err != nil {
+			return
+		}
+		sock.Checksummed = true
+		rcv := pup.NewBSPReceiver(sock, pup.DefaultBSPConfig())
+		var got bytes.Buffer
+		for {
+			seg, err := rcv.Receive(p, 5*time.Second)
+			if err != nil {
+				break
+			}
+			got.Write(seg)
+		}
+		c.ok = bytes.Equal(got.Bytes(), data)
+	})
+	r.s.Spawn(r.hA, "bsp-send", func(p *sim.Proc) {
+		sock, err := pup.Open(p, r.devA, pup.PortAddr{Net: 1, Host: 1, Socket: 0x501}, 10)
+		if err != nil {
+			return
+		}
+		sock.Checksummed = true
+		snd := pup.NewBSPSender(sock, dst, pup.DefaultBSPConfig())
+		if snd.Send(p, data) != nil {
+			return
+		}
+		snd.Close(p)
+	})
+	r.s.Run(120 * time.Second)
+
+	c.created, c.delivered = sp.Created, sp.DeliveredUser
+	// Stage residence and end-to-end latency accrue on the host whose
+	// read retires the span; the sender's ACKs land on A, the data on B.
+	for i, name := range provStages {
+		hb, ha := tr.Histogram("B", name), tr.Histogram("A", name)
+		n := hb.Count() + ha.Count()
+		if n > 0 {
+			c.stages[i] = (hb.Mean()*time.Duration(hb.Count()) +
+				ha.Mean()*time.Duration(ha.Count())) / time.Duration(n)
+		}
+	}
+	c.p99 = sp.Total().Quantile(0.99)
+	c.taxonomy = taxonomyString(sp)
+	return c
+}
+
+// ExpProvenance regenerates the per-stage latency breakdown and drop
+// taxonomy of a BSP transfer as the wire degrades.
+func ExpProvenance() Table {
+	t := Table{
+		ID:    "exp-provenance",
+		Title: "Per-packet provenance: stage residence (mean) and drop taxonomy vs fault rate",
+		Columns: []string{"Fault rate", "spans", "delivered",
+			"wire", "nic", "filter", "pf", "queue", "total p99", "drops"},
+		Notes: []string{
+			"sampling 1-in-1: every frame of the transfer carries a span; stage boundaries are virtual times",
+			"wire = origin->NIC accept, nic = NIC->demux, filter = demux->filter retire, pf = filter->enqueue, queue = enqueue->read",
+			fmt.Sprintf("%d KB checksummed BSP transfer, faults split across drop/corrupt/dup/delay (seed %d)",
+				chaosBytes/1024, chaosSeed),
+			"every created span terminates as a delivery or a typed drop; the taxonomy column is the complete death census",
+		},
+	}
+	rates := []float64{0, 0.10, 0.20, 0.30}
+	cells := parsim.Map(len(rates), sweepWorkers(), func(i int) provCell {
+		return provenanceRun(rates[i])
+	})
+	for i, rate := range rates {
+		c := cells[i]
+		row := []string{
+			fmt.Sprintf("%.0f%%", rate*100),
+			fmt.Sprintf("%d", c.created),
+			fmt.Sprintf("%d", c.delivered),
+		}
+		for _, d := range c.stages {
+			row = append(row, usec(d))
+		}
+		row = append(row, usec(c.p99), c.taxonomy)
+		if !c.ok {
+			row[2] = "FAILED"
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

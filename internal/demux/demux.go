@@ -18,6 +18,7 @@ import (
 	"repro/internal/pfdev"
 	"repro/internal/shm"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Predicate decides in user space whether a client wants a packet.
@@ -194,11 +195,12 @@ func (d *Demux) Run(p *sim.Proc, f filter.Filter, idle time.Duration) error {
 				return nil
 			}
 		}
-		d.forward(p, pkt.Data)
+		d.forward(p, pkt)
 	}
 }
 
-func (d *Demux) forward(p *sim.Proc, frame []byte) {
+func (d *Demux) forward(p *sim.Proc, pkt pfdev.Packet) {
+	frame := pkt.Data
 	for _, c := range d.clients {
 		if d.cfg.DecisionCPU > 0 {
 			p.Consume(d.cfg.DecisionCPU)
@@ -218,6 +220,10 @@ func (d *Demux) forward(p *sim.Proc, frame []byte) {
 		return
 	}
 	d.Unclaimed++
+	// No predicate wanted the packet: a user-level death, recorded as
+	// a born-dead child span so the taxonomy explains where it went.
+	h := d.dev.Host()
+	h.Sim().Tracer().SpanUserDrop(pkt.Span(), h.Sim().Now(), h.Name(), trace.DropUnclaimed)
 }
 
 // forwardShared deposits the frame into the client's next arena slot

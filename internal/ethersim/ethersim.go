@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // LinkType selects the simulated data link.
@@ -236,6 +237,7 @@ func (n *Network) SetInjector(i Injector) { n.injector = i }
 type txJob struct {
 	frame []byte
 	from  *NIC
+	span  uint64 // provenance span stamped at transmit origin
 }
 
 // New creates a network segment of the given link type.
@@ -293,6 +295,47 @@ type NIC struct {
 	polling       bool
 	inflight      int // bursts handed to RunKernel, not yet completed
 	flushTimer    *sim.Timer
+
+	// Provenance plumbing.  burstSpans mirrors burst; rxPend is the
+	// FIFO of spans handed to RunKernel receive closures and not yet
+	// consumed, so a crash (which clears the host's interrupt queue)
+	// can terminate exactly the spans buried in the lost closures.
+	// curSpan/curBurstSpans are the side channel through which the
+	// receive handler learns its frames' spans without widening the
+	// Handler signatures.
+	burstSpans    []uint64
+	rxPend        []uint64
+	rxHead        int
+	curSpan       uint64
+	curBurstSpans []uint64
+}
+
+// RxSpan returns the provenance span of the frame currently being
+// handed to Handler (0 when untracked).  Valid only inside a Handler
+// call.
+func (nic *NIC) RxSpan() uint64 { return nic.curSpan }
+
+// RxBurstSpans returns the spans of the burst currently being handed
+// to BurstHandler, indexed like its frames.  Valid only inside a
+// BurstHandler call.
+func (nic *NIC) RxBurstSpans() []uint64 { return nic.curBurstSpans }
+
+func (nic *NIC) pushRx(span uint64) { nic.rxPend = append(nic.rxPend, span) }
+
+// popRx consumes the oldest pending receive span; receive closures
+// retire in FIFO order, so the head is always the caller's own.
+func (nic *NIC) popRx() uint64 {
+	if nic.rxHead >= len(nic.rxPend) {
+		return 0
+	}
+	s := nic.rxPend[nic.rxHead]
+	nic.rxPend[nic.rxHead] = 0
+	nic.rxHead++
+	if nic.rxHead == len(nic.rxPend) {
+		nic.rxPend = nic.rxPend[:0]
+		nic.rxHead = 0
+	}
+	return s
 }
 
 // DefaultQueueLimit is the input-queue bound used when a NIC does not
@@ -308,6 +351,19 @@ func (n *Network) Attach(h *sim.Host, addr Addr) *NIC {
 	// count must reset with it — and so must any coalescing burst
 	// buffered in the interface and its moderation timer.
 	h.OnCrash(func() {
+		// Spans riding the lost interrupt-queue closures or buffered in
+		// the coalescing burst die with the kernel.
+		tr := h.Sim().Tracer()
+		now := h.Sim().Now()
+		for i := nic.rxHead; i < len(nic.rxPend); i++ {
+			tr.SpanDrop(nic.rxPend[i], now, h.Name(), trace.DropCrash)
+		}
+		nic.rxPend = nic.rxPend[:0]
+		nic.rxHead = 0
+		for _, s := range nic.burstSpans {
+			tr.SpanDrop(s, now, h.Name(), trace.DropCrash)
+		}
+		nic.burstSpans = nil
 		nic.pending = 0
 		nic.burst = nil
 		nic.polling = false
@@ -351,14 +407,17 @@ func (nic *NIC) Transmit(frame []byte) error {
 	if len(frame) < nic.net.link.HeaderLen() {
 		return ErrTruncated
 	}
+	tr := nic.net.s.Tracer()
+	span := tr.SpanOrigin(nic.net.s.Now(), nic.host.Name())
 	if nic.host.Down() {
 		// A dead machine transmits nothing; in-flight kernel work
 		// racing a crash loses its frame silently.
+		tr.SpanDrop(span, nic.net.s.Now(), nic.host.Name(), trace.DropNICDown)
 		return nil
 	}
 	nic.host.Counters.PacketsOut++
 	nic.host.Sim().Counters.PacketsOut++
-	nic.net.send(&txJob{frame: append([]byte(nil), frame...), from: nic})
+	nic.net.send(&txJob{frame: append([]byte(nil), frame...), from: nic, span: span})
 	return nil
 }
 
@@ -400,6 +459,7 @@ func (n *Network) pumpWire() {
 	if tr != nil {
 		tr.WireTx(n.s.Now(), src, len(job.frame), txTime)
 	}
+	tr.SpanMark(job.span, trace.StageWire, n.s.Now())
 	if v.Drop {
 		n.Dropped++
 		if tr != nil {
@@ -408,41 +468,58 @@ func (n *Network) pumpWire() {
 				tr.Fault(n.s.Now(), src, "drop", idx)
 			}
 		}
+		tr.SpanDrop(job.span, n.s.Now(), src, trace.DropWireFault)
 	}
 	if !v.Drop && v.FlipBit >= 0 && v.FlipBit < len(job.frame)*8 {
 		job.frame[v.FlipBit/8] ^= 0x80 >> (v.FlipBit % 8)
 		if tr != nil {
 			tr.Fault(n.s.Now(), src, "corrupt", idx)
 		}
+		tr.SpanFlag(job.span, trace.FlagCorrupt)
 	}
-	if !v.Drop && v.Dup && tr != nil {
-		tr.Fault(n.s.Now(), src, "dup", idx)
+	var dupSpan uint64
+	if !v.Drop && v.Dup {
+		if tr != nil {
+			tr.Fault(n.s.Now(), src, "dup", idx)
+		}
+		dupSpan = tr.SpanFork(job.span, n.s.Now(), src)
+		tr.SpanFlag(dupSpan, trace.FlagDup)
 	}
-	if !v.Drop && v.Delay > 0 && tr != nil {
-		tr.Fault(n.s.Now(), src, "delay", idx)
+	if !v.Drop && v.Delay > 0 {
+		if tr != nil {
+			tr.Fault(n.s.Now(), src, "delay", idx)
+		}
+		tr.SpanFlag(job.span, trace.FlagDelayed)
 	}
 	n.s.After(txTime, func() {
 		n.wireBusy = false
 		if !v.Drop {
 			if v.Delay > 0 {
-				n.s.After(v.Delay, func() { n.deliver(job) })
+				n.s.After(v.Delay, func() { n.deliver(job, job.span) })
 			} else {
-				n.deliver(job)
+				n.deliver(job, job.span)
 			}
 			if v.Dup {
-				n.s.After(v.Delay+v.DupDelay, func() { n.deliver(job) })
+				n.s.After(v.Delay+v.DupDelay, func() { n.deliver(job, dupSpan) })
 			}
 		}
 		n.pumpWire()
 	})
 }
 
-func (n *Network) deliver(job *txJob) {
+// deliver hands the frame to every accepting interface.  The first
+// recipient inherits the frame's span; extra broadcast/promiscuous
+// recipients get forked child spans, and a frame nobody accepts
+// terminates as DropNoReceiver.
+func (n *Network) deliver(job *txJob, span uint64) {
+	tr := n.s.Tracer()
 	dst, _, _, _, err := n.link.Decode(job.frame)
 	if err != nil {
+		tr.SpanDrop(span, n.s.Now(), job.from.host.Name(), trace.DropNoReceiver)
 		return
 	}
 	bcast := n.link.BroadcastAddr()
+	delivered := false
 	for _, nic := range n.nics {
 		if nic == job.from {
 			continue
@@ -450,11 +527,19 @@ func (n *Network) deliver(job *txJob) {
 		if !nic.Promiscuous && dst != nic.addr && dst != bcast {
 			continue
 		}
-		nic.receive(job.frame)
+		s := span
+		if delivered {
+			s = tr.SpanFork(span, n.s.Now(), nic.host.Name())
+		}
+		delivered = true
+		nic.receive(job.frame, s)
+	}
+	if !delivered {
+		tr.SpanDrop(span, n.s.Now(), job.from.host.Name(), trace.DropNoReceiver)
 	}
 }
 
-func (nic *NIC) receive(frame []byte) {
+func (nic *NIC) receive(frame []byte, span uint64) {
 	if nic.host.Down() {
 		// Frames addressed to a crashed host fall on the floor,
 		// counted like any interface loss.
@@ -464,6 +549,7 @@ func (nic *NIC) receive(frame []byte) {
 		if tr := nic.host.Sim().Tracer(); tr != nil {
 			tr.Drop(nic.host.Sim().Now(), nic.host.Name(), "nic")
 		}
+		nic.host.Sim().Tracer().SpanDrop(span, nic.host.Sim().Now(), nic.host.Name(), trace.DropNICDown)
 		return
 	}
 	limit := nic.QueueLimit
@@ -477,6 +563,7 @@ func (nic *NIC) receive(frame []byte) {
 		if tr := nic.host.Sim().Tracer(); tr != nil {
 			tr.Drop(nic.host.Sim().Now(), nic.host.Name(), "nic")
 		}
+		nic.host.Sim().Tracer().SpanDrop(span, nic.host.Sim().Now(), nic.host.Name(), trace.DropNICQueue)
 		return
 	}
 	nic.pending++
@@ -484,17 +571,25 @@ func (nic *NIC) receive(frame []byte) {
 	h := nic.host
 	h.Counters.PacketsIn++
 	h.Sim().Counters.PacketsIn++
-	if tr := h.Sim().Tracer(); tr != nil {
+	tr := h.Sim().Tracer()
+	if tr != nil {
 		tr.WireRx(h.Sim().Now(), h.Name(), len(frame))
 	}
+	tr.SpanMark(span, trace.StageNIC, h.Sim().Now())
 	if nic.coalesceMax > 1 {
-		nic.coalesce(own)
+		nic.coalesce(own, span)
 		return
 	}
+	nic.pushRx(span)
 	h.RunKernel("driver", h.Costs().DriverRecv, func() {
 		nic.pending--
+		sp := nic.popRx()
 		if nic.Handler != nil {
+			nic.curSpan = sp
 			nic.Handler(own)
+			nic.curSpan = 0
+		} else {
+			h.Sim().Tracer().SpanDrop(sp, h.Sim().Now(), h.Name(), trace.DropUnclaimed)
 		}
 	})
 }
@@ -503,8 +598,10 @@ func (nic *NIC) receive(frame []byte) {
 // The first frame after an idle period flushes immediately (the
 // "interrupt"); while a poll is in progress or the moderation timer is
 // armed, frames accumulate until the budget fills or the timer fires.
-func (nic *NIC) coalesce(frame []byte) {
+func (nic *NIC) coalesce(frame []byte, span uint64) {
 	nic.burst = append(nic.burst, frame)
+	nic.burstSpans = append(nic.burstSpans, span)
+	nic.host.Sim().Tracer().SpanMark(span, trace.StageBurst, nic.host.Sim().Now())
 	if !nic.polling {
 		nic.polling = true
 		nic.flush()
@@ -530,6 +627,11 @@ func (nic *NIC) flush() {
 	}
 	frames := nic.burst[:n:n]
 	nic.burst = nic.burst[n:]
+	spans := nic.burstSpans[:n:n]
+	nic.burstSpans = nic.burstSpans[n:]
+	for _, s := range spans {
+		nic.pushRx(s)
+	}
 
 	h := nic.host
 	h.Counters.Bursts++
@@ -545,11 +647,26 @@ func (nic *NIC) flush() {
 	h.RunKernel("driver", cost, func() {
 		nic.pending -= n
 		nic.inflight--
-		if nic.BurstHandler != nil {
+		for range spans {
+			nic.popRx()
+		}
+		switch {
+		case nic.BurstHandler != nil:
+			nic.curBurstSpans = spans
+			nic.curSpan = spans[0]
 			nic.BurstHandler(frames)
-		} else if nic.Handler != nil {
-			for _, f := range frames {
+			nic.curBurstSpans = nil
+			nic.curSpan = 0
+		case nic.Handler != nil:
+			for i, f := range frames {
+				nic.curSpan = spans[i]
 				nic.Handler(f)
+			}
+			nic.curSpan = 0
+		default:
+			tr := h.Sim().Tracer()
+			for _, s := range spans {
+				tr.SpanDrop(s, h.Sim().Now(), h.Name(), trace.DropUnclaimed)
 			}
 		}
 		nic.pollDone()

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ethersim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Stack is one host's kernel-resident protocol stack.  It satisfies
@@ -74,26 +75,37 @@ func (st *Stack) Claim(frame []byte) bool {
 	}
 	switch etherType {
 	case ethersim.EtherTypeIP:
-		st.inputIP(payload)
+		st.inputIP(payload, st.host.Sim().Tracer().SpanClaimTake())
 		return true
 	case ethersim.EtherTypeARP:
-		st.inputARP(payload)
+		st.inputARP(payload, st.host.Sim().Tracer().SpanClaimTake())
 		return true
 	}
 	return false
 }
 
-// inputIP processes a received IP packet in kernel context.
-func (st *Stack) inputIP(payload []byte) {
+// inputIP processes a received IP packet in kernel context.  The span
+// (if any) terminates here: either as a typed drop or as a kernel
+// delivery — protocol handlers above never re-terminate it.
+func (st *Stack) inputIP(payload []byte, span uint64) {
 	costs := st.host.Costs()
+	tr := st.host.Sim().Tracer()
+	now := st.host.Sim().Now()
 	h, seg, err := UnmarshalIP(payload)
 	if err != nil || h.Dst != st.addr {
+		tr.SpanDrop(span, now, st.host.Name(), trace.DropInet)
 		st.host.RunKernel("ip", costs.IPInput, nil)
 		return
 	}
+	if h.TTL == 0 {
+		tr.SpanDrop(span, now, st.host.Name(), trace.DropTTL)
+		st.host.RunKernel("ip", costs.IPInput, nil)
+		return
+	}
+	tr.SpanKernelDelivered(span, now, st.host.Name(), "ip")
 	st.IPIn++
-	if tr := st.host.Sim().Tracer(); tr != nil {
-		tr.Proto(st.host.Sim().Now(), st.host.Name(), "ip_in")
+	if tr != nil {
+		tr.Proto(now, st.host.Name(), "ip_in")
 	}
 	switch h.Proto {
 	case ProtoUDP:
@@ -222,17 +234,20 @@ func (st *Stack) sendARP(op uint16, target Addr, targetHW ethersim.Addr) {
 	})
 }
 
-func (st *Stack) inputARP(payload []byte) {
+func (st *Stack) inputARP(payload []byte, span uint64) {
 	st.ARPIn++
-	if tr := st.host.Sim().Tracer(); tr != nil {
+	tr := st.host.Sim().Tracer()
+	if tr != nil {
 		tr.Proto(st.host.Sim().Now(), st.host.Name(), "arp_in")
 	}
 	link := st.nic.Network().Link()
 	costs := st.host.Costs()
 	op, senderHW, senderIP, _, targetIP, ok := unmarshalARP(payload, link)
 	if !ok {
+		tr.SpanDrop(span, st.host.Sim().Now(), st.host.Name(), trace.DropInet)
 		return
 	}
+	tr.SpanKernelDelivered(span, st.host.Sim().Now(), st.host.Name(), "arp")
 	st.host.RunKernel("arp", costs.IPInput/3, func() {
 		// Opportunistically learn the sender.
 		st.arp[senderIP] = senderHW

@@ -37,6 +37,8 @@ type chaosResult struct {
 	end                   time.Duration
 	events                []trace.Event
 	snap                  []byte
+	spans                 *trace.Spans
+	spanSig               string
 }
 
 // runChaosCell runs the three checksummed protocols concurrently over
@@ -47,6 +49,10 @@ func runChaosCell(t *testing.T, seed uint64, rate float64) chaosResult {
 	tr := trace.New()
 	rec := &trace.Recorder{}
 	tr.SetSink(rec)
+	// Sampling 1 with a ring sized above any cell's frame count, so the
+	// taxonomy reconciles against the faults ledger exactly and no live
+	// span is ever evicted.
+	sp := tr.EnableSpans(trace.SpanConfig{Ring: 1 << 14})
 	s.SetTracer(tr)
 
 	net := ethersim.New(s, ethersim.Ether10Mb)
@@ -164,6 +170,8 @@ func runChaosCell(t *testing.T, seed uint64, rate float64) chaosResult {
 		res.bspDuplicates = bspRcv.Duplicates
 	}
 	res.events = rec.Events
+	res.spans = sp
+	res.spanSig = spanSignature(sp)
 	raw, err := tr.Snapshot().JSON()
 	if err != nil {
 		// Error, not Fatal: cells may run on parsim worker goroutines,
@@ -245,6 +253,9 @@ func TestChaosSoak(t *testing.T) {
 			}
 			if !bytes.Equal(a.snap, b.snap) {
 				t.Fatal("metric snapshots differ between identical runs")
+			}
+			if a.spanSig != b.spanSig {
+				t.Fatal("span streams differ between identical runs")
 			}
 		})
 	}

@@ -1,0 +1,206 @@
+package integration
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/faults"
+	"repro/internal/filter"
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Per-packet provenance under chaos: every frame the wire carries is
+// stamped with a span at its origin and must terminate in exactly one
+// of {user delivery, kernel delivery, typed drop} — and the drop
+// taxonomy must reconcile, count for count, against the fault engine's
+// own ledger.  These are the end-to-end invariants behind the flight
+// recorder: if they hold, any packet's fate is explainable after the
+// fact from the records alone.
+
+// spanSignature digests everything observable about a span tracker —
+// aggregates, taxonomy and every flight-recorder record with its stage
+// marks — into one hash, for bit-identity comparisons across reruns
+// and worker counts.
+func spanSignature(sp *trace.Spans) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "agg %d %d %d %v %d %d %d %d %d\n",
+		sp.Created, sp.DeliveredUser, sp.DeliveredKernel, sp.Drops,
+		sp.FlaggedCorrupt, sp.FlaggedDup, sp.FlaggedDelayed, sp.Wrapped, sp.DoubleTerm)
+	for _, r := range sp.RecordsSnapshot() {
+		fmt.Fprintf(h, "span %d %d %s %s %s %d %d %d %d\n",
+			r.ID, r.Parent, r.Origin, r.Final, r.Class, r.Port, r.Term, r.Flags, r.End)
+		for i := 0; i < int(r.NMarks); i++ {
+			fmt.Fprintf(h, " m %d %d\n", r.Marks[i].Stage, r.Marks[i].When)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestChaosSpanTaxonomy reconciles the span taxonomy against the fault
+// ledger on a 30%-fault soak cell: every wire-level drop is a typed
+// wire_fault span death, every corrupted/duplicated/delayed frame is
+// flagged, no span terminates twice, and the flight-recorder records
+// agree with the aggregate counters record for record.
+func TestChaosSpanTaxonomy(t *testing.T) {
+	res := runChaosCell(t, 7, 0.30)
+	sp := res.spans
+	trace.DumpOnFailure(t, sp)
+
+	if sp.Created == 0 {
+		t.Fatal("no spans created: origin stamping is dead")
+	}
+	if res.ledger.Total() == 0 {
+		t.Fatal("no faults injected at 30%: nothing to reconcile")
+	}
+	if sp.Drops[trace.DropWireFault] != res.ledger.Drops {
+		t.Errorf("wire_fault drops = %d, ledger drops = %d",
+			sp.Drops[trace.DropWireFault], res.ledger.Drops)
+	}
+	if sp.FlaggedCorrupt != res.ledger.Corrupts {
+		t.Errorf("corrupt-flagged spans = %d, ledger corrupts = %d",
+			sp.FlaggedCorrupt, res.ledger.Corrupts)
+	}
+	if sp.FlaggedDup != res.ledger.Dups {
+		t.Errorf("dup-flagged spans = %d, ledger dups = %d",
+			sp.FlaggedDup, res.ledger.Dups)
+	}
+	if sp.FlaggedDelayed != res.ledger.Delays {
+		t.Errorf("delay-flagged spans = %d, ledger delays = %d",
+			sp.FlaggedDelayed, res.ledger.Delays)
+	}
+	if sp.DoubleTerm != 0 {
+		t.Errorf("%d spans terminated twice", sp.DoubleTerm)
+	}
+	if sp.Wrapped != 0 {
+		t.Errorf("%d live records evicted: ring undersized for the soak", sp.Wrapped)
+	}
+
+	// The flight recorder is sized above the cell's packet count, so
+	// its records must retell the aggregates exactly — and any span
+	// still live at the end of time must be parked in an open port
+	// queue (a Queue mark with no Read), never silently lost mid-path.
+	var user, kern, drops, live uint64
+	for _, r := range sp.RecordsSnapshot() {
+		switch {
+		case r.Term == trace.TermLive:
+			live++
+			if _, ok := r.MarkAt(trace.StageQueue); !ok {
+				t.Errorf("live span %d never reached a port queue: %+v", r.ID, r)
+			}
+		case r.Term == trace.TermUser:
+			user++
+		case r.Term == trace.TermKernel:
+			kern++
+		default:
+			drops++
+		}
+	}
+	if user != sp.DeliveredUser || kern != sp.DeliveredKernel ||
+		drops != sp.TotalDrops() || live != sp.Live() {
+		t.Errorf("records disagree with aggregates: user %d/%d kernel %d/%d drops %d/%d live %d/%d",
+			user, sp.DeliveredUser, kern, sp.DeliveredKernel,
+			drops, sp.TotalDrops(), live, sp.Live())
+	}
+}
+
+// soakFrame builds a Pup frame to the given socket with seeded filler.
+func soakFrame(rng *rand.Rand, seq, socket int) []byte {
+	size := 22 + rng.Intn(160)
+	payload := make([]byte, size)
+	payload[3] = byte(seq)
+	payload[13] = byte(socket)
+	for i := 22; i < size; i++ {
+		payload[i] = byte(rng.Intn(256))
+	}
+	return ethersim.Ether3Mb.Encode(2, 1, ethersim.EtherTypePup3Mb, payload)
+}
+
+// TestSpanConservation drives a faulted wire with mixed matching and
+// non-matching traffic, drains and closes every port, and requires the
+// books to balance exactly: no span still live, none evicted, and
+// created == delivered + Σ(typed drops).
+func TestSpanConservation(t *testing.T) {
+	s := sim.New(vtime.DefaultCosts())
+	tr := trace.New()
+	sp := tr.EnableSpans(trace.SpanConfig{Ring: 1 << 13})
+	s.SetTracer(tr)
+	trace.DumpOnFailure(t, sp)
+
+	net := ethersim.New(s, ethersim.Ether3Mb)
+	ha, hb := s.NewHost("a"), s.NewHost("b")
+	na, nb := net.Attach(ha, 1), net.Attach(hb, 2)
+	da := pfdev.Attach(na, nil, pfdev.Options{})
+	db := pfdev.Attach(nb, nil, pfdev.Options{})
+	eng := faults.New(s, 3, faults.Plan{Name: "conserve", Wire: faults.Uniform(0.20)})
+	eng.AttachWire(net)
+
+	const frames = 160
+	s.Spawn(hb, "recv", func(p *sim.Proc) {
+		port := db.Open(p)
+		port.SetFilter(p, filter.DstSocketFilter(10, 35))
+		port.SetQueueLimit(p, frames)
+		port.SetTimeout(p, 10*time.Millisecond)
+		idle := 0
+		for idle < 2 {
+			if _, err := port.Read(p); err != nil {
+				idle++
+			} else {
+				idle = 0
+			}
+		}
+		port.Close(p)
+	})
+	s.Spawn(ha, "send", func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(3))
+		port := da.Open(p)
+		p.Sleep(2 * time.Millisecond)
+		for i := 0; i < frames; i++ {
+			socket := 35
+			if i%5 == 4 {
+				socket = 99 // nobody filters for this one
+			}
+			if err := port.Write(p, soakFrame(rng, i, socket)); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sleep(time.Duration(100+rng.Intn(900)) * time.Microsecond)
+		}
+		port.Close(p)
+	})
+	s.Run(0)
+
+	if sp.Created == 0 {
+		t.Fatal("no spans created")
+	}
+	if sp.Live() != 0 {
+		t.Errorf("%d spans still live after every port closed", sp.Live())
+	}
+	if sp.Wrapped != 0 {
+		t.Errorf("%d live records evicted", sp.Wrapped)
+	}
+	if sp.DoubleTerm != 0 {
+		t.Errorf("%d spans terminated twice", sp.DoubleTerm)
+	}
+	if sp.Created != sp.DeliveredUser+sp.DeliveredKernel+sp.TotalDrops() {
+		t.Errorf("conservation broken: created=%d user=%d kernel=%d drops=%d",
+			sp.Created, sp.DeliveredUser, sp.DeliveredKernel, sp.TotalDrops())
+	}
+	if sp.Drops[trace.DropWireFault] != eng.Ledger.Drops {
+		t.Errorf("wire_fault drops = %d, ledger drops = %d",
+			sp.Drops[trace.DropWireFault], eng.Ledger.Drops)
+	}
+	if sp.Drops[trace.DropNoMatch] == 0 {
+		t.Error("non-matching traffic produced no nomatch drops")
+	}
+	if sp.DeliveredUser == 0 {
+		t.Error("no user deliveries")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ethersim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -75,6 +76,63 @@ func TestReceivePathAllocationFree(t *testing.T) {
 		}
 	}); a != 0 {
 		t.Errorf("dropped receive path allocates %.1f/packet, want 0", a)
+	}
+}
+
+// TestReceivePathAllocationFreeWithSpans re-pins the same path with a
+// metrics tracer attached and span tracking at sampling 1: origin
+// stamp, every stage mark, the port enqueue, user-delivery termination
+// with its histogram observations, and the typed-drop path must all
+// stay at zero heap allocations per packet.  The flight recorder is a
+// preallocated ring and every taxonomy counter name is interned, so
+// always-on provenance costs no garbage.
+func TestReceivePathAllocationFreeWithSpans(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc pins only run without -race")
+	}
+	s, d, port := allocWorld(t)
+	tr := trace.New()
+	sp := tr.EnableSpans(trace.SpanConfig{Ring: 256})
+	s.SetTracer(tr)
+	match := pupTo(1, 2, 1, 35)
+	miss := pupTo(1, 2, 1, 99)
+
+	deliverMatch := func() {
+		span := tr.SpanOrigin(s.Now(), "a")
+		d.inputSpanned(match, span)
+		s.Run(0)
+		if port.qlen() != 1 {
+			t.Fatalf("frame not delivered (qlen %d)", port.qlen())
+		}
+		tr.SpanDelivered(port.queued()[0].Span(), s.Now(), "a", port.id)
+		port.popFront(1)
+	}
+	deliverMiss := func() {
+		span := tr.SpanOrigin(s.Now(), "a")
+		d.inputSpanned(miss, span)
+		s.Run(0)
+		if port.qlen() != 0 {
+			t.Fatalf("non-matching frame delivered")
+		}
+	}
+	// Warm pools, metric map entries and the span ring.
+	for i := 0; i < 64; i++ {
+		deliverMatch()
+		deliverMiss()
+	}
+
+	if a := testing.AllocsPerRun(200, deliverMatch); a != 0 {
+		t.Errorf("span-tracked delivery allocates %.1f/packet, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, deliverMiss); a != 0 {
+		t.Errorf("span-tracked drop path allocates %.1f/packet, want 0", a)
+	}
+	if sp.Live() != 0 {
+		t.Fatalf("Live = %d: every packet must have terminated", sp.Live())
+	}
+	if sp.Created != sp.DeliveredUser+sp.TotalDrops() {
+		t.Fatalf("conservation broken: created=%d user=%d drops=%d",
+			sp.Created, sp.DeliveredUser, sp.TotalDrops())
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/ethersim"
 	"repro/internal/filter"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // EvalMode selects how the device evaluates filter programs; the modes
@@ -148,14 +149,16 @@ type Device struct {
 	// grants complete in request order), so the per-packet path
 	// allocates no closures and the match scratch slices are reused.
 	// A crash drops the queue along with the host's interrupt work.
-	pend           []delivery
-	pendHead       int
-	burstLens      []int
-	burstHead      int
-	treeScratch    []*Port
-	wakeScratch    []*Port
-	deliverOneFn   func()
-	deliverBurstFn func()
+	pend              []delivery
+	pendHead          int
+	burstLens         []int
+	burstHead         int
+	treeScratch       []*Port
+	wakeScratch       []*Port
+	deliverOneFn      func()
+	deliverBurstFn    func()
+	markFilterFn      func()
+	markBurstFilterFn func()
 
 	// KernelDrops counts packets that matched no filter or
 	// overflowed a port queue.
@@ -171,6 +174,8 @@ func Attach(nic *ethersim.NIC, kern KernelProtocol, opt Options) *Device {
 	d := &Device{host: nic.Host(), nic: nic, opt: opt, kern: kern}
 	d.deliverOneFn = d.deliverOne
 	d.deliverBurstFn = d.deliverBurst
+	d.markFilterFn = d.markFilter
+	d.markBurstFilterFn = d.markBurstFilter
 	nic.Handler = d.input
 	nic.BurstHandler = nil
 	nic.SetCoalesce(opt.CoalesceBudget, opt.CoalesceDelay)
@@ -189,6 +194,8 @@ func Attach(nic *ethersim.NIC, kern KernelProtocol, opt Options) *Device {
 // syscalls to): queues are flushed, blocked readers and selectors wake
 // to find ErrClosed.
 func (d *Device) crash() {
+	tr := d.host.Sim().Tracer()
+	now := d.host.Sim().Now()
 	ports := d.ports
 	d.ports = nil
 	d.table = nil
@@ -196,11 +203,17 @@ func (d *Device) crash() {
 	// Matched-but-undelivered frames die with the kernel: their "pf"
 	// completions were dropped from the host's interrupt queue, so the
 	// pending queue must empty in step with it.
+	for i := d.pendHead; i < len(d.pend); i++ {
+		tr.SpanDrop(d.pend[i].span, now, d.host.Name(), trace.DropCrash)
+	}
 	d.pend = d.pend[:0]
 	d.pendHead = 0
 	d.burstLens = d.burstLens[:0]
 	d.burstHead = 0
 	for _, port := range ports {
+		for _, pkt := range port.queued() {
+			tr.SpanDrop(pkt.span, now, d.host.Name(), trace.DropCrash)
+		}
 		port.closed = true
 		port.queue = nil
 		port.qhead = 0
@@ -259,7 +272,33 @@ func (d *Device) Status(p *sim.Proc) Status {
 // input is the NIC receive handler (event-loop context, driver cost
 // already charged).
 func (d *Device) input(frame []byte) {
-	if d.kern != nil && d.kern.Claim(frame) && !d.opt.SeeAll {
+	d.inputSpanned(frame, d.nic.RxSpan())
+}
+
+// claim offers the frame (and its span) to the kernel protocol chain.
+// Under SeeAll the span is not offered: the packet filter still sees
+// the frame, so the span follows the pf path and the kernel's copy is
+// a non-event for provenance.
+func (d *Device) claim(frame []byte, span uint64) bool {
+	if d.kern == nil {
+		return false
+	}
+	if d.opt.SeeAll {
+		d.kern.Claim(frame)
+		return false
+	}
+	tr := d.host.Sim().Tracer()
+	tr.SpanClaimArm(span)
+	claimed := d.kern.Claim(frame)
+	tr.SpanClaimSettle(d.host.Sim().Now(), d.host.Name(), claimed)
+	return claimed
+}
+
+// inputSpanned is input with the frame's provenance span made
+// explicit (tests drive it directly; the NIC handler path recovers
+// the span from the interface side channel).
+func (d *Device) inputSpanned(frame []byte, span uint64) {
+	if d.claim(frame, span) {
 		return
 	}
 	arrival := d.host.Sim().Now()
@@ -267,6 +306,7 @@ func (d *Device) input(frame []byte) {
 	if tr != nil {
 		tr.PacketIn(arrival, d.host.Name())
 	}
+	tr.SpanMark(span, trace.StageDemux, arrival)
 	d.pktSeen++
 	if d.opt.Reorder && d.pktSeen%uint64(d.opt.ReorderEvery) == 0 {
 		d.reorder()
@@ -279,6 +319,7 @@ func (d *Device) input(frame []byte) {
 	// this time is spent evaluating filter predicates".
 	costs := d.host.Costs()
 	dl := d.pushPending(frame, arrival)
+	dl.span = span
 	var filterCost time.Duration
 
 	if d.opt.Mode == EvalTable {
@@ -294,8 +335,32 @@ func (d *Device) input(frame []byte) {
 		}
 	}
 
-	d.host.RunKernel("filter", filterCost, nil)
+	d.host.RunKernel("filter", filterCost, d.markFilterFn)
 	d.host.RunKernel("pf", cost, d.deliverOneFn)
+}
+
+// markFilter runs when a frame's "filter" CPU charge retires — always
+// immediately before the same frame's "pf" completion (kernel grants
+// complete in request order), so the head of the pending queue is the
+// frame whose evaluation just finished.
+func (d *Device) markFilter() {
+	if d.pendHead < len(d.pend) {
+		d.host.Sim().Tracer().SpanMark(d.pend[d.pendHead].span, trace.StageFilter, d.host.Sim().Now())
+	}
+}
+
+// markBurstFilter is markFilter for a coalesced burst: the burst's
+// frames occupy the front of the pending queue.
+func (d *Device) markBurstFilter() {
+	if d.burstHead >= len(d.burstLens) {
+		return
+	}
+	n := d.burstLens[d.burstHead]
+	tr := d.host.Sim().Tracer()
+	now := d.host.Sim().Now()
+	for i := 0; i < n && d.pendHead+i < len(d.pend); i++ {
+		tr.SpanMark(d.pend[d.pendHead+i].span, trace.StageFilter, now)
+	}
 }
 
 // delivery is one matched frame awaiting its "pf" CPU charge; the
@@ -303,6 +368,7 @@ func (d *Device) input(frame []byte) {
 type delivery struct {
 	frame   []byte
 	arrival time.Duration
+	span    uint64
 	ports   []*Port
 }
 
@@ -316,7 +382,7 @@ func (d *Device) pushPending(frame []byte, arrival time.Duration) *delivery {
 		d.pend = append(d.pend, delivery{})
 	}
 	dl := &d.pend[n]
-	dl.frame, dl.arrival = frame, arrival
+	dl.frame, dl.arrival, dl.span = frame, arrival, 0
 	dl.ports = dl.ports[:0]
 	return dl
 }
@@ -353,17 +419,25 @@ func (d *Device) popBurst() int {
 // and enqueues (or drops) the oldest pending frame.
 func (d *Device) deliverOne() {
 	dl := d.popPending()
+	tr := d.host.Sim().Tracer()
 	if len(dl.ports) == 0 {
 		d.KernelDrops++
 		d.host.Counters.PacketsDropped++
 		d.host.Sim().Counters.PacketsDropped++
-		if tr := d.host.Sim().Tracer(); tr != nil {
+		if tr != nil {
 			tr.Drop(d.host.Sim().Now(), d.host.Name(), "nomatch")
 		}
+		tr.SpanDrop(dl.span, d.host.Sim().Now(), d.host.Name(), trace.DropNoMatch)
 		return
 	}
-	for _, port := range dl.ports {
-		port.enqueue(dl.frame, dl.arrival)
+	for i, port := range dl.ports {
+		s := dl.span
+		if i > 0 {
+			// Copy-all delivery to further ports forks child spans so
+			// each enqueue terminates independently.
+			s = tr.SpanFork(dl.span, d.host.Sim().Now(), d.host.Name())
+		}
+		port.enqueue(dl.frame, dl.arrival, s)
 	}
 }
 
@@ -382,6 +456,7 @@ func (d *Device) inputBurst(frames [][]byte) {
 		d.input(frames[0])
 		return
 	}
+	spans := d.nic.RxBurstSpans()
 	arrival := d.host.Sim().Now()
 	tr := d.host.Sim().Tracer()
 	costs := d.host.Costs()
@@ -390,18 +465,24 @@ func (d *Device) inputBurst(frames [][]byte) {
 	var filterCost, pfCost time.Duration
 	d.burstSeq++
 	d.curBurst = d.burstSeq
-	for _, frame := range frames {
-		if d.kern != nil && d.kern.Claim(frame) && !d.opt.SeeAll {
+	for k, frame := range frames {
+		var span uint64
+		if k < len(spans) {
+			span = spans[k]
+		}
+		if d.claim(frame, span) {
 			continue
 		}
 		if tr != nil {
 			tr.PacketIn(arrival, d.host.Name())
 		}
+		tr.SpanMark(span, trace.StageDemux, arrival)
 		d.pktSeen++
 		if d.opt.Reorder && d.pktSeen%uint64(d.opt.ReorderEvery) == 0 {
 			d.reorder()
 		}
 		dl := d.pushPending(frame, arrival)
+		dl.span = span
 		var fc time.Duration
 		if d.opt.Mode == EvalTable {
 			dl.ports, fc = d.tableMatch(frame, dl.ports)
@@ -426,7 +507,7 @@ func (d *Device) inputBurst(frames [][]byte) {
 		return
 	}
 	d.pushBurst(nDel)
-	d.host.RunKernel("filter", filterCost, nil)
+	d.host.RunKernel("filter", filterCost, d.markBurstFilterFn)
 	d.host.RunKernel("pf", pfCost, d.deliverBurstFn)
 }
 
@@ -437,6 +518,7 @@ func (d *Device) inputBurst(frames [][]byte) {
 func (d *Device) deliverBurst() {
 	n := d.popBurst()
 	now := d.host.Sim().Now()
+	tr := d.host.Sim().Tracer()
 	wake := d.wakeScratch[:0]
 	for k := 0; k < n; k++ {
 		dl := d.popPending()
@@ -444,13 +526,18 @@ func (d *Device) deliverBurst() {
 			d.KernelDrops++
 			d.host.Counters.PacketsDropped++
 			d.host.Sim().Counters.PacketsDropped++
-			if tr := d.host.Sim().Tracer(); tr != nil {
+			if tr != nil {
 				tr.Drop(now, d.host.Name(), "nomatch")
 			}
+			tr.SpanDrop(dl.span, now, d.host.Name(), trace.DropNoMatch)
 			continue
 		}
-		for _, port := range dl.ports {
-			if port.enqueueQuiet(dl.frame, dl.arrival) && !port.wakePending {
+		for i, port := range dl.ports {
+			s := dl.span
+			if i > 0 {
+				s = tr.SpanFork(dl.span, now, d.host.Name())
+			}
+			if port.enqueueQuiet(dl.frame, dl.arrival, s) && !port.wakePending {
 				port.wakePending = true
 				wake = append(wake, port)
 			}

@@ -29,7 +29,15 @@ type Packet struct {
 	// until the packet is copied out (Read/ReadBatch) or, after a
 	// reap, until the process's next drain syscall reclaims it.
 	slot int
+
+	// span is the packet's provenance span (0 when untracked).
+	span uint64
 }
+
+// Span returns the packet's provenance span id (0 when untracked), so
+// user-level protocol code can link its own verdicts — checksum
+// rejects, routing failures — back into the packet's causal tree.
+func (pkt Packet) Span() uint64 { return pkt.span }
 
 // Port is one packet-filter port, opened by a process as a character
 // special device.
@@ -80,6 +88,11 @@ type Port struct {
 	descErrors  uint64 // hostile/malformed ring descriptors rejected
 
 	qGauge *trace.Gauge // cached tracer gauge for queue depth
+
+	// spanDropCtrs caches the per-port drop-taxonomy counters
+	// ("pf.port<id>.span_drop.<reason>") so steady-state drops do not
+	// build counter names.
+	spanDropCtrs [trace.NumDropReasons]*trace.Counter
 
 	privileged bool // may bind filters above PrivilegedPriority
 
@@ -252,18 +265,30 @@ func (port *Port) popFront(n int) {
 
 // enqueue adds a packet to the port queue and wakes readers (kernel
 // context).  arrived is when the frame entered the packet-filter input
-// path.
-func (port *Port) enqueue(frame []byte, arrived time.Duration) {
-	if port.enqueueQuiet(frame, arrived) {
+// path; span is the packet's provenance span.
+func (port *Port) enqueue(frame []byte, arrived time.Duration, span uint64) {
+	if port.enqueueQuiet(frame, arrived, span) {
 		port.wakeReaders()
 	}
+}
+
+// spanDropCounter returns (caching) the per-port taxonomy counter for
+// one drop reason.
+func (port *Port) spanDropCounter(tr *trace.Tracer, reason trace.DropReason) *trace.Counter {
+	c := port.spanDropCtrs[reason]
+	if c == nil {
+		c = tr.Counter(port.dev.host.Name(),
+			fmt.Sprintf("pf.port%d.span_drop.%s", port.id, reason))
+		port.spanDropCtrs[reason] = c
+	}
+	return c
 }
 
 // enqueueQuiet adds a packet to the port queue without waking readers,
 // reporting whether it was queued (false: dropped on overflow).  The
 // coalesced input path enqueues a whole burst and then wakes each
 // port's readers once.
-func (port *Port) enqueueQuiet(frame []byte, arrived time.Duration) bool {
+func (port *Port) enqueueQuiet(frame []byte, arrived time.Duration, span uint64) bool {
 	h := port.dev.host
 	limit := port.queueLimit
 	if c := port.dev.queueCap; c > 0 && c < limit {
@@ -275,11 +300,20 @@ func (port *Port) enqueueQuiet(frame []byte, arrived time.Duration) bool {
 		// reserved while queued *or* lent out to a reaping process;
 		// with none free, overflow drops exactly like a full input
 		// queue rather than overwriting a frame still being read.
+		reason := trace.DropPortQueue
+		if r != nil && len(r.free) == 0 && port.qlen() < limit {
+			reason = trace.DropRingSlots
+		}
 		port.dropped++
 		h.Counters.PacketsDropped++
 		h.Sim().Counters.PacketsDropped++
 		if tr := h.Sim().Tracer(); tr != nil {
 			tr.Drop(h.Sim().Now(), h.Name(), "queue")
+			if span != 0 {
+				port.spanDropCounter(tr, reason).Add(1)
+			}
+			tr.SpanDrop(span, h.Sim().Now(), h.Name(), reason)
+			tr.SpanPort(span, port.id)
 		}
 		return false
 	}
@@ -290,7 +324,7 @@ func (port *Port) enqueueQuiet(frame []byte, arrived time.Duration) bool {
 		// moves no data.
 		frame, slot = r.deposit(frame)
 	}
-	pkt := Packet{Data: frame, Drops: port.dropped, arrived: arrived, slot: slot}
+	pkt := Packet{Data: frame, Drops: port.dropped, arrived: arrived, slot: slot, span: span}
 	if port.stamp {
 		pkt.Stamp = h.Sim().Now()
 	}
@@ -302,6 +336,9 @@ func (port *Port) enqueueQuiet(frame []byte, arrived time.Duration) bool {
 		port.depthGauge(tr).Set(int64(port.qlen()))
 		tr.Enqueue(h.Sim().Now(), h.Name(), port.id, port.qlen())
 	}
+	tr := h.Sim().Tracer()
+	tr.SpanMark(span, trace.StageQueue, h.Sim().Now())
+	tr.SpanPort(span, port.id)
 	return true
 }
 
@@ -372,6 +409,7 @@ func (port *Port) Read(p *sim.Proc) (Packet, error) {
 		port.depthGauge(tr).Set(int64(port.qlen()))
 		tr.Dequeue(now, h.Name(), port.id, port.qlen(), 1)
 		tr.Deliver(now, h.Name(), port.id, now-pkt.arrived)
+		tr.SpanDelivered(pkt.span, now, h.Name(), port.id)
 	}
 	return pkt, nil
 }
@@ -480,6 +518,7 @@ func (port *Port) drainBatch(p *sim.Proc, viaRing bool) ([]Packet, error) {
 		tr.Dequeue(now, h.Name(), port.id, port.qlen(), n)
 		for _, pkt := range batch {
 			tr.Deliver(now, h.Name(), port.id, now-pkt.arrived)
+			tr.SpanDelivered(pkt.span, now, h.Name(), port.id)
 		}
 	}
 	return batch, nil
@@ -597,6 +636,9 @@ func (d *Device) PortStats(p *sim.Proc) []PortStats {
 }
 
 // Matches returns how many packets this port's filter has accepted.
+// Host returns the host this port's device is attached to.
+func (port *Port) Host() *sim.Host { return port.dev.host }
+
 func (port *Port) Matches() uint64 { return port.matches }
 
 // Priority returns the bound filter's priority.
@@ -609,6 +651,12 @@ func (port *Port) Close(p *sim.Proc) {
 	}
 	p.Syscall("pf")
 	port.closed = true
+	// Packets still queued will never be read; their spans die typed.
+	tr := port.dev.host.Sim().Tracer()
+	now := port.dev.host.Sim().Now()
+	for _, pkt := range port.queued() {
+		tr.SpanDrop(pkt.span, now, port.dev.host.Name(), trace.DropPortClose)
+	}
 	port.detachRing()
 	port.readers.WakeAll(port.dev.host)
 	for i, q := range port.dev.ports {

@@ -1,0 +1,195 @@
+package pfdev
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/shm"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// spanRig is the two-host fixture with span tracking at sampling 1.
+func spanRig(t *testing.T, opt Options) (*rig, *trace.Spans) {
+	t.Helper()
+	r := newRig(t, opt)
+	tr := trace.New()
+	sp := tr.EnableSpans(trace.SpanConfig{})
+	r.s.SetTracer(tr)
+	return r, sp
+}
+
+// TestSpanDeliveredEndToEnd: one matching frame crosses the wire and
+// terminates as a user delivery carrying every stage boundary.
+func TestSpanDeliveredEndToEnd(t *testing.T) {
+	r, sp := spanRig(t, Options{})
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		if err := port.SetFilter(p, socketFilter(10, 35)); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := port.Read(p); err != nil {
+			t.Error(err)
+		}
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		p.Sleep(time.Millisecond)
+		if err := port.Write(p, pupTo(2, 1, 1, 35)); err != nil {
+			t.Error(err)
+		}
+	})
+	r.s.Run(0)
+
+	if sp.Created != 1 || sp.DeliveredUser != 1 || sp.Live() != 0 {
+		t.Fatalf("created=%d delivered=%d live=%d", sp.Created, sp.DeliveredUser, sp.Live())
+	}
+	recs := sp.RecordsSnapshot()
+	rec := recs[0]
+	if rec.Origin != "a" || rec.Final != "b" || rec.Term != trace.TermUser {
+		t.Fatalf("record = %+v", rec)
+	}
+	var last time.Duration
+	for _, st := range []trace.Stage{
+		trace.StageOrigin, trace.StageWire, trace.StageNIC,
+		trace.StageDemux, trace.StageFilter, trace.StageQueue, trace.StageRead,
+	} {
+		when, ok := rec.MarkAt(st)
+		if !ok {
+			t.Fatalf("stage %v missing from %+v", st, rec)
+		}
+		if when < last {
+			t.Fatalf("stage %v at %v precedes previous boundary %v", st, when, last)
+		}
+		last = when
+	}
+}
+
+// TestSpanDropNoMatch: a frame no filter wants dies typed, and the
+// taxonomy counter on the receiving host records it.
+func TestSpanDropNoMatch(t *testing.T) {
+	r, sp := spanRig(t, Options{})
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		port.SetFilter(p, socketFilter(10, 35))
+		port.SetTimeout(p, 10*time.Millisecond)
+		port.Read(p) // times out; the frame went to nobody
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		p.Sleep(time.Millisecond)
+		port.Write(p, pupTo(2, 1, 1, 99)) // socket nobody filters for
+	})
+	r.s.Run(0)
+
+	if sp.Drops[trace.DropNoMatch] != 1 {
+		t.Fatalf("drops = %v", sp.Drops)
+	}
+	if got := r.s.Tracer().Counter("b", "span.drop.nomatch").Value(); got != 1 {
+		t.Fatalf("span.drop.nomatch on b = %d", got)
+	}
+	if sp.Live() != 0 {
+		t.Fatalf("Live = %d, want 0", sp.Live())
+	}
+}
+
+// TestSpanDropPortClose: packets still queued when their port closes
+// die as port_close, keeping conservation exact.
+func TestSpanDropPortClose(t *testing.T) {
+	r, sp := spanRig(t, Options{})
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		port.SetFilter(p, socketFilter(10, 35))
+		p.Sleep(20 * time.Millisecond) // let frames queue, never read
+		port.Close(p)
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		p.Sleep(time.Millisecond)
+		for i := 0; i < 3; i++ {
+			port.Write(p, pupTo(2, 1, 1, 35))
+		}
+	})
+	r.s.Run(0)
+
+	if sp.Drops[trace.DropPortClose] != 3 {
+		t.Fatalf("drops = %v", sp.Drops)
+	}
+	if sp.Live() != 0 {
+		t.Fatalf("Live = %d: conservation broken across port close", sp.Live())
+	}
+}
+
+// TestSpanDropCrash: frames caught inside the kernel by a host crash —
+// queued on a port or pending delivery — die as crash drops.
+func TestSpanDropCrash(t *testing.T) {
+	r, sp := spanRig(t, Options{})
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		port.SetFilter(p, socketFilter(10, 35))
+		p.Sleep(time.Hour) // never reads
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		p.Sleep(time.Millisecond)
+		for i := 0; i < 3; i++ {
+			port.Write(p, pupTo(2, 1, 1, 35))
+		}
+	})
+	r.s.At(10*time.Millisecond, func() { r.hb.Crash() })
+	r.s.Run(30 * time.Millisecond)
+
+	if sp.Drops[trace.DropCrash] != 3 {
+		t.Fatalf("drops = %v", sp.Drops)
+	}
+	if sp.Live() != 0 {
+		t.Fatalf("Live = %d after crash", sp.Live())
+	}
+}
+
+// TestSpanDropRingSlots: with a mapped ring whose free list is
+// exhausted, overflow is typed ring_slots — distinct from a plain
+// queue overflow — and the per-port taxonomy counter records it.
+func TestSpanDropRingSlots(t *testing.T) {
+	r, sp := spanRig(t, Options{})
+	const slots = 4
+	var portID int
+	r.s.Spawn(r.hb, "recv", func(p *sim.Proc) {
+		port := r.db.Open(p)
+		portID = port.Stats().ID
+		port.SetFilter(p, socketFilter(10, 35))
+		port.SetQueueLimit(p, 64) // roomy queue: only the ring can saturate
+		reg := shm.NewRegistry(r.hb)
+		seg, err := reg.Map(p, "spans-ring", port.RingLayoutSize(slots))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := port.MapRing(p, seg, slots); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(time.Hour) // never reaps
+	})
+	r.s.Spawn(r.ha, "send", func(p *sim.Proc) {
+		port := r.da.Open(p)
+		p.Sleep(10 * time.Millisecond) // let the receiver finish mapping
+		for i := 0; i < slots+2; i++ {
+			port.Write(p, pupTo(2, 1, 1, 35))
+		}
+	})
+	r.s.Run(50 * time.Millisecond)
+
+	if sp.Drops[trace.DropRingSlots] != 2 {
+		t.Fatalf("drops = %v created=%d user=%d live=%d", sp.Drops, sp.Created, sp.DeliveredUser, sp.Live())
+	}
+	if sp.Drops[trace.DropPortQueue] != 0 {
+		t.Fatalf("ring overflow miscounted as port_queue: %v", sp.Drops)
+	}
+	name := fmt.Sprintf("pf.port%d.span_drop.ring_slots", portID)
+	if got := r.s.Tracer().Counter("b", name).Value(); got != 2 {
+		t.Fatalf("%s = %d, want 2", name, got)
+	}
+}

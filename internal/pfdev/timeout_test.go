@@ -40,7 +40,7 @@ func TestReadTimeoutVsSameTickDelivery(t *testing.T) {
 		s, port := setup()
 		// Scheduled now, before the reader exists: first in line at
 		// the deadline tick.
-		s.At(deadline, func() { port.enqueue(frame, s.Now()) })
+		s.At(deadline, func() { port.enqueue(frame, s.Now(), 0) })
 		var err error
 		var at time.Duration
 		s.Spawn(port.dev.Host(), "read", func(p *sim.Proc) {
@@ -62,7 +62,7 @@ func TestReadTimeoutVsSameTickDelivery(t *testing.T) {
 		// Inserted from a later event, so at the deadline tick it
 		// runs after the timeout that the wait registered at t=0.
 		s.At(deadline/2, func() {
-			s.At(deadline, func() { port.enqueue(frame, s.Now()) })
+			s.At(deadline, func() { port.enqueue(frame, s.Now(), 0) })
 		})
 		var first, second error
 		var firstAt, secondAt time.Duration

@@ -7,6 +7,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/pfdev"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Pup is "an internetwork architecture" (Boggs et al.): Pups route
@@ -123,23 +124,32 @@ func (g *Gateway) Run(p *sim.Proc, idle time.Duration) error {
 		if err != nil {
 			continue
 		}
-		g.forward(p, ports, i, raw.Data)
+		g.forward(p, ports, i, raw)
 	}
 }
 
-// forward routes one frame that arrived on attachment in.
-func (g *Gateway) forward(p *sim.Proc, ports []*pfdev.Port, in int, frame []byte) {
+// forward routes one frame that arrived on attachment in.  Routing
+// failures terminate a born-dead child of the delivered packet's span
+// (DropHops, DropNoRoute); a successful forward links the re-encoded
+// frame's new origin span to the inbound one, so a Pup's provenance
+// chains across gateways.
+func (g *Gateway) forward(p *sim.Proc, ports []*pfdev.Port, in int, raw pfdev.Packet) {
 	inLink := g.ports[in].Dev.NIC().Network().Link()
-	_, _, _, payload, err := inLink.Decode(frame)
+	host := g.ports[in].Dev.Host()
+	tr := host.Sim().Tracer()
+	_, _, _, payload, err := inLink.Decode(raw.Data)
 	if err != nil {
+		tr.SpanUserDrop(raw.Span(), host.Sim().Now(), host.Name(), trace.DropChecksum)
 		return
 	}
 	pkt, err := Unmarshal(payload)
 	if err != nil {
+		tr.SpanUserDrop(raw.Span(), host.Sim().Now(), host.Name(), trace.DropChecksum)
 		return
 	}
 	if pkt.HopCount >= MaxHops {
 		g.DroppedHops++
+		tr.SpanUserDrop(raw.Span(), host.Sim().Now(), host.Name(), trace.DropHops)
 		return
 	}
 	pkt.HopCount++
@@ -153,6 +163,7 @@ func (g *Gateway) forward(p *sim.Proc, ports []*pfdev.Port, in int, frame []byte
 	}
 	if out < 0 {
 		g.DroppedNoRoute++
+		tr.SpanUserDrop(raw.Span(), host.Sim().Now(), host.Name(), trace.DropNoRoute)
 		return
 	}
 
@@ -163,6 +174,7 @@ func (g *Gateway) forward(p *sim.Proc, ports []*pfdev.Port, in int, frame []byte
 		hw, ok := gp.Hosts[pkt.Dst.Host]
 		if !ok {
 			g.DroppedNoRoute++
+			tr.SpanUserDrop(raw.Span(), host.Sim().Now(), host.Name(), trace.DropNoRoute)
 			return
 		}
 		dstHW = hw
@@ -176,6 +188,7 @@ func (g *Gateway) forward(p *sim.Proc, ports []*pfdev.Port, in int, frame []byte
 		return
 	}
 	outFrame := outLink.Encode(dstHW, gp.Dev.NIC().Addr(), etherType, wire)
+	tr.SpanNextParent(raw.Span())
 	if ports[out].Write(p, outFrame) == nil {
 		g.Forwarded++
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/pfdev"
 	"repro/internal/shm"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Socket is a user-level Pup endpoint bound to a packet-filter port.
@@ -173,7 +174,7 @@ func (s *Socket) Recv(p *sim.Proc) (*Packet, error) {
 				return nil, err
 			}
 			for _, raw := range batch {
-				if pkt := s.decode(raw.Data); pkt != nil {
+				if pkt := s.decode(raw); pkt != nil {
 					s.pending = append(s.pending, pkt)
 				}
 			}
@@ -185,7 +186,7 @@ func (s *Socket) Recv(p *sim.Proc) (*Packet, error) {
 				return nil, err
 			}
 			for _, raw := range batch {
-				if pkt := s.decode(raw.Data); pkt != nil {
+				if pkt := s.decode(raw); pkt != nil {
 					s.pending = append(s.pending, pkt)
 				}
 			}
@@ -195,7 +196,7 @@ func (s *Socket) Recv(p *sim.Proc) (*Packet, error) {
 		if err != nil {
 			return nil, err
 		}
-		if pkt := s.decode(raw.Data); pkt != nil {
+		if pkt := s.decode(raw); pkt != nil {
 			return pkt, nil
 		}
 	}
@@ -204,16 +205,18 @@ func (s *Socket) Recv(p *sim.Proc) (*Packet, error) {
 // decode strips the data-link header and parses the Pup; malformed
 // packets are dropped silently, as a user-level protocol must ("the
 // user must discover transmission failure through lack of response").
-func (s *Socket) decode(frame []byte) *Packet {
-	_, _, _, payload, err := s.link.Decode(frame)
-	if err != nil {
-		return nil
+// The silent drop still leaves a provenance trail: a born-dead child
+// span typed DropChecksum hangs off the delivered packet's span.
+func (s *Socket) decode(raw pfdev.Packet) *Packet {
+	_, _, _, payload, err := s.link.Decode(raw.Data)
+	if err == nil {
+		if pkt, perr := Unmarshal(payload); perr == nil {
+			return pkt
+		}
 	}
-	pkt, err := Unmarshal(payload)
-	if err != nil {
-		return nil
-	}
-	return pkt
+	h := s.dev.Host()
+	h.Sim().Tracer().SpanUserDrop(raw.Span(), h.Sim().Now(), h.Name(), trace.DropChecksum)
+	return nil
 }
 
 // Close releases the underlying port.

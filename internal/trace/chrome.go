@@ -77,6 +77,14 @@ func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecon
 // WriteChromeTrace writes events (normally Recorder.Events) as Chrome
 // trace-event JSON.
 func WriteChromeTrace(w io.Writer, events []Event) error {
+	return WriteChromeTraceSpans(w, events, nil)
+}
+
+// WriteChromeTraceSpans writes events plus per-packet provenance spans
+// (normally Spans.RecordsSnapshot).  Each span renders on its origin
+// host's "spans" lane: one complete "X" slice per stage segment, and a
+// terminal instant carrying the verdict, class and causal parent.
+func WriteChromeTraceSpans(w io.Writer, events []Event, spans []SpanRecord) error {
 	lanes := &laneIDs{pids: map[string]int{}, tids: map[[2]string]int{}}
 	out := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
 	add := func(e chromeEvent) { out.TraceEvents = append(out.TraceEvents, e) }
@@ -148,6 +156,36 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			add(chromeEvent{Name: "fault:" + e.Tag, Cat: "faults", Ph: "i", Ts: ts,
 				Pid: pid, Tid: lanes.tid(host, "faults"),
 				Args: map[string]any{"index": e.Value}})
+		}
+	}
+
+	for i := range spans {
+		r := &spans[i]
+		host := r.Origin
+		if host == "" {
+			host = "?"
+		}
+		pid := lanes.pid(host)
+		tid := lanes.tid(host, "spans")
+		for m := 0; m+1 < int(r.NMarks); m++ {
+			from, to := r.Marks[m], r.Marks[m+1]
+			add(chromeEvent{Name: fmt.Sprintf("span%d:%s", r.ID, from.Stage), Cat: "span",
+				Ph: "X", Ts: usec(from.When), Dur: usec(to.When - from.When),
+				Pid: pid, Tid: tid, Args: map[string]any{"span": r.ID}})
+		}
+		if r.Term != TermLive {
+			args := map[string]any{"span": r.ID}
+			if r.Parent != 0 {
+				args["parent"] = r.Parent
+			}
+			if r.Class != "" {
+				args["class"] = r.Class
+			}
+			if r.Port >= 0 {
+				args["port"] = r.Port
+			}
+			add(chromeEvent{Name: "span:" + r.TermString(), Cat: "span", Ph: "i",
+				Ts: usec(r.End), Pid: pid, Tid: tid, Args: args})
 		}
 	}
 

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decodeChrome re-parses exporter output the way chrome://tracing
+// does: top-level object with a traceEvents array, every element an
+// object with the mandatory ph/pid/ts fields.
+func decodeChrome(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var top struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &top); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, data)
+	}
+	if top.TraceEvents == nil {
+		t.Fatalf("traceEvents is null, not an array — chrome://tracing rejects it:\n%s", data)
+	}
+	for i, ev := range top.TraceEvents {
+		if _, ok := ev["ph"].(string); !ok {
+			t.Fatalf("event %d missing ph: %v", i, ev)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Fatalf("event %d missing pid: %v", i, ev)
+		}
+	}
+	return top.TraceEvents
+}
+
+// TestChromeTraceEmptyStream: an empty recording still produces a
+// valid, loadable JSON document (empty array, not null).
+func TestChromeTraceEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeChrome(t, buf.Bytes())
+	if len(events) != 0 {
+		t.Fatalf("empty stream produced %d events", len(events))
+	}
+}
+
+// TestChromeTraceZeroDurationEvents: zero-length slices (a kernel
+// charge of 0, an instantaneous wire tx) must stay legal complete
+// events — dur omitted or zero, never negative or NaN.
+func TestChromeTraceZeroDurationEvents(t *testing.T) {
+	events := []Event{
+		{Kind: KindKernelSlice, When: time.Millisecond, Host: "A", Tag: "ip", Value: 0},
+		{Kind: KindUserSlice, When: time.Millisecond, Host: "A", Proc: "reader", Value: 0},
+		{Kind: KindWireTx, When: 2 * time.Millisecond, Host: "A", Value: 64, Aux: 0},
+		{Kind: KindCtxSwitch, When: 3 * time.Millisecond, Host: "A", Proc: "reader", Value: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	out := decodeChrome(t, buf.Bytes())
+	slices := 0
+	for _, ev := range out {
+		if ev["ph"] == "X" {
+			slices++
+			if d, ok := ev["dur"].(float64); ok && d < 0 {
+				t.Fatalf("negative duration: %v", ev)
+			}
+		}
+	}
+	if slices != 4 {
+		t.Fatalf("got %d complete events, want 4", slices)
+	}
+}
+
+// TestChromeTraceSpanRecords: span records render as stage slices plus
+// a terminal instant, and the whole document stays valid JSON.
+func TestChromeTraceSpanRecords(t *testing.T) {
+	tr, sp := New(), (*Spans)(nil)
+	sp = tr.EnableSpans(SpanConfig{})
+	root := tr.SpanOrigin(0, "A")
+	tr.SpanClass(root, "pup")
+	tr.SpanMark(root, StageNIC, 5*time.Microsecond)
+	tr.SpanMark(root, StageDemux, 9*time.Microsecond)
+	tr.SpanMark(root, StageQueue, 9*time.Microsecond) // zero-duration segment
+	tr.SpanDelivered(root, 20*time.Microsecond, "B", 3)
+	child := tr.SpanFork(root, 21*time.Microsecond, "B")
+	tr.SpanDrop(child, 21*time.Microsecond, "B", DropChecksum)
+	live := tr.SpanOrigin(30*time.Microsecond, "A") // no terminal instant
+	_ = live
+
+	var buf bytes.Buffer
+	if err := WriteChromeTraceSpans(&buf, nil, sp.RecordsSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := decodeChrome(t, buf.Bytes())
+
+	var slices, instants int
+	var sawDelivered, sawDrop bool
+	for _, ev := range out {
+		if ev["cat"] != "span" {
+			continue
+		}
+		switch ev["ph"] {
+		case "X":
+			slices++
+		case "i":
+			instants++
+			name := ev["name"].(string)
+			if name == "span:delivered" {
+				sawDelivered = true
+				args := ev["args"].(map[string]any)
+				if args["class"] != "pup" || args["port"] != float64(3) {
+					t.Fatalf("delivered args = %v", args)
+				}
+			}
+			if strings.HasPrefix(name, "span:drop:") {
+				sawDrop = true
+				args := ev["args"].(map[string]any)
+				if args["parent"] != float64(root) {
+					t.Fatalf("drop instant lost its parent link: %v", args)
+				}
+			}
+		}
+	}
+	// Root span: origin->nic, nic->demux, demux->queue (0-length),
+	// queue->read = 4 slices; child and live spans have single marks.
+	if slices != 4 {
+		t.Fatalf("got %d span slices, want 4", slices)
+	}
+	if instants != 2 || !sawDelivered || !sawDrop {
+		t.Fatalf("instants=%d delivered=%v drop=%v", instants, sawDelivered, sawDrop)
+	}
+}

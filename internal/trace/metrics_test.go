@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramEmpty: an empty histogram reports zeros everywhere
+// rather than dividing by zero or scanning garbage buckets.
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 0 {
+		t.Fatalf("Mean = %v, want 0", h.Mean())
+	}
+	for _, q := range []float64{0.001, 0.5, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+// TestHistogramSingleObservation: with one sample every quantile and
+// the mean collapse to that exact sample (the bucket upper edge is
+// clamped to the true max).
+func TestHistogramSingleObservation(t *testing.T) {
+	for _, d := range []time.Duration{
+		0,
+		300 * time.Nanosecond, // sub-microsecond: bucket 0
+		time.Microsecond,
+		777 * time.Microsecond,
+		3 * time.Second,
+	} {
+		var h Histogram
+		h.Observe(d)
+		if h.Count() != 1 {
+			t.Fatalf("Count = %d", h.Count())
+		}
+		if h.Mean() != d {
+			t.Fatalf("Mean(%v) = %v", d, h.Mean())
+		}
+		if h.Min() != d || h.Max() != d {
+			t.Fatalf("Min/Max(%v) = %v/%v", d, h.Min(), h.Max())
+		}
+		for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+			if got := h.Quantile(q); got != d {
+				t.Fatalf("Quantile(%v) of single %v = %v", q, d, got)
+			}
+		}
+	}
+}
+
+// TestBucketOfBoundaries pins the bucket layout at the edges: bucket 0
+// holds sub-microsecond samples, bucket i >= 1 holds [2^(i-1), 2^i) µs,
+// and durations beyond the last bucket clamp instead of overflowing.
+func TestBucketOfBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0}, // negative clamps to zero
+		{0, 0},
+		{999 * time.Nanosecond, 0}, // still sub-µs
+		{time.Microsecond, 1},      // [1, 2) µs
+		{2*time.Microsecond - time.Nanosecond, 1},
+		{2 * time.Microsecond, 2}, // [2, 4) µs
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 3}, // exact powers open a new bucket
+		{1024 * time.Microsecond, 11},
+		{1 << 46 * time.Microsecond, histBuckets - 1}, // clamped at the top
+		{1 << 62, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Fatalf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestQuantileBucketEdges: the quantile of a two-point distribution
+// lands on each bucket's upper edge, clamped into [min, max] so a p50
+// can never undershoot the smallest sample or overshoot the largest.
+func TestQuantileBucketEdges(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * time.Microsecond)  // bucket 4: [8, 16) µs
+	h.Observe(100 * time.Microsecond) // bucket 7: [64, 128) µs
+	// Rank 1 falls in bucket 4, upper edge 16µs — inside [10µs, 100µs],
+	// so no clamping.
+	if got := h.Quantile(0.5); got != 16*time.Microsecond {
+		t.Fatalf("p50 = %v, want 16µs", got)
+	}
+	// Rank 2 falls in bucket 7, upper edge 128µs — clamped to max.
+	if got := h.Quantile(1.0); got != 100*time.Microsecond {
+		t.Fatalf("p100 = %v, want exact max 100µs", got)
+	}
+	// A single bucket whose upper edge undershoots min is clamped up.
+	var h2 Histogram
+	h2.Observe(time.Microsecond + 500*time.Nanosecond) // bucket 1, ub 2µs
+	if got := h2.Quantile(0.5); got != time.Microsecond+500*time.Nanosecond {
+		t.Fatalf("clamped p50 = %v", got)
+	}
+}
+
+// TestQuantileLowQ: a vanishing q still returns a real sample bound
+// (rank floors at 1, never 0).
+func TestQuantileLowQ(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(50 * time.Microsecond)
+	}
+	if got := h.Quantile(0.0001); got != 50*time.Microsecond {
+		t.Fatalf("Quantile(0.0001) = %v, want 50µs", got)
+	}
+}
+
+// TestHistogramMeanExact: the mean is computed from the exact sum, not
+// from bucket midpoints.
+func TestHistogramMeanExact(t *testing.T) {
+	var h Histogram
+	h.Observe(1 * time.Microsecond)
+	h.Observe(2 * time.Microsecond)
+	h.Observe(6 * time.Microsecond)
+	if got := h.Mean(); got != 3*time.Microsecond {
+		t.Fatalf("Mean = %v, want 3µs", got)
+	}
+}

@@ -1,0 +1,433 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func spanTracer(cfg SpanConfig) (*Tracer, *Spans) {
+	tr := New()
+	sp := tr.EnableSpans(cfg)
+	return tr, sp
+}
+
+// TestSpanNilSafety: every span API method must be a no-op on a nil
+// tracer, on a tracer without spans, and with span id 0 — call sites
+// carry no guards.
+func TestSpanNilSafety(t *testing.T) {
+	var nilTr *Tracer
+	plain := New() // spans not enabled
+	for _, tr := range []*Tracer{nilTr, plain} {
+		if id := tr.SpanOrigin(0, "A"); id != 0 {
+			t.Fatalf("SpanOrigin = %d, want 0", id)
+		}
+		if id := tr.LastSpan(); id != 0 {
+			t.Fatalf("LastSpan = %d, want 0", id)
+		}
+		tr.SpanNextParent(7)
+		tr.SpanFork(7, 0, "A")
+		tr.SpanMark(7, StageNIC, 0)
+		tr.SpanFlag(7, FlagCorrupt)
+		tr.SpanPort(7, 3)
+		tr.SpanClass(7, "pup")
+		tr.SpanDrop(7, 0, "A", DropNoMatch)
+		tr.SpanDelivered(7, 0, "A", 3)
+		tr.SpanKernelDelivered(7, 0, "A", "ip")
+		tr.SpanUserDrop(7, 0, "A", DropChecksum)
+		tr.SpanClaimArm(7)
+		if id := tr.SpanClaimTake(); id != 0 {
+			t.Fatalf("SpanClaimTake = %d, want 0", id)
+		}
+		tr.SpanClaimSettle(0, "A", true)
+		if sp := tr.Spans(); tr == nilTr && sp != nil {
+			t.Fatal("nil tracer returned a span tracker")
+		}
+	}
+	// Span id 0 (sampled out) must not perturb accounting.
+	tr, sp := spanTracer(SpanConfig{})
+	tr.SpanDrop(0, 0, "A", DropNoMatch)
+	tr.SpanDelivered(0, 0, "A", 1)
+	tr.SpanKernelDelivered(0, 0, "A", "ip")
+	tr.SpanUserDrop(0, 0, "A", DropChecksum)
+	if sp.Created != 0 || sp.Terminations() != 0 {
+		t.Fatalf("span id 0 perturbed accounting: created=%d terms=%d", sp.Created, sp.Terminations())
+	}
+}
+
+// TestSpanSamplingDeterministic: Sample=N keeps exactly every Nth root
+// span by origin order, independent of anything else.
+func TestSpanSamplingDeterministic(t *testing.T) {
+	tr, sp := spanTracer(SpanConfig{Sample: 3})
+	var kept []int
+	for i := 0; i < 10; i++ {
+		if id := tr.SpanOrigin(time.Duration(i), "A"); id != 0 {
+			kept = append(kept, i)
+			if tr.LastSpan() != id {
+				t.Fatalf("LastSpan = %d, want %d", tr.LastSpan(), id)
+			}
+		} else if tr.LastSpan() != 0 {
+			t.Fatalf("LastSpan = %d after sampled-out origin, want 0", tr.LastSpan())
+		}
+	}
+	want := []int{0, 3, 6, 9}
+	if len(kept) != len(want) {
+		t.Fatalf("kept %v, want %v", kept, want)
+	}
+	for i := range want {
+		if kept[i] != want[i] {
+			t.Fatalf("kept %v, want %v", kept, want)
+		}
+	}
+	if sp.Created != 4 {
+		t.Fatalf("Created = %d, want 4", sp.Created)
+	}
+}
+
+// TestSpanNextParentBypassesSampling: a forwarded re-transmit joins its
+// parent's tree even when sampling would have skipped it.
+func TestSpanNextParentBypassesSampling(t *testing.T) {
+	tr, sp := spanTracer(SpanConfig{Sample: 1000})
+	root := tr.SpanOrigin(0, "gw")
+	if root == 0 {
+		t.Fatal("first origin should be sampled in")
+	}
+	tr.SpanNextParent(root)
+	child := tr.SpanOrigin(time.Microsecond, "gw")
+	if child == 0 {
+		t.Fatal("linked origin was sampled out")
+	}
+	r := sp.rec(child)
+	if r == nil || r.Parent != root || r.Flags&FlagChild == 0 {
+		t.Fatalf("child record = %+v, want parent=%d with FlagChild", r, root)
+	}
+	// The cell is one-shot: the next origin is a fresh root candidate.
+	if id := tr.SpanOrigin(2*time.Microsecond, "gw"); id != 0 {
+		r := sp.rec(id)
+		if r.Parent != 0 {
+			t.Fatalf("parent cell leaked into unrelated origin: %+v", r)
+		}
+	}
+}
+
+// TestSpanConservationAccounting: created == delivered + kernel +
+// drops + live, and drops land in the right taxonomy slot and per-host
+// counter.
+func TestSpanConservationAccounting(t *testing.T) {
+	tr, sp := spanTracer(SpanConfig{})
+	a := tr.SpanOrigin(0, "A")
+	b := tr.SpanOrigin(0, "A")
+	c := tr.SpanOrigin(0, "A")
+	d := tr.SpanOrigin(0, "A")
+	tr.SpanMark(a, StageNIC, time.Microsecond)
+	tr.SpanMark(a, StageDemux, 2*time.Microsecond)
+	tr.SpanMark(a, StageFilter, 3*time.Microsecond)
+	tr.SpanMark(a, StageQueue, 4*time.Microsecond)
+	tr.SpanDelivered(a, 10*time.Microsecond, "B", 2)
+	tr.SpanKernelDelivered(b, 5*time.Microsecond, "B", "ip")
+	tr.SpanDrop(c, 6*time.Microsecond, "B", DropNoMatch)
+	_ = d // stays live
+	if sp.Created != 4 || sp.DeliveredUser != 1 || sp.DeliveredKernel != 1 {
+		t.Fatalf("created=%d user=%d kernel=%d", sp.Created, sp.DeliveredUser, sp.DeliveredKernel)
+	}
+	if sp.Drops[DropNoMatch] != 1 || sp.TotalDrops() != 1 {
+		t.Fatalf("drops = %v", sp.Drops)
+	}
+	if sp.Live() != 1 {
+		t.Fatalf("Live = %d, want 1", sp.Live())
+	}
+	if got := tr.Counter("B", "span.drop.nomatch").Value(); got != 1 {
+		t.Fatalf("span.drop.nomatch = %d, want 1", got)
+	}
+	if sp.Total().Count() != 1 {
+		t.Fatalf("total histogram count = %d, want 1", sp.Total().Count())
+	}
+	r := sp.rec(a)
+	if r.TermString() != "delivered" || r.Final != "B" || r.Port != 2 {
+		t.Fatalf("delivered record = %+v", r)
+	}
+	if when, ok := r.MarkAt(StageRead); !ok || when != 10*time.Microsecond {
+		t.Fatalf("StageRead mark = %v, %v", when, ok)
+	}
+	if reason, ok := sp.rec(c).Dropped(); !ok || reason != DropNoMatch {
+		t.Fatalf("Dropped() = %v, %v", reason, ok)
+	}
+}
+
+// TestSpanRingWrapEviction: creating more spans than the ring holds
+// evicts the oldest records; evicting a live record counts in Wrapped,
+// and aggregate accounting is unaffected by eviction.
+func TestSpanRingWrapEviction(t *testing.T) {
+	tr, sp := spanTracer(SpanConfig{Ring: 4})
+	first := tr.SpanOrigin(0, "A") // will be evicted while live
+	for i := 0; i < 4; i++ {
+		id := tr.SpanOrigin(0, "A")
+		tr.SpanDrop(id, 0, "A", DropNoMatch)
+	}
+	if sp.Wrapped != 1 {
+		t.Fatalf("Wrapped = %d, want 1", sp.Wrapped)
+	}
+	if sp.rec(first) != nil {
+		t.Fatal("evicted record still resolvable")
+	}
+	// Terminating an evicted span still updates aggregates, silently.
+	tr.SpanDrop(first, 0, "A", DropCrash)
+	if sp.Drops[DropCrash] != 1 {
+		t.Fatalf("evicted drop not counted: %v", sp.Drops)
+	}
+	if sp.Created != 5 || sp.TotalDrops() != 5 || sp.Live() != 0 {
+		t.Fatalf("created=%d drops=%d live=%d", sp.Created, sp.TotalDrops(), sp.Live())
+	}
+}
+
+// TestSpanDoubleTermination: a second terminal verdict on the same
+// span is rejected and counted, not double-booked.
+func TestSpanDoubleTermination(t *testing.T) {
+	tr, sp := spanTracer(SpanConfig{})
+	id := tr.SpanOrigin(0, "A")
+	tr.SpanDrop(id, 0, "A", DropNoMatch)
+	tr.SpanDelivered(id, 0, "A", 1)
+	tr.SpanDrop(id, 0, "A", DropCrash)
+	tr.SpanKernelDelivered(id, 0, "A", "ip")
+	if sp.DoubleTerm != 3 {
+		t.Fatalf("DoubleTerm = %d, want 3", sp.DoubleTerm)
+	}
+	if sp.TotalDrops() != 1 || sp.DeliveredUser != 0 || sp.DeliveredKernel != 0 {
+		t.Fatalf("double termination leaked into aggregates: %+v", sp.Drops)
+	}
+}
+
+// TestSpanClaimHandoff covers the three kernel-claim outcomes: taken
+// by a claim-aware stack, claimed but untaken (settled as generic
+// kernel consumption), and unclaimed (the span stays with the filter
+// path).
+func TestSpanClaimHandoff(t *testing.T) {
+	tr, sp := spanTracer(SpanConfig{})
+
+	// Claim-aware: the stack takes the span and terminates it itself.
+	a := tr.SpanOrigin(0, "A")
+	tr.SpanClaimArm(a)
+	if got := tr.SpanClaimTake(); got != a {
+		t.Fatalf("SpanClaimTake = %d, want %d", got, a)
+	}
+	tr.SpanKernelDelivered(a, 0, "A", "ip")
+	tr.SpanClaimSettle(0, "A", true)
+	if sp.DeliveredKernel != 1 || sp.DoubleTerm != 0 {
+		t.Fatalf("taken claim double-settled: kernel=%d dbl=%d", sp.DeliveredKernel, sp.DoubleTerm)
+	}
+
+	// Claim-unaware: claimed but never taken settles as "kproto".
+	b := tr.SpanOrigin(0, "A")
+	tr.SpanClaimArm(b)
+	tr.SpanClaimSettle(time.Microsecond, "A", true)
+	if sp.DeliveredKernel != 2 {
+		t.Fatalf("untaken claim not settled: kernel=%d", sp.DeliveredKernel)
+	}
+	if r := sp.rec(b); r.Class != "kproto" {
+		t.Fatalf("settled class = %q, want kproto", r.Class)
+	}
+
+	// Unclaimed: the span continues on the packet-filter path.
+	c := tr.SpanOrigin(0, "A")
+	tr.SpanClaimArm(c)
+	tr.SpanClaimSettle(0, "A", false)
+	if sp.Live() != 1 {
+		t.Fatalf("unclaimed span terminated early: live=%d", sp.Live())
+	}
+	// A later take must not see the stale offer.
+	if got := tr.SpanClaimTake(); got != 0 {
+		t.Fatalf("stale claim offer survived settle: %d", got)
+	}
+	_ = c
+}
+
+// TestSpanUserDropChildConservation: a user-level verdict is a
+// born-dead child — the parent's delivery and the child's drop each
+// terminate once, and both are visible in the aggregates.
+func TestSpanUserDropChildConservation(t *testing.T) {
+	tr, sp := spanTracer(SpanConfig{})
+	id := tr.SpanOrigin(0, "A")
+	tr.SpanDelivered(id, time.Microsecond, "B", 1)
+	tr.SpanUserDrop(id, 2*time.Microsecond, "B", DropChecksum)
+	if sp.Created != 2 || sp.DeliveredUser != 1 || sp.Drops[DropChecksum] != 1 {
+		t.Fatalf("created=%d user=%d drops=%v", sp.Created, sp.DeliveredUser, sp.Drops)
+	}
+	if sp.Live() != 0 {
+		t.Fatalf("Live = %d, want 0", sp.Live())
+	}
+	var child *SpanRecord
+	sp.VisitRecords(func(r *SpanRecord) {
+		if r.Parent == id {
+			child = r
+		}
+	})
+	if child == nil || child.Flags&FlagChild == 0 {
+		t.Fatalf("no child record for user drop: %+v", child)
+	}
+	if reason, ok := child.Dropped(); !ok || reason != DropChecksum {
+		t.Fatalf("child verdict = %v, %v", reason, ok)
+	}
+}
+
+// TestSpanFlagReconciliation: fault flags count toward the ledger
+// reconciliation totals exactly once per flag call.
+func TestSpanFlagReconciliation(t *testing.T) {
+	tr, sp := spanTracer(SpanConfig{})
+	id := tr.SpanOrigin(0, "A")
+	tr.SpanFlag(id, FlagCorrupt)
+	tr.SpanFlag(id, FlagDelayed)
+	dup := tr.SpanFork(id, 0, "A")
+	tr.SpanFlag(dup, FlagDup)
+	if sp.FlaggedCorrupt != 1 || sp.FlaggedDup != 1 || sp.FlaggedDelayed != 1 {
+		t.Fatalf("flags = %d/%d/%d", sp.FlaggedCorrupt, sp.FlaggedDup, sp.FlaggedDelayed)
+	}
+	r := sp.rec(id)
+	if r.Flags&FlagCorrupt == 0 || r.Flags&FlagDelayed == 0 {
+		t.Fatalf("record flags = %b", r.Flags)
+	}
+}
+
+// TestSpanWatchdogDropRate: the SLO watchdog trips once when the drop
+// rate breaches the configured ceiling, after MinSample terminations.
+func TestSpanWatchdogDropRate(t *testing.T) {
+	fired := 0
+	tr, sp := spanTracer(SpanConfig{
+		MaxDropRate: 0.01,
+		MinSample:   1,
+		OnAnomaly:   func(string) { fired++ },
+	})
+	for i := 0; i < 200; i++ {
+		id := tr.SpanOrigin(0, "A")
+		tr.SpanDrop(id, 0, "A", DropPortQueue)
+	}
+	tripped, why := sp.Tripped()
+	if !tripped || !strings.Contains(why, "drop rate") {
+		t.Fatalf("watchdog tripped=%v why=%q", tripped, why)
+	}
+	if fired != 1 {
+		t.Fatalf("OnAnomaly fired %d times, want 1", fired)
+	}
+}
+
+// TestSpanWatchdogP99: the latency watchdog trips on a p99 breach.
+func TestSpanWatchdogP99(t *testing.T) {
+	tr, sp := spanTracer(SpanConfig{
+		P99:       time.Millisecond,
+		MinSample: 1,
+	})
+	for i := 0; i < 200; i++ {
+		id := tr.SpanOrigin(0, "A")
+		tr.SpanDelivered(id, 50*time.Millisecond, "A", 1)
+	}
+	tripped, why := sp.Tripped()
+	if !tripped || !strings.Contains(why, "p99") {
+		t.Fatalf("watchdog tripped=%v why=%q", tripped, why)
+	}
+}
+
+// TestSpanDump: the flight-recorder dump names the aggregates, the
+// taxonomy, and each record's timeline.
+func TestSpanDump(t *testing.T) {
+	tr, sp := spanTracer(SpanConfig{})
+	a := tr.SpanOrigin(0, "A")
+	tr.SpanClass(a, "pup")
+	tr.SpanMark(a, StageNIC, time.Microsecond)
+	tr.SpanDrop(a, 2*time.Microsecond, "B", DropNoMatch)
+	var buf bytes.Buffer
+	sp.Dump(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"1 spans created", "drop taxonomy", "nomatch",
+		"class=pup", "drop:nomatch", "origin@0s", "nic@1µs", "A->B",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// fakeFailer simulates a failing test for DumpOnFailure.
+type fakeFailer struct {
+	name     string
+	failed   bool
+	cleanups []func()
+}
+
+func (f *fakeFailer) Failed() bool      { return f.failed }
+func (f *fakeFailer) Name() string      { return f.name }
+func (f *fakeFailer) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeFailer) runCleanups() {
+	for _, fn := range f.cleanups {
+		fn()
+	}
+}
+
+// TestDumpOnFailure: a failed test leaves a flight-recorder dump in
+// $FLIGHT_RECORDER_DIR; a passing one leaves nothing.
+func TestDumpOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("FLIGHT_RECORDER_DIR", dir)
+
+	tr, sp := spanTracer(SpanConfig{})
+	id := tr.SpanOrigin(0, "A")
+	tr.SpanDrop(id, 0, "A", DropCrash)
+
+	pass := &fakeFailer{name: "TestPasses"}
+	DumpOnFailure(pass, sp)
+	pass.runCleanups()
+	if _, err := os.Stat(filepath.Join(dir, "TestPasses.flight.txt")); !os.IsNotExist(err) {
+		t.Fatal("passing test wrote a flight dump")
+	}
+
+	fail := &fakeFailer{name: "TestFails/sub case", failed: true}
+	DumpOnFailure(fail, sp)
+	fail.runCleanups()
+	data, err := os.ReadFile(filepath.Join(dir, "TestFails_sub_case.flight.txt"))
+	if err != nil {
+		t.Fatalf("no flight dump: %v", err)
+	}
+	if !strings.Contains(string(data), "drop taxonomy") {
+		t.Fatalf("dump content: %s", data)
+	}
+}
+
+// TestDumpOnPanic: the deferred hook dumps the recorder and re-panics.
+func TestDumpOnPanic(t *testing.T) {
+	tr, sp := spanTracer(SpanConfig{})
+	tr.SpanOrigin(0, "A")
+	var buf bytes.Buffer
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("panic was swallowed")
+			}
+		}()
+		func() {
+			defer DumpOnPanic(sp, &buf)()
+			panic("boom")
+		}()
+	}()
+	out := buf.String()
+	if !strings.Contains(out, "panic: boom") || !strings.Contains(out, "flight recorder") {
+		t.Fatalf("panic dump: %s", out)
+	}
+}
+
+// TestStageAndReasonStrings pins the snake_case names the taxonomy
+// counters and dumps are built from.
+func TestStageAndReasonStrings(t *testing.T) {
+	if StageOrigin.String() != "origin" || StageRead.String() != "read" {
+		t.Fatal("stage names changed")
+	}
+	if Stage(200).String() != "unknown" || DropReason(200).String() != "unknown" {
+		t.Fatal("out-of-range names should be unknown")
+	}
+	for r := DropReason(0); r < NumDropReasons; r++ {
+		if r.String() == "" || r.String() == "unknown" {
+			t.Fatalf("reason %d has no name", r)
+		}
+	}
+}

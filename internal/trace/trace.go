@@ -135,9 +135,10 @@ func (r *Recorder) Emit(e Event) { r.Events = append(r.Events, e) }
 // registry and kernel profile, and forwards typed events to an
 // optional Sink.  Attach one to a simulation with sim.SetTracer.
 type Tracer struct {
-	sink Sink
-	reg  registry
-	prof profiler
+	sink  Sink
+	reg   registry
+	prof  profiler
+	spans *Spans
 }
 
 // New creates a Tracer with metrics and profiling enabled and no
@@ -266,8 +267,21 @@ func (t *Tracer) Dequeue(now time.Duration, host string, port, depth, n int) {
 // Drop records a lost packet; reason is "nomatch", "queue", "nic" or
 // "wire".
 func (t *Tracer) Drop(now time.Duration, host, reason string) {
-	t.reg.counter(host, "drop."+reason).Add(1)
+	name, ok := legacyDropNames[reason]
+	if !ok {
+		name = "drop." + reason
+	}
+	t.reg.counter(host, name).Add(1)
 	t.emit(Event{When: now, Kind: KindDrop, Host: host, Tag: reason})
+}
+
+// legacyDropNames interns the metric names of the known drop reasons
+// so the hot receive path never concatenates strings.
+var legacyDropNames = map[string]string{
+	"wire":    "drop.wire",
+	"nic":     "drop.nic",
+	"queue":   "drop.queue",
+	"nomatch": "drop.nomatch",
 }
 
 // Deliver records a packet reaching a user process via port,

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ethersim"
 	"repro/internal/pfdev"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // The user-level VMTP engine: "the first implementation used the
@@ -150,6 +151,7 @@ func (e *UserEndpoint) recv(p *sim.Proc) (Header, []byte, ethersim.Addr, error) 
 		}
 		_, src, _, payload, err := e.link.Decode(raw.Data)
 		if err != nil {
+			e.spanChecksumDrop(raw)
 			continue
 		}
 		h, data, err := Unmarshal(payload)
@@ -158,6 +160,7 @@ func (e *UserEndpoint) recv(p *sim.Proc) (Header, []byte, ethersim.Addr, error) 
 			// packet is dropped and end-to-end retransmission
 			// recovers, exactly like a lost frame.
 			e.Stats.ChecksumDrops++
+			e.spanChecksumDrop(raw)
 			continue
 		}
 		if e.cfg.Checksummed && h.Flags&FlagChecksum == 0 {
@@ -165,10 +168,18 @@ func (e *UserEndpoint) recv(p *sim.Proc) (Header, []byte, ethersim.Addr, error) 
 			// corrupt by definition (a flip can clear the flag bit
 			// itself); trusting it would let corruption through.
 			e.Stats.ChecksumDrops++
+			e.spanChecksumDrop(raw)
 			continue
 		}
 		return h, data, src, nil
 	}
+}
+
+// spanChecksumDrop records a user-level corruption discard in the drop
+// taxonomy as a born-dead child of the delivered packet's span.
+func (e *UserEndpoint) spanChecksumDrop(raw pfdev.Packet) {
+	host := e.dev.Host()
+	host.Sim().Tracer().SpanUserDrop(raw.Span(), host.Sim().Now(), host.Name(), trace.DropChecksum)
 }
 
 // Call performs one transaction: send the request, collect the

@@ -48,6 +48,11 @@ type Generator struct {
 
 	// Sent counts per class.
 	SentPF, SentIP, SentARP, SentOther int
+
+	// LastClass names the class of the most recent Frame ("pup",
+	// "ip", "arp", "other") — Drive tags each transmitted frame's
+	// provenance span with it.
+	LastClass string
 }
 
 // NewGenerator creates a deterministic generator.
@@ -65,15 +70,19 @@ func (g *Generator) Frame(dst, src ethersim.Addr) []byte {
 	switch {
 	case roll < g.mix.PctPF:
 		g.SentPF++
+		g.LastClass = "pup"
 		return g.pupFrame(dst, src)
 	case roll < g.mix.PctPF+g.mix.PctIP:
 		g.SentIP++
+		g.LastClass = "ip"
 		return g.ipFrame(dst, src)
 	case roll < g.mix.PctPF+g.mix.PctIP+g.mix.PctARP:
 		g.SentARP++
+		g.LastClass = "arp"
 		return g.arpFrame(src)
 	default:
 		g.SentOther++
+		g.LastClass = "other"
 		return g.link.Encode(dst, src, 0x9999, make([]byte, 46))
 	}
 }
@@ -161,8 +170,10 @@ func (g *Generator) arpFrame(src ethersim.Addr) []byte {
 // Drive transmits n frames from nic to dst, one every interval,
 // blocking in the calling process.
 func (g *Generator) Drive(p *sim.Proc, nic *ethersim.NIC, dst ethersim.Addr, n int, interval time.Duration) {
+	tr := p.Sim().Tracer()
 	for i := 0; i < n; i++ {
 		nic.Transmit(g.Frame(dst, nic.Addr()))
+		tr.SpanClass(tr.LastSpan(), g.LastClass)
 		p.Sleep(interval)
 	}
 }
