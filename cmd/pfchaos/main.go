@@ -36,12 +36,13 @@ import (
 
 // report is the machine-readable run summary.
 type report struct {
-	Plan     string        `json:"plan"`
-	Seed     uint64        `json:"seed"`
-	End      time.Duration `json:"end_virtual"`
-	Ledger   faults.Ledger `json:"ledger"`
-	Protos   protoStats    `json:"protocols"`
-	Reconcil bool          `json:"ledger_matches_registry"`
+	Plan     string          `json:"plan"`
+	Seed     uint64          `json:"seed"`
+	End      time.Duration   `json:"end_virtual"`
+	Ledger   faults.Ledger   `json:"ledger"`
+	Protos   protoStats      `json:"protocols"`
+	Reconcil bool            `json:"ledger_matches_registry"`
+	Gov      *pfdev.GovStats `json:"gov,omitempty"` // summed over hosts, with -gov
 }
 
 // protoStats collects every protocol's recovery accounting.
@@ -74,6 +75,7 @@ func main() {
 	runs := flag.Int("runs", 1, "number of consecutive seeds to run, starting at -seed")
 	parallel := flag.Int("parallel", 0, "worker pool for multi-seed runs (0 = GOMAXPROCS, 1 = sequential)")
 	list := flag.Bool("list", false, "list built-in plans and exit")
+	gov := flag.Bool("gov", false, "run every device under the resource governor (quotas, quarantine, admission control)")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	flag.Parse()
 
@@ -102,7 +104,7 @@ func main() {
 		snap *trace.Snapshot
 	}
 	outs := parsim.Map(*runs, *parallel, func(i int) outcome {
-		rep, snap := run(*seed+uint64(i), plan)
+		rep, snap := run(*seed+uint64(i), plan, *gov)
 		return outcome{rep, snap}
 	})
 
@@ -152,7 +154,7 @@ func main() {
 // run executes the scenario: four hosts on one 10 Mb Ethernet — alpha
 // and beta as workhorses, charlie as client, diskless booting via RARP
 // — with every protocol exercised while the plan's faults land.
-func run(seed uint64, plan faults.Plan) (report, *trace.Snapshot) {
+func run(seed uint64, plan faults.Plan, gov bool) (report, *trace.Snapshot) {
 	s := sim.New(vtime.DefaultCosts())
 	tr := trace.New()
 	s.SetTracer(tr)
@@ -164,10 +166,14 @@ func run(seed uint64, plan faults.Plan) (report, *trace.Snapshot) {
 	nicB := net.Attach(beta, 0xB2)
 	nicC := net.Attach(charlie, 0xC3)
 	nicD := net.Attach(diskless, 0xD4)
-	devA := pfdev.Attach(nicA, nil, pfdev.Options{})
-	devB := pfdev.Attach(nicB, nil, pfdev.Options{})
-	devC := pfdev.Attach(nicC, nil, pfdev.Options{})
-	devD := pfdev.Attach(nicD, nil, pfdev.Options{})
+	var opt pfdev.Options
+	if gov {
+		opt.Gov = pfdev.DefaultGovConfig()
+	}
+	devA := pfdev.Attach(nicA, nil, opt)
+	devB := pfdev.Attach(nicB, nil, opt)
+	devC := pfdev.Attach(nicC, nil, opt)
+	devD := pfdev.Attach(nicD, nil, opt)
 
 	eng := faults.New(s, seed, plan)
 	eng.AttachWire(net)
@@ -338,6 +344,26 @@ func run(seed uint64, plan faults.Plan) (report, *trace.Snapshot) {
 	if echoSock != nil {
 		rep.Protos.EchoRebinds = echoSock.Rebinds
 	}
+	if gov {
+		// Sum governor accounting across the four hosts with real
+		// status ioctls; a soak that quarantined or shed anything shows
+		// it here (and in the DropQuota/DropAdmission taxonomy rows).
+		total := pfdev.GovStats{}
+		hosts := []*sim.Host{alpha, beta, charlie, diskless}
+		for i, d := range []*pfdev.Device{devA, devB, devC, devD} {
+			dev := d
+			s.Spawn(hosts[i], "govstat", func(p *sim.Proc) {
+				gs := dev.GovStats(p)
+				total.AdmissionSheds += gs.AdmissionSheds
+				total.Quarantines += gs.Quarantines
+				total.QuarantineSkips += gs.QuarantineSkips
+				total.FuelSpent += gs.FuelSpent
+				total.Backlog += gs.Backlog
+			})
+		}
+		s.Run(0)
+		rep.Gov = &total
+	}
 
 	snap := tr.Snapshot()
 	rep.Reconcil = reconcile(rep.Ledger, snap)
@@ -386,6 +412,10 @@ func printReport(rep report, snap *trace.Snapshot) {
 	fmt.Printf("  lookup %-6s  %d attempts\n", okStr(p.LookupOK), p.Lookup.Attempts)
 	fmt.Printf("  rarp   %-6s  %d attempts\n", okStr(p.RARPOK), p.RARP.Attempts)
 	fmt.Printf("  echo   served %d, rebinds %d\n\n", p.EchoServed, p.EchoRebinds)
+	if rep.Gov != nil {
+		fmt.Printf("resource governor (all hosts): %d quarantines, %d evaluations skipped, %d frames shed, %d instruction units charged\n\n",
+			rep.Gov.Quarantines, rep.Gov.QuarantineSkips, rep.Gov.AdmissionSheds, rep.Gov.FuelSpent)
+	}
 
 	fmt.Println("ledger vs registry:", map[bool]string{true: "exact match", false: "MISMATCH"}[rep.Reconcil])
 	fmt.Println()

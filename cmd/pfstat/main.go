@@ -43,6 +43,8 @@ func main() {
 	coalesceDelay := flag.Duration("coalesce-delay", 2*time.Millisecond, "interrupt-moderation timer (with -coalesce)")
 	seed := flag.Int64("seed", 42, "workload random seed")
 	spans := flag.Bool("spans", false, "track per-packet provenance (sampling 1): per-stage latency breakdown, drop taxonomy and flight recorder")
+	quota := flag.Bool("quota", false, "enable the resource governor and report per-port fuel, quarantines and admission sheds")
+	hostile := flag.Int("hostile", 0, "bind this many adversarial max-length burn filters at the receiver")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	chromeFile := flag.String("chrome", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	flag.Parse()
@@ -80,9 +82,31 @@ func main() {
 	nicRecv := net.Attach(recv, 2)
 
 	stack := inet.NewStack(nicRecv, 0x0A000002)
-	dev := pfdev.Attach(nicRecv, stack, pfdev.Options{Reorder: true,
-		CoalesceBudget: *coalesce, CoalesceDelay: *coalesceDelay})
+	devOpts := pfdev.Options{Reorder: true,
+		CoalesceBudget: *coalesce, CoalesceDelay: *coalesceDelay}
+	if *quota {
+		devOpts.Gov = pfdev.DefaultGovConfig()
+	}
+	dev := pfdev.Attach(nicRecv, stack, devOpts)
 	pfdev.Attach(nicSrc, nil, pfdev.Options{})
+
+	// Adversarial ports: each binds the worst legal filter — maximum
+	// length, never matches — so every frame on the wire charges the
+	// receiver the full burn.  With -quota the governor quarantines
+	// them; without it the report shows the damage.
+	if *hostile > 0 {
+		s.Spawn(recv, "hostile", func(p *sim.Proc) {
+			for i := 0; i < *hostile; i++ {
+				hp := dev.Open(p)
+				if err := hp.SetFilter(p, filter.Filter{
+					Priority: 20, Program: workload.BurnProgram(),
+				}); err != nil {
+					fmt.Fprintln(os.Stderr, "pfstat: hostile filter:", err)
+					return
+				}
+			}
+		})
+	}
 
 	// A kernel UDP sink so the IP share of the mix terminates in a
 	// real protocol, and one Pup reader per packet-filter port.
@@ -132,7 +156,13 @@ func main() {
 
 	// Collect the per-port statistics with a real status-read ioctl.
 	var ports []pfdev.PortStats
-	s.Spawn(recv, "pfstat", func(p *sim.Proc) { ports = dev.PortStats(p) })
+	var gov pfdev.GovStats
+	s.Spawn(recv, "pfstat", func(p *sim.Proc) {
+		ports = dev.PortStats(p)
+		if *quota {
+			gov = dev.GovStats(p)
+		}
+	})
 	s.Run(0)
 
 	snap := tr.Snapshot()
@@ -151,7 +181,11 @@ func main() {
 			Ports []pfdev.PortStats `json:"ports"`
 			Spans *trace.Spans      `json:"spans,omitempty"`
 			Drops map[string]uint64 `json:"drop_taxonomy,omitempty"`
+			Gov   *pfdev.GovStats   `json:"gov,omitempty"`
 		}{Trace: snap, Ports: ports, Spans: sp, Drops: taxonomy}
+		if *quota {
+			report.Gov = &gov
+		}
 		raw, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pfstat:", err)
@@ -170,6 +204,22 @@ func main() {
 				ps.Matched, ps.FilterInstrs, ps.Reads, ps.BatchReads, ps.BatchPackets,
 				ps.RingReaps, ps.BytesCopied, ps.BytesMapped)
 		}
+		if *quota {
+			fmt.Println("\nresource governor")
+			fmt.Printf("  admission: %d frames shed, backlog %d, shedding=%v\n",
+				gov.AdmissionSheds, gov.Backlog, gov.Shedding)
+			fmt.Printf("  quarantine: %d quarantines, %d filter evaluations skipped\n",
+				gov.Quarantines, gov.QuarantineSkips)
+			fmt.Printf("  fuel: %d instruction units charged across all ports\n", gov.FuelSpent)
+			fmt.Printf("  %4s %4s %10s %11s %9s %12s\n",
+				"port", "prio", "fuel", "quarantines", "skips", "residency")
+			for _, ps := range ports {
+				fmt.Printf("  %4d %4d %10d %11d %9d %12v\n",
+					ps.ID, ps.Priority, ps.FuelSpent, ps.Quarantines,
+					ps.QuarantineSkips, ps.AvgResidency)
+			}
+		}
+
 		// Every reader binds the same socket-demux program shape;
 		// its static instruction mix explains the pf.instrs column.
 		mix := filter.MixOf(pup.SocketFilter(link, 10, sockets[0]).Program)

@@ -237,6 +237,7 @@ func Experiments() []Experiment {
 		{"exp-coalesce", ExpCoalesce},
 		{"exp-scale", ExpScale},
 		{"exp-provenance", ExpProvenance},
+		{"exp-storm", ExpStorm},
 	}
 }
 

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// stormSmoke shrinks the sweep for tests: full hostile counts, small
+// victim packet count per cell.
+func stormSmoke(t *testing.T, workers int) Table {
+	t.Helper()
+	oldCount, oldWorkers := StormCount, Workers
+	StormCount, Workers = 12, workers
+	defer func() { StormCount, Workers = oldCount, oldWorkers }()
+	return ExpStorm()
+}
+
+// TestExpStormParallelBitIdentical is the sweep's acceptance gate: the
+// table produced by the parallel sweep is cell-for-cell identical to
+// the sequential one.
+func TestExpStormParallelBitIdentical(t *testing.T) {
+	seq := stormSmoke(t, 1)
+	par := stormSmoke(t, 4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("exp-storm diverged between sequential and parallel sweeps:\n%v\nvs\n%v", seq, par)
+	}
+}
+
+// TestExpStormGracefulDegradation pins the claim the experiment exists
+// to make: under a saturating adversarial filter population the
+// governed victim keeps >= 5x the ungoverned goodput, while with no
+// hostile ports the governor costs nothing.
+func TestExpStormGracefulDegradation(t *testing.T) {
+	tab := stormSmoke(t, 0)
+	if len(tab.Rows) != len(stormHostiles) {
+		t.Fatalf("want %d rows, got %d", len(stormHostiles), len(tab.Rows))
+	}
+	pktSec := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, " pkt/sec"), 64)
+		if err != nil {
+			t.Fatalf("unparseable cell %q: %v", cell, err)
+		}
+		return v
+	}
+	for _, row := range tab.Rows {
+		hostile, _ := strconv.Atoi(row[0])
+		off, on := pktSec(row[1]), pktSec(row[2])
+		quarantines, _ := strconv.Atoi(row[6])
+		switch {
+		case hostile == 0:
+			// Clean path: the governor must be invisible.
+			if off <= 0 || on != off {
+				t.Errorf("0 hostile ports: goodput off=%v on=%v, want identical", off, on)
+			}
+			if quarantines != 0 {
+				t.Errorf("0 hostile ports: %d quarantines, want none", quarantines)
+			}
+		case hostile >= 8:
+			// Saturation: governance must buy at least 5x.
+			if on < 5*off {
+				t.Errorf("%d hostile ports: governed goodput %.0f < 5x ungoverned %.0f",
+					hostile, on, off)
+			}
+			fallthrough
+		default:
+			if quarantines == 0 {
+				t.Errorf("%d hostile ports: governor never quarantined", hostile)
+			}
+			if on <= off {
+				t.Errorf("%d hostile ports: governed goodput %.0f not above ungoverned %.0f",
+					hostile, on, off)
+			}
+			// Fairness: every hostile port is billed a comparable share.
+			parts := strings.SplitN(row[7], "/", 2)
+			lo, _ := strconv.Atoi(parts[0])
+			hi, _ := strconv.Atoi(parts[1])
+			if lo <= 0 || hi > 4*lo {
+				t.Errorf("%d hostile ports: fuel share lo=%d hi=%d, want within 4x", hostile, lo, hi)
+			}
+		}
+	}
+}

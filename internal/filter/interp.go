@@ -35,15 +35,19 @@ type Result struct {
 // filter (there are no branch instructions), evaluating the filter
 // predicate using a small stack."
 func Run(p Program, pkt []byte) Result {
-	return run(p, pkt, Env{}, false)
+	return run(p, pkt, Env{}, false, len(p))
 }
 
 // RunExt is Run with the §7 extended instructions permitted.
 func RunExt(p Program, pkt []byte, env Env) Result {
-	return run(p, pkt, env, true)
+	return run(p, pkt, env, true, len(p))
 }
 
-func run(p Program, pkt []byte, env Env, ext bool) Result {
+// run interprets p with full checking and a hard budget of fuel
+// executed instruction words.  The plain entry points pass len(p),
+// which no execution can exceed, so the budget check never fires for
+// them.
+func run(p Program, pkt []byte, env Env, ext bool, fuel int) Result {
 	if len(p) == 0 {
 		// The empty filter accepts everything (table 6-10's
 		// zero-instruction baseline).
@@ -62,6 +66,10 @@ func run(p Program, pkt []byte, env Env, ext bool) Result {
 	for pc := 0; pc < len(p); pc++ {
 		w := p[pc]
 		a, op := w.Action(), w.Op()
+		if res.Instrs >= fuel {
+			res.Err = fmt.Errorf("word %d: %w", pc, ErrFuel)
+			return res
+		}
 		res.Instrs++
 
 		// Stack action first (figure 3-6).
@@ -266,7 +274,7 @@ func (v *Prevalidated) Run(pkt []byte) Result {
 		return Result{Accept: true}
 	}
 	if 2*(v.info.MaxWord+1) > len(pkt) || v.info.MaxByte >= len(pkt) {
-		return run(v.prog, pkt, v.env, v.ext)
+		return run(v.prog, pkt, v.env, v.ext, len(v.prog))
 	}
 	var stack [StackDepth]uint16
 	sp := 0

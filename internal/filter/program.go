@@ -75,6 +75,16 @@ type Info struct {
 	// operands); the simulator charges virtual time per
 	// instruction actually executed, and Instrs bounds that.
 	Instrs int
+	// WorstInstrs is the worst-case number of instruction words any
+	// single evaluation can execute — the bound the resource governor
+	// charges against a port's budget before running the filter.  It
+	// equals Instrs unless constant propagation proves a short-circuit
+	// operator always terminates the program early (its two operands
+	// are statically-known constants whose comparison forces the
+	// exit), in which case the tail past that instruction can never
+	// run on any packet.  WorstInstrs <= Instrs always, and actual
+	// executed instructions never exceed WorstInstrs.
+	WorstInstrs int
 }
 
 // Validate statically checks p: action and operator validity, operand
@@ -95,6 +105,14 @@ func Validate(p Program, opt ValidateOptions) (Info, error) {
 		return info, fmt.Errorf("%w: %d words", ErrTooLong, len(p))
 	}
 	depth := 0
+	// Constant propagation for the worst-case executed-path bound:
+	// stack slots whose value is the same on every packet are tracked,
+	// and a short-circuit operator over two known constants whose
+	// comparison forces the early exit caps WorstInstrs there — the
+	// instruction words past it are validated but can never run.
+	var known [StackDepth]bool
+	var kval [StackDepth]uint16
+	worstCapped := false
 	for pc := 0; pc < len(p); pc++ {
 		w := p[pc]
 		a, op := w.Action(), w.Op()
@@ -108,6 +126,9 @@ func Validate(p Program, opt ValidateOptions) (Info, error) {
 			return info, fmt.Errorf("%w: word %d", ErrExtension, pc)
 		}
 		info.Instrs++
+		if !worstCapped {
+			info.WorstInstrs++
+		}
 
 		// Stack action.
 		switch {
@@ -120,15 +141,21 @@ func Validate(p Program, opt ValidateOptions) (Info, error) {
 				return info, fmt.Errorf("%w: PUSHIND at word %d", ErrUnderflow, pc)
 			}
 			info.UsesIndirect = true
+			known[depth-1] = false
 		case a.HasOperand():
 			pc++
 			if pc >= len(p) {
 				return info, fmt.Errorf("%w: at word %d", ErrMissingOper, pc-1)
 			}
-			if a == PUSHBYTE {
-				if int(p[pc]) > info.MaxByte {
-					info.MaxByte = int(p[pc])
+			if depth < StackDepth {
+				if a == PUSHBYTE {
+					known[depth] = false
+				} else { // PUSHLIT
+					known[depth], kval[depth] = true, uint16(p[pc])
 				}
+			}
+			if a == PUSHBYTE && int(p[pc]) > info.MaxByte {
+				info.MaxByte = int(p[pc])
 			}
 			depth++
 		case a >= PUSHWORD:
@@ -139,8 +166,27 @@ func Validate(p Program, opt ValidateOptions) (Info, error) {
 			if n > info.MaxWord {
 				info.MaxWord = n
 			}
+			if depth < StackDepth {
+				known[depth] = false
+			}
 			depth++
 		default: // PUSHZERO..PUSH00FF, PUSHHDRLEN, PUSHPKTLEN
+			if depth < StackDepth {
+				switch a {
+				case PUSHZERO:
+					known[depth], kval[depth] = true, 0
+				case PUSHONE:
+					known[depth], kval[depth] = true, 1
+				case PUSHFFFF:
+					known[depth], kval[depth] = true, 0xFFFF
+				case PUSHFF00:
+					known[depth], kval[depth] = true, 0xFF00
+				case PUSH00FF:
+					known[depth], kval[depth] = true, 0x00FF
+				default: // PUSHHDRLEN, PUSHPKTLEN: per-packet values
+					known[depth] = false
+				}
+			}
 			depth++
 		}
 		if depth > StackDepth {
@@ -155,7 +201,62 @@ func Validate(p Program, opt ValidateOptions) (Info, error) {
 			if depth < 2 {
 				return info, fmt.Errorf("%w: %v at word %d", ErrUnderflow, op, pc)
 			}
+			t1k, t1 := known[depth-1], kval[depth-1]
+			t2k, t2 := known[depth-2], kval[depth-2]
+			both := t1k && t2k
 			depth-- // pop two, push one
+			resK, resV := false, uint16(0)
+			switch op {
+			case EQ:
+				resK, resV = both, b2w(both && t2 == t1)
+			case NEQ:
+				resK, resV = both, b2w(both && t2 != t1)
+			case LT:
+				resK, resV = both, b2w(both && t2 < t1)
+			case LE:
+				resK, resV = both, b2w(both && t2 <= t1)
+			case GT:
+				resK, resV = both, b2w(both && t2 > t1)
+			case GE:
+				resK, resV = both, b2w(both && t2 >= t1)
+			case AND:
+				resK, resV = both, t2&t1
+			case OR:
+				resK, resV = both, t2|t1
+			case XOR:
+				resK, resV = both, t2^t1
+			case ADD:
+				resK, resV = both, t2+t1
+			case SUB:
+				resK, resV = both, t2-t1
+			case MUL:
+				resK, resV = both, t2*t1
+			case LSH:
+				resK, resV = both, t2<<(t1&15)
+			case RSH:
+				resK, resV = both, t2>>(t1&15)
+			case COR:
+				if both && t2 == t1 {
+					worstCapped = true
+				}
+				resK, resV = true, 0 // COR pushes FALSE when it continues
+			case CAND:
+				if both && t2 != t1 {
+					worstCapped = true
+				}
+				resK, resV = true, 1 // CAND pushes TRUE when it continues
+			case CNOR:
+				if both && t2 == t1 {
+					worstCapped = true
+				}
+				resK, resV = true, 0
+			case CNAND:
+				if both && t2 != t1 {
+					worstCapped = true
+				}
+				resK, resV = true, 1
+			}
+			known[depth-1], kval[depth-1] = resK, resV
 		}
 	}
 	if depth == 0 {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vtime"
+	"repro/internal/workload"
 )
 
 // The golden-trace corpus: a grid of (config, seed) universes whose
@@ -29,10 +30,13 @@ import (
 
 // goldenCfg is one delivery configuration of the corpus.
 type goldenCfg struct {
-	name     string
-	coalesce bool // interrupt coalescing, budget 4 / 2 mSec
-	ring     bool // drain through a mapped shm ring
-	faults   bool // 20% seeded wire chaos
+	name      string
+	coalesce  bool // interrupt coalescing, budget 4 / 2 mSec
+	ring      bool // drain through a mapped shm ring
+	faults    bool // 20% seeded wire chaos
+	gov       bool // resource governor enabled
+	hostile   bool // burn filter bound ahead of the receiver; odd frames miss
+	admission bool // tight watermarks and a dawdling reader
 }
 
 func goldenConfigs() []goldenCfg {
@@ -42,16 +46,22 @@ func goldenConfigs() []goldenCfg {
 		{name: "ring", ring: true},
 		{name: "faults", faults: true},
 		{name: "all", coalesce: true, ring: true, faults: true},
+		// The governance cells pin the defensive kernel: "quota" runs a
+		// max-length burn filter into quarantine so misses die as
+		// DropQuota, "admission" starves the reader under tight
+		// watermarks so the overload controller sheds DropAdmission.
+		{name: "quota", gov: true, hostile: true},
+		{name: "admission", gov: true, admission: true},
 	}
 }
 
-// goldenFrame builds a Pup frame to socket 35 carrying seq and
+// goldenFrame builds a Pup frame to the given socket carrying seq and
 // rng-derived filler.
-func goldenFrame(rng *rand.Rand, seq int) []byte {
+func goldenFrame(rng *rand.Rand, seq int, socket byte) []byte {
 	size := 22 + rng.Intn(160)
 	payload := make([]byte, size)
 	payload[3] = byte(seq)
-	payload[13] = 35
+	payload[13] = socket
 	for i := 22; i < size; i++ {
 		payload[i] = byte(rng.Intn(256))
 	}
@@ -59,8 +69,10 @@ func goldenFrame(rng *rand.Rand, seq int) []byte {
 }
 
 // goldenRun drives one fully traced universe and digests everything
-// observable about it into one hash.
-func goldenRun(seed uint64, cfg goldenCfg) string {
+// observable about it into one hash; the span aggregate comes back too
+// so the governance cells can be checked for actually exercising the
+// taxonomy they pin.
+func goldenRun(seed uint64, cfg goldenCfg) (string, *trace.Spans) {
 	s := sim.New(vtime.DefaultCosts())
 	tr := trace.New()
 	rec := &trace.Recorder{}
@@ -76,6 +88,23 @@ func goldenRun(seed uint64, cfg goldenCfg) string {
 		opt.CoalesceBudget = 4
 		opt.CoalesceDelay = 2 * time.Millisecond
 	}
+	if cfg.gov {
+		opt.Gov = pfdev.GovConfig{
+			Enabled:        true,
+			Rate:           20000,
+			Burst:          300,
+			QuarantineBase: 10 * time.Millisecond,
+			QuarantineMax:  80 * time.Millisecond,
+			QuarantineCool: 50 * time.Millisecond,
+			AdmissionHigh:  100000,
+			AdmissionLow:   1000,
+		}
+		if cfg.admission {
+			// Quarantine effectively off; the controller is the story.
+			opt.Gov.Rate, opt.Gov.Burst = 1e9, 1<<30
+			opt.Gov.AdmissionHigh, opt.Gov.AdmissionLow = 6, 2
+		}
+	}
 	da := pfdev.Attach(na, nil, pfdev.Options{})
 	db := pfdev.Attach(nb, nil, opt)
 	if cfg.faults {
@@ -89,6 +118,14 @@ func goldenRun(seed uint64, cfg goldenCfg) string {
 		port.SetFilter(p, filter.DstSocketFilter(10, 35))
 		port.SetQueueLimit(p, 4*n)
 		port.SetTimeout(p, 10*time.Millisecond)
+		if cfg.hostile {
+			burn := db.Open(p)
+			if err := burn.SetFilter(p, filter.Filter{
+				Priority: 20, Program: workload.BurnProgram(),
+			}); err != nil {
+				panic(err)
+			}
+		}
 		if cfg.ring {
 			reg := shm.NewRegistry(hb)
 			seg, err := reg.Map(p, "golden", port.RingLayoutSize(2*n))
@@ -111,6 +148,11 @@ func goldenRun(seed uint64, cfg goldenCfg) string {
 				idle++
 			} else {
 				idle = 0
+				if cfg.admission {
+					// Dawdle so the backlog climbs through the high
+					// watermark and the controller has to shed.
+					p.Sleep(3 * time.Millisecond)
+				}
 			}
 		}
 	})
@@ -119,7 +161,13 @@ func goldenRun(seed uint64, cfg goldenCfg) string {
 		port := da.Open(p)
 		p.Sleep(2 * time.Millisecond)
 		for i := 0; i < n; i++ {
-			if err := port.Write(p, goldenFrame(rng, i)); err != nil {
+			socket := byte(35)
+			if cfg.hostile && i%2 == 1 {
+				// Odd frames miss every filter: once the burn port is
+				// quarantined they die as DropQuota, not DropNoMatch.
+				socket = 99
+			}
+			if err := port.Write(p, goldenFrame(rng, i, socket)); err != nil {
 				panic(err)
 			}
 			p.Sleep(time.Duration(100+rng.Intn(1200)) * time.Microsecond)
@@ -143,23 +191,31 @@ func goldenRun(seed uint64, cfg goldenCfg) string {
 	// a shifted trace event would.
 	fmt.Fprintf(h, "spans %s\n", spanSignature(sp))
 	fmt.Fprintf(h, "end %d\n", end)
-	return hex.EncodeToString(h.Sum(nil))
+	return hex.EncodeToString(h.Sum(nil)), sp
 }
 
 // goldenHashes pins the corpus.  When an intentional behavior change
 // moves a trace, the failure message prints the new hash — re-pin it
 // here only after confirming the shift is intended.
 var goldenHashes = map[string]string{
-	"plain/1":    "e8c0b54b0a82ba7e515fa8f60317fdad53eeb791e21ae72b2578677b720e5ce2",
-	"plain/2":    "8627cdff771977e5d7befc4021c4895d5b6a5da3112e808eacbca9b278e956f4",
-	"coalesce/1": "a1e9e7bf22d5383d52a0935a335b48eefac6d8437d2d87d82a39f0cba6a374d8",
-	"coalesce/2": "7521f628e019badead69fe25bb3df635c88362f880d6f8dc7f41063a34ad1ab8",
-	"ring/1":     "99eb5ad4cd7ffa0f7d910e81e56d223c852a5fcace7f9734625f634447566fd5",
-	"ring/2":     "d5b75bb9874a59f0266a218aaf3cdce5648828611a1684daa8e769a46908d699",
-	"faults/1":   "260da025e881fb877f0e89db7b887019e0e5b6874e17f244d8dfaeac7862800d",
-	"faults/2":   "817d84f3d5662fbde99e97b622a776c7b6b7681ee84eeff8c2121f366005af93",
-	"all/1":      "95a84604d028ad9d70d76d2f1fbd311cb55e83dd38ca58609b54be8e45d05d8a",
-	"all/2":      "a20137721caa18581dc079849b866619c7af51f380adf1dacf5d9e6be7d5d9e9",
+	// Re-pinned when the drop taxonomy grew DropQuota and DropAdmission:
+	// spanSignature folds the whole per-reason counter array into the
+	// digest, so two new (zero) columns moved every hash.  Events,
+	// counters and the final clock were verified unchanged.
+	"plain/1":     "0c92fc02fce7ffd97bce6cf9764739729c8ccb572933da7ade0200b8e7708bc0",
+	"plain/2":     "5a2c991bc8ae24ade84efec6e2bb598df6270803dc045e04e8c498940f312eea",
+	"coalesce/1":  "038a900cf4531d37f7d83518ad09551e1475ebeb6db8d1d2c6c10c2a18058c91",
+	"coalesce/2":  "e91f6669fecf6ea14ef3349900db623e4b52f8a2f3902407aaced3e577875fb8",
+	"ring/1":      "0d933a826d359481c7c29be16cb01b6982af46ec29385065702691854f0252e4",
+	"ring/2":      "11b32c8e874609f36f7f9cb4cc61e91989aed2bc9b1d8512c612c5a0bcf9388e",
+	"faults/1":    "650b3dc614d1d2a9a412d4ca69d4dd6375616c5fbaa567cb12e7f32e35eb0932",
+	"faults/2":    "0052cc886cb06d3fef6032733c337a6bcd478c2262af12a5a4b46353cb636861",
+	"all/1":       "2dcbc57c7cf4f952dd6a465bb3f746767a3fb95ca72e0dca143cf6301931a4ba",
+	"all/2":       "2e0e06b4f6fa9dc64daab070a3a09fb31e790e11106f4643928af9c6b670d906",
+	"quota/1":     "eca6967646b6ebd4408f1fd86861965a1a7916937db268a1612ebf3ec75fc7ed",
+	"quota/2":     "d33c76019b156a0b0349db9175d0636333a89c39dc53b399201d00a82474c512",
+	"admission/1": "654f43d376570511265169719b37388e5c447fa880b5e64a69ff0a77df7e7e48",
+	"admission/2": "a963d000cb0b0123dd2efb8e8cc8635bd41ff18fa285f227429f2ea27b46ec55",
 }
 
 // goldenCells enumerates the corpus in deterministic order.
@@ -181,7 +237,8 @@ func TestGoldenTraceCorpus(t *testing.T) {
 	keys, cfgs, seeds := goldenCells()
 	for _, workers := range []int{1, 4} {
 		got := parsim.Map(len(keys), workers, func(i int) string {
-			return goldenRun(seeds[i], cfgs[i])
+			h, _ := goldenRun(seeds[i], cfgs[i])
+			return h
 		})
 		for i, key := range keys {
 			want := goldenHashes[key]
@@ -192,6 +249,32 @@ func TestGoldenTraceCorpus(t *testing.T) {
 			if got[i] != want {
 				t.Errorf("workers=%d: %s: trace hash %s, want %s", workers, key, got[i], want)
 			}
+		}
+	}
+}
+
+// TestGoldenGovCellsExerciseTaxonomy guards the governance cells
+// against silently going stale: their pins are only meaningful while
+// the quota cell really produces DropQuota and the admission cell
+// really sheds DropAdmission — and both must conserve exactly.
+func TestGoldenGovCellsExerciseTaxonomy(t *testing.T) {
+	keys, cfgs, seeds := goldenCells()
+	for i, key := range keys {
+		var want trace.DropReason
+		switch cfgs[i].name {
+		case "quota":
+			want = trace.DropQuota
+		case "admission":
+			want = trace.DropAdmission
+		default:
+			continue
+		}
+		_, sp := goldenRun(seeds[i], cfgs[i])
+		if sp.Drops[want] == 0 {
+			t.Errorf("%s: cell produced no %v drops; the pin proves nothing", key, want)
+		}
+		if got, acc := sp.Created, sp.DeliveredUser+sp.DeliveredKernel+sp.TotalDrops()+sp.Live(); got != acc {
+			t.Errorf("%s: conservation broken: created=%d accounted=%d", key, got, acc)
 		}
 	}
 }

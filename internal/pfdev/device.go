@@ -112,6 +112,11 @@ type Options struct {
 	// that arrive while a previous burst is being serviced, adding
 	// no latency.
 	CoalesceDelay time.Duration
+	// Gov configures the resource governor (gov.go): per-port CPU
+	// token buckets with quarantine, and overload admission control
+	// at demux entry.  The zero value disables it and leaves every
+	// receive path byte-identical to the ungoverned device.
+	Gov GovConfig
 }
 
 // Device is one packet-filter pseudodevice instance bound to one
@@ -160,6 +165,15 @@ type Device struct {
 	markFilterFn      func()
 	markBurstFilterFn func()
 
+	// Governor state (gov.go): queuedTotal tracks packets queued
+	// across all ports O(1); scanQuarSkip is set by a match pass that
+	// skipped at least one quarantined filter, so a resulting
+	// no-match drop is attributed DropQuota rather than DropNoMatch.
+	queuedTotal    int
+	shedding       bool
+	admissionSheds uint64
+	scanQuarSkip   bool
+
 	// KernelDrops counts packets that matched no filter or
 	// overflowed a port queue.
 	KernelDrops uint64
@@ -170,6 +184,9 @@ type Device struct {
 func Attach(nic *ethersim.NIC, kern KernelProtocol, opt Options) *Device {
 	if opt.ReorderEvery <= 0 {
 		opt.ReorderEvery = 64
+	}
+	if opt.Gov.Enabled {
+		opt.Gov = opt.Gov.withDefaults()
 	}
 	d := &Device{host: nic.Host(), nic: nic, opt: opt, kern: kern}
 	d.deliverOneFn = d.deliverOne
@@ -210,6 +227,8 @@ func (d *Device) crash() {
 	d.pendHead = 0
 	d.burstLens = d.burstLens[:0]
 	d.burstHead = 0
+	d.queuedTotal = 0
+	d.shedding = false
 	for _, port := range ports {
 		for _, pkt := range port.queued() {
 			tr.SpanDrop(pkt.span, now, d.host.Name(), trace.DropCrash)
@@ -301,6 +320,11 @@ func (d *Device) inputSpanned(frame []byte, span uint64) {
 	if d.claim(frame, span) {
 		return
 	}
+	if !d.admitFrame() {
+		// Overload: shed at demux entry, before any filter cost.
+		d.shedFrame(span)
+		return
+	}
 	arrival := d.host.Sim().Now()
 	tr := d.host.Sim().Tracer()
 	if tr != nil {
@@ -327,6 +351,7 @@ func (d *Device) inputSpanned(frame []byte, span uint64) {
 	} else {
 		dl.ports, filterCost = d.linearMatch(frame, dl.ports)
 	}
+	dl.quarSkip = d.scanQuarSkip
 	cost := costs.PfInput
 
 	for _, port := range dl.ports {
@@ -370,6 +395,10 @@ type delivery struct {
 	arrival time.Duration
 	span    uint64
 	ports   []*Port
+	// quarSkip records that the frame's match pass skipped at least
+	// one quarantined filter, so a no-match outcome is the governor's
+	// doing (DropQuota) rather than the filter set's (DropNoMatch).
+	quarSkip bool
 }
 
 // pushPending appends a pending delivery, reusing a recycled slot's
@@ -384,6 +413,7 @@ func (d *Device) pushPending(frame []byte, arrival time.Duration) *delivery {
 	dl := &d.pend[n]
 	dl.frame, dl.arrival, dl.span = frame, arrival, 0
 	dl.ports = dl.ports[:0]
+	dl.quarSkip = false
 	return dl
 }
 
@@ -424,10 +454,14 @@ func (d *Device) deliverOne() {
 		d.KernelDrops++
 		d.host.Counters.PacketsDropped++
 		d.host.Sim().Counters.PacketsDropped++
-		if tr != nil {
-			tr.Drop(d.host.Sim().Now(), d.host.Name(), "nomatch")
+		reason, label := trace.DropNoMatch, "nomatch"
+		if dl.quarSkip {
+			reason, label = trace.DropQuota, "quota"
 		}
-		tr.SpanDrop(dl.span, d.host.Sim().Now(), d.host.Name(), trace.DropNoMatch)
+		if tr != nil {
+			tr.Drop(d.host.Sim().Now(), d.host.Name(), label)
+		}
+		tr.SpanDrop(dl.span, d.host.Sim().Now(), d.host.Name(), reason)
 		return
 	}
 	for i, port := range dl.ports {
@@ -473,6 +507,10 @@ func (d *Device) inputBurst(frames [][]byte) {
 		if d.claim(frame, span) {
 			continue
 		}
+		if !d.admitFrame() {
+			d.shedFrame(span)
+			continue
+		}
 		if tr != nil {
 			tr.PacketIn(arrival, d.host.Name())
 		}
@@ -489,6 +527,7 @@ func (d *Device) inputBurst(frames [][]byte) {
 		} else {
 			dl.ports, fc = d.linearMatch(frame, dl.ports)
 		}
+		dl.quarSkip = d.scanQuarSkip
 		filterCost += fc
 		if nDel == 0 {
 			pfCost += costs.PfInput
@@ -526,10 +565,14 @@ func (d *Device) deliverBurst() {
 			d.KernelDrops++
 			d.host.Counters.PacketsDropped++
 			d.host.Sim().Counters.PacketsDropped++
-			if tr != nil {
-				tr.Drop(now, d.host.Name(), "nomatch")
+			reason, label := trace.DropNoMatch, "nomatch"
+			if dl.quarSkip {
+				reason, label = trace.DropQuota, "quota"
 			}
-			tr.SpanDrop(dl.span, now, d.host.Name(), trace.DropNoMatch)
+			if tr != nil {
+				tr.Drop(now, d.host.Name(), label)
+			}
+			tr.SpanDrop(dl.span, now, d.host.Name(), reason)
 			continue
 		}
 		for i, port := range dl.ports {
@@ -559,8 +602,16 @@ func (d *Device) linearMatch(frame []byte, dst []*Port) ([]*Port, time.Duration)
 	now := d.host.Sim().Now()
 	var cost time.Duration
 	accepted := dst
+	gov := d.opt.Gov.Enabled
+	d.scanQuarSkip = false
 	for _, port := range d.ports {
 		if port.closed || port.prog == nil {
+			continue
+		}
+		if gov && !port.govAdmit(now, &d.opt.Gov) {
+			// Quarantined: the filter is skipped outright — no setup
+			// cost, no instruction charges, no chance to match.
+			d.scanQuarSkip = true
 			continue
 		}
 		d.host.Counters.FilterApplied++
@@ -578,6 +629,9 @@ func (d *Device) linearMatch(frame []byte, dst []*Port) ([]*Port, time.Duration)
 		d.host.Counters.FilterInstrs += uint64(instrs)
 		d.host.Sim().Counters.FilterInstrs += uint64(instrs)
 		port.instrs += uint64(instrs)
+		if gov {
+			port.govCharge(instrs)
+		}
 		if tr != nil {
 			tr.FilterEval(now, d.host.Name(), port.id, instrs, accept)
 		}
@@ -624,6 +678,10 @@ func (d *Device) linearMatch(frame []byte, dst []*Port) ([]*Port, time.Duration)
 // reordering carries over) and a non-copy-all accept ends delivery.
 func (d *Device) tableMatch(frame []byte, dst []*Port) ([]*Port, time.Duration) {
 	costs := d.host.Costs()
+	d.scanQuarSkip = false
+	if d.opt.Gov.Enabled {
+		d.scanQuarSkip = d.govPrepareTable(d.host.Sim().Now())
+	}
 	if d.table == nil {
 		d.rebuildTable()
 	}
@@ -674,12 +732,16 @@ func (d *Device) tableMatch(frame []byte, dst []*Port) ([]*Port, time.Duration) 
 
 	tr := d.host.Sim().Tracer()
 	now := d.host.Sim().Now()
+	gov := d.opt.Gov.Enabled
 	for _, le := range res.Linear {
 		port := d.tablePorts[le.Idx]
 		if port.closed {
 			continue
 		}
 		port.instrs += uint64(le.Instrs)
+		if gov {
+			port.govCharge(le.Instrs)
+		}
 		if tr != nil {
 			tr.FilterEval(now, d.host.Name(), port.id, le.Instrs, le.Accept)
 		}
@@ -694,6 +756,9 @@ func (d *Device) tableMatch(frame []byte, dst []*Port) ([]*Port, time.Duration) 
 				in++
 			}
 			port.instrs += uint64(in)
+			if gov {
+				port.govCharge(in)
+			}
 			if tr != nil {
 				tr.FilterEval(now, d.host.Name(), port.id, in, true)
 			}
@@ -710,9 +775,10 @@ func (d *Device) tableMatch(frame []byte, dst []*Port) ([]*Port, time.Duration) 
 
 func (d *Device) rebuildTable() {
 	var filters []filter.Filter
+	gov := d.opt.Gov.Enabled
 	d.tablePorts = d.tablePorts[:0]
 	for _, port := range d.ports {
-		if port.closed || port.prog == nil {
+		if port.closed || port.prog == nil || (gov && !port.tableActive) {
 			continue
 		}
 		filters = append(filters, filter.Filter{Priority: port.priority, Program: port.prog})

@@ -32,6 +32,10 @@ type Packet struct {
 
 	// span is the packet's provenance span (0 when untracked).
 	span uint64
+
+	// qAt is when the packet entered the port queue; delivery
+	// subtracts it to feed the port's queue-residency accounting.
+	qAt time.Duration
 }
 
 // Span returns the packet's provenance span id (0 when untracked), so
@@ -78,6 +82,27 @@ type Port struct {
 	applyBurst  uint64
 	wakePending bool
 
+	// Governor state (gov.go).  govTokens is the CPU token bucket in
+	// instruction units, refilled lazily at govRefill; govBound is the
+	// bound filter's scaled worst-case price, pre-admission checked
+	// against the bucket.  quarUntil/quarPenalty implement the
+	// doubling-backoff quarantine; tableActive mirrors the standing
+	// baked into the merged decision table.
+	govTokens   float64
+	govRefill   time.Duration
+	govBound    int
+	quarUntil   time.Duration
+	quarPenalty time.Duration
+	tableActive bool
+	fuelSpent   uint64 // instruction units charged against the bucket
+	quarantines uint64 // times the port entered quarantine
+	quarSkips   uint64 // filter evaluations skipped while quarantined
+
+	// Queue-residency accounting: total and count of time delivered
+	// packets spent on the input queue.
+	qresSum time.Duration
+	qresN   uint64
+
 	// ring, when non-nil, is the mapped shared-memory ring (ring.go);
 	// the counters below split delivery between the two paths.
 	ring        *ring
@@ -109,10 +134,18 @@ const DefaultQueueLimit = 32
 func (d *Device) Open(p *sim.Proc) *Port {
 	p.Syscall("pf")
 	port := &Port{
-		dev:        d,
-		id:         d.nextID,
-		queueLimit: DefaultQueueLimit,
-		readers:    d.host.Sim().NewWaitQ(),
+		dev:         d,
+		id:          d.nextID,
+		queueLimit:  DefaultQueueLimit,
+		readers:     d.host.Sim().NewWaitQ(),
+		tableActive: true,
+	}
+	if g := d.opt.Gov; g.Enabled {
+		// The bucket starts full at open time — rebinding a filter
+		// deliberately does not refill it, so a hostile port cannot
+		// launder its debt through SetFilter.
+		port.govTokens = float64(g.Burst)
+		port.govRefill = d.host.Sim().Now()
 	}
 	d.nextID++
 	d.ports = append(d.ports, port)
@@ -165,6 +198,9 @@ func (port *Port) SetFilter(p *sim.Proc, f filter.Filter) error {
 	}
 	port.prog = f.Program.Clone()
 	port.priority = f.Priority
+	if port.dev.opt.Gov.Enabled {
+		port.govBound = govBoundFor(port.dev.opt.Mode, port.prog, opt)
+	}
 	port.dev.sortPorts()
 	return nil
 }
@@ -249,6 +285,7 @@ func (port *Port) popFront(n int) {
 		port.queue[i] = Packet{}
 	}
 	port.qhead += n
+	port.dev.queuedTotal -= n
 	switch {
 	case port.qhead == len(port.queue):
 		port.queue = port.queue[:0]
@@ -324,11 +361,13 @@ func (port *Port) enqueueQuiet(frame []byte, arrived time.Duration, span uint64)
 		// moves no data.
 		frame, slot = r.deposit(frame)
 	}
-	pkt := Packet{Data: frame, Drops: port.dropped, arrived: arrived, slot: slot, span: span}
+	pkt := Packet{Data: frame, Drops: port.dropped, arrived: arrived, slot: slot, span: span,
+		qAt: h.Sim().Now()}
 	if port.stamp {
 		pkt.Stamp = h.Sim().Now()
 	}
 	port.queue = append(port.queue, pkt)
+	port.dev.queuedTotal++
 	if port.qlen() > port.maxQueued {
 		port.maxQueued = port.qlen()
 	}
@@ -393,6 +432,8 @@ func (port *Port) Read(p *sim.Proc) (Packet, error) {
 	}
 	pkt := port.queue[port.qhead]
 	port.popFront(1)
+	port.qresSum += p.Now() - pkt.qAt
+	port.qresN++
 	if r := port.ring; r != nil && pkt.slot > 0 {
 		// Read copies the frame out of its ring slot; the slot frees
 		// immediately.
@@ -459,6 +500,10 @@ func (port *Port) drainBatch(p *sim.Proc, viaRing bool) ([]Packet, error) {
 	batch := make([]Packet, n)
 	copy(batch, port.queued()[:n])
 	port.popFront(n)
+	for i := range batch {
+		port.qresSum += p.Now() - batch[i].qAt
+	}
+	port.qresN += uint64(n)
 	// Charge each packet against the ring as it exists *now* — the
 	// mapping may have appeared or dissolved while we blocked.  Only
 	// frames that actually sit in a live ring slot and leave through
@@ -597,12 +642,23 @@ type PortStats struct {
 	BytesCopied  uint64 `json:"bytes_copied"`  // payload bytes moved kernel<->user
 	BytesMapped  uint64 `json:"bytes_mapped"`  // payload bytes delivered/sent in place
 	DescErrors   uint64 `json:"desc_errors"`   // malformed ring descriptors rejected
+
+	// Governor and residency accounting (gov.go); the governed fields
+	// stay zero on an ungoverned device.
+	FuelSpent       uint64        `json:"fuel_spent,omitempty"`       // instruction units charged
+	Quarantines     uint64        `json:"quarantines,omitempty"`      // penalty windows entered
+	QuarantineSkips uint64        `json:"quarantine_skips,omitempty"` // evaluations skipped under quarantine
+	AvgResidency    time.Duration `json:"avg_residency_ns,omitempty"` // mean queue residency of delivered packets
 }
 
 // Stats reports the port's statistics block (kernel bookkeeping only;
 // no system call is charged — the device status read PortStats is the
 // user-visible ioctl).
 func (port *Port) Stats() PortStats {
+	var res time.Duration
+	if port.qresN > 0 {
+		res = port.qresSum / time.Duration(port.qresN)
+	}
 	return PortStats{
 		ID:           port.id,
 		Priority:     port.priority,
@@ -619,6 +675,11 @@ func (port *Port) Stats() PortStats {
 		BytesCopied:  port.bytesCopied,
 		BytesMapped:  port.bytesMapped,
 		DescErrors:   port.descErrors,
+
+		FuelSpent:       port.fuelSpent,
+		Quarantines:     port.quarantines,
+		QuarantineSkips: port.quarSkips,
+		AvgResidency:    res,
 	}
 }
 
@@ -651,6 +712,7 @@ func (port *Port) Close(p *sim.Proc) {
 	}
 	p.Syscall("pf")
 	port.closed = true
+	port.dev.queuedTotal -= port.qlen()
 	// Packets still queued will never be read; their spans die typed.
 	tr := port.dev.host.Sim().Tracer()
 	now := port.dev.host.Sim().Now()

@@ -111,6 +111,13 @@ const (
 	DropHops
 	// DropNoRoute: a gateway had no route for the packet.
 	DropNoRoute
+	// DropQuota: the packet matched no port while at least one
+	// over-budget port's filter was skipped under quarantine — the
+	// resource governor, not the filter set, decided its fate.
+	DropQuota
+	// DropAdmission: the overload admission controller shed the frame
+	// at demux entry, before any filter cost was paid.
+	DropAdmission
 
 	// NumDropReasons sizes taxonomy arrays.
 	NumDropReasons
@@ -132,6 +139,8 @@ var dropNames = [NumDropReasons]string{
 	DropTTL:        "ttl",
 	DropHops:       "hops",
 	DropNoRoute:    "no_route",
+	DropQuota:      "quota",
+	DropAdmission:  "admission",
 }
 
 // dropCounterNames pre-interns the per-host taxonomy counter names so

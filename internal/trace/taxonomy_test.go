@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestDropReasonNamesExhaustive pins that every DropReason renders as a
+// real name: a reason added without a dropNames entry would show up as
+// "unknown" (and as a bare number in older formats) in pfstat output
+// and flight-recorder dumps.
+func TestDropReasonNamesExhaustive(t *testing.T) {
+	seen := make(map[string]bool, NumDropReasons)
+	for r := DropReason(0); r < NumDropReasons; r++ {
+		name := r.String()
+		if name == "" || name == "unknown" {
+			t.Errorf("DropReason(%d) has no String() name", r)
+		}
+		if seen[name] {
+			t.Errorf("DropReason(%d) duplicates name %q", r, name)
+		}
+		seen[name] = true
+		if got := dropCounterNames[r]; got != "span.drop."+name {
+			t.Errorf("DropReason(%d): interned counter name %q, want %q", r, got, "span.drop."+name)
+		}
+	}
+	if DropReason(NumDropReasons).String() != "unknown" {
+		t.Errorf("out-of-range DropReason should render as unknown")
+	}
+}
+
+// TestDropReasonsDocumented pins that every DropReason has a row in
+// DESIGN.md's drop-taxonomy table, so the documentation cannot drift
+// behind the code when a new reason is added.
+func TestDropReasonsDocumented(t *testing.T) {
+	doc, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	text := string(doc)
+	for r := DropReason(0); r < NumDropReasons; r++ {
+		row := fmt.Sprintf("| `%s` |", r)
+		if !strings.Contains(text, row) {
+			t.Errorf("DESIGN.md has no drop-taxonomy table row %q for DropReason(%d)", row, r)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/pfdev"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+// TestBurnProgram pins the hostile filter's contract: maximum length,
+// no statically provable early exit, every instruction executing on a
+// normal packet, and a reject verdict so the scan continues past it.
+func TestBurnProgram(t *testing.T) {
+	p := BurnProgram()
+	info, err := filter.Validate(p, filter.ValidateOptions{})
+	if err != nil {
+		t.Fatalf("BurnProgram does not validate: %v", err)
+	}
+	if info.Instrs != filter.MaxProgramLen || info.WorstInstrs != filter.MaxProgramLen {
+		t.Fatalf("Instrs=%d WorstInstrs=%d, want both %d",
+			info.Instrs, info.WorstInstrs, filter.MaxProgramLen)
+	}
+	for _, pkt := range [][]byte{make([]byte, 64), {0xFF, 0xFF}, make([]byte, 600)} {
+		r := filter.Run(p, pkt)
+		if r.Err != nil {
+			t.Fatalf("burn filter errored on %d-byte packet: %v", len(pkt), r.Err)
+		}
+		if r.Accept {
+			t.Fatalf("burn filter accepted a packet; it must fall through")
+		}
+		if r.Instrs != filter.MaxProgramLen {
+			t.Fatalf("executed %d instrs on %d-byte packet, want %d",
+				r.Instrs, len(pkt), filter.MaxProgramLen)
+		}
+	}
+}
+
+// TestSearchAdversarial checks the hill-climber: deterministic for a
+// seed, strictly better than its trivial starting point, and bounded
+// by the language's ceiling that BurnProgram attains.
+func TestSearchAdversarial(t *testing.T) {
+	pkts := [][]byte{make([]byte, 64), make([]byte, 128)}
+	for i := range pkts {
+		for j := range pkts[i] {
+			pkts[i][j] = byte(i + j)
+		}
+	}
+	prog, score := SearchAdversarial(11, 4000, pkts)
+	prog2, score2 := SearchAdversarial(11, 4000, pkts)
+	if score != score2 || !prog.Equal(prog2) {
+		t.Fatalf("search is not deterministic: %d vs %d", score, score2)
+	}
+	if score <= len(pkts) {
+		t.Fatalf("search found nothing beyond the 1-instruction baseline: %d", score)
+	}
+	ceiling := filter.MaxProgramLen * len(pkts)
+	if score > ceiling {
+		t.Fatalf("score %d exceeds the language ceiling %d", score, ceiling)
+	}
+	if burn := BurnProgram(); score > len(pkts)*filter.MustValidate(burn, filter.ValidateOptions{}).WorstInstrs {
+		t.Fatalf("search beat BurnProgram, which should be the worst case")
+	}
+	if _, err := filter.Validate(prog, filter.ValidateOptions{}); err != nil {
+		t.Fatalf("search returned an invalid program: %v", err)
+	}
+}
+
+// TestStormGenerators drives both hostile traffic patterns into a live
+// device and checks their defining properties: broadcast-storm frames
+// reach every other host on the wire, and port-churn frames make a
+// bound socket filter do work without ever matching.
+func TestStormGenerators(t *testing.T) {
+	s := sim.New(vtime.DefaultCosts())
+	net := ethersim.New(s, ethersim.Ether3Mb)
+	ha, hb, hc := s.NewHost("atk"), s.NewHost("b"), s.NewHost("c")
+	na := net.Attach(ha, 1)
+	nb, nc := net.Attach(hb, 2), net.Attach(hc, 3)
+	db, dc := pfdev.Attach(nb, nil, pfdev.Options{}), pfdev.Attach(nc, nil, pfdev.Options{})
+
+	var pb, pc *pfdev.Port
+	s.Spawn(hb, "openb", func(p *sim.Proc) {
+		pb = db.Open(p)
+		pb.SetFilter(p, filter.DstSocketFilter(10, 0x100))
+	})
+	s.Spawn(hc, "openc", func(p *sim.Proc) {
+		pc = dc.Open(p)
+		pc.SetFilter(p, filter.DstSocketFilter(10, 0x100))
+	})
+	s.Spawn(ha, "storm", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		g := NewGenerator(5, ethersim.Ether3Mb, Mix{PctPF: 100}, []uint32{0x100})
+		g.BroadcastStorm(p, na, 20, 200*time.Microsecond)
+		g.PortChurnFlood(p, na, 2, 30, 200*time.Microsecond)
+	})
+	s.Run(0)
+
+	bs, cs := pb.Stats(), pc.Stats()
+	if bs.Matched == 0 || cs.Matched == 0 {
+		t.Fatalf("broadcast storm did not reach both hosts: b=%d c=%d matches",
+			bs.Matched, cs.Matched)
+	}
+	// The churn flood was unicast to host b, and none of its 30 frames
+	// may match the socket-0x100 filter — but each one costs a scan.
+	if bs.Matched != 20 {
+		t.Fatalf("churn frames matched the socket filter: %d matches, want the 20 storm hits", bs.Matched)
+	}
+	if bs.FilterInstrs == 0 {
+		t.Fatalf("churn flood charged no filter work")
+	}
+}
