@@ -1,0 +1,74 @@
+// Pfload drives an already-running pfserve from outside: it opens
+// ports and binds socket-demux filters over the control socket,
+// injects deterministic traffic as loopback UDP frames, drains the
+// ports with concurrent readers, and reconciles every layer's
+// counters exactly.  Exit status is nonzero if any counter fails to
+// reconcile.
+//
+//	pfload -ctl host:port -udp host:port [-n packets] [-ports k]
+//	       [-seed s] [-profile mix|heavytail] [-link 3mb|10mb] [-json]
+//
+// The link geometry must match the server's.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ethersim"
+	"repro/internal/live"
+)
+
+func main() {
+	ctlAddr := flag.String("ctl", "127.0.0.1:7227", "pfserve control-socket address")
+	udpAddr := flag.String("udp", "127.0.0.1:7228", "pfserve wire UDP address")
+	n := flag.Int("n", 10000, "packets to inject")
+	ports := flag.Int("ports", 8, "receiving ports to open")
+	seed := flag.Int64("seed", 42, "workload seed")
+	profile := flag.String("profile", "mix", "traffic profile: mix or heavytail")
+	linkName := flag.String("link", "10mb", "frame geometry: 3mb or 10mb (must match the server)")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	link := ethersim.Ether3Mb
+	if *linkName == "10mb" {
+		link = ethersim.Ether10Mb
+	} else if *linkName != "3mb" {
+		fmt.Fprintln(os.Stderr, "pfload: -link must be 3mb or 10mb")
+		os.Exit(2)
+	}
+
+	rep, err := live.RunLoad(*ctlAddr, *udpAddr, live.LoadConfig{
+		Packets: *n, Ports: *ports, Seed: *seed, Link: link, Profile: *profile,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfload:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfload:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(raw))
+	} else {
+		fmt.Printf("pfload: sent %d frames in %v (%.0f pkt/s injection, %.0f pkt/s end to end)\n",
+			rep.Sent, rep.SendTime.Round(0), rep.SendRate(), rep.Rate())
+		fmt.Printf("pfload: %d delivered to readers across %d ports\n", rep.Delivered, *ports)
+		if st := rep.Stats; st != nil && st.Spans != nil {
+			fmt.Printf("pfload: spans %d created = %d delivered + %d dropped (%d live)\n",
+				st.Spans.Created, st.Spans.DeliveredUser, st.Spans.TotalDrops, st.Spans.Live)
+		}
+	}
+	if len(rep.Errors) > 0 {
+		for _, e := range rep.Errors {
+			fmt.Fprintln(os.Stderr, "pfload: FAIL:", e)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("pfload: reconciliation OK")
+}

@@ -7,6 +7,10 @@
 //	pfstat [-link 3mb|10mb] [-n packets] [-ports k] [-seed s]
 //	       [-json] [-chrome file]
 //
+// With -live addr, pfstat instead connects to a running pfserve's
+// control socket and renders that server's statistics — the same
+// per-port, governor and provenance tables, fed by real packets.
+//
 // The default output is a set of text tables: event counters, queue
 // gauges, arrival-to-delivery latency percentiles, the per-host
 // kernel-time profile with its §6.1 packet-filter summary, per-port
@@ -26,6 +30,7 @@ import (
 	"repro/internal/ethersim"
 	"repro/internal/filter"
 	"repro/internal/inet"
+	"repro/internal/live"
 	"repro/internal/pfdev"
 	"repro/internal/pup"
 	"repro/internal/sim"
@@ -47,7 +52,13 @@ func main() {
 	hostile := flag.Int("hostile", 0, "bind this many adversarial max-length burn filters at the receiver")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	chromeFile := flag.String("chrome", "", "write Chrome trace-event JSON (Perfetto) to this file")
+	liveAddr := flag.String("live", "", "read statistics from a running pfserve control socket at this address instead of simulating")
 	flag.Parse()
+
+	if *liveAddr != "" {
+		liveReport(*liveAddr, *asJSON)
+		return
+	}
 
 	link := ethersim.Ether3Mb
 	if *linkName == "10mb" {
@@ -194,30 +205,9 @@ func main() {
 		fmt.Println(string(raw))
 	} else {
 		fmt.Print(snap.Text())
-		fmt.Println("\nper-port statistics")
-		fmt.Printf("  %4s %4s %6s %5s %5s %8s %8s %6s %7s %7s %5s %8s %8s\n",
-			"port", "prio", "queued", "maxq", "drops", "matched", "instrs",
-			"reads", "batches", "batched", "reaps", "copiedB", "mappedB")
-		for _, ps := range ports {
-			fmt.Printf("  %4d %4d %6d %5d %5d %8d %8d %6d %7d %7d %5d %8d %8d\n",
-				ps.ID, ps.Priority, ps.Queued, ps.MaxQueued, ps.Dropped,
-				ps.Matched, ps.FilterInstrs, ps.Reads, ps.BatchReads, ps.BatchPackets,
-				ps.RingReaps, ps.BytesCopied, ps.BytesMapped)
-		}
+		printPortTable(ports)
 		if *quota {
-			fmt.Println("\nresource governor")
-			fmt.Printf("  admission: %d frames shed, backlog %d, shedding=%v\n",
-				gov.AdmissionSheds, gov.Backlog, gov.Shedding)
-			fmt.Printf("  quarantine: %d quarantines, %d filter evaluations skipped\n",
-				gov.Quarantines, gov.QuarantineSkips)
-			fmt.Printf("  fuel: %d instruction units charged across all ports\n", gov.FuelSpent)
-			fmt.Printf("  %4s %4s %10s %11s %9s %12s\n",
-				"port", "prio", "fuel", "quarantines", "skips", "residency")
-			for _, ps := range ports {
-				fmt.Printf("  %4d %4d %10d %11d %9d %12v\n",
-					ps.ID, ps.Priority, ps.FuelSpent, ps.Quarantines,
-					ps.QuarantineSkips, ps.AvgResidency)
-			}
+			printGovTable(gov, ports)
 		}
 
 		// Every reader binds the same socket-demux program shape;
@@ -237,7 +227,7 @@ func main() {
 		}
 		if sp != nil {
 			fmt.Println("\nper-packet provenance (sampling 1)")
-			fmt.Printf("  %-8s %8s %12s %12s %12s\n", "stage", "count", "mean", "p50", "p99")
+			printStageHeader()
 			stages := []struct{ label, hist string }{
 				{"wire", "span.stage.wire"},
 				{"nic", "span.stage.nic"},
@@ -247,12 +237,10 @@ func main() {
 			}
 			for _, st := range stages {
 				h := tr.Histogram("recv", st.hist)
-				fmt.Printf("  %-8s %8d %12v %12v %12v\n",
-					st.label, h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
+				printStageRow(st.label, uint64(h.Count()), h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
 			}
 			h := sp.Total()
-			fmt.Printf("  %-8s %8d %12v %12v %12v\n",
-				"total", h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
+			printStageRow("total", uint64(h.Count()), h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
 			fmt.Printf("\nflight recorder: %d spans created, %d delivered to users, %d to kernel protocols, %d dropped, %d live\n",
 				sp.Created, sp.DeliveredUser, sp.DeliveredKernel, sp.TotalDrops(), sp.Live())
 			if len(taxonomy) > 0 {
@@ -282,5 +270,103 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "pfstat: wrote %d trace events to %s\n", len(rec.Events), *chromeFile)
+	}
+}
+
+// printPortTable renders the per-port statistics table — shared by the
+// simulated run and -live mode, which feeds it the same PortStats
+// structs fetched over the control socket.
+func printPortTable(ports []pfdev.PortStats) {
+	fmt.Println("\nper-port statistics")
+	fmt.Printf("  %4s %4s %6s %5s %5s %8s %8s %6s %7s %7s %5s %8s %8s\n",
+		"port", "prio", "queued", "maxq", "drops", "matched", "instrs",
+		"reads", "batches", "batched", "reaps", "copiedB", "mappedB")
+	for _, ps := range ports {
+		fmt.Printf("  %4d %4d %6d %5d %5d %8d %8d %6d %7d %7d %5d %8d %8d\n",
+			ps.ID, ps.Priority, ps.Queued, ps.MaxQueued, ps.Dropped,
+			ps.Matched, ps.FilterInstrs, ps.Reads, ps.BatchReads, ps.BatchPackets,
+			ps.RingReaps, ps.BytesCopied, ps.BytesMapped)
+	}
+}
+
+// printGovTable renders the resource-governor block.
+func printGovTable(gov pfdev.GovStats, ports []pfdev.PortStats) {
+	fmt.Println("\nresource governor")
+	fmt.Printf("  admission: %d frames shed, backlog %d, shedding=%v\n",
+		gov.AdmissionSheds, gov.Backlog, gov.Shedding)
+	fmt.Printf("  quarantine: %d quarantines, %d filter evaluations skipped\n",
+		gov.Quarantines, gov.QuarantineSkips)
+	fmt.Printf("  fuel: %d instruction units charged across all ports\n", gov.FuelSpent)
+	fmt.Printf("  %4s %4s %10s %11s %9s %12s\n",
+		"port", "prio", "fuel", "quarantines", "skips", "residency")
+	for _, ps := range ports {
+		fmt.Printf("  %4d %4d %10d %11d %9d %12v\n",
+			ps.ID, ps.Priority, ps.FuelSpent, ps.Quarantines,
+			ps.QuarantineSkips, ps.AvgResidency)
+	}
+}
+
+func printStageHeader() {
+	fmt.Printf("  %-8s %8s %12s %12s %12s\n", "stage", "count", "mean", "p50", "p99")
+}
+
+func printStageRow(label string, count uint64, mean, p50, p99 time.Duration) {
+	fmt.Printf("  %-8s %8d %12v %12v %12v\n", label, count, mean, p50, p99)
+}
+
+// liveReport fetches a running pfserve's statistics over its control
+// socket and renders them with the same tables the simulated report
+// uses.
+func liveReport(addr string, asJSON bool) {
+	ctl, err := live.DialControl(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfstat: live:", err)
+		os.Exit(1)
+	}
+	defer ctl.Close()
+	st, err := ctl.Stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfstat: live:", err)
+		os.Exit(1)
+	}
+
+	if asJSON {
+		raw, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfstat:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(raw))
+		return
+	}
+
+	fmt.Printf("pfserve at %s (live mode)\n", addr)
+	fmt.Printf("device: %d frames received, %d kernel drops, %d queued now\n",
+		st.Device.Received, st.Device.KernelDrops, st.Device.QueuedNow)
+	if st.Wire != nil {
+		fmt.Printf("wire: %d datagrams received, %d bytes\n",
+			st.Wire.Received, st.Wire.RxBytes)
+	}
+	printPortTable(st.Ports)
+	if st.Gov != nil {
+		printGovTable(*st.Gov, st.Ports)
+	}
+	if st.Spans != nil {
+		fmt.Println("\nper-packet provenance (sampling 1)")
+		printStageHeader()
+		for _, sl := range st.Stages {
+			printStageRow(sl.Stage, sl.Count, sl.Mean, sl.P50, sl.P99)
+		}
+		printStageRow("total", st.Spans.Created-st.Spans.Live,
+			st.Spans.TotalMean, st.Spans.TotalP50, st.Spans.TotalP99)
+		fmt.Printf("\nflight recorder: %d spans created, %d delivered to users, %d to kernel protocols, %d dropped, %d live\n",
+			st.Spans.Created, st.Spans.DeliveredUser, st.Spans.DeliveredKernel,
+			st.Spans.TotalDrops, st.Spans.Live)
+		if len(st.Spans.Drops) > 0 {
+			fmt.Println("drop taxonomy")
+			for name, n := range st.Spans.Drops {
+				fmt.Printf("  %-12s %8d\n", name, n)
+			}
+		}
 	}
 }

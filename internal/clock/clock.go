@@ -1,0 +1,73 @@
+// Package clock abstracts the repository's notion of time behind a
+// dual-mode interface, so the same device, filter and governor code
+// can run in two worlds:
+//
+//   - Virtual mode: *sim.Sim implements Clock.  Now is the
+//     deterministic discrete-event clock, AfterFunc rides the event
+//     queue, and callbacks run in event-loop context — exactly one
+//     goroutine is ever runnable, so no locking is needed and every
+//     run is bit-identical.
+//
+//   - Live mode: Wall implements Clock over the machine's real clock.
+//     Now is wall time elapsed since the Wall was created, AfterFunc
+//     is time.AfterFunc, and callbacks run concurrently on their own
+//     goroutines — callers must do their own locking.
+//
+// The contract deliberately exposes time as a time.Duration since an
+// epoch rather than a time.Time: virtual time has no calendar, and
+// every consumer in this repository (timestamps, token-bucket refills,
+// quarantine windows, queue-residency accounting) only ever subtracts
+// two readings.  Code under internal/ must obtain time exclusively
+// through this interface — a direct time.Now/time.Sleep/time.After in
+// a simulation code path would silently break determinism, which is
+// why lint_test.go greps the tree for exactly that class of leak.
+package clock
+
+import "time"
+
+// Timer is a cancellable handle on one scheduled callback.
+type Timer interface {
+	// Stop cancels the timer if it has not fired yet.  Stopping a
+	// fired or already-stopped timer is a no-op.
+	Stop()
+}
+
+// Clock is the dual-mode time source.
+type Clock interface {
+	// Now returns the time elapsed since the clock's epoch.  Virtual
+	// clocks return the simulation clock; Wall returns real elapsed
+	// time.  Readings are monotonic and only meaningful relative to
+	// other readings from the same Clock.
+	Now() time.Duration
+
+	// AfterFunc schedules fn to run once, d from now, and returns a
+	// handle that can cancel it before it fires.  In virtual mode fn
+	// runs in event-loop context (single-threaded, deterministic); in
+	// live mode fn runs on its own goroutine and must synchronize
+	// with the code it touches.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Wall is the live-mode Clock: real time measured from the moment the
+// Wall was created.  It is safe for concurrent use.
+type Wall struct {
+	epoch time.Time
+}
+
+// NewWall creates a wall clock whose epoch is now.
+func NewWall() *Wall { return &Wall{epoch: time.Now()} }
+
+// Now returns real time elapsed since the epoch.
+func (w *Wall) Now() time.Duration { return time.Since(w.epoch) }
+
+// AfterFunc schedules fn on the runtime timer heap.  fn runs on its
+// own goroutine.
+func (w *Wall) AfterFunc(d time.Duration, fn func()) Timer {
+	return wallTimer{time.AfterFunc(d, fn)}
+}
+
+type wallTimer struct{ t *time.Timer }
+
+// Stop cancels the underlying timer; the callback may already be
+// running on its goroutine (time.AfterFunc semantics).
+func (t wallTimer) Stop() { t.t.Stop() }

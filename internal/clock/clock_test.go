@@ -1,0 +1,50 @@
+package clock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWallNowMonotonic(t *testing.T) {
+	w := NewWall()
+	a := w.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := w.Now()
+	if b <= a {
+		t.Fatalf("wall clock did not advance: %v then %v", a, b)
+	}
+	if a < 0 {
+		t.Fatalf("first reading before epoch: %v", a)
+	}
+}
+
+func TestWallAfterFuncFires(t *testing.T) {
+	w := NewWall()
+	var fired atomic.Bool
+	done := make(chan struct{})
+	w.AfterFunc(time.Millisecond, func() {
+		fired.Store(true)
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("AfterFunc callback never ran")
+	}
+	if !fired.Load() {
+		t.Fatal("callback ran without setting flag")
+	}
+}
+
+func TestWallAfterFuncStop(t *testing.T) {
+	w := NewWall()
+	var fired atomic.Bool
+	tm := w.AfterFunc(time.Hour, func() { fired.Store(true) })
+	tm.Stop()
+	tm.Stop() // double Stop is a no-op
+	time.Sleep(5 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("stopped timer fired")
+	}
+}

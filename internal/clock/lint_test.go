@@ -1,0 +1,113 @@
+package clock
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wallClockIdents are the package-time identifiers that read or act on
+// the machine's real clock.  Any of them in simulation code silently
+// breaks determinism (a virtual-time run would observe wall time), so
+// everything under internal/ must go through the clock.Clock interface
+// instead.  Package clock itself is the one place allowed to touch
+// them: it IS the wall-clock implementation.
+var wallClockIdents = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// TestNoWallClockLeaks parses every non-test Go file under internal/
+// and fails on any direct use of the time package's wall-clock API
+// outside this package.  time.Duration, time.Millisecond and friends
+// remain free — only the identifiers that sample or schedule on the
+// real clock are fenced.
+func TestNoWallClockLeaks(t *testing.T) {
+	root := ".." // internal/
+	var leaks []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if info.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		if filepath.Dir(path) == filepath.Join("..", "clock") {
+			return nil // the wall-clock implementation itself
+		}
+		leaks = append(leaks, lintFile(t, path)...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking internal/: %v", err)
+	}
+	if len(leaks) > 0 {
+		t.Errorf("wall-clock leaks in internal/ (route these through clock.Clock):\n  %s",
+			strings.Join(leaks, "\n  "))
+	}
+}
+
+// lintFile returns one "path:line: time.X" string per wall-clock use.
+func lintFile(t *testing.T, path string) []string {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	// Resolve what the "time" package is imported as in this file.
+	timeName := ""
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != "time" {
+			continue
+		}
+		timeName = "time"
+		if imp.Name != nil {
+			timeName = imp.Name.Name
+		}
+	}
+	if timeName == "" || timeName == "_" || timeName == "." {
+		// No (selector-addressable) time import.  A dot-import of time
+		// would defeat the selector check; nothing in this repository
+		// dot-imports, and doing so would be its own review problem.
+		return nil
+	}
+	var leaks []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != timeName || id.Obj != nil {
+			// id.Obj != nil: a local variable shadowing the package
+			// name, not the package itself.
+			return true
+		}
+		if wallClockIdents[sel.Sel.Name] {
+			pos := fset.Position(sel.Pos())
+			leaks = append(leaks, fmt.Sprintf("%s:%d: time.%s", path, pos.Line, sel.Sel.Name))
+		}
+		return true
+	})
+	return leaks
+}

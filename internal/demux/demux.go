@@ -223,7 +223,7 @@ func (d *Demux) forward(p *sim.Proc, pkt pfdev.Packet) {
 	// No predicate wanted the packet: a user-level death, recorded as
 	// a born-dead child span so the taxonomy explains where it went.
 	h := d.dev.Host()
-	h.Sim().Tracer().SpanUserDrop(pkt.Span(), h.Sim().Now(), h.Name(), trace.DropUnclaimed)
+	h.Sim().Tracer().SpanUserDrop(pkt.Span(), h.Clock().Now(), h.Name(), trace.DropUnclaimed)
 }
 
 // forwardShared deposits the frame into the client's next arena slot

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -294,7 +295,10 @@ type NIC struct {
 	burst         [][]byte
 	polling       bool
 	inflight      int // bursts handed to RunKernel, not yet completed
-	flushTimer    *sim.Timer
+	// flushTimer is the moderation timer, held through the dual-mode
+	// clock interface: in simulation it rides the event queue, so
+	// coalesced runs stay deterministic.
+	flushTimer clock.Timer
 
 	// Provenance plumbing.  burstSpans mirrors burst; rxPend is the
 	// FIFO of spans handed to RunKernel receive closures and not yet
@@ -354,7 +358,7 @@ func (n *Network) Attach(h *sim.Host, addr Addr) *NIC {
 		// Spans riding the lost interrupt-queue closures or buffered in
 		// the coalescing burst die with the kernel.
 		tr := h.Sim().Tracer()
-		now := h.Sim().Now()
+		now := h.Clock().Now()
 		for i := nic.rxHead; i < len(nic.rxPend); i++ {
 			tr.SpanDrop(nic.rxPend[i], now, h.Name(), trace.DropCrash)
 		}
@@ -368,8 +372,10 @@ func (n *Network) Attach(h *sim.Host, addr Addr) *NIC {
 		nic.burst = nil
 		nic.polling = false
 		nic.inflight = 0
-		nic.flushTimer.Stop()
-		nic.flushTimer = nil
+		if nic.flushTimer != nil {
+			nic.flushTimer.Stop()
+			nic.flushTimer = nil
+		}
 	})
 	return nic
 }
@@ -547,9 +553,9 @@ func (nic *NIC) receive(frame []byte, span uint64) {
 		nic.host.Counters.PacketsDropped++
 		nic.host.Sim().Counters.PacketsDropped++
 		if tr := nic.host.Sim().Tracer(); tr != nil {
-			tr.Drop(nic.host.Sim().Now(), nic.host.Name(), "nic")
+			tr.Drop(nic.host.Clock().Now(), nic.host.Name(), "nic")
 		}
-		nic.host.Sim().Tracer().SpanDrop(span, nic.host.Sim().Now(), nic.host.Name(), trace.DropNICDown)
+		nic.host.Sim().Tracer().SpanDrop(span, nic.host.Clock().Now(), nic.host.Name(), trace.DropNICDown)
 		return
 	}
 	limit := nic.QueueLimit
@@ -561,9 +567,9 @@ func (nic *NIC) receive(frame []byte, span uint64) {
 		nic.host.Counters.PacketsDropped++
 		nic.host.Sim().Counters.PacketsDropped++
 		if tr := nic.host.Sim().Tracer(); tr != nil {
-			tr.Drop(nic.host.Sim().Now(), nic.host.Name(), "nic")
+			tr.Drop(nic.host.Clock().Now(), nic.host.Name(), "nic")
 		}
-		nic.host.Sim().Tracer().SpanDrop(span, nic.host.Sim().Now(), nic.host.Name(), trace.DropNICQueue)
+		nic.host.Sim().Tracer().SpanDrop(span, nic.host.Clock().Now(), nic.host.Name(), trace.DropNICQueue)
 		return
 	}
 	nic.pending++
@@ -573,9 +579,9 @@ func (nic *NIC) receive(frame []byte, span uint64) {
 	h.Sim().Counters.PacketsIn++
 	tr := h.Sim().Tracer()
 	if tr != nil {
-		tr.WireRx(h.Sim().Now(), h.Name(), len(frame))
+		tr.WireRx(h.Clock().Now(), h.Name(), len(frame))
 	}
-	tr.SpanMark(span, trace.StageNIC, h.Sim().Now())
+	tr.SpanMark(span, trace.StageNIC, h.Clock().Now())
 	if nic.coalesceMax > 1 {
 		nic.coalesce(own, span)
 		return
@@ -589,7 +595,7 @@ func (nic *NIC) receive(frame []byte, span uint64) {
 			nic.Handler(own)
 			nic.curSpan = 0
 		} else {
-			h.Sim().Tracer().SpanDrop(sp, h.Sim().Now(), h.Name(), trace.DropUnclaimed)
+			h.Sim().Tracer().SpanDrop(sp, h.Clock().Now(), h.Name(), trace.DropUnclaimed)
 		}
 	})
 }
@@ -601,7 +607,7 @@ func (nic *NIC) receive(frame []byte, span uint64) {
 func (nic *NIC) coalesce(frame []byte, span uint64) {
 	nic.burst = append(nic.burst, frame)
 	nic.burstSpans = append(nic.burstSpans, span)
-	nic.host.Sim().Tracer().SpanMark(span, trace.StageBurst, nic.host.Sim().Now())
+	nic.host.Sim().Tracer().SpanMark(span, trace.StageBurst, nic.host.Clock().Now())
 	if !nic.polling {
 		nic.polling = true
 		nic.flush()
@@ -616,8 +622,10 @@ func (nic *NIC) coalesce(frame []byte, span uint64) {
 // kernel in a single driver entry: DriverRecv for the entry itself
 // plus DriverPoll per additional frame.
 func (nic *NIC) flush() {
-	nic.flushTimer.Stop()
-	nic.flushTimer = nil
+	if nic.flushTimer != nil {
+		nic.flushTimer.Stop()
+		nic.flushTimer = nil
+	}
 	if len(nic.burst) == 0 {
 		return
 	}
@@ -639,7 +647,7 @@ func (nic *NIC) flush() {
 	h.Counters.CoalescedFrames += uint64(n)
 	h.Sim().Counters.CoalescedFrames += uint64(n)
 	if tr := h.Sim().Tracer(); tr != nil {
-		tr.Burst(h.Sim().Now(), h.Name(), n, len(nic.burst))
+		tr.Burst(h.Clock().Now(), h.Name(), n, len(nic.burst))
 	}
 	costs := h.Costs()
 	cost := costs.DriverRecv + time.Duration(n-1)*costs.DriverPoll
@@ -666,7 +674,7 @@ func (nic *NIC) flush() {
 		default:
 			tr := h.Sim().Tracer()
 			for _, s := range spans {
-				tr.SpanDrop(s, h.Sim().Now(), h.Name(), trace.DropUnclaimed)
+				tr.SpanDrop(s, h.Clock().Now(), h.Name(), trace.DropUnclaimed)
 			}
 		}
 		nic.pollDone()
@@ -685,7 +693,7 @@ func (nic *NIC) pollDone() {
 	if nic.flushTimer != nil {
 		return
 	}
-	nic.flushTimer = nic.host.Sim().NewTimer(nic.coalesceDelay, func() {
+	nic.flushTimer = nic.host.Clock().AfterFunc(nic.coalesceDelay, func() {
 		nic.flushTimer = nil
 		if len(nic.burst) > 0 {
 			nic.flush()

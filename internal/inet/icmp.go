@@ -40,7 +40,7 @@ func (st *Stack) Ping(p *sim.Proc, dst Addr, n int, timeout time.Duration) (time
 
 	st.pingSeq++
 	key := pingKey{id: st.pingID, seq: st.pingSeq}
-	w := &pingWait{q: st.host.Sim().NewWaitQ(), sent: st.host.Sim().Now()}
+	w := &pingWait{q: st.host.Sim().NewWaitQ(), sent: st.host.Clock().Now()}
 	if st.pings == nil {
 		st.pings = make(map[pingKey]*pingWait)
 	}
@@ -86,7 +86,7 @@ func (st *Stack) inputICMP(h IPHdr, seg []byte) {
 			return
 		}
 		w.done = true
-		w.rtt = st.host.Sim().Now() - w.sent
+		w.rtt = st.host.Clock().Now() - w.sent
 		w.q.WakeAll(st.host)
 	}
 }

@@ -90,7 +90,7 @@ func (st *Stack) Claim(frame []byte) bool {
 func (st *Stack) inputIP(payload []byte, span uint64) {
 	costs := st.host.Costs()
 	tr := st.host.Sim().Tracer()
-	now := st.host.Sim().Now()
+	now := st.host.Clock().Now()
 	h, seg, err := UnmarshalIP(payload)
 	if err != nil || h.Dst != st.addr {
 		tr.SpanDrop(span, now, st.host.Name(), trace.DropInet)
@@ -137,7 +137,7 @@ func (st *Stack) sendIP(h IPHdr, seg []byte, checksumBytes int) {
 	cost := costs.IPOutput + costs.DriverSend + costs.Checksum(checksumBytes)
 	st.IPOut++
 	if tr := st.host.Sim().Tracer(); tr != nil {
-		tr.Proto(st.host.Sim().Now(), st.host.Name(), "ip_out")
+		tr.Proto(st.host.Clock().Now(), st.host.Name(), "ip_out")
 	}
 	st.host.RunKernel("ip", cost, func() {
 		st.transmitResolved(h.Dst, pkt)
@@ -238,16 +238,16 @@ func (st *Stack) inputARP(payload []byte, span uint64) {
 	st.ARPIn++
 	tr := st.host.Sim().Tracer()
 	if tr != nil {
-		tr.Proto(st.host.Sim().Now(), st.host.Name(), "arp_in")
+		tr.Proto(st.host.Clock().Now(), st.host.Name(), "arp_in")
 	}
 	link := st.nic.Network().Link()
 	costs := st.host.Costs()
 	op, senderHW, senderIP, _, targetIP, ok := unmarshalARP(payload, link)
 	if !ok {
-		tr.SpanDrop(span, st.host.Sim().Now(), st.host.Name(), trace.DropInet)
+		tr.SpanDrop(span, st.host.Clock().Now(), st.host.Name(), trace.DropInet)
 		return
 	}
-	tr.SpanKernelDelivered(span, st.host.Sim().Now(), st.host.Name(), "arp")
+	tr.SpanKernelDelivered(span, st.host.Clock().Now(), st.host.Name(), "arp")
 	st.host.RunKernel("arp", costs.IPInput/3, func() {
 		// Opportunistically learn the sender.
 		st.arp[senderIP] = senderHW

@@ -1,0 +1,388 @@
+package live
+
+// The control socket: pfserve's user-space API, standing in for the
+// /dev/pf character device the paper's processes open.  The protocol
+// is JSON lines over TCP — one request object per line, one response
+// per line — with the filter ioctl payload carried in the same binary
+// layout filter.Filter.MarshalBinary defines (the on-the-wire/ioctl
+// encoding the simulated device's SetFilter models).
+//
+// Ops:
+//
+//	{"op":"ping"}
+//	{"op":"open","queue_limit":N,"copy_all":b,"stamp":b}      -> {"port":id}
+//	{"op":"setfilter","port":id,"filter":<base64 binary>}
+//	{"op":"read","port":id,"max":N,"timeout_ms":T}            -> {"packets":[...]}
+//	{"op":"close","port":id}
+//	{"op":"stats"}                                            -> {"stats":{...}}
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/pfdev"
+	"repro/internal/trace"
+)
+
+// Request is one control-socket command.
+type Request struct {
+	Op         string `json:"op"`
+	Port       int    `json:"port,omitempty"`
+	QueueLimit int    `json:"queue_limit,omitempty"`
+	CopyAll    bool   `json:"copy_all,omitempty"`
+	Stamp      bool   `json:"stamp,omitempty"`
+	Filter     []byte `json:"filter,omitempty"` // filter.Filter binary encoding
+	Max        int    `json:"max,omitempty"`
+	TimeoutMS  int64  `json:"timeout_ms,omitempty"` // 0 = non-blocking read
+}
+
+// Response is the reply to one Request.
+type Response struct {
+	OK      bool         `json:"ok"`
+	Err     string       `json:"err,omitempty"`
+	Port    int          `json:"port,omitempty"`
+	Packets [][]byte     `json:"packets,omitempty"`
+	Drops   uint64       `json:"drops,omitempty"` // port overflow drops up to the last packet
+	Stats   *StatsReport `json:"stats,omitempty"`
+}
+
+// SpanSummary is the provenance roll-up exposed over the control
+// socket: the flight recorder's aggregate accounting plus the drop
+// taxonomy and the origin-to-read latency percentiles.
+type SpanSummary struct {
+	Created         uint64            `json:"created"`
+	DeliveredUser   uint64            `json:"delivered_user"`
+	DeliveredKernel uint64            `json:"delivered_kernel"`
+	TotalDrops      uint64            `json:"total_drops"`
+	Live            uint64            `json:"live"`
+	Drops           map[string]uint64 `json:"drops,omitempty"`
+	TotalMean       time.Duration     `json:"total_mean_ns"`
+	TotalP50        time.Duration     `json:"total_p50_ns"`
+	TotalP99        time.Duration     `json:"total_p99_ns"`
+}
+
+// StageLatency is one receive-path stage's latency summary.
+type StageLatency struct {
+	Stage string        `json:"stage"`
+	Count uint64        `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P99   time.Duration `json:"p99_ns"`
+}
+
+// StatsReport is the full statistics block served by the "stats" op.
+type StatsReport struct {
+	Ports  []pfdev.PortStats `json:"ports"`
+	Gov    *pfdev.GovStats   `json:"gov,omitempty"`
+	Device Counts            `json:"device"`
+	Wire   *WireStats        `json:"wire,omitempty"`
+	Spans  *SpanSummary      `json:"spans,omitempty"`
+	Stages []StageLatency    `json:"stages,omitempty"`
+}
+
+// Server serves the control protocol for one live device.
+type Server struct {
+	dev  *Device
+	wire *Wire
+	ln   net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// Serve starts accepting control connections on ln for dev.  wire may
+// be nil (stats then omit the wire block).
+func Serve(ln net.Listener, dev *Device, wire *Wire) *Server {
+	s := &Server{dev: dev, wire: wire, ln: ln,
+		conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the accept loop and closes every live connection.
+func (s *Server) Close() {
+	s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	<-s.done
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.done)
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 1<<20)
+	bw := bufio.NewWriter(conn)
+	dec := json.NewDecoder(br)
+	enc := json.NewEncoder(bw)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func fail(format string, args ...any) Response {
+	return Response{Err: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) handle(req Request) Response {
+	switch req.Op {
+	case "ping":
+		return Response{OK: true}
+
+	case "open":
+		port := s.dev.Open()
+		if req.QueueLimit > 0 {
+			port.SetQueueLimit(req.QueueLimit)
+		}
+		if req.CopyAll {
+			port.SetCopyAll(true)
+		}
+		if req.Stamp {
+			port.SetStamp(true)
+		}
+		return Response{OK: true, Port: port.ID()}
+
+	case "setfilter":
+		port := s.dev.Port(req.Port)
+		if port == nil {
+			return fail("no such port %d", req.Port)
+		}
+		var f filter.Filter
+		if err := f.UnmarshalBinary(req.Filter); err != nil {
+			return fail("bad filter: %v", err)
+		}
+		if err := port.SetFilter(f); err != nil {
+			return fail("setfilter: %v", err)
+		}
+		return Response{OK: true, Port: port.ID()}
+
+	case "read":
+		port := s.dev.Port(req.Port)
+		if port == nil {
+			return fail("no such port %d", req.Port)
+		}
+		timeout := time.Duration(-1) // default non-blocking
+		if req.TimeoutMS > 0 {
+			timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		}
+		pkts, err := port.ReadBatch(req.Max, timeout)
+		switch err {
+		case nil:
+		case ErrTimeout, ErrWouldBlock:
+			return Response{OK: true} // empty read, not an error
+		default:
+			return fail("read: %v", err)
+		}
+		resp := Response{OK: true, Port: port.ID(), Packets: make([][]byte, len(pkts))}
+		for i, p := range pkts {
+			resp.Packets[i] = p.Data
+			resp.Drops = p.Drops
+		}
+		return resp
+
+	case "close":
+		port := s.dev.Port(req.Port)
+		if port == nil {
+			return fail("no such port %d", req.Port)
+		}
+		port.Close()
+		return Response{OK: true}
+
+	case "stats":
+		return Response{OK: true, Stats: s.statsReport()}
+
+	default:
+		return fail("unknown op %q", req.Op)
+	}
+}
+
+// statsReport assembles the full statistics block.
+func (s *Server) statsReport() *StatsReport {
+	rep := &StatsReport{
+		Ports:  s.dev.PortStats(),
+		Device: s.dev.Counts(),
+	}
+	if s.dev.opt.Gov.Enabled {
+		gs := s.dev.GovStats()
+		rep.Gov = &gs
+	}
+	if s.wire != nil {
+		ws := s.wire.Stats()
+		rep.Wire = &ws
+	}
+	// Span and histogram reads are serialized with packet processing
+	// under the device mutex, the same exclusion the simulator's
+	// single-threaded loop provides.
+	s.dev.mu.Lock()
+	defer s.dev.mu.Unlock()
+	tr := s.dev.tr
+	if tr == nil {
+		return rep
+	}
+	if sp := tr.Spans(); sp != nil {
+		sum := &SpanSummary{
+			Created:         sp.Created,
+			DeliveredUser:   sp.DeliveredUser,
+			DeliveredKernel: sp.DeliveredKernel,
+			TotalDrops:      sp.TotalDrops(),
+			Live:            sp.Live(),
+			Drops:           make(map[string]uint64),
+		}
+		for i, n := range sp.Drops {
+			if n > 0 {
+				sum.Drops[trace.DropReason(i).String()] = n
+			}
+		}
+		h := sp.Total()
+		sum.TotalMean, sum.TotalP50, sum.TotalP99 = h.Mean(), h.Quantile(0.50), h.Quantile(0.99)
+		rep.Spans = sum
+		// Stage breakdown: live spans originate at UDP receive, so
+		// only the demux-onward segments carry signal.
+		for _, st := range []struct{ label, hist string }{
+			{"filter", "span.stage.filter"},
+			{"pf", "span.stage.pf"},
+			{"queue", "span.stage.queue"},
+		} {
+			h := tr.Histogram(s.dev.name, st.hist)
+			rep.Stages = append(rep.Stages, StageLatency{
+				Stage: st.label, Count: uint64(h.Count()),
+				Mean: h.Mean(), P50: h.Quantile(0.50), P99: h.Quantile(0.99),
+			})
+		}
+	}
+	return rep
+}
+
+// Client is a control-socket client.
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+	bw   *bufio.Writer
+	mu   sync.Mutex
+}
+
+// DialControl connects to a pfserve control socket.
+func DialControl(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(conn)
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReaderSize(conn, 1<<20)),
+		enc:  json.NewEncoder(bw),
+		bw:   bw,
+	}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() { c.conn.Close() }
+
+// Do performs one request/response round trip.
+func (c *Client) Do(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, err
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("pfserve: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.Do(Request{Op: "ping"})
+	return err
+}
+
+// Open opens a port and returns its id.
+func (c *Client) Open(queueLimit int, copyAll, stamp bool) (int, error) {
+	resp, err := c.Do(Request{Op: "open", QueueLimit: queueLimit, CopyAll: copyAll, Stamp: stamp})
+	return resp.Port, err
+}
+
+// SetFilter binds a filter to a port.
+func (c *Client) SetFilter(port int, f filter.Filter) error {
+	raw, err := f.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	_, err = c.Do(Request{Op: "setfilter", Port: port, Filter: raw})
+	return err
+}
+
+// Read drains up to max packets from a port, waiting up to timeout
+// (<= 0: return immediately).
+func (c *Client) Read(port, max int, timeout time.Duration) ([][]byte, error) {
+	resp, err := c.Do(Request{Op: "read", Port: port, Max: max,
+		TimeoutMS: timeout.Milliseconds()})
+	return resp.Packets, err
+}
+
+// Stats fetches the server's statistics block.
+func (c *Client) Stats() (*StatsReport, error) {
+	resp, err := c.Do(Request{Op: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("pfserve: stats response missing body")
+	}
+	return resp.Stats, nil
+}
+
+// ClosePort closes a port on the server.
+func (c *Client) ClosePort(port int) error {
+	_, err := c.Do(Request{Op: "close", Port: port})
+	return err
+}

@@ -1,0 +1,846 @@
+// Package live hosts the packet-filter engine on real time and real
+// goroutines: the same filter language, evaluation modes, priority
+// scan, busy-first reordering, resource governor and provenance spans
+// as the simulated device (package pfdev), driven by frames arriving
+// from a loopback-UDP wire (wire.go) instead of the virtual Ethernet.
+//
+// The simulated device charges virtual CPU for every evaluation step
+// so the paper's §6 numbers are reproducible; the live device skips
+// the charging (wall time is measured, not modeled) but keeps every
+// verdict, counter and drop reason identical — the mode-equivalence
+// test pins that the two devices, given the same filter set and packet
+// sequence, fill in the same pfdev.PortStats field by field.
+//
+// Concurrency model: one mutex serializes the whole device — the wire
+// receive goroutine delivering frames, control-socket goroutines
+// reading ports and stats, and timer callbacks.  That mirrors the
+// original kernel driver (filter evaluation ran at splimp, reads under
+// the kernel lock) and lets the trace/span subsystem, written for the
+// single-threaded simulator, be reused unmodified.
+package live
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/pfdev"
+	"repro/internal/trace"
+)
+
+// Errors returned by port operations; they mirror pfdev's.
+var (
+	ErrTimeout    = errors.New("live: read timed out")
+	ErrClosed     = errors.New("live: port closed")
+	ErrWouldBlock = errors.New("live: no packet queued")
+	ErrNoPort     = errors.New("live: no such port")
+)
+
+// Options configures a live Device.
+type Options struct {
+	// Link is the data link the carried frames belong to; it decides
+	// header geometry for filter environments (PUSHHDRLEN) and the
+	// socket-filter word offsets.  Default Ether10Mb.
+	Link ethersim.LinkType
+	// Mode selects the evaluation strategy, exactly as in pfdev.
+	Mode pfdev.EvalMode
+	// Reorder enables §3.2 busy-first reordering every ReorderEvery
+	// packets (default 64).
+	Reorder      bool
+	ReorderEvery int
+	// Extensions permits the §7 extended instructions.
+	Extensions bool
+	// Gov configures the resource governor; the zero value disables
+	// it.  Quarantine windows and token refill run on the device
+	// clock — wall seconds in live mode.
+	Gov pfdev.GovConfig
+	// Clock is the device's time source.  Defaults to clock.NewWall();
+	// tests may substitute any clock.Clock.
+	Clock clock.Clock
+	// Tracer, when non-nil, receives the same instrumentation the
+	// simulated device emits (counters, spans, flight recorder).  All
+	// tracer access is serialized under the device mutex.
+	Tracer *trace.Tracer
+	// Name is the host label used in trace attribution (default
+	// "live").
+	Name string
+}
+
+// Device is the live-mode packet-filter device.
+type Device struct {
+	mu   sync.Mutex
+	clk  clock.Clock
+	tr   *trace.Tracer
+	name string
+	opt  Options
+
+	ports   []*Port // sorted: priority desc, busy-first within priority
+	nextID  int
+	pktSeen uint64
+
+	table      *filter.Table
+	tablePorts []*Port
+
+	queuedTotal    int
+	shedding       bool
+	admissionSheds uint64
+	scanQuarSkip   bool
+
+	received    uint64 // frames handed to Input
+	kernelDrops uint64 // no-match / quota / admission drops
+
+	treeScratch []*Port
+	portScratch []*Port
+
+	closed bool
+}
+
+// NewDevice creates a live device.
+func NewDevice(opt Options) *Device {
+	if opt.ReorderEvery <= 0 {
+		opt.ReorderEvery = 64
+	}
+	if opt.Clock == nil {
+		opt.Clock = clock.NewWall()
+	}
+	if opt.Name == "" {
+		opt.Name = "live"
+	}
+	opt.Gov = opt.Gov.WithDefaults()
+	return &Device{clk: opt.Clock, tr: opt.Tracer, name: opt.Name, opt: opt}
+}
+
+// Clock returns the device's time source.
+func (d *Device) Clock() clock.Clock { return d.clk }
+
+// Tracer returns the device's tracer (may be nil).
+func (d *Device) Tracer() *trace.Tracer { return d.tr }
+
+// Name returns the trace host label.
+func (d *Device) Name() string { return d.name }
+
+// Link returns the data-link type the device was configured for.
+func (d *Device) Link() ethersim.LinkType { return d.opt.Link }
+
+// Packet is one received packet as returned by Read: the complete
+// frame including the data-link header, plus the optional receive
+// timestamp and the cumulative drop count, as in pfdev.Packet.
+type Packet struct {
+	Data  []byte
+	Stamp time.Duration
+	Drops uint64
+
+	arrived time.Duration // when the frame entered Input
+	qAt     time.Duration // when it was enqueued
+	span    uint64
+}
+
+// Span returns the packet's provenance span id (0 when untracked).
+func (pkt Packet) Span() uint64 { return pkt.span }
+
+// Port is one open port on the live device.
+type Port struct {
+	dev *Device
+	id  int
+
+	priority uint8
+	prog     filter.Program
+	pv       *filter.Prevalidated
+	compiled *filter.Compiled
+
+	queue      []Packet
+	qhead      int
+	queueLimit int
+	maxQueued  int
+	dropped    uint64
+
+	copyAll bool
+	stamp   bool
+	closed  bool
+
+	matches uint64
+	instrs  uint64
+	reads   uint64
+	batches uint64
+	batched uint64
+
+	// Governor state, mirroring pfdev's port fields.
+	govTokens   float64
+	govRefill   time.Duration
+	govBound    int
+	quarUntil   time.Duration
+	quarPenalty time.Duration
+	tableActive bool
+	fuelSpent   uint64
+	quarantines uint64
+	quarSkips   uint64
+
+	qresSum time.Duration
+	qresN   uint64
+
+	spanDropCtrs [trace.NumDropReasons]*trace.Counter
+	qGauge       *trace.Gauge
+
+	readers *sync.Cond // on dev.mu; broadcast on enqueue/close/timeout
+}
+
+// DefaultQueueLimit matches pfdev's default per-port input queue bound.
+const DefaultQueueLimit = pfdev.DefaultQueueLimit
+
+// Open opens a new port on the device.
+func (d *Device) Open() *Port {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	port := &Port{
+		dev:         d,
+		id:          d.nextID,
+		queueLimit:  DefaultQueueLimit,
+		tableActive: true,
+	}
+	port.readers = sync.NewCond(&d.mu)
+	if g := d.opt.Gov; g.Enabled {
+		// The bucket starts full at open time; rebinding a filter does
+		// not refill it (same anti-laundering rule as pfdev).
+		port.govTokens = float64(g.Burst)
+		port.govRefill = d.clk.Now()
+	}
+	d.nextID++
+	d.ports = append(d.ports, port)
+	d.sortPorts()
+	return port
+}
+
+// Port returns the open port with the given id, or nil.
+func (d *Device) Port(id int) *Port {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, port := range d.ports {
+		if port.id == id {
+			return port
+		}
+	}
+	return nil
+}
+
+// ID returns the port's device-unique id.
+func (port *Port) ID() int { return port.id }
+
+// SetFilter binds a filter to the port, validating or compiling it at
+// bind time exactly as the simulated device's ioctl does.
+func (port *Port) SetFilter(f filter.Filter) error {
+	d := port.dev
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if port.closed {
+		return ErrClosed
+	}
+	opt := filter.ValidateOptions{Extensions: d.opt.Extensions}
+	switch d.opt.Mode {
+	case pfdev.EvalFast:
+		pv, err := filter.Prevalidate(f.Program, opt)
+		if err != nil {
+			return err
+		}
+		pv.SetEnv(filter.Env{HeaderWords: d.opt.Link.HeaderWords()})
+		port.pv = pv
+	case pfdev.EvalCompiled:
+		c, err := filter.Compile(f.Program, opt,
+			filter.Env{HeaderWords: d.opt.Link.HeaderWords()})
+		if err != nil {
+			return err
+		}
+		port.compiled = c
+	default:
+		// The checked interpreter accepts anything and fails per
+		// packet; the decision table revalidates on rebuild.
+	}
+	port.prog = f.Program.Clone()
+	port.priority = f.Priority
+	if d.opt.Gov.Enabled {
+		port.govBound = pfdev.GovBound(d.opt.Mode, port.prog, opt)
+	}
+	d.sortPorts()
+	return nil
+}
+
+// SetQueueLimit sets the maximum per-port input queue length.
+func (port *Port) SetQueueLimit(n int) {
+	port.dev.mu.Lock()
+	defer port.dev.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	port.queueLimit = n
+}
+
+// SetCopyAll requests that packets accepted by this port's filter also
+// be submitted to lower-priority filters (§3.2).
+func (port *Port) SetCopyAll(on bool) {
+	port.dev.mu.Lock()
+	defer port.dev.mu.Unlock()
+	port.copyAll = on
+}
+
+// SetStamp enables receive timestamping.
+func (port *Port) SetStamp(on bool) {
+	port.dev.mu.Lock()
+	defer port.dev.mu.Unlock()
+	port.stamp = on
+}
+
+// eval applies the port's filter to a frame, with the identical
+// per-mode instruction-unit scaling the simulated device charges.
+func (port *Port) eval(frame []byte) (bool, int) {
+	switch port.dev.opt.Mode {
+	case pfdev.EvalFast:
+		r := port.pv.Run(frame)
+		return r.Accept, (r.Instrs*3 + 4) / 5
+	case pfdev.EvalCompiled:
+		ok := port.compiled.Run(frame)
+		return ok, (port.compiled.Info().Instrs + 2) / 3
+	default:
+		var r filter.Result
+		if port.dev.opt.Extensions {
+			r = filter.RunExt(port.prog, frame,
+				filter.Env{HeaderWords: port.dev.opt.Link.HeaderWords()})
+		} else {
+			r = filter.Run(port.prog, frame)
+		}
+		return r.Accept, r.Instrs
+	}
+}
+
+// Input delivers one received frame to the device: governor admission,
+// priority-ordered filter match, and enqueue on the accepting ports.
+// The frame must not be modified by the caller afterwards (the wire
+// receive loop hands over a fresh copy per datagram).  Safe from any
+// goroutine.
+func (d *Device) Input(frame []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	now := d.clk.Now()
+	// Live provenance begins at receive: the wire carries frames
+	// verbatim, so there is no cross-process span hand-off and the
+	// origin mark is the moment the frame left the UDP socket.
+	span := d.tr.SpanOrigin(now, d.name)
+	d.received++
+	if !d.admitFrame() {
+		d.shedFrame(span)
+		return
+	}
+	if d.tr != nil {
+		d.tr.PacketIn(now, d.name)
+	}
+	d.tr.SpanMark(span, trace.StageDemux, now)
+	d.pktSeen++
+	if d.opt.Reorder && d.pktSeen%uint64(d.opt.ReorderEvery) == 0 {
+		d.reorder()
+	}
+
+	var ports []*Port
+	if d.opt.Mode == pfdev.EvalTable {
+		ports = d.tableMatch(frame, d.portScratch[:0])
+	} else {
+		ports = d.linearMatch(frame, d.portScratch[:0])
+	}
+	quarSkip := d.scanQuarSkip
+	after := d.clk.Now()
+	d.tr.SpanMark(span, trace.StageFilter, after)
+	if len(ports) == 0 {
+		d.kernelDrops++
+		reason, label := trace.DropNoMatch, "nomatch"
+		if quarSkip {
+			reason, label = trace.DropQuota, "quota"
+		}
+		if d.tr != nil {
+			d.tr.Drop(after, d.name, label)
+		}
+		d.tr.SpanDrop(span, after, d.name, reason)
+		d.portScratch = ports[:0]
+		return
+	}
+	for i, port := range ports {
+		s := span
+		if i > 0 {
+			s = d.tr.SpanFork(span, after, d.name)
+		}
+		port.enqueue(frame, now, s)
+	}
+	d.portScratch = ports[:0]
+}
+
+// linearMatch mirrors pfdev's scan: priority order, governor
+// admission, copy-all continuation, non-copy-all early stop.
+func (d *Device) linearMatch(frame []byte, dst []*Port) []*Port {
+	now := d.clk.Now()
+	accepted := dst
+	gov := d.opt.Gov.Enabled
+	d.scanQuarSkip = false
+	for _, port := range d.ports {
+		if port.closed || port.prog == nil {
+			continue
+		}
+		if gov && !port.govAdmit(now, &d.opt.Gov) {
+			d.scanQuarSkip = true
+			continue
+		}
+		accept, instrs := port.eval(frame)
+		port.instrs += uint64(instrs)
+		if gov {
+			port.govCharge(instrs)
+		}
+		if d.tr != nil {
+			d.tr.FilterEval(now, d.name, port.id, instrs, accept)
+		}
+		if !accept {
+			continue
+		}
+		port.matches++
+		accepted = append(accepted, port)
+		if !port.copyAll {
+			break
+		}
+	}
+	return accepted
+}
+
+// tableMatch mirrors pfdev's merged-decision-table path, including the
+// attribution of tree-walk depth to accepting ports.
+func (d *Device) tableMatch(frame []byte, dst []*Port) []*Port {
+	d.scanQuarSkip = false
+	if d.opt.Gov.Enabled {
+		d.scanQuarSkip = d.govPrepareTable(d.clk.Now())
+	}
+	if d.table == nil {
+		d.rebuildTable()
+	}
+	res := d.table.MatchStats(frame)
+
+	linAccept := func(idx int) bool {
+		for _, le := range res.Linear {
+			if le.Idx == idx {
+				return le.Accept
+			}
+		}
+		return false
+	}
+	accepted, treeAccepts := dst, d.treeScratch[:0]
+	stopped := false
+	for _, i := range res.Idxs {
+		port := d.tablePorts[i]
+		if port.closed {
+			continue
+		}
+		if !linAccept(i) {
+			treeAccepts = append(treeAccepts, port)
+		}
+		if stopped {
+			continue
+		}
+		port.matches++
+		accepted = append(accepted, port)
+		if !port.copyAll {
+			stopped = true
+		}
+	}
+
+	now := d.clk.Now()
+	gov := d.opt.Gov.Enabled
+	for _, le := range res.Linear {
+		port := d.tablePorts[le.Idx]
+		if port.closed {
+			continue
+		}
+		port.instrs += uint64(le.Instrs)
+		if gov {
+			port.govCharge(le.Instrs)
+		}
+		if d.tr != nil {
+			d.tr.FilterEval(now, d.name, port.id, le.Instrs, le.Accept)
+		}
+	}
+	switch {
+	case len(treeAccepts) > 0:
+		share := res.Edges / len(treeAccepts)
+		extra := res.Edges % len(treeAccepts)
+		for k, port := range treeAccepts {
+			in := share
+			if k < extra {
+				in++
+			}
+			port.instrs += uint64(in)
+			if gov {
+				port.govCharge(in)
+			}
+			if d.tr != nil {
+				d.tr.FilterEval(now, d.name, port.id, in, true)
+			}
+		}
+	case res.Edges > 0:
+		if d.tr != nil {
+			d.tr.FilterEval(now, d.name, -1, res.Edges, false)
+		}
+	}
+	d.treeScratch = treeAccepts[:0]
+	return accepted
+}
+
+func (d *Device) rebuildTable() {
+	var filters []filter.Filter
+	gov := d.opt.Gov.Enabled
+	d.tablePorts = d.tablePorts[:0]
+	for _, port := range d.ports {
+		if port.closed || port.prog == nil || (gov && !port.tableActive) {
+			continue
+		}
+		filters = append(filters, filter.Filter{Priority: port.priority, Program: port.prog})
+		d.tablePorts = append(d.tablePorts, port)
+	}
+	d.table = filter.BuildTable(filters)
+}
+
+// sortPorts re-sorts priority descending, stable within priorities.
+func (d *Device) sortPorts() {
+	for i := 1; i < len(d.ports); i++ {
+		for j := i; j > 0 && d.ports[j-1].priority < d.ports[j].priority; j-- {
+			d.ports[j-1], d.ports[j] = d.ports[j], d.ports[j-1]
+		}
+	}
+	d.table = nil
+}
+
+// reorder moves busier filters earlier within each equal-priority
+// group (§3.2), identically to pfdev.
+func (d *Device) reorder() {
+	changed := false
+	for i := 1; i < len(d.ports); i++ {
+		for j := i; j > 0 &&
+			d.ports[j-1].priority == d.ports[j].priority &&
+			d.ports[j-1].matches < d.ports[j].matches; j-- {
+			d.ports[j-1], d.ports[j] = d.ports[j], d.ports[j-1]
+			changed = true
+		}
+	}
+	if changed {
+		d.table = nil
+	}
+}
+
+// qlen returns the input-queue depth.
+func (port *Port) qlen() int { return len(port.queue) - port.qhead }
+
+func (port *Port) queued() []Packet { return port.queue[port.qhead:] }
+
+func (port *Port) popFront(n int) {
+	for i := port.qhead; i < port.qhead+n; i++ {
+		port.queue[i] = Packet{}
+	}
+	port.qhead += n
+	port.dev.queuedTotal -= n
+	switch {
+	case port.qhead == len(port.queue):
+		port.queue = port.queue[:0]
+		port.qhead = 0
+	case port.qhead >= 32 && 2*port.qhead >= len(port.queue):
+		kept := copy(port.queue, port.queue[port.qhead:])
+		for i := kept; i < len(port.queue); i++ {
+			port.queue[i] = Packet{}
+		}
+		port.queue = port.queue[:kept]
+		port.qhead = 0
+	}
+}
+
+func (port *Port) spanDropCounter(tr *trace.Tracer, reason trace.DropReason) *trace.Counter {
+	c := port.spanDropCtrs[reason]
+	if c == nil {
+		c = tr.Counter(port.dev.name, spanDropName(port.id, reason))
+		port.spanDropCtrs[reason] = c
+	}
+	return c
+}
+
+func (port *Port) depthGauge(tr *trace.Tracer) *trace.Gauge {
+	if port.qGauge == nil {
+		port.qGauge = tr.Gauge(port.dev.name, depthGaugeName(port.id))
+	}
+	return port.qGauge
+}
+
+// enqueue adds a packet to the port queue (device lock held) and wakes
+// blocked readers; overflow drops mirror pfdev's accounting.
+func (port *Port) enqueue(frame []byte, arrived time.Duration, span uint64) bool {
+	d := port.dev
+	now := d.clk.Now()
+	if port.qlen() >= port.queueLimit {
+		port.dropped++
+		if d.tr != nil {
+			d.tr.Drop(now, d.name, "queue")
+			if span != 0 {
+				port.spanDropCounter(d.tr, trace.DropPortQueue).Add(1)
+			}
+		}
+		d.tr.SpanDrop(span, now, d.name, trace.DropPortQueue)
+		d.tr.SpanPort(span, port.id)
+		return false
+	}
+	pkt := Packet{Data: frame, Drops: port.dropped, arrived: arrived, span: span, qAt: now}
+	if port.stamp {
+		pkt.Stamp = now
+	}
+	port.queue = append(port.queue, pkt)
+	d.queuedTotal++
+	if port.qlen() > port.maxQueued {
+		port.maxQueued = port.qlen()
+	}
+	if d.tr != nil {
+		port.depthGauge(d.tr).Set(int64(port.qlen()))
+		d.tr.Enqueue(now, d.name, port.id, port.qlen())
+	}
+	d.tr.SpanMark(span, trace.StageQueue, now)
+	d.tr.SpanPort(span, port.id)
+	port.readers.Broadcast()
+	return true
+}
+
+// wait blocks until the port has a queued packet, is closed, or the
+// timeout elapses (0 blocks forever, < 0 never blocks).  Device lock
+// held on entry and exit.  Timeouts ride the device clock so the wait
+// logic itself stays wall-clock free.
+func (port *Port) wait(timeout time.Duration) error {
+	d := port.dev
+	if port.qlen() > 0 {
+		return nil
+	}
+	if port.closed {
+		return ErrClosed
+	}
+	if timeout < 0 {
+		return ErrWouldBlock
+	}
+	var expired bool
+	var tm clock.Timer
+	if timeout > 0 {
+		tm = d.clk.AfterFunc(timeout, func() {
+			d.mu.Lock()
+			expired = true
+			port.readers.Broadcast()
+			d.mu.Unlock()
+		})
+		defer tm.Stop()
+	}
+	for port.qlen() == 0 && !port.closed && !expired {
+		port.readers.Wait()
+	}
+	switch {
+	case port.qlen() > 0:
+		return nil
+	case port.closed:
+		return ErrClosed
+	default:
+		return ErrTimeout
+	}
+}
+
+// Read returns the first queued packet, blocking up to timeout
+// (0 = forever, negative = non-blocking).
+func (port *Port) Read(timeout time.Duration) (Packet, error) {
+	d := port.dev
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if port.closed {
+		return Packet{}, ErrClosed
+	}
+	if err := port.wait(timeout); err != nil {
+		return Packet{}, err
+	}
+	pkt := port.queue[port.qhead]
+	port.popFront(1)
+	now := d.clk.Now()
+	port.qresSum += now - pkt.qAt
+	port.qresN++
+	port.reads++
+	if d.tr != nil {
+		port.depthGauge(d.tr).Set(int64(port.qlen()))
+		d.tr.Dequeue(now, d.name, port.id, port.qlen(), 1)
+		d.tr.Deliver(now, d.name, port.id, now-pkt.arrived)
+		d.tr.SpanDelivered(pkt.span, now, d.name, port.id)
+	}
+	return pkt, nil
+}
+
+// ReadBatch returns up to max queued packets (0 = all) in one call,
+// blocking like Read when the queue is empty.
+func (port *Port) ReadBatch(max int, timeout time.Duration) ([]Packet, error) {
+	d := port.dev
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if port.closed {
+		return nil, ErrClosed
+	}
+	if err := port.wait(timeout); err != nil {
+		return nil, err
+	}
+	n := port.qlen()
+	if max > 0 && n > max {
+		n = max
+	}
+	batch := make([]Packet, n)
+	copy(batch, port.queued()[:n])
+	port.popFront(n)
+	now := d.clk.Now()
+	for i := range batch {
+		port.qresSum += now - batch[i].qAt
+	}
+	port.qresN += uint64(n)
+	port.batches++
+	port.batched += uint64(n)
+	if d.tr != nil {
+		port.depthGauge(d.tr).Set(int64(port.qlen()))
+		d.tr.Dequeue(now, d.name, port.id, port.qlen(), n)
+		for _, pkt := range batch {
+			d.tr.Deliver(now, d.name, port.id, now-pkt.arrived)
+			d.tr.SpanDelivered(pkt.span, now, d.name, port.id)
+		}
+	}
+	return batch, nil
+}
+
+// Stats reports the port's statistics in the same block the simulated
+// device fills; ring fields stay zero (live mode has no mapped rings).
+func (port *Port) Stats() pfdev.PortStats {
+	port.dev.mu.Lock()
+	defer port.dev.mu.Unlock()
+	return port.statsLocked()
+}
+
+func (port *Port) statsLocked() pfdev.PortStats {
+	var res time.Duration
+	if port.qresN > 0 {
+		res = port.qresSum / time.Duration(port.qresN)
+	}
+	return pfdev.PortStats{
+		ID:           port.id,
+		Priority:     port.priority,
+		Queued:       port.qlen(),
+		MaxQueued:    port.maxQueued,
+		Dropped:      port.dropped,
+		Matched:      port.matches,
+		FilterInstrs: port.instrs,
+		Reads:        port.reads,
+		BatchReads:   port.batches,
+		BatchPackets: port.batched,
+
+		FuelSpent:       port.fuelSpent,
+		Quarantines:     port.quarantines,
+		QuarantineSkips: port.quarSkips,
+		AvgResidency:    res,
+	}
+}
+
+// Close releases the port; blocked readers fail with ErrClosed and
+// still-queued packets die as DropPortClose.
+func (port *Port) Close() {
+	d := port.dev
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	port.closeLocked()
+}
+
+func (port *Port) closeLocked() {
+	if port.closed {
+		return
+	}
+	d := port.dev
+	port.closed = true
+	d.queuedTotal -= port.qlen()
+	now := d.clk.Now()
+	for _, pkt := range port.queued() {
+		d.tr.SpanDrop(pkt.span, now, d.name, trace.DropPortClose)
+	}
+	port.queue = nil
+	port.qhead = 0
+	port.readers.Broadcast()
+	for i, q := range d.ports {
+		if q == port {
+			d.ports = append(d.ports[:i], d.ports[i+1:]...)
+			break
+		}
+	}
+	d.table = nil
+}
+
+// PortStats returns the statistics blocks of every open port in id
+// order.
+func (d *Device) PortStats() []pfdev.PortStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	stats := make([]pfdev.PortStats, 0, len(d.ports))
+	for _, port := range d.ports {
+		stats = append(stats, port.statsLocked())
+	}
+	for i := 1; i < len(stats); i++ {
+		for j := i; j > 0 && stats[j-1].ID > stats[j].ID; j-- {
+			stats[j-1], stats[j] = stats[j], stats[j-1]
+		}
+	}
+	return stats
+}
+
+// GovStats reports the governor's device-wide statistics.
+func (d *Device) GovStats() pfdev.GovStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	gs := pfdev.GovStats{
+		Shedding:       d.shedding,
+		Backlog:        d.backlog(),
+		AdmissionSheds: d.admissionSheds,
+	}
+	for _, port := range d.ports {
+		gs.Quarantines += port.quarantines
+		gs.QuarantineSkips += port.quarSkips
+		gs.FuelSpent += port.fuelSpent
+	}
+	return gs
+}
+
+// Counts is the device-level receive accounting.
+type Counts struct {
+	Received    uint64 `json:"received"`     // frames handed to Input
+	KernelDrops uint64 `json:"kernel_drops"` // no-match / quota / admission
+	QueuedNow   int    `json:"queued_now"`   // packets on port queues
+}
+
+// Counts returns the device-level counters.
+func (d *Device) Counts() Counts {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Counts{Received: d.received, KernelDrops: d.kernelDrops, QueuedNow: d.queuedTotal}
+}
+
+// KernelDrops returns the no-match/quota/admission drop count.
+func (d *Device) KernelDrops() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.kernelDrops
+}
+
+// Close shuts the device: every port closes (waking its readers) and
+// further Input calls are discarded.
+func (d *Device) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	for len(d.ports) > 0 {
+		d.ports[0].closeLocked()
+	}
+}

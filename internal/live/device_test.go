@@ -1,0 +1,195 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/filter"
+	"repro/internal/pfdev"
+	"repro/internal/pup"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func pupFrame(t *testing.T, link ethersim.LinkType, socket uint32) []byte {
+	t.Helper()
+	pkt := pup.Packet{Type: 1, ID: 42,
+		Dst:  pup.PortAddr{Net: 1, Host: 2, Socket: socket},
+		Src:  pup.PortAddr{Net: 1, Host: 1, Socket: 0x9000},
+		Data: make([]byte, 20)}
+	payload, err := pkt.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	etherType := ethersim.EtherTypePup3Mb
+	if link == ethersim.Ether10Mb {
+		etherType = ethersim.EtherTypePup
+	}
+	return link.Encode(2, 1, etherType, payload)
+}
+
+func TestLiveMatchAndRead(t *testing.T) {
+	link := ethersim.Ether10Mb
+	d := NewDevice(Options{Link: link})
+	pa := d.Open()
+	pb := d.Open()
+	if err := pa.SetFilter(pup.SocketFilter(link, 10, 0x100)); err != nil {
+		t.Fatalf("setfilter a: %v", err)
+	}
+	if err := pb.SetFilter(pup.SocketFilter(link, 10, 0x101)); err != nil {
+		t.Fatalf("setfilter b: %v", err)
+	}
+	d.Input(pupFrame(t, link, 0x100))
+	d.Input(pupFrame(t, link, 0x101))
+	d.Input(pupFrame(t, link, 0x101))
+	d.Input(pupFrame(t, link, 0x999)) // matches nobody
+
+	if got, err := pa.ReadBatch(0, -1); err != nil || len(got) != 1 {
+		t.Fatalf("port a: got %d packets, err %v", len(got), err)
+	}
+	if got, err := pb.ReadBatch(0, -1); err != nil || len(got) != 2 {
+		t.Fatalf("port b: got %d packets, err %v", len(got), err)
+	}
+	if n := d.KernelDrops(); n != 1 {
+		t.Fatalf("kernel drops = %d, want 1", n)
+	}
+	sa, sb := pa.Stats(), pb.Stats()
+	if sa.Matched != 1 || sb.Matched != 2 {
+		t.Fatalf("matched: a=%d b=%d, want 1/2", sa.Matched, sb.Matched)
+	}
+	if sa.FilterInstrs == 0 || sb.FilterInstrs == 0 {
+		t.Fatal("filter instruction accounting missing")
+	}
+}
+
+// A non-copy-all accept stops the scan; copy-all lets the frame fall
+// through — the §3.2 rule, same as the simulated device.
+func TestLiveCopyAll(t *testing.T) {
+	link := ethersim.Ether10Mb
+	d := NewDevice(Options{Link: link})
+	mon := d.Open() // higher priority, copy-all monitor
+	mon.SetCopyAll(true)
+	if err := mon.SetFilter(filter.Filter{Priority: 200}); err != nil { // empty: accepts all
+		t.Fatalf("monitor filter: %v", err)
+	}
+	user := d.Open()
+	if err := user.SetFilter(pup.SocketFilter(link, 10, 0x100)); err != nil {
+		t.Fatalf("user filter: %v", err)
+	}
+	d.Input(pupFrame(t, link, 0x100))
+	if got, _ := mon.ReadBatch(0, -1); len(got) != 1 {
+		t.Fatalf("monitor saw %d packets, want 1", len(got))
+	}
+	if got, _ := user.ReadBatch(0, -1); len(got) != 1 {
+		t.Fatalf("user saw %d packets, want 1 (copy-all fall-through)", len(got))
+	}
+}
+
+func TestLiveQueueOverflow(t *testing.T) {
+	link := ethersim.Ether10Mb
+	d := NewDevice(Options{Link: link})
+	p := d.Open()
+	p.SetQueueLimit(2)
+	if err := p.SetFilter(pup.SocketFilter(link, 10, 0x100)); err != nil {
+		t.Fatalf("setfilter: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		d.Input(pupFrame(t, link, 0x100))
+	}
+	st := p.Stats()
+	if st.Queued != 2 || st.Dropped != 3 {
+		t.Fatalf("queued=%d dropped=%d, want 2/3", st.Queued, st.Dropped)
+	}
+	if st.Matched != 5 {
+		t.Fatalf("matched=%d, want 5 (overflow still matched)", st.Matched)
+	}
+}
+
+func TestLiveReadBlockingAndTimeout(t *testing.T) {
+	link := ethersim.Ether10Mb
+	d := NewDevice(Options{Link: link})
+	p := d.Open()
+	if err := p.SetFilter(pup.SocketFilter(link, 10, 0x100)); err != nil {
+		t.Fatalf("setfilter: %v", err)
+	}
+	if _, err := p.Read(-1); err != ErrWouldBlock {
+		t.Fatalf("non-blocking empty read: %v, want ErrWouldBlock", err)
+	}
+	if _, err := p.Read(5 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("timed-out read: %v, want ErrTimeout", err)
+	}
+	// A blocked read is satisfied by a concurrent Input.
+	got := make(chan error, 1)
+	go func() {
+		_, err := p.Read(5 * time.Second)
+		got <- err
+	}()
+	d.Clock().AfterFunc(2*time.Millisecond, func() {
+		d.Input(pupFrame(t, link, 0x100))
+	})
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("blocked read: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked read never woke")
+	}
+	// Close wakes blocked readers with ErrClosed.
+	go func() {
+		_, err := p.Read(0)
+		got <- err
+	}()
+	d.Clock().AfterFunc(2*time.Millisecond, p.Close)
+	select {
+	case err := <-got:
+		if err != ErrClosed {
+			t.Fatalf("read after close: %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close never woke the blocked reader")
+	}
+}
+
+// The wall-clock governor quarantines a port whose filter burns more
+// than its bucket covers, and attributes the resulting no-match drops
+// to DropQuota.
+func TestLiveGovernorQuarantine(t *testing.T) {
+	link := ethersim.Ether10Mb
+	tr := trace.New()
+	sp := tr.EnableSpans(trace.SpanConfig{Ring: 1 << 12})
+	d := NewDevice(Options{Link: link, Tracer: tr,
+		Gov: pfdev.GovConfig{
+			Enabled: true,
+			Rate:    1, // effectively no refill over the test's lifetime
+			Burst:   64,
+			// Wide windows so wall-time jitter cannot end the
+			// quarantine mid-test.
+			QuarantineBase: time.Minute,
+			QuarantineMax:  time.Minute,
+			QuarantineCool: time.Minute,
+			AdmissionHigh:  1 << 20,
+		}})
+	hog := d.Open()
+	if err := hog.SetFilter(filter.Filter{Priority: 10, Program: workload.BurnProgram()}); err != nil {
+		t.Fatalf("hog filter: %v", err)
+	}
+	frame := pupFrame(t, link, 0x100)
+	for i := 0; i < 50; i++ {
+		d.Input(frame)
+	}
+	st := hog.Stats()
+	if st.Quarantines == 0 || st.QuarantineSkips == 0 {
+		t.Fatalf("hog not quarantined: %+v", st)
+	}
+	if sp.Drops[trace.DropQuota] == 0 {
+		t.Fatalf("no DropQuota spans; taxonomy: %v", sp.Drops)
+	}
+	if sp.Created != 50 {
+		t.Fatalf("spans created = %d, want 50", sp.Created)
+	}
+	if sp.Live() != 0 {
+		t.Fatalf("%d spans live; all should have terminated", sp.Live())
+	}
+}

@@ -1,0 +1,133 @@
+package live
+
+// The live device runs the identical resource governor as the
+// simulated one (pfdev/gov.go): per-port token buckets priced by
+// pfdev.GovBound, doubling-backoff quarantine, and high/low watermark
+// admission control — but clocked by wall time, so Rate is instruction
+// units per real second and quarantine windows are real durations.
+// The algorithms are mirrored line for line; only the time source and
+// the backlog definition differ (the live device has no virtual
+// pending-delivery queue, so backlog is just the queued total).
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/pfdev"
+	"repro/internal/trace"
+)
+
+func spanDropName(port int, reason trace.DropReason) string {
+	return fmt.Sprintf("pf.port%d.span_drop.%s", port, reason)
+}
+
+func depthGaugeName(port int) string {
+	return fmt.Sprintf("pf.port%d.depth", port)
+}
+
+// govRefillNow lazily accrues tokens for the elapsed wall time.
+func (port *Port) govRefillNow(now time.Duration, cfg *pfdev.GovConfig) {
+	if now > port.govRefill {
+		port.govTokens += cfg.Rate * (now - port.govRefill).Seconds()
+		if b := float64(cfg.Burst); port.govTokens > b {
+			port.govTokens = b
+		}
+		port.govRefill = now
+	}
+}
+
+// govAdmit decides whether this port's filter may run against the
+// current frame.
+func (port *Port) govAdmit(now time.Duration, cfg *pfdev.GovConfig) bool {
+	port.govRefillNow(now, cfg)
+	if now < port.quarUntil {
+		port.quarSkips++
+		return false
+	}
+	if port.govTokens < float64(port.govBound) {
+		port.govQuarantine(now, cfg)
+		port.quarSkips++
+		return false
+	}
+	return true
+}
+
+// govQuarantine starts (or extends) the port's penalty window.
+func (port *Port) govQuarantine(now time.Duration, cfg *pfdev.GovConfig) {
+	if port.quarPenalty == 0 || now-port.quarUntil > cfg.QuarantineCool {
+		port.quarPenalty = cfg.QuarantineBase
+	} else {
+		port.quarPenalty *= 2
+		if port.quarPenalty > cfg.QuarantineMax {
+			port.quarPenalty = cfg.QuarantineMax
+		}
+	}
+	port.quarUntil = now + port.quarPenalty
+	port.quarantines++
+}
+
+// govCharge debits an admitted evaluation's actual cost.
+func (port *Port) govCharge(units int) {
+	port.govTokens -= float64(units)
+	port.fuelSpent += uint64(units)
+}
+
+// backlog is the admission controller's load signal.  The live device
+// enqueues synchronously (no deferred "pf" CPU charge), so the backlog
+// is exactly the queued total.
+func (d *Device) backlog() int { return d.queuedTotal }
+
+// admitFrame updates the shed/accept hysteresis and reports whether a
+// newly arrived frame may enter the demultiplexer.
+func (d *Device) admitFrame() bool {
+	g := &d.opt.Gov
+	if !g.Enabled {
+		return true
+	}
+	backlog := d.backlog()
+	if d.shedding {
+		if backlog <= g.AdmissionLow {
+			d.shedding = false
+		}
+	} else if backlog >= g.AdmissionHigh {
+		d.shedding = true
+	}
+	return !d.shedding
+}
+
+// shedFrame accounts one frame refused at demux entry.
+func (d *Device) shedFrame(span uint64) {
+	d.admissionSheds++
+	d.kernelDrops++
+	now := d.clk.Now()
+	if d.tr != nil {
+		d.tr.Drop(now, d.name, "admission")
+	}
+	d.tr.SpanDrop(span, now, d.name, trace.DropAdmission)
+}
+
+// govPrepareTable refreshes every port's quarantine standing before a
+// table-mode match, invalidating the merged table when any standing
+// changed.  Reports whether at least one bound filter is skipped.
+func (d *Device) govPrepareTable(now time.Duration) bool {
+	cfg := &d.opt.Gov
+	skipped := false
+	changed := false
+	for _, port := range d.ports {
+		if port.closed || port.prog == nil {
+			continue
+		}
+		active := port.govAdmit(now, cfg)
+		if active != port.tableActive {
+			port.tableActive = active
+			changed = true
+		}
+		if !active {
+			skipped = true
+		}
+	}
+	if changed {
+		d.table = nil
+	}
+	return skipped
+}

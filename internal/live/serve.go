@@ -1,0 +1,71 @@
+package live
+
+import (
+	"net"
+
+	"repro/internal/trace"
+)
+
+// ServeConfig assembles one complete pfserve instance: device, wire,
+// control socket.
+type ServeConfig struct {
+	// CtlAddr is the TCP control-socket address ("127.0.0.1:0" for an
+	// ephemeral port).
+	CtlAddr string
+	// UDPAddr is the loopback wire address.
+	UDPAddr string
+	// Device options.  Options.Tracer is ignored; the instance builds
+	// its own tracer so span tracking is always on.
+	Opt Options
+	// SpanRing sizes the flight recorder (default 1 << 15).  Size it
+	// above the expected packet count when the run must prove
+	// conservation with no live-span evictions.
+	SpanRing int
+}
+
+// Instance is one running pfserve: the live device, its UDP wire and
+// its control server.
+type Instance struct {
+	Dev    *Device
+	Wire   *Wire
+	Ctl    *Server
+	Tracer *trace.Tracer
+	Spans  *trace.Spans
+}
+
+// Start brings up a full instance.  On error nothing is left running.
+func Start(cfg ServeConfig) (*Instance, error) {
+	if cfg.SpanRing <= 0 {
+		cfg.SpanRing = 1 << 15
+	}
+	tr := trace.New()
+	sp := tr.EnableSpans(trace.SpanConfig{Ring: cfg.SpanRing})
+	cfg.Opt.Tracer = tr
+	dev := NewDevice(cfg.Opt)
+
+	wire, err := ListenWire(cfg.UDPAddr, dev.Input)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.CtlAddr)
+	if err != nil {
+		wire.Close()
+		return nil, err
+	}
+	ctl := Serve(ln, dev, wire)
+	return &Instance{Dev: dev, Wire: wire, Ctl: ctl, Tracer: tr, Spans: sp}, nil
+}
+
+// CtlAddr returns the control socket's bound address.
+func (in *Instance) CtlAddr() string { return in.Ctl.Addr().String() }
+
+// UDPAddr returns the wire's bound address.
+func (in *Instance) UDPAddr() string { return in.Wire.Addr().String() }
+
+// Close shuts the instance down: wire first (no new frames), then the
+// control server, then the device (waking any blocked readers).
+func (in *Instance) Close() {
+	in.Wire.Close()
+	in.Dev.Close()
+	in.Ctl.Close()
+}

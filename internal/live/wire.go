@@ -1,0 +1,142 @@
+package live
+
+// The loopback-UDP wire: live mode's stand-in for ethersim's shared
+// medium.  Each datagram carries exactly one data-link frame,
+// verbatim — the same bytes ethersim would have put on the virtual
+// wire, so the identical filter programs match on both.  UDP loopback
+// gives the properties the simulated medium models for free: message
+// boundaries, unreliable delivery under overload (socket-buffer
+// overflow plays the NIC input-queue drop), and no connection state.
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// maxDatagram bounds one received frame; both simulated link types are
+// far below it.
+const maxDatagram = 64 * 1024
+
+// rxBuffer is the receive-side socket buffer request.  Loopback load
+// tests push tens of thousands of datagrams through one socket; a
+// deep buffer keeps the kernel from shedding bursts the reader would
+// have drained microseconds later.
+const rxBuffer = 4 << 20
+
+// Wire is one end of the loopback-UDP medium: a bound socket whose
+// receive loop hands every arriving frame to the device.
+type Wire struct {
+	conn    *net.UDPConn
+	handler func(frame []byte)
+
+	received atomic.Uint64 // frames handed to the handler
+	rxBytes  atomic.Uint64
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// WireStats is the wire's receive accounting.
+type WireStats struct {
+	Received uint64 `json:"received"`
+	RxBytes  uint64 `json:"rx_bytes"`
+}
+
+// ListenWire binds a UDP socket on addr (e.g. "127.0.0.1:0") and
+// starts the receive loop: each datagram is copied into a fresh buffer
+// and passed to handler.  The handler runs on the receive goroutine;
+// Device.Input serializes internally.
+func ListenWire(addr string, handler func(frame []byte)) (*Wire, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	// Best effort: some kernels clamp the request, which only means
+	// earlier overload drops, not incorrectness.
+	_ = conn.SetReadBuffer(rxBuffer)
+	w := &Wire{conn: conn, handler: handler, done: make(chan struct{})}
+	go w.rxLoop()
+	return w, nil
+}
+
+// Addr returns the wire's bound UDP address.
+func (w *Wire) Addr() *net.UDPAddr { return w.conn.LocalAddr().(*net.UDPAddr) }
+
+// Stats returns the wire's receive accounting.
+func (w *Wire) Stats() WireStats {
+	return WireStats{Received: w.received.Load(), RxBytes: w.rxBytes.Load()}
+}
+
+// Close shuts the socket down; the receive loop exits.
+func (w *Wire) Close() {
+	w.closeOnce.Do(func() {
+		w.conn.Close()
+		<-w.done
+	})
+}
+
+// rxLoop drains the socket until Close.  Each frame is copied out of
+// the reusable read buffer before crossing into the device, which
+// retains delivered frames on port queues.
+func (w *Wire) rxLoop() {
+	defer close(w.done)
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := w.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed (or fatally broken) socket ends the wire
+		}
+		if n == 0 {
+			continue
+		}
+		frame := make([]byte, n)
+		copy(frame, buf[:n])
+		w.received.Add(1)
+		w.rxBytes.Add(uint64(n))
+		w.handler(frame)
+	}
+}
+
+// Sender is the transmit end: a connected UDP socket frames are
+// written to verbatim, one datagram per frame.
+type Sender struct {
+	conn *net.UDPConn
+
+	// Sent counts frames written; SendErrs counts writes the kernel
+	// refused (ENOBUFS under extreme overload).
+	Sent     atomic.Uint64
+	SendErrs atomic.Uint64
+}
+
+// DialWire connects a sender to a listening wire.
+func DialWire(addr string) (*Sender, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetWriteBuffer(rxBuffer)
+	return &Sender{conn: conn}, nil
+}
+
+// Send transmits one frame as one datagram.
+func (s *Sender) Send(frame []byte) error {
+	_, err := s.conn.Write(frame)
+	if err != nil {
+		s.SendErrs.Add(1)
+		return err
+	}
+	s.Sent.Add(1)
+	return nil
+}
+
+// Close releases the sending socket.
+func (s *Sender) Close() { s.conn.Close() }

@@ -212,7 +212,7 @@ func Attach(nic *ethersim.NIC, kern KernelProtocol, opt Options) *Device {
 // to find ErrClosed.
 func (d *Device) crash() {
 	tr := d.host.Sim().Tracer()
-	now := d.host.Sim().Now()
+	now := d.host.Clock().Now()
 	ports := d.ports
 	d.ports = nil
 	d.table = nil
@@ -309,7 +309,7 @@ func (d *Device) claim(frame []byte, span uint64) bool {
 	tr := d.host.Sim().Tracer()
 	tr.SpanClaimArm(span)
 	claimed := d.kern.Claim(frame)
-	tr.SpanClaimSettle(d.host.Sim().Now(), d.host.Name(), claimed)
+	tr.SpanClaimSettle(d.host.Clock().Now(), d.host.Name(), claimed)
 	return claimed
 }
 
@@ -325,7 +325,7 @@ func (d *Device) inputSpanned(frame []byte, span uint64) {
 		d.shedFrame(span)
 		return
 	}
-	arrival := d.host.Sim().Now()
+	arrival := d.host.Clock().Now()
 	tr := d.host.Sim().Tracer()
 	if tr != nil {
 		tr.PacketIn(arrival, d.host.Name())
@@ -370,7 +370,7 @@ func (d *Device) inputSpanned(frame []byte, span uint64) {
 // frame whose evaluation just finished.
 func (d *Device) markFilter() {
 	if d.pendHead < len(d.pend) {
-		d.host.Sim().Tracer().SpanMark(d.pend[d.pendHead].span, trace.StageFilter, d.host.Sim().Now())
+		d.host.Sim().Tracer().SpanMark(d.pend[d.pendHead].span, trace.StageFilter, d.host.Clock().Now())
 	}
 }
 
@@ -382,7 +382,7 @@ func (d *Device) markBurstFilter() {
 	}
 	n := d.burstLens[d.burstHead]
 	tr := d.host.Sim().Tracer()
-	now := d.host.Sim().Now()
+	now := d.host.Clock().Now()
 	for i := 0; i < n && d.pendHead+i < len(d.pend); i++ {
 		tr.SpanMark(d.pend[d.pendHead+i].span, trace.StageFilter, now)
 	}
@@ -459,9 +459,9 @@ func (d *Device) deliverOne() {
 			reason, label = trace.DropQuota, "quota"
 		}
 		if tr != nil {
-			tr.Drop(d.host.Sim().Now(), d.host.Name(), label)
+			tr.Drop(d.host.Clock().Now(), d.host.Name(), label)
 		}
-		tr.SpanDrop(dl.span, d.host.Sim().Now(), d.host.Name(), reason)
+		tr.SpanDrop(dl.span, d.host.Clock().Now(), d.host.Name(), reason)
 		return
 	}
 	for i, port := range dl.ports {
@@ -469,7 +469,7 @@ func (d *Device) deliverOne() {
 		if i > 0 {
 			// Copy-all delivery to further ports forks child spans so
 			// each enqueue terminates independently.
-			s = tr.SpanFork(dl.span, d.host.Sim().Now(), d.host.Name())
+			s = tr.SpanFork(dl.span, d.host.Clock().Now(), d.host.Name())
 		}
 		port.enqueue(dl.frame, dl.arrival, s)
 	}
@@ -491,7 +491,7 @@ func (d *Device) inputBurst(frames [][]byte) {
 		return
 	}
 	spans := d.nic.RxBurstSpans()
-	arrival := d.host.Sim().Now()
+	arrival := d.host.Clock().Now()
 	tr := d.host.Sim().Tracer()
 	costs := d.host.Costs()
 
@@ -556,7 +556,7 @@ func (d *Device) inputBurst(frames [][]byte) {
 // for.
 func (d *Device) deliverBurst() {
 	n := d.popBurst()
-	now := d.host.Sim().Now()
+	now := d.host.Clock().Now()
 	tr := d.host.Sim().Tracer()
 	wake := d.wakeScratch[:0]
 	for k := 0; k < n; k++ {
@@ -599,7 +599,7 @@ func (d *Device) deliverBurst() {
 func (d *Device) linearMatch(frame []byte, dst []*Port) ([]*Port, time.Duration) {
 	costs := d.host.Costs()
 	tr := d.host.Sim().Tracer()
-	now := d.host.Sim().Now()
+	now := d.host.Clock().Now()
 	var cost time.Duration
 	accepted := dst
 	gov := d.opt.Gov.Enabled
@@ -680,7 +680,7 @@ func (d *Device) tableMatch(frame []byte, dst []*Port) ([]*Port, time.Duration) 
 	costs := d.host.Costs()
 	d.scanQuarSkip = false
 	if d.opt.Gov.Enabled {
-		d.scanQuarSkip = d.govPrepareTable(d.host.Sim().Now())
+		d.scanQuarSkip = d.govPrepareTable(d.host.Clock().Now())
 	}
 	if d.table == nil {
 		d.rebuildTable()
@@ -731,7 +731,7 @@ func (d *Device) tableMatch(frame []byte, dst []*Port) ([]*Port, time.Duration) 
 	}
 
 	tr := d.host.Sim().Tracer()
-	now := d.host.Sim().Now()
+	now := d.host.Clock().Now()
 	gov := d.opt.Gov.Enabled
 	for _, le := range res.Linear {
 		port := d.tablePorts[le.Idx]

@@ -90,6 +90,17 @@ func DefaultGovConfig() GovConfig {
 	}
 }
 
+// WithDefaults returns the config with zero fields filled from the
+// default calibration; a disabled config is returned unchanged.  The
+// live-mode device (package live) runs the same governor on wall time
+// and shares this calibration.
+func (g GovConfig) WithDefaults() GovConfig {
+	if !g.Enabled {
+		return g
+	}
+	return g.withDefaults()
+}
+
 // withDefaults fills zero fields of an enabled config.
 func (g GovConfig) withDefaults() GovConfig {
 	def := DefaultGovConfig()
@@ -115,6 +126,14 @@ func (g GovConfig) withDefaults() GovConfig {
 		g.AdmissionLow = g.AdmissionHigh / 3
 	}
 	return g
+}
+
+// GovBound computes a filter's pre-admission price for the given
+// evaluation mode — the bucket balance a port must hold before its
+// filter may run.  Exported so the live-mode device prices filters
+// identically to the simulated one.
+func GovBound(mode EvalMode, p filter.Program, opt filter.ValidateOptions) int {
+	return govBoundFor(mode, p, opt)
 }
 
 // govBoundFor computes a filter's pre-admission price: its static
@@ -222,7 +241,7 @@ func (d *Device) shedFrame(span uint64) {
 	d.host.Counters.PacketsDropped++
 	d.host.Sim().Counters.PacketsDropped++
 	tr := d.host.Sim().Tracer()
-	now := d.host.Sim().Now()
+	now := d.host.Clock().Now()
 	if tr != nil {
 		tr.Drop(now, d.host.Name(), "admission")
 	}

@@ -145,7 +145,7 @@ func (d *Device) Open(p *sim.Proc) *Port {
 		// deliberately does not refill it, so a hostile port cannot
 		// launder its debt through SetFilter.
 		port.govTokens = float64(g.Burst)
-		port.govRefill = d.host.Sim().Now()
+		port.govRefill = d.host.Clock().Now()
 	}
 	d.nextID++
 	d.ports = append(d.ports, port)
@@ -345,11 +345,11 @@ func (port *Port) enqueueQuiet(frame []byte, arrived time.Duration, span uint64)
 		h.Counters.PacketsDropped++
 		h.Sim().Counters.PacketsDropped++
 		if tr := h.Sim().Tracer(); tr != nil {
-			tr.Drop(h.Sim().Now(), h.Name(), "queue")
+			tr.Drop(h.Clock().Now(), h.Name(), "queue")
 			if span != 0 {
 				port.spanDropCounter(tr, reason).Add(1)
 			}
-			tr.SpanDrop(span, h.Sim().Now(), h.Name(), reason)
+			tr.SpanDrop(span, h.Clock().Now(), h.Name(), reason)
 			tr.SpanPort(span, port.id)
 		}
 		return false
@@ -362,9 +362,9 @@ func (port *Port) enqueueQuiet(frame []byte, arrived time.Duration, span uint64)
 		frame, slot = r.deposit(frame)
 	}
 	pkt := Packet{Data: frame, Drops: port.dropped, arrived: arrived, slot: slot, span: span,
-		qAt: h.Sim().Now()}
+		qAt: h.Clock().Now()}
 	if port.stamp {
-		pkt.Stamp = h.Sim().Now()
+		pkt.Stamp = h.Clock().Now()
 	}
 	port.queue = append(port.queue, pkt)
 	port.dev.queuedTotal++
@@ -373,10 +373,10 @@ func (port *Port) enqueueQuiet(frame []byte, arrived time.Duration, span uint64)
 	}
 	if tr := h.Sim().Tracer(); tr != nil {
 		port.depthGauge(tr).Set(int64(port.qlen()))
-		tr.Enqueue(h.Sim().Now(), h.Name(), port.id, port.qlen())
+		tr.Enqueue(h.Clock().Now(), h.Name(), port.id, port.qlen())
 	}
 	tr := h.Sim().Tracer()
-	tr.SpanMark(span, trace.StageQueue, h.Sim().Now())
+	tr.SpanMark(span, trace.StageQueue, h.Clock().Now())
 	tr.SpanPort(span, port.id)
 	return true
 }
@@ -715,7 +715,7 @@ func (port *Port) Close(p *sim.Proc) {
 	port.dev.queuedTotal -= port.qlen()
 	// Packets still queued will never be read; their spans die typed.
 	tr := port.dev.host.Sim().Tracer()
-	now := port.dev.host.Sim().Now()
+	now := port.dev.host.Clock().Now()
 	for _, pkt := range port.queued() {
 		tr.SpanDrop(pkt.span, now, port.dev.host.Name(), trace.DropPortClose)
 	}

@@ -139,17 +139,17 @@ func (g *Gateway) forward(p *sim.Proc, ports []*pfdev.Port, in int, raw pfdev.Pa
 	tr := host.Sim().Tracer()
 	_, _, _, payload, err := inLink.Decode(raw.Data)
 	if err != nil {
-		tr.SpanUserDrop(raw.Span(), host.Sim().Now(), host.Name(), trace.DropChecksum)
+		tr.SpanUserDrop(raw.Span(), host.Clock().Now(), host.Name(), trace.DropChecksum)
 		return
 	}
 	pkt, err := Unmarshal(payload)
 	if err != nil {
-		tr.SpanUserDrop(raw.Span(), host.Sim().Now(), host.Name(), trace.DropChecksum)
+		tr.SpanUserDrop(raw.Span(), host.Clock().Now(), host.Name(), trace.DropChecksum)
 		return
 	}
 	if pkt.HopCount >= MaxHops {
 		g.DroppedHops++
-		tr.SpanUserDrop(raw.Span(), host.Sim().Now(), host.Name(), trace.DropHops)
+		tr.SpanUserDrop(raw.Span(), host.Clock().Now(), host.Name(), trace.DropHops)
 		return
 	}
 	pkt.HopCount++
@@ -163,7 +163,7 @@ func (g *Gateway) forward(p *sim.Proc, ports []*pfdev.Port, in int, raw pfdev.Pa
 	}
 	if out < 0 {
 		g.DroppedNoRoute++
-		tr.SpanUserDrop(raw.Span(), host.Sim().Now(), host.Name(), trace.DropNoRoute)
+		tr.SpanUserDrop(raw.Span(), host.Clock().Now(), host.Name(), trace.DropNoRoute)
 		return
 	}
 
@@ -174,7 +174,7 @@ func (g *Gateway) forward(p *sim.Proc, ports []*pfdev.Port, in int, raw pfdev.Pa
 		hw, ok := gp.Hosts[pkt.Dst.Host]
 		if !ok {
 			g.DroppedNoRoute++
-			tr.SpanUserDrop(raw.Span(), host.Sim().Now(), host.Name(), trace.DropNoRoute)
+			tr.SpanUserDrop(raw.Span(), host.Clock().Now(), host.Name(), trace.DropNoRoute)
 			return
 		}
 		dstHW = hw

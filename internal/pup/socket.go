@@ -215,7 +215,7 @@ func (s *Socket) decode(raw pfdev.Packet) *Packet {
 		}
 	}
 	h := s.dev.Host()
-	h.Sim().Tracer().SpanUserDrop(raw.Span(), h.Sim().Now(), h.Name(), trace.DropChecksum)
+	h.Sim().Tracer().SpanUserDrop(raw.Span(), h.Clock().Now(), h.Name(), trace.DropChecksum)
 	return nil
 }
 

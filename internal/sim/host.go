@@ -3,6 +3,7 @@ package sim
 import (
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/vtime"
 )
 
@@ -94,6 +95,11 @@ func (h *Host) Name() string { return h.name }
 
 // Sim returns the owning simulation.
 func (h *Host) Sim() *Sim { return h.sim }
+
+// Clock returns the host's time source — the owning simulation's
+// virtual clock.  Device code timestamps through this interface so the
+// identical code hosts live traffic on a clock.Wall.
+func (h *Host) Clock() clock.Clock { return h.sim }
 
 // Costs returns the simulation cost model.
 func (h *Host) Costs() vtime.Costs { return h.sim.costs }

@@ -23,9 +23,16 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/trace"
 	"repro/internal/vtime"
 )
+
+// Sim is the virtual-time implementation of the dual-mode clock
+// interface: Now is the discrete-event clock and AfterFunc rides the
+// event queue, so code written against clock.Clock runs bit-identically
+// under simulation and switches to clock.Wall for live mode.
+var _ clock.Clock = (*Sim)(nil)
 
 // Sim is one simulation universe: a virtual clock, an event queue and
 // any number of hosts.
@@ -142,6 +149,17 @@ func (s *Sim) NewTimer(d time.Duration, fn func()) *Timer {
 	e := s.After(d, fn)
 	return &Timer{e: e, gen: e.gen}
 }
+
+// AfterFunc implements clock.Clock over the event queue: fn runs in
+// event-loop context d of virtual time from now.  It is NewTimer
+// behind the interface, so virtual and wall mode share one timer API.
+func (s *Sim) AfterFunc(d time.Duration, fn func()) clock.Timer {
+	return s.NewTimer(d, fn)
+}
+
+// Clock returns the simulation's virtual clock as the dual-mode
+// interface device code is written against.
+func (s *Sim) Clock() clock.Clock { return s }
 
 // Stop cancels the timer if it has not fired yet.  Stopping a fired or
 // already-stopped timer is a no-op.  The generation check makes Stop

@@ -179,7 +179,7 @@ func (e *UserEndpoint) recv(p *sim.Proc) (Header, []byte, ethersim.Addr, error) 
 // taxonomy as a born-dead child of the delivered packet's span.
 func (e *UserEndpoint) spanChecksumDrop(raw pfdev.Packet) {
 	host := e.dev.Host()
-	host.Sim().Tracer().SpanUserDrop(raw.Span(), host.Sim().Now(), host.Name(), trace.DropChecksum)
+	host.Sim().Tracer().SpanUserDrop(raw.Span(), host.Clock().Now(), host.Name(), trace.DropChecksum)
 }
 
 // Call performs one transaction: send the request, collect the

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/ethersim"
+)
+
+// Flow sizes must be deterministic, bounded, and actually heavy-tailed:
+// the sample maximum dwarfs the median and the top decile carries the
+// majority of the packets.
+func TestFlowGenHeavyTail(t *testing.T) {
+	fg := NewFlowGen(7, ethersim.Ether10Mb, []uint32{0x100, 0x101})
+	const flows = 20000
+	sizes := make([]int, flows)
+	total := 0
+	for i := range sizes {
+		sizes[i] = fg.flowSize()
+		if sizes[i] < fg.MinFlow || sizes[i] > fg.MaxFlow {
+			t.Fatalf("flow %d size %d outside [%d, %d]", i, sizes[i], fg.MinFlow, fg.MaxFlow)
+		}
+		total += sizes[i]
+	}
+	sorted := append([]int(nil), sizes...)
+	sort.Ints(sorted)
+	median := sorted[flows/2]
+	max := sorted[flows-1]
+	if median > 3 {
+		t.Errorf("median flow size %d; Pareto(1.2) mass should sit at a few packets", median)
+	}
+	if max < 50*median+50 {
+		t.Errorf("max flow %d vs median %d: tail not heavy", max, median)
+	}
+	// Top 10% of flows should carry over half the packets.
+	top := 0
+	for _, n := range sorted[flows-flows/10:] {
+		top += n
+	}
+	if 2*top < total {
+		t.Errorf("top decile carries %d of %d packets; tail too light", top, total)
+	}
+}
+
+func TestFlowGenDeterministic(t *testing.T) {
+	a := NewFlowGen(3, ethersim.Ether10Mb, []uint32{0x100, 0x101, 0x102})
+	b := NewFlowGen(3, ethersim.Ether10Mb, []uint32{0x100, 0x101, 0x102})
+	for i := 0; i < 500; i++ {
+		fa := a.Frame(2, 1)
+		fb := b.Frame(2, 1)
+		if string(fa) != string(fb) {
+			t.Fatalf("frame %d diverged between identically seeded generators", i)
+		}
+	}
+	if a.Flows == 0 || a.Flows != b.Flows {
+		t.Fatalf("flow counts diverged: %d vs %d", a.Flows, b.Flows)
+	}
+}
+
+// Every frame of one flow goes to the same destination socket, and the
+// generator moves on to a (usually different) socket for the next flow.
+func TestFlowGenSticksToSocket(t *testing.T) {
+	fg := NewFlowGen(11, ethersim.Ether10Mb, []uint32{0x100, 0x101, 0x102, 0x103})
+	lastSock := uint32(0)
+	changes := 0
+	for i := 0; i < 2000; i++ {
+		start := fg.remaining == 0 // next Frame call begins a new flow
+		fg.Frame(2, 1)
+		if start {
+			if fg.socket != lastSock {
+				changes++
+			}
+			lastSock = fg.socket
+		} else if fg.socket != lastSock {
+			t.Fatalf("frame %d switched socket mid-flow", i)
+		}
+	}
+	if changes < 10 {
+		t.Fatalf("only %d socket changes over 2000 frames; flows not rotating", changes)
+	}
+}
