@@ -29,6 +29,7 @@ func main() {
 	coalesceN := flag.Int("coalesce-n", 0, "packets per exp-coalesce measurement (0 = default)")
 	scaleN := flag.Int("scale-n", 0, "packets per exp-scale cell (0 = default)")
 	stormN := flag.Int("storm-n", 0, "victim packets per exp-storm cell (0 = default)")
+	churnN := flag.Int("churn-n", 0, "packets per exp-churn cell (0 = default)")
 	parallel := flag.Int("parallel", 0, "worker pool for sweep cells (0 = GOMAXPROCS, 1 = sequential; forced to 1 under -trace)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
@@ -50,6 +51,9 @@ func main() {
 	}
 	if *stormN > 0 {
 		bench.StormCount = *stormN
+	}
+	if *churnN > 0 {
+		bench.ChurnCount = *churnN
 	}
 	bench.Workers = *parallel
 

@@ -238,6 +238,7 @@ func Experiments() []Experiment {
 		{"exp-scale", ExpScale},
 		{"exp-provenance", ExpProvenance},
 		{"exp-storm", ExpStorm},
+		{"exp-churn", ExpChurn},
 	}
 }
 

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChurnShape pins the claims the churn experiment exists to make,
+// at the largest population: incremental maintenance keeps rebuild
+// stalls off the packet path entirely, while the full-rebuild baseline
+// pays a whole-population recompile per churn event.
+func TestChurnShape(t *testing.T) {
+	incr := measureChurn(1024, false)
+	full := measureChurn(1024, true)
+
+	if incr.received != ChurnCount || full.received != ChurnCount {
+		t.Fatalf("lost frames: incr=%d full=%d want %d",
+			incr.received, full.received, ChurnCount)
+	}
+	// The acceptance metric: incremental is at least 5x better than
+	// full rebuild on packet-path stall time (in fact it never stalls —
+	// patches happen at setfilter/close syscall time).
+	if full.stall <= 0 {
+		t.Fatalf("full-rebuild baseline shows no rebuild stall (%v)", full.stall)
+	}
+	if 5*incr.stall > full.stall {
+		t.Errorf("incremental stall %v not ≥5x better than full-rebuild stall %v",
+			incr.stall, full.stall)
+	}
+	if incr.stall != 0 {
+		t.Errorf("incremental maintenance stalled the packet path: %v", incr.stall)
+	}
+	// Per-packet cost must be no worse than the rebuild baseline, and
+	// tail latency strictly better (rebuilds land on the hot path).
+	if incr.perPacket > full.perPacket {
+		t.Errorf("incremental per-packet %v worse than full-rebuild %v",
+			incr.perPacket, full.perPacket)
+	}
+	if incr.worstLat >= full.worstLat {
+		t.Errorf("incremental worst latency %v not better than full-rebuild %v",
+			incr.worstLat, full.worstLat)
+	}
+	if incr.worstLat > 5*time.Millisecond {
+		t.Errorf("incremental worst latency %v should stay at steady-state delivery cost", incr.worstLat)
+	}
+	// Mechanism check: incremental churn is all patches and no rebuilds;
+	// the baseline is all rebuilds and no patches.
+	if incr.builds != 0 || incr.patches == 0 {
+		t.Errorf("incremental: builds=%d patches=%d, want 0 builds and >0 patches",
+			incr.builds, incr.patches)
+	}
+	if full.builds == 0 || full.patches != 0 {
+		t.Errorf("full rebuild: builds=%d patches=%d, want >0 builds and 0 patches",
+			full.builds, full.patches)
+	}
+	if full.work <= incr.work {
+		t.Errorf("full-rebuild work %d not greater than incremental work %d",
+			full.work, incr.work)
+	}
+}
+
+// TestChurnParsimIdentity renders the whole exp-churn table at one and
+// at four parsim workers: every cell is its own deterministic universe,
+// so the sweep must be byte-identical regardless of pool width.
+func TestChurnParsimIdentity(t *testing.T) {
+	oldWorkers, oldCount := Workers, ChurnCount
+	defer func() { Workers, ChurnCount = oldWorkers, oldCount }()
+	ChurnCount = 8
+
+	Workers = 1
+	seq := ExpChurn().String()
+	Workers = 4
+	par := ExpChurn().String()
+	if seq != par {
+		t.Errorf("exp-churn not byte-identical across worker counts:\n-- workers=1 --\n%s\n-- workers=4 --\n%s", seq, par)
+	}
+}

@@ -2,261 +2,51 @@ package filter
 
 // This file implements §7's second proposed speedup: "Even more speed
 // could be gained by compiling filters into machine code, at the cost
-// of greatly increased implementation complexity."  In Go the honest
-// analogue of compiling to machine code is compiling to a sequence of
-// closures with all instruction decoding, constants and dispatch
-// resolved at compile time ("threaded code"): the per-packet loop
-// executes one indirect call per instruction and nothing else.
+// of greatly increased implementation complexity."  Earlier versions
+// compiled each filter to a chain of closures ("threaded code": one
+// indirect call per instruction).  The v2 backend compiles to the flat
+// register-based IR in setir.go instead: all instruction decoding,
+// constants and register numbers are resolved at compile time, and the
+// per-packet loop is a single switch over a contiguous instruction
+// array.  Dropping the closure chain also drops its pooled evaluation
+// state — the register file lives on the caller's stack, so Run is
+// allocation-free without a sync.Pool.
 //
 // Execution order is identical to the checked interpreter, so the two
 // are behaviourally equivalent instruction for instruction, including
 // which packets are rejected for out-of-range accesses — a property
-// the test suite checks with testing/quick.
+// the test suite pins with seeded property tests and fuzzing.
 
-import "sync"
-
-type cstate struct {
-	stack [StackDepth]uint16
-	sp    int
-}
-
-// step executes one compiled instruction.  It returns:
-//
-//	stepContinue  - proceed to the next step
-//	stepAccept    - terminate the program accepting the packet
-//	stepReject    - terminate rejecting (short-circuit or error)
-type stepResult int8
-
-const (
-	stepContinue stepResult = iota
-	stepAccept
-	stepReject
-)
-
-type step func(pkt []byte, st *cstate) stepResult
-
-// Compiled is a filter program compiled to threaded code.  Construct
-// with Compile; evaluate with Run.  A Compiled value is safe for
-// concurrent use (the evaluation state lives on the caller's stack).
+// Compiled is a filter program compiled to flat register code.
+// Construct with Compile; evaluate with Run.  A Compiled value is safe
+// for concurrent use (the evaluation state lives on the caller's
+// stack).
 type Compiled struct {
-	steps []step
-	info  Info
-	prog  Program
+	fp *FlatProg
 }
 
 // Compile validates p and compiles it.  env is bound at compile time
 // (the extended header-length action is a per-device constant in the
 // original driver, so binding it at compile time loses nothing).
 func Compile(p Program, opt ValidateOptions, env Env) (*Compiled, error) {
-	info, err := Validate(p, opt)
+	fp, err := CompileFlat(p, opt, env)
 	if err != nil {
 		return nil, err
 	}
-	c := &Compiled{info: info, prog: p.Clone()}
-	for pc := 0; pc < len(p); pc++ {
-		w := p[pc]
-		a, op := w.Action(), w.Op()
-
-		// Compile the stack action.
-		switch {
-		case a == NOPUSH:
-			// no step needed
-		case a == PUSHLIT:
-			pc++
-			v := uint16(p[pc])
-			c.push(func(pkt []byte, st *cstate) uint16 { return v })
-		case a == PUSHZERO:
-			c.pushConst(0)
-		case a == PUSHONE:
-			c.pushConst(1)
-		case a == PUSHFFFF:
-			c.pushConst(0xFFFF)
-		case a == PUSHFF00:
-			c.pushConst(0xFF00)
-		case a == PUSH00FF:
-			c.pushConst(0x00FF)
-		case a == PUSHIND:
-			c.steps = append(c.steps, func(pkt []byte, st *cstate) stepResult {
-				n := int(st.stack[st.sp-1])
-				if 2*n+1 >= len(pkt) {
-					return stepReject
-				}
-				st.stack[st.sp-1] = uint16(pkt[2*n])<<8 | uint16(pkt[2*n+1])
-				return stepContinue
-			})
-		case a == PUSHHDRLEN:
-			c.pushConst(uint16(env.HeaderWords))
-		case a == PUSHPKTLEN:
-			c.push(func(pkt []byte, st *cstate) uint16 { return uint16(len(pkt)) })
-		case a == PUSHBYTE:
-			pc++
-			n := int(p[pc])
-			c.steps = append(c.steps, func(pkt []byte, st *cstate) stepResult {
-				if n >= len(pkt) {
-					return stepReject
-				}
-				st.stack[st.sp] = uint16(pkt[n])
-				st.sp++
-				return stepContinue
-			})
-		default: // PUSHWORD+n
-			n := int(a - PUSHWORD)
-			c.steps = append(c.steps, func(pkt []byte, st *cstate) stepResult {
-				if 2*n+1 >= len(pkt) {
-					return stepReject
-				}
-				st.stack[st.sp] = uint16(pkt[2*n])<<8 | uint16(pkt[2*n+1])
-				st.sp++
-				return stepContinue
-			})
-		}
-
-		// Compile the binary operator.
-		if op == NOP {
-			continue
-		}
-		c.binop(op)
-	}
-	return c, nil
-}
-
-// push appends a step pushing the value produced by f.
-func (c *Compiled) push(f func(pkt []byte, st *cstate) uint16) {
-	c.steps = append(c.steps, func(pkt []byte, st *cstate) stepResult {
-		st.stack[st.sp] = f(pkt, st)
-		st.sp++
-		return stepContinue
-	})
-}
-
-func (c *Compiled) pushConst(v uint16) {
-	c.steps = append(c.steps, func(pkt []byte, st *cstate) stepResult {
-		st.stack[st.sp] = v
-		st.sp++
-		return stepContinue
-	})
-}
-
-// binop appends a step applying op to the top two stack words.
-func (c *Compiled) binop(op Op) {
-	type binFn func(t2, t1 uint16) uint16
-	arith := func(f binFn) step {
-		return func(pkt []byte, st *cstate) stepResult {
-			t1 := st.stack[st.sp-1]
-			t2 := st.stack[st.sp-2]
-			st.sp--
-			st.stack[st.sp-1] = f(t2, t1)
-			return stepContinue
-		}
-	}
-	var s step
-	switch op {
-	case EQ:
-		s = arith(func(t2, t1 uint16) uint16 { return b2w(t2 == t1) })
-	case NEQ:
-		s = arith(func(t2, t1 uint16) uint16 { return b2w(t2 != t1) })
-	case LT:
-		s = arith(func(t2, t1 uint16) uint16 { return b2w(t2 < t1) })
-	case LE:
-		s = arith(func(t2, t1 uint16) uint16 { return b2w(t2 <= t1) })
-	case GT:
-		s = arith(func(t2, t1 uint16) uint16 { return b2w(t2 > t1) })
-	case GE:
-		s = arith(func(t2, t1 uint16) uint16 { return b2w(t2 >= t1) })
-	case AND:
-		s = arith(func(t2, t1 uint16) uint16 { return t2 & t1 })
-	case OR:
-		s = arith(func(t2, t1 uint16) uint16 { return t2 | t1 })
-	case XOR:
-		s = arith(func(t2, t1 uint16) uint16 { return t2 ^ t1 })
-	case ADD:
-		s = arith(func(t2, t1 uint16) uint16 { return t2 + t1 })
-	case SUB:
-		s = arith(func(t2, t1 uint16) uint16 { return t2 - t1 })
-	case MUL:
-		s = arith(func(t2, t1 uint16) uint16 { return t2 * t1 })
-	case LSH:
-		s = arith(func(t2, t1 uint16) uint16 { return t2 << (t1 & 15) })
-	case RSH:
-		s = arith(func(t2, t1 uint16) uint16 { return t2 >> (t1 & 15) })
-	case COR:
-		s = func(pkt []byte, st *cstate) stepResult {
-			t1 := st.stack[st.sp-1]
-			t2 := st.stack[st.sp-2]
-			st.sp--
-			if t1 == t2 {
-				return stepAccept
-			}
-			st.stack[st.sp-1] = 0
-			return stepContinue
-		}
-	case CAND:
-		s = func(pkt []byte, st *cstate) stepResult {
-			t1 := st.stack[st.sp-1]
-			t2 := st.stack[st.sp-2]
-			st.sp--
-			if t1 != t2 {
-				return stepReject
-			}
-			st.stack[st.sp-1] = 1
-			return stepContinue
-		}
-	case CNOR:
-		s = func(pkt []byte, st *cstate) stepResult {
-			t1 := st.stack[st.sp-1]
-			t2 := st.stack[st.sp-2]
-			st.sp--
-			if t1 == t2 {
-				return stepReject
-			}
-			st.stack[st.sp-1] = 0
-			return stepContinue
-		}
-	case CNAND:
-		s = func(pkt []byte, st *cstate) stepResult {
-			t1 := st.stack[st.sp-1]
-			t2 := st.stack[st.sp-2]
-			st.sp--
-			if t1 != t2 {
-				return stepAccept
-			}
-			st.stack[st.sp-1] = 1
-			return stepContinue
-		}
-	}
-	c.steps = append(c.steps, s)
+	return &Compiled{fp: fp}, nil
 }
 
 // Info returns the static summary computed when the program was
 // compiled.
-func (c *Compiled) Info() Info { return c.info }
+func (c *Compiled) Info() Info { return c.fp.Info() }
 
 // Program returns the source program.
-func (c *Compiled) Program() Program { return c.prog }
+func (c *Compiled) Program() Program { return c.fp.Program() }
 
-// cstatePool recycles evaluation stacks across Run calls.  The state
-// escapes through the indirect step calls, so a stack-allocated one
-// would cost a heap allocation per packet; pooling keeps Run
-// allocation-free while remaining safe for concurrent use.
-var cstatePool = sync.Pool{New: func() any { return new(cstate) }}
+// Flat returns the underlying flat register code.
+func (c *Compiled) Flat() *FlatProg { return c.fp }
 
 // Run evaluates the compiled filter against pkt.
 func (c *Compiled) Run(pkt []byte) bool {
-	if len(c.steps) == 0 {
-		return true // the empty filter accepts everything
-	}
-	st := cstatePool.Get().(*cstate)
-	st.sp = 0
-	accept, done := false, false
-	for _, s := range c.steps {
-		if r := s(pkt, st); r != stepContinue {
-			accept, done = r == stepAccept, true
-			break
-		}
-	}
-	if !done {
-		accept = st.stack[st.sp-1] != 0
-	}
-	cstatePool.Put(st)
-	return accept
+	return c.fp.Run(pkt).Accept
 }

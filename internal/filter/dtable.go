@@ -11,11 +11,23 @@ package filter
 // and, when it is such a conjunction, returns the set of
 // (word, value) conditions; BuildTable merges the extracted filters of
 // a whole port set into one decision tree that tests each packet word
-// at most once per path.  Filters that do not fit the shape (ranges,
-// masks, indirection) fall back to linear prevalidated interpretation,
-// so Table.Match is always exactly equivalent to applying every filter
-// in priority order — a property the test suite checks with
-// testing/quick.
+// at most once per path — the common-prefix factoring of the v2 set
+// compiler, with each node's branch map providing indexed dispatch on
+// the §3.1 pair-predicate demux key fields.  Filters that do not fit
+// the shape (ranges, masks, indirection) fall back to flat register
+// code (setir.go), so Table.Match is always exactly equivalent to
+// applying every filter in priority order.
+//
+// v2 makes the table maintainable under churn: filters occupy stable
+// slots, and Insert/Remove return a NEW table that shares every
+// untouched subtree with the old one (copy-on-write along the affected
+// path only).  A published table is immutable with respect to its
+// filter set, which is what lets the devices swap table pointers
+// atomically while in-flight matches finish on the old one.  The
+// cumulative construction work (nodes built or copied, programs
+// extracted or compiled) is tracked in deterministic units so the
+// churn benchmark can compare incremental maintenance against full
+// rebuilds without touching a wall clock.
 
 // Cond is one equality condition: packet word Word must equal Value.
 type Cond struct {
@@ -175,22 +187,63 @@ func dedupe(conds []Cond) []Cond {
 	return out
 }
 
+// contradictory reports whether the conjunction contains two different
+// required values for the same word — an entry that can never match.
+func contradictory(conds []Cond) bool {
+	for i, a := range conds {
+		for _, b := range conds[i+1:] {
+			if a.Word == b.Word && a.Value != b.Value {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// slotKind records how one slot participates in the table.
+type slotKind uint8
+
+const (
+	slotDead     slotKind = iota // removed or never assigned
+	slotTree                     // extracted conjunction, in the decision tree
+	slotFallback                 // flat register code, evaluated linearly
+	slotInert                    // invalid or contradictory: matches nothing
+)
+
+// slotState is the per-slot maintenance record: everything Remove
+// needs to patch a filter back out of the structure it was inserted
+// into.
+type slotState struct {
+	kind     slotKind
+	conds    []Cond // tree slots: the extracted conjunction
+	minWords int
+	fp       *FlatProg // fallback slots: the compiled program
+}
+
 // Table is a merged evaluator for a set of filters.  Filters whose
 // programs reduce to equality conjunctions are compiled into one
-// decision tree; the rest are applied linearly with prevalidated
-// interpreters.  Filters that fail even validation match nothing.
+// decision tree; the rest are compiled to flat register code and
+// applied linearly.  Filters that fail even validation match nothing.
+//
+// A Table's filter set is immutable: Insert and Remove return a new
+// Table sharing all untouched subtrees.  The per-match scratch buffers
+// are not shared between tables and make a single Table value safe
+// only for serialized matching (the devices guarantee this).
 type Table struct {
-	filters []Filter
+	filters []Filter    // by slot; dead slots have a nil Program
+	slots   []slotState // by slot
+	free    []int       // dead slots available for reuse
 	root    *tnode
-	linear  []tlinear // filters outside the table shape
+	linear  []tlinear // fallback slots, ascending slot order
 	scratch []int
 	lin     []LinearEval
-	edges   int // tree nodes whose word was examined on the last walk
+	edges   int
+	work    int // cumulative deterministic construction work
 }
 
 type tlinear struct {
 	idx int
-	pv  *Prevalidated
+	fp  *FlatProg
 }
 
 type tnode struct {
@@ -213,30 +266,63 @@ type tentry struct {
 	conds    []Cond
 }
 
-// BuildTable compiles the filter set.  The returned table matches
-// exactly the same (packet, filter) pairs as running every program
-// with Run.
+// workNode is the deterministic cost of constructing one tree node
+// with the given branch fanout: every branch is placed by evaluating
+// entry conditions.
+func workNode(fanout int) int { return 1 + fanout }
+
+// workClone is the deterministic cost of copy-on-write-copying an
+// existing node: the branch map is a straight pointer copy, an order
+// of magnitude cheaper per entry than constructing the branches, so a
+// patched path through a high-fanout node stays far cheaper than
+// rebuilding it.
+func workClone(fanout int) int { return 1 + fanout/16 }
+
+// workCompile is the deterministic cost of extracting/compiling one
+// program into the table.
+const workCompile = 4
+
+// BuildTable compiles the filter set from scratch.  The returned table
+// matches exactly the same (packet, filter) pairs as running every
+// program with Run.  Slot i holds filters[i].
 func BuildTable(filters []Filter) *Table {
 	t := &Table{filters: append([]Filter(nil), filters...)}
+	t.slots = make([]slotState, len(filters))
 	var entries []tentry
 	for i, f := range filters {
-		if ex, ok := Extract(f.Program); ok {
-			entries = append(entries, tentry{idx: i, minWords: ex.MinWords, conds: ex.Conds})
-			continue
+		st := t.compileSlot(f)
+		t.slots[i] = st
+		switch st.kind {
+		case slotTree:
+			entries = append(entries, tentry{idx: i, minWords: st.minWords, conds: st.conds})
+		case slotFallback:
+			t.linear = append(t.linear, tlinear{idx: i, fp: st.fp})
 		}
-		pv, err := Prevalidate(f.Program, ValidateOptions{})
-		if err != nil {
-			continue // invalid program: matches nothing
-		}
-		t.linear = append(t.linear, tlinear{idx: i, pv: pv})
 	}
-	t.root = buildNode(entries)
+	t.root = buildNode(entries, &t.work)
 	return t
+}
+
+// compileSlot classifies and compiles one filter program, charging
+// work units.
+func (t *Table) compileSlot(f Filter) slotState {
+	t.work += workCompile
+	if ex, ok := Extract(f.Program); ok {
+		if contradictory(ex.Conds) {
+			return slotState{kind: slotInert}
+		}
+		return slotState{kind: slotTree, conds: ex.Conds, minWords: ex.MinWords}
+	}
+	fp, err := CompileFlat(f.Program, ValidateOptions{}, Env{})
+	if err != nil {
+		return slotState{kind: slotInert} // invalid program: matches nothing
+	}
+	return slotState{kind: slotFallback, fp: fp}
 }
 
 // buildNode recursively partitions entries by the most commonly tested
 // remaining packet word.
-func buildNode(entries []tentry) *tnode {
+func buildNode(entries []tentry, wk *int) *tnode {
 	if len(entries) == 0 {
 		return nil
 	}
@@ -252,6 +338,7 @@ func buildNode(entries []tentry) *tnode {
 		}
 	}
 	if len(rest) == 0 {
+		*wk += workNode(0)
 		return n
 	}
 
@@ -305,12 +392,229 @@ func buildNode(entries []tentry) *tnode {
 	if len(byValue) > 0 {
 		n.branches = make(map[uint16]*tnode, len(byValue))
 		for v, es := range byValue {
-			n.branches[v] = buildNode(es)
+			n.branches[v] = buildNode(es, wk)
 		}
 	}
-	n.wildcard = buildNode(wild)
+	n.wildcard = buildNode(wild, wk)
+	*wk += workNode(len(n.branches))
 	return n
 }
+
+// clone copies one node so its accepts and branch map can be modified
+// without touching the shared original.  Subtrees are shared.
+func (n *tnode) clone(wk *int) *tnode {
+	c := &tnode{word: n.word, wildcard: n.wildcard}
+	if len(n.accepts) > 0 {
+		c.accepts = append(make([]taccept, 0, len(n.accepts)), n.accepts...)
+	}
+	if n.branches != nil {
+		c.branches = make(map[uint16]*tnode, len(n.branches))
+		for v, b := range n.branches {
+			c.branches[v] = b
+		}
+	}
+	*wk += workClone(len(n.branches))
+	return c
+}
+
+// shallowClone copies the slot bookkeeping so the new table can be
+// patched; the decision tree is shared until insert/remove copies the
+// affected path.
+func (t *Table) shallowClone() *Table {
+	nt := &Table{
+		filters: append([]Filter(nil), t.filters...),
+		slots:   append([]slotState(nil), t.slots...),
+		free:    append([]int(nil), t.free...),
+		root:    t.root,
+		linear:  append([]tlinear(nil), t.linear...),
+		work:    t.work,
+	}
+	return nt
+}
+
+// Insert returns a new table containing f in a fresh slot, sharing
+// every untouched subtree with the receiver, plus the assigned slot.
+// Construction work is proportional to the affected path, not the
+// filter population.
+func (t *Table) Insert(f Filter) (*Table, int) {
+	nt := t.shallowClone()
+	var slot int
+	if n := len(nt.free); n > 0 {
+		slot = nt.free[n-1]
+		nt.free = nt.free[:n-1]
+		nt.filters[slot] = f
+	} else {
+		slot = len(nt.filters)
+		nt.filters = append(nt.filters, f)
+		nt.slots = append(nt.slots, slotState{})
+	}
+	st := nt.compileSlot(f)
+	nt.slots[slot] = st
+	switch st.kind {
+	case slotTree:
+		nt.root = insertEntry(nt.root, tentry{idx: slot, minWords: st.minWords, conds: st.conds}, &nt.work)
+	case slotFallback:
+		// Keep the fallback list in ascending slot order so the
+		// evaluation order is deterministic and independent of
+		// insertion history.
+		at := len(nt.linear)
+		for i, l := range nt.linear {
+			if l.idx > slot {
+				at = i
+				break
+			}
+		}
+		nt.linear = append(nt.linear, tlinear{})
+		copy(nt.linear[at+1:], nt.linear[at:])
+		nt.linear[at] = tlinear{idx: slot, fp: st.fp}
+	}
+	return nt, slot
+}
+
+// insertEntry adds one extracted entry to the tree, copying only the
+// nodes along its path.
+func insertEntry(n *tnode, e tentry, wk *int) *tnode {
+	if n == nil {
+		return buildNode([]tentry{e}, wk)
+	}
+	c := n.clone(wk)
+	if len(e.conds) == 0 {
+		c.accepts = append(c.accepts, taccept{idx: e.idx, minWords: e.minWords})
+		return c
+	}
+	if c.word < 0 {
+		// Leaf-only node: it must now test a word.  Mirror buildNode's
+		// choice for a single entry: the lowest remaining word.
+		best := e.conds[0].Word
+		for _, cd := range e.conds {
+			if cd.Word < best {
+				best = cd.Word
+			}
+		}
+		c.word = best
+	}
+	val, tests := uint16(0), false
+	var remaining []Cond
+	for _, cd := range e.conds {
+		if cd.Word == c.word {
+			val, tests = cd.Value, true
+		} else {
+			remaining = append(remaining, cd)
+		}
+	}
+	if tests {
+		if c.branches == nil {
+			c.branches = make(map[uint16]*tnode, 1)
+		}
+		c.branches[val] = insertEntry(c.branches[val], tentry{idx: e.idx, minWords: e.minWords, conds: remaining}, wk)
+	} else {
+		c.wildcard = insertEntry(c.wildcard, e, wk)
+	}
+	return c
+}
+
+// Remove returns a new table without the filter in the given slot,
+// sharing every untouched subtree with the receiver.  Removing a dead
+// slot is a no-op clone.
+func (t *Table) Remove(slot int) *Table {
+	nt := t.shallowClone()
+	if slot < 0 || slot >= len(nt.slots) {
+		return nt
+	}
+	st := nt.slots[slot]
+	switch st.kind {
+	case slotTree:
+		nt.root = removeEntry(nt.root, slot, st.conds, &nt.work)
+	case slotFallback:
+		for i, l := range nt.linear {
+			if l.idx == slot {
+				nt.linear = append(nt.linear[:i:i], nt.linear[i+1:]...)
+				break
+			}
+		}
+	case slotDead:
+		return nt
+	}
+	nt.filters[slot] = Filter{}
+	nt.slots[slot] = slotState{kind: slotDead}
+	nt.free = append(nt.free, slot)
+	return nt
+}
+
+// removeEntry deletes one entry along its deterministic path, copying
+// the touched nodes and pruning any that become empty.
+func removeEntry(n *tnode, slot int, conds []Cond, wk *int) *tnode {
+	if n == nil {
+		return nil
+	}
+	c := n.clone(wk)
+	if len(conds) == 0 {
+		for i, a := range c.accepts {
+			if a.idx == slot {
+				c.accepts = append(c.accepts[:i:i], c.accepts[i+1:]...)
+				break
+			}
+		}
+		return pruneNode(c)
+	}
+	val, tests := uint16(0), false
+	var remaining []Cond
+	for _, cd := range conds {
+		if cd.Word == c.word {
+			val, tests = cd.Value, true
+		} else {
+			remaining = append(remaining, cd)
+		}
+	}
+	if tests {
+		if b := c.branches[val]; b != nil {
+			nb := removeEntry(b, slot, remaining, wk)
+			if nb == nil {
+				delete(c.branches, val)
+				if len(c.branches) == 0 {
+					c.branches = nil
+				}
+			} else {
+				c.branches[val] = nb
+			}
+		}
+	} else {
+		c.wildcard = removeEntry(c.wildcard, slot, conds, wk)
+	}
+	return pruneNode(c)
+}
+
+// pruneNode drops a node that no longer holds or routes anything.
+func pruneNode(n *tnode) *tnode {
+	if len(n.accepts) == 0 && len(n.branches) == 0 && n.wildcard == nil {
+		return nil
+	}
+	return n
+}
+
+// Slots returns the slot-array length (live and dead slots included).
+func (t *Table) Slots() int { return len(t.filters) }
+
+// Live reports whether the slot currently holds a filter.
+func (t *Table) Live(slot int) bool {
+	return slot >= 0 && slot < len(t.slots) && t.slots[slot].kind != slotDead
+}
+
+// Fallback returns the flat code evaluated linearly for the slot, or
+// nil if the slot is tree-resident, inert or dead.
+func (t *Table) Fallback(slot int) *FlatProg {
+	if slot < 0 || slot >= len(t.slots) {
+		return nil
+	}
+	return t.slots[slot].fp
+}
+
+// Work returns the cumulative deterministic construction work (nodes
+// built or copied, programs compiled) accumulated by this table and
+// every ancestor it was patched from.  The difference across one
+// Insert/Remove (or one BuildTable) is that operation's cost in
+// stall-free units.
+func (t *Table) Work() int { return t.work }
 
 // LinearEval reports one fallback interpreter run performed during a
 // table match: which filter, how many instruction words it executed,
@@ -332,6 +636,18 @@ type MatchResult struct {
 	Linear []LinearEval
 }
 
+// TreeMatch reports the tree-resident slots accepting pkt (unsorted)
+// and the walk's path depth.  The returned slice is reused by the next
+// TreeMatch or MatchStats call.  Fallback slots are not consulted —
+// the caller drives those itself via Fallback, which is how the
+// devices evaluate fallbacks lazily in scan order.
+func (t *Table) TreeMatch(pkt []byte) ([]int, int) {
+	t.scratch = t.scratch[:0]
+	t.edges = 0
+	t.walk(t.root, pkt)
+	return t.scratch, t.edges
+}
+
 // Match returns the indices of all filters accepting pkt, sorted by
 // decreasing priority (ties by ascending index, matching the "order of
 // application is unspecified" rule deterministically).
@@ -347,7 +663,7 @@ func (t *Table) MatchStats(pkt []byte) MatchResult {
 	t.edges = 0
 	t.walk(t.root, pkt)
 	for _, l := range t.linear {
-		r := l.pv.Run(pkt)
+		r := l.fp.Run(pkt)
 		if r.Accept {
 			t.scratch = append(t.scratch, l.idx)
 		}

@@ -61,10 +61,10 @@ func (v *Prevalidated) RunFuel(pkt []byte, fuel int) Result {
 
 // RunFuel evaluates the compiled filter when fuel covers its static
 // worst case, and refuses with ErrFuel otherwise.  Compiled execution
-// is all-or-nothing: the closure steps carry no instruction counter,
-// so admission is decided entirely by the WorstInstrs bound.
+// is all-or-nothing: the flat code carries no metering branch, so
+// admission is decided entirely by the WorstInstrs bound.
 func (c *Compiled) RunFuel(pkt []byte, fuel int) (bool, error) {
-	if fuel < c.info.WorstInstrs {
+	if fuel < c.fp.info.WorstInstrs {
 		return false, ErrFuel
 	}
 	return c.Run(pkt), nil
@@ -77,7 +77,7 @@ func (c *Compiled) RunFuel(pkt []byte, fuel int) (bool, error) {
 func (t *Table) WorstInstrs() int {
 	worst := countTestNodes(t.root)
 	for _, l := range t.linear {
-		worst += l.pv.Info().WorstInstrs
+		worst += l.fp.Info().WorstInstrs
 	}
 	return worst
 }

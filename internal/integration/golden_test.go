@@ -37,6 +37,8 @@ type goldenCfg struct {
 	gov       bool // resource governor enabled
 	hostile   bool // burn filter bound ahead of the receiver; odd frames miss
 	admission bool // tight watermarks and a dawdling reader
+	table     bool // EvalTable: merged decision table instead of linear scan
+	churn     bool // ports open/close/rebind while traffic flows
 }
 
 func goldenConfigs() []goldenCfg {
@@ -52,6 +54,13 @@ func goldenConfigs() []goldenCfg {
 		// watermarks so the overload controller sheds DropAdmission.
 		{name: "quota", gov: true, hostile: true},
 		{name: "admission", gov: true, admission: true},
+		// The churn cell pins the v2 incrementally maintained decision
+		// table: copy-all monitors and decoy ports open, rebind and
+		// close while frames flow, with busy-first reordering on, so
+		// the patched-table match trajectory (edge attribution, tie
+		// order, port-close/queue drops) is bit-identical at any
+		// parsim worker count.
+		{name: "churn", table: true, churn: true},
 	}
 }
 
@@ -69,10 +78,11 @@ func goldenFrame(rng *rand.Rand, seq int, socket byte) []byte {
 }
 
 // goldenRun drives one fully traced universe and digests everything
-// observable about it into one hash; the span aggregate comes back too
-// so the governance cells can be checked for actually exercising the
-// taxonomy they pin.
-func goldenRun(seed uint64, cfg goldenCfg) (string, *trace.Spans) {
+// observable about it into one hash; the span aggregate and the
+// device's incremental-patch count come back too so the governance and
+// churn cells can be checked for actually exercising the machinery
+// they pin.
+func goldenRun(seed uint64, cfg goldenCfg) (string, *trace.Spans, uint64) {
 	s := sim.New(vtime.DefaultCosts())
 	tr := trace.New()
 	rec := &trace.Recorder{}
@@ -104,6 +114,13 @@ func goldenRun(seed uint64, cfg goldenCfg) (string, *trace.Spans) {
 			opt.Gov.Rate, opt.Gov.Burst = 1e9, 1<<30
 			opt.Gov.AdmissionHigh, opt.Gov.AdmissionLow = 6, 2
 		}
+	}
+	if cfg.table {
+		opt.Mode = pfdev.EvalTable
+	}
+	if cfg.churn {
+		opt.Reorder = true
+		opt.ReorderEvery = 4
 	}
 	da := pfdev.Attach(na, nil, pfdev.Options{})
 	db := pfdev.Attach(nb, nil, opt)
@@ -156,6 +173,42 @@ func goldenRun(seed uint64, cfg goldenCfg) (string, *trace.Spans) {
 			}
 		}
 	})
+	if cfg.churn {
+		// Open, rebind and close monitor/decoy ports while traffic
+		// flows: every SetFilter and Close patches the published
+		// decision table in place, so the pinned hash covers the
+		// incremental Insert/Remove path and the atomic-swap scan.
+		s.Spawn(hb, "churn", func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(int64(seed) + 0x6368))
+			var open []*pfdev.Port
+			for i := 0; i < 24; i++ {
+				p.Sleep(time.Duration(300+rng.Intn(600)) * time.Microsecond)
+				if len(open) < 2 || rng.Intn(3) != 0 {
+					q := db.Open(p)
+					if rng.Intn(2) == 0 {
+						// Copy-all monitor above the receiver: every
+						// socket-35 frame is mirrored into its (never
+						// drained) queue until it overflows or closes.
+						q.SetFilter(p, filter.DstSocketFilter(15, 35))
+						q.SetCopyAll(p, true)
+					} else {
+						// Decoy on an idle socket: reshapes the tree
+						// without ever firing.
+						q.SetFilter(p, filter.DstSocketFilter(
+							uint8(3+rng.Intn(4)), uint32(40+rng.Intn(6))))
+					}
+					open = append(open, q)
+				} else {
+					k := rng.Intn(len(open))
+					open[k].Close(p)
+					open = append(open[:k], open[k+1:]...)
+				}
+			}
+			for _, q := range open {
+				q.Close(p)
+			}
+		})
+	}
 	s.Spawn(ha, "send", func(p *sim.Proc) {
 		rng := rand.New(rand.NewSource(int64(seed)))
 		port := da.Open(p)
@@ -191,7 +244,7 @@ func goldenRun(seed uint64, cfg goldenCfg) (string, *trace.Spans) {
 	// a shifted trace event would.
 	fmt.Fprintf(h, "spans %s\n", spanSignature(sp))
 	fmt.Fprintf(h, "end %d\n", end)
-	return hex.EncodeToString(h.Sum(nil)), sp
+	return hex.EncodeToString(h.Sum(nil)), sp, db.TablePatches
 }
 
 // goldenHashes pins the corpus.  When an intentional behavior change
@@ -216,6 +269,11 @@ var goldenHashes = map[string]string{
 	"quota/2":     "d33c76019b156a0b0349db9175d0636333a89c39dc53b399201d00a82474c512",
 	"admission/1": "654f43d376570511265169719b37388e5c447fa880b5e64a69ff0a77df7e7e48",
 	"admission/2": "a963d000cb0b0123dd2efb8e8cc8635bd41ff18fa285f227429f2ea27b46ec55",
+	// Pinned with the v2 incrementally maintained decision table: the
+	// churn cell runs EvalTable under open/rebind/close port churn with
+	// busy-first reordering on.
+	"churn/1": "ae25237a8c3ba5360cc322a728cad062af21808ec29d5224b825ceb9c9ce7062",
+	"churn/2": "f98bd7a052597be804546b8b839bba0f6eeed3078f9895107ea13d5915ff208e",
 }
 
 // goldenCells enumerates the corpus in deterministic order.
@@ -237,7 +295,7 @@ func TestGoldenTraceCorpus(t *testing.T) {
 	keys, cfgs, seeds := goldenCells()
 	for _, workers := range []int{1, 4} {
 		got := parsim.Map(len(keys), workers, func(i int) string {
-			h, _ := goldenRun(seeds[i], cfgs[i])
+			h, _, _ := goldenRun(seeds[i], cfgs[i])
 			return h
 		})
 		for i, key := range keys {
@@ -269,9 +327,29 @@ func TestGoldenGovCellsExerciseTaxonomy(t *testing.T) {
 		default:
 			continue
 		}
-		_, sp := goldenRun(seeds[i], cfgs[i])
+		_, sp, _ := goldenRun(seeds[i], cfgs[i])
 		if sp.Drops[want] == 0 {
 			t.Errorf("%s: cell produced no %v drops; the pin proves nothing", key, want)
+		}
+		if got, acc := sp.Created, sp.DeliveredUser+sp.DeliveredKernel+sp.TotalDrops()+sp.Live(); got != acc {
+			t.Errorf("%s: conservation broken: created=%d accounted=%d", key, got, acc)
+		}
+	}
+}
+
+// TestGoldenChurnCellExercisesPatching guards the churn cell the same
+// way: its pin is only meaningful while the cell really drives the
+// incremental table-maintenance path, so the device must report a
+// healthy number of in-place patches (not silent full rebuilds).
+func TestGoldenChurnCellExercisesPatching(t *testing.T) {
+	keys, cfgs, seeds := goldenCells()
+	for i, key := range keys {
+		if !cfgs[i].churn {
+			continue
+		}
+		_, sp, patches := goldenRun(seeds[i], cfgs[i])
+		if patches < 10 {
+			t.Errorf("%s: only %d incremental table patches; the pin proves nothing", key, patches)
 		}
 		if got, acc := sp.Created, sp.DeliveredUser+sp.DeliveredKernel+sp.TotalDrops()+sp.Live(); got != acc {
 			t.Errorf("%s: conservation broken: created=%d accounted=%d", key, got, acc)

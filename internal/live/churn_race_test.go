@@ -1,0 +1,93 @@
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ethersim"
+	"repro/internal/pfdev"
+	"repro/internal/pup"
+)
+
+// TestLiveConcurrentChurn hammers the live device from three sides at
+// once — a frame pump, port churners rebinding and open/close-cycling
+// decoys, and a reader draining the hot port — so the race detector
+// can watch the incremental patch path and the snapshot match path
+// share the table under real goroutine concurrency.  The hot port is
+// never churned, so every pumped frame must arrive exactly once.
+func TestLiveConcurrentChurn(t *testing.T) {
+	link := ethersim.Ether10Mb
+	d := NewDevice(Options{Link: link, Mode: pfdev.EvalTable})
+	hot := d.Open()
+	if err := hot.SetFilter(pup.SocketFilter(link, 1, 0x50)); err != nil {
+		t.Fatalf("setfilter hot: %v", err)
+	}
+	const frames = 400
+	hot.SetQueueLimit(2 * frames)
+	frame := pupFrame(t, link, 0x50)
+
+	var wg sync.WaitGroup
+	var churnEvents atomic.Uint64
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var p *Port
+			for i := 0; i < 200; i++ {
+				if p == nil {
+					p = d.Open()
+				}
+				if err := p.SetFilter(pup.SocketFilter(link, 10, uint32(0x1000+c<<8+i%64))); err != nil {
+					t.Errorf("churner %d setfilter: %v", c, err)
+					return
+				}
+				if i%4 == 3 {
+					p.Close()
+					p = nil
+				}
+				churnEvents.Add(1)
+			}
+			if p != nil {
+				p.Close()
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < frames; i++ {
+			d.Input(frame)
+			if i%8 == 7 {
+				// Pace the pump so matching genuinely overlaps the
+				// churners instead of finishing before they schedule.
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+
+	received := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for received < frames && time.Now().Before(deadline) {
+		batch, err := hot.ReadBatch(frames, 2*time.Second)
+		if err != nil {
+			break
+		}
+		received += len(batch)
+	}
+	wg.Wait()
+
+	if received != frames {
+		t.Errorf("received %d frames on the un-churned hot port, want %d", received, frames)
+	}
+	builds, patches := d.TableMaint()
+	if patches == 0 {
+		t.Errorf("no incremental patches recorded across %d churn events", churnEvents.Load())
+	}
+	// Steady churn must never fall back to from-scratch compiles: the
+	// only build is the eager one at first bind.
+	if builds != 1 {
+		t.Errorf("table builds = %d, want exactly the initial bind-time build", builds)
+	}
+}

@@ -19,7 +19,9 @@ package live
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -301,11 +303,21 @@ type Client struct {
 	mu   sync.Mutex
 }
 
-// DialControl connects to a pfserve control socket.
+// DefaultDialTimeout bounds DialControl: a pfserve that is absent or
+// unreachable must come back as a prompt error, never a hung dial.
+const DefaultDialTimeout = 5 * time.Second
+
+// DialControl connects to a pfserve control socket, failing within
+// DefaultDialTimeout when no server answers.
 func DialControl(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialControlTimeout(addr, DefaultDialTimeout)
+}
+
+// DialControlTimeout is DialControl with an explicit connect bound.
+func DialControlTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("pfserve control socket %s: %w", addr, err)
 	}
 	bw := bufio.NewWriter(conn)
 	return &Client{
@@ -319,19 +331,29 @@ func DialControl(addr string) (*Client, error) {
 // Close releases the connection.
 func (c *Client) Close() { c.conn.Close() }
 
+// connErr turns a transport failure into a one-line diagnosis: a bare
+// io.EOF mid-protocol means the server went away, which deserves
+// better than the two letters the decoder reports.
+func connErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("control connection closed by pfserve (server gone?)")
+	}
+	return fmt.Errorf("control connection: %w", err)
+}
+
 // Do performs one request/response round trip.
 func (c *Client) Do(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.enc.Encode(req); err != nil {
-		return Response{}, err
+		return Response{}, connErr(err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		return Response{}, err
+		return Response{}, connErr(err)
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
-		return Response{}, err
+		return Response{}, connErr(err)
 	}
 	if resp.Err != "" {
 		return resp, fmt.Errorf("pfserve: %s", resp.Err)

@@ -1,0 +1,88 @@
+package live
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// refusedAddr returns an address nothing is listening on: bind an
+// ephemeral port, then free it.
+func refusedAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestDialControlRefused pins the absent-server contract: dialing a
+// control socket nobody serves fails promptly with a one-line error
+// naming the address — no hang, no panic.
+func TestDialControlRefused(t *testing.T) {
+	addr := refusedAddr(t)
+	start := time.Now()
+	c, err := DialControl(addr)
+	if err == nil {
+		c.Close()
+		t.Fatal("DialControl to a refused port succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > DefaultDialTimeout {
+		t.Errorf("refused dial took %v, should fail within %v", elapsed, DefaultDialTimeout)
+	}
+	if !strings.Contains(err.Error(), addr) {
+		t.Errorf("error %q does not name the address %s", err, addr)
+	}
+}
+
+// TestClientServerGoneMidSession pins the mid-session contract: when
+// the server drops the connection between requests, the client gets a
+// clear "server gone" diagnosis instead of a bare io.EOF.
+func TestClientServerGoneMidSession(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn.Close() // hang up without answering
+	}()
+	c, err := DialControl(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Ping()
+	if err == nil {
+		t.Fatal("ping against a hung-up server succeeded")
+	}
+	if !strings.Contains(err.Error(), "closed by pfserve") {
+		t.Errorf("mid-session hangup surfaced as %q, want a closed-by-pfserve diagnosis", err)
+	}
+}
+
+// TestRunLoadRefusedControl pins the load driver's absent-server
+// behavior: a refused control socket is a prompt, typed error, not a
+// drain-timeout hang.
+func TestRunLoadRefusedControl(t *testing.T) {
+	addr := refusedAddr(t)
+	start := time.Now()
+	_, err := RunLoad(addr, addr, LoadConfig{Packets: 1, Ports: 1})
+	if err == nil {
+		t.Fatal("RunLoad against a refused control socket succeeded")
+	}
+	if !strings.Contains(err.Error(), "control:") {
+		t.Errorf("error %q does not identify the control-socket phase", err)
+	}
+	if elapsed := time.Since(start); elapsed > DefaultDialTimeout {
+		t.Errorf("refused RunLoad took %v, should fail within the dial timeout", elapsed)
+	}
+}

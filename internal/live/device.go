@@ -57,6 +57,10 @@ type Options struct {
 	// it.  Quarantine windows and token refill run on the device
 	// clock — wall seconds in live mode.
 	Gov pfdev.GovConfig
+	// FullRebuild disables incremental decision-table maintenance,
+	// mirroring pfdev.Options.FullRebuild: every churn event discards
+	// the table and the next match rebuilds it from scratch.
+	FullRebuild bool
 	// Clock is the device's time source.  Defaults to clock.NewWall();
 	// tests may substitute any clock.Clock.
 	Clock clock.Clock
@@ -81,8 +85,18 @@ type Device struct {
 	nextID  int
 	pktSeen uint64
 
-	table      *filter.Table
-	tablePorts []*Port
+	// table is the published merged evaluator, maintained incrementally
+	// exactly as in pfdev: churn patches it with Insert/Remove and
+	// swaps the pointer under the mutex; a match snapshots the pointer
+	// once and finishes on that consistent table even if a governor
+	// transition patches mid-scan.
+	table *filter.Table
+
+	// Table-maintenance accounting, mirroring pfdev's (deterministic
+	// filter.Table.Work units).
+	tableBuilds  uint64
+	tablePatches uint64
+	tableWork    uint64
 
 	queuedTotal    int
 	shedding       bool
@@ -150,6 +164,12 @@ type Port struct {
 	prog     filter.Program
 	pv       *filter.Prevalidated
 	compiled *filter.Compiled
+	// fp and slot mirror pfdev's table-mode port state: the flat
+	// compilation answers quarantine-exit transition packets, and slot
+	// is the port's stable slot in the published table (-1 when not
+	// resident).
+	fp   *filter.FlatProg
+	slot int
 
 	queue      []Packet
 	qhead      int
@@ -199,6 +219,7 @@ func (d *Device) Open() *Port {
 		id:          d.nextID,
 		queueLimit:  DefaultQueueLimit,
 		tableActive: true,
+		slot:        -1,
 	}
 	port.readers = sync.NewCond(&d.mu)
 	if g := d.opt.Gov; g.Enabled {
@@ -253,16 +274,29 @@ func (port *Port) SetFilter(f filter.Filter) error {
 			return err
 		}
 		port.compiled = c
+	case pfdev.EvalTable:
+		// Table-mode validation happens on insert; a failing program
+		// matches nothing.  The flat compilation answers for
+		// quarantine-exit transition packets, exactly as in pfdev.
+		if fp, err := filter.CompileFlat(f.Program, filter.ValidateOptions{}, filter.Env{}); err == nil {
+			port.fp = fp
+		} else {
+			port.fp = nil
+		}
 	default:
 		// The checked interpreter accepts anything and fails per
-		// packet; the decision table revalidates on rebuild.
+		// packet.
 	}
+	d.tableRemovePort(port)
 	port.prog = f.Program.Clone()
 	port.priority = f.Priority
 	if d.opt.Gov.Enabled {
 		port.govBound = pfdev.GovBound(d.opt.Mode, port.prog, opt)
 	}
 	d.sortPorts()
+	if !d.opt.Gov.Enabled || port.tableActive {
+		d.tableInsertPort(port)
+	}
 	return nil
 }
 
@@ -410,65 +444,95 @@ func (d *Device) linearMatch(frame []byte, dst []*Port) []*Port {
 	return accepted
 }
 
-// tableMatch mirrors pfdev's merged-decision-table path, including the
-// attribution of tree-walk depth to accepting ports.
+// tableMatch mirrors pfdev's v2 merged-decision-table path line for
+// line: the table (snapshotted once per match) answers which filters
+// accept, while the device drives the scan over d.ports in linear
+// order, deciding governor admission as each port is reached, patching
+// quarantine transitions into the published table, evaluating reached
+// fallbacks lazily, and stopping at the first non-copy-all accept.
+// Per-port accounting (instrs, fuel, FilterEval traces, edge shares)
+// is identical to pfdev's, which is what keeps the mode-equivalence
+// test pinning virtual vs live field by field.
 func (d *Device) tableMatch(frame []byte, dst []*Port) []*Port {
+	now := d.clk.Now()
+	gov := d.opt.Gov.Enabled
 	d.scanQuarSkip = false
-	if d.opt.Gov.Enabled {
-		d.scanQuarSkip = d.govPrepareTable(d.clk.Now())
-	}
 	if d.table == nil {
 		d.rebuildTable()
 	}
-	res := d.table.MatchStats(frame)
+	tbl := d.table // this match's immutable snapshot
+	treeIdxs, edges := tbl.TreeMatch(frame)
 
-	linAccept := func(idx int) bool {
-		for _, le := range res.Linear {
-			if le.Idx == idx {
-				return le.Accept
+	slotAccepted := func(slot int) bool {
+		for _, i := range treeIdxs {
+			if i == slot {
+				return true
 			}
 		}
 		return false
 	}
+
 	accepted, treeAccepts := dst, d.treeScratch[:0]
-	stopped := false
-	for _, i := range res.Idxs {
-		port := d.tablePorts[i]
-		if port.closed {
+	for _, port := range d.ports {
+		if port.closed || port.prog == nil {
 			continue
 		}
-		if !linAccept(i) {
+		slot := port.slot
+		if gov {
+			if !port.govAdmit(now, &d.opt.Gov) {
+				d.scanQuarSkip = true
+				if port.tableActive {
+					port.tableActive = false
+					d.tableRemovePort(port)
+				}
+				continue
+			}
+			if !port.tableActive {
+				port.tableActive = true
+				d.tableInsertPort(port)
+			}
+		}
+
+		var accept bool
+		ran := false
+		instrs := 0
+		switch {
+		case slot >= 0:
+			if fp := tbl.Fallback(slot); fp != nil {
+				r := fp.Run(frame)
+				accept, instrs, ran = r.Accept, r.Instrs, true
+			} else {
+				accept = slotAccepted(slot)
+			}
+		case port.fp != nil:
+			r := port.fp.Run(frame)
+			accept, instrs, ran = r.Accept, r.Instrs, true
+		}
+		if ran {
+			port.instrs += uint64(instrs)
+			if gov {
+				port.govCharge(instrs)
+			}
+			if d.tr != nil {
+				d.tr.FilterEval(now, d.name, port.id, instrs, accept)
+			}
+		} else if accept {
 			treeAccepts = append(treeAccepts, port)
 		}
-		if stopped {
+		if !accept {
 			continue
 		}
 		port.matches++
 		accepted = append(accepted, port)
 		if !port.copyAll {
-			stopped = true
+			break
 		}
 	}
 
-	now := d.clk.Now()
-	gov := d.opt.Gov.Enabled
-	for _, le := range res.Linear {
-		port := d.tablePorts[le.Idx]
-		if port.closed {
-			continue
-		}
-		port.instrs += uint64(le.Instrs)
-		if gov {
-			port.govCharge(le.Instrs)
-		}
-		if d.tr != nil {
-			d.tr.FilterEval(now, d.name, port.id, le.Instrs, le.Accept)
-		}
-	}
 	switch {
 	case len(treeAccepts) > 0:
-		share := res.Edges / len(treeAccepts)
-		extra := res.Edges % len(treeAccepts)
+		share := edges / len(treeAccepts)
+		extra := edges % len(treeAccepts)
 		for k, port := range treeAccepts {
 			in := share
 			if k < extra {
@@ -482,53 +546,117 @@ func (d *Device) tableMatch(frame []byte, dst []*Port) []*Port {
 				d.tr.FilterEval(now, d.name, port.id, in, true)
 			}
 		}
-	case res.Edges > 0:
+	case edges > 0:
 		if d.tr != nil {
-			d.tr.FilterEval(now, d.name, -1, res.Edges, false)
+			d.tr.FilterEval(now, d.name, -1, edges, false)
 		}
 	}
 	d.treeScratch = treeAccepts[:0]
 	return accepted
 }
 
+// rebuildTable compiles the full filter set from scratch — the cold
+// path, as in pfdev.
 func (d *Device) rebuildTable() {
 	var filters []filter.Filter
 	gov := d.opt.Gov.Enabled
-	d.tablePorts = d.tablePorts[:0]
+	for _, port := range d.ports {
+		port.slot = -1
+	}
+	var included []*Port
 	for _, port := range d.ports {
 		if port.closed || port.prog == nil || (gov && !port.tableActive) {
 			continue
 		}
 		filters = append(filters, filter.Filter{Priority: port.priority, Program: port.prog})
-		d.tablePorts = append(d.tablePorts, port)
+		included = append(included, port)
 	}
 	d.table = filter.BuildTable(filters)
+	for i, port := range included {
+		port.slot = i
+	}
+	d.tableBuilds++
+	d.tableWork += uint64(d.table.Work())
+}
+
+// tableInsertPort patches the port's filter into the published table,
+// mirroring pfdev.
+func (d *Device) tableInsertPort(port *Port) {
+	if d.opt.Mode != pfdev.EvalTable || port.closed || port.prog == nil {
+		return
+	}
+	if d.opt.FullRebuild {
+		d.table = nil
+		return
+	}
+	if d.table == nil {
+		d.rebuildTable()
+		return
+	}
+	before := d.table.Work()
+	nt, slot := d.table.Insert(filter.Filter{Priority: port.priority, Program: port.prog})
+	d.table = nt
+	port.slot = slot
+	d.tablePatches++
+	d.tableWork += uint64(nt.Work() - before)
+}
+
+// tableRemovePort patches the port's filter out of the published
+// table, mirroring pfdev.
+func (d *Device) tableRemovePort(port *Port) {
+	if d.opt.Mode != pfdev.EvalTable {
+		return
+	}
+	if d.opt.FullRebuild {
+		d.table = nil
+		port.slot = -1
+		return
+	}
+	if d.table == nil || port.slot < 0 {
+		return
+	}
+	before := d.table.Work()
+	d.table = d.table.Remove(port.slot)
+	port.slot = -1
+	d.tablePatches++
+	d.tableWork += uint64(d.table.Work() - before)
+}
+
+// TableWork returns the cumulative decision-table construction work in
+// deterministic filter.Table.Work units.
+func (d *Device) TableWork() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tableWork
+}
+
+// TableMaint reports the table-maintenance counters: from-scratch
+// builds and incremental patches.
+func (d *Device) TableMaint() (builds, patches uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tableBuilds, d.tablePatches
 }
 
 // sortPorts re-sorts priority descending, stable within priorities.
+// The v2 table is scan-order-free, so sorting leaves it untouched.
 func (d *Device) sortPorts() {
 	for i := 1; i < len(d.ports); i++ {
 		for j := i; j > 0 && d.ports[j-1].priority < d.ports[j].priority; j-- {
 			d.ports[j-1], d.ports[j] = d.ports[j], d.ports[j-1]
 		}
 	}
-	d.table = nil
 }
 
 // reorder moves busier filters earlier within each equal-priority
-// group (§3.2), identically to pfdev.
+// group (§3.2), identically to pfdev; the published table survives.
 func (d *Device) reorder() {
-	changed := false
 	for i := 1; i < len(d.ports); i++ {
 		for j := i; j > 0 &&
 			d.ports[j-1].priority == d.ports[j].priority &&
 			d.ports[j-1].matches < d.ports[j].matches; j-- {
 			d.ports[j-1], d.ports[j] = d.ports[j], d.ports[j-1]
-			changed = true
 		}
-	}
-	if changed {
-		d.table = nil
 	}
 }
 
@@ -773,7 +901,7 @@ func (port *Port) closeLocked() {
 			break
 		}
 	}
-	d.table = nil
+	d.tableRemovePort(port)
 }
 
 // PortStats returns the statistics blocks of every open port in id

@@ -105,29 +105,3 @@ func (d *Device) shedFrame(span uint64) {
 	}
 	d.tr.SpanDrop(span, now, d.name, trace.DropAdmission)
 }
-
-// govPrepareTable refreshes every port's quarantine standing before a
-// table-mode match, invalidating the merged table when any standing
-// changed.  Reports whether at least one bound filter is skipped.
-func (d *Device) govPrepareTable(now time.Duration) bool {
-	cfg := &d.opt.Gov
-	skipped := false
-	changed := false
-	for _, port := range d.ports {
-		if port.closed || port.prog == nil {
-			continue
-		}
-		active := port.govAdmit(now, cfg)
-		if active != port.tableActive {
-			port.tableActive = active
-			changed = true
-		}
-		if !active {
-			skipped = true
-		}
-	}
-	if changed {
-		d.table = nil
-	}
-	return skipped
-}

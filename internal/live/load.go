@@ -212,11 +212,22 @@ func RunLoad(ctlAddr, udpAddr string, cfg LoadConfig) (*LoadReport, error) {
 
 	// Settle: wait until every injected frame is accounted for — spans
 	// created match the send count and none is still live (readers are
-	// draining concurrently).
+	// draining concurrently).  A reader that fails mid-run (its control
+	// connection died) aborts the wait immediately instead of sitting
+	// out the drain timeout against a server that is already gone.
 	deadline := clk.Now() + cfg.DrainTimeout
 	for {
+		select {
+		case rerr := <-readerDone:
+			if rerr != nil {
+				close(stop)
+				return nil, rerr
+			}
+		default:
+		}
 		st, err := ctl.Stats()
 		if err != nil {
+			close(stop)
 			return nil, fmt.Errorf("stats: %w", err)
 		}
 		rep.Stats = st

@@ -117,6 +117,11 @@ type Options struct {
 	// at demux entry.  The zero value disables it and leaves every
 	// receive path byte-identical to the ungoverned device.
 	Gov GovConfig
+	// FullRebuild disables incremental decision-table maintenance:
+	// every open/close/setfilter/quarantine transition throws the
+	// whole table away and the next match rebuilds it from scratch —
+	// the pre-v2 behavior, kept as the exp-churn benchmark baseline.
+	FullRebuild bool
 }
 
 // Device is one packet-filter pseudodevice instance bound to one
@@ -131,8 +136,29 @@ type Device struct {
 	nextID  int
 	pktSeen uint64
 
-	table      *filter.Table // EvalTable mode: merged evaluator
-	tablePorts []*Port       // table index -> port
+	// table is the published merged evaluator (EvalTable mode).  It is
+	// immutable: open/close/setfilter/quarantine churn patches it with
+	// filter.Table.Insert/Remove and swaps the pointer, so a match pass
+	// that snapshotted the old pointer finishes on a consistent table
+	// while the new one is already published — the RCU discipline that
+	// keeps matching stall-free under churn.  nil means "no table
+	// built yet"; the next match builds one from scratch.
+	table *filter.Table
+
+	// reorderPending defers a §3.2 busy-first reorder that came due in
+	// the middle of a coalesced burst to the burst boundary, so every
+	// frame within one burst observes a single scan order.
+	reorderPending bool
+
+	// Table-maintenance accounting (deterministic units from
+	// filter.Table.Work): TableBuilds counts from-scratch builds,
+	// TablePatches incremental insert/remove patches, and tableWork the
+	// cumulative construction work — the churn benchmark's
+	// "rebuild stall" metric.
+	TableBuilds  uint64
+	TablePatches uint64
+	tableWork    uint64
+	tableStall   time.Duration
 
 	// Burst bookkeeping: curBurst is non-zero while inputBurst is
 	// matching a coalesced burst, and per-port/table stamps record
@@ -216,7 +242,7 @@ func (d *Device) crash() {
 	ports := d.ports
 	d.ports = nil
 	d.table = nil
-	d.tablePorts = nil
+	d.reorderPending = false
 	// Matched-but-undelivered frames die with the kernel: their "pf"
 	// completions were dropped from the host's interrupt queue, so the
 	// pending queue must empty in step with it.
@@ -332,9 +358,7 @@ func (d *Device) inputSpanned(frame []byte, span uint64) {
 	}
 	tr.SpanMark(span, trace.StageDemux, arrival)
 	d.pktSeen++
-	if d.opt.Reorder && d.pktSeen%uint64(d.opt.ReorderEvery) == 0 {
-		d.reorder()
-	}
+	d.maybeReorder()
 
 	// Evaluate the filters now (real computation), then charge the
 	// resulting virtual cost before the packet becomes visible.
@@ -516,9 +540,7 @@ func (d *Device) inputBurst(frames [][]byte) {
 		}
 		tr.SpanMark(span, trace.StageDemux, arrival)
 		d.pktSeen++
-		if d.opt.Reorder && d.pktSeen%uint64(d.opt.ReorderEvery) == 0 {
-			d.reorder()
-		}
+		d.maybeReorder()
 		dl := d.pushPending(frame, arrival)
 		dl.span = span
 		var fc time.Duration
@@ -542,6 +564,13 @@ func (d *Device) inputBurst(frames [][]byte) {
 		nDel++
 	}
 	d.curBurst = 0
+	if d.reorderPending {
+		// A reorder that came due mid-burst was held so every frame of
+		// the burst matched against one scan order; apply it now, at
+		// the burst boundary.
+		d.reorderPending = false
+		d.reorder()
+	}
 	if nDel == 0 {
 		return
 	}
@@ -661,64 +690,123 @@ func (d *Device) linearMatch(frame []byte, dst []*Port) ([]*Port, time.Duration)
 	return accepted, cost
 }
 
-// tableMatch uses the merged decision table.  Virtual cost: one
-// FilterApply for starting the walk (amortized over a coalesced burst
-// like the linear path's per-port setup) plus one FilterInstr per unit
-// of work the match actually did — each decision-tree node whose
-// packet word was examined, plus every instruction the linear
-// fallbacks interpreted.  The work is attributed to ports so table
-// mode's per-port instrs statistics stay honest: fallback filters
-// charge their own interpreter runs, and the tree walk's path depth is
-// split evenly across the tree-accepting ports (remainder to the
-// first; port -1 only when the walk accepted for no port).
+// tableMatch uses the merged decision table.  v2 splits the work in
+// two: the table answers "which filters accept this frame" (one tree
+// walk plus lazily evaluated flat-code fallbacks), while the device
+// drives the scan over d.ports in the same order as linearMatch —
+// priority descending, busy-first within a priority — deciding
+// governor admission at the moment each port is reached and stopping
+// at the first non-copy-all accept, exactly like the linear rule.
+// Scan order therefore never lives inside the table, which is what
+// lets reorder() and sortPorts leave the table untouched.
 //
-// Delivery follows the same documented rule as linearMatch: accepting
-// ports are visited in scan order (priority descending, current order
-// within a priority — rebuildTable snapshots d.ports, so busy-first
-// reordering carries over) and a non-copy-all accept ends delivery.
+// Virtual cost: one FilterApply for starting the walk (amortized over
+// a coalesced burst like the linear path's per-port setup) plus one
+// FilterInstr per unit of work the match actually did — each
+// decision-tree node whose packet word was examined, plus every
+// instruction the fallbacks the scan actually reached interpreted
+// (fallbacks past the stopping port are never run, mirroring the
+// linear early exit).  Fallback filters charge their own interpreter
+// runs; the tree walk's path depth is split evenly across the reached
+// tree-accepting ports (remainder to the first; port -1 only when the
+// walk's work benefited no reached port).
+//
+// Governor transitions patch the published table in place: a port
+// denied admission is removed (its filter becomes unreachable, like a
+// closed port's), and a forgiven port is re-inserted, with its
+// transition packet evaluated directly against its own flat code since
+// the already-snapshotted table cannot answer for it.  The snapshot
+// taken at the top of the match keeps this packet's view consistent
+// while the patched table is published for the next one.
 func (d *Device) tableMatch(frame []byte, dst []*Port) ([]*Port, time.Duration) {
 	costs := d.host.Costs()
+	tr := d.host.Sim().Tracer()
+	now := d.host.Clock().Now()
+	gov := d.opt.Gov.Enabled
 	d.scanQuarSkip = false
-	if d.opt.Gov.Enabled {
-		d.scanQuarSkip = d.govPrepareTable(d.host.Clock().Now())
-	}
+	var stall time.Duration
 	if d.table == nil {
+		// A rebuild on the packet path is a stall: the frame waits
+		// while the kernel recompiles the whole filter set.  Charge its
+		// work at instruction rate so churn under Options.FullRebuild
+		// shows up in per-packet cost and tail latency; incremental
+		// patches run at setfilter/close time, off this path.
+		w0 := d.tableWork
 		d.rebuildTable()
+		stall = time.Duration(d.tableWork-w0) * costs.FilterInstr
+		d.tableStall += stall
 	}
-	res := d.table.MatchStats(frame)
-	total := res.Edges
-	for _, le := range res.Linear {
-		total += le.Instrs
-	}
-	cost := time.Duration(total) * costs.FilterInstr
-	if d.curBurst == 0 || d.tableBurst != d.curBurst {
-		cost += costs.FilterApply
-		d.tableBurst = d.curBurst
-	}
-	d.host.Counters.FilterApplied++
-	d.host.Sim().Counters.FilterApplied++
-	d.host.Counters.FilterInstrs += uint64(total)
-	d.host.Sim().Counters.FilterInstrs += uint64(total)
+	tbl := d.table // this match's immutable snapshot
+	treeIdxs, edges := tbl.TreeMatch(frame)
+	total := edges
 
-	linAccept := func(idx int) bool {
-		for _, le := range res.Linear {
-			if le.Idx == idx {
-				return le.Accept
+	slotAccepted := func(slot int) bool {
+		for _, i := range treeIdxs {
+			if i == slot {
+				return true
 			}
 		}
 		return false
 	}
+
 	accepted, treeAccepts := dst, d.treeScratch[:0]
-	stopped := false
-	for _, i := range res.Idxs {
-		port := d.tablePorts[i]
-		if port.closed {
+	for _, port := range d.ports {
+		if port.closed || port.prog == nil {
 			continue
 		}
-		if !linAccept(i) {
+		// The slot this port held in the snapshot, before any
+		// transition this scan performs on it (slots are stable under
+		// patching, so other ports' transitions cannot move it).
+		slot := port.slot
+		if gov {
+			if !port.govAdmit(now, &d.opt.Gov) {
+				// Quarantined: skipped outright, no setup cost, no
+				// instruction charges, no chance to match — and no
+				// longer reachable through the published table.
+				d.scanQuarSkip = true
+				if port.tableActive {
+					port.tableActive = false
+					d.tableRemovePort(port)
+				}
+				continue
+			}
+			if !port.tableActive {
+				// Forgiven: the filter re-enters dispatch.
+				port.tableActive = true
+				d.tableInsertPort(port)
+			}
+		}
+
+		var accept bool
+		ran := false // a flat-code run charged to this port
+		instrs := 0
+		switch {
+		case slot >= 0:
+			if fp := tbl.Fallback(slot); fp != nil {
+				r := fp.Run(frame)
+				accept, instrs, ran = r.Accept, r.Instrs, true
+			} else {
+				accept = slotAccepted(slot)
+			}
+		case port.fp != nil:
+			// Not in the snapshot (typically the quarantine-exit
+			// transition packet): the port's own flat code answers.
+			r := port.fp.Run(frame)
+			accept, instrs, ran = r.Accept, r.Instrs, true
+		}
+		if ran {
+			total += instrs
+			port.instrs += uint64(instrs)
+			if gov {
+				port.govCharge(instrs)
+			}
+			if tr != nil {
+				tr.FilterEval(now, d.host.Name(), port.id, instrs, accept)
+			}
+		} else if accept {
 			treeAccepts = append(treeAccepts, port)
 		}
-		if stopped {
+		if !accept {
 			continue
 		}
 		port.matches++
@@ -726,30 +814,16 @@ func (d *Device) tableMatch(frame []byte, dst []*Port) ([]*Port, time.Duration) 
 		d.host.Sim().Counters.PacketsMatched++
 		accepted = append(accepted, port)
 		if !port.copyAll {
-			stopped = true
+			// Same rule as linearMatch: a non-copy-all accept ends the
+			// scan; ports past this point are not reached at all.
+			break
 		}
 	}
 
-	tr := d.host.Sim().Tracer()
-	now := d.host.Clock().Now()
-	gov := d.opt.Gov.Enabled
-	for _, le := range res.Linear {
-		port := d.tablePorts[le.Idx]
-		if port.closed {
-			continue
-		}
-		port.instrs += uint64(le.Instrs)
-		if gov {
-			port.govCharge(le.Instrs)
-		}
-		if tr != nil {
-			tr.FilterEval(now, d.host.Name(), port.id, le.Instrs, le.Accept)
-		}
-	}
 	switch {
 	case len(treeAccepts) > 0:
-		share := res.Edges / len(treeAccepts)
-		extra := res.Edges % len(treeAccepts)
+		share := edges / len(treeAccepts)
+		extra := edges % len(treeAccepts)
 		for k, port := range treeAccepts {
 			in := share
 			if k < extra {
@@ -763,33 +837,129 @@ func (d *Device) tableMatch(frame []byte, dst []*Port) ([]*Port, time.Duration) 
 				tr.FilterEval(now, d.host.Name(), port.id, in, true)
 			}
 		}
-	case res.Edges > 0:
-		// The walk matched no open port; its cost stays device-level.
+	case edges > 0:
+		// The walk's work benefited no reached port; it stays
+		// device-level.
 		if tr != nil {
-			tr.FilterEval(now, d.host.Name(), -1, res.Edges, false)
+			tr.FilterEval(now, d.host.Name(), -1, edges, false)
 		}
 	}
 	d.treeScratch = treeAccepts[:0]
+
+	cost := time.Duration(total)*costs.FilterInstr + stall
+	if d.curBurst == 0 || d.tableBurst != d.curBurst {
+		cost += costs.FilterApply
+		d.tableBurst = d.curBurst
+	}
+	d.host.Counters.FilterApplied++
+	d.host.Sim().Counters.FilterApplied++
+	d.host.Counters.FilterInstrs += uint64(total)
+	d.host.Sim().Counters.FilterInstrs += uint64(total)
 	return accepted, cost
 }
 
+// rebuildTable compiles the full filter set from scratch — the first
+// bind under incremental maintenance (at setfilter time), or any churn
+// under Options.FullRebuild (on the match path, as a stall).
 func (d *Device) rebuildTable() {
 	var filters []filter.Filter
 	gov := d.opt.Gov.Enabled
-	d.tablePorts = d.tablePorts[:0]
+	for _, port := range d.ports {
+		port.slot = -1
+	}
+	var included []*Port
 	for _, port := range d.ports {
 		if port.closed || port.prog == nil || (gov && !port.tableActive) {
 			continue
 		}
 		filters = append(filters, filter.Filter{Priority: port.priority, Program: port.prog})
-		d.tablePorts = append(d.tablePorts, port)
+		included = append(included, port)
 	}
 	d.table = filter.BuildTable(filters)
+	for i, port := range included {
+		port.slot = i
+	}
+	d.TableBuilds++
+	d.tableWork += uint64(d.table.Work())
+}
+
+// tableInsertPort patches the port's current filter into the published
+// table (or schedules a full rebuild under Options.FullRebuild).  The
+// first bind builds the table eagerly: under incremental maintenance
+// all construction happens at setfilter/close syscall time, so the
+// match path never compiles — the from-scratch-on-match path is the
+// FullRebuild baseline's alone.
+func (d *Device) tableInsertPort(port *Port) {
+	if d.opt.Mode != EvalTable || port.closed || port.prog == nil {
+		return
+	}
+	if d.opt.FullRebuild {
+		d.table = nil
+		return
+	}
+	if d.table == nil {
+		d.rebuildTable()
+		return
+	}
+	before := d.table.Work()
+	nt, slot := d.table.Insert(filter.Filter{Priority: port.priority, Program: port.prog})
+	d.table = nt
+	port.slot = slot
+	d.TablePatches++
+	d.tableWork += uint64(nt.Work() - before)
+}
+
+// tableRemovePort patches the port's filter out of the published table
+// (or schedules a full rebuild under Options.FullRebuild).
+func (d *Device) tableRemovePort(port *Port) {
+	if d.opt.Mode != EvalTable {
+		return
+	}
+	if d.opt.FullRebuild {
+		d.table = nil
+		port.slot = -1
+		return
+	}
+	if d.table == nil || port.slot < 0 {
+		return
+	}
+	before := d.table.Work()
+	d.table = d.table.Remove(port.slot)
+	port.slot = -1
+	d.TablePatches++
+	d.tableWork += uint64(d.table.Work() - before)
+}
+
+// TableWork returns the cumulative decision-table construction work in
+// deterministic filter.Table.Work units — the churn benchmark's
+// maintenance-cost metric.
+func (d *Device) TableWork() uint64 { return d.tableWork }
+
+// TableStall returns the cumulative virtual time packets have spent
+// waiting on from-scratch table compiles on the match path.
+// Incremental maintenance patches at setfilter/close time, so after
+// the cold build this stays flat; under Options.FullRebuild every
+// churn event adds a whole-population compile here.
+func (d *Device) TableStall() time.Duration { return d.tableStall }
+
+// maybeReorder runs a due §3.2 busy-first reorder, deferring it to the
+// burst boundary when a coalesced burst is mid-flight so all frames of
+// one burst observe a single scan order.
+func (d *Device) maybeReorder() {
+	if !d.opt.Reorder || d.pktSeen%uint64(d.opt.ReorderEvery) != 0 {
+		return
+	}
+	if d.curBurst != 0 {
+		d.reorderPending = true
+		return
+	}
+	d.reorder()
 }
 
 // sortPorts re-sorts the port list: priority descending, preserving
 // the current relative order within equal priorities (which reorder()
-// adjusts by busyness).
+// adjusts by busyness).  The decision table is order-free in v2 — the
+// device scans d.ports itself — so sorting does not touch it.
 func (d *Device) sortPorts() {
 	// Insertion sort keeps it stable and the lists are short.
 	for i := 1; i < len(d.ports); i++ {
@@ -797,26 +967,19 @@ func (d *Device) sortPorts() {
 			d.ports[j-1], d.ports[j] = d.ports[j], d.ports[j-1]
 		}
 	}
-	d.table = nil
 }
 
 // reorder moves busier filters earlier within each equal-priority
-// group (§3.2).
+// group (§3.2).  Equal-priority ties are resolved by the device's own
+// scan in both evaluation modes, so the decision table stays valid
+// across reorders.
 func (d *Device) reorder() {
-	changed := false
 	for i := 1; i < len(d.ports); i++ {
 		for j := i; j > 0 &&
 			d.ports[j-1].priority == d.ports[j].priority &&
 			d.ports[j-1].matches < d.ports[j].matches; j-- {
 			d.ports[j-1], d.ports[j] = d.ports[j], d.ports[j-1]
-			changed = true
 		}
-	}
-	if changed {
-		// The merged decision table bakes in the scan order for
-		// equal-priority ties; a stale table would deliver ties in the
-		// pre-reorder order and diverge from linear mode.
-		d.table = nil
 	}
 }
 

@@ -248,34 +248,6 @@ func (d *Device) shedFrame(span uint64) {
 	tr.SpanDrop(span, now, d.host.Name(), trace.DropAdmission)
 }
 
-// govPrepareTable refreshes every port's quarantine standing before a
-// table-mode match and invalidates the merged table when any port's
-// standing changed — a quarantined port's filter must not be reachable
-// through the decision tree, exactly as a closed port's is not.
-// Reports whether at least one bound filter is currently skipped.
-func (d *Device) govPrepareTable(now time.Duration) bool {
-	cfg := &d.opt.Gov
-	skipped := false
-	changed := false
-	for _, port := range d.ports {
-		if port.closed || port.prog == nil {
-			continue
-		}
-		active := port.govAdmit(now, cfg)
-		if active != port.tableActive {
-			port.tableActive = active
-			changed = true
-		}
-		if !active {
-			skipped = true
-		}
-	}
-	if changed {
-		d.table = nil
-	}
-	return skipped
-}
-
 // GovStats is the governor's device-wide report: the admission
 // controller's state and the port buckets' aggregate activity.
 type GovStats struct {

@@ -78,11 +78,13 @@ func TestEqualPriorityTieDelivery(t *testing.T) {
 	check("A+B copy-all", []int{pA.id, pB.id, pC.id})
 }
 
-// TestReorderInvalidatesTable is the regression test for the stale
-// decision table: busy-first reordering (§3.2) permutes equal-priority
-// ports, and the merged table must be rebuilt so equal-priority ties
-// resolve in the same (new) order as the linear scan.
-func TestReorderInvalidatesTable(t *testing.T) {
+// TestReorderKeepsTableValid pins the v2 contract that replaced the
+// old rebuild-on-reorder rule: busy-first reordering (§3.2) permutes
+// equal-priority ports, and because the device — not the table —
+// drives the scan order, the published table stays valid (same
+// pointer, zero rebuild work) while equal-priority ties immediately
+// resolve in the new order, identically to the linear scan.
+func TestReorderKeepsTableValid(t *testing.T) {
 	r := newRig(t, Options{Reorder: true, ReorderEvery: 4})
 	var pA, pB *Port
 	r.s.Spawn(r.hb, "setup", func(p *sim.Proc) {
@@ -100,12 +102,15 @@ func TestReorderInvalidatesTable(t *testing.T) {
 	}
 
 	// Make pB the busier port and reorder: the scan order is now
-	// [pB, pA], and the stale table must be invalidated.
+	// [pB, pA].  The table must survive untouched — no rebuild, no
+	// patch — yet ties follow the new order.
+	prev := r.db.table
+	builds, patches, work := r.db.TableBuilds, r.db.TablePatches, r.db.TableWork()
 	pB.matches = 100
 	pA.matches = 1
 	r.db.reorder()
-	if r.db.table != nil {
-		t.Error("reorder left the decision table stale")
+	if r.db.table != prev {
+		t.Error("reorder replaced the decision table; scan order should not live in it")
 	}
 	lin, _ := r.db.linearMatch(probe, nil)
 	tab, _ := r.db.tableMatch(probe, nil)
@@ -114,6 +119,10 @@ func TestReorderInvalidatesTable(t *testing.T) {
 	}
 	if !sameIDs(portIDs(tab), portIDs(lin)) {
 		t.Errorf("post-reorder tableMatch delivered to %v, linear to %v", portIDs(tab), portIDs(lin))
+	}
+	if r.db.TableBuilds != builds || r.db.TablePatches != patches || r.db.TableWork() != work {
+		t.Errorf("reorder charged table work: builds %d->%d patches %d->%d work %d->%d",
+			builds, r.db.TableBuilds, patches, r.db.TablePatches, work, r.db.TableWork())
 	}
 }
 

@@ -53,6 +53,17 @@ type Port struct {
 	prog     filter.Program
 	pv       *filter.Prevalidated
 	compiled *filter.Compiled
+	// fp is the table-mode flat compilation of prog: it evaluates a
+	// quarantine-exit transition packet (the port is admitted again
+	// before the re-inserted filter is visible in the match's table
+	// snapshot) with exactly the cost the table's own fallback path
+	// would charge.  nil when the program fails table-mode validation,
+	// in which case the filter matches nothing — same as in the table.
+	fp *filter.FlatProg
+	// slot is the port's stable slot in the published decision table,
+	// -1 while not resident (no filter bound, quarantined out, or the
+	// table not yet built).
+	slot int
 
 	// queue is head-indexed: qhead marks the first undelivered packet
 	// and dequeues advance it instead of re-slicing, so the backing
@@ -139,6 +150,7 @@ func (d *Device) Open(p *sim.Proc) *Port {
 		queueLimit:  DefaultQueueLimit,
 		readers:     d.host.Sim().NewWaitQ(),
 		tableActive: true,
+		slot:        -1,
 	}
 	if g := d.opt.Gov; g.Enabled {
 		// The bucket starts full at open time — rebinding a filter
@@ -191,17 +203,32 @@ func (port *Port) SetFilter(p *sim.Proc, f filter.Filter) error {
 			return err
 		}
 		port.compiled = c
+	case EvalTable:
+		// The merged table validates on insert; a program that fails
+		// table-mode validation matches nothing rather than erroring,
+		// exactly as before.  The flat compilation here answers for
+		// quarantine-exit transition packets.
+		if fp, err := filter.CompileFlat(f.Program, filter.ValidateOptions{}, filter.Env{}); err == nil {
+			port.fp = fp
+		} else {
+			port.fp = nil
+		}
 	default:
 		// The checked interpreter accepts anything and fails
-		// per packet, exactly like the original driver; the
-		// decision table revalidates on rebuild.
+		// per packet, exactly like the original driver.
 	}
+	// Rebinding patches the old filter out of the published table and
+	// the new one in (a quarantined port stays out until forgiven).
+	port.dev.tableRemovePort(port)
 	port.prog = f.Program.Clone()
 	port.priority = f.Priority
 	if port.dev.opt.Gov.Enabled {
 		port.govBound = govBoundFor(port.dev.opt.Mode, port.prog, opt)
 	}
 	port.dev.sortPorts()
+	if !port.dev.opt.Gov.Enabled || port.tableActive {
+		port.dev.tableInsertPort(port)
+	}
 	return nil
 }
 
@@ -727,7 +754,7 @@ func (port *Port) Close(p *sim.Proc) {
 			break
 		}
 	}
-	port.dev.table = nil
+	port.dev.tableRemovePort(port)
 }
 
 // Select blocks until one of the ports has a queued packet — or has
