@@ -30,6 +30,7 @@ func main() {
 	scaleN := flag.Int("scale-n", 0, "packets per exp-scale cell (0 = default)")
 	stormN := flag.Int("storm-n", 0, "victim packets per exp-storm cell (0 = default)")
 	churnN := flag.Int("churn-n", 0, "packets per exp-churn cell (0 = default)")
+	mqN := flag.Int("mq-n", 0, "packets per exp-mq cell (0 = default)")
 	parallel := flag.Int("parallel", 0, "worker pool for sweep cells (0 = GOMAXPROCS, 1 = sequential; forced to 1 under -trace)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
@@ -54,6 +55,9 @@ func main() {
 	}
 	if *churnN > 0 {
 		bench.ChurnCount = *churnN
+	}
+	if *mqN > 0 {
+		bench.MQCount = *mqN
 	}
 	bench.Workers = *parallel
 

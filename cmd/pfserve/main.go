@@ -8,6 +8,7 @@
 //
 //	pfserve [-ctl addr] [-udp addr] [-link 3mb|10mb]
 //	        [-mode checked|fast|compiled|table] [-gov] [-reorder]
+//	        [-queues n]
 //
 // With -selftest N, pfserve instead runs a self-contained load test:
 // it starts an instance on ephemeral ports, drives N packets through
@@ -15,7 +16,8 @@
 // prints throughput and per-stage latency, and exits nonzero if any
 // counter fails to reconcile.
 //
-//	pfserve -selftest 10000 [-profile mix|heavytail] [-ports k] [-seed s] [-json]
+//	pfserve -selftest 10000 [-profile mix|heavytail] [-ports k] [-flows f]
+//	        [-seed s] [-json]
 package main
 
 import (
@@ -62,9 +64,11 @@ func main() {
 	modeName := flag.String("mode", "checked", "filter engine: checked, fast, compiled or table")
 	gov := flag.Bool("gov", false, "enable the resource governor (default quotas)")
 	reorder := flag.Bool("reorder", true, "busy-first scan-order reordering")
+	queues := flag.Int("queues", 1, "RSS receive queues (1 = classic single-queue demux)")
 	selftest := flag.Int("selftest", 0, "run a self-contained load test with this many packets and exit")
 	profile := flag.String("profile", "mix", "selftest traffic: mix (paper §6.1) or heavytail (bounded-Pareto flows)")
 	ports := flag.Int("ports", 8, "selftest receiving ports")
+	flows := flag.Int("flows", 1, "selftest link-level flows (spread across -queues)")
 	seed := flag.Int64("seed", 42, "selftest workload seed")
 	asJSON := flag.Bool("json", false, "selftest: emit the report as JSON")
 	flag.Parse()
@@ -79,13 +83,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pfserve:", err)
 		os.Exit(2)
 	}
-	opt := live.Options{Link: link, Mode: mode, Reorder: *reorder}
+	opt := live.Options{Link: link, Mode: mode, Reorder: *reorder, Queues: *queues}
 	if *gov {
 		opt.Gov = pfdev.DefaultGovConfig()
 	}
 
 	if *selftest > 0 {
-		runSelftest(opt, *selftest, *ports, *seed, *profile, link, *asJSON)
+		runSelftest(opt, *selftest, *ports, *flows, *seed, *profile, link, *asJSON)
 		return
 	}
 
@@ -94,8 +98,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pfserve:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("pfserve: control %s, wire %s, link %s, mode %s, gov %v\n",
-		inst.CtlAddr(), inst.UDPAddr(), *linkName, *modeName, *gov)
+	fmt.Printf("pfserve: control %s, wire %s, link %s, mode %s, gov %v, queues %d\n",
+		inst.CtlAddr(), inst.UDPAddr(), *linkName, *modeName, *gov, *queues)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -104,7 +108,7 @@ func main() {
 	inst.Close()
 }
 
-func runSelftest(opt live.Options, packets, ports int, seed int64, profile string,
+func runSelftest(opt live.Options, packets, ports, flows int, seed int64, profile string,
 	link ethersim.LinkType, asJSON bool) {
 	inst, err := live.Start(live.ServeConfig{
 		CtlAddr:  "127.0.0.1:0",
@@ -120,6 +124,7 @@ func runSelftest(opt live.Options, packets, ports int, seed int64, profile strin
 
 	rep, err := live.RunLoad(inst.CtlAddr(), inst.UDPAddr(), live.LoadConfig{
 		Packets: packets, Ports: ports, Seed: seed, Link: link, Profile: profile,
+		Flows: flows,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pfserve: selftest:", err)

@@ -239,6 +239,7 @@ func Experiments() []Experiment {
 		{"exp-provenance", ExpProvenance},
 		{"exp-storm", ExpStorm},
 		{"exp-churn", ExpChurn},
+		{"exp-mq", ExpMq},
 	}
 }
 

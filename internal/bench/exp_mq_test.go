@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// mqSmoke shrinks the sweep for tests: the full queue sweep, a small
+// packet count per cell.
+func mqSmoke(t *testing.T, workers int) Table {
+	t.Helper()
+	oldCount, oldWorkers := MQCount, Workers
+	MQCount, Workers = 48, workers
+	defer func() { MQCount, Workers = oldCount, oldWorkers }()
+	return ExpMq()
+}
+
+// TestExpMqParallelBitIdentical is the sweep's acceptance gate: the
+// table produced by the parallel sweep is cell-for-cell identical to
+// the sequential one.
+func TestExpMqParallelBitIdentical(t *testing.T) {
+	seq := mqSmoke(t, 1)
+	par := mqSmoke(t, 4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("exp-mq diverged between sequential and parallel sweeps:\n%v\nvs\n%v", seq, par)
+	}
+}
+
+// TestExpMqShape pins the tentpole's acceptance ratio: on the 64-port
+// multi-flow workload, per-packet kernel demux cost at 4 queues is at
+// most 0.6x the single-queue cost, the cost curve never turns upward
+// as queues are added, and the steering really spreads the flows.
+func TestExpMqShape(t *testing.T) {
+	tab := mqSmoke(t, 0)
+	if got := []string{"1", "2", "4", "8"}; len(tab.Rows) != len(got) {
+		t.Fatalf("want %d queue counts, got %d rows", len(got), len(tab.Rows))
+	}
+	msOf := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, " mSec"), 64)
+		if err != nil {
+			t.Fatalf("unparseable cell %q: %v", cell, err)
+		}
+		return v
+	}
+	costs := make(map[string]float64) // "queues/mode" -> mSec
+	for _, row := range tab.Rows {
+		costs[row[0]+"/linear"] = msOf(row[1])
+		costs[row[0]+"/table"] = msOf(row[3])
+		busy, _ := strconv.Atoi(row[7])
+		queues, _ := strconv.Atoi(row[0])
+		wantBusy := queues
+		if wantBusy > 3 {
+			wantBusy = 3 // hash spread, not perfection, is the claim
+		}
+		if busy < wantBusy {
+			t.Errorf("%s queues: only %d busy, want >= %d — steering is not spreading",
+				row[0], busy, wantBusy)
+		}
+	}
+	// The headline acceptance ratio: 4 queues at <= 0.6x of 1 queue.
+	if r := costs["4/linear"] / costs["1/linear"]; r > 0.6 {
+		t.Errorf("linear demux at 4 queues = %.2fx the single-queue cost, want <= 0.6x", r)
+	}
+	// Adding queues must never make either evaluator slower.
+	for _, mode := range []string{"linear", "table"} {
+		prev := costs["1/"+mode]
+		for _, q := range []string{"2", "4", "8"} {
+			cur := costs[q+"/"+mode]
+			if cur > prev*1.05 {
+				t.Errorf("%s: cost rose from %.2f to %.2f mSec going to %s queues",
+					mode, prev, cur, q)
+			}
+			prev = cur
+		}
+	}
+}

@@ -78,6 +78,155 @@ func TestCoalesceBurstsAtNIC(t *testing.T) {
 	}
 }
 
+// TestCoalesceTimerClearedOnCrash is the regression test for the
+// moderation-timer leak: a crash must clear every receive queue's
+// coalescing state — buffered burst, poll flag AND the armed
+// moderation timer.  A stale timer would fire after the crash and
+// flush pre-crash frames into the restarted kernel (resurrecting
+// frames the crash already accounted as DropCrash).  Exercised on a
+// 4-queue NIC with two flows steered to different queues, so the
+// per-queue clearing is what's under test.
+func TestCoalesceTimerClearedOnCrash(t *testing.T) {
+	s, net := newNet(t, Ether10Mb)
+	ha, hb := s.NewHost("a"), s.NewHost("b")
+	na := net.Attach(ha, 1)
+	nb := net.Attach(hb, 2)
+	nb.SetQueues(4)
+	// Budget above the pre-crash backlog, long moderation delay: the
+	// buffered frames can only ever surface via the timer.
+	nb.SetCoalesce(4, 2*time.Millisecond)
+
+	// Two sources steering to two different queues, so both queues
+	// hold an armed timer at crash time.
+	var srcs []Addr
+	for src := Addr(10); len(srcs) < 2; src++ {
+		f := Ether10Mb.Encode(2, src, EtherTypePup, nil)
+		q := Ether10Mb.SteerQueue(f, 4)
+		if len(srcs) == 0 || q != Ether10Mb.SteerQueue(
+			Ether10Mb.Encode(2, srcs[0], EtherTypePup, nil), 4) {
+			srcs = append(srcs, src)
+		}
+	}
+
+	var got []byte
+	nb.Handler = func(frame []byte) { got = append(got, frame[14]) }
+
+	frame := func(src Addr, tag byte) []byte {
+		return Ether10Mb.Encode(2, src, EtherTypePup, []byte{tag})
+	}
+	sendBurst := func(extra byte) {
+		// Per flow: the first frame flushes immediately (the NAPI
+		// "interrupt"); the next two arrive during that poll, buffer,
+		// and wait on the moderation timer.
+		for i, src := range srcs {
+			for tag := byte(0); tag < 3; tag++ {
+				na.Transmit(frame(src, byte(10*(i+1))+extra+tag))
+			}
+		}
+	}
+	s.Spawn(ha, "send", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		sendBurst(0)
+	})
+	// Crash after the first flush of each flow completed but before
+	// the ~3.1ms moderation timers fire; restart and send a second
+	// round of bursts while the stale timers (if leaked) are still
+	// pending.
+	s.After(2500*time.Microsecond, func() { hb.Crash() })
+	s.After(2800*time.Microsecond, func() { hb.Restart() })
+	s.Spawn(ha, "fresh", func(p *sim.Proc) {
+		p.Sleep(2900 * time.Microsecond)
+		sendBurst(7)
+	})
+	// Checkpoint between the stale timers' fire time (~3.1ms) and the
+	// legitimate post-restart moderation deadline (~5.0ms): only the
+	// head frame of each post-restart burst may have been delivered.
+	// A leaked timer fails this two ways — it flushes the new burst
+	// ~2ms early, and the pre-crash frames it would have carried must
+	// stay dead (the crash accounted them DropCrash).
+	s.After(4500*time.Microsecond, func() {
+		want := []byte{10, 20, 17, 27}
+		if len(got) != len(want) {
+			t.Errorf("at 4.5ms delivered tags %v, want %v (stale moderation timer?)", got, want)
+		}
+	})
+	s.Run(0)
+
+	// End state: the pre-crash head frames, then the complete
+	// post-restart bursts on the proper moderation schedule.  The
+	// frames buffered at crash time (11, 12, 21, 22) died with the
+	// kernel and never reappear.
+	want := []byte{10, 20, 17, 27, 18, 19, 28, 29}
+	if len(got) != len(want) {
+		t.Fatalf("delivered tags %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered tags %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCrashClearsPerQueueCoalesceState is the white-box regression for
+// the per-queue crash reset: a crash must clear EVERY receive queue's
+// coalesce machine — buffered burst, poll flag, inflight count,
+// pending count, span FIFO and, crucially, the armed moderation timer
+// (a stale timer handle would also wedge pollDone's re-arming after
+// restart).  The pre-crash probe proves timers really were armed, so
+// the test cannot pass vacuously.
+func TestCrashClearsPerQueueCoalesceState(t *testing.T) {
+	s, net := newNet(t, Ether10Mb)
+	ha, hb := s.NewHost("a"), s.NewHost("b")
+	na := net.Attach(ha, 1)
+	nb := net.Attach(hb, 2)
+	nb.SetQueues(4)
+	nb.SetCoalesce(4, 2*time.Millisecond)
+	nb.Handler = func([]byte) {}
+
+	s.Spawn(ha, "send", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		// Several flows, each parking buffered frames behind an armed
+		// moderation timer on its queue.
+		for _, src := range []Addr{10, 11, 12, 13} {
+			for i := 0; i < 3; i++ {
+				na.Transmit(Ether10Mb.Encode(2, src, EtherTypePup, []byte{byte(i)}))
+			}
+		}
+	})
+	crashAt := 2500 * time.Microsecond
+	s.After(crashAt-time.Microsecond, func() {
+		armed, buffered := 0, 0
+		for _, q := range nb.queues {
+			if q.flushTimer != nil {
+				armed++
+			}
+			buffered += len(q.burst)
+		}
+		if armed == 0 || buffered == 0 {
+			t.Fatalf("pre-crash: %d timers armed, %d frames buffered — scenario never built the state under test", armed, buffered)
+		}
+	})
+	s.After(crashAt, func() { hb.Crash() })
+	s.After(crashAt+time.Microsecond, func() {
+		for i, q := range nb.queues {
+			if q.flushTimer != nil {
+				t.Errorf("queue %d: moderation timer survived the crash", i)
+			}
+			if len(q.burst) != 0 || len(q.burstSpans) != 0 {
+				t.Errorf("queue %d: %d buffered frames survived the crash", i, len(q.burst))
+			}
+			if q.polling || q.inflight != 0 || q.pending != 0 {
+				t.Errorf("queue %d: polling=%v inflight=%d pending=%d after crash, want all zero",
+					i, q.polling, q.inflight, q.pending)
+			}
+			if len(q.rxPend)-q.rxHead != 0 {
+				t.Errorf("queue %d: %d spans still pending after crash", i, len(q.rxPend)-q.rxHead)
+			}
+		}
+	})
+	s.Run(0)
+}
+
 // TestCoalesceFallsBackToHandler checks that with coalescing on but no
 // BurstHandler bound, the frames of a burst are fed to the per-frame
 // Handler one by one, still under one driver entry.

@@ -274,44 +274,81 @@ type NIC struct {
 	// Promiscuous makes the interface accept every frame.
 	Promiscuous bool
 
-	// QueueLimit bounds receive jobs pending on the host CPU;
-	// beyond it frames are dropped and counted ("queue overflows in
-	// the network interface").  Zero means DefaultQueueLimit.
+	// QueueLimit bounds receive jobs pending on the host CPU, per
+	// receive queue; beyond it frames are dropped and counted
+	// ("queue overflows in the network interface").  Zero means
+	// DefaultQueueLimit.
 	QueueLimit int
-	pending    int
 
-	// Drops counts frames lost to input-queue overflow.
+	// Drops counts frames lost to input-queue overflow, summed
+	// across queues.
 	Drops uint64
 
-	// Interrupt-coalescing state (SetCoalesce).  The interface is a
-	// two-state NAPI-style machine: idle (interrupts unmasked — the
-	// next frame is handed to the kernel immediately, so an isolated
-	// packet pays no coalescing latency) and polling (frames
-	// accumulate in burst; the budget or the moderation timer flushes
-	// them in one driver entry).  All transitions ride the simulation
-	// event queue, so coalesced runs stay deterministic.
+	// Interrupt-coalescing configuration (SetCoalesce), shared by
+	// every receive queue; each queue runs its own independent NAPI
+	// state machine from it.
 	coalesceMax   int
 	coalesceDelay time.Duration
-	burst         [][]byte
-	polling       bool
-	inflight      int // bursts handed to RunKernel, not yet completed
-	// flushTimer is the moderation timer, held through the dual-mode
-	// clock interface: in simulation it rides the event queue, so
+
+	// queues are the interface's receive queues.  A NIC starts with
+	// exactly one; SetQueues grows it to an RSS-style multi-queue
+	// interface whose flow-steering hash (SteerQueue) assigns each
+	// frame to one queue, and whose queues run as parallel kernel
+	// lanes on the host.  With one queue no steering happens and no
+	// lane is used — the single-queue world is byte-identical to the
+	// pre-multi-queue one.
+	queues []*rxq
+
+	// Side channel through which the receive handler learns the
+	// current frame's provenance span and receive queue without
+	// widening the Handler signatures.  Handlers run one at a time
+	// in event-loop context, so one set of fields suffices even with
+	// many queues.
+	curSpan       uint64
+	curBurstSpans []uint64
+	curQueue      int
+}
+
+// rxq is one receive queue: its own pending ring, its own NAPI
+// coalesce state machine, and its own span FIFO.  Queue 0 of a
+// single-queue NIC behaves exactly like the pre-multi-queue NIC.
+type rxq struct {
+	nic *NIC
+	idx int
+	// lane is the host kernel lane this queue's driver work runs on:
+	// -1 (the main CPU) for a single-queue NIC, the queue index for
+	// a multi-queue one.
+	lane int
+	// tag is the KernelTime category for this queue's driver work:
+	// "driver" on a single-queue NIC, "driver.qN" on multi-queue, so
+	// pfstat's kernel profile breaks receive cost out per queue.
+	tag string
+
+	pending int
+
+	// NAPI coalescing state: idle (interrupts unmasked) or polling
+	// (frames accumulate in burst; budget or moderation timer
+	// flushes).  All transitions ride the simulation event queue, so
 	// coalesced runs stay deterministic.
+	burst    [][]byte
+	polling  bool
+	inflight int // bursts handed to the kernel, not yet completed
+	// flushTimer is the moderation timer, held through the dual-mode
+	// clock interface.
 	flushTimer clock.Timer
 
 	// Provenance plumbing.  burstSpans mirrors burst; rxPend is the
-	// FIFO of spans handed to RunKernel receive closures and not yet
-	// consumed, so a crash (which clears the host's interrupt queue)
+	// FIFO of spans handed to kernel receive closures and not yet
+	// consumed, so a crash (which clears the host's kernel queues)
 	// can terminate exactly the spans buried in the lost closures.
-	// curSpan/curBurstSpans are the side channel through which the
-	// receive handler learns its frames' spans without widening the
-	// Handler signatures.
-	burstSpans    []uint64
-	rxPend        []uint64
-	rxHead        int
-	curSpan       uint64
-	curBurstSpans []uint64
+	burstSpans []uint64
+	rxPend     []uint64
+	rxHead     int
+
+	// rx counts frames accepted onto this queue (after steering,
+	// before any overflow drop), so tests can prove steering really
+	// spreads flows.
+	rx uint64
 }
 
 // RxSpan returns the provenance span of the frame currently being
@@ -324,20 +361,26 @@ func (nic *NIC) RxSpan() uint64 { return nic.curSpan }
 // BurstHandler call.
 func (nic *NIC) RxBurstSpans() []uint64 { return nic.curBurstSpans }
 
-func (nic *NIC) pushRx(span uint64) { nic.rxPend = append(nic.rxPend, span) }
+// RxQueue returns the receive queue of the frame (or burst) currently
+// being handed to Handler/BurstHandler.  Valid only inside a handler
+// call; 0 on a single-queue NIC.
+func (nic *NIC) RxQueue() int { return nic.curQueue }
 
-// popRx consumes the oldest pending receive span; receive closures
-// retire in FIFO order, so the head is always the caller's own.
-func (nic *NIC) popRx() uint64 {
-	if nic.rxHead >= len(nic.rxPend) {
+func (q *rxq) pushRx(span uint64) { q.rxPend = append(q.rxPend, span) }
+
+// popRx consumes the queue's oldest pending receive span; each lane
+// is a serial FIFO server, so within one queue closures retire in
+// push order and the head is always the caller's own.
+func (q *rxq) popRx() uint64 {
+	if q.rxHead >= len(q.rxPend) {
 		return 0
 	}
-	s := nic.rxPend[nic.rxHead]
-	nic.rxPend[nic.rxHead] = 0
-	nic.rxHead++
-	if nic.rxHead == len(nic.rxPend) {
-		nic.rxPend = nic.rxPend[:0]
-		nic.rxHead = 0
+	s := q.rxPend[q.rxHead]
+	q.rxPend[q.rxHead] = 0
+	q.rxHead++
+	if q.rxHead == len(q.rxPend) {
+		q.rxPend = q.rxPend[:0]
+		q.rxHead = 0
 	}
 	return s
 }
@@ -349,35 +392,120 @@ const DefaultQueueLimit = 32
 // Attach adds an interface with the given address to the network.
 func (n *Network) Attach(h *sim.Host, addr Addr) *NIC {
 	nic := &NIC{net: n, host: h, addr: addr}
+	nic.queues = []*rxq{{nic: nic, idx: 0, lane: -1, tag: "driver"}}
 	n.nics = append(n.nics, nic)
 	// Frames the interface had queued for the CPU die with the host:
-	// the host clears its interrupt queue on crash, so the pending
-	// count must reset with it — and so must any coalescing burst
-	// buffered in the interface and its moderation timer.
+	// the host clears its interrupt and lane queues on crash, so
+	// every receive queue's pending count must reset with it — and so
+	// must each queue's coalescing burst and moderation timer.
 	h.OnCrash(func() {
-		// Spans riding the lost interrupt-queue closures or buffered in
-		// the coalescing burst die with the kernel.
+		// Spans riding the lost kernel closures or buffered in the
+		// coalescing bursts die with the kernel.
 		tr := h.Sim().Tracer()
 		now := h.Clock().Now()
-		for i := nic.rxHead; i < len(nic.rxPend); i++ {
-			tr.SpanDrop(nic.rxPend[i], now, h.Name(), trace.DropCrash)
-		}
-		nic.rxPend = nic.rxPend[:0]
-		nic.rxHead = 0
-		for _, s := range nic.burstSpans {
-			tr.SpanDrop(s, now, h.Name(), trace.DropCrash)
-		}
-		nic.burstSpans = nil
-		nic.pending = 0
-		nic.burst = nil
-		nic.polling = false
-		nic.inflight = 0
-		if nic.flushTimer != nil {
-			nic.flushTimer.Stop()
-			nic.flushTimer = nil
+		for _, q := range nic.queues {
+			for i := q.rxHead; i < len(q.rxPend); i++ {
+				tr.SpanDrop(q.rxPend[i], now, h.Name(), trace.DropCrash)
+			}
+			q.rxPend = q.rxPend[:0]
+			q.rxHead = 0
+			for _, s := range q.burstSpans {
+				tr.SpanDrop(s, now, h.Name(), trace.DropCrash)
+			}
+			q.burstSpans = nil
+			q.pending = 0
+			q.burst = nil
+			q.polling = false
+			q.inflight = 0
+			if q.flushTimer != nil {
+				q.flushTimer.Stop()
+				q.flushTimer = nil
+			}
 		}
 	})
 	return nic
+}
+
+// SetQueues grows the interface to n RSS-style receive queues (call
+// before traffic flows; shrinking is not supported — queues model
+// hardware rings fixed at bring-up).  Each queue gets its own pending
+// ring, its own NAPI coalesce machine and its own host kernel lane;
+// frames are assigned by the SteerQueue flow hash, so one flow always
+// lands on one queue and stays in order.  With n <= 1 this is a no-op
+// and the NIC remains the byte-identical single-queue interface.
+func (nic *NIC) SetQueues(n int) {
+	if n <= 1 || n <= len(nic.queues) {
+		return
+	}
+	nic.host.SetKernelLanes(n)
+	q0 := nic.queues[0]
+	q0.lane, q0.tag = 0, "driver.q0"
+	for len(nic.queues) < n {
+		i := len(nic.queues)
+		nic.queues = append(nic.queues, &rxq{
+			nic: nic, idx: i, lane: i, tag: fmt.Sprintf("driver.q%d", i),
+		})
+	}
+}
+
+// Queues returns the number of receive queues (at least 1).
+func (nic *NIC) Queues() int { return len(nic.queues) }
+
+// LaneFor returns the host kernel lane that serves receive queue q:
+// -1 (the main CPU) on a single-queue NIC.  Demux layers use it to
+// run per-queue filter and delivery work on the same parallel kernel
+// thread as the queue's driver.
+func (nic *NIC) LaneFor(q int) int {
+	if len(nic.queues) <= 1 {
+		return -1
+	}
+	return q
+}
+
+// QueueRx returns per-queue counts of frames accepted onto each
+// receive queue (after steering, before overflow drops).
+func (nic *NIC) QueueRx() []uint64 {
+	out := make([]uint64, len(nic.queues))
+	for i, q := range nic.queues {
+		out[i] = q.rx
+	}
+	return out
+}
+
+// SteerQueue is the RSS flow-steering hash: it maps a frame's
+// (source, destination, ether-type) tuple to a receive queue in
+// [0, n).  The hash is a pure function of the tuple — deterministic,
+// stable for a fixed n, and identical for every frame of one flow,
+// which is what preserves per-flow delivery order across parallel
+// queues.  Frames too short to decode steer to queue 0.
+func (l LinkType) SteerQueue(frame []byte, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	dst, src, etherType, _, err := l.Decode(frame)
+	if err != nil {
+		return 0
+	}
+	return int(steerHash(uint64(src), uint64(dst), etherType) % uint64(n))
+}
+
+// steerHash mixes the flow tuple with FNV-1a over its 18 bytes.
+func steerHash(src, dst uint64, etherType uint16) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64, bytes int) {
+		for i := bytes - 1; i >= 0; i-- {
+			h ^= (v >> (8 * i)) & 0xFF
+			h *= prime
+		}
+	}
+	mix(src, 8)
+	mix(dst, 8)
+	mix(uint64(etherType), 2)
+	return h
 }
 
 // SetCoalesce configures interrupt coalescing: up to budget frames are
@@ -558,23 +686,32 @@ func (nic *NIC) receive(frame []byte, span uint64) {
 		nic.host.Sim().Tracer().SpanDrop(span, nic.host.Clock().Now(), nic.host.Name(), trace.DropNICDown)
 		return
 	}
+	h := nic.host
+	q := nic.queues[0]
+	if len(nic.queues) > 1 {
+		// RSS steering: the flow hash picks the queue, and the hash
+		// cost is charged as part of that queue's driver entry.
+		q = nic.queues[nic.net.link.SteerQueue(frame, len(nic.queues))]
+		h.Counters.SteeredFrames++
+		h.Sim().Counters.SteeredFrames++
+	}
 	limit := nic.QueueLimit
 	if limit == 0 {
 		limit = DefaultQueueLimit
 	}
-	if nic.pending >= limit {
+	if q.pending >= limit {
 		nic.Drops++
-		nic.host.Counters.PacketsDropped++
-		nic.host.Sim().Counters.PacketsDropped++
-		if tr := nic.host.Sim().Tracer(); tr != nil {
-			tr.Drop(nic.host.Clock().Now(), nic.host.Name(), "nic")
+		h.Counters.PacketsDropped++
+		h.Sim().Counters.PacketsDropped++
+		if tr := h.Sim().Tracer(); tr != nil {
+			tr.Drop(h.Clock().Now(), h.Name(), "nic")
 		}
-		nic.host.Sim().Tracer().SpanDrop(span, nic.host.Clock().Now(), nic.host.Name(), trace.DropNICQueue)
+		h.Sim().Tracer().SpanDrop(span, h.Clock().Now(), h.Name(), trace.DropNICQueue)
 		return
 	}
-	nic.pending++
+	q.pending++
+	q.rx++
 	own := append([]byte(nil), frame...)
-	h := nic.host
 	h.Counters.PacketsIn++
 	h.Sim().Counters.PacketsIn++
 	tr := h.Sim().Tracer()
@@ -583,62 +720,72 @@ func (nic *NIC) receive(frame []byte, span uint64) {
 	}
 	tr.SpanMark(span, trace.StageNIC, h.Clock().Now())
 	if nic.coalesceMax > 1 {
-		nic.coalesce(own, span)
+		q.coalesce(own, span)
 		return
 	}
-	nic.pushRx(span)
-	h.RunKernel("driver", h.Costs().DriverRecv, func() {
-		nic.pending--
-		sp := nic.popRx()
+	q.pushRx(span)
+	cost := h.Costs().DriverRecv
+	if q.lane >= 0 {
+		cost += h.Costs().Steer
+	}
+	h.RunKernelOn(q.lane, q.tag, cost, func() {
+		q.pending--
+		sp := q.popRx()
 		if nic.Handler != nil {
 			nic.curSpan = sp
+			nic.curQueue = q.idx
 			nic.Handler(own)
 			nic.curSpan = 0
+			nic.curQueue = 0
 		} else {
 			h.Sim().Tracer().SpanDrop(sp, h.Clock().Now(), h.Name(), trace.DropUnclaimed)
 		}
 	})
 }
 
-// coalesce buffers an accepted frame under the poll state machine.
-// The first frame after an idle period flushes immediately (the
-// "interrupt"); while a poll is in progress or the moderation timer is
-// armed, frames accumulate until the budget fills or the timer fires.
-func (nic *NIC) coalesce(frame []byte, span uint64) {
-	nic.burst = append(nic.burst, frame)
-	nic.burstSpans = append(nic.burstSpans, span)
+// coalesce buffers an accepted frame under the queue's poll state
+// machine.  The first frame after an idle period flushes immediately
+// (the "interrupt"); while a poll is in progress or the moderation
+// timer is armed, frames accumulate until the budget fills or the
+// timer fires.
+func (q *rxq) coalesce(frame []byte, span uint64) {
+	nic := q.nic
+	q.burst = append(q.burst, frame)
+	q.burstSpans = append(q.burstSpans, span)
 	nic.host.Sim().Tracer().SpanMark(span, trace.StageBurst, nic.host.Clock().Now())
-	if !nic.polling {
-		nic.polling = true
-		nic.flush()
+	if !q.polling {
+		q.polling = true
+		q.flush()
 		return
 	}
-	if len(nic.burst) >= nic.coalesceMax {
-		nic.flush()
+	if len(q.burst) >= nic.coalesceMax {
+		q.flush()
 	}
 }
 
-// flush hands up to one budget's worth of buffered frames to the
-// kernel in a single driver entry: DriverRecv for the entry itself
-// plus DriverPoll per additional frame.
-func (nic *NIC) flush() {
-	if nic.flushTimer != nil {
-		nic.flushTimer.Stop()
-		nic.flushTimer = nil
+// flush hands up to one budget's worth of the queue's buffered frames
+// to the kernel in a single driver entry: DriverRecv for the entry
+// itself plus DriverPoll per additional frame (plus the per-frame
+// steering hash on a multi-queue NIC).
+func (q *rxq) flush() {
+	nic := q.nic
+	if q.flushTimer != nil {
+		q.flushTimer.Stop()
+		q.flushTimer = nil
 	}
-	if len(nic.burst) == 0 {
+	if len(q.burst) == 0 {
 		return
 	}
-	n := len(nic.burst)
+	n := len(q.burst)
 	if n > nic.coalesceMax {
 		n = nic.coalesceMax
 	}
-	frames := nic.burst[:n:n]
-	nic.burst = nic.burst[n:]
-	spans := nic.burstSpans[:n:n]
-	nic.burstSpans = nic.burstSpans[n:]
+	frames := q.burst[:n:n]
+	q.burst = q.burst[n:]
+	spans := q.burstSpans[:n:n]
+	q.burstSpans = q.burstSpans[n:]
 	for _, s := range spans {
-		nic.pushRx(s)
+		q.pushRx(s)
 	}
 
 	h := nic.host
@@ -647,37 +794,44 @@ func (nic *NIC) flush() {
 	h.Counters.CoalescedFrames += uint64(n)
 	h.Sim().Counters.CoalescedFrames += uint64(n)
 	if tr := h.Sim().Tracer(); tr != nil {
-		tr.Burst(h.Clock().Now(), h.Name(), n, len(nic.burst))
+		tr.Burst(h.Clock().Now(), h.Name(), n, len(q.burst))
 	}
 	costs := h.Costs()
 	cost := costs.DriverRecv + time.Duration(n-1)*costs.DriverPoll
-	nic.inflight++
-	h.RunKernel("driver", cost, func() {
-		nic.pending -= n
-		nic.inflight--
+	if q.lane >= 0 {
+		cost += time.Duration(n) * costs.Steer
+	}
+	q.inflight++
+	h.RunKernelOn(q.lane, q.tag, cost, func() {
+		q.pending -= n
+		q.inflight--
 		for range spans {
-			nic.popRx()
+			q.popRx()
 		}
 		switch {
 		case nic.BurstHandler != nil:
 			nic.curBurstSpans = spans
 			nic.curSpan = spans[0]
+			nic.curQueue = q.idx
 			nic.BurstHandler(frames)
 			nic.curBurstSpans = nil
 			nic.curSpan = 0
+			nic.curQueue = 0
 		case nic.Handler != nil:
+			nic.curQueue = q.idx
 			for i, f := range frames {
 				nic.curSpan = spans[i]
 				nic.Handler(f)
 			}
 			nic.curSpan = 0
+			nic.curQueue = 0
 		default:
 			tr := h.Sim().Tracer()
 			for _, s := range spans {
 				tr.SpanDrop(s, h.Clock().Now(), h.Name(), trace.DropUnclaimed)
 			}
 		}
-		nic.pollDone()
+		q.pollDone()
 	})
 }
 
@@ -685,20 +839,21 @@ func (nic *NIC) flush() {
 // flushes again at once; otherwise the moderation timer is armed so a
 // partial burst (or, with nothing buffered, the return to idle) waits
 // out the coalesce delay.
-func (nic *NIC) pollDone() {
-	if len(nic.burst) >= nic.coalesceMax {
-		nic.flush()
+func (q *rxq) pollDone() {
+	nic := q.nic
+	if len(q.burst) >= nic.coalesceMax {
+		q.flush()
 		return
 	}
-	if nic.flushTimer != nil {
+	if q.flushTimer != nil {
 		return
 	}
-	nic.flushTimer = nic.host.Clock().AfterFunc(nic.coalesceDelay, func() {
-		nic.flushTimer = nil
-		if len(nic.burst) > 0 {
-			nic.flush()
-		} else if nic.inflight == 0 {
-			nic.polling = false
+	q.flushTimer = nic.host.Clock().AfterFunc(nic.coalesceDelay, func() {
+		q.flushTimer = nil
+		if len(q.burst) > 0 {
+			q.flush()
+		} else if q.inflight == 0 {
+			q.polling = false
 		}
 	})
 }

@@ -39,6 +39,7 @@ type goldenCfg struct {
 	admission bool // tight watermarks and a dawdling reader
 	table     bool // EvalTable: merged decision table instead of linear scan
 	churn     bool // ports open/close/rebind while traffic flows
+	queues    int  // RSS receive queues (0/1 = classic single-queue)
 }
 
 func goldenConfigs() []goldenCfg {
@@ -61,12 +62,20 @@ func goldenConfigs() []goldenCfg {
 		// order, port-close/queue drops) is bit-identical at any
 		// parsim worker count.
 		{name: "churn", table: true, churn: true},
+		// The multi-queue cell pins RSS-style parallel demux: frames
+		// from sources chosen to cover every receive queue are steered
+		// onto four kernel lanes, all matching against one shared
+		// decision-table snapshot, so the pinned hash covers steering,
+		// per-queue NAPI state and cross-queue delivery charges — and
+		// must stay bit-identical at any parsim worker count.
+		{name: "mq", table: true, queues: 4},
 	}
 }
 
-// goldenFrame builds a Pup frame to the given socket carrying seq and
-// rng-derived filler.
-func goldenFrame(rng *rand.Rand, seq int, socket byte) []byte {
+// goldenFrame builds a Pup frame to the given socket from the given
+// link-level source (which is what the steering hash keys on),
+// carrying seq and rng-derived filler.
+func goldenFrame(rng *rand.Rand, seq int, socket byte, src ethersim.Addr) []byte {
 	size := 22 + rng.Intn(160)
 	payload := make([]byte, size)
 	payload[3] = byte(seq)
@@ -74,15 +83,35 @@ func goldenFrame(rng *rand.Rand, seq int, socket byte) []byte {
 	for i := 22; i < size; i++ {
 		payload[i] = byte(rng.Intn(256))
 	}
-	return ethersim.Ether3Mb.Encode(2, 1, ethersim.EtherTypePup3Mb, payload)
+	return ethersim.Ether3Mb.Encode(2, src, ethersim.EtherTypePup3Mb, payload)
+}
+
+// goldenSrcs picks one link-level source per receive queue (searching
+// from address 10 upward), so the multi-queue cell provably exercises
+// every queue regardless of seed.  Single-queue cells keep the fixed
+// source 1 — their frames stay byte-identical to the original corpus.
+func goldenSrcs(queues int) []ethersim.Addr {
+	if queues <= 1 {
+		return []ethersim.Addr{1}
+	}
+	srcs := make([]ethersim.Addr, 0, queues)
+	seen := make(map[int]bool)
+	for src := ethersim.Addr(10); len(srcs) < queues; src++ {
+		f := ethersim.Ether3Mb.Encode(2, src, ethersim.EtherTypePup3Mb, nil)
+		if q := ethersim.Ether3Mb.SteerQueue(f, queues); !seen[q] {
+			seen[q] = true
+			srcs = append(srcs, src)
+		}
+	}
+	return srcs
 }
 
 // goldenRun drives one fully traced universe and digests everything
-// observable about it into one hash; the span aggregate and the
-// device's incremental-patch count come back too so the governance and
-// churn cells can be checked for actually exercising the machinery
-// they pin.
-func goldenRun(seed uint64, cfg goldenCfg) (string, *trace.Spans, uint64) {
+// observable about it into one hash; the span aggregate, the device's
+// incremental-patch count and the per-queue receive counts come back
+// too so the governance, churn and multi-queue cells can be checked
+// for actually exercising the machinery they pin.
+func goldenRun(seed uint64, cfg goldenCfg) (string, *trace.Spans, uint64, []uint64) {
 	s := sim.New(vtime.DefaultCosts())
 	tr := trace.New()
 	rec := &trace.Recorder{}
@@ -121,6 +150,9 @@ func goldenRun(seed uint64, cfg goldenCfg) (string, *trace.Spans, uint64) {
 	if cfg.churn {
 		opt.Reorder = true
 		opt.ReorderEvery = 4
+	}
+	if cfg.queues > 1 {
+		opt.Queues = cfg.queues
 	}
 	da := pfdev.Attach(na, nil, pfdev.Options{})
 	db := pfdev.Attach(nb, nil, opt)
@@ -209,6 +241,7 @@ func goldenRun(seed uint64, cfg goldenCfg) (string, *trace.Spans, uint64) {
 			}
 		})
 	}
+	srcs := goldenSrcs(cfg.queues)
 	s.Spawn(ha, "send", func(p *sim.Proc) {
 		rng := rand.New(rand.NewSource(int64(seed)))
 		port := da.Open(p)
@@ -220,7 +253,7 @@ func goldenRun(seed uint64, cfg goldenCfg) (string, *trace.Spans, uint64) {
 				// quarantined they die as DropQuota, not DropNoMatch.
 				socket = 99
 			}
-			if err := port.Write(p, goldenFrame(rng, i, socket)); err != nil {
+			if err := port.Write(p, goldenFrame(rng, i, socket, srcs[i%len(srcs)])); err != nil {
 				panic(err)
 			}
 			p.Sleep(time.Duration(100+rng.Intn(1200)) * time.Microsecond)
@@ -244,7 +277,7 @@ func goldenRun(seed uint64, cfg goldenCfg) (string, *trace.Spans, uint64) {
 	// a shifted trace event would.
 	fmt.Fprintf(h, "spans %s\n", spanSignature(sp))
 	fmt.Fprintf(h, "end %d\n", end)
-	return hex.EncodeToString(h.Sum(nil)), sp, db.TablePatches
+	return hex.EncodeToString(h.Sum(nil)), sp, db.TablePatches, nb.QueueRx()
 }
 
 // goldenHashes pins the corpus.  When an intentional behavior change
@@ -274,6 +307,12 @@ var goldenHashes = map[string]string{
 	// busy-first reordering on.
 	"churn/1": "ae25237a8c3ba5360cc322a728cad062af21808ec29d5224b825ceb9c9ce7062",
 	"churn/2": "f98bd7a052597be804546b8b839bba0f6eeed3078f9895107ea13d5915ff208e",
+	// Pinned with RSS-style multi-queue receive: the mq cell steers
+	// four flows onto four parallel demux lanes sharing one decision
+	// table, covering steering, per-queue NAPI state and cross-queue
+	// delivery charges.
+	"mq/1": "18ba5bee8b34e9269bdca40869b52835f1ff87a5488443015f7a5673bc422efa",
+	"mq/2": "cab39326d31dee0958f1ddcf6e84e9c88e795d1ffb38ce99de8b3c64a097562b",
 }
 
 // goldenCells enumerates the corpus in deterministic order.
@@ -295,7 +334,7 @@ func TestGoldenTraceCorpus(t *testing.T) {
 	keys, cfgs, seeds := goldenCells()
 	for _, workers := range []int{1, 4} {
 		got := parsim.Map(len(keys), workers, func(i int) string {
-			h, _, _ := goldenRun(seeds[i], cfgs[i])
+			h, _, _, _ := goldenRun(seeds[i], cfgs[i])
 			return h
 		})
 		for i, key := range keys {
@@ -327,9 +366,40 @@ func TestGoldenGovCellsExerciseTaxonomy(t *testing.T) {
 		default:
 			continue
 		}
-		_, sp, _ := goldenRun(seeds[i], cfgs[i])
+		_, sp, _, _ := goldenRun(seeds[i], cfgs[i])
 		if sp.Drops[want] == 0 {
 			t.Errorf("%s: cell produced no %v drops; the pin proves nothing", key, want)
+		}
+		if got, acc := sp.Created, sp.DeliveredUser+sp.DeliveredKernel+sp.TotalDrops()+sp.Live(); got != acc {
+			t.Errorf("%s: conservation broken: created=%d accounted=%d", key, got, acc)
+		}
+	}
+}
+
+// TestGoldenMultiQueueCellUsesQueues guards the multi-queue cell
+// against silently going stale: its pin is only meaningful while the
+// traffic really spreads across the receive queues — at least 3 of
+// the 4 must carry frames — and the parallel lanes must conserve
+// every span exactly.
+func TestGoldenMultiQueueCellUsesQueues(t *testing.T) {
+	keys, cfgs, seeds := goldenCells()
+	for i, key := range keys {
+		if cfgs[i].queues <= 1 {
+			continue
+		}
+		_, sp, _, qrx := goldenRun(seeds[i], cfgs[i])
+		if len(qrx) != cfgs[i].queues {
+			t.Fatalf("%s: %d per-queue rx counters, want %d", key, len(qrx), cfgs[i].queues)
+		}
+		busy := 0
+		for _, n := range qrx {
+			if n > 0 {
+				busy++
+			}
+		}
+		if busy < 3 {
+			t.Errorf("%s: only %d of %d queues carried frames (%v); the pin proves nothing",
+				key, busy, cfgs[i].queues, qrx)
 		}
 		if got, acc := sp.Created, sp.DeliveredUser+sp.DeliveredKernel+sp.TotalDrops()+sp.Live(); got != acc {
 			t.Errorf("%s: conservation broken: created=%d accounted=%d", key, got, acc)
@@ -347,7 +417,7 @@ func TestGoldenChurnCellExercisesPatching(t *testing.T) {
 		if !cfgs[i].churn {
 			continue
 		}
-		_, sp, patches := goldenRun(seeds[i], cfgs[i])
+		_, sp, patches, _ := goldenRun(seeds[i], cfgs[i])
 		if patches < 10 {
 			t.Errorf("%s: only %d incremental table patches; the pin proves nothing", key, patches)
 		}

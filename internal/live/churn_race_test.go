@@ -11,22 +11,49 @@ import (
 	"repro/internal/pup"
 )
 
-// TestLiveConcurrentChurn hammers the live device from three sides at
-// once — a frame pump, port churners rebinding and open/close-cycling
-// decoys, and a reader draining the hot port — so the race detector
-// can watch the incremental patch path and the snapshot match path
-// share the table under real goroutine concurrency.  The hot port is
-// never churned, so every pumped frame must arrive exactly once.
-func TestLiveConcurrentChurn(t *testing.T) {
+// pupFlowFrame builds a hot-socket Pup frame from the given link-level
+// source, so a pump cycling sources produces distinct flows that the
+// RSS steering hash spreads across receive queues.
+func pupFlowFrame(t *testing.T, link ethersim.LinkType, socket uint32, src ethersim.Addr) []byte {
+	t.Helper()
+	pkt := pup.Packet{Type: 1, ID: 42,
+		Dst:  pup.PortAddr{Net: 1, Host: 2, Socket: socket},
+		Src:  pup.PortAddr{Net: 1, Host: uint8(src), Socket: 0x9000},
+		Data: make([]byte, 20)}
+	payload, err := pkt.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	etherType := ethersim.EtherTypePup3Mb
+	if link == ethersim.Ether10Mb {
+		etherType = ethersim.EtherTypePup
+	}
+	return link.Encode(2, src, etherType, payload)
+}
+
+// runLiveChurn hammers the live device from three sides at once — a
+// frame pump, port churners rebinding and open/close-cycling decoys,
+// and a reader draining the hot port — so the race detector can watch
+// the incremental patch path and the snapshot match path share the
+// table under real goroutine concurrency.  The hot port is never
+// churned, so every pumped frame must arrive exactly once.  With
+// queues > 1 the pump cycles eight flows so frames genuinely arrive on
+// all receive queues while the churners race the per-queue workers.
+func runLiveChurn(t *testing.T, queues int) {
 	link := ethersim.Ether10Mb
-	d := NewDevice(Options{Link: link, Mode: pfdev.EvalTable})
+	d := NewDevice(Options{Link: link, Mode: pfdev.EvalTable, Queues: queues})
+	defer d.Close()
 	hot := d.Open()
 	if err := hot.SetFilter(pup.SocketFilter(link, 1, 0x50)); err != nil {
 		t.Fatalf("setfilter hot: %v", err)
 	}
 	const frames = 400
+	const flows = 8
 	hot.SetQueueLimit(2 * frames)
-	frame := pupFrame(t, link, 0x50)
+	pump := make([][]byte, flows)
+	for f := range pump {
+		pump[f] = pupFlowFrame(t, link, 0x50, ethersim.Addr(1+f))
+	}
 
 	var wg sync.WaitGroup
 	var churnEvents atomic.Uint64
@@ -58,7 +85,7 @@ func TestLiveConcurrentChurn(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < frames; i++ {
-			d.Input(frame)
+			d.Input(pump[i%flows])
 			if i%8 == 7 {
 				// Pace the pump so matching genuinely overlaps the
 				// churners instead of finishing before they schedule.
@@ -90,4 +117,34 @@ func TestLiveConcurrentChurn(t *testing.T) {
 	if builds != 1 {
 		t.Errorf("table builds = %d, want exactly the initial bind-time build", builds)
 	}
+
+	if queues > 1 {
+		// Every frame was delivered, so every frame was demuxed; the
+		// per-queue receive counts must match the steering hash exactly
+		// and the eight flows must genuinely spread across queues.
+		counts := d.Counts()
+		if counts.Queues != queues {
+			t.Fatalf("Counts.Queues = %d, want %d", counts.Queues, queues)
+		}
+		expected := make([]uint64, queues)
+		for i := 0; i < frames; i++ {
+			expected[link.SteerQueue(pump[i%flows], queues)]++
+		}
+		busy := 0
+		for q := range expected {
+			if counts.QueueRx[q] != expected[q] {
+				t.Errorf("queue %d received %d frames, steering says %d",
+					q, counts.QueueRx[q], expected[q])
+			}
+			if counts.QueueRx[q] > 0 {
+				busy++
+			}
+		}
+		if busy < 2 {
+			t.Errorf("only %d of %d queues saw traffic across %d flows", busy, queues, flows)
+		}
+	}
 }
+
+func TestLiveConcurrentChurn(t *testing.T)           { runLiveChurn(t, 1) }
+func TestLiveConcurrentChurnMultiQueue(t *testing.T) { runLiveChurn(t, 4) }

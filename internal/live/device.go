@@ -71,6 +71,18 @@ type Options struct {
 	// Name is the host label used in trace attribution (default
 	// "live").
 	Name string
+	// Queues selects the number of RSS-style receive queues.  Values
+	// <= 1 keep the classic path: Input runs the whole demux inline on
+	// the caller's goroutine.  With N > 1, Input steers each frame by
+	// its flow tuple (ethersim.LinkType.SteerQueue — the same hash the
+	// simulated NIC uses) onto one of N queue workers, the live mirror
+	// of pfdev's per-queue kernel lanes.  One flow maps to one queue
+	// and one worker drains each queue in FIFO order, so per-flow
+	// arrival order is preserved by construction.  Queue hand-off uses
+	// blocking sends: a backed-up queue exerts backpressure on the wire
+	// receive loop instead of shedding silently, keeping the load
+	// driver's exact frame reconciliation intact.
+	Queues int
 }
 
 // Device is the live-mode packet-filter device.
@@ -109,6 +121,14 @@ type Device struct {
 	treeScratch []*Port
 	portScratch []*Port
 
+	// Multi-queue receive state (mq.go).  rxqs is built once in
+	// NewDevice and never mutated, so Input may read it without the
+	// mutex; qrx counts frames demuxed per queue (under mu).
+	rxqs   []chan []byte
+	qrx    []uint64
+	mqQuit chan struct{}
+	mqWG   sync.WaitGroup
+
 	closed bool
 }
 
@@ -124,7 +144,17 @@ func NewDevice(opt Options) *Device {
 		opt.Name = "live"
 	}
 	opt.Gov = opt.Gov.WithDefaults()
-	return &Device{clk: opt.Clock, tr: opt.Tracer, name: opt.Name, opt: opt}
+	d := &Device{clk: opt.Clock, tr: opt.Tracer, name: opt.Name, opt: opt}
+	d.startQueues()
+	return d
+}
+
+// Queues returns the number of receive queues (1 when single-queue).
+func (d *Device) Queues() int {
+	if len(d.rxqs) > 1 {
+		return len(d.rxqs)
+	}
+	return 1
 }
 
 // Clock returns the device's time source.
@@ -352,11 +382,31 @@ func (port *Port) eval(frame []byte) (bool, int) {
 // The frame must not be modified by the caller afterwards (the wire
 // receive loop hands over a fresh copy per datagram).  Safe from any
 // goroutine.
+//
+// Single-queue devices demux inline; multi-queue devices steer the
+// frame to its flow's queue worker (mq.go) and return once the
+// hand-off lands, blocking — never dropping — when the queue is full.
 func (d *Device) Input(frame []byte) {
+	if len(d.rxqs) > 1 {
+		q := d.opt.Link.SteerQueue(frame, len(d.rxqs))
+		select {
+		case d.rxqs[q] <- frame:
+		case <-d.mqQuit:
+		}
+		return
+	}
+	d.input(frame, 0)
+}
+
+// input is the demux body: one frame, on one receive queue.
+func (d *Device) input(frame []byte, queue int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return
+	}
+	if queue < len(d.qrx) {
+		d.qrx[queue]++
 	}
 	now := d.clk.Now()
 	// Live provenance begins at receive: the wire carries frames
@@ -943,13 +993,23 @@ type Counts struct {
 	Received    uint64 `json:"received"`     // frames handed to Input
 	KernelDrops uint64 `json:"kernel_drops"` // no-match / quota / admission
 	QueuedNow   int    `json:"queued_now"`   // packets on port queues
+
+	// Queues and QueueRx report the multi-queue demux spread; both are
+	// zero/nil on a single-queue device.
+	Queues  int      `json:"queues,omitempty"`
+	QueueRx []uint64 `json:"queue_rx,omitempty"`
 }
 
 // Counts returns the device-level counters.
 func (d *Device) Counts() Counts {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return Counts{Received: d.received, KernelDrops: d.kernelDrops, QueuedNow: d.queuedTotal}
+	c := Counts{Received: d.received, KernelDrops: d.kernelDrops, QueuedNow: d.queuedTotal}
+	if len(d.rxqs) > 1 {
+		c.Queues = len(d.rxqs)
+		c.QueueRx = append([]uint64(nil), d.qrx...)
+	}
+	return c
 }
 
 // KernelDrops returns the no-match/quota/admission drop count.
@@ -959,16 +1019,18 @@ func (d *Device) KernelDrops() uint64 {
 	return d.kernelDrops
 }
 
-// Close shuts the device: every port closes (waking its readers) and
-// further Input calls are discarded.
+// Close shuts the device: every port closes (waking its readers),
+// further Input calls are discarded, and multi-queue workers stop.
 func (d *Device) Close() {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		d.mu.Unlock()
 		return
 	}
 	d.closed = true
 	for len(d.ports) > 0 {
 		d.ports[0].closeLocked()
 	}
+	d.mu.Unlock()
+	d.stopQueues()
 }

@@ -40,6 +40,12 @@ type LoadConfig struct {
 	// non-Pup shares become kernel drops) or "heavytail"
 	// (bounded-Pareto Pup flows; every frame matches some port).
 	Profile string
+	// Flows is how many distinct link-level source addresses the
+	// injector cycles through (default 1).  The filters never look at
+	// the link source, so the demux outcome is flow-count independent;
+	// more flows let a multi-queue server (pfserve -queues) spread the
+	// load across its receive queues.
+	Flows int
 	// PaceEvery/Pace: sleep Pace after every PaceEvery frames so the
 	// loopback socket buffer never overflows (defaults 64 / 1ms).
 	PaceEvery int
@@ -59,6 +65,9 @@ func (cfg LoadConfig) withDefaults() LoadConfig {
 	}
 	if cfg.Profile == "" {
 		cfg.Profile = "mix"
+	}
+	if cfg.Flows <= 0 {
+		cfg.Flows = 1
 	}
 	if cfg.PaceEvery <= 0 {
 		cfg.PaceEvery = 64
@@ -200,7 +209,7 @@ func RunLoad(ctlAddr, udpAddr string, cfg LoadConfig) (*LoadReport, error) {
 
 	start := clk.Now()
 	for i := 0; i < cfg.Packets; i++ {
-		if err := sender.Send(src.Frame(2, 1)); err != nil {
+		if err := sender.Send(src.Frame(2, ethersim.Addr(1+i%cfg.Flows))); err != nil {
 			return nil, fmt.Errorf("send %d: %w", i, err)
 		}
 		if (i+1)%cfg.PaceEvery == 0 {

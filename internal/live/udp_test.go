@@ -71,6 +71,38 @@ func TestLoopbackHeavyTail(t *testing.T) {
 	}
 }
 
+// Multi-queue table mode over the real wire: eight link-level flows
+// spread across four receive queues, and the reconciliation (sent ==
+// wire == spans created == delivered + typed drops) must stay exact —
+// the queue workers may reorder across flows but never lose a frame.
+func TestLoopbackMultiQueue(t *testing.T) {
+	link := ethersim.Ether10Mb
+	rep := runLoopback(t,
+		LoadConfig{Packets: 2000, Ports: 4, Seed: 4, Link: link,
+			Profile: "heavytail", Flows: 8},
+		Options{Link: link, Mode: pfdev.EvalTable, Queues: 4})
+	if rep.Delivered != rep.Sent {
+		t.Errorf("multi-queue: delivered %d of %d", rep.Delivered, rep.Sent)
+	}
+	dc := rep.Stats.Device
+	if dc.Queues != 4 {
+		t.Fatalf("server reports %d queues, want 4", dc.Queues)
+	}
+	var busy, total = 0, uint64(0)
+	for _, n := range dc.QueueRx {
+		total += n
+		if n > 0 {
+			busy++
+		}
+	}
+	if total != rep.Sent {
+		t.Errorf("per-queue receive counts sum to %d, want %d", total, rep.Sent)
+	}
+	if busy < 2 {
+		t.Errorf("only %d of 4 queues saw traffic across 8 flows", busy)
+	}
+}
+
 // Table mode with the governor on, over the real wire.
 func TestLoopbackTableWithGovernor(t *testing.T) {
 	link := ethersim.Ether10Mb

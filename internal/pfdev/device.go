@@ -15,6 +15,7 @@ package pfdev
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/ethersim"
@@ -122,6 +123,16 @@ type Options struct {
 	// whole table away and the next match rebuilds it from scratch —
 	// the pre-v2 behavior, kept as the exp-churn benchmark baseline.
 	FullRebuild bool
+	// Queues, when > 1, enables RSS-style multi-queue receive: the
+	// interface is configured with this many receive queues, each
+	// frame is steered to one by the flow hash (one flow → one queue,
+	// preserving per-flow order by construction), and each queue gets
+	// its own demux context — its own pending-delivery queue, burst
+	// state and kernel entries — running on its own parallel kernel
+	// lane.  All queues match against the same atomically-published
+	// decision-table snapshot.  0 or 1 leaves the device the
+	// byte-identical single-queue world.
+	Queues int
 }
 
 // Device is one packet-filter pseudodevice instance bound to one
@@ -173,23 +184,18 @@ type Device struct {
 	// pressure" knob.
 	queueCap int
 
-	// Pending-delivery queue: input/inputBurst match frames
-	// synchronously, then defer enqueueing behind the "pf" kernel CPU
-	// charge.  Matched frames queue here and the pre-bound
-	// deliverOneFn/deliverBurstFn callbacks pop them FIFO (kernel
-	// grants complete in request order), so the per-packet path
-	// allocates no closures and the match scratch slices are reused.
-	// A crash drops the queue along with the host's interrupt work.
-	pend              []delivery
-	pendHead          int
-	burstLens         []int
-	burstHead         int
-	treeScratch       []*Port
-	wakeScratch       []*Port
-	deliverOneFn      func()
-	deliverBurstFn    func()
-	markFilterFn      func()
-	markBurstFilterFn func()
+	// rx holds one demux context per receive queue (always at least
+	// one).  Each context owns its own pending-delivery queue and
+	// burst bookkeeping, because kernel grants complete in request
+	// order only within one lane — across lanes completions
+	// interleave, so per-queue FIFOs are what keep the "head of the
+	// pending queue is the frame whose charge just retired" invariant
+	// true.  The match scratch slices stay on the device: matching is
+	// synchronous within one event callback, and the event loop runs
+	// callbacks one at a time even when lanes overlap in virtual time.
+	rx          []*rxCtx
+	treeScratch []*Port
+	wakeScratch []*Port
 
 	// Governor state (gov.go): queuedTotal tracks packets queued
 	// across all ports O(1); scanQuarSkip is set by a match pass that
@@ -205,6 +211,32 @@ type Device struct {
 	KernelDrops uint64
 }
 
+// rxCtx is one receive queue's demux context: the per-queue pending
+// delivery FIFO, burst bookkeeping, pre-bound completion callbacks,
+// kernel lane and KernelTime tags.  A single-queue device has exactly
+// one, with lane -1 (the main CPU) and the plain "filter"/"pf" tags —
+// byte-identical to the pre-multi-queue device.
+type rxCtx struct {
+	d   *Device
+	idx int
+	// lane is the host kernel lane this queue's filter and pf work
+	// runs on (-1 = the main CPU), matching the queue's driver lane
+	// so one frame's whole kernel path stays on one parallel thread.
+	lane      int
+	filterTag string
+	pfTag     string
+
+	pend      []delivery
+	pendHead  int
+	burstLens []int
+	burstHead int
+
+	deliverOneFn      func()
+	deliverBurstFn    func()
+	markFilterFn      func()
+	markBurstFilterFn func()
+}
+
 // Attach creates a packet-filter device on nic and installs its
 // receive handler, demultiplexing to kern (may be nil) first.
 func Attach(nic *ethersim.NIC, kern KernelProtocol, opt Options) *Device {
@@ -214,11 +246,24 @@ func Attach(nic *ethersim.NIC, kern KernelProtocol, opt Options) *Device {
 	if opt.Gov.Enabled {
 		opt.Gov = opt.Gov.withDefaults()
 	}
+	if opt.Queues < 1 {
+		opt.Queues = 1
+	}
 	d := &Device{host: nic.Host(), nic: nic, opt: opt, kern: kern}
-	d.deliverOneFn = d.deliverOne
-	d.deliverBurstFn = d.deliverBurst
-	d.markFilterFn = d.markFilter
-	d.markBurstFilterFn = d.markBurstFilter
+	nic.SetQueues(opt.Queues)
+	d.rx = make([]*rxCtx, opt.Queues)
+	for i := range d.rx {
+		rx := &rxCtx{d: d, idx: i, lane: nic.LaneFor(i), filterTag: "filter", pfTag: "pf"}
+		if opt.Queues > 1 {
+			rx.filterTag = fmt.Sprintf("filter.q%d", i)
+			rx.pfTag = fmt.Sprintf("pf.q%d", i)
+		}
+		rx.deliverOneFn = rx.deliverOne
+		rx.deliverBurstFn = rx.deliverBurst
+		rx.markFilterFn = rx.markFilter
+		rx.markBurstFilterFn = rx.markBurstFilter
+		d.rx[i] = rx
+	}
 	nic.Handler = d.input
 	nic.BurstHandler = nil
 	nic.SetCoalesce(opt.CoalesceBudget, opt.CoalesceDelay)
@@ -233,6 +278,9 @@ func Attach(nic *ethersim.NIC, kern KernelProtocol, opt Options) *Device {
 	return d
 }
 
+// Queues returns the number of receive-queue demux contexts.
+func (d *Device) Queues() int { return len(d.rx) }
+
 // crash closes every port in event-loop context (no process to charge
 // syscalls to): queues are flushed, blocked readers and selectors wake
 // to find ErrClosed.
@@ -244,15 +292,17 @@ func (d *Device) crash() {
 	d.table = nil
 	d.reorderPending = false
 	// Matched-but-undelivered frames die with the kernel: their "pf"
-	// completions were dropped from the host's interrupt queue, so the
-	// pending queue must empty in step with it.
-	for i := d.pendHead; i < len(d.pend); i++ {
-		tr.SpanDrop(d.pend[i].span, now, d.host.Name(), trace.DropCrash)
+	// completions were dropped from the host's interrupt and lane
+	// queues, so every queue's pending FIFO must empty in step.
+	for _, rx := range d.rx {
+		for i := rx.pendHead; i < len(rx.pend); i++ {
+			tr.SpanDrop(rx.pend[i].span, now, d.host.Name(), trace.DropCrash)
+		}
+		rx.pend = rx.pend[:0]
+		rx.pendHead = 0
+		rx.burstLens = rx.burstLens[:0]
+		rx.burstHead = 0
 	}
-	d.pend = d.pend[:0]
-	d.pendHead = 0
-	d.burstLens = d.burstLens[:0]
-	d.burstHead = 0
 	d.queuedTotal = 0
 	d.shedding = false
 	for _, port := range ports {
@@ -315,9 +365,10 @@ func (d *Device) Status(p *sim.Proc) Status {
 }
 
 // input is the NIC receive handler (event-loop context, driver cost
-// already charged).
+// already charged).  The frame's receive queue — chosen by the NIC's
+// steering hash — selects the demux context.
 func (d *Device) input(frame []byte) {
-	d.inputSpanned(frame, d.nic.RxSpan())
+	d.rx[d.nic.RxQueue()].inputSpanned(frame, d.nic.RxSpan())
 }
 
 // claim offers the frame (and its span) to the kernel protocol chain.
@@ -341,8 +392,37 @@ func (d *Device) claim(frame []byte, span uint64) bool {
 
 // inputSpanned is input with the frame's provenance span made
 // explicit (tests drive it directly; the NIC handler path recovers
-// the span from the interface side channel).
+// the span and queue from the interface side channel).  It feeds
+// queue 0's context — the only one on a single-queue device.
 func (d *Device) inputSpanned(frame []byte, span uint64) {
+	d.rx[0].inputSpanned(frame, span)
+}
+
+// xqCost charges the cross-queue delivery penalty: each accepting
+// port remembers the queue that last delivered to it, and a handoff
+// from a different queue's kernel thread costs XQDeliver.  Per-flow
+// steering makes this rare — it takes distinct flows matched by one
+// port straddling queues.  Free (and uncounted) on a single-queue
+// device.
+func (rx *rxCtx) xqCost(ports []*Port) time.Duration {
+	d := rx.d
+	if len(d.rx) == 1 {
+		return 0
+	}
+	var cost time.Duration
+	for _, port := range ports {
+		if port.lastRxQ >= 0 && port.lastRxQ != rx.idx {
+			cost += d.host.Costs().XQDeliver
+			d.host.Counters.XQDeliveries++
+			d.host.Sim().Counters.XQDeliveries++
+		}
+		port.lastRxQ = rx.idx
+	}
+	return cost
+}
+
+func (rx *rxCtx) inputSpanned(frame []byte, span uint64) {
+	d := rx.d
 	if d.claim(frame, span) {
 		return
 	}
@@ -366,7 +446,7 @@ func (d *Device) inputSpanned(frame []byte, span uint64) {
 	// per-packet work so experiments can reproduce §6.1's "41% of
 	// this time is spent evaluating filter predicates".
 	costs := d.host.Costs()
-	dl := d.pushPending(frame, arrival)
+	dl := rx.pushPending(frame, arrival)
 	dl.span = span
 	var filterCost time.Duration
 
@@ -376,7 +456,7 @@ func (d *Device) inputSpanned(frame []byte, span uint64) {
 		dl.ports, filterCost = d.linearMatch(frame, dl.ports)
 	}
 	dl.quarSkip = d.scanQuarSkip
-	cost := costs.PfInput
+	cost := costs.PfInput + rx.xqCost(dl.ports)
 
 	for _, port := range dl.ports {
 		if port.stamp {
@@ -384,31 +464,33 @@ func (d *Device) inputSpanned(frame []byte, span uint64) {
 		}
 	}
 
-	d.host.RunKernel("filter", filterCost, d.markFilterFn)
-	d.host.RunKernel("pf", cost, d.deliverOneFn)
+	d.host.RunKernelOn(rx.lane, rx.filterTag, filterCost, rx.markFilterFn)
+	d.host.RunKernelOn(rx.lane, rx.pfTag, cost, rx.deliverOneFn)
 }
 
 // markFilter runs when a frame's "filter" CPU charge retires — always
-// immediately before the same frame's "pf" completion (kernel grants
-// complete in request order), so the head of the pending queue is the
-// frame whose evaluation just finished.
-func (d *Device) markFilter() {
-	if d.pendHead < len(d.pend) {
-		d.host.Sim().Tracer().SpanMark(d.pend[d.pendHead].span, trace.StageFilter, d.host.Clock().Now())
+// immediately before the same frame's "pf" completion (each lane's
+// kernel grants complete in request order), so the head of the
+// queue's pending FIFO is the frame whose evaluation just finished.
+func (rx *rxCtx) markFilter() {
+	d := rx.d
+	if rx.pendHead < len(rx.pend) {
+		d.host.Sim().Tracer().SpanMark(rx.pend[rx.pendHead].span, trace.StageFilter, d.host.Clock().Now())
 	}
 }
 
 // markBurstFilter is markFilter for a coalesced burst: the burst's
-// frames occupy the front of the pending queue.
-func (d *Device) markBurstFilter() {
-	if d.burstHead >= len(d.burstLens) {
+// frames occupy the front of the queue's pending FIFO.
+func (rx *rxCtx) markBurstFilter() {
+	d := rx.d
+	if rx.burstHead >= len(rx.burstLens) {
 		return
 	}
-	n := d.burstLens[d.burstHead]
+	n := rx.burstLens[rx.burstHead]
 	tr := d.host.Sim().Tracer()
 	now := d.host.Clock().Now()
-	for i := 0; i < n && d.pendHead+i < len(d.pend); i++ {
-		tr.SpanMark(d.pend[d.pendHead+i].span, trace.StageFilter, now)
+	for i := 0; i < n && rx.pendHead+i < len(rx.pend); i++ {
+		tr.SpanMark(rx.pend[rx.pendHead+i].span, trace.StageFilter, now)
 	}
 }
 
@@ -425,54 +507,56 @@ type delivery struct {
 	quarSkip bool
 }
 
-// pushPending appends a pending delivery, reusing a recycled slot's
-// ports capacity when one is available.
-func (d *Device) pushPending(frame []byte, arrival time.Duration) *delivery {
-	n := len(d.pend)
-	if n < cap(d.pend) {
-		d.pend = d.pend[:n+1]
+// pushPending appends a pending delivery to the queue's FIFO, reusing
+// a recycled slot's ports capacity when one is available.
+func (rx *rxCtx) pushPending(frame []byte, arrival time.Duration) *delivery {
+	n := len(rx.pend)
+	if n < cap(rx.pend) {
+		rx.pend = rx.pend[:n+1]
 	} else {
-		d.pend = append(d.pend, delivery{})
+		rx.pend = append(rx.pend, delivery{})
 	}
-	dl := &d.pend[n]
+	dl := &rx.pend[n]
 	dl.frame, dl.arrival, dl.span = frame, arrival, 0
 	dl.ports = dl.ports[:0]
 	dl.quarSkip = false
 	return dl
 }
 
-// popPending consumes the oldest pending delivery.  The returned value
-// shares its ports backing with the slot, which is only reused by a
-// later pushPending — never while the caller is still delivering.
-func (d *Device) popPending() delivery {
-	dl := d.pend[d.pendHead]
-	d.pend[d.pendHead].frame = nil
-	d.pendHead++
-	if d.pendHead == len(d.pend) {
-		d.pend = d.pend[:0]
-		d.pendHead = 0
+// popPending consumes the queue's oldest pending delivery.  The
+// returned value shares its ports backing with the slot, which is only
+// reused by a later pushPending — never while the caller is still
+// delivering.
+func (rx *rxCtx) popPending() delivery {
+	dl := rx.pend[rx.pendHead]
+	rx.pend[rx.pendHead].frame = nil
+	rx.pendHead++
+	if rx.pendHead == len(rx.pend) {
+		rx.pend = rx.pend[:0]
+		rx.pendHead = 0
 	}
 	return dl
 }
 
-func (d *Device) pushBurst(n int) {
-	d.burstLens = append(d.burstLens, n)
+func (rx *rxCtx) pushBurst(n int) {
+	rx.burstLens = append(rx.burstLens, n)
 }
 
-func (d *Device) popBurst() int {
-	n := d.burstLens[d.burstHead]
-	d.burstHead++
-	if d.burstHead == len(d.burstLens) {
-		d.burstLens = d.burstLens[:0]
-		d.burstHead = 0
+func (rx *rxCtx) popBurst() int {
+	n := rx.burstLens[rx.burstHead]
+	rx.burstHead++
+	if rx.burstHead == len(rx.burstLens) {
+		rx.burstLens = rx.burstLens[:0]
+		rx.burstHead = 0
 	}
 	return n
 }
 
 // deliverOne completes one input(): it runs after the "pf" CPU charge
-// and enqueues (or drops) the oldest pending frame.
-func (d *Device) deliverOne() {
-	dl := d.popPending()
+// and enqueues (or drops) the queue's oldest pending frame.
+func (rx *rxCtx) deliverOne() {
+	d := rx.d
+	dl := rx.popPending()
 	tr := d.host.Sim().Tracer()
 	if len(dl.ports) == 0 {
 		d.KernelDrops++
@@ -507,11 +591,16 @@ func (d *Device) deliverOne() {
 // overheads spread over the burst.  Blocked readers are woken once per
 // port per burst instead of once per frame.
 func (d *Device) inputBurst(frames [][]byte) {
+	d.rx[d.nic.RxQueue()].inputBurst(frames)
+}
+
+func (rx *rxCtx) inputBurst(frames [][]byte) {
+	d := rx.d
 	if len(frames) == 1 {
 		// A singleton burst takes the ordinary per-frame path, so an
 		// isolated packet sees bit-identical costs and latency with
 		// coalescing on or off.
-		d.input(frames[0])
+		rx.inputSpanned(frames[0], d.nic.RxSpan())
 		return
 	}
 	spans := d.nic.RxBurstSpans()
@@ -521,6 +610,9 @@ func (d *Device) inputBurst(frames [][]byte) {
 
 	nDel := 0
 	var filterCost, pfCost time.Duration
+	// burstSeq is one device-wide monotonic stamp across all queues:
+	// per-port FilterApply amortization compares stamps for equality,
+	// so bursts on different queues never share a setup charge.
 	d.burstSeq++
 	d.curBurst = d.burstSeq
 	for k, frame := range frames {
@@ -541,7 +633,7 @@ func (d *Device) inputBurst(frames [][]byte) {
 		tr.SpanMark(span, trace.StageDemux, arrival)
 		d.pktSeen++
 		d.maybeReorder()
-		dl := d.pushPending(frame, arrival)
+		dl := rx.pushPending(frame, arrival)
 		dl.span = span
 		var fc time.Duration
 		if d.opt.Mode == EvalTable {
@@ -556,6 +648,7 @@ func (d *Device) inputBurst(frames [][]byte) {
 		} else {
 			pfCost += costs.PfPoll
 		}
+		pfCost += rx.xqCost(dl.ports)
 		for _, port := range dl.ports {
 			if port.stamp {
 				pfCost += costs.Timestamp
@@ -574,22 +667,23 @@ func (d *Device) inputBurst(frames [][]byte) {
 	if nDel == 0 {
 		return
 	}
-	d.pushBurst(nDel)
-	d.host.RunKernel("filter", filterCost, d.markBurstFilterFn)
-	d.host.RunKernel("pf", pfCost, d.deliverBurstFn)
+	rx.pushBurst(nDel)
+	d.host.RunKernelOn(rx.lane, rx.filterTag, filterCost, rx.markBurstFilterFn)
+	d.host.RunKernelOn(rx.lane, rx.pfTag, pfCost, rx.deliverBurstFn)
 }
 
 // deliverBurst completes one inputBurst(): it pops the burst's pending
 // frames, enqueues them without waking, then wakes each touched port's
 // readers once — the once-per-burst wakeup the coalescing path exists
 // for.
-func (d *Device) deliverBurst() {
-	n := d.popBurst()
+func (rx *rxCtx) deliverBurst() {
+	d := rx.d
+	n := rx.popBurst()
 	now := d.host.Clock().Now()
 	tr := d.host.Sim().Tracer()
 	wake := d.wakeScratch[:0]
 	for k := 0; k < n; k++ {
-		dl := d.popPending()
+		dl := rx.popPending()
 		if len(dl.ports) == 0 {
 			d.KernelDrops++
 			d.host.Counters.PacketsDropped++

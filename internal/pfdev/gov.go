@@ -213,7 +213,11 @@ func (port *Port) govCharge(units int) {
 // ports plus matched frames still awaiting their "pf" kernel charge.
 // Both terms are maintained O(1) on the hot path.
 func (d *Device) backlog() int {
-	return d.queuedTotal + (len(d.pend) - d.pendHead)
+	n := d.queuedTotal
+	for _, rx := range d.rx {
+		n += len(rx.pend) - rx.pendHead
+	}
+	return n
 }
 
 // admitFrame updates the shed/accept hysteresis and reports whether a

@@ -93,6 +93,12 @@ type Port struct {
 	applyBurst  uint64
 	wakePending bool
 
+	// lastRxQ is the receive queue that last delivered to this port
+	// (-1 before the first delivery); a handoff from a different
+	// queue charges the cross-queue XQDeliver penalty.  Unused on a
+	// single-queue device.
+	lastRxQ int
+
 	// Governor state (gov.go).  govTokens is the CPU token bucket in
 	// instruction units, refilled lazily at govRefill; govBound is the
 	// bound filter's scaled worst-case price, pre-admission checked
@@ -151,6 +157,7 @@ func (d *Device) Open(p *sim.Proc) *Port {
 		readers:     d.host.Sim().NewWaitQ(),
 		tableActive: true,
 		slot:        -1,
+		lastRxQ:     -1,
 	}
 	if g := d.opt.Gov; g.Enabled {
 		// The bucket starts full at open time — rebinding a filter

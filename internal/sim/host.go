@@ -55,6 +55,27 @@ type Host struct {
 	KernelTime map[string]time.Duration
 	// UserTime is CPU consumed in user mode by processes.
 	UserTime time.Duration
+
+	// lanes are the host's parallel kernel threads for multi-queue
+	// receive: each lane is an independent serial server for
+	// interrupt-level work, running concurrently in virtual time
+	// with the main CPU and with the other lanes.  Empty until
+	// SetKernelLanes configures them; single-queue hosts never touch
+	// this path.
+	lanes []*kernelLane
+}
+
+// kernelLane is one parallel kernel thread.  It mirrors the main
+// CPU's interrupt-queue discipline (head-indexed queue, pre-bound
+// completion, epoch-guarded crash semantics) but has no process work
+// and no context switches: lanes only ever run RunKernelOn grants.
+type kernelLane struct {
+	busy       bool
+	q          []*cpuReq
+	head       int
+	running    *cpuReq
+	runEpoch   uint64
+	completeFn func()
 }
 
 type cpuReq struct {
@@ -115,6 +136,89 @@ func (h *Host) RunKernel(tag string, d time.Duration, fn func()) {
 	h.pump()
 }
 
+// SetKernelLanes configures n parallel kernel threads on the host
+// (idempotent; shrinking is not supported — lanes model hardware
+// queues fixed at attach time).  Lane work is charged through
+// RunKernelOn; with no lanes configured, or lane < 0, RunKernelOn
+// degenerates to RunKernel and the host stays a pure uniprocessor.
+func (h *Host) SetKernelLanes(n int) {
+	for len(h.lanes) < n {
+		l := &kernelLane{}
+		l.completeFn = func() { h.laneComplete(l) }
+		h.lanes = append(h.lanes, l)
+	}
+}
+
+// KernelLanes returns the number of configured parallel kernel lanes.
+func (h *Host) KernelLanes() int { return len(h.lanes) }
+
+// RunKernelOn charges d of kernel CPU on the given parallel kernel
+// lane, accounted under tag, then calls fn (which may be nil) in
+// event-loop context.  Lane < 0 — or a lane the host never
+// configured — falls back to RunKernel on the main CPU, so
+// single-queue callers are byte-identical to the pre-lane world.
+// Lane work runs concurrently (in virtual time) with the main CPU:
+// this is the §7 "demultiplexing in parallel" model.
+func (h *Host) RunKernelOn(lane int, tag string, d time.Duration, fn func()) {
+	if lane < 0 || lane >= len(h.lanes) {
+		h.RunKernel(tag, d, fn)
+		return
+	}
+	h.Counters.KernelEntries++
+	h.sim.Counters.KernelEntries++
+	l := h.lanes[lane]
+	l.q = append(l.q, h.getReq(d, nil, fn, tag))
+	h.lanePump(l)
+}
+
+// lanePump grants the lane to its next queued request if idle.
+func (h *Host) lanePump(l *kernelLane) {
+	if l.busy || h.paused || h.down {
+		return
+	}
+	if l.head >= len(l.q) {
+		return
+	}
+	r := l.q[l.head]
+	l.q[l.head] = nil
+	l.head++
+	if l.head == len(l.q) {
+		l.q = l.q[:0]
+		l.head = 0
+	}
+	if tr := h.sim.tracer; tr != nil {
+		tr.KernelSlice(h.sim.now, h.name, r.tag, "", r.d)
+	}
+	l.busy = true
+	l.running = r
+	l.runEpoch = h.epoch
+	h.sim.After(r.d, l.completeFn)
+}
+
+// laneComplete finishes the lane's in-flight grant, mirroring
+// complete() minus the process half.
+func (h *Host) laneComplete(l *kernelLane) {
+	l.busy = false
+	r := l.running
+	l.running = nil
+	if h.epoch != l.runEpoch {
+		// The host crashed while this lane work was in flight: the
+		// kernel half is lost.
+		h.putReq(r)
+		h.lanePump(l)
+		return
+	}
+	h.KernelTime[r.tag] += r.d
+	if tr := h.sim.tracer; tr != nil {
+		tr.KernelTime(h.name, r.tag, r.d)
+	}
+	if r.fn != nil {
+		r.fn()
+	}
+	h.putReq(r)
+	h.lanePump(l)
+}
+
 // requestCPU enqueues process work; proc parks until it completes.
 // Called from process context via Proc.Consume and the syscall
 // helpers.
@@ -136,6 +240,9 @@ func (h *Host) Resume() {
 	h.paused = false
 	if !h.down {
 		h.pump()
+		for _, l := range h.lanes {
+			h.lanePump(l)
+		}
 	}
 }
 
@@ -155,6 +262,14 @@ func (h *Host) Crash() {
 	}
 	h.intrQ = h.intrQ[:0]
 	h.intrHead = 0
+	for _, l := range h.lanes {
+		for i := l.head; i < len(l.q); i++ {
+			h.putReq(l.q[i])
+			l.q[i] = nil
+		}
+		l.q = l.q[:0]
+		l.head = 0
+	}
 	for _, fn := range h.crashHooks {
 		fn()
 	}
@@ -165,6 +280,9 @@ func (h *Host) Restart() {
 	h.down = false
 	h.paused = false
 	h.pump()
+	for _, l := range h.lanes {
+		h.lanePump(l)
+	}
 }
 
 // Down reports whether the host is crashed (not merely paused).

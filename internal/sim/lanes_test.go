@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+func TestKernelLanesRunInParallel(t *testing.T) {
+	// Four lanes each charged 10ms overlap in virtual time: the whole
+	// batch finishes at 10ms, not 40ms, while KernelTime accounts all
+	// 40ms of CPU — that is the parallel-kernel-thread model.
+	s := New(vtime.Costs{})
+	h := s.NewHost("a")
+	h.SetKernelLanes(4)
+	done := 0
+	for q := 0; q < 4; q++ {
+		h.RunKernelOn(q, "driver", ms(10), func() { done++ })
+	}
+	if end := s.Run(0); end != ms(10) {
+		t.Fatalf("end = %v, want 10ms", end)
+	}
+	if done != 4 {
+		t.Fatalf("completions = %d, want 4", done)
+	}
+	if h.KernelTime["driver"] != ms(40) {
+		t.Fatalf("driver time = %v, want 40ms", h.KernelTime["driver"])
+	}
+	if h.Counters.KernelEntries != 4 {
+		t.Fatalf("kernel entries = %d, want 4", h.Counters.KernelEntries)
+	}
+}
+
+func TestLaneSerializesItsOwnQueue(t *testing.T) {
+	s := New(vtime.Costs{})
+	h := s.NewHost("a")
+	h.SetKernelLanes(2)
+	var order []int
+	h.RunKernelOn(0, "driver", ms(10), func() { order = append(order, 1) })
+	h.RunKernelOn(0, "driver", ms(10), func() { order = append(order, 2) })
+	if end := s.Run(0); end != ms(20) {
+		t.Fatalf("end = %v, want 20ms: one lane is a serial server", end)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRunKernelOnFallsBackToMainCPU(t *testing.T) {
+	// Lane -1 (and any unconfigured lane) must behave exactly like
+	// RunKernel: serialized on the single CPU.
+	s := New(vtime.Costs{})
+	h := s.NewHost("a")
+	h.RunKernelOn(-1, "driver", ms(10), nil)
+	h.RunKernelOn(0, "driver", ms(10), nil) // no lanes configured
+	if end := s.Run(0); end != ms(20) {
+		t.Fatalf("end = %v, want 20ms serialized on the main CPU", end)
+	}
+}
+
+func TestLanesOverlapMainCPU(t *testing.T) {
+	// Lane work runs concurrently with interrupt work on the main
+	// CPU; both 10ms charges complete at 10ms.
+	s := New(vtime.Costs{})
+	h := s.NewHost("a")
+	h.SetKernelLanes(1)
+	h.RunKernel("pf", ms(10), nil)
+	h.RunKernelOn(0, "driver", ms(10), nil)
+	if end := s.Run(0); end != ms(10) {
+		t.Fatalf("end = %v, want 10ms", end)
+	}
+	if h.KernelTime["pf"] != ms(10) || h.KernelTime["driver"] != ms(10) {
+		t.Fatalf("kernel time = %v", h.KernelTime)
+	}
+}
+
+func TestCrashLosesLaneWork(t *testing.T) {
+	// In-flight and queued lane work is lost on crash, exactly like
+	// the main interrupt queue: the completion must not run and no
+	// kernel time is accounted for the lost half.
+	s := New(vtime.Costs{})
+	h := s.NewHost("a")
+	h.SetKernelLanes(1)
+	ran := false
+	h.RunKernelOn(0, "driver", ms(10), func() { ran = true })
+	h.RunKernelOn(0, "driver", ms(10), func() { ran = true })
+	s.After(ms(5), func() { h.Crash() })
+	s.After(ms(30), func() { h.Restart() })
+	s.Run(0)
+	if ran {
+		t.Fatal("lane completion ran despite the crash")
+	}
+	if h.KernelTime["driver"] != 0 {
+		t.Fatalf("driver time = %v after crash, want 0", h.KernelTime["driver"])
+	}
+	// The lane must be usable again after restart.
+	h.RunKernelOn(0, "driver", ms(10), func() { ran = true })
+	s.Run(0)
+	if !ran {
+		t.Fatal("lane dead after restart")
+	}
+}
+
+func TestPauseStallsLanes(t *testing.T) {
+	s := New(vtime.Costs{})
+	h := s.NewHost("a")
+	h.SetKernelLanes(1)
+	var at time.Duration
+	h.Pause()
+	h.RunKernelOn(0, "driver", ms(10), func() { at = s.Now() })
+	s.After(ms(7), func() { h.Resume() })
+	s.Run(0)
+	if at != ms(17) {
+		t.Fatalf("lane work finished at %v, want 17ms (paused until 7ms)", at)
+	}
+}
+
+func TestSetKernelLanesIdempotent(t *testing.T) {
+	s := New(vtime.Costs{})
+	h := s.NewHost("a")
+	h.SetKernelLanes(4)
+	h.SetKernelLanes(2)
+	if h.KernelLanes() != 4 {
+		t.Fatalf("lanes = %d, want 4 (never shrinks)", h.KernelLanes())
+	}
+}

@@ -150,6 +150,24 @@ type Costs struct {
 	// batched reap or transmit — the residual per-packet kernel
 	// work once the data copy is elided.
 	RingDesc time.Duration
+
+	// Steer is the per-frame cost of computing the receive-side
+	// flow-steering hash (src/dst/type tuple) that picks a NIC
+	// queue.  The paper's §7 names "demultiplexing in parallel" as
+	// future work; RSS hashing is the counterfactual mechanism, and
+	// its defining property is that the hash is a few header loads
+	// and mixes — far cheaper than one filter instruction.  Charged
+	// only when a NIC is configured with more than one queue.
+	Steer time.Duration
+
+	// XQDeliver is the cross-queue port-delivery penalty: when a
+	// port's packets last arrived via a different queue's demux
+	// context, handing the new packet over costs extra kernel work
+	// (the cache-line and lock handoff between parallel kernel
+	// threads).  Per-flow steering makes this rare by construction —
+	// one flow always lands on one queue — so the charge appears
+	// only when distinct flows matched by one port straddle queues.
+	XQDeliver time.Duration
 }
 
 // DefaultCosts returns the cost model calibrated to the paper's
@@ -178,6 +196,8 @@ func DefaultCosts() Costs {
 		MapSetup:       500 * Microsecond,
 		MapPerKB:       80 * Microsecond,
 		RingDesc:       12 * Microsecond,
+		Steer:          6 * Microsecond,
+		XQDeliver:      35 * Microsecond,
 	}
 }
 
@@ -215,6 +235,8 @@ type Counters struct {
 	KernelEntries   uint64 // interrupt-level kernel entries (RunKernel)
 	Bursts          uint64 // coalesced receive bursts handed to the kernel
 	CoalescedFrames uint64 // frames delivered inside those bursts
+	SteeredFrames   uint64 // frames steered by the multi-queue RSS hash
+	XQDeliveries    uint64 // port deliveries that crossed queue contexts
 
 	PacketsIn      uint64 // frames received from the wire
 	PacketsOut     uint64 // frames queued for transmission
@@ -237,6 +259,8 @@ func (c *Counters) Add(o Counters) {
 	c.KernelEntries += o.KernelEntries
 	c.Bursts += o.Bursts
 	c.CoalescedFrames += o.CoalescedFrames
+	c.SteeredFrames += o.SteeredFrames
+	c.XQDeliveries += o.XQDeliveries
 	c.PacketsIn += o.PacketsIn
 	c.PacketsOut += o.PacketsOut
 	c.FilterApplied += o.FilterApplied
@@ -260,6 +284,8 @@ func (c Counters) Sub(o Counters) Counters {
 		KernelEntries:   c.KernelEntries - o.KernelEntries,
 		Bursts:          c.Bursts - o.Bursts,
 		CoalescedFrames: c.CoalescedFrames - o.CoalescedFrames,
+		SteeredFrames:   c.SteeredFrames - o.SteeredFrames,
+		XQDeliveries:    c.XQDeliveries - o.XQDeliveries,
 		PacketsIn:       c.PacketsIn - o.PacketsIn,
 		PacketsOut:      c.PacketsOut - o.PacketsOut,
 		FilterApplied:   c.FilterApplied - o.FilterApplied,

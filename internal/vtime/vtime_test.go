@@ -68,6 +68,8 @@ func TestDefaultCostsPinnedExhaustively(t *testing.T) {
 		"MapSetup":       500 * Microsecond,  // one-time shared-segment mapping
 		"MapPerKB":       80 * Microsecond,   // per-KB page-table share of the mapping
 		"RingDesc":       12 * Microsecond,   // ring descriptor publish/reap
+		"Steer":          6 * Microsecond,    // RSS hash: a few header loads + mixes, « FilterInstr
+		"XQDeliver":      35 * Microsecond,   // cross-queue port handoff between kernel threads
 	}
 	c := DefaultCosts()
 	v := reflect.ValueOf(c)
